@@ -1,0 +1,31 @@
+//! Criterion bench behind Figure 7: the long-lived-tuple sweep at small
+//! scale, 8 MB-equivalent memory, ratio 5:1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtjoin_bench::{build_pair, run_algorithm, Algo, Scale};
+use vtjoin_storage::CostRatio;
+
+fn bench_long_lived(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let params = scale.params();
+    let buffer = scale.buffer_pages(8);
+    let mut group = c.benchmark_group("fig7_long_lived");
+    group.sample_size(10);
+    for paper_ll in [8_000u64, 64_000, 128_000] {
+        let ll = scale.long_lived(paper_ll);
+        let (_disk, hr, hs) = build_pair(&params, ll, 99 ^ paper_ll);
+        for algo in Algo::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), paper_ll),
+                &buffer,
+                |b, &buffer| {
+                    b.iter(|| run_algorithm(algo, &hr, &hs, buffer, CostRatio::R5));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_long_lived);
+criterion_main!(benches);

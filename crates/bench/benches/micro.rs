@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the substrate hot paths: interval algebra, tuple
+//! codec, page packing, coalescing, and the in-memory reference join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vtjoin_core::algebra::{coalesce, natural_join};
+use vtjoin_core::{AllenRelation, AttrDef, AttrType, Interval, Relation, Schema, Tuple, Value};
+use vtjoin_storage::{codec, PageBuf};
+
+fn intervals() -> Vec<Interval> {
+    (0..1024i64)
+        .map(|i| Interval::from_raw((i * 37) % 5000, (i * 37) % 5000 + i % 100).unwrap())
+        .collect()
+}
+
+fn bench_interval_ops(c: &mut Criterion) {
+    let ivs = intervals();
+    c.bench_function("interval_overlap_1k_pairs", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for w in ivs.windows(2) {
+                if black_box(w[0].overlap(w[1])).is_some() {
+                    n += 1;
+                }
+            }
+            n
+        });
+    });
+    c.bench_function("allen_classify_1k_pairs", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for w in ivs.windows(2) {
+                if black_box(AllenRelation::classify(w[0], w[1])).implies_overlap() {
+                    n += 1;
+                }
+            }
+            n
+        });
+    });
+}
+
+fn sample_tuple() -> Tuple {
+    Tuple::new(
+        vec![Value::Int(42), Value::Bytes(vec![7u8; 98])],
+        Interval::from_raw(100, 2000).unwrap(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let t = sample_tuple();
+    c.bench_function("codec_encode_128B", |b| {
+        b.iter(|| black_box(codec::encode(&t)));
+    });
+    let bytes = codec::encode(&t);
+    c.bench_function("codec_decode_128B", |b| {
+        b.iter(|| {
+            let mut cursor: &[u8] = &bytes;
+            black_box(codec::decode(&mut cursor).unwrap())
+        });
+    });
+    c.bench_function("page_pack_4k", |b| {
+        b.iter(|| {
+            let mut page = PageBuf::new(4096);
+            while page.try_push(&t).unwrap() {}
+            black_box(page.take())
+        });
+    });
+}
+
+fn rel(attr: &str, n: i64) -> Relation {
+    let schema = Schema::new(vec![
+        AttrDef::new("k", AttrType::Int),
+        AttrDef::new(attr, AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared();
+    Relation::from_parts_unchecked(
+        schema,
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    vec![Value::Int(i % 64), Value::Int(i)],
+                    Interval::from_raw((i * 13) % 2000, (i * 13) % 2000 + i % 40).unwrap(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let r = rel("b", 2000);
+    let s = rel("c", 2000);
+    c.bench_function("reference_natural_join_2k_x_2k", |b| {
+        b.iter(|| black_box(natural_join(&r, &s).unwrap()));
+    });
+    let loose = {
+        let schema = Arc::clone(r.schema());
+        Relation::from_parts_unchecked(
+            schema,
+            r.iter()
+                .flat_map(|t| {
+                    let iv = t.valid();
+                    [t.clone(), t.with_valid(iv)]
+                })
+                .collect(),
+        )
+    };
+    c.bench_function("coalesce_4k", |b| {
+        b.iter(|| black_box(coalesce(&loose)));
+    });
+}
+
+criterion_group!(benches, bench_interval_ops, bench_codec, bench_algebra);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Figure 4: the `determinePartIntervals` cost loop
+//! (sampling + candidate sweep), plus the replication-vs-migration
+//! partitioning ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vtjoin_bench::{build_pair, run_algorithm, Algo, Scale};
+use vtjoin_join::partition::planner::determine_part_intervals;
+use vtjoin_join::JoinConfig;
+use vtjoin_storage::CostRatio;
+
+fn bench_planner(c: &mut Criterion) {
+    let scale = Scale::Small;
+    let params = scale.params();
+    let (_disk, hr, hs) = build_pair(&params, scale.long_lived(48_000), 7);
+    let mut group = c.benchmark_group("fig4_planner");
+    group.sample_size(10);
+    for mb in [1u64, 8] {
+        let cfg = JoinConfig::with_buffer(scale.buffer_pages(mb)).ratio(CostRatio::R5);
+        group.bench_with_input(
+            BenchmarkId::new("determine_part_intervals", format!("{mb}MB")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| determine_part_intervals(&hr, &hs, None, cfg).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_replication");
+    group.sample_size(10);
+    let buffer = scale.buffer_pages(8);
+    for algo in [Algo::Partition, Algo::Replicated, Algo::TimeIndex] {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| run_algorithm(algo, &hr, &hs, buffer, CostRatio::R5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

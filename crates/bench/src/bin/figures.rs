@@ -1,0 +1,89 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! figures [fig4|fig5|fig6|fig7|fig8|ablation|all] [--scale small|full] [--out DIR]
+//! ```
+//!
+//! Each artifact prints an aligned table (and an ASCII chart where the
+//! paper has one) and writes a CSV under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use vtjoin_bench::figures::{self, FigureResult};
+use vtjoin_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("bad --scale (small|full)"));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).unwrap_or_else(|| usage("missing --out dir")));
+            }
+            other if other.starts_with("--") => usage(&format!("unknown flag {other}")),
+            other => which.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".to_owned());
+    }
+    let run_all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| run_all || which.iter().any(|w| w == name);
+
+    let started = std::time::Instant::now();
+    let mut produced: Vec<FigureResult> = Vec::new();
+    if wants("fig5") {
+        produced.push(figures::fig5_rows(scale));
+    }
+    if wants("fig4") {
+        produced.push(figures::fig4(scale));
+    }
+    if wants("fig6") {
+        produced.push(figures::fig6(scale));
+    }
+    if wants("fig7") {
+        produced.push(figures::fig7(scale));
+    }
+    if wants("fig8") {
+        produced.push(figures::fig8(scale));
+    }
+    if wants("ablation") {
+        produced.push(figures::ablation_replication(scale));
+        produced.push(figures::ablation_time_index(scale));
+    }
+    if produced.is_empty() {
+        usage(&format!("unknown artifact(s): {which:?}"));
+    }
+
+    for fig in &produced {
+        println!("== {} ==", fig.name);
+        println!("{}", fig.to_table());
+        if let Some(chart) = &fig.chart {
+            println!("{chart}");
+        }
+        match fig.write_csv(&out) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}\n"),
+        }
+    }
+    eprintln!("done in {:.1?}", started.elapsed());
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: figures [fig4|fig5|fig6|fig7|fig8|ablation|all] [--scale small|full] [--out DIR]"
+    );
+    std::process::exit(2);
+}

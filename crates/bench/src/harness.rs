@@ -1,0 +1,209 @@
+//! Shared experiment plumbing.
+
+use vtjoin_join::{
+    JoinAlgorithm, JoinConfig, JoinReport, NestedLoopJoin, PartitionJoin,
+    ReplicatedPartitionJoin, SortMergeJoin, TimeIndexJoin,
+};
+use vtjoin_storage::{CostRatio, HeapFile, SharedDisk};
+use vtjoin_workload::generate::{generate_heap, inner_schema, outer_schema, GeneratorConfig};
+use vtjoin_workload::PaperParams;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's geometry: 32 MB relations, 1–32 MB buffers.
+    Full,
+    /// 1/4 geometry for quick runs: 8 MB relations, 256 KB–8 MB buffers.
+    Small,
+}
+
+impl Scale {
+    /// The matching parameter set.
+    pub fn params(self) -> PaperParams {
+        match self {
+            Scale::Full => PaperParams::FULL,
+            Scale::Small => PaperParams::SMALL,
+        }
+    }
+
+    /// Buffer pages corresponding to the paper's `megabytes` label at this
+    /// scale (the small scale divides the memory axis by 4 as well, so
+    /// every memory:relation ratio is preserved).
+    pub fn buffer_pages(self, paper_mb: u64) -> u64 {
+        let params = self.params();
+        let bytes = match self {
+            Scale::Full => paper_mb * 1024 * 1024,
+            Scale::Small => paper_mb * 1024 * 1024 / 4,
+        };
+        (bytes / params.page_size as u64).max(8)
+    }
+
+    /// Scales a paper long-lived-tuple count to this scale.
+    pub fn long_lived(self, paper_count: u64) -> u64 {
+        match self {
+            Scale::Full => paper_count,
+            Scale::Small => paper_count / 4,
+        }
+    }
+
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "small" => Some(Scale::Small),
+            _ => None,
+        }
+    }
+}
+
+/// The algorithms under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Block nested loop.
+    NestedLoop,
+    /// External sort + backing-up merge.
+    SortMerge,
+    /// The paper's partition join.
+    Partition,
+    /// Leung–Muntz replication ablation.
+    Replicated,
+    /// Gunadhi–Segev append-only-tree index join (one-shot: sorts and
+    /// builds the index as part of the run).
+    TimeIndex,
+    /// The same, with the inputs assumed append-only (pre-sorted): only
+    /// index build + probe are charged.
+    TimeIndexAppendOnly,
+}
+
+impl Algo {
+    /// Every implemented algorithm.
+    pub const ALL: [Algo; 6] = [
+        Algo::NestedLoop,
+        Algo::SortMerge,
+        Algo::Partition,
+        Algo::Replicated,
+        Algo::TimeIndex,
+        Algo::TimeIndexAppendOnly,
+    ];
+
+    /// The paper's three (Figures 6 and 7).
+    pub const PAPER: [Algo; 3] = [Algo::NestedLoop, Algo::SortMerge, Algo::Partition];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::NestedLoop => "nested-loop",
+            Algo::SortMerge => "sort-merge",
+            Algo::Partition => "partition",
+            Algo::Replicated => "partition-replicated",
+            Algo::TimeIndex => "time-index",
+            Algo::TimeIndexAppendOnly => "time-index-appendonly",
+        }
+    }
+
+    /// Whether the algorithm's physical run depends on the cost ratio
+    /// (only the partition join plans with it; the other runs can be
+    /// priced at any ratio after the fact).
+    pub fn ratio_sensitive(self) -> bool {
+        matches!(self, Algo::Partition | Algo::Replicated)
+    }
+}
+
+/// Builds the experiment relation pair on a fresh disk: both relations
+/// have `params.relation_tuples` tuples, `long_lived` of them long-lived
+/// (§4.3 construction), independent seeds.
+pub fn build_pair(
+    params: &PaperParams,
+    long_lived: u64,
+    seed: u64,
+) -> (SharedDisk, HeapFile, HeapFile) {
+    let disk = SharedDisk::new(params.page_size);
+    let cfg = GeneratorConfig::paper(params, seed).long_lived(long_lived);
+    let pad = cfg.pad_bytes;
+    let hr = generate_heap(&disk, outer_schema(pad), &cfg).expect("load outer");
+    let cfg_s = cfg.seed(seed ^ 0xabcd_ef01);
+    let hs = generate_heap(&disk, inner_schema(pad), &cfg_s).expect("load inner");
+    (disk, hr, hs)
+}
+
+/// Runs one algorithm on a prepared pair, measuring only the join's I/O.
+pub fn run_algorithm(
+    algo: Algo,
+    hr: &HeapFile,
+    hs: &HeapFile,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> JoinReport {
+    let cfg = JoinConfig::with_buffer(buffer_pages).ratio(ratio);
+    let report = match algo {
+        Algo::NestedLoop => NestedLoopJoin.execute(hr, hs, &cfg),
+        Algo::SortMerge => SortMergeJoin.execute(hr, hs, &cfg),
+        Algo::Partition => PartitionJoin::default().execute(hr, hs, &cfg),
+        Algo::Replicated => ReplicatedPartitionJoin.execute(hr, hs, &cfg),
+        Algo::TimeIndex => TimeIndexJoin { assume_sorted: false }.execute(hr, hs, &cfg),
+        Algo::TimeIndexAppendOnly => {
+            TimeIndexJoin { assume_sorted: true }.execute(hr, hs, &cfg)
+        }
+    };
+    report.unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_arithmetic() {
+        assert_eq!(Scale::Full.buffer_pages(1), 256);
+        assert_eq!(Scale::Full.buffer_pages(32), 8192);
+        assert_eq!(Scale::Small.buffer_pages(1), 64);
+        assert_eq!(Scale::Small.buffer_pages(32), 2048);
+        assert_eq!(Scale::Small.long_lived(128_000), 32_000);
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("weird"), None);
+    }
+
+    #[test]
+    fn relation_to_memory_ratios_preserved() {
+        // At both scales, "8 MB of memory" is 1/4 of the relation.
+        for scale in [Scale::Full, Scale::Small] {
+            let params = scale.params();
+            assert_eq!(params.relation_pages() / scale.buffer_pages(8), 4, "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn build_pair_geometry() {
+        let mut params = PaperParams::SMALL;
+        params.relation_tuples = 2048;
+        let (_, hr, hs) = build_pair(&params, 100, 7);
+        assert_eq!(hr.tuples(), 2048);
+        assert_eq!(hs.tuples(), 2048);
+        assert_eq!(hr.pages(), 64); // 32 tuples per page
+        assert_ne!(
+            hr.read_page(0).unwrap()[0],
+            hs.read_page(0).unwrap()[0],
+            "independent seeds"
+        );
+    }
+
+    #[test]
+    fn run_algorithm_smoke_all() {
+        let mut params = PaperParams::SMALL;
+        params.relation_tuples = 1024;
+        params.lifespan = 4000;
+        params.objects = 100;
+        let (_, hr, hs) = build_pair(&params, 64, 3);
+        let mut cards = Vec::new();
+        for algo in Algo::ALL {
+            if algo == Algo::TimeIndexAppendOnly {
+                continue; // requires pre-sorted inputs
+            }
+            let rep = run_algorithm(algo, &hr, &hs, 12, CostRatio::R5);
+            cards.push(rep.result_tuples);
+        }
+        // All algorithms agree on cardinality.
+        assert!(cards.windows(2).all(|w| w[0] == w[1]), "{cards:?}");
+        assert!(cards[0] > 0);
+    }
+}

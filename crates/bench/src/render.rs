@@ -1,0 +1,137 @@
+//! Plain-text rendering: aligned tables, CSV files, and ASCII charts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV (naive quoting: cells are numeric or simple labels).
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut s = String::new();
+    s.push_str(&headers.join(","));
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    std::fs::write(path, s)
+}
+
+/// A crude ASCII line chart: one row per x value, bars proportional to y,
+/// several series side by side. Good enough to eyeball the figures'
+/// shapes in a terminal.
+pub fn ascii_chart(
+    title: &str,
+    x_label: &str,
+    xs: &[String],
+    series: &[(&str, Vec<u64>)],
+) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let width = 48usize;
+    let mut out = format!("{title}\n");
+    for (name, _) in series {
+        let _ = writeln!(out, "  {name}");
+    }
+    for (i, x) in xs.iter().enumerate() {
+        let _ = writeln!(out, "{x_label} = {x}");
+        for (name, ys) in series {
+            let y = ys.get(i).copied().unwrap_or(0);
+            let bar = (y as u128 * width as u128 / max as u128) as usize;
+            let _ = writeln!(out, "  {:>22} |{} {}", name, "█".repeat(bar), y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["mem", "cost"],
+            &[
+                vec!["1".into(), "123456".into()],
+                vec!["32".into(), "9".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("mem"));
+        assert!(lines[2].ends_with("123456"));
+        assert!(lines[3].ends_with('9'));
+        // Right alignment: both data lines end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("vtjoin-render-test");
+        let path = dir.join("x.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn chart_contains_all_series() {
+        let c = ascii_chart(
+            "fig",
+            "mem",
+            &["1".into(), "2".into()],
+            &[("pj", vec![10, 5]), ("sm", vec![20, 15])],
+        );
+        assert!(c.contains("pj"));
+        assert!(c.contains("sm"));
+        assert!(c.contains("mem = 1"));
+        assert!(c.contains("20"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Sweep-based temporal aggregation.
+//!
+//! Temporal aggregates are piecewise-constant functions of time: `COUNT` at
+//! chronon `c` is the number of tuples valid at `c`. The implementations
+//! sweep interval endpoints, producing one result tuple per maximal
+//! constant interval — the classic aggregation-tree-free formulation (the
+//! paper's acknowledgements mention an aggregation tree used by its
+//! simulator; a sweep is the modern equivalent for one-shot evaluation).
+
+use crate::chronon::Chronon;
+use crate::error::{Result, TemporalError};
+use crate::interval::Interval;
+use crate::relation::Relation;
+use crate::schema::{AttrDef, AttrType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// One piece of a piecewise-constant temporal aggregate: the aggregate
+/// `value` held constant over `interval`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSegment {
+    /// Maximal interval over which the aggregate is constant.
+    pub interval: Interval,
+    /// The aggregate value over that interval.
+    pub value: i64,
+}
+
+/// Sweeps `(chronon, delta)` events into maximal constant segments.
+///
+/// `events` need not be sorted. Segments with aggregate value `0` outside
+/// the covered lifespan are omitted; interior zero-valued gaps are emitted
+/// (they are observable states of the aggregate).
+fn sweep(mut events: Vec<(Chronon, i64)>) -> Vec<AggSegment> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    events.sort_by_key(|e| e.0);
+    let mut out: Vec<AggSegment> = Vec::new();
+    let mut current: i64 = 0;
+    let mut seg_start: Option<Chronon> = None;
+    let mut i = 0;
+    while i < events.len() {
+        let at = events[i].0;
+        // Close the open segment just before `at`.
+        if let Some(start) = seg_start {
+            if start < at {
+                out.push(AggSegment {
+                    interval: Interval::new(start, at.pred()).expect("start < at"),
+                    value: current,
+                });
+            }
+        }
+        // Apply all deltas at `at`.
+        let mut delta = 0;
+        while i < events.len() && events[i].0 == at {
+            delta += events[i].1;
+            i += 1;
+        }
+        current += delta;
+        seg_start = Some(at);
+    }
+    // After the final event the count returns to zero (every +delta has a
+    // matching -delta one past its interval end), so nothing remains open —
+    // unless an interval ends at Chronon::MAX, where the closing event
+    // saturates; close it explicitly.
+    if let (Some(start), true) = (seg_start, current != 0) {
+        out.push(AggSegment { interval: Interval::new(start, Chronon::MAX).expect("open tail"), value: current });
+    }
+    // Trim leading/trailing zero segments, keep interior gaps.
+    while out.first().is_some_and(|s| s.value == 0) {
+        out.remove(0);
+    }
+    while out.last().is_some_and(|s| s.value == 0) {
+        out.pop();
+    }
+    out
+}
+
+/// Builds the endpoint events for a weighted sweep over tuple intervals.
+fn interval_events(r: &Relation, weight: impl Fn(&Tuple) -> i64) -> Vec<(Chronon, i64)> {
+    let mut events = Vec::with_capacity(r.len() * 2);
+    for t in r.iter() {
+        let w = weight(t);
+        events.push((t.valid().start(), w));
+        if t.valid().end() != Chronon::MAX {
+            events.push((t.valid().end().succ(), -w));
+        }
+        // An interval ending at MAX simply never closes; `sweep` handles the
+        // open tail.
+    }
+    events
+}
+
+/// Temporal `COUNT(*)`: for every maximal interval, the number of tuples
+/// valid throughout it.
+pub fn count_over_time(r: &Relation) -> Vec<AggSegment> {
+    sweep(interval_events(r, |_| 1))
+}
+
+/// Temporal `SUM(attr)` over an integer attribute.
+pub fn sum_over_time(r: &Relation, attr: &str) -> Result<Vec<AggSegment>> {
+    let idx = r
+        .schema()
+        .index_of(attr)
+        .ok_or_else(|| TemporalError::UnknownAttribute(attr.to_owned()))?;
+    if r.schema().attr(idx).ty != AttrType::Int {
+        return Err(TemporalError::TypeMismatch {
+            attr: attr.to_owned(),
+            expected: "int",
+            actual: r.schema().attr(idx).ty.name(),
+        });
+    }
+    Ok(sweep(interval_events(r, |t| {
+        t.value(idx).as_int().unwrap_or(0)
+    })))
+}
+
+/// Which extremum [`extremum_over_time`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extremum {
+    /// Temporal `MIN(attr)`.
+    Min,
+    /// Temporal `MAX(attr)`.
+    Max,
+}
+
+/// Temporal `MIN`/`MAX` over an integer attribute: for every maximal
+/// interval, the extremum of the attribute over all tuples valid
+/// throughout it. Chronons where no tuple is valid produce no segment
+/// (unlike `COUNT`, an extremum of nothing is undefined, not zero).
+pub fn extremum_over_time(
+    r: &Relation,
+    attr: &str,
+    which: Extremum,
+) -> Result<Vec<AggSegment>> {
+    let idx = r
+        .schema()
+        .index_of(attr)
+        .ok_or_else(|| TemporalError::UnknownAttribute(attr.to_owned()))?;
+    if r.schema().attr(idx).ty != AttrType::Int {
+        return Err(TemporalError::TypeMismatch {
+            attr: attr.to_owned(),
+            expected: "int",
+            actual: r.schema().attr(idx).ty.name(),
+        });
+    }
+    // Sweep endpoints, maintaining a multiset of active values.
+    let mut events: Vec<(Chronon, i64, bool)> = Vec::with_capacity(r.len() * 2);
+    for t in r.iter() {
+        let v = t.value(idx).as_int().unwrap_or(0);
+        events.push((t.valid().start(), v, true));
+        if t.valid().end() != Chronon::MAX {
+            events.push((t.valid().end().succ(), v, false));
+        }
+    }
+    if events.is_empty() {
+        return Ok(Vec::new());
+    }
+    events.sort_by_key(|e| e.0);
+
+    use std::collections::BTreeMap;
+    let mut active: BTreeMap<i64, usize> = BTreeMap::new();
+    let mut out: Vec<AggSegment> = Vec::new();
+    let mut seg_start: Option<Chronon> = None;
+    let mut i = 0;
+    let push_segment = |start: Chronon, end: Chronon, value: i64, out: &mut Vec<AggSegment>| {
+        // Merge with the previous segment when adjacent and equal-valued
+        // (keeps segments maximal).
+        if let Some(last) = out.last_mut() {
+            if last.value == value
+                && last.interval.end() != Chronon::MAX
+                && last.interval.end().succ() == start
+            {
+                last.interval = Interval::new(last.interval.start(), end).expect("ordered");
+                return;
+            }
+        }
+        out.push(AggSegment { interval: Interval::new(start, end).expect("ordered"), value });
+    };
+    while i < events.len() {
+        let at = events[i].0;
+        if let Some(start) = seg_start {
+            if start < at && !active.is_empty() {
+                let value = match which {
+                    Extremum::Min => *active.keys().next().expect("non-empty"),
+                    Extremum::Max => *active.keys().next_back().expect("non-empty"),
+                };
+                push_segment(start, at.pred(), value, &mut out);
+            }
+        }
+        while i < events.len() && events[i].0 == at {
+            let (_, v, add) = events[i];
+            if add {
+                *active.entry(v).or_insert(0) += 1;
+            } else {
+                match active.get_mut(&v) {
+                    Some(c) if *c > 1 => *c -= 1,
+                    _ => {
+                        active.remove(&v);
+                    }
+                }
+            }
+            i += 1;
+        }
+        seg_start = Some(at);
+    }
+    // Open tail for intervals reaching the end of time.
+    if let (Some(start), false) = (seg_start, active.is_empty()) {
+        let value = match which {
+            Extremum::Min => *active.keys().next().expect("non-empty"),
+            Extremum::Max => *active.keys().next_back().expect("non-empty"),
+        };
+        push_segment(start, Chronon::MAX, value, &mut out);
+    }
+    Ok(out)
+}
+
+/// Renders aggregate segments as a valid-time relation with a single `agg`
+/// attribute — convenient for composing with the rest of the algebra.
+pub fn segments_to_relation(segments: &[AggSegment]) -> Relation {
+    let schema = Schema::new(vec![AttrDef::new("agg", AttrType::Int)])
+        .expect("static schema")
+        .into_shared();
+    Relation::from_parts_unchecked(
+        schema,
+        segments
+            .iter()
+            .map(|s| Tuple::new(vec![Value::Int(s.value)], s.interval))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sch() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("v", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn t(k: i64, v: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(k), Value::Int(v)],
+            Interval::from_raw(s, e).unwrap(),
+        )
+    }
+
+    fn brute_count(r: &Relation, c: i64) -> i64 {
+        r.iter()
+            .filter(|t| t.valid().contains_chronon(Chronon::new(c)))
+            .count() as i64
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let r = Relation::new(
+            sch(),
+            vec![t(1, 1, 0, 5), t(2, 1, 3, 9), t(3, 1, 3, 3), t(4, 1, 12, 14)],
+        )
+        .unwrap();
+        let segs = count_over_time(&r);
+        // Piecewise-constant and exhaustive over the lifespan.
+        for c in -2..=16i64 {
+            let expect = brute_count(&r, c);
+            let got = segs
+                .iter()
+                .find(|s| s.interval.contains_chronon(Chronon::new(c)))
+                .map_or(0, |s| s.value);
+            assert_eq!(got, expect, "count at {c}");
+        }
+        // Segments are maximal: adjacent segments differ in value.
+        for w in segs.windows(2) {
+            if w[0].interval.adjacent(w[1].interval) {
+                assert_ne!(w[0].value, w[1].value, "non-maximal segments");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_gaps_are_reported_as_zero() {
+        let r = Relation::new(sch(), vec![t(1, 1, 0, 2), t(2, 1, 8, 9)]).unwrap();
+        let segs = count_over_time(&r);
+        assert!(segs
+            .iter()
+            .any(|s| s.value == 0 && s.interval == Interval::from_raw(3, 7).unwrap()));
+        // but no leading/trailing zeros
+        assert_ne!(segs.first().unwrap().value, 0);
+        assert_ne!(segs.last().unwrap().value, 0);
+    }
+
+    #[test]
+    fn sum_weights_by_attribute() {
+        let r = Relation::new(sch(), vec![t(1, 10, 0, 4), t(2, 5, 2, 6)]).unwrap();
+        let segs = sum_over_time(&r, "v").unwrap();
+        let at = |c: i64| {
+            segs.iter()
+                .find(|s| s.interval.contains_chronon(Chronon::new(c)))
+                .map_or(0, |s| s.value)
+        };
+        assert_eq!(at(0), 10);
+        assert_eq!(at(3), 15);
+        assert_eq!(at(5), 5);
+        assert_eq!(at(7), 0);
+    }
+
+    #[test]
+    fn sum_type_errors() {
+        let r = Relation::new(sch(), vec![]).unwrap();
+        assert!(sum_over_time(&r, "ghost").is_err());
+    }
+
+    #[test]
+    fn open_tail_at_end_of_time() {
+        let sch = sch();
+        let r = Relation::new(
+            sch,
+            vec![Tuple::new(
+                vec![Value::Int(1), Value::Int(1)],
+                Interval::new(Chronon::new(10), Chronon::MAX).unwrap(),
+            )],
+        )
+        .unwrap();
+        let segs = count_over_time(&r);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interval.end(), Chronon::MAX);
+        assert_eq!(segs[0].value, 1);
+    }
+
+    #[test]
+    fn empty_relation_has_no_segments() {
+        assert!(count_over_time(&Relation::empty(sch())).is_empty());
+        assert!(extremum_over_time(&Relation::empty(sch()), "v", Extremum::Min)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn min_max_match_brute_force() {
+        let r = Relation::new(
+            sch(),
+            vec![t(1, 10, 0, 5), t(2, 3, 2, 9), t(3, 7, 4, 4), t(4, 3, 12, 14)],
+        )
+        .unwrap();
+        let mins = extremum_over_time(&r, "v", Extremum::Min).unwrap();
+        let maxs = extremum_over_time(&r, "v", Extremum::Max).unwrap();
+        for c in -1..=16i64 {
+            let ch = Chronon::new(c);
+            let active: Vec<i64> = r
+                .iter()
+                .filter(|t| t.valid().contains_chronon(ch))
+                .map(|t| t.value(1).as_int().unwrap())
+                .collect();
+            let seg_val = |segs: &[AggSegment]| {
+                segs.iter()
+                    .find(|s| s.interval.contains_chronon(ch))
+                    .map(|s| s.value)
+            };
+            assert_eq!(seg_val(&mins), active.iter().min().copied(), "min at {c}");
+            assert_eq!(seg_val(&maxs), active.iter().max().copied(), "max at {c}");
+        }
+        // Maximality: adjacent segments must differ in value.
+        for segs in [&mins, &maxs] {
+            for w in segs.windows(2) {
+                if w[0].interval.adjacent(w[1].interval) {
+                    assert_ne!(w[0].value, w[1].value);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremum_with_duplicate_values() {
+        // Two tuples with the same value: the extremum must survive the
+        // end of one of them.
+        let r = Relation::new(sch(), vec![t(1, 5, 0, 10), t(2, 5, 0, 3)]).unwrap();
+        let maxs = extremum_over_time(&r, "v", Extremum::Max).unwrap();
+        assert_eq!(maxs.len(), 1);
+        assert_eq!(maxs[0].interval, Interval::from_raw(0, 10).unwrap());
+        assert_eq!(maxs[0].value, 5);
+    }
+
+    #[test]
+    fn extremum_open_tail() {
+        let r = Relation::new(
+            sch(),
+            vec![Tuple::new(
+                vec![Value::Int(1), Value::Int(9)],
+                Interval::new(Chronon::new(0), Chronon::MAX).unwrap(),
+            )],
+        )
+        .unwrap();
+        let maxs = extremum_over_time(&r, "v", Extremum::Max).unwrap();
+        assert_eq!(maxs.len(), 1);
+        assert_eq!(maxs[0].interval.end(), Chronon::MAX);
+        assert_eq!(maxs[0].value, 9);
+    }
+
+    #[test]
+    fn segments_to_relation_round_trip() {
+        let segs = vec![
+            AggSegment { interval: Interval::from_raw(0, 4).unwrap(), value: 2 },
+            AggSegment { interval: Interval::from_raw(5, 9).unwrap(), value: 1 },
+        ];
+        let rel = segments_to_relation(&segs);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.tuples()[0].value(0), &Value::Int(2));
+    }
+}

@@ -1,0 +1,170 @@
+//! Coalescing: the canonical form of a valid-time relation.
+//!
+//! Two tuples are *value-equivalent* when they agree on every explicit
+//! attribute. Coalescing replaces each maximal set of value-equivalent
+//! tuples whose intervals overlap or meet by tuples over the maximal merged
+//! intervals. Coalesced relations are the canonical representatives of
+//! snapshot-equivalence classes (\[JSS92a\], \[JSS93\]), which is what makes
+//! coalescing the right post-pass after temporal projection.
+
+use crate::period::Period;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Coalesces a relation: merges value-equivalent tuples with overlapping or
+/// adjacent intervals into maximal-interval tuples.
+///
+/// The output contains, for each distinct value combination, one tuple per
+/// maximal interval of the union of that combination's timestamps, ordered
+/// by interval. Duplicates collapse (coalescing yields set semantics per
+/// value class).
+///
+/// ```
+/// use std::sync::Arc;
+/// use vtjoin_core::algebra::coalesce;
+/// use vtjoin_core::*;
+/// let sch = Schema::new(vec![AttrDef::new("k", AttrType::Int)]).unwrap().into_shared();
+/// let r = Relation::new(Arc::clone(&sch), vec![
+///     Tuple::new(vec![Value::Int(1)], Interval::from_raw(0, 4).unwrap()),
+///     Tuple::new(vec![Value::Int(1)], Interval::from_raw(5, 9).unwrap()),  // adjacent
+///     Tuple::new(vec![Value::Int(1)], Interval::from_raw(20, 22).unwrap()),
+/// ]).unwrap();
+/// let c = coalesce(&r);
+/// assert_eq!(c.len(), 2); // [0,9] and [20,22]
+/// ```
+pub fn coalesce(r: &Relation) -> Relation {
+    // Group timestamps by value combination, preserving first-seen order so
+    // the output is deterministic.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut periods: HashMap<Vec<Value>, Period> = HashMap::new();
+    for t in r.iter() {
+        let key = t.values().to_vec();
+        periods
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key);
+                Period::new()
+            })
+            .insert(t.valid());
+    }
+    let mut out = Vec::new();
+    for key in order {
+        let period = &periods[&key];
+        for iv in period.intervals() {
+            out.push(Tuple::new(key.clone(), *iv));
+        }
+    }
+    Relation::from_parts_unchecked(Arc::clone(r.schema()), out)
+}
+
+/// Whether a relation is already coalesced: no two value-equivalent tuples
+/// have overlapping or adjacent intervals.
+pub fn is_coalesced(r: &Relation) -> bool {
+    let mut seen: HashMap<&[Value], Vec<crate::Interval>> = HashMap::new();
+    for t in r.iter() {
+        let ivs = seen.entry(t.values()).or_default();
+        if ivs.iter().any(|iv| iv.mergeable(t.valid())) {
+            return false;
+        }
+        ivs.push(t.valid());
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType, Schema};
+    use crate::{Chronon, Interval};
+
+    fn sch() -> Arc<crate::Schema> {
+        Schema::new(vec![AttrDef::new("k", AttrType::Int)])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn t(k: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k)], Interval::from_raw(s, e).unwrap())
+    }
+
+    #[test]
+    fn merges_overlapping_and_adjacent_only_within_value_class() {
+        let r = Relation::new(
+            sch(),
+            vec![t(1, 0, 4), t(1, 3, 9), t(2, 5, 6), t(1, 20, 21), t(2, 7, 8)],
+        )
+        .unwrap();
+        let c = coalesce(&r);
+        assert_eq!(c.len(), 3);
+        assert!(is_coalesced(&c));
+        let k1: Vec<Interval> = c
+            .iter()
+            .filter(|x| x.value(0) == &Value::Int(1))
+            .map(|x| x.valid())
+            .collect();
+        assert_eq!(k1, vec![
+            Interval::from_raw(0, 9).unwrap(),
+            Interval::from_raw(20, 21).unwrap()
+        ]);
+        let k2: Vec<Interval> = c
+            .iter()
+            .filter(|x| x.value(0) == &Value::Int(2))
+            .map(|x| x.valid())
+            .collect();
+        assert_eq!(k2, vec![Interval::from_raw(5, 8).unwrap()]);
+    }
+
+    #[test]
+    fn coalesce_is_idempotent() {
+        let r = Relation::new(sch(), vec![t(1, 0, 1), t(1, 1, 5), t(1, 9, 9)]).unwrap();
+        let once = coalesce(&r);
+        let twice = coalesce(&once);
+        assert!(once.multiset_eq(&twice));
+    }
+
+    #[test]
+    fn coalesce_collapses_duplicates() {
+        let r = Relation::new(sch(), vec![t(1, 0, 5), t(1, 0, 5)]).unwrap();
+        assert_eq!(coalesce(&r).len(), 1);
+    }
+
+    #[test]
+    fn coalesce_preserves_snapshots() {
+        let r = Relation::new(
+            sch(),
+            vec![t(1, 0, 3), t(1, 2, 8), t(2, 1, 1), t(1, 10, 12)],
+        )
+        .unwrap();
+        let c = coalesce(&r);
+        for ch in 0..=13i64 {
+            let ch = Chronon::new(ch);
+            // Snapshots may differ in duplicate multiplicity but not in the
+            // set of visible value rows.
+            let mut a = r.snapshot(ch);
+            let mut b = c.snapshot(ch);
+            a.sort();
+            a.dedup();
+            b.sort();
+            b.dedup();
+            assert_eq!(a, b, "snapshot at {ch}");
+        }
+    }
+
+    #[test]
+    fn is_coalesced_detects_violations() {
+        assert!(is_coalesced(&Relation::new(sch(), vec![t(1, 0, 1), t(1, 3, 4)]).unwrap()));
+        assert!(!is_coalesced(&Relation::new(sch(), vec![t(1, 0, 1), t(1, 2, 4)]).unwrap())); // adjacent
+        assert!(!is_coalesced(&Relation::new(sch(), vec![t(1, 0, 5), t(1, 2, 4)]).unwrap())); // overlap
+        assert!(is_coalesced(&Relation::new(sch(), vec![t(1, 0, 5), t(2, 2, 4)]).unwrap())); // different values
+        assert!(is_coalesced(&Relation::empty(sch())));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let c = coalesce(&Relation::empty(sch()));
+        assert!(c.is_empty());
+    }
+}

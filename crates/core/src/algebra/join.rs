@@ -1,0 +1,589 @@
+//! The valid-time join family, in memory.
+//!
+//! [`natural_join`] implements the paper's §2 definition verbatim: tuples
+//! `x ∈ r`, `y ∈ s` join iff `x[A] = y[A]` on the shared explicit attributes
+//! *and* `overlap(x[V], y[V]) ≠ ⊥`; the result tuple carries
+//! `x[A] ++ x[B] ++ y[C]` and the maximal overlap interval.
+//!
+//! The remaining operators round out the family the paper's §4.1 surveys:
+//! the *time-join* (overlap only — \[CC87\], \[GS90\]), generalized Allen
+//! joins (\[LM90\]), and the temporal semijoin / antijoin / outerjoin used
+//! to assemble event-joins (\[SG89\]).
+
+use crate::allen::AllenSet;
+use crate::error::{Result, TemporalError};
+use crate::interval::Interval;
+use crate::period::Period;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which operand of an asymmetric join an option refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The left operand (`r`).
+    Left,
+    /// The right operand (`s`).
+    Right,
+}
+
+/// Builds the result values `x[A] ++ x[B] ++ y[C]` for a matched pair.
+fn splice(
+    x: &Tuple,
+    y: &Tuple,
+    s_extra: &[usize], // indices of y's non-shared attributes
+) -> Vec<Value> {
+    let mut out = Vec::with_capacity(x.values().len() + s_extra.len());
+    out.extend_from_slice(x.values());
+    for &j in s_extra {
+        out.push(y.value(j).clone());
+    }
+    out
+}
+
+/// Indices of `s`'s attributes that are *not* join attributes, in order.
+fn non_shared_indices(s_arity: usize, shared_in_s: &[usize]) -> Vec<usize> {
+    (0..s_arity).filter(|j| !shared_in_s.contains(j)).collect()
+}
+
+/// The **valid-time natural join** `r ⋈ᵛ s` (paper §2).
+///
+/// Implemented as an in-memory hash join on the shared explicit attributes
+/// followed by the interval-overlap test, so it is usable as an oracle even
+/// at the paper's 262,144-tuple relation sizes.
+///
+/// Unlike the snapshot natural join, two relations with *no* shared
+/// explicit attributes still have a meaningful valid-time join — it
+/// degenerates to the time-join — so this function does not insist on
+/// shared attributes; use [`time_join`] directly to be explicit.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vtjoin_core::algebra::natural_join;
+/// use vtjoin_core::*;
+///
+/// let emp = Schema::new(vec![
+///     AttrDef::new("name", AttrType::Str),
+///     AttrDef::new("dept", AttrType::Str),
+/// ]).unwrap().into_shared();
+/// let mgr = Schema::new(vec![
+///     AttrDef::new("dept", AttrType::Str),
+///     AttrDef::new("mgr", AttrType::Str),
+/// ]).unwrap().into_shared();
+///
+/// let r = Relation::new(Arc::clone(&emp), vec![Tuple::new(
+///     vec!["ed".into(), "ship".into()], Interval::from_raw(1, 10).unwrap())]).unwrap();
+/// let s = Relation::new(Arc::clone(&mgr), vec![Tuple::new(
+///     vec!["ship".into(), "ann".into()], Interval::from_raw(5, 20).unwrap())]).unwrap();
+///
+/// let j = natural_join(&r, &s).unwrap();
+/// assert_eq!(j.len(), 1);
+/// assert_eq!(j.tuples()[0].valid(), Interval::from_raw(5, 10).unwrap());
+/// ```
+pub fn natural_join(r: &Relation, s: &Relation) -> Result<Relation> {
+    let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
+    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+    let s_extra = non_shared_indices(s.schema().arity(), &shared_s);
+
+    // Build side: hash s on its shared-attribute key.
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for y in s.iter() {
+        table.entry(y.key_at(&shared_s)).or_default().push(y);
+    }
+
+    let mut out = Vec::new();
+    for x in r.iter() {
+        if let Some(candidates) = table.get(&x.key_at(&shared_r)) {
+            for y in candidates {
+                if let Some(common) = x.valid().overlap(y.valid()) {
+                    out.push(Tuple::new(splice(x, y, &s_extra), common));
+                }
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(out_schema, out))
+}
+
+/// The **time-join** (T-join): every pair of tuples with overlapping
+/// valid-time intervals joins, regardless of explicit attribute values
+/// (\[CC87\], \[GS90\]). The result concatenates all attributes of both
+/// operands (attribute names must therefore be disjoint) and is stamped
+/// with the maximal overlap.
+pub fn time_join(r: &Relation, s: &Relation) -> Result<Relation> {
+    let (shared_r, _) = r.schema().join_attributes(s.schema())?;
+    if !shared_r.is_empty() {
+        return Err(TemporalError::SchemaMismatch(
+            "time-join operands must have disjoint attribute names".into(),
+        ));
+    }
+    allen_join(r, s, AllenSet::overlapping())
+}
+
+/// Generalized **Allen join**: pairs join when the Allen relation between
+/// their intervals is in `pred` (\[LM90\]); the result is stamped with the
+/// overlap when one exists, otherwise with the convex hull (span) of the
+/// two intervals — the usual convention for non-overlapping Allen
+/// predicates such as *before*.
+pub fn allen_join(r: &Relation, s: &Relation, pred: AllenSet) -> Result<Relation> {
+    let (shared_r, _) = r.schema().join_attributes(s.schema())?;
+    if !shared_r.is_empty() {
+        return Err(TemporalError::SchemaMismatch(
+            "allen-join operands must have disjoint attribute names".into(),
+        ));
+    }
+    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+    let s_all: Vec<usize> = (0..s.schema().arity()).collect();
+    let mut out = Vec::new();
+    for x in r.iter() {
+        for y in s.iter() {
+            if pred.matches(x.valid(), y.valid()) {
+                let stamp = x
+                    .valid()
+                    .overlap(y.valid())
+                    .unwrap_or_else(|| x.valid().span(y.valid()));
+                out.push(Tuple::new(splice(x, y, &s_all), stamp));
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(out_schema, out))
+}
+
+/// The **temporal semijoin** `r ⋉ᵛ s`: each `r` tuple restricted to the
+/// time during which *some* value-matching `s` tuple is valid. Because that
+/// time is in general a union of intervals, one input tuple can produce
+/// several result tuples (one per maximal interval).
+pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    semi_or_anti(r, s, true)
+}
+
+/// The **temporal antijoin** `r ▷ᵛ s`: each `r` tuple restricted to the
+/// time during which *no* value-matching `s` tuple is valid.
+///
+/// `semijoin(r,s) ∪ antijoin(r,s)` partitions every input tuple's interval.
+pub fn antijoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    semi_or_anti(r, s, false)
+}
+
+fn semi_or_anti(r: &Relation, s: &Relation, keep_matched: bool) -> Result<Relation> {
+    let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
+    let mut table: HashMap<Vec<Value>, Vec<Interval>> = HashMap::new();
+    for y in s.iter() {
+        table.entry(y.key_at(&shared_s)).or_default().push(y.valid());
+    }
+    let mut out = Vec::new();
+    for x in r.iter() {
+        let matched: Period = table
+            .get(&x.key_at(&shared_r))
+            .map(|ivs| {
+                Period::from_intervals(ivs.iter().filter_map(|iv| iv.overlap(x.valid())))
+            })
+            .unwrap_or_default();
+        let keep = if keep_matched {
+            matched
+        } else {
+            Period::from_interval(x.valid()).difference(&matched)
+        };
+        for iv in keep.intervals() {
+            out.push(x.with_valid(*iv));
+        }
+    }
+    Ok(Relation::from_parts_unchecked(Arc::clone(r.schema()), out))
+}
+
+/// The **valid-time natural outerjoin**. `side` selects which operand's
+/// dangling (unmatched-in-time) tuples are preserved, padded with `Null`
+/// in the other operand's non-shared attributes — the building block of
+/// the TE-outerjoin / event-join of \[SG89\].
+pub fn outerjoin(r: &Relation, s: &Relation, side: JoinSide) -> Result<Relation> {
+    match side {
+        JoinSide::Left => left_outerjoin(r, s),
+        JoinSide::Right => {
+            // Compute as a left outerjoin with the operands swapped, then
+            // rearrange each result tuple into r-major attribute order.
+            let swapped = left_outerjoin(s, r)?;
+            let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+            let sw_schema = swapped.schema().clone();
+            let mut perm = Vec::with_capacity(out_schema.arity());
+            for a in out_schema.attrs() {
+                perm.push(sw_schema.index_of(&a.name).expect("attr present in swap"));
+            }
+            let tuples = swapped
+                .iter()
+                .map(|t| {
+                    Tuple::new(perm.iter().map(|&i| t.value(i).clone()).collect(), t.valid())
+                })
+                .collect();
+            Ok(Relation::from_parts_unchecked(out_schema, tuples))
+        }
+    }
+}
+
+/// The **valid-time full outerjoin** — the paper's cited *event join* /
+/// TE-outerjoin family (\[SG89\]): inner matches plus both sides'
+/// dangling fragments, `Null`-padded. Every chronon of every input tuple
+/// appears in the result exactly once per input tuple (modulo fragment
+/// splitting).
+pub fn full_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    let left = left_outerjoin(r, s)?;
+    // Right-dangling fragments: s's antijoin parts, padded and permuted
+    // into r-major attribute order.
+    let (shared_s, shared_r) = s.schema().join_attributes(r.schema())?;
+    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+    let s_dangling = antijoin(s, r)?;
+    let mut tuples = left.into_tuples();
+    for y in s_dangling.iter() {
+        let mut vals = vec![Value::Null; out_schema.arity()];
+        // Shared attributes take s's values (they sit at r's positions in
+        // the output schema).
+        for (&j, &i) in shared_s.iter().zip(&shared_r) {
+            vals[i] = y.value(j).clone();
+        }
+        // Non-shared s attributes follow r's block.
+        let mut out_pos = r.schema().arity();
+        for (j, v) in y.values().iter().enumerate() {
+            if !shared_s.contains(&j) {
+                vals[out_pos] = v.clone();
+                out_pos += 1;
+            }
+        }
+        tuples.push(Tuple::new(vals, y.valid()));
+    }
+    Ok(Relation::from_parts_unchecked(out_schema, tuples))
+}
+
+fn left_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
+    let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
+    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+    let s_extra = non_shared_indices(s.schema().arity(), &shared_s);
+
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for y in s.iter() {
+        table.entry(y.key_at(&shared_s)).or_default().push(y);
+    }
+
+    let mut out = Vec::new();
+    for x in r.iter() {
+        let mut matched = Period::new();
+        if let Some(candidates) = table.get(&x.key_at(&shared_r)) {
+            for y in candidates {
+                if let Some(common) = x.valid().overlap(y.valid()) {
+                    out.push(Tuple::new(splice(x, y, &s_extra), common));
+                    matched.insert(common);
+                }
+            }
+        }
+        let dangling = Period::from_interval(x.valid()).difference(&matched);
+        for iv in dangling.intervals() {
+            let mut vals = Vec::with_capacity(out_schema.arity());
+            vals.extend_from_slice(x.values());
+            vals.extend(std::iter::repeat_n(Value::Null, s_extra.len()));
+            out.push(Tuple::new(vals, *iv));
+        }
+    }
+    Ok(Relation::from_parts_unchecked(out_schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType, Schema};
+    use crate::Chronon;
+
+    fn emp() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("name", AttrType::Int),
+            AttrDef::new("dept", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn mgr() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("dept", AttrType::Int),
+            AttrDef::new("mgr", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn et(name: i64, dept: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(name), Value::Int(dept)],
+            Interval::from_raw(s, e).unwrap(),
+        )
+    }
+
+    fn mt(dept: i64, m: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(dept), Value::Int(m)],
+            Interval::from_raw(s, e).unwrap(),
+        )
+    }
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn natural_join_matches_values_and_time() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 10), et(2, 20, 0, 10)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 5, 20), mt(30, 300, 0, 10)]).unwrap();
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 1);
+        let t = &j.tuples()[0];
+        assert_eq!(t.values(), &[Value::Int(1), Value::Int(10), Value::Int(100)]);
+        assert_eq!(t.valid(), iv(5, 10));
+    }
+
+    #[test]
+    fn natural_join_rejects_disjoint_time() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 4)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 5, 20)]).unwrap();
+        assert!(natural_join(&r, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn natural_join_preserves_duplicates() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 5), et(1, 10, 0, 5)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 0, 5)]).unwrap();
+        assert_eq!(natural_join(&r, &s).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn natural_join_one_tuple_many_matches() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 100)]).unwrap();
+        let s = Relation::new(
+            mgr(),
+            vec![mt(10, 100, 0, 10), mt(10, 101, 11, 20), mt(10, 102, 50, 200)],
+        )
+        .unwrap();
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 3);
+        let stamps: Vec<Interval> = j.iter().map(|t| t.valid()).collect();
+        assert!(stamps.contains(&iv(0, 10)));
+        assert!(stamps.contains(&iv(11, 20)));
+        assert!(stamps.contains(&iv(50, 100)));
+    }
+
+    #[test]
+    fn natural_join_result_schema() {
+        let r = Relation::new(emp(), vec![]).unwrap();
+        let s = Relation::new(mgr(), vec![]).unwrap();
+        let j = natural_join(&r, &s).unwrap();
+        let names: Vec<&str> =
+            j.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["name", "dept", "mgr"]);
+    }
+
+    #[test]
+    fn snapshot_commutativity_small() {
+        // τ_c(r ⋈ᵛ s) must equal τ_c(r) ⋈ᵛ τ_c(s) at every chronon.
+        let r = Relation::new(
+            emp(),
+            vec![et(1, 10, 0, 6), et(2, 10, 3, 9), et(3, 20, 2, 4)],
+        )
+        .unwrap();
+        let s = Relation::new(
+            mgr(),
+            vec![mt(10, 100, 2, 5), mt(20, 200, 0, 9), mt(10, 101, 6, 8)],
+        )
+        .unwrap();
+        let j = natural_join(&r, &s).unwrap();
+        for c in 0..=10i64 {
+            let c = Chronon::new(c);
+            let lhs = j.timeslice(c);
+            let rhs = natural_join(&r.timeslice(c), &s.timeslice(c)).unwrap();
+            assert!(lhs.multiset_eq(&rhs), "snapshot at {c} differs");
+        }
+    }
+
+    #[test]
+    fn time_join_requires_disjoint_names() {
+        let r = Relation::new(emp(), vec![]).unwrap();
+        let s = Relation::new(emp(), vec![]).unwrap();
+        assert!(time_join(&r, &s).is_err());
+    }
+
+    #[test]
+    fn time_join_pairs_by_overlap_only() {
+        let a = Schema::new(vec![AttrDef::new("x", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let b = Schema::new(vec![AttrDef::new("y", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let r = Relation::new(
+            a,
+            vec![
+                Tuple::new(vec![Value::Int(1)], iv(0, 5)),
+                Tuple::new(vec![Value::Int(2)], iv(10, 15)),
+            ],
+        )
+        .unwrap();
+        let s = Relation::new(
+            b,
+            vec![
+                Tuple::new(vec![Value::Int(7)], iv(4, 11)),
+                Tuple::new(vec![Value::Int(8)], iv(20, 25)),
+            ],
+        )
+        .unwrap();
+        let j = time_join(&r, &s).unwrap();
+        assert_eq!(j.len(), 2);
+        // (1,7) overlap [4,5]; (2,7) overlap [10,11]
+        let stamps: Vec<Interval> = j.iter().map(|t| t.valid()).collect();
+        assert!(stamps.contains(&iv(4, 5)));
+        assert!(stamps.contains(&iv(10, 11)));
+    }
+
+    #[test]
+    fn allen_join_before_uses_span() {
+        use crate::allen::{AllenRelation, AllenSet};
+        let a = Schema::new(vec![AttrDef::new("x", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let b = Schema::new(vec![AttrDef::new("y", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let r = Relation::new(a, vec![Tuple::new(vec![Value::Int(1)], iv(0, 2))]).unwrap();
+        let s = Relation::new(b, vec![Tuple::new(vec![Value::Int(2)], iv(8, 9))]).unwrap();
+        let j = allen_join(&r, &s, AllenSet::only(AllenRelation::Before)).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.tuples()[0].valid(), iv(0, 9));
+    }
+
+    #[test]
+    fn semijoin_fragments_over_matching_periods() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 20)]).unwrap();
+        let s = Relation::new(
+            mgr(),
+            vec![mt(10, 100, 2, 4), mt(10, 101, 4, 6), mt(10, 102, 10, 12)],
+        )
+        .unwrap();
+        let sj = semijoin(&r, &s).unwrap();
+        assert_eq!(sj.schema(), r.schema());
+        let stamps: Vec<Interval> = sj.iter().map(|t| t.valid()).collect();
+        assert_eq!(stamps, vec![iv(2, 6), iv(10, 12)]);
+    }
+
+    #[test]
+    fn anti_and_semi_partition_the_input_interval() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 20), et(2, 99, 5, 8)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 5, 15)]).unwrap();
+        let sj = semijoin(&r, &s).unwrap();
+        let aj = antijoin(&r, &s).unwrap();
+        // For each input tuple, semijoin ∪ antijoin periods == input interval.
+        for x in r.iter() {
+            let semi: Period = sj
+                .iter()
+                .filter(|t| t.value_equivalent(x))
+                .map(|t| t.valid())
+                .collect();
+            let anti: Period = aj
+                .iter()
+                .filter(|t| t.value_equivalent(x))
+                .map(|t| t.valid())
+                .collect();
+            assert!(semi.intersect(&anti).is_empty());
+            assert_eq!(semi.union(&anti), Period::from_interval(x.valid()));
+        }
+    }
+
+    #[test]
+    fn left_outerjoin_pads_dangling_time() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 10)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 3, 5)]).unwrap();
+        let oj = outerjoin(&r, &s, JoinSide::Left).unwrap();
+        assert_eq!(oj.len(), 3); // inner part [3,5], dangling [0,2] and [6,10]
+        let mut inner = 0;
+        let mut dangling = 0;
+        for t in oj.iter() {
+            if t.value(2).is_null() {
+                dangling += 1;
+                assert!(t.valid() == iv(0, 2) || t.valid() == iv(6, 10));
+            } else {
+                inner += 1;
+                assert_eq!(t.valid(), iv(3, 5));
+            }
+        }
+        assert_eq!((inner, dangling), (1, 2));
+    }
+
+    #[test]
+    fn right_outerjoin_mirrors_left() {
+        let r = Relation::new(emp(), vec![et(1, 10, 3, 5)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 0, 10)]).unwrap();
+        let oj = outerjoin(&r, &s, JoinSide::Right).unwrap();
+        // Schema must be in r-major order regardless of side.
+        let names: Vec<&str> =
+            oj.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["name", "dept", "mgr"]);
+        assert_eq!(oj.len(), 3);
+        let nulls = oj.iter().filter(|t| t.value(0).is_null()).count();
+        assert_eq!(nulls, 2); // s dangling on [0,2] and [6,10], name padded
+    }
+
+    #[test]
+    fn full_outerjoin_covers_both_sides() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 10)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 3, 5), mt(20, 200, 50, 60)]).unwrap();
+        let fo = full_outerjoin(&r, &s).unwrap();
+        // Inner [3,5]; r dangling [0,2], [6,10]; s(10) fully matched? no —
+        // s(10,100) valid [3,5] fully overlapped; s(20) dangling [50,60].
+        assert_eq!(fo.len(), 4);
+        let right_dangles: Vec<&Tuple> =
+            fo.iter().filter(|t| t.value(0).is_null()).collect();
+        assert_eq!(right_dangles.len(), 1);
+        let d = right_dangles[0];
+        assert_eq!(d.value(1), &Value::Int(20)); // shared attr from s
+        assert_eq!(d.value(2), &Value::Int(200));
+        assert_eq!(d.valid(), iv(50, 60));
+        // Pointwise: every chronon of every input tuple is represented.
+        for x in r.iter() {
+            for c in x.valid().chronons() {
+                assert!(fo
+                    .iter()
+                    .any(|t| t.value(0) == x.value(0) && t.valid().contains_chronon(c)));
+            }
+        }
+        for y in s.iter() {
+            for c in y.valid().chronons() {
+                assert!(fo
+                    .iter()
+                    .any(|t| t.value(1) == y.value(0) && t.valid().contains_chronon(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_outerjoin_reduces_to_inner_when_fully_matched() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 5)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 0, 5)]).unwrap();
+        let inner = natural_join(&r, &s).unwrap();
+        let full = full_outerjoin(&r, &s).unwrap();
+        assert!(inner.multiset_eq(&full));
+    }
+
+    #[test]
+    fn outerjoin_reduces_to_join_when_fully_matched() {
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 5)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 0, 5)]).unwrap();
+        let inner = natural_join(&r, &s).unwrap();
+        let left = outerjoin(&r, &s, JoinSide::Left).unwrap();
+        assert!(inner.multiset_eq(&left));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let r = Relation::new(emp(), vec![]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(1, 1, 0, 1)]).unwrap();
+        assert!(natural_join(&r, &s).unwrap().is_empty());
+        assert!(natural_join(&s, &r).unwrap().is_empty());
+        assert!(semijoin(&r, &s).unwrap().is_empty());
+        let aj = antijoin(&s, &r).unwrap();
+        assert_eq!(aj.len(), 1); // nothing matches: antijoin keeps everything
+    }
+}

@@ -1,0 +1,21 @@
+//! In-memory temporal relational algebra.
+//!
+//! These operators define the *semantics* the disk-based algorithms in
+//! `vtjoin-join` must implement; in particular [`join::natural_join`] is the
+//! executable form of the paper's Definition of `r ⋈ᵛ s` (§2) and is used as
+//! the correctness oracle by the cross-crate test suite.
+
+pub mod aggregate;
+pub mod coalesce;
+pub mod join;
+pub mod select;
+pub mod setops;
+
+pub use aggregate::{count_over_time, extremum_over_time, sum_over_time, Extremum};
+pub use coalesce::coalesce;
+pub use join::{
+    allen_join, antijoin, full_outerjoin, natural_join, outerjoin, semijoin, time_join,
+    JoinSide,
+};
+pub use select::{project, select, select_interval};
+pub use setops::{difference, intersection, union};

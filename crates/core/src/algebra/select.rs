@@ -1,0 +1,111 @@
+//! Temporal selection and projection.
+
+use crate::error::Result;
+use crate::interval::Interval;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// Selection σ_p: keeps the tuples satisfying `pred` (which may inspect
+/// both explicit values and the timestamp), timestamps unchanged.
+pub fn select(r: &Relation, pred: impl Fn(&Tuple) -> bool) -> Relation {
+    Relation::from_parts_unchecked(
+        Arc::clone(r.schema()),
+        r.iter().filter(|t| pred(t)).cloned().collect(),
+    )
+}
+
+/// Temporal window selection: keeps the portions of tuples valid inside
+/// `window`, restricting each surviving timestamp to its overlap with the
+/// window. This is the interval generalization of the timeslice operator.
+pub fn select_interval(r: &Relation, window: Interval) -> Relation {
+    Relation::from_parts_unchecked(
+        Arc::clone(r.schema()),
+        r.iter()
+            .filter_map(|t| t.valid().overlap(window).map(|iv| t.with_valid(iv)))
+            .collect(),
+    )
+}
+
+/// Temporal projection π: projects the named attributes. The result is
+/// **not** automatically coalesced; compose with
+/// [`crate::algebra::coalesce()`] to restore canonical form, since projecting
+/// away attributes routinely creates value-equivalent overlapping tuples.
+pub fn project(r: &Relation, names: &[&str]) -> Result<Relation> {
+    let schema = r.schema().project(names)?.into_shared();
+    let indices: Vec<usize> = names
+        .iter()
+        .map(|n| r.schema().index_of(n).expect("validated by project schema"))
+        .collect();
+    let tuples = r
+        .iter()
+        .map(|t| Tuple::new(t.key_at(&indices), t.valid()))
+        .collect();
+    Ok(Relation::from_parts_unchecked(schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::coalesce::{coalesce, is_coalesced};
+    use crate::schema::{AttrDef, AttrType, Schema};
+    use crate::value::Value;
+
+    fn sch() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("w", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn t(k: i64, w: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(
+            vec![Value::Int(k), Value::Int(w)],
+            Interval::from_raw(s, e).unwrap(),
+        )
+    }
+
+    #[test]
+    fn select_filters_by_value_and_time() {
+        let r = Relation::new(sch(), vec![t(1, 5, 0, 9), t(2, 6, 10, 19)]).unwrap();
+        let hi = select(&r, |t| t.value(1).as_int().unwrap() > 5);
+        assert_eq!(hi.len(), 1);
+        let late = select(&r, |t| t.valid().start().value() >= 10);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late.tuples()[0].value(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn select_interval_clips_timestamps() {
+        let r = Relation::new(sch(), vec![t(1, 0, 0, 10), t(2, 0, 20, 30)]).unwrap();
+        let w = select_interval(&r, Interval::from_raw(5, 25).unwrap());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.tuples()[0].valid(), Interval::from_raw(5, 10).unwrap());
+        assert_eq!(w.tuples()[1].valid(), Interval::from_raw(20, 25).unwrap());
+        let none = select_interval(&r, Interval::from_raw(11, 19).unwrap());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn project_then_coalesce_restores_canonicity() {
+        // Distinct w values with the same k and touching intervals become
+        // value-equivalent after projection.
+        let r = Relation::new(sch(), vec![t(1, 100, 0, 4), t(1, 200, 5, 9)]).unwrap();
+        let p = project(&r, &["k"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!is_coalesced(&p));
+        let c = coalesce(&p);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.tuples()[0].valid(), Interval::from_raw(0, 9).unwrap());
+    }
+
+    #[test]
+    fn project_reorders_attributes() {
+        let r = Relation::new(sch(), vec![t(1, 2, 0, 0)]).unwrap();
+        let p = project(&r, &["w", "k"]).unwrap();
+        assert_eq!(p.tuples()[0].values(), &[Value::Int(2), Value::Int(1)]);
+        assert!(project(&r, &["missing"]).is_err());
+    }
+}

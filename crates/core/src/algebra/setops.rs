@@ -1,0 +1,194 @@
+//! Temporal set operators: union, difference, intersection.
+//!
+//! Under the tuple-timestamped model the set operators have *sequenced*
+//! semantics: they behave, at every chronon, like their snapshot
+//! counterparts on the timeslices. Union is trivial (bag append);
+//! difference and intersection restrict each left tuple's timestamp to
+//! the chronons where the right operand does not / does contain a
+//! value-equivalent tuple. Results follow set semantics per value class
+//! (compose with [`crate::algebra::coalesce()`] for canonical form — the
+//! operators already emit canonical periods per input tuple).
+
+use crate::error::{Result, TemporalError};
+use crate::period::Period;
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn check_same_schema(r: &Relation, s: &Relation) -> Result<()> {
+    if r.schema() != s.schema() {
+        return Err(TemporalError::SchemaMismatch(format!(
+            "set operators need identical schemas, got {} vs {}",
+            r.schema(),
+            s.schema()
+        )));
+    }
+    Ok(())
+}
+
+/// Sequenced temporal union `r ∪ᵛ s` (bag semantics: both operands'
+/// tuples, timestamps untouched).
+pub fn union(r: &Relation, s: &Relation) -> Result<Relation> {
+    check_same_schema(r, s)?;
+    let mut tuples = Vec::with_capacity(r.len() + s.len());
+    tuples.extend(r.iter().cloned());
+    tuples.extend(s.iter().cloned());
+    Ok(Relation::from_parts_unchecked(Arc::clone(r.schema()), tuples))
+}
+
+/// Groups the timestamps of value-equivalent tuples into periods.
+fn periods_by_value(rel: &Relation) -> HashMap<&[Value], Period> {
+    let mut map: HashMap<&[Value], Period> = HashMap::new();
+    for t in rel.iter() {
+        map.entry(t.values()).or_default().insert(t.valid());
+    }
+    map
+}
+
+/// Sequenced temporal difference `r −ᵛ s`: each `r` tuple restricted to
+/// the chronons where no value-equivalent `s` tuple is valid.
+///
+/// At every chronon `c`: `τ_c(r −ᵛ s) = τ_c(r) − τ_c(s)` as *sets* of
+/// rows (duplicates in `r` collapse wherever they are subtracted from;
+/// surviving fragments keep their multiplicity).
+pub fn difference(r: &Relation, s: &Relation) -> Result<Relation> {
+    check_same_schema(r, s)?;
+    let right = periods_by_value(s);
+    let mut out = Vec::new();
+    for t in r.iter() {
+        let keep = match right.get(t.values()) {
+            None => Period::from_interval(t.valid()),
+            Some(p) => Period::from_interval(t.valid()).difference(p),
+        };
+        for iv in keep.intervals() {
+            out.push(t.with_valid(*iv));
+        }
+    }
+    Ok(Relation::from_parts_unchecked(Arc::clone(r.schema()), out))
+}
+
+/// Sequenced temporal intersection `r ∩ᵛ s`: each `r` tuple restricted to
+/// the chronons where a value-equivalent `s` tuple is also valid.
+pub fn intersection(r: &Relation, s: &Relation) -> Result<Relation> {
+    check_same_schema(r, s)?;
+    let right = periods_by_value(s);
+    let mut out = Vec::new();
+    for t in r.iter() {
+        if let Some(p) = right.get(t.values()) {
+            let keep = Period::from_interval(t.valid()).intersect(p);
+            for iv in keep.intervals() {
+                out.push(t.with_valid(*iv));
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(Arc::clone(r.schema()), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType, Schema};
+    use crate::tuple::Tuple;
+    use crate::{Chronon, Interval};
+
+    fn sch() -> Arc<Schema> {
+        Schema::new(vec![AttrDef::new("k", AttrType::Int)])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn t(k: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k)], Interval::from_raw(s, e).unwrap())
+    }
+
+    fn rel(ts: Vec<Tuple>) -> Relation {
+        Relation::from_parts_unchecked(sch(), ts)
+    }
+
+    #[test]
+    fn union_is_bag_append() {
+        let r = rel(vec![t(1, 0, 5)]);
+        let s = rel(vec![t(1, 0, 5), t(2, 3, 4)]);
+        let u = union(&r, &s).unwrap();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn difference_subtracts_periods_per_value() {
+        let r = rel(vec![t(1, 0, 10), t(2, 0, 10)]);
+        let s = rel(vec![t(1, 3, 5), t(1, 8, 20)]);
+        let d = difference(&r, &s).unwrap();
+        // k=1 keeps [0,2] and [6,7]; k=2 untouched.
+        let k1: Vec<Interval> = d
+            .iter()
+            .filter(|x| x.value(0) == &Value::Int(1))
+            .map(|x| x.valid())
+            .collect();
+        assert_eq!(k1, vec![
+            Interval::from_raw(0, 2).unwrap(),
+            Interval::from_raw(6, 7).unwrap()
+        ]);
+        assert_eq!(
+            d.iter().filter(|x| x.value(0) == &Value::Int(2)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn intersection_keeps_shared_periods() {
+        let r = rel(vec![t(1, 0, 10)]);
+        let s = rel(vec![t(1, 3, 5), t(1, 9, 30), t(2, 0, 100)]);
+        let i = intersection(&r, &s).unwrap();
+        let ivs: Vec<Interval> = i.iter().map(|x| x.valid()).collect();
+        assert_eq!(ivs, vec![
+            Interval::from_raw(3, 5).unwrap(),
+            Interval::from_raw(9, 10).unwrap()
+        ]);
+    }
+
+    #[test]
+    fn sequenced_semantics_pointwise() {
+        let r = rel(vec![t(1, 0, 8), t(2, 2, 6), t(1, 4, 12)]);
+        let s = rel(vec![t(1, 5, 9), t(3, 0, 20)]);
+        let d = difference(&r, &s).unwrap();
+        let i = intersection(&r, &s).unwrap();
+        for c in 0..=14i64 {
+            let ch = Chronon::new(c);
+            let rows = |rel: &Relation| {
+                let mut v = rel.snapshot(ch);
+                v.sort();
+                v.dedup();
+                v
+            };
+            let (r_c, s_c) = (rows(&r), rows(&s));
+            let want_d: Vec<_> =
+                r_c.iter().filter(|x| !s_c.contains(x)).cloned().collect();
+            let want_i: Vec<_> =
+                r_c.iter().filter(|x| s_c.contains(x)).cloned().collect();
+            assert_eq!(rows(&d), want_d, "difference at {c}");
+            assert_eq!(rows(&i), want_i, "intersection at {c}");
+        }
+    }
+
+    #[test]
+    fn difference_against_empty_is_identity() {
+        let r = rel(vec![t(1, 0, 5), t(2, 3, 9)]);
+        let d = difference(&r, &rel(vec![])).unwrap();
+        assert!(d.multiset_eq(&r));
+        let i = intersection(&r, &rel(vec![])).unwrap();
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let other = Schema::new(vec![AttrDef::new("z", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let r = rel(vec![t(1, 0, 1)]);
+        let s = Relation::empty(other);
+        assert!(union(&r, &s).is_err());
+        assert!(difference(&r, &s).is_err());
+        assert!(intersection(&r, &s).is_err());
+    }
+}

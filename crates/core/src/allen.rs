@@ -1,0 +1,320 @@
+//! Allen's thirteen interval relations \[All83\].
+//!
+//! Leung & Muntz's generalized temporal joins (\[LM90\], \[LM92a\], cited in
+//! §4.1 of the paper) are parameterized by Allen predicates; this module
+//! provides the classification and the predicate machinery that the
+//! generalized in-memory joins in [`crate::algebra::join`] build on.
+//!
+//! On a discrete time-line with *closed* intervals, "meets" is interpreted
+//! as adjacency: `a meets b` iff `a.end + 1 == b.start` (sharing an endpoint
+//! chronon would mean the intervals overlap, since chronons are indivisible).
+
+use crate::interval::Interval;
+use std::fmt;
+
+/// One of Allen's thirteen mutually exclusive interval relations.
+///
+/// For any two intervals exactly one variant holds
+/// (see [`AllenRelation::classify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AllenRelation {
+    /// `a` ends strictly before `b` begins, with a gap.
+    Before,
+    /// `a` ends exactly one chronon before `b` begins (adjacent).
+    Meets,
+    /// `a` starts first and they overlap without containment.
+    Overlaps,
+    /// Same start; `a` ends first.
+    Starts,
+    /// `a` strictly inside `b` (both endpoints strict).
+    During,
+    /// Same end; `a` starts later.
+    Finishes,
+    /// The two intervals are identical.
+    Equals,
+    /// Inverse of [`AllenRelation::Finishes`].
+    FinishedBy,
+    /// Inverse of [`AllenRelation::During`].
+    Contains,
+    /// Inverse of [`AllenRelation::Starts`].
+    StartedBy,
+    /// Inverse of [`AllenRelation::Overlaps`].
+    OverlappedBy,
+    /// Inverse of [`AllenRelation::Meets`].
+    MetBy,
+    /// Inverse of [`AllenRelation::Before`].
+    After,
+}
+
+impl AllenRelation {
+    /// All thirteen relations, in canonical order.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equals,
+        AllenRelation::FinishedBy,
+        AllenRelation::Contains,
+        AllenRelation::StartedBy,
+        AllenRelation::OverlappedBy,
+        AllenRelation::MetBy,
+        AllenRelation::After,
+    ];
+
+    /// Determines which of the thirteen relations holds between `a` and `b`.
+    pub fn classify(a: Interval, b: Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        use AllenRelation::*;
+        match (a.start().cmp(&b.start()), a.end().cmp(&b.end())) {
+            (Equal, Equal) => Equals,
+            (Equal, Less) => Starts,
+            (Equal, Greater) => StartedBy,
+            (Less, Equal) => FinishedBy,
+            (Greater, Equal) => Finishes,
+            (Less, Less) => {
+                if a.end() < b.start() {
+                    if a.end() != crate::Chronon::MAX && a.end().succ() == b.start() {
+                        Meets
+                    } else {
+                        Before
+                    }
+                } else {
+                    Overlaps
+                }
+            }
+            (Greater, Greater) => {
+                if b.end() < a.start() {
+                    if b.end() != crate::Chronon::MAX && b.end().succ() == a.start() {
+                        MetBy
+                    } else {
+                        After
+                    }
+                } else {
+                    OverlappedBy
+                }
+            }
+            (Less, Greater) => Contains,
+            (Greater, Less) => During,
+        }
+    }
+
+    /// The inverse relation: `classify(a, b).inverse() == classify(b, a)`.
+    pub fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equals => Equals,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Whether this relation implies the intervals share at least one
+    /// chronon — i.e. whether it is part of the disjunction the valid-time
+    /// natural join tests.
+    pub fn implies_overlap(self) -> bool {
+        use AllenRelation::*;
+        !matches!(self, Before | After | Meets | MetBy)
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equals => "equals",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of Allen relations, used as a generalized temporal join predicate.
+///
+/// ```
+/// use vtjoin_core::allen::{AllenRelation, AllenSet};
+/// use vtjoin_core::Interval;
+/// let overlap_pred = AllenSet::overlapping();
+/// let a = Interval::from_raw(1, 5).unwrap();
+/// let b = Interval::from_raw(5, 9).unwrap();
+/// assert!(overlap_pred.matches(a, b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllenSet(u16);
+
+impl AllenSet {
+    /// The empty predicate (matches nothing).
+    pub const fn empty() -> AllenSet {
+        AllenSet(0)
+    }
+
+    /// The predicate matching all thirteen relations (matches everything).
+    pub const fn all() -> AllenSet {
+        AllenSet((1 << 13) - 1)
+    }
+
+    /// The nine relations implying a shared chronon — the valid-time
+    /// natural join's temporal predicate.
+    pub fn overlapping() -> AllenSet {
+        AllenRelation::ALL
+            .iter()
+            .filter(|r| r.implies_overlap())
+            .fold(AllenSet::empty(), |s, r| s.with(*r))
+    }
+
+    /// A singleton predicate.
+    pub fn only(r: AllenRelation) -> AllenSet {
+        AllenSet::empty().with(r)
+    }
+
+    /// Adds a relation to the set.
+    #[must_use]
+    pub fn with(self, r: AllenRelation) -> AllenSet {
+        AllenSet(self.0 | (1 << r as u16))
+    }
+
+    /// Whether the set contains relation `r`.
+    pub fn contains(self, r: AllenRelation) -> bool {
+        self.0 & (1 << r as u16) != 0
+    }
+
+    /// Whether the relation between `a` and `b` is in the set.
+    pub fn matches(self, a: Interval, b: Interval) -> bool {
+        self.contains(AllenRelation::classify(a, b))
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Chronon;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn classify_canonical_cases() {
+        use AllenRelation::*;
+        assert_eq!(AllenRelation::classify(iv(1, 2), iv(5, 6)), Before);
+        assert_eq!(AllenRelation::classify(iv(1, 4), iv(5, 6)), Meets);
+        assert_eq!(AllenRelation::classify(iv(1, 5), iv(3, 8)), Overlaps);
+        assert_eq!(AllenRelation::classify(iv(1, 3), iv(1, 8)), Starts);
+        assert_eq!(AllenRelation::classify(iv(3, 5), iv(1, 8)), During);
+        assert_eq!(AllenRelation::classify(iv(5, 8), iv(1, 8)), Finishes);
+        assert_eq!(AllenRelation::classify(iv(2, 9), iv(2, 9)), Equals);
+        assert_eq!(AllenRelation::classify(iv(1, 8), iv(5, 8)), FinishedBy);
+        assert_eq!(AllenRelation::classify(iv(1, 8), iv(3, 5)), Contains);
+        assert_eq!(AllenRelation::classify(iv(1, 8), iv(1, 3)), StartedBy);
+        assert_eq!(AllenRelation::classify(iv(3, 8), iv(1, 5)), OverlappedBy);
+        assert_eq!(AllenRelation::classify(iv(5, 6), iv(1, 4)), MetBy);
+        assert_eq!(AllenRelation::classify(iv(5, 6), iv(1, 2)), After);
+    }
+
+    #[test]
+    fn exactly_one_relation_holds() {
+        // Exhaustively enumerate small intervals and check that classify is
+        // a total function onto exactly one relation and that overlap
+        // agreement holds.
+        for a_s in 0..6 {
+            for a_e in a_s..6 {
+                for b_s in 0..6 {
+                    for b_e in b_s..6 {
+                        let a = iv(a_s, a_e);
+                        let b = iv(b_s, b_e);
+                        let rel = AllenRelation::classify(a, b);
+                        assert_eq!(rel.implies_overlap(), a.overlaps(b), "{a} vs {b}: {rel}");
+                        assert_eq!(rel.inverse(), AllenRelation::classify(b, a));
+                        assert_eq!(rel.inverse().inverse(), rel);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meets_does_not_wrap_at_end_of_time() {
+        let a = Interval::new(Chronon::new(0), Chronon::MAX).unwrap();
+        let b = Interval::at(Chronon::MIN);
+        // b is entirely before a, and a.end has no successor.
+        assert_eq!(AllenRelation::classify(b, a), AllenRelation::Before);
+    }
+
+    #[test]
+    fn allen_set_overlapping_has_nine_members() {
+        let s = AllenSet::overlapping();
+        assert_eq!(s.len(), 9);
+        assert!(!s.contains(AllenRelation::Before));
+        assert!(!s.contains(AllenRelation::Meets));
+        assert!(s.contains(AllenRelation::Equals));
+        assert!(s.contains(AllenRelation::Overlaps));
+    }
+
+    #[test]
+    fn allen_set_matches_is_overlap_for_overlapping_set() {
+        let s = AllenSet::overlapping();
+        for a_s in 0..5 {
+            for a_e in a_s..5 {
+                for b_s in 0..5 {
+                    for b_e in b_s..5 {
+                        let a = iv(a_s, a_e);
+                        let b = iv(b_s, b_e);
+                        assert_eq!(s.matches(a, b), a.overlaps(b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allen_set_composition() {
+        let s = AllenSet::only(AllenRelation::Before).with(AllenRelation::After);
+        assert_eq!(s.len(), 2);
+        assert!(s.matches(iv(0, 1), iv(5, 6)));
+        assert!(s.matches(iv(5, 6), iv(0, 1)));
+        assert!(!s.matches(iv(0, 5), iv(5, 6)));
+        assert!(AllenSet::empty().is_empty());
+        assert_eq!(AllenSet::all().len(), 13);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let mut names: Vec<String> =
+            AllenRelation::ALL.iter().map(|r| r.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+}

@@ -1,0 +1,209 @@
+//! The discrete time-line.
+//!
+//! Following Dyreson & Snodgrass ("Timestamp Semantics and Representation",
+//! Information Systems 18(3), 1993 — cited as \[DS93\] in the paper), the
+//! time-line is partitioned into minimal-duration intervals called
+//! **chronons**. A [`Chronon`] is an index into that partition; timestamps
+//! are inclusive intervals of chronons.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A single indivisible instant on the discrete valid-time line.
+///
+/// `Chronon` is a thin newtype over `i64` with saturating arithmetic at the
+/// representable extremes, so that "the beginning of time" and "the end of
+/// time" behave as absorbing boundaries instead of wrapping.
+///
+/// ```
+/// use vtjoin_core::Chronon;
+/// let c = Chronon::new(10);
+/// assert_eq!(c.succ(), Chronon::new(11));
+/// assert_eq!(Chronon::MAX.succ(), Chronon::MAX); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Chronon(i64);
+
+impl Chronon {
+    /// The earliest representable chronon ("beginning of time").
+    pub const MIN: Chronon = Chronon(i64::MIN);
+    /// The latest representable chronon ("end of time" / "forever").
+    pub const MAX: Chronon = Chronon(i64::MAX);
+    /// The zero chronon, the conventional origin for synthetic workloads.
+    pub const ZERO: Chronon = Chronon(0);
+
+    /// Wraps a raw time-line index.
+    #[inline]
+    pub const fn new(t: i64) -> Self {
+        Chronon(t)
+    }
+
+    /// The raw time-line index.
+    #[inline]
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The immediately following chronon, saturating at [`Chronon::MAX`].
+    #[inline]
+    pub const fn succ(self) -> Self {
+        Chronon(self.0.saturating_add(1))
+    }
+
+    /// The immediately preceding chronon, saturating at [`Chronon::MIN`].
+    #[inline]
+    pub const fn pred(self) -> Self {
+        Chronon(self.0.saturating_sub(1))
+    }
+
+    /// Saturating addition of a number of chronons.
+    #[inline]
+    pub const fn saturating_add(self, delta: i64) -> Self {
+        Chronon(self.0.saturating_add(delta))
+    }
+
+    /// Distance from `other` to `self` in chronons (may be negative).
+    ///
+    /// Computed in `i128` so that distances between extreme chronons do not
+    /// overflow.
+    #[inline]
+    pub fn distance_from(self, other: Chronon) -> i128 {
+        i128::from(self.0) - i128::from(other.0)
+    }
+
+    /// The smaller of two chronons.
+    #[inline]
+    pub fn min(self, other: Chronon) -> Chronon {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two chronons.
+    #[inline]
+    pub fn max(self, other: Chronon) -> Chronon {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Chronon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Chronon::MIN {
+            write!(f, "-∞")
+        } else if *self == Chronon::MAX {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<i64> for Chronon {
+    fn from(t: i64) -> Self {
+        Chronon(t)
+    }
+}
+
+impl From<Chronon> for i64 {
+    fn from(c: Chronon) -> Self {
+        c.0
+    }
+}
+
+impl Add<i64> for Chronon {
+    type Output = Chronon;
+    fn add(self, rhs: i64) -> Chronon {
+        Chronon(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<i64> for Chronon {
+    fn add_assign(&mut self, rhs: i64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<i64> for Chronon {
+    type Output = Chronon;
+    fn sub(self, rhs: i64) -> Chronon {
+        Chronon(self.0.saturating_sub(rhs))
+    }
+}
+
+impl SubAssign<i64> for Chronon {
+    fn sub_assign(&mut self, rhs: i64) {
+        self.0 = self.0.saturating_sub(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_the_time_line() {
+        assert!(Chronon::new(1) < Chronon::new(2));
+        assert!(Chronon::MIN < Chronon::new(0));
+        assert!(Chronon::new(0) < Chronon::MAX);
+    }
+
+    #[test]
+    fn succ_and_pred_are_inverses_away_from_the_boundary() {
+        let c = Chronon::new(42);
+        assert_eq!(c.succ().pred(), c);
+        assert_eq!(c.pred().succ(), c);
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_the_extremes() {
+        assert_eq!(Chronon::MAX.succ(), Chronon::MAX);
+        assert_eq!(Chronon::MIN.pred(), Chronon::MIN);
+        assert_eq!(Chronon::MAX + 100, Chronon::MAX);
+        assert_eq!(Chronon::MIN - 100, Chronon::MIN);
+        assert_eq!(Chronon::MAX.saturating_add(1), Chronon::MAX);
+    }
+
+    #[test]
+    fn distance_handles_extremes_without_overflow() {
+        let d = Chronon::MAX.distance_from(Chronon::MIN);
+        assert_eq!(d, i128::from(i64::MAX) - i128::from(i64::MIN));
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Chronon::new(3);
+        let b = Chronon::new(7);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(a), a);
+    }
+
+    #[test]
+    fn display_renders_infinities() {
+        assert_eq!(Chronon::new(5).to_string(), "5");
+        assert_eq!(Chronon::MIN.to_string(), "-∞");
+        assert_eq!(Chronon::MAX.to_string(), "∞");
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut c = Chronon::new(0);
+        c += 10;
+        assert_eq!(c, Chronon::new(10));
+        c -= 4;
+        assert_eq!(c, Chronon::new(6));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c: Chronon = 99i64.into();
+        let v: i64 = c.into();
+        assert_eq!(v, 99);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by the temporal data model and algebra.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TemporalError>;
+
+/// Errors raised by the temporal data model and the in-memory algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// An interval was constructed with `start > end`.
+    InvalidInterval {
+        /// Requested starting chronon.
+        start: i64,
+        /// Requested ending chronon (before `start`).
+        end: i64,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the tuple carries.
+        actual: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared type, rendered for display.
+        expected: &'static str,
+        /// Observed value kind, rendered for display.
+        actual: &'static str,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// Two schemas that must be identical differ.
+    SchemaMismatch(String),
+    /// A duplicate attribute name inside one schema.
+    DuplicateAttribute(String),
+    /// An operation that requires at least one shared attribute found none.
+    NoCommonAttributes,
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::InvalidInterval { start, end } => {
+                write!(f, "invalid interval: start {start} > end {end}")
+            }
+            TemporalError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            TemporalError::TypeMismatch { attr, expected, actual } => {
+                write!(f, "attribute `{attr}` expects {expected} but got {actual}")
+            }
+            TemporalError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            TemporalError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            TemporalError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute `{name}` in schema")
+            }
+            TemporalError::NoCommonAttributes => {
+                write!(f, "natural join requires at least one shared attribute")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TemporalError::InvalidInterval { start: 5, end: 2 };
+        assert!(e.to_string().contains("start 5 > end 2"));
+        let e = TemporalError::ArityMismatch { expected: 3, actual: 1 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+        let e = TemporalError::UnknownAttribute("dept".into());
+        assert!(e.to_string().contains("dept"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TemporalError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! Closed valid-time intervals `[Vs, Ve]` and their algebra.
+//!
+//! Timestamps in the paper's representational model are single intervals
+//! denoted by **inclusive** starting and ending chronons (§2). The central
+//! operation is `overlap(U, V)` — the maximal interval contained in both
+//! arguments — which the paper defines procedurally by intersecting chronon
+//! sets; [`Interval::overlap`] computes the identical result in O(1).
+
+use crate::chronon::Chronon;
+use crate::error::{Result, TemporalError};
+use std::fmt;
+
+/// A non-empty closed interval of chronons `[start, end]` with
+/// `start <= end` by construction.
+///
+/// The empty interval (the paper's ⊥) is represented externally as
+/// `Option<Interval>`: operations that can produce an empty result, such as
+/// [`Interval::overlap`], return `None` for it.
+///
+/// ```
+/// use vtjoin_core::{Chronon, Interval};
+/// let u = Interval::new(Chronon::new(1), Chronon::new(10)).unwrap();
+/// let v = Interval::new(Chronon::new(5), Chronon::new(20)).unwrap();
+/// let w = u.overlap(v).unwrap();
+/// assert_eq!(w, Interval::new(Chronon::new(5), Chronon::new(10)).unwrap());
+/// assert!(u.overlap(Interval::at(Chronon::new(30))).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: Chronon,
+    end: Chronon,
+}
+
+impl Interval {
+    /// The whole representable time-line `[-∞, ∞]`.
+    pub const ALL: Interval = Interval { start: Chronon::MIN, end: Chronon::MAX };
+
+    /// Creates `[start, end]`, failing if `start > end`.
+    #[inline]
+    pub fn new(start: Chronon, end: Chronon) -> Result<Interval> {
+        if start <= end {
+            Ok(Interval { start, end })
+        } else {
+            Err(TemporalError::InvalidInterval { start: start.value(), end: end.value() })
+        }
+    }
+
+    /// Creates `[start, end]` from raw chronon indices.
+    #[inline]
+    pub fn from_raw(start: i64, end: i64) -> Result<Interval> {
+        Interval::new(Chronon::new(start), Chronon::new(end))
+    }
+
+    /// The degenerate single-chronon interval `[c, c]`.
+    #[inline]
+    pub const fn at(c: Chronon) -> Interval {
+        Interval { start: c, end: c }
+    }
+
+    /// Inclusive starting chronon `Vs`.
+    #[inline]
+    pub const fn start(&self) -> Chronon {
+        self.start
+    }
+
+    /// Inclusive ending chronon `Ve`.
+    #[inline]
+    pub const fn end(&self) -> Chronon {
+        self.end
+    }
+
+    /// Number of chronons covered, computed in `u128` to survive `[-∞, ∞]`.
+    #[inline]
+    pub fn duration(&self) -> u128 {
+        (self.end.distance_from(self.start) + 1) as u128
+    }
+
+    /// Whether chronon `c` lies inside the interval.
+    #[inline]
+    pub fn contains_chronon(&self, c: Chronon) -> bool {
+        self.start <= c && c <= self.end
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains(&self, other: Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one chronon.
+    ///
+    /// This is the join condition of the valid-time natural join: tuples
+    /// match when `overlaps` holds for their timestamps.
+    #[inline]
+    pub fn overlaps(&self, other: Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The paper's `overlap(U, V)`: the maximal interval contained in both
+    /// `self` and `other`, or `None` (the paper's ⊥) if they are disjoint.
+    #[inline]
+    pub fn overlap(&self, other: Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start <= end {
+            Some(Interval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// The minimal interval containing both operands (the convex hull); the
+    /// operands need not overlap.
+    #[inline]
+    pub fn span(&self, other: Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether the two intervals are adjacent (meet without overlapping),
+    /// i.e. one starts exactly one chronon after the other ends.
+    #[inline]
+    pub fn adjacent(&self, other: Interval) -> bool {
+        (self.end != Chronon::MAX && self.end.succ() == other.start)
+            || (other.end != Chronon::MAX && other.end.succ() == self.start)
+    }
+
+    /// Whether the two intervals overlap **or** meet; coalescing merges
+    /// value-equivalent tuples whose intervals satisfy this.
+    #[inline]
+    pub fn mergeable(&self, other: Interval) -> bool {
+        self.overlaps(other) || self.adjacent(other)
+    }
+
+    /// Set difference `self − other` as zero, one, or two intervals,
+    /// returned in ascending order.
+    pub fn difference(&self, other: Interval) -> Vec<Interval> {
+        match self.overlap(other) {
+            None => vec![*self],
+            Some(common) => {
+                let mut out = Vec::with_capacity(2);
+                if self.start < common.start {
+                    out.push(Interval { start: self.start, end: common.start.pred() });
+                }
+                if common.end < self.end {
+                    out.push(Interval { start: common.end.succ(), end: self.end });
+                }
+                out
+            }
+        }
+    }
+
+    /// Splits the interval at chronon `c`: returns `([start, c], [c+1, end])`
+    /// where either side may be absent if `c` falls outside or at an edge.
+    pub fn split_after(&self, c: Chronon) -> (Option<Interval>, Option<Interval>) {
+        if c < self.start {
+            (None, Some(*self))
+        } else if c >= self.end {
+            (Some(*self), None)
+        } else {
+            (
+                Some(Interval { start: self.start, end: c }),
+                Some(Interval { start: c.succ(), end: self.end }),
+            )
+        }
+    }
+
+    /// Iterates over every chronon in the interval.
+    ///
+    /// Mirrors the chronon-by-chronon loop in the paper's procedural
+    /// definition of `overlap`; intended for tests and tiny intervals —
+    /// the runtime is proportional to [`Interval::duration`].
+    pub fn chronons(&self) -> impl Iterator<Item = Chronon> + '_ {
+        let mut cur = Some(self.start);
+        let end = self.end;
+        std::iter::from_fn(move || {
+            let c = cur?;
+            cur = if c < end { Some(c.succ()) } else { None };
+            Some(c)
+        })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn construction_enforces_order() {
+        assert!(Interval::from_raw(3, 3).is_ok());
+        assert!(matches!(
+            Interval::from_raw(4, 3),
+            Err(TemporalError::InvalidInterval { start: 4, end: 3 })
+        ));
+    }
+
+    #[test]
+    fn duration_counts_inclusive_chronons() {
+        assert_eq!(iv(0, 0).duration(), 1);
+        assert_eq!(iv(1, 10).duration(), 10);
+        assert_eq!(Interval::ALL.duration(), u64::MAX as u128 + 1);
+    }
+
+    #[test]
+    fn overlap_matches_procedural_definition() {
+        // The paper defines overlap(U, V) by intersecting chronon sets; on
+        // small intervals we can compare against exactly that.
+        let cases = [
+            ((1, 5), (3, 8)),
+            ((1, 5), (5, 9)),
+            ((1, 5), (6, 9)),
+            ((2, 2), (2, 2)),
+            ((0, 10), (3, 4)),
+            ((3, 4), (0, 10)),
+        ];
+        for ((a, b), (c, d)) in cases {
+            let u = iv(a, b);
+            let v = iv(c, d);
+            let brute: Vec<Chronon> =
+                u.chronons().filter(|t| v.contains_chronon(*t)).collect();
+            match u.overlap(v) {
+                None => assert!(brute.is_empty(), "{u} ∩ {v}"),
+                Some(w) => {
+                    assert_eq!(w.start(), *brute.first().unwrap(), "{u} ∩ {v}");
+                    assert_eq!(w.end(), *brute.last().unwrap(), "{u} ∩ {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_commutative_and_idempotent() {
+        let u = iv(1, 7);
+        let v = iv(4, 12);
+        assert_eq!(u.overlap(v), v.overlap(u));
+        assert_eq!(u.overlap(u), Some(u));
+    }
+
+    #[test]
+    fn overlaps_agrees_with_overlap() {
+        let u = iv(1, 5);
+        assert!(u.overlaps(iv(5, 9)));
+        assert!(!u.overlaps(iv(6, 9)));
+        assert_eq!(u.overlaps(iv(5, 9)), u.overlap(iv(5, 9)).is_some());
+        assert_eq!(u.overlaps(iv(6, 9)), u.overlap(iv(6, 9)).is_some());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = iv(0, 100);
+        assert!(outer.contains(iv(0, 100)));
+        assert!(outer.contains(iv(50, 60)));
+        assert!(!outer.contains(iv(50, 101)));
+        assert!(outer.contains_chronon(Chronon::new(0)));
+        assert!(!outer.contains_chronon(Chronon::new(101)));
+    }
+
+    #[test]
+    fn span_is_the_convex_hull() {
+        assert_eq!(iv(1, 3).span(iv(10, 12)), iv(1, 12));
+        assert_eq!(iv(10, 12).span(iv(1, 3)), iv(1, 12));
+        assert_eq!(iv(1, 5).span(iv(2, 3)), iv(1, 5));
+    }
+
+    #[test]
+    fn adjacency_and_mergeability() {
+        assert!(iv(1, 4).adjacent(iv(5, 9)));
+        assert!(iv(5, 9).adjacent(iv(1, 4)));
+        assert!(!iv(1, 4).adjacent(iv(6, 9)));
+        assert!(!iv(1, 4).adjacent(iv(4, 9))); // overlapping, not adjacent
+        assert!(iv(1, 4).mergeable(iv(5, 9)));
+        assert!(iv(1, 4).mergeable(iv(4, 9)));
+        assert!(!iv(1, 4).mergeable(iv(6, 9)));
+    }
+
+    #[test]
+    fn adjacency_saturation_at_end_of_time() {
+        // [x, ∞] has no successor; adjacency must not wrap.
+        let inf = Interval::new(Chronon::new(5), Chronon::MAX).unwrap();
+        assert!(!inf.adjacent(Interval::at(Chronon::MIN)));
+    }
+
+    #[test]
+    fn difference_produces_ordered_remainders() {
+        assert_eq!(iv(1, 10).difference(iv(4, 6)), vec![iv(1, 3), iv(7, 10)]);
+        assert_eq!(iv(1, 10).difference(iv(1, 6)), vec![iv(7, 10)]);
+        assert_eq!(iv(1, 10).difference(iv(6, 10)), vec![iv(1, 5)]);
+        assert_eq!(iv(1, 10).difference(iv(0, 11)), Vec::<Interval>::new());
+        assert_eq!(iv(1, 10).difference(iv(20, 30)), vec![iv(1, 10)]);
+    }
+
+    #[test]
+    fn split_after_partitions_the_interval() {
+        let u = iv(1, 10);
+        assert_eq!(u.split_after(Chronon::new(5)), (Some(iv(1, 5)), Some(iv(6, 10))));
+        assert_eq!(u.split_after(Chronon::new(0)), (None, Some(u)));
+        assert_eq!(u.split_after(Chronon::new(10)), (Some(u), None));
+        assert_eq!(u.split_after(Chronon::new(99)), (Some(u), None));
+    }
+
+    #[test]
+    fn chronon_iterator_is_exact() {
+        let u = iv(3, 6);
+        let got: Vec<i64> = u.chronons().map(|c| c.value()).collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+        assert_eq!(Interval::at(Chronon::new(9)).chronons().count(), 1);
+    }
+
+    #[test]
+    fn display_renders_bounds() {
+        assert_eq!(iv(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::ALL.to_string(), "[-∞, ∞]");
+    }
+}

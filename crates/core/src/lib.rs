@@ -1,0 +1,51 @@
+//! # vtjoin-core — the valid-time data model and temporal algebra
+//!
+//! This crate implements the data model of Soo, Snodgrass & Jensen,
+//! *Efficient Evaluation of the Valid-Time Natural Join* (ICDE 1994), §2:
+//! a 1NF **tuple-timestamped** representational model in which every tuple
+//! carries a single closed interval `[Vs, Ve]` of [`Chronon`]s denoting the
+//! time during which the fact it records was true in the real world.
+//!
+//! On top of the model it provides an in-memory temporal relational algebra,
+//! most importantly the **valid-time natural join** `r ⋈ᵛ s` — two tuples
+//! join iff they agree on the shared explicit attributes *and* their
+//! valid-time intervals overlap; the result tuple is timestamped with the
+//! maximal overlap. The in-memory implementation in [`algebra::join`] is the
+//! correctness oracle against which every disk-based algorithm in the
+//! `vtjoin-join` crate is validated.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`chronon`] | the discrete time-line |
+//! | [`interval`] | closed intervals, the paper's `overlap`, interval algebra |
+//! | [`allen`] | Allen's 13 interval relations |
+//! | [`period`] | temporal elements: canonical sets of disjoint intervals |
+//! | [`value`], [`schema`], [`mod@tuple`], [`relation`] | the 1NF model |
+//! | [`algebra`] | selection, projection, coalescing, timeslice, joins, aggregation |
+//! | [`error`] | the crate error type |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algebra;
+pub mod allen;
+pub mod chronon;
+pub mod error;
+pub mod interval;
+pub mod period;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use allen::AllenRelation;
+pub use chronon::Chronon;
+pub use error::{Result, TemporalError};
+pub use interval::Interval;
+pub use period::Period;
+pub use relation::Relation;
+pub use schema::{AttrDef, AttrType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

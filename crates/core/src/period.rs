@@ -1,0 +1,358 @@
+//! Temporal elements: canonical finite unions of intervals.
+//!
+//! A [`Period`] is a set of chronons represented as the unique minimal
+//! sequence of disjoint, non-adjacent, ascending intervals. Periods are the
+//! natural codomain of temporal semijoin/antijoin computations: the time
+//! during which *some* matching tuple exists is in general not a single
+//! interval.
+
+use crate::chronon::Chronon;
+use crate::interval::Interval;
+use std::fmt;
+
+/// A canonical set of chronons: disjoint, non-adjacent, ascending maximal
+/// intervals.
+///
+/// ```
+/// use vtjoin_core::{Interval, Period};
+/// let mut p = Period::new();
+/// p.insert(Interval::from_raw(1, 3).unwrap());
+/// p.insert(Interval::from_raw(8, 9).unwrap());
+/// p.insert(Interval::from_raw(4, 5).unwrap()); // adjacent to [1,3] — merges
+/// assert_eq!(p.intervals().len(), 2);
+/// assert_eq!(p.intervals()[0], Interval::from_raw(1, 5).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct Period {
+    /// Invariant: ascending, pairwise disjoint and non-adjacent.
+    intervals: Vec<Interval>,
+}
+
+impl Period {
+    /// The empty period.
+    pub fn new() -> Period {
+        Period { intervals: Vec::new() }
+    }
+
+    /// A period consisting of one interval.
+    pub fn from_interval(iv: Interval) -> Period {
+        Period { intervals: vec![iv] }
+    }
+
+    /// Builds a canonical period from arbitrary (unordered, overlapping)
+    /// intervals.
+    pub fn from_intervals(ivs: impl IntoIterator<Item = Interval>) -> Period {
+        let mut p = Period::new();
+        for iv in ivs {
+            p.insert(iv);
+        }
+        p
+    }
+
+    /// The canonical interval list.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Whether the period contains no chronons.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total number of chronons covered.
+    pub fn duration(&self) -> u128 {
+        self.intervals.iter().map(Interval::duration).sum()
+    }
+
+    /// Whether chronon `c` is covered.
+    pub fn contains_chronon(&self, c: Chronon) -> bool {
+        // Binary search on start; candidate is the last interval starting
+        // at or before c.
+        match self.intervals.binary_search_by(|iv| iv.start().cmp(&c)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.intervals[i - 1].contains_chronon(c),
+        }
+    }
+
+    /// Inserts an interval, merging with overlapping or adjacent members to
+    /// restore canonicity. O(n) worst case, O(log n) when nothing merges.
+    pub fn insert(&mut self, iv: Interval) {
+        // Find first existing interval that could merge with iv.
+        let mut lo = self
+            .intervals
+            .partition_point(|e| e.end() != Chronon::MAX && e.end().succ() < iv.start());
+        // Collect the run of mergeable intervals starting at lo.
+        let mut merged = iv;
+        let mut hi = lo;
+        while hi < self.intervals.len() && self.intervals[hi].mergeable(merged) {
+            merged = merged.span(self.intervals[hi]);
+            hi += 1;
+        }
+        if lo == hi {
+            self.intervals.insert(lo, merged);
+        } else {
+            self.intervals[lo] = merged;
+            self.intervals.drain(lo + 1..hi);
+        }
+        // lo may now be mergeable with its left neighbour when iv extended
+        // leftwards past it; normalize.
+        if lo > 0 && self.intervals[lo - 1].mergeable(self.intervals[lo]) {
+            let m = self.intervals[lo - 1].span(self.intervals[lo]);
+            self.intervals[lo - 1] = m;
+            self.intervals.remove(lo);
+            lo -= 1;
+        }
+        debug_assert!(self.check_canonical(), "period lost canonicity at {lo}");
+    }
+
+    /// Union of two periods.
+    #[must_use]
+    pub fn union(&self, other: &Period) -> Period {
+        // Merge two sorted lists then canonicalize in one pass.
+        let mut all: Vec<Interval> = Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() || j < other.intervals.len() {
+            let take_left = match (self.intervals.get(i), other.intervals.get(j)) {
+                (Some(a), Some(b)) => a.start() <= b.start(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_left {
+                all.push(self.intervals[i]);
+                i += 1;
+            } else {
+                all.push(other.intervals[j]);
+                j += 1;
+            }
+        }
+        let mut out: Vec<Interval> = Vec::with_capacity(all.len());
+        for iv in all {
+            match out.last_mut() {
+                Some(last) if last.mergeable(iv) => *last = last.span(iv),
+                _ => out.push(iv),
+            }
+        }
+        Period { intervals: out }
+    }
+
+    /// Intersection of two periods.
+    #[must_use]
+    pub fn intersect(&self, other: &Period) -> Period {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = self.intervals[i];
+            let b = other.intervals[j];
+            if let Some(c) = a.overlap(b) {
+                out.push(c);
+            }
+            if a.end() <= b.end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Period { intervals: out }
+    }
+
+    /// Set difference `self − other`.
+    #[must_use]
+    pub fn difference(&self, other: &Period) -> Period {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in &self.intervals {
+            let mut rest = Some(a);
+            // Skip other-intervals entirely before a.
+            while j < other.intervals.len() && other.intervals[j].end() < a.start() {
+                j += 1;
+            }
+            let mut k = j;
+            while let (Some(cur), true) = (rest, k < other.intervals.len()) {
+                let b = other.intervals[k];
+                if b.start() > cur.end() {
+                    break;
+                }
+                let parts = cur.difference(b);
+                match parts.len() {
+                    0 => rest = None,
+                    1 => {
+                        if parts[0].end() < b.start() {
+                            // Entire remainder precedes b: emit and stop.
+                            out.push(parts[0]);
+                            rest = None;
+                        } else {
+                            rest = Some(parts[0]);
+                            k += 1;
+                        }
+                    }
+                    2 => {
+                        out.push(parts[0]);
+                        rest = Some(parts[1]);
+                        k += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if let Some(cur) = rest {
+                out.push(cur);
+            }
+        }
+        Period { intervals: out }
+    }
+
+    /// Restricts the period to `window`.
+    #[must_use]
+    pub fn clip(&self, window: Interval) -> Period {
+        Period {
+            intervals: self
+                .intervals
+                .iter()
+                .filter_map(|iv| iv.overlap(window))
+                .collect(),
+        }
+    }
+
+    fn check_canonical(&self) -> bool {
+        self.intervals.windows(2).all(|w| {
+            w[0].end() < w[1].start() && !w[0].mergeable(w[1])
+        })
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Interval> for Period {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        Period::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn insert_merges_overlapping_and_adjacent() {
+        let p = Period::from_intervals([iv(1, 3), iv(4, 6), iv(10, 12), iv(5, 8)]);
+        assert_eq!(p.intervals(), &[iv(1, 8), iv(10, 12)]);
+    }
+
+    #[test]
+    fn insert_out_of_order_and_bridging() {
+        // A bridging interval that connects two existing islands.
+        let p = Period::from_intervals([iv(1, 2), iv(8, 9), iv(3, 7)]);
+        assert_eq!(p.intervals(), &[iv(1, 9)]);
+    }
+
+    #[test]
+    fn insert_left_extension_merges_left_neighbour() {
+        let mut p = Period::from_intervals([iv(0, 4), iv(10, 14)]);
+        p.insert(iv(5, 9));
+        assert_eq!(p.intervals(), &[iv(0, 14)]);
+    }
+
+    #[test]
+    fn duration_and_membership() {
+        let p = Period::from_intervals([iv(1, 3), iv(7, 7)]);
+        assert_eq!(p.duration(), 4);
+        assert!(p.contains_chronon(Chronon::new(2)));
+        assert!(p.contains_chronon(Chronon::new(7)));
+        assert!(!p.contains_chronon(Chronon::new(5)));
+        assert!(!p.contains_chronon(Chronon::new(0)));
+        assert!(!p.contains_chronon(Chronon::new(8)));
+    }
+
+    #[test]
+    fn union_canonicalizes() {
+        let a = Period::from_intervals([iv(1, 3), iv(10, 12)]);
+        let b = Period::from_intervals([iv(4, 9), iv(20, 21)]);
+        assert_eq!(a.union(&b).intervals(), &[iv(1, 12), iv(20, 21)]);
+        assert_eq!(a.union(&Period::new()), a);
+        assert_eq!(Period::new().union(&b), b);
+    }
+
+    #[test]
+    fn intersect_pairs() {
+        let a = Period::from_intervals([iv(1, 5), iv(10, 15)]);
+        let b = Period::from_intervals([iv(4, 11)]);
+        assert_eq!(a.intersect(&b).intervals(), &[iv(4, 5), iv(10, 11)]);
+        assert!(a.intersect(&Period::new()).is_empty());
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = Period::from_intervals([iv(0, 20)]);
+        let b = Period::from_intervals([iv(3, 5), iv(10, 12)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(0, 2), iv(6, 9), iv(13, 20)]);
+    }
+
+    #[test]
+    fn difference_spanning_subtrahend() {
+        let a = Period::from_intervals([iv(2, 4), iv(8, 10)]);
+        let b = Period::from_intervals([iv(0, 100)]);
+        assert!(a.difference(&b).is_empty());
+        assert_eq!(a.difference(&Period::new()), a);
+    }
+
+    #[test]
+    fn difference_multiple_sources_one_subtrahend() {
+        let a = Period::from_intervals([iv(0, 3), iv(5, 9), iv(11, 13)]);
+        let b = Period::from_intervals([iv(2, 12)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(0, 1), iv(13, 13)]);
+    }
+
+    #[test]
+    fn set_laws_on_small_universe() {
+        // Verify union/intersect/difference against brute-force chronon
+        // sets over a small universe.
+        let universe = 0..16i64;
+        let mk = |ivs: &[(i64, i64)]| Period::from_intervals(ivs.iter().map(|&(s, e)| iv(s, e)));
+        let cases = [
+            (mk(&[(0, 3), (8, 11)]), mk(&[(2, 9)])),
+            (mk(&[(1, 1), (3, 3), (5, 5)]), mk(&[(0, 6)])),
+            (mk(&[(0, 15)]), mk(&[(4, 4), (6, 6)])),
+            (Period::new(), mk(&[(2, 3)])),
+        ];
+        for (a, b) in &cases {
+            for t in universe.clone() {
+                let c = Chronon::new(t);
+                let in_a = a.contains_chronon(c);
+                let in_b = b.contains_chronon(c);
+                assert_eq!(a.union(b).contains_chronon(c), in_a || in_b, "union at {t}");
+                assert_eq!(a.intersect(b).contains_chronon(c), in_a && in_b, "intersect at {t}");
+                assert_eq!(a.difference(b).contains_chronon(c), in_a && !in_b, "difference at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn clip_restricts_to_window() {
+        let p = Period::from_intervals([iv(0, 5), iv(10, 15)]);
+        assert_eq!(p.clip(iv(3, 12)).intervals(), &[iv(3, 5), iv(10, 12)]);
+        assert!(p.clip(iv(6, 9)).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Period::from_intervals([iv(1, 2), iv(5, 6)]);
+        assert_eq!(p.to_string(), "{[1, 2], [5, 6]}");
+        assert_eq!(Period::new().to_string(), "{}");
+    }
+}

@@ -1,0 +1,242 @@
+//! In-memory valid-time relation instances.
+
+use crate::error::Result;
+use crate::interval::Interval;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An in-memory instance of a valid-time relation: a shared [`Schema`] plus
+/// a bag of [`Tuple`]s.
+///
+/// Bag (multiset) semantics throughout: the representational model permits
+/// duplicate tuples and the join algorithms must preserve multiplicities, so
+/// equality comparisons in tests are multiset comparisons
+/// (see [`Relation::multiset_eq`]).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Relation {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Builds a relation, validating every tuple against the schema.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Relation> {
+        for t in &tuples {
+            schema.check_values(t.values())?;
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Builds a relation without per-tuple validation (for bulk paths whose
+    /// inputs are constructed to be valid, e.g. workload generators).
+    pub fn from_parts_unchecked(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Relation {
+        Relation { schema, tuples }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple after validating it.
+    pub fn push(&mut self, t: Tuple) -> Result<()> {
+        self.schema.check_values(t.values())?;
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Appends a tuple without validation.
+    pub fn push_unchecked(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Consumes the relation into its tuple vector.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// The **lifespan** of the relation: the convex hull of all tuple
+    /// intervals, or `None` when empty.
+    pub fn lifespan(&self) -> Option<Interval> {
+        self.tuples
+            .iter()
+            .map(Tuple::valid)
+            .reduce(|a, b| a.span(b))
+    }
+
+    /// Multiset equality — the correctness criterion for comparing the
+    /// output of two join algorithms, which may emit result tuples in any
+    /// order.
+    pub fn multiset_eq(&self, other: &Relation) -> bool {
+        if self.schema != other.schema || self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        let mut counts: HashMap<&Tuple, i64> = HashMap::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        for t in &other.tuples {
+            match counts.get_mut(t) {
+                Some(c) => *c -= 1,
+                None => return false,
+            }
+        }
+        counts.values().all(|&c| c == 0)
+    }
+
+    /// A human-readable multiset difference report (for test diagnostics):
+    /// tuples with non-zero count difference, `self` counted positively.
+    pub fn multiset_diff(&self, other: &Relation) -> Vec<(Tuple, i64)> {
+        let mut counts: HashMap<Tuple, i64> = HashMap::new();
+        for t in &self.tuples {
+            *counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        for t in &other.tuples {
+            *counts.entry(t.clone()).or_insert(0) -= 1;
+        }
+        let mut out: Vec<(Tuple, i64)> =
+            counts.into_iter().filter(|(_, c)| *c != 0).collect();
+        out.sort_by(|a, b| a.0.values().cmp(b.0.values()).then(a.0.valid().cmp(&b.0.valid())));
+        out
+    }
+
+    /// The non-temporal **timeslice** at chronon `c`: the snapshot relation
+    /// of all tuples valid at `c`, timestamps collapsed to `[c, c]`.
+    ///
+    /// Used by the snapshot-commutativity property tests:
+    /// `τ_c(r ⋈ᵛ s) = τ_c(r) ⋈ᵛ τ_c(s)`.
+    pub fn timeslice(&self, c: crate::Chronon) -> Relation {
+        let slice = Interval::at(c);
+        Relation {
+            schema: Arc::clone(&self.schema),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.valid().contains_chronon(c))
+                .map(|t| t.with_valid(slice))
+                .collect(),
+        }
+    }
+
+    /// Snapshot (timestamp-stripped) view at chronon `c`, as bare value rows.
+    pub fn snapshot(&self, c: crate::Chronon) -> Vec<Vec<Value>> {
+        self.tuples
+            .iter()
+            .filter(|t| t.valid().contains_chronon(c))
+            .map(|t| t.values().to_vec())
+            .collect()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, AttrType};
+    use crate::Chronon;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![AttrDef::new("k", AttrType::Int)])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn t(k: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k)], Interval::from_raw(s, e).unwrap())
+    }
+
+    #[test]
+    fn construction_validates() {
+        let s = schema();
+        assert!(Relation::new(Arc::clone(&s), vec![t(1, 0, 5)]).is_ok());
+        let bad = Tuple::new(vec![Value::Str("x".into())], Interval::from_raw(0, 1).unwrap());
+        assert!(Relation::new(s, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut r = Relation::empty(schema());
+        assert!(r.push(t(1, 0, 1)).is_ok());
+        let bad = Tuple::new(vec![Value::Bool(true)], Interval::from_raw(0, 1).unwrap());
+        assert!(r.push(bad).is_err());
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn lifespan_is_convex_hull() {
+        let r = Relation::new(schema(), vec![t(1, 5, 9), t(2, 0, 2), t(3, 20, 21)]).unwrap();
+        assert_eq!(r.lifespan(), Some(Interval::from_raw(0, 21).unwrap()));
+        assert_eq!(Relation::empty(schema()).lifespan(), None);
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order_but_not_multiplicity() {
+        let a = Relation::new(schema(), vec![t(1, 0, 1), t(2, 0, 1), t(1, 0, 1)]).unwrap();
+        let b = Relation::new(schema(), vec![t(2, 0, 1), t(1, 0, 1), t(1, 0, 1)]).unwrap();
+        let c = Relation::new(schema(), vec![t(1, 0, 1), t(2, 0, 1), t(2, 0, 1)]).unwrap();
+        assert!(a.multiset_eq(&b));
+        assert!(!a.multiset_eq(&c));
+        assert_eq!(a.multiset_diff(&b), vec![]);
+        let d = a.multiset_diff(&c);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn multiset_eq_requires_same_schema() {
+        let other = Schema::new(vec![AttrDef::new("z", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let a = Relation::new(schema(), vec![t(1, 0, 1)]).unwrap();
+        let b = Relation::from_parts_unchecked(other, vec![t(1, 0, 1)]);
+        assert!(!a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn timeslice_selects_and_collapses() {
+        let r = Relation::new(schema(), vec![t(1, 0, 10), t(2, 5, 5), t(3, 7, 9)]).unwrap();
+        let s = r.timeslice(Chronon::new(5));
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|t| t.valid() == Interval::at(Chronon::new(5))));
+        let snap = r.snapshot(Chronon::new(8));
+        assert_eq!(snap.len(), 2); // tuples 1 and 3
+    }
+}

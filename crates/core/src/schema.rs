@@ -1,0 +1,309 @@
+//! Relation schemas for the tuple-timestamped model.
+//!
+//! Following §2 of the paper, a valid-time relation schema is
+//! `R = (A₁, …, Aₙ, B₁, …, Bₖ | Vs, Ve)`: explicit attributes plus the two
+//! implicit valid-time attributes. The schema type records only the explicit
+//! attributes; every tuple carries its `[Vs, Ve]` interval separately.
+
+use crate::error::{Result, TemporalError};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared type of an explicit attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string (variable length).
+    Str,
+    /// Opaque padding bytes of a fixed declared width.
+    Bytes(usize),
+}
+
+impl AttrType {
+    /// Whether `v` inhabits this type. `Null` inhabits every type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Bool, Value::Bool(_))
+                | (AttrType::Str, Value::Str(_))
+                | (AttrType::Bytes(_), Value::Bytes(_))
+        )
+    }
+
+    /// Display name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Bool => "bool",
+            AttrType::Str => "str",
+            AttrType::Bytes(_) => "bytes",
+        }
+    }
+}
+
+/// One explicit attribute: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrDef {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl AttrDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> AttrDef {
+        AttrDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of uniquely named explicit attributes.
+///
+/// Schemas are immutable and cheaply shareable (wrap in [`Arc`] via
+/// [`Schema::into_shared`]).
+///
+/// ```
+/// use vtjoin_core::{AttrDef, AttrType, Schema};
+/// let s = Schema::new(vec![
+///     AttrDef::new("emp", AttrType::Int),
+///     AttrDef::new("dept", AttrType::Str),
+/// ]).unwrap();
+/// assert_eq!(s.index_of("dept"), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<AttrDef>) -> Result<Schema> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(TemporalError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// The attribute list.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Number of explicit attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute definition at `idx`.
+    pub fn attr(&self, idx: usize) -> &AttrDef {
+        &self.attrs[idx]
+    }
+
+    /// Wraps the schema in an [`Arc`] for cheap sharing across relations.
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+
+    /// Validates that `values` fits this schema (arity and types).
+    pub fn check_values(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.attrs.len() {
+            return Err(TemporalError::ArityMismatch {
+                expected: self.attrs.len(),
+                actual: values.len(),
+            });
+        }
+        for (a, v) in self.attrs.iter().zip(values) {
+            if !a.ty.admits(v) {
+                return Err(TemporalError::TypeMismatch {
+                    attr: a.name.clone(),
+                    expected: a.ty.name(),
+                    actual: v.kind(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of the attributes shared (by name) with `other`, and checks
+    /// the shared attributes agree on type. These are the explicit join
+    /// attributes `A₁…Aₙ` of the valid-time natural join.
+    ///
+    /// Returns `(self_indices, other_indices)` in self-order.
+    pub fn join_attributes(&self, other: &Schema) -> Result<(Vec<usize>, Vec<usize>)> {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, a) in self.attrs.iter().enumerate() {
+            if let Some(j) = other.index_of(&a.name) {
+                if other.attrs[j].ty != a.ty {
+                    return Err(TemporalError::TypeMismatch {
+                        attr: a.name.clone(),
+                        expected: a.ty.name(),
+                        actual: other.attrs[j].ty.name(),
+                    });
+                }
+                left.push(i);
+                right.push(j);
+            }
+        }
+        Ok((left, right))
+    }
+
+    /// The schema of `self ⋈ᵛ other`: all of `self`'s attributes followed by
+    /// `other`'s non-shared attributes — matching the paper's
+    /// `z[A], z[B], z[C]` result layout.
+    pub fn natural_join_schema(&self, other: &Schema) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if self.index_of(&a.name).is_none() {
+                attrs.push(a.clone());
+            }
+        }
+        Schema::new(attrs)
+    }
+
+    /// Projection schema for the named attributes, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for &n in names {
+            let idx = self
+                .index_of(n)
+                .ok_or_else(|| TemporalError::UnknownAttribute(n.to_owned()))?;
+            attrs.push(self.attrs[idx].clone());
+        }
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty.name())?;
+        }
+        write!(f, " | Vs, Ve)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::new("emp", AttrType::Int),
+            AttrDef::new("dept", AttrType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn mgr_schema() -> Schema {
+        Schema::new(vec![
+            AttrDef::new("dept", AttrType::Str),
+            AttrDef::new("mgr", AttrType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            AttrDef::new("x", AttrType::Int),
+            AttrDef::new("x", AttrType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, TemporalError::DuplicateAttribute("x".into()));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = emp_schema();
+        assert_eq!(s.index_of("emp"), Some(0));
+        assert_eq!(s.index_of("dept"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr(0).name, "emp");
+    }
+
+    #[test]
+    fn check_values_enforces_arity_and_types() {
+        let s = emp_schema();
+        assert!(s.check_values(&[Value::Int(1), Value::Str("a".into())]).is_ok());
+        assert!(s.check_values(&[Value::Null, Value::Null]).is_ok());
+        assert!(matches!(
+            s.check_values(&[Value::Int(1)]),
+            Err(TemporalError::ArityMismatch { expected: 2, actual: 1 })
+        ));
+        assert!(matches!(
+            s.check_values(&[Value::Str("a".into()), Value::Str("b".into())]),
+            Err(TemporalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_attributes_are_shared_names() {
+        let (l, r) = emp_schema().join_attributes(&mgr_schema()).unwrap();
+        assert_eq!(l, vec![1]); // dept in emp schema
+        assert_eq!(r, vec![0]); // dept in mgr schema
+    }
+
+    #[test]
+    fn join_attributes_type_conflict_is_an_error() {
+        let other = Schema::new(vec![AttrDef::new("dept", AttrType::Int)]).unwrap();
+        assert!(matches!(
+            emp_schema().join_attributes(&other),
+            Err(TemporalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn natural_join_schema_layout() {
+        let j = emp_schema().natural_join_schema(&mgr_schema()).unwrap();
+        let names: Vec<&str> = j.attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["emp", "dept", "mgr"]);
+    }
+
+    #[test]
+    fn disjoint_schemas_yield_no_join_attributes() {
+        let a = Schema::new(vec![AttrDef::new("x", AttrType::Int)]).unwrap();
+        let b = Schema::new(vec![AttrDef::new("y", AttrType::Int)]).unwrap();
+        let (l, r) = a.join_attributes(&b).unwrap();
+        assert!(l.is_empty() && r.is_empty());
+    }
+
+    #[test]
+    fn projection() {
+        let s = emp_schema();
+        let p = s.project(&["dept"]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.attr(0).name, "dept");
+        assert!(s.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn bytes_type_admits_bytes() {
+        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 8])));
+        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 3]))); // width enforced at storage layer
+        assert!(!AttrType::Bytes(8).admits(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_mentions_valid_time() {
+        assert!(emp_schema().to_string().contains("Vs, Ve"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Timestamped tuples.
+
+use crate::interval::Interval;
+use crate::value::Value;
+use std::fmt;
+
+/// A 1NF tuple-timestamped fact: explicit attribute values plus one
+/// valid-time interval `[Vs, Ve]`.
+///
+/// ```
+/// use vtjoin_core::{Interval, Tuple, Value};
+/// let t = Tuple::new(
+///     vec![Value::Int(7), Value::Str("shipping".into())],
+///     Interval::from_raw(10, 20).unwrap(),
+/// );
+/// assert_eq!(t.valid().start().value(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+    valid: Interval,
+}
+
+impl Tuple {
+    /// Creates a tuple from explicit values and a valid-time interval.
+    pub fn new(values: Vec<Value>, valid: Interval) -> Tuple {
+        Tuple { values, valid }
+    }
+
+    /// The explicit attribute values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value at attribute index `idx`.
+    #[inline]
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The valid-time interval `[Vs, Ve]`.
+    #[inline]
+    pub fn valid(&self) -> Interval {
+        self.valid
+    }
+
+    /// Replaces the valid-time interval, keeping the explicit values.
+    #[must_use]
+    pub fn with_valid(&self, valid: Interval) -> Tuple {
+        Tuple { values: self.values.clone(), valid }
+    }
+
+    /// Consumes the tuple into its parts.
+    pub fn into_parts(self) -> (Vec<Value>, Interval) {
+        (self.values, self.valid)
+    }
+
+    /// Whether two tuples are **value-equivalent**: identical on every
+    /// explicit attribute, ignoring timestamps. Coalescing merges
+    /// value-equivalent tuples.
+    pub fn value_equivalent(&self, other: &Tuple) -> bool {
+        self.values == other.values
+    }
+
+    /// Projects the given attribute indices as a key for grouping/joining.
+    pub fn key_at(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// The tuple's lifespan in chronons.
+    pub fn lifespan(&self) -> u128 {
+        self.valid.duration()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, " | {}⟩", self.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Bool(true)], iv(5, 9));
+        assert_eq!(t.values().len(), 2);
+        assert_eq!(t.value(0), &Value::Int(1));
+        assert_eq!(t.valid(), iv(5, 9));
+        assert_eq!(t.lifespan(), 5);
+    }
+
+    #[test]
+    fn with_valid_keeps_values() {
+        let t = Tuple::new(vec![Value::Int(1)], iv(5, 9));
+        let u = t.with_valid(iv(0, 1));
+        assert!(t.value_equivalent(&u));
+        assert_eq!(u.valid(), iv(0, 1));
+    }
+
+    #[test]
+    fn value_equivalence_ignores_time() {
+        let a = Tuple::new(vec![Value::Int(1)], iv(0, 1));
+        let b = Tuple::new(vec![Value::Int(1)], iv(50, 90));
+        let c = Tuple::new(vec![Value::Int(2)], iv(0, 1));
+        assert!(a.value_equivalent(&b));
+        assert!(!a.value_equivalent(&c));
+    }
+
+    #[test]
+    fn key_extraction() {
+        let t = Tuple::new(
+            vec![Value::Int(1), Value::Str("x".into()), Value::Int(3)],
+            iv(0, 0),
+        );
+        assert_eq!(t.key_at(&[2, 0]), vec![Value::Int(3), Value::Int(1)]);
+        assert_eq!(t.key_at(&[]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let t = Tuple::new(vec![Value::Int(9)], iv(1, 2));
+        let (vals, valid) = t.clone().into_parts();
+        assert_eq!(Tuple::new(vals, valid), t);
+    }
+
+    #[test]
+    fn display_includes_interval() {
+        let t = Tuple::new(vec![Value::Int(1)], iv(3, 4));
+        assert_eq!(t.to_string(), "⟨1 | [3, 4]⟩");
+    }
+}

@@ -1,0 +1,359 @@
+//! Property-based tests for the temporal data model and algebra.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vtjoin_core::algebra::{
+    antijoin, coalesce, count_over_time, difference, extremum_over_time, full_outerjoin,
+    intersection, natural_join, semijoin, union, Extremum,
+};
+use vtjoin_core::algebra::coalesce::is_coalesced;
+use vtjoin_core::{
+    AllenRelation, AttrDef, AttrType, Chronon, Interval, Period, Relation, Schema, Tuple,
+    Value,
+};
+
+const T_MAX: i64 = 60;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0..T_MAX, 0..T_MAX).prop_map(|(a, b)| {
+        let (s, e) = if a <= b { (a, b) } else { (b, a) };
+        Interval::from_raw(s, e).unwrap()
+    })
+}
+
+fn arb_period() -> impl Strategy<Value = Period> {
+    proptest::collection::vec(arb_interval(), 0..8).prop_map(Period::from_intervals)
+}
+
+fn left_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Int),
+        AttrDef::new("b", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+fn right_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Int),
+        AttrDef::new("c", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+fn arb_tuple(max_key: i64) -> impl Strategy<Value = (i64, i64, Interval)> {
+    (0..max_key, 0..1000i64, arb_interval())
+}
+
+fn arb_left(max_key: i64, n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(max_key), 0..n).prop_map(|ts| {
+        Relation::from_parts_unchecked(
+            left_schema(),
+            ts.into_iter()
+                .map(|(k, b, iv)| Tuple::new(vec![Value::Int(k), Value::Int(b)], iv))
+                .collect(),
+        )
+    })
+}
+
+fn arb_right(max_key: i64, n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(max_key), 0..n).prop_map(|ts| {
+        Relation::from_parts_unchecked(
+            right_schema(),
+            ts.into_iter()
+                .map(|(k, c, iv)| Tuple::new(vec![Value::Int(k), Value::Int(c)], iv))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    // ---- interval laws ----------------------------------------------------
+
+    #[test]
+    fn overlap_commutes(a in arb_interval(), b in arb_interval()) {
+        prop_assert_eq!(a.overlap(b), b.overlap(a));
+    }
+
+    #[test]
+    fn overlap_is_contained_in_both(a in arb_interval(), b in arb_interval()) {
+        if let Some(c) = a.overlap(b) {
+            prop_assert!(a.contains(c));
+            prop_assert!(b.contains(c));
+            // Maximality: extending either endpoint leaves one operand.
+            if c.start() > Chronon::MIN {
+                let ext = Interval::new(c.start().pred(), c.end()).unwrap();
+                prop_assert!(!(a.contains(ext) && b.contains(ext)));
+            }
+            if c.end() < Chronon::MAX {
+                let ext = Interval::new(c.start(), c.end().succ()).unwrap();
+                prop_assert!(!(a.contains(ext) && b.contains(ext)));
+            }
+        } else {
+            prop_assert!(!a.overlaps(b));
+        }
+    }
+
+    #[test]
+    fn overlap_associates(a in arb_interval(), b in arb_interval(), c in arb_interval()) {
+        let lhs = a.overlap(b).and_then(|x| x.overlap(c));
+        let rhs = b.overlap(c).and_then(|x| a.overlap(x));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn difference_partitions(a in arb_interval(), b in arb_interval()) {
+        // a = (a − b) ∪ (a ∩ b), disjointly.
+        let mut parts: Vec<Interval> = a.difference(b);
+        if let Some(c) = a.overlap(b) {
+            parts.push(c);
+        }
+        let total: u128 = parts.iter().map(Interval::duration).sum();
+        prop_assert_eq!(total, a.duration());
+        for i in 0..parts.len() {
+            for j in 0..i {
+                prop_assert!(!parts[i].overlaps(parts[j]));
+            }
+        }
+    }
+
+    // ---- Allen relations ---------------------------------------------------
+
+    #[test]
+    fn allen_inverse_duality(a in arb_interval(), b in arb_interval()) {
+        let fwd = AllenRelation::classify(a, b);
+        let rev = AllenRelation::classify(b, a);
+        prop_assert_eq!(fwd.inverse(), rev);
+        prop_assert_eq!(fwd.implies_overlap(), a.overlaps(b));
+    }
+
+    // ---- periods ------------------------------------------------------------
+
+    #[test]
+    fn period_membership_is_pointwise(p in arb_period(), q in arb_period()) {
+        for t in 0..T_MAX {
+            let c = Chronon::new(t);
+            let (a, b) = (p.contains_chronon(c), q.contains_chronon(c));
+            prop_assert_eq!(p.union(&q).contains_chronon(c), a || b);
+            prop_assert_eq!(p.intersect(&q).contains_chronon(c), a && b);
+            prop_assert_eq!(p.difference(&q).contains_chronon(c), a && !b);
+        }
+    }
+
+    #[test]
+    fn period_canonical_form(ivs in proptest::collection::vec(arb_interval(), 0..10)) {
+        let p = Period::from_intervals(ivs);
+        for w in p.intervals().windows(2) {
+            prop_assert!(w[0].end() < w[1].start());
+            prop_assert!(!w[0].mergeable(w[1]));
+        }
+    }
+
+    #[test]
+    fn period_insert_order_irrelevant(ivs in proptest::collection::vec(arb_interval(), 0..10)) {
+        let fwd = Period::from_intervals(ivs.iter().copied());
+        let rev = Period::from_intervals(ivs.iter().rev().copied());
+        prop_assert_eq!(fwd, rev);
+    }
+
+    // ---- coalescing ----------------------------------------------------------
+
+    #[test]
+    fn coalesce_canonical_and_idempotent(r in arb_left(4, 24)) {
+        let c = coalesce(&r);
+        prop_assert!(is_coalesced(&c));
+        prop_assert!(coalesce(&c).multiset_eq(&c));
+        // Snapshot sets agree at every chronon.
+        for t in 0..T_MAX {
+            let ch = Chronon::new(t);
+            let mut a = r.snapshot(ch);
+            let mut b = c.snapshot(ch);
+            a.sort(); a.dedup();
+            b.sort(); b.dedup();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    // ---- the valid-time natural join -----------------------------------------
+
+    #[test]
+    fn join_snapshot_commutativity(r in arb_left(4, 16), s in arb_right(4, 16)) {
+        let j = natural_join(&r, &s).unwrap();
+        for t in (0..T_MAX).step_by(7) {
+            let c = Chronon::new(t);
+            let lhs = j.timeslice(c);
+            let rhs = natural_join(&r.timeslice(c), &s.timeslice(c)).unwrap();
+            prop_assert!(lhs.multiset_eq(&rhs), "snapshot at {} differs", t);
+        }
+    }
+
+    #[test]
+    fn join_cardinality_bounds(r in arb_left(3, 12), s in arb_right(3, 12)) {
+        let j = natural_join(&r, &s).unwrap();
+        prop_assert!(j.len() <= r.len() * s.len());
+        // Each result timestamp is inside some r tuple's and some s tuple's
+        // timestamp.
+        for t in j.iter() {
+            prop_assert!(r.iter().any(|x| x.valid().contains(t.valid())));
+            prop_assert!(s.iter().any(|y| y.valid().contains(t.valid())));
+        }
+    }
+
+    #[test]
+    fn join_against_brute_force(r in arb_left(3, 10), s in arb_right(3, 10)) {
+        // Quadratic reference: the literal §2 definition.
+        let out_schema = r.schema().natural_join_schema(s.schema()).unwrap().into_shared();
+        let mut brute = Vec::new();
+        for x in r.iter() {
+            for y in s.iter() {
+                if x.value(0) == y.value(0) {
+                    if let Some(common) = x.valid().overlap(y.valid()) {
+                        brute.push(Tuple::new(
+                            vec![x.value(0).clone(), x.value(1).clone(), y.value(1).clone()],
+                            common,
+                        ));
+                    }
+                }
+            }
+        }
+        let brute = Relation::from_parts_unchecked(out_schema, brute);
+        let fast = natural_join(&r, &s).unwrap();
+        prop_assert!(fast.multiset_eq(&brute), "diff: {:?}", fast.multiset_diff(&brute));
+    }
+
+    // ---- semijoin / antijoin ----------------------------------------------------
+
+    // ---- set operators ---------------------------------------------------------
+
+    #[test]
+    fn setops_sequenced_semantics(a in arb_left(3, 14), b in arb_left(3, 14)) {
+        let u = union(&a, &b).unwrap();
+        let d = difference(&a, &b).unwrap();
+        let i = intersection(&a, &b).unwrap();
+        for t in (0..T_MAX).step_by(6) {
+            let c = Chronon::new(t);
+            let rows = |rel: &Relation| {
+                let mut v = rel.snapshot(c);
+                v.sort();
+                v.dedup();
+                v
+            };
+            let (ra, rb) = (rows(&a), rows(&b));
+            // Union: membership is the or.
+            let ru = rows(&u);
+            for row in &ra { prop_assert!(ru.contains(row)); }
+            for row in &rb { prop_assert!(ru.contains(row)); }
+            prop_assert_eq!(ru.len(), {
+                let mut all = ra.clone(); all.extend(rb.iter().cloned());
+                all.sort(); all.dedup(); all.len()
+            });
+            // Difference / intersection are the pointwise set operations.
+            let want_d: Vec<_> = ra.iter().filter(|x| !rb.contains(x)).cloned().collect();
+            let want_i: Vec<_> = ra.iter().filter(|x| rb.contains(x)).cloned().collect();
+            prop_assert_eq!(rows(&d), want_d, "difference at {}", t);
+            prop_assert_eq!(rows(&i), want_i, "intersection at {}", t);
+        }
+    }
+
+    #[test]
+    fn difference_and_intersection_partition_the_left(a in arb_left(3, 12), b in arb_left(3, 12)) {
+        // For every left tuple: difference and intersection fragments are
+        // disjoint and together cover exactly the tuple's interval.
+        let d = difference(&a, &b).unwrap();
+        let i = intersection(&a, &b).unwrap();
+        for t in (0..T_MAX).step_by(9) {
+            let c = Chronon::new(t);
+            for x in a.iter() {
+                if !x.valid().contains_chronon(c) { continue; }
+                let in_d = d.iter().any(|u| u.value_equivalent(x) && u.valid().contains_chronon(c));
+                let in_i = i.iter().any(|u| u.value_equivalent(x) && u.valid().contains_chronon(c));
+                prop_assert!(in_d ^ in_i, "exactly one side at {}", t);
+            }
+        }
+    }
+
+    // ---- aggregation -------------------------------------------------------------
+
+    #[test]
+    fn count_and_extrema_match_brute_force(r in arb_left(4, 20)) {
+        let counts = count_over_time(&r);
+        let mins = extremum_over_time(&r, "b", Extremum::Min).unwrap();
+        let maxs = extremum_over_time(&r, "b", Extremum::Max).unwrap();
+        for t in (0..T_MAX + 40).step_by(5) {
+            let c = Chronon::new(t);
+            let active: Vec<i64> = r
+                .iter()
+                .filter(|x| x.valid().contains_chronon(c))
+                .map(|x| x.value(1).as_int().unwrap())
+                .collect();
+            let seg = |segs: &[vtjoin_core::algebra::aggregate::AggSegment]| {
+                segs.iter().find(|s| s.interval.contains_chronon(c)).map(|s| s.value)
+            };
+            prop_assert_eq!(seg(&counts).unwrap_or(0), active.len() as i64, "count at {}", t);
+            prop_assert_eq!(seg(&mins), active.iter().min().copied(), "min at {}", t);
+            prop_assert_eq!(seg(&maxs), active.iter().max().copied(), "max at {}", t);
+        }
+    }
+
+    // ---- full outerjoin ----------------------------------------------------------
+
+    #[test]
+    fn full_outerjoin_covers_every_input_chronon(r in arb_left(3, 10), s in arb_right(3, 10)) {
+        let fo = full_outerjoin(&r, &s).unwrap();
+        let inner = natural_join(&r, &s).unwrap();
+        // Inner results are a sub-multiset.
+        for t in (0..T_MAX).step_by(8) {
+            let c = Chronon::new(t);
+            let mut fo_rows = fo.snapshot(c);
+            fo_rows.sort(); fo_rows.dedup();
+            let mut in_rows = inner.snapshot(c);
+            in_rows.sort(); in_rows.dedup();
+            for row in &in_rows {
+                prop_assert!(fo_rows.contains(row));
+            }
+            // Every live left tuple appears (matched or padded).
+            for x in r.iter() {
+                if x.valid().contains_chronon(c) {
+                    prop_assert!(
+                        fo.iter().any(|z| z.value(0) == x.value(0)
+                            && z.value(1) == x.value(1)
+                            && z.valid().contains_chronon(c)),
+                        "left tuple lost at {}", t
+                    );
+                }
+            }
+            // Every live right tuple appears via its key and c attribute.
+            for y in s.iter() {
+                if y.valid().contains_chronon(c) {
+                    prop_assert!(
+                        fo.iter().any(|z| z.value(0) == y.value(0)
+                            && z.value(2) == y.value(1)
+                            && z.valid().contains_chronon(c)),
+                        "right tuple lost at {}", t
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semi_anti_partition(r in arb_left(3, 10), s in arb_right(3, 10)) {
+        let semi = semijoin(&r, &s).unwrap();
+        let anti = antijoin(&r, &s).unwrap();
+        // Pointwise: at each chronon, each input row appears in exactly one
+        // of the two outputs (per multiplicity class by value-equivalence).
+        for t in (0..T_MAX).step_by(5) {
+            let c = Chronon::new(t);
+            for x in r.iter() {
+                if !x.valid().contains_chronon(c) { continue; }
+                let in_semi = semi.iter().any(|u| u.value_equivalent(x) && u.valid().contains_chronon(c));
+                let in_anti = anti.iter().any(|u| u.value_equivalent(x) && u.valid().contains_chronon(c));
+                prop_assert!(in_semi || in_anti);
+                let matched = s.iter().any(|y| y.value(0) == x.value(0) && y.valid().contains_chronon(c));
+                prop_assert_eq!(in_semi, matched);
+            }
+        }
+    }
+}

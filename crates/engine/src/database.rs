@@ -1,0 +1,203 @@
+//! A catalog of named valid-time relations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use vtjoin_core::{Relation, Schema, Tuple};
+use vtjoin_storage::{HeapFile, HeapWriter, IoStats, SharedDisk};
+
+/// Errors raised by the database layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table name was not found.
+    NoSuchTable(String),
+    /// A table name already exists.
+    TableExists(String),
+    /// Storage-layer failure.
+    Storage(vtjoin_storage::StorageError),
+    /// Join-layer failure.
+    Join(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(n) => write!(f, "no such table `{n}`"),
+            DbError::TableExists(n) => write!(f, "table `{n}` already exists"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Join(e) => write!(f, "join error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<vtjoin_storage::StorageError> for DbError {
+    fn from(e: vtjoin_storage::StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<vtjoin_join::JoinError> for DbError {
+    fn from(e: vtjoin_join::JoinError) -> Self {
+        DbError::Join(e.to_string())
+    }
+}
+
+/// Result alias for the database layer.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// A collection of named valid-time relations on one simulated disk.
+///
+/// ```
+/// use vtjoin_engine::Database;
+/// use vtjoin_core::{AttrDef, AttrType, Interval, Relation, Schema, Tuple, Value};
+///
+/// let mut db = Database::new(4096);
+/// let schema = Schema::new(vec![AttrDef::new("k", AttrType::Int)]).unwrap().into_shared();
+/// let rel = Relation::new(schema, vec![
+///     Tuple::new(vec![Value::Int(1)], Interval::from_raw(0, 10).unwrap()),
+/// ]).unwrap();
+/// db.create_table("emp", &rel).unwrap();
+/// assert_eq!(db.table("emp").unwrap().tuples(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    disk: SharedDisk,
+    tables: BTreeMap<String, HeapFile>,
+}
+
+impl Database {
+    /// An empty database on a fresh simulated disk.
+    pub fn new(page_size: usize) -> Database {
+        Database { disk: SharedDisk::new(page_size), tables: BTreeMap::new() }
+    }
+
+    /// The shared disk (for running join algorithms against tables).
+    pub fn disk(&self) -> &SharedDisk {
+        &self.disk
+    }
+
+    /// Creates a table from an in-memory relation.
+    pub fn create_table(&mut self, name: &str, rel: &Relation) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_owned()));
+        }
+        let heap = HeapFile::bulk_load(&self.disk, rel)?;
+        self.tables.insert(name.to_owned(), heap);
+        Ok(())
+    }
+
+    /// Creates an empty table with the given schema.
+    pub fn create_empty(&mut self, name: &str, schema: Arc<Schema>) -> Result<()> {
+        self.create_table(name, &Relation::empty(schema))
+    }
+
+    /// The heap file behind a table.
+    pub fn table(&self, name: &str) -> Result<&HeapFile> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Lists table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Drops a table (its extent is abandoned; the simulated disk does not
+    /// reclaim address space).
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Reads a whole table back into memory (a charged full scan).
+    pub fn scan(&self, name: &str) -> Result<Relation> {
+        Ok(self.table(name)?.read_all()?)
+    }
+
+    /// Appends tuples to a table by rewriting it (heap files are
+    /// immutable once finished; the incremental path for joins is the
+    /// materialized-view layer, not base-table appends).
+    pub fn append(&mut self, name: &str, tuples: &[Tuple]) -> Result<()> {
+        let heap = self.table(name)?;
+        let schema = Arc::clone(heap.schema());
+        let mut all = heap.read_all()?.into_tuples();
+        all.extend_from_slice(tuples);
+        let pages = HeapFile::pages_needed(self.disk.page_size(), &all);
+        let mut w = HeapWriter::create(&self.disk, schema, pages);
+        for t in &all {
+            w.push(t)?;
+        }
+        let heap = w.finish()?;
+        self.tables.insert(name.to_owned(), heap);
+        Ok(())
+    }
+
+    /// Cumulative I/O statistics of the underlying disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtjoin_core::{AttrDef, AttrType, Interval, Value};
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![AttrDef::new("k", AttrType::Int)])
+            .unwrap()
+            .into_shared()
+    }
+
+    fn rel(n: i64) -> Relation {
+        Relation::from_parts_unchecked(
+            schema(),
+            (0..n)
+                .map(|i| Tuple::new(vec![Value::Int(i)], Interval::from_raw(i, i + 1).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn create_scan_drop() {
+        let mut db = Database::new(256);
+        db.create_table("t", &rel(20)).unwrap();
+        assert_eq!(db.table_names(), vec!["t"]);
+        let back = db.scan("t").unwrap();
+        assert!(back.multiset_eq(&rel(20)));
+        assert!(matches!(db.create_table("t", &rel(1)), Err(DbError::TableExists(_))));
+        db.drop_table("t").unwrap();
+        assert!(matches!(db.scan("t"), Err(DbError::NoSuchTable(_))));
+        assert!(matches!(db.drop_table("t"), Err(DbError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn append_rewrites_table() {
+        let mut db = Database::new(256);
+        db.create_table("t", &rel(5)).unwrap();
+        let extra: Vec<Tuple> = rel(3).into_tuples();
+        db.append("t", &extra).unwrap();
+        assert_eq!(db.table("t").unwrap().tuples(), 8);
+    }
+
+    #[test]
+    fn create_empty_table() {
+        let mut db = Database::new(256);
+        db.create_empty("e", schema()).unwrap();
+        assert_eq!(db.table("e").unwrap().tuples(), 0);
+        assert!(db.scan("e").unwrap().is_empty());
+    }
+
+    #[test]
+    fn io_stats_accumulate() {
+        let mut db = Database::new(256);
+        let before = db.io_stats().total_ios();
+        db.create_table("t", &rel(50)).unwrap();
+        assert!(db.io_stats().total_ios() > before);
+    }
+}

@@ -1,0 +1,35 @@
+//! # vtjoin-engine — a small valid-time database layer
+//!
+//! Integration layer over the substrate crates, covering what the paper
+//! positions around the join algorithm itself:
+//!
+//! * [`database`] — a catalog of named valid-time relations stored as heap
+//!   files on one simulated disk;
+//! * [`planner`] — cost-based algorithm selection between nested-loop,
+//!   sort-merge, and partition join using the analytic models of
+//!   `vtjoin_join::cost`;
+//! * [`view`] — **incrementally maintained** materialized valid-time join
+//!   views, the application §3.1 and §5 motivate (and the reason the paper
+//!   stores tuples in their *last* overlapping partition: append-only
+//!   updates arrive at the end of the time-line, where no migrated tuples
+//!   ever reach, so an append touches exactly one partition join);
+//! * [`query`] — a small declarative query layer: table scans and planned
+//!   joins piped through filters, projections, windows, timeslices, and
+//!   coalescing;
+//! * [`parallel`] — a multi-threaded partition join over replicated
+//!   partitions, the Leung–Muntz multiprocessor setting (\[LM92b\]) as an
+//!   in-memory ablation.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod database;
+pub mod parallel;
+pub mod planner;
+pub mod query;
+pub mod view;
+
+pub use database::Database;
+pub use planner::{choose_algorithm, partition_feasible, Algorithm};
+pub use query::{Predicate, Query};
+pub use view::MaterializedVtJoin;

@@ -1,0 +1,178 @@
+//! Cost-based join-algorithm selection.
+//!
+//! The paper's comparison (§4) makes clear that no single algorithm wins
+//! everywhere: nested loop is best once the outer relation (nearly) fits
+//! in memory, the partition join wins in the mid-range and under
+//! long-lived tuples, and sort-merge is occasionally competitive when its
+//! sort can be shared. A DBMS therefore needs exactly this decision
+//! procedure, built on the analytic models in `vtjoin_join::cost`.
+
+use crate::database::{Database, Result};
+use vtjoin_join::cost;
+use vtjoin_join::{
+    JoinAlgorithm, JoinConfig, JoinReport, NestedLoopJoin, PartitionJoin, SortMergeJoin,
+};
+use vtjoin_storage::CostRatio;
+
+/// The three evaluation strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Block nested loop.
+    NestedLoop,
+    /// External sort + backing-up merge.
+    SortMerge,
+    /// The paper's partition join.
+    Partition,
+}
+
+impl Algorithm {
+    /// The boxed executable algorithm.
+    pub fn instantiate(self) -> Box<dyn JoinAlgorithm> {
+        match self {
+            Algorithm::NestedLoop => Box::new(NestedLoopJoin),
+            Algorithm::SortMerge => Box::new(SortMergeJoin),
+            Algorithm::Partition => Box::new(PartitionJoin::default()),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NestedLoop => "nested-loop",
+            Algorithm::SortMerge => "sort-merge",
+            Algorithm::Partition => "partition",
+        }
+    }
+}
+
+/// Whether the partition join can run at all: Grace partitioning needs
+/// one output buffer per partition, and the planner needs at least one
+/// page of error margin — roughly `|r| ≲ buffer²`.
+pub fn partition_feasible(outer_pages: u64, buffer_pages: u64) -> bool {
+    if buffer_pages < 4 {
+        return false;
+    }
+    let outer_area = buffer_pages - 3;
+    if outer_pages <= outer_area {
+        return true; // degenerate single-partition path
+    }
+    let write_batch = 8u64.min((buffer_pages / 4).max(1));
+    let min_part = outer_pages.div_ceil(buffer_pages - 1).max(1);
+    let max_part = buffer_pages.saturating_sub(4 + write_batch);
+    min_part <= max_part
+}
+
+/// Chooses the cheapest algorithm by analytic estimate, excluding
+/// infeasible plans.
+pub fn choose_algorithm(
+    outer_pages: u64,
+    inner_pages: u64,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> Algorithm {
+    let nl = cost::nested_loop_cost(outer_pages, inner_pages, buffer_pages, ratio);
+    let sm = cost::sort_merge_cost_lower_bound(outer_pages, inner_pages, buffer_pages, ratio);
+    let pj = if partition_feasible(outer_pages, buffer_pages) {
+        cost::partition_cost_lower_bound(outer_pages, inner_pages, buffer_pages, ratio)
+    } else {
+        u64::MAX
+    };
+    if nl <= sm && nl <= pj {
+        Algorithm::NestedLoop
+    } else if pj <= sm {
+        Algorithm::Partition
+    } else {
+        Algorithm::SortMerge
+    }
+}
+
+/// Plans and executes `outer ⋈ᵛ inner` over database tables, returning the
+/// report of the chosen algorithm.
+pub fn run_join(
+    db: &Database,
+    outer: &str,
+    inner: &str,
+    cfg: &JoinConfig,
+) -> Result<(Algorithm, JoinReport)> {
+    let ho = db.table(outer)?;
+    let hi = db.table(inner)?;
+    let algo = choose_algorithm(ho.pages(), hi.pages(), cfg.buffer_pages, cfg.ratio);
+    let report = algo.instantiate().execute(ho, hi, cfg)?;
+    Ok((algo, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtjoin_core::algebra::natural_join;
+    use vtjoin_workload::generate::{generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution, TimeDistribution};
+
+    #[test]
+    fn nested_loop_wins_when_outer_fits() {
+        let a = choose_algorithm(100, 100, 200, CostRatio::R5);
+        assert_eq!(a, Algorithm::NestedLoop);
+    }
+
+    #[test]
+    fn partition_wins_in_the_mid_range() {
+        // The paper's Figure 6 mid-range: relation ≫ memory.
+        let a = choose_algorithm(8192, 8192, 512, CostRatio::R5);
+        assert_eq!(a, Algorithm::Partition);
+    }
+
+    #[test]
+    fn nested_loop_catastrophic_at_tiny_memory() {
+        let a = choose_algorithm(8192, 8192, 16, CostRatio::R5);
+        assert_ne!(a, Algorithm::NestedLoop);
+    }
+
+    #[test]
+    fn infeasible_partition_plans_are_never_chosen() {
+        // 8192-page relation at 16 buffer pages: Grace partitioning cannot
+        // fit one output buffer per required partition.
+        assert!(!partition_feasible(8192, 16));
+        assert_eq!(choose_algorithm(8192, 8192, 16, CostRatio::R5), Algorithm::SortMerge);
+        // …but the same relation at 256 pages is fine.
+        assert!(partition_feasible(8192, 256));
+        // And the chosen algorithm must actually run (no InsufficientMemory).
+        for (pages, buffer) in [(134u64, 12u64), (500, 16), (8192, 16)] {
+            let a = choose_algorithm(pages, pages, buffer, CostRatio::R5);
+            assert_ne!(
+                (a, partition_feasible(pages, buffer)),
+                (Algorithm::Partition, false),
+                "picked infeasible partition plan at {pages}p/{buffer}b"
+            );
+        }
+    }
+
+    #[test]
+    fn run_join_executes_the_choice() {
+        let cfg = GeneratorConfig {
+            tuples: 300,
+            long_lived: 30,
+            lifespan: 2000,
+            keys: 40,
+            key_dist: KeyDistribution::Uniform,
+            time_dist: TimeDistribution::Uniform,
+        duration_dist: DurationDistribution::Instant,
+            pad_bytes: 0,
+            seed: 5,
+        };
+        let r = generate(outer_schema(0), &cfg);
+        let s = generate(inner_schema(0), &cfg.clone().seed(6));
+        let mut db = Database::new(512);
+        db.create_table("r", &r).unwrap();
+        db.create_table("s", &s).unwrap();
+        let jc = JoinConfig::with_buffer(10).collecting();
+        let (algo, report) = run_join(&db, "r", "s", &jc).unwrap();
+        let want = natural_join(&r, &s).unwrap();
+        assert!(report.result.as_ref().unwrap().multiset_eq(&want), "{}", algo.name());
+    }
+
+    #[test]
+    fn instantiate_names_agree() {
+        for a in [Algorithm::NestedLoop, Algorithm::SortMerge, Algorithm::Partition] {
+            assert_eq!(a.instantiate().name(), a.name());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! A small declarative query layer over the catalog.
+//!
+//! Queries are pipelines: a source (a table scan or a valid-time natural
+//! join, planned cost-based), followed by temporal-algebra operators. The
+//! layer stays deliberately tiny — its purpose is to integrate the
+//! substrate crates the way a DBMS would and to give the examples and
+//! tests a realistic surface, not to be a SQL engine.
+//!
+//! ```
+//! use vtjoin_engine::query::{Predicate, Query};
+//! # use vtjoin_engine::Database;
+//! # use vtjoin_core::*;
+//! # let mut db = Database::new(512);
+//! # let schema = Schema::new(vec![AttrDef::new("k", AttrType::Int)]).unwrap().into_shared();
+//! # let rel = Relation::new(schema, vec![
+//! #     Tuple::new(vec![Value::Int(1)], Interval::from_raw(0, 10).unwrap()),
+//! #     Tuple::new(vec![Value::Int(2)], Interval::from_raw(5, 25).unwrap()),
+//! # ]).unwrap();
+//! # db.create_table("t", &rel).unwrap();
+//! let out = Query::table("t")
+//!     .filter(Predicate::attr_eq("k", Value::Int(2)))
+//!     .window(Interval::from_raw(0, 9).unwrap())
+//!     .run(&db, &Default::default())
+//!     .unwrap();
+//! assert_eq!(out.relation.len(), 1);
+//! assert_eq!(out.relation.tuples()[0].valid(), Interval::from_raw(5, 9).unwrap());
+//! ```
+
+use crate::database::{Database, DbError, Result};
+use crate::planner;
+use vtjoin_core::algebra;
+use vtjoin_core::{Chronon, Interval, Relation, Tuple, Value};
+use vtjoin_join::JoinConfig;
+use vtjoin_storage::IoStats;
+
+/// A declarative row predicate (evaluable without user closures, so plans
+/// are inspectable and serializable in principle).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Attribute equals a constant.
+    AttrEq(String, Value),
+    /// Integer attribute is within `[lo, hi]`.
+    AttrBetween(String, i64, i64),
+    /// The tuple's valid time overlaps the window.
+    Overlaps(Interval),
+    /// The tuple's valid time lies entirely inside the window.
+    During(Interval),
+    /// Lifespan (in chronons) is at least this long — "long-lived" filters.
+    MinDuration(u128),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor.
+    pub fn attr_eq(name: &str, v: Value) -> Predicate {
+        Predicate::AttrEq(name.to_owned(), v)
+    }
+
+    /// `self AND other`.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates against one tuple of `rel`'s schema.
+    fn eval(&self, rel: &Relation, t: &Tuple) -> Result<bool> {
+        Ok(match self {
+            Predicate::AttrEq(name, v) => {
+                let idx = rel
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| DbError::Join(format!("unknown attribute `{name}`")))?;
+                t.value(idx) == v
+            }
+            Predicate::AttrBetween(name, lo, hi) => {
+                let idx = rel
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| DbError::Join(format!("unknown attribute `{name}`")))?;
+                t.value(idx).as_int().is_some_and(|v| (*lo..=*hi).contains(&v))
+            }
+            Predicate::Overlaps(w) => t.valid().overlaps(*w),
+            Predicate::During(w) => w.contains(t.valid()),
+            Predicate::MinDuration(d) => t.lifespan() >= *d,
+            Predicate::And(a, b) => a.eval(rel, t)? && b.eval(rel, t)?,
+            Predicate::Or(a, b) => a.eval(rel, t)? || b.eval(rel, t)?,
+            Predicate::Not(a) => !a.eval(rel, t)?,
+        })
+    }
+}
+
+/// Pipeline operators applied after the source.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Filter(Predicate),
+    Project(Vec<String>),
+    Window(Interval),
+    Timeslice(Chronon),
+    Coalesce,
+}
+
+/// The query source.
+#[derive(Debug, Clone, PartialEq)]
+enum Source {
+    Table(String),
+    Join(String, String),
+}
+
+/// A composable query over a [`Database`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    source: Source,
+    ops: Vec<Op>,
+}
+
+/// What a query execution returns.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// The result relation.
+    pub relation: Relation,
+    /// I/O performed by the source (scan or join).
+    pub io: IoStats,
+    /// The join algorithm the planner chose, when the source is a join.
+    pub chosen: Option<planner::Algorithm>,
+}
+
+impl Query {
+    /// A scan of one table.
+    pub fn table(name: &str) -> Query {
+        Query { source: Source::Table(name.to_owned()), ops: Vec::new() }
+    }
+
+    /// A cost-planned valid-time natural join of two tables.
+    pub fn join(outer: &str, inner: &str) -> Query {
+        Query {
+            source: Source::Join(outer.to_owned(), inner.to_owned()),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends a filter.
+    #[must_use]
+    pub fn filter(mut self, p: Predicate) -> Query {
+        self.ops.push(Op::Filter(p));
+        self
+    }
+
+    /// Appends a projection.
+    #[must_use]
+    pub fn project(mut self, attrs: &[&str]) -> Query {
+        self.ops.push(Op::Project(attrs.iter().map(|s| (*s).to_owned()).collect()));
+        self
+    }
+
+    /// Restricts to a valid-time window (clipping timestamps).
+    #[must_use]
+    pub fn window(mut self, w: Interval) -> Query {
+        self.ops.push(Op::Window(w));
+        self
+    }
+
+    /// Takes the snapshot at a chronon.
+    #[must_use]
+    pub fn timeslice(mut self, c: Chronon) -> Query {
+        self.ops.push(Op::Timeslice(c));
+        self
+    }
+
+    /// Coalesces value-equivalent tuples.
+    #[must_use]
+    pub fn coalesce(mut self) -> Query {
+        self.ops.push(Op::Coalesce);
+        self
+    }
+
+    /// Executes against `db`. `cfg` governs the join source (buffer size,
+    /// ratio); a table scan ignores it.
+    pub fn run(&self, db: &Database, cfg: &JoinConfig) -> Result<QueryOutput> {
+        let before = db.io_stats();
+        let (mut rel, chosen) = match &self.source {
+            Source::Table(name) => (db.scan(name)?, None),
+            Source::Join(outer, inner) => {
+                let (algo, report) = planner::run_join(db, outer, inner, &cfg.clone().collecting())?;
+                (report.result.expect("collected"), Some(algo))
+            }
+        };
+        let io = db.io_stats() - before;
+        for op in &self.ops {
+            rel = match op {
+                Op::Filter(p) => {
+                    // Evaluate the declarative predicate per tuple.
+                    let mut kept = Vec::new();
+                    for t in rel.iter() {
+                        if p.eval(&rel, t)? {
+                            kept.push(t.clone());
+                        }
+                    }
+                    Relation::from_parts_unchecked(std::sync::Arc::clone(rel.schema()), kept)
+                }
+                Op::Project(attrs) => {
+                    let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                    algebra::project(&rel, &names).map_err(DbError::from_core)?
+                }
+                Op::Window(w) => algebra::select_interval(&rel, *w),
+                Op::Timeslice(c) => rel.timeslice(*c),
+                Op::Coalesce => algebra::coalesce(&rel),
+            };
+        }
+        Ok(QueryOutput { relation: rel, io, chosen })
+    }
+}
+
+impl DbError {
+    fn from_core(e: vtjoin_core::TemporalError) -> DbError {
+        DbError::Join(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vtjoin_core::{AttrDef, AttrType, Schema};
+
+    fn setup() -> Database {
+        let mut db = Database::new(512);
+        let emp = Schema::new(vec![
+            AttrDef::new("dept", AttrType::Int),
+            AttrDef::new("emp", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared();
+        let mgr = Schema::new(vec![
+            AttrDef::new("dept", AttrType::Int),
+            AttrDef::new("mgr", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared();
+        let employees = Relation::from_parts_unchecked(
+            Arc::clone(&emp),
+            (0..40)
+                .map(|i| {
+                    Tuple::new(
+                        vec![Value::Int(i % 4), Value::Int(i)],
+                        Interval::from_raw(i * 5 % 90, i * 5 % 90 + 20).unwrap(),
+                    )
+                })
+                .collect(),
+        );
+        let managers = Relation::from_parts_unchecked(
+            Arc::clone(&mgr),
+            (0..8)
+                .map(|i| {
+                    Tuple::new(
+                        vec![Value::Int(i % 4), Value::Int(100 + i)],
+                        Interval::from_raw(i * 12 % 80, i * 12 % 80 + 30).unwrap(),
+                    )
+                })
+                .collect(),
+        );
+        db.create_table("employees", &employees).unwrap();
+        db.create_table("managers", &managers).unwrap();
+        db
+    }
+
+    #[test]
+    fn table_scan_with_filters() {
+        let db = setup();
+        let out = Query::table("employees")
+            .filter(Predicate::attr_eq("dept", Value::Int(2)))
+            .run(&db, &JoinConfig::with_buffer(8))
+            .unwrap();
+        assert_eq!(out.relation.len(), 10);
+        assert!(out.chosen.is_none());
+        assert!(out.io.total_ios() > 0, "a scan costs I/O");
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let db = setup();
+        let p = Predicate::AttrBetween("emp".into(), 0, 9)
+            .and(Predicate::Overlaps(Interval::from_raw(0, 10).unwrap()))
+            .or(Predicate::MinDuration(100));
+        let out = Query::table("employees")
+            .filter(p)
+            .run(&db, &JoinConfig::with_buffer(8))
+            .unwrap();
+        // Brute-force the same predicate.
+        let all = db.scan("employees").unwrap();
+        let want = all
+            .iter()
+            .filter(|t| {
+                let e = t.value(1).as_int().unwrap();
+                ((0..=9).contains(&e)
+                    && t.valid().overlaps(Interval::from_raw(0, 10).unwrap()))
+                    || t.lifespan() >= 100
+            })
+            .count();
+        assert_eq!(out.relation.len(), want);
+    }
+
+    #[test]
+    fn join_source_is_planned_and_correct() {
+        let db = setup();
+        let out = Query::join("employees", "managers")
+            .run(&db, &JoinConfig::with_buffer(16))
+            .unwrap();
+        assert!(out.chosen.is_some());
+        let want = vtjoin_core::algebra::natural_join(
+            &db.scan("employees").unwrap(),
+            &db.scan("managers").unwrap(),
+        )
+        .unwrap();
+        assert!(out.relation.multiset_eq(&want));
+    }
+
+    #[test]
+    fn pipeline_composition() {
+        let db = setup();
+        let out = Query::join("employees", "managers")
+            .window(Interval::from_raw(10, 50).unwrap())
+            .project(&["dept"])
+            .coalesce()
+            .run(&db, &JoinConfig::with_buffer(16))
+            .unwrap();
+        assert_eq!(out.relation.schema().arity(), 1);
+        assert!(vtjoin_core::algebra::coalesce::is_coalesced(&out.relation));
+        for t in out.relation.iter() {
+            assert!(Interval::from_raw(10, 50).unwrap().contains(t.valid()));
+        }
+    }
+
+    #[test]
+    fn timeslice_pipeline() {
+        let db = setup();
+        let out = Query::table("employees")
+            .timeslice(Chronon::new(30))
+            .run(&db, &JoinConfig::with_buffer(8))
+            .unwrap();
+        assert!(out
+            .relation
+            .iter()
+            .all(|t| t.valid() == Interval::at(Chronon::new(30))));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let db = setup();
+        assert!(Query::table("ghost").run(&db, &JoinConfig::with_buffer(8)).is_err());
+        let bad = Query::table("employees")
+            .filter(Predicate::attr_eq("ghost", Value::Int(1)))
+            .run(&db, &JoinConfig::with_buffer(8));
+        assert!(bad.is_err());
+        let bad = Query::table("employees")
+            .project(&["ghost"])
+            .run(&db, &JoinConfig::with_buffer(8));
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! Incrementally maintained materialized valid-time join views.
+//!
+//! §3.1 motivates the partition join with exactly this use: "suppose that
+//! r ⋈ s is materialized as a view, and an update happens to r in
+//! partition rᵢ … the consistency of the view is insured by recomputing
+//! only rᵢ ⋈ sᵢ", and footnote 1 explains the *last*-overlapping-partition
+//! storage rule was chosen "with consideration for incremental
+//! adaptations" (\[SSJ93\]): in an append-only temporal database new facts
+//! arrive at the end of the time-line, land in the last partition, and the
+//! last partition is the one place no migrated tuple ever reaches — so an
+//! append touches a single partition join.
+//!
+//! This module implements insert-incremental maintenance over in-memory
+//! partitions (the I/O-faithful join algorithms live in `vtjoin-join`;
+//! the view layer is about *semantics*):
+//!
+//! `Δ(r ⋈ᵛ s) = Δr ⋈ᵛ s  ∪  r′ ⋈ᵛ Δs` where `r′ = r ∪ Δr`.
+//!
+//! Deletions use the counting approach: the join is bag-linear, so the
+//! result tuples contributed by one base-tuple instance are exactly its
+//! delta join against the current opposite side, and removing one
+//! occurrence of each suffices ([`MaterializedVtJoin::delete_outer`] /
+//! [`MaterializedVtJoin::delete_inner`]). [`MaterializedVtJoin::refresh`]
+//! recomputes from scratch as the oracle path.
+
+use std::fmt;
+use std::sync::Arc;
+use vtjoin_core::{Interval, Relation, Tuple};
+use vtjoin_join::common::JoinSpec;
+use vtjoin_join::partition::intervals::{is_partitioning, partition_of};
+
+/// Errors raised by the view layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// The provided intervals do not partition valid time.
+    BadPartitioning,
+    /// Schema mismatch between view and inserted tuples.
+    Schema(String),
+    /// A deletion referenced a tuple not present in the base relation.
+    NoSuchTuple(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::BadPartitioning => write!(f, "intervals do not partition valid time"),
+            ViewError::Schema(e) => write!(f, "schema mismatch: {e}"),
+            ViewError::NoSuchTuple(t) => write!(f, "deletion of absent tuple {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Removes one occurrence of each tuple in `remove` from `vec`.
+fn remove_multiset(vec: &mut Vec<Tuple>, remove: Vec<Tuple>) {
+    use std::collections::HashMap;
+    let mut counts: HashMap<Tuple, usize> = HashMap::new();
+    for t in remove {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    vec.retain(|t| match counts.get_mut(t) {
+        Some(c) if *c > 0 => {
+            *c -= 1;
+            false
+        }
+        _ => true,
+    });
+    debug_assert!(counts.values().all(|&c| c == 0), "derived tuples must exist in the view");
+}
+
+/// A materialized `r ⋈ᵛ s` maintained under insertions and deletions.
+///
+/// Base tuples are held in per-partition buckets under the paper's
+/// last-overlapping-partition rule; the materialized result is a flat bag.
+#[derive(Debug)]
+pub struct MaterializedVtJoin {
+    spec: JoinSpec,
+    intervals: Vec<Interval>,
+    r_parts: Vec<Vec<Tuple>>,
+    s_parts: Vec<Vec<Tuple>>,
+    result: Vec<Tuple>,
+    /// Partition joins recomputed / probed since creation (the incremental
+    /// bookkeeping the tests assert on).
+    probes: u64,
+}
+
+impl MaterializedVtJoin {
+    /// Builds the view, materializing the initial join.
+    pub fn create(
+        r: &Relation,
+        s: &Relation,
+        intervals: Vec<Interval>,
+    ) -> Result<MaterializedVtJoin, ViewError> {
+        if !is_partitioning(&intervals) {
+            return Err(ViewError::BadPartitioning);
+        }
+        let spec = JoinSpec::natural(r.schema(), s.schema())
+            .map_err(|e| ViewError::Schema(e.to_string()))?;
+        let n = intervals.len();
+        let mut view = MaterializedVtJoin {
+            spec,
+            intervals,
+            r_parts: vec![Vec::new(); n],
+            s_parts: vec![Vec::new(); n],
+            result: Vec::new(),
+            probes: 0,
+        };
+        view.insert_outer(r.tuples().to_vec());
+        view.insert_inner(s.tuples().to_vec());
+        Ok(view)
+    }
+
+    /// The partitioning intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The materialized result as a relation.
+    pub fn result(&self) -> Relation {
+        Relation::from_parts_unchecked(
+            Arc::clone(self.spec.out_schema()),
+            self.result.clone(),
+        )
+    }
+
+    /// Partition buckets probed since creation (diagnostics).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Inserts tuples into the outer base relation, joining each against
+    /// only the inner partitions it can match.
+    pub fn insert_outer(&mut self, tuples: Vec<Tuple>) {
+        for x in tuples {
+            let delta = self.delta_join_one(&x, true);
+            self.result.extend(delta);
+            let idx = partition_of(&self.intervals, x.valid().end());
+            self.r_parts[idx].push(x);
+        }
+    }
+
+    /// Inserts tuples into the inner base relation.
+    pub fn insert_inner(&mut self, tuples: Vec<Tuple>) {
+        for y in tuples {
+            let delta = self.delta_join_one(&y, false);
+            self.result.extend(delta);
+            let idx = partition_of(&self.intervals, y.valid().end());
+            self.s_parts[idx].push(y);
+        }
+    }
+
+    /// Deletes one occurrence of each given tuple from the outer base,
+    /// removing its contributions from the materialized result (counting
+    /// maintenance). Errors — leaving the view untouched for the failing
+    /// tuple onwards — if a tuple is not present.
+    pub fn delete_outer(&mut self, tuples: Vec<Tuple>) -> Result<(), ViewError> {
+        for x in tuples {
+            self.delete_one(x, true)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes one occurrence of each given tuple from the inner base.
+    pub fn delete_inner(&mut self, tuples: Vec<Tuple>) -> Result<(), ViewError> {
+        for y in tuples {
+            self.delete_one(y, false)?;
+        }
+        Ok(())
+    }
+
+    fn delete_one(&mut self, x: Tuple, x_is_outer: bool) -> Result<(), ViewError> {
+        let idx = partition_of(&self.intervals, x.valid().end());
+        let bucket = if x_is_outer { &mut self.r_parts[idx] } else { &mut self.s_parts[idx] };
+        let pos = bucket
+            .iter()
+            .position(|t| t == &x)
+            .ok_or_else(|| ViewError::NoSuchTuple(x.to_string()))?;
+        bucket.swap_remove(pos);
+        // With x gone from its bucket, its contributions are exactly the
+        // delta join against what remains (bag linearity).
+        let delta = self.delta_join_one(&x, x_is_outer);
+        remove_multiset(&mut self.result, delta);
+        Ok(())
+    }
+
+    /// Joins one new tuple against the opposite base.
+    ///
+    /// With last-overlap placement, a stored tuple `y` can match `x` only
+    /// if `y`'s ending chronon — hence its storage partition — is at or
+    /// after `x`'s first overlapping partition. Buckets before it are
+    /// skipped outright; this is the incremental win, and it is total for
+    /// the append-only case (`x` in the last partition probes one bucket).
+    fn delta_join_one(&mut self, x: &Tuple, x_is_outer: bool) -> Vec<Tuple> {
+        let first = partition_of(&self.intervals, x.valid().start());
+        let mut out = Vec::new();
+        for idx in first..self.intervals.len() {
+            self.probes += 1;
+            let bucket = if x_is_outer { &self.s_parts[idx] } else { &self.r_parts[idx] };
+            out.extend(bucket.iter().filter_map(|y| {
+                if x_is_outer {
+                    self.spec.try_match(x, y)
+                } else {
+                    self.spec.try_match(y, x)
+                }
+            }));
+        }
+        out
+    }
+
+    /// Full recomputation (the oracle path; also the deletion fallback).
+    pub fn refresh(&mut self) {
+        let mut result = Vec::new();
+        for r_bucket in &self.r_parts {
+            for x in r_bucket {
+                for s_bucket in &self.s_parts {
+                    for y in s_bucket {
+                        if let Some(z) = self.spec.try_match(x, y) {
+                            result.push(z);
+                        }
+                    }
+                }
+            }
+        }
+        self.result = result;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtjoin_core::algebra::natural_join;
+    use vtjoin_core::{AttrDef, AttrType, Schema, Value};
+    use vtjoin_join::partition::intervals::equal_width;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        (
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("b", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("c", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+        )
+    }
+
+    fn tup(schema: &Arc<Schema>, k: i64, v: i64, s: i64, e: i64) -> Tuple {
+        let _ = schema;
+        Tuple::new(
+            vec![Value::Int(k), Value::Int(v)],
+            Interval::from_raw(s, e).unwrap(),
+        )
+    }
+
+    fn mixed(schema: &Arc<Schema>, n: i64, long_every: i64) -> Relation {
+        let tuples = (0..n)
+            .map(|i| {
+                let start = (i * 37) % 300;
+                if long_every > 0 && i % long_every == 0 {
+                    tup(schema, i % 5, i, start % 150, start % 150 + 150)
+                } else {
+                    tup(schema, i % 5, i, start, start)
+                }
+            })
+            .collect();
+        Relation::from_parts_unchecked(Arc::clone(schema), tuples)
+    }
+
+    fn parts() -> Vec<Interval> {
+        equal_width(Interval::from_raw(0, 300).unwrap(), 4)
+    }
+
+    #[test]
+    fn initial_materialization_matches_oracle() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 120, 4);
+        let s = mixed(&ss, 120, 3);
+        let view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+        let want = natural_join(&r, &s).unwrap();
+        assert!(view.result().multiset_eq(&want));
+    }
+
+    #[test]
+    fn incremental_inserts_match_recomputation() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 60, 4);
+        let s = mixed(&ss, 60, 3);
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+
+        // Interleave outer and inner inserts, checking after each batch.
+        let mut r_all = r.tuples().to_vec();
+        let mut s_all = s.tuples().to_vec();
+        for step in 0..6 {
+            let new_r: Vec<Tuple> =
+                (0..5).map(|i| tup(&rs, i % 5, 1000 + step * 10 + i, (step * 41) % 280, (step * 41) % 280 + 15)).collect();
+            let new_s: Vec<Tuple> =
+                (0..3).map(|i| tup(&ss, i % 5, 2000 + step * 10 + i, (step * 53) % 290, (step * 53) % 290 + 8)).collect();
+            view.insert_outer(new_r.clone());
+            view.insert_inner(new_s.clone());
+            r_all.extend(new_r);
+            s_all.extend(new_s);
+            let want = natural_join(
+                &Relation::from_parts_unchecked(Arc::clone(&rs), r_all.clone()),
+                &Relation::from_parts_unchecked(Arc::clone(&ss), s_all.clone()),
+            )
+            .unwrap();
+            assert!(view.result().multiset_eq(&want), "divergence at step {step}");
+        }
+    }
+
+    #[test]
+    fn append_only_touches_one_bucket() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 40, 0);
+        let s = mixed(&ss, 40, 0);
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+        let before = view.probes();
+        // A fact valid at the end of the time-line: last partition only.
+        view.insert_outer(vec![tup(&rs, 1, 9999, 295, 299)]);
+        assert_eq!(view.probes() - before, 1, "append-only insert probes one bucket");
+        // A fact spanning everything probes all four.
+        let before = view.probes();
+        view.insert_outer(vec![tup(&rs, 1, 9998, 0, 299)]);
+        assert_eq!(view.probes() - before, 4);
+        // A fact in the middle skips earlier buckets.
+        let before = view.probes();
+        view.insert_outer(vec![tup(&rs, 1, 9997, 150, 160)]);
+        assert_eq!(view.probes() - before, 2);
+    }
+
+    #[test]
+    fn deletions_maintain_the_view_by_counting() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 60, 4);
+        let s = mixed(&ss, 60, 3);
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+
+        // Delete a handful of outer tuples and one inner tuple; compare
+        // against recomputation after every step.
+        let mut r_now = r.tuples().to_vec();
+        let mut s_now = s.tuples().to_vec();
+        for victim_idx in [5usize, 17, 0] {
+            let victim = r_now.remove(victim_idx);
+            view.delete_outer(vec![victim]).unwrap();
+            let want = natural_join(
+                &Relation::from_parts_unchecked(Arc::clone(&rs), r_now.clone()),
+                &Relation::from_parts_unchecked(Arc::clone(&ss), s_now.clone()),
+            )
+            .unwrap();
+            assert!(view.result().multiset_eq(&want), "after outer delete {victim_idx}");
+        }
+        let victim = s_now.remove(9);
+        view.delete_inner(vec![victim]).unwrap();
+        let want = natural_join(
+            &Relation::from_parts_unchecked(Arc::clone(&rs), r_now.clone()),
+            &Relation::from_parts_unchecked(Arc::clone(&ss), s_now.clone()),
+        )
+        .unwrap();
+        assert!(view.result().multiset_eq(&want), "after inner delete");
+    }
+
+    #[test]
+    fn deleting_one_of_two_duplicates_keeps_the_other() {
+        let (rs, ss) = schemas();
+        let dup = tup(&rs, 1, 7, 10, 40);
+        let r = Relation::from_parts_unchecked(
+            Arc::clone(&rs),
+            vec![dup.clone(), dup.clone()],
+        );
+        let s = Relation::from_parts_unchecked(
+            Arc::clone(&ss),
+            vec![tup(&ss, 1, 9, 20, 60)],
+        );
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+        assert_eq!(view.result().len(), 2);
+        view.delete_outer(vec![dup.clone()]).unwrap();
+        assert_eq!(view.result().len(), 1, "one contribution removed");
+        view.delete_outer(vec![dup.clone()]).unwrap();
+        assert!(view.result().is_empty());
+        // Third delete: nothing left.
+        assert!(matches!(
+            view.delete_outer(vec![dup]),
+            Err(ViewError::NoSuchTuple(_))
+        ));
+    }
+
+    #[test]
+    fn delete_of_absent_tuple_is_an_error() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 10, 0);
+        let s = mixed(&ss, 10, 0);
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+        let ghost = tup(&rs, 99, 99, 0, 1);
+        assert!(matches!(
+            view.delete_outer(vec![ghost]),
+            Err(ViewError::NoSuchTuple(_))
+        ));
+    }
+
+    #[test]
+    fn refresh_equals_incremental_state() {
+        let (rs, ss) = schemas();
+        let r = mixed(&rs, 80, 5);
+        let s = mixed(&ss, 80, 4);
+        let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
+        view.insert_inner(vec![tup(&ss, 2, 777, 10, 290)]);
+        let incremental = view.result();
+        view.refresh();
+        assert!(view.result().multiset_eq(&incremental));
+    }
+
+    #[test]
+    fn bad_partitioning_rejected() {
+        let (rs, ss) = schemas();
+        let r = Relation::empty(rs);
+        let s = Relation::empty(ss);
+        let bad = vec![Interval::from_raw(0, 10).unwrap()];
+        assert!(matches!(
+            MaterializedVtJoin::create(&r, &s, bad),
+            Err(ViewError::BadPartitioning)
+        ));
+    }
+
+    #[test]
+    fn empty_view_accumulates_from_nothing() {
+        let (rs, ss) = schemas();
+        let mut view = MaterializedVtJoin::create(
+            &Relation::empty(Arc::clone(&rs)),
+            &Relation::empty(Arc::clone(&ss)),
+            parts(),
+        )
+        .unwrap();
+        assert!(view.result().is_empty());
+        view.insert_outer(vec![tup(&rs, 1, 1, 5, 20)]);
+        view.insert_inner(vec![tup(&ss, 1, 2, 10, 30)]);
+        let got = view.result();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.tuples()[0].valid(), Interval::from_raw(10, 20).unwrap());
+    }
+}

@@ -1,0 +1,504 @@
+//! Shared infrastructure for the disk-based join algorithms.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use vtjoin_core::{Relation, Schema, Tuple, Value};
+use vtjoin_storage::{CostRatio, HeapFile, IoStats, PageBuf, StorageError};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, JoinError>;
+
+/// Errors raised by the disk-based join algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Data-model failure (schema mismatch etc.).
+    Core(vtjoin_core::TemporalError),
+    /// The configured buffer is too small for the algorithm to run at all.
+    InsufficientMemory {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Pages the algorithm needs at minimum.
+        needed: u64,
+        /// Pages configured.
+        available: u64,
+    },
+    /// An algorithm precondition was violated (e.g. an append-only input
+    /// that is not actually in `Vs` order).
+    Precondition(&'static str),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Storage(e) => write!(f, "storage error: {e}"),
+            JoinError::Core(e) => write!(f, "model error: {e}"),
+            JoinError::InsufficientMemory { algorithm, needed, available } => write!(
+                f,
+                "{algorithm} needs at least {needed} buffer pages, only {available} configured"
+            ),
+            JoinError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<StorageError> for JoinError {
+    fn from(e: StorageError) -> Self {
+        JoinError::Storage(e)
+    }
+}
+
+impl From<vtjoin_core::TemporalError> for JoinError {
+    fn from(e: vtjoin_core::TemporalError) -> Self {
+        JoinError::Core(e)
+    }
+}
+
+/// Configuration shared by all join algorithms.
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Total main-memory budget, in pages (the experiments vary this from
+    /// 1 MB to 32 MB of 4 KB pages).
+    pub buffer_pages: u64,
+    /// Random:sequential cost ratio. Only the partition join's *planner*
+    /// consults it (to trade sampling against cache paging); measurement
+    /// happens in raw counters and can be priced at any ratio afterwards.
+    pub ratio: CostRatio,
+    /// Seed for the sampling RNG — runs are fully deterministic.
+    pub seed: u64,
+    /// When true, result tuples are retained in memory so tests can compare
+    /// algorithms; benches leave it off.
+    pub collect_result: bool,
+    /// Number of candidate partition sizes the partition-join planner
+    /// evaluates (the paper's pseudocode tries every size from 1 to
+    /// `buffSize`; evaluating a stride of candidates finds the same smooth
+    /// minimum at a fraction of the planning CPU — see DESIGN.md).
+    pub planner_candidates: u64,
+}
+
+impl Default for JoinConfig {
+    /// 256 buffer pages (1 MB of 4 KB pages), 5:1, fixed seed.
+    fn default() -> JoinConfig {
+        JoinConfig::with_buffer(256)
+    }
+}
+
+impl JoinConfig {
+    /// A config with the given buffer budget and defaults everywhere else.
+    pub fn with_buffer(buffer_pages: u64) -> JoinConfig {
+        JoinConfig {
+            buffer_pages,
+            ratio: CostRatio::R5,
+            seed: 0x5eed,
+            collect_result: false,
+            planner_candidates: 64,
+        }
+    }
+
+    /// Builder-style: set the cost ratio.
+    #[must_use]
+    pub fn ratio(mut self, ratio: CostRatio) -> JoinConfig {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> JoinConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: collect result tuples in memory.
+    #[must_use]
+    pub fn collecting(mut self) -> JoinConfig {
+        self.collect_result = true;
+        self
+    }
+}
+
+/// Everything an algorithm needs to know about the join it is computing:
+/// shared attributes, result schema, and the match/splice kernel.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    shared_r: Vec<usize>,
+    shared_s: Vec<usize>,
+    s_extra: Vec<usize>,
+    out_schema: Arc<Schema>,
+}
+
+impl JoinSpec {
+    /// Derives the valid-time natural-join spec for two schemas.
+    pub fn natural(r: &Schema, s: &Schema) -> Result<JoinSpec> {
+        let (shared_r, shared_s) = r.join_attributes(s)?;
+        let out_schema = r.natural_join_schema(s)?.into_shared();
+        let s_extra = (0..s.arity()).filter(|j| !shared_s.contains(j)).collect();
+        Ok(JoinSpec { shared_r, shared_s, s_extra, out_schema })
+    }
+
+    /// The result schema (`r`'s attributes then `s`'s non-shared ones).
+    pub fn out_schema(&self) -> &Arc<Schema> {
+        &self.out_schema
+    }
+
+    /// Join key of an outer tuple.
+    pub fn outer_key(&self, x: &Tuple) -> Vec<Value> {
+        x.key_at(&self.shared_r)
+    }
+
+    /// Join key of an inner tuple.
+    pub fn inner_key(&self, y: &Tuple) -> Vec<Value> {
+        y.key_at(&self.shared_s)
+    }
+
+    /// Tests the full §2 join condition and, on success, splices the result
+    /// tuple stamped with the maximal overlap.
+    pub fn try_match(&self, x: &Tuple, y: &Tuple) -> Option<Tuple> {
+        if self.shared_r.iter().zip(&self.shared_s).any(|(&i, &j)| x.value(i) != y.value(j)) {
+            return None;
+        }
+        let common = x.valid().overlap(y.valid())?;
+        let mut vals = Vec::with_capacity(self.out_schema.arity());
+        vals.extend_from_slice(x.values());
+        for &j in &self.s_extra {
+            vals.push(y.value(j).clone());
+        }
+        Some(Tuple::new(vals, common))
+    }
+}
+
+/// A hash table over a block of outer tuples, for joining page-at-a-time
+/// inner input against it. The paper's cost model ignores main-memory
+/// operations and flags that omission as future work (§5); the table
+/// counts its probes and pairwise match tests so reports can expose the
+/// CPU side alongside the I/O bill.
+#[derive(Debug)]
+pub struct BlockTable<'a> {
+    spec: &'a JoinSpec,
+    by_key: HashMap<Vec<Value>, Vec<&'a Tuple>>,
+    probes: std::cell::Cell<u64>,
+    match_tests: std::cell::Cell<u64>,
+}
+
+impl<'a> BlockTable<'a> {
+    /// Builds the table over `block`.
+    pub fn build(spec: &'a JoinSpec, block: &'a [Tuple]) -> BlockTable<'a> {
+        let mut by_key: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
+        for x in block {
+            by_key.entry(spec.outer_key(x)).or_default().push(x);
+        }
+        BlockTable {
+            spec,
+            by_key,
+            probes: std::cell::Cell::new(0),
+            match_tests: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Probes one inner tuple, pushing every match into `sink`, optionally
+    /// filtered by `emit` (used by the partition join's canonical-partition
+    /// de-duplication rule).
+    pub fn probe(
+        &self,
+        y: &Tuple,
+        sink: &mut ResultSink,
+        emit: impl Fn(&Tuple) -> bool,
+    ) {
+        self.probes.set(self.probes.get() + 1);
+        if let Some(candidates) = self.by_key.get(&self.spec.inner_key(y)) {
+            self.match_tests
+                .set(self.match_tests.get() + candidates.len() as u64);
+            for x in candidates {
+                if let Some(z) = self.spec.try_match(x, y) {
+                    if emit(&z) {
+                        sink.push(z);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `(hash probes, pairwise match tests)` performed so far.
+    pub fn cpu_counters(&self) -> (u64, u64) {
+        (self.probes.get(), self.match_tests.get())
+    }
+}
+
+/// Accumulates the main-memory operation counts of many [`BlockTable`]s
+/// (one per block/partition) into a run-level figure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CpuCounters {
+    /// Inner tuples probed against some block table.
+    pub probes: u64,
+    /// Pairwise `try_match` evaluations (key-equal candidates).
+    pub match_tests: u64,
+}
+
+impl CpuCounters {
+    /// Folds one table's counters in.
+    pub fn absorb(&mut self, table: &BlockTable<'_>) {
+        let (p, m) = table.cpu_counters();
+        self.probes += p;
+        self.match_tests += m;
+    }
+
+    /// Renders as report notes.
+    pub fn notes(&self) -> Vec<(String, i64)> {
+        vec![
+            ("cpu_probes".into(), self.probes as i64),
+            ("cpu_match_tests".into(), self.match_tests as i64),
+        ]
+    }
+}
+
+/// Collects result tuples, counting the pages the result relation would
+/// occupy. Result writes are **not** charged to the I/O budget: the paper
+/// omits them "since this cost is incurred by all evaluation algorithms".
+#[derive(Debug)]
+pub struct ResultSink {
+    schema: Arc<Schema>,
+    page_capacity: usize,
+    used_bytes: usize,
+    tuples: u64,
+    pages: u64,
+    collected: Option<Vec<Tuple>>,
+}
+
+impl ResultSink {
+    /// A sink for results of `schema` on pages of `page_size` bytes.
+    pub fn new(schema: Arc<Schema>, page_size: usize, collect: bool) -> ResultSink {
+        ResultSink {
+            schema,
+            page_capacity: PageBuf::capacity_bytes(page_size),
+            used_bytes: 0,
+            tuples: 0,
+            pages: 0,
+            collected: collect.then(Vec::new),
+        }
+    }
+
+    /// Accepts one result tuple.
+    pub fn push(&mut self, t: Tuple) {
+        let n = vtjoin_storage::codec::encoded_len(&t);
+        if self.used_bytes == 0 || self.used_bytes + n > self.page_capacity {
+            self.pages += 1;
+            self.used_bytes = n.min(self.page_capacity);
+        } else {
+            self.used_bytes += n;
+        }
+        self.tuples += 1;
+        if let Some(v) = &mut self.collected {
+            v.push(t);
+        }
+    }
+
+    /// Number of result tuples so far.
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Number of pages the result would occupy.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Finishes the sink into the report fields.
+    pub fn finish(self) -> (u64, u64, Option<Relation>) {
+        let rel = self
+            .collected
+            .map(|ts| Relation::from_parts_unchecked(self.schema, ts));
+        (self.tuples, self.pages, rel)
+    }
+}
+
+/// The outcome of one join execution.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Algorithm that produced the report.
+    pub algorithm: &'static str,
+    /// Result cardinality.
+    pub result_tuples: u64,
+    /// Pages the result relation would occupy (cost-excluded).
+    pub result_pages: u64,
+    /// Measured I/O over the whole run.
+    pub io: IoStats,
+    /// Named per-phase I/O breakdown, in execution order.
+    pub phases: Vec<(&'static str, IoStats)>,
+    /// The materialized result when [`JoinConfig::collect_result`] was set.
+    pub result: Option<Relation>,
+    /// Algorithm-specific diagnostics (partition count, samples drawn…).
+    pub notes: Vec<(String, i64)>,
+}
+
+impl JoinReport {
+    /// Prices the measured I/O at `ratio`.
+    pub fn cost(&self, ratio: CostRatio) -> u64 {
+        self.io.cost(ratio)
+    }
+
+    /// Looks up a diagnostic note by name.
+    pub fn note(&self, name: &str) -> Option<i64> {
+        self.notes.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// The interface every disk-based algorithm implements.
+pub trait JoinAlgorithm {
+    /// Short stable name ("partition", "sort-merge", "nested-loop").
+    fn name(&self) -> &'static str;
+
+    /// Computes `outer ⋈ᵛ inner` and reports measured I/O.
+    ///
+    /// Statistics are measured as a delta on the shared disk's counters, so
+    /// concurrent unrelated I/O on the same disk would pollute them; the
+    /// harness runs one join at a time per disk.
+    fn execute(
+        &self,
+        outer: &HeapFile,
+        inner: &HeapFile,
+        cfg: &JoinConfig,
+    ) -> Result<JoinReport>;
+}
+
+/// Helper tracking per-phase I/O deltas on a shared disk.
+#[derive(Debug)]
+pub struct PhaseTracker {
+    disk: vtjoin_storage::SharedDisk,
+    start: IoStats,
+    last: IoStats,
+    phases: Vec<(&'static str, IoStats)>,
+}
+
+impl PhaseTracker {
+    /// Starts tracking from the disk's current counters.
+    pub fn start(disk: &vtjoin_storage::SharedDisk) -> PhaseTracker {
+        let now = disk.stats();
+        PhaseTracker { disk: disk.clone(), start: now, last: now, phases: Vec::new() }
+    }
+
+    /// Closes the current phase under `name`.
+    pub fn phase(&mut self, name: &'static str) {
+        let now = self.disk.stats();
+        self.phases.push((name, now - self.last));
+        self.last = now;
+    }
+
+    /// Total I/O since tracking started, plus the phase list.
+    pub fn finish(self) -> (IoStats, Vec<(&'static str, IoStats)>) {
+        (self.disk.stats() - self.start, self.phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtjoin_core::{AttrDef, AttrType, Interval};
+    use vtjoin_storage::SharedDisk;
+
+    fn r_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("b", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn s_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("c", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared()
+    }
+
+    fn rt(k: i64, b: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(b)], Interval::from_raw(s, e).unwrap())
+    }
+
+    fn st(k: i64, c: i64, s: i64, e: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k), Value::Int(c)], Interval::from_raw(s, e).unwrap())
+    }
+
+    #[test]
+    fn spec_matches_paper_definition() {
+        let spec = JoinSpec::natural(&r_schema(), &s_schema()).unwrap();
+        let x = rt(1, 10, 0, 10);
+        let y = st(1, 20, 5, 15);
+        let z = spec.try_match(&x, &y).unwrap();
+        assert_eq!(z.values(), &[Value::Int(1), Value::Int(10), Value::Int(20)]);
+        assert_eq!(z.valid(), Interval::from_raw(5, 10).unwrap());
+        // Key mismatch.
+        assert!(spec.try_match(&x, &st(2, 20, 5, 15)).is_none());
+        // Disjoint time.
+        assert!(spec.try_match(&x, &st(1, 20, 11, 15)).is_none());
+        let names: Vec<&str> =
+            spec.out_schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["k", "b", "c"]);
+    }
+
+    #[test]
+    fn block_table_probe_and_filter() {
+        let spec = JoinSpec::natural(&r_schema(), &s_schema()).unwrap();
+        let block = vec![rt(1, 10, 0, 10), rt(1, 11, 0, 10), rt(2, 12, 0, 10)];
+        let table = BlockTable::build(&spec, &block);
+        let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 4096, true);
+        table.probe(&st(1, 99, 5, 6), &mut sink, |_| true);
+        assert_eq!(sink.tuples(), 2);
+        // Filtered probe.
+        table.probe(&st(2, 99, 5, 6), &mut sink, |_| false);
+        assert_eq!(sink.tuples(), 2);
+        let (n, pages, rel) = sink.finish();
+        assert_eq!(n, 2);
+        assert_eq!(pages, 1);
+        assert_eq!(rel.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn result_sink_counts_pages() {
+        let spec = JoinSpec::natural(&r_schema(), &s_schema()).unwrap();
+        // record ≈ 16 + 1 + 27 = 44 bytes → 2 per 128-byte page (126 usable).
+        let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 128, false);
+        for i in 0..5 {
+            sink.push(spec.try_match(&rt(1, i, 0, 5), &st(1, 9, 0, 5)).unwrap());
+        }
+        assert_eq!(sink.tuples(), 5);
+        assert_eq!(sink.pages(), 3); // 2 + 2 + 1
+        let (_, _, rel) = sink.finish();
+        assert!(rel.is_none());
+    }
+
+    #[test]
+    fn phase_tracker_deltas() {
+        let disk = SharedDisk::new(64);
+        let ext = disk.alloc(4);
+        let mut tr = PhaseTracker::start(&disk);
+        disk.write(ext.page(0), vec![0; 64]).unwrap();
+        tr.phase("one");
+        disk.write(ext.page(1), vec![0; 64]).unwrap();
+        disk.write(ext.page(2), vec![0; 64]).unwrap();
+        tr.phase("two");
+        let (total, phases) = tr.finish();
+        assert_eq!(total.total_ios(), 3);
+        assert_eq!(phases[0].0, "one");
+        assert_eq!(phases[0].1.total_ios(), 1);
+        assert_eq!(phases[1].1.total_ios(), 2);
+    }
+
+    #[test]
+    fn config_builder() {
+        let cfg = JoinConfig::with_buffer(100)
+            .ratio(CostRatio::R10)
+            .seed(7)
+            .collecting();
+        assert_eq!(cfg.buffer_pages, 100);
+        assert_eq!(cfg.ratio, CostRatio::R10);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.collect_result);
+    }
+}

@@ -1,0 +1,190 @@
+//! Closed-form analytic cost models.
+//!
+//! §4.1 notes the paper "calculated analytical results for nested-loops
+//! join" rather than simulating it. These models serve three purposes:
+//! they reproduce that analytic baseline, they act as oracles for the
+//! executable algorithms in the test suite (the nested-loop model is
+//! exact; the others are bounds), and they power the engine's cost-based
+//! join planner.
+
+use vtjoin_storage::CostRatio;
+
+/// Exact I/O cost of [`crate::NestedLoopJoin`]: the outer relation is read
+/// once in chunks of `buffer − 2` pages; each chunk triggers one full scan
+/// of the inner relation. Each chunk read and each inner scan is one
+/// random access followed by sequential reads.
+pub fn nested_loop_cost(
+    outer_pages: u64,
+    inner_pages: u64,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> u64 {
+    if outer_pages == 0 || buffer_pages < 3 {
+        return 0;
+    }
+    let chunk = buffer_pages - 2;
+    let chunks = outer_pages.div_ceil(chunk);
+    if inner_pages == 0 {
+        // No inner scans move the head: the outer read is one contiguous
+        // scan regardless of chunking.
+        return scan(outer_pages, ratio);
+    }
+    // Outer: every chunk begins with a seek (the inner scan moved the
+    // head); the rest of the chunk is sequential.
+    let outer_cost = chunks * ratio.random + (outer_pages - chunks);
+    // Inner: per chunk, one seek + sequential scan.
+    let inner_cost = chunks * (ratio.random + (inner_pages - 1));
+    outer_cost + inner_cost
+}
+
+/// Analytic estimate of [`crate::SortMergeJoin`] **without** backing up
+/// (the best case: no long-lived tuples). Each relation is read and
+/// written once during run formation, read and written once per extra
+/// merge pass, and read once more by the merge-join. Seeks: one per run
+/// per refill round plus one per output file.
+pub fn sort_merge_cost_lower_bound(
+    outer_pages: u64,
+    inner_pages: u64,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> u64 {
+    sort_cost(outer_pages, buffer_pages, ratio)
+        + sort_cost(inner_pages, buffer_pages, ratio)
+        + scan(outer_pages, ratio)
+        + scan(inner_pages, ratio)
+}
+
+/// Analytic cost of externally sorting a `pages`-page file with
+/// `buffer_pages` pages of memory (matches [`crate::sort::external_sort`]'s
+/// structure; slightly optimistic about merge-phase seeks).
+pub fn sort_cost(pages: u64, buffer_pages: u64, ratio: CostRatio) -> u64 {
+    if pages == 0 {
+        return 0;
+    }
+    let buffer = buffer_pages.max(3);
+    let mut runs = pages.div_ceil(buffer);
+    // Run formation: read input once (runs chunks, each re-seeking after
+    // the interleaved run write), write each run (one seek each).
+    let mut cost = runs * ratio.random + (pages - runs) // reads
+        + runs * ratio.random + (pages - runs); // writes
+    let fan_in = (buffer - 1).max(2);
+    while runs > 1 {
+        let groups = runs.div_ceil(fan_in);
+        // Each merge pass rereads and rewrites every page; every refill of
+        // every run seeks. Refills per run ≈ run_len / per_run_buffer.
+        let per_run = ((buffer - 1) / runs.min(fan_in)).max(1);
+        let refills = pages.div_ceil(per_run);
+        cost += refills * ratio.random + pages.saturating_sub(refills); // reads
+        cost += groups * ratio.random + (pages - groups); // writes
+        runs = groups;
+    }
+    cost
+}
+
+/// One seek plus a sequential scan.
+pub fn scan(pages: u64, ratio: CostRatio) -> u64 {
+    if pages == 0 {
+        0
+    } else {
+        ratio.random + (pages - 1)
+    }
+}
+
+/// Analytic estimate of [`crate::PartitionJoin`] ignoring tuple-cache
+/// traffic and sampling-estimate error — a lower bound: one sampling scan,
+/// one read+write pass to partition each relation, one read pass to join.
+pub fn partition_cost_lower_bound(
+    outer_pages: u64,
+    inner_pages: u64,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> u64 {
+    let outer_area = buffer_pages.saturating_sub(3);
+    if outer_pages <= outer_area {
+        // Degenerate: no sampling, no partitioning.
+        return scan(outer_pages, ratio) + scan(inner_pages, ratio);
+    }
+    let part_size = outer_area.saturating_sub(1).max(1);
+    let n = outer_pages.div_ceil(part_size);
+    let sample = scan(outer_pages, ratio); // §4.2 cap
+    let partition = 2 * (scan(outer_pages, ratio) + outer_pages)
+        + 2 * (scan(inner_pages, ratio) + inner_pages);
+    // Joining: one seek per partition per relation.
+    let join = n * ratio.random + outer_pages.saturating_sub(n)
+        + n * ratio.random
+        + inner_pages.saturating_sub(n);
+    sample + partition / 2 + join
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_loop_paper_figure_7_value() {
+        // 8192-page relations, 8 MB = 2048-page buffer, 5:1 ratio: the
+        // paper's flat nested-loop line sits at ≈ 41 000 cost units (they
+        // charge ⌈|r|/M⌉ = 4 inner scans; reserving the inner and result
+        // pages makes it 5 chunks here — see EXPERIMENTS.md).
+        let c = nested_loop_cost(8192, 8192, 2048, CostRatio::R5);
+        assert!((40_000..52_000).contains(&c), "got {c}");
+        // Without the 2-page reservation the paper's value appears exactly.
+        let paper = nested_loop_cost(8192, 8192, 2050, CostRatio::R5);
+        assert!((40_000..42_000).contains(&paper), "got {paper}");
+    }
+
+    #[test]
+    fn nested_loop_memory_extremes() {
+        // Tiny memory: chunk of 1 → quadratic behaviour.
+        let tiny = nested_loop_cost(100, 100, 3, CostRatio::R5);
+        assert!(tiny > 100 * 100);
+        // Outer fits: two scans.
+        let big = nested_loop_cost(100, 100, 102, CostRatio::R5);
+        assert_eq!(big, (5 + 99) + (5 + 99));
+        // Degenerate inputs.
+        assert_eq!(nested_loop_cost(0, 50, 10, CostRatio::R5), 0);
+        assert_eq!(nested_loop_cost(50, 0, 10, CostRatio::R5), scan(50, CostRatio::R5));
+    }
+
+    #[test]
+    fn sort_cost_decreases_with_memory() {
+        let small = sort_cost(1000, 4, CostRatio::R5);
+        let mid = sort_cost(1000, 32, CostRatio::R5);
+        let big = sort_cost(1000, 1001, CostRatio::R5);
+        assert!(small > mid, "{small} !> {mid}");
+        assert!(mid > big, "{mid} !> {big}");
+        assert_eq!(sort_cost(0, 8, CostRatio::R5), 0);
+    }
+
+    #[test]
+    fn model_ordering_matches_paper_at_8mb() {
+        // At the paper's Figure 7 operating point, the analytic models must
+        // order NL < PJ < SM for equal-size relations.
+        let (r, s, m) = (8192, 8192, 2048);
+        let nl = nested_loop_cost(r, s, m, CostRatio::R5);
+        let pj = partition_cost_lower_bound(r, s, m, CostRatio::R5);
+        let sm = sort_merge_cost_lower_bound(r, s, m, CostRatio::R5);
+        assert!(nl < pj, "nl {nl} !< pj {pj}");
+        assert!(pj < sm, "pj {pj} !< sm {sm}");
+    }
+
+    #[test]
+    fn nested_loop_blows_up_at_small_memory() {
+        // Figure 6's qualitative claim: at 1 MB nested loop is far worse
+        // than the others; at 32 MB it is competitive.
+        let (r, s) = (8192, 8192);
+        let nl_small = nested_loop_cost(r, s, 256, CostRatio::R5);
+        let sm_small = sort_merge_cost_lower_bound(r, s, 256, CostRatio::R5);
+        assert!(nl_small > 3 * sm_small, "nl {nl_small} vs sm {sm_small}");
+        let nl_big = nested_loop_cost(r, s, 8192, CostRatio::R5);
+        let sm_big = sort_merge_cost_lower_bound(r, s, 8192, CostRatio::R5);
+        assert!(nl_big < sm_big);
+    }
+
+    #[test]
+    fn scan_formula() {
+        assert_eq!(scan(0, CostRatio::R10), 0);
+        assert_eq!(scan(1, CostRatio::R10), 10);
+        assert_eq!(scan(8192, CostRatio::R10), 10 + 8191);
+    }
+}

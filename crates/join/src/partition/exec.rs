@@ -1,0 +1,556 @@
+//! Joining the partitioned relations (procedure `joinPartitions`,
+//! Figure 9 / §3.3 and Appendix A.1).
+//!
+//! Partitions are processed from the **last** (`pₙ`) to the **first**
+//! (`p₁`). Per partition `pᵢ`:
+//!
+//! 1. outer tuples that do not overlap `pᵢ` are purged from the in-memory
+//!    outer buffer, and the stored partition `rᵢ` is read in;
+//! 2. the outer buffer is joined against the in-memory tuple-cache page
+//!    left by the previous iteration, whose still-live tuples migrate to
+//!    the new cache;
+//! 3. each **flushed** tuple-cache page is read back, joined, and its live
+//!    tuples migrate to the new cache;
+//! 4. each page of `sᵢ` is read, joined, and its tuples overlapping `pᵢ₋₁`
+//!    migrate to the new cache.
+//!
+//! **Emission rule.** A matching pair may be co-present in *every*
+//! partition their overlap spans (the outer tuple retained, the inner
+//! cached). Figure 9 does not address the resulting duplicates; this
+//! implementation emits a pair exactly in the partition containing the
+//! **end of the overlap interval** — both tuples are provably present
+//! there, and in no other partition is the rule satisfied. See DESIGN.md.
+//!
+//! **Overflow.** When the outer buffer exceeds its share (a sampling-error
+//! event the paper tolerates: "only performance will suffer"), the outer
+//! block is split into chunks and the inner inputs are re-scanned per
+//! extra chunk — a block-nested-loop fallback whose extra I/O is the
+//! "buffer thrashing" cost.
+
+use super::intervals::is_partitioning;
+use crate::common::{BlockTable, CpuCounters, JoinSpec, Result, ResultSink};
+use vtjoin_core::{Interval, Tuple};
+use vtjoin_storage::{codec, FileHandle, HeapFile, PageBuf};
+
+/// Diagnostics from the join phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecNotes {
+    /// Tuple-cache pages written to disk.
+    pub cache_pages_written: i64,
+    /// Tuple-cache pages read back from disk.
+    pub cache_page_reads: i64,
+    /// Extra outer chunks caused by partition overflow (0 = estimates held).
+    pub overflow_chunks: i64,
+    /// Long-lived outer tuples retained across partition boundaries.
+    pub retained_outer_tuples: i64,
+    /// Main-memory operation counts (§5 future-work extension).
+    pub cpu: CpuCounters,
+}
+
+/// The tuple cache: one in-memory accumulating page, a small
+/// write-combining buffer (so cache appends are physically sequential, as
+/// §4.3 describes: "additional pages appended to the tuple cache … incur
+/// an inexpensive sequential I/O cost" — with a single page and a shared
+/// disk head every append would seek), an optional reserved set of
+/// permanently in-memory pages (§5 future-work extension), and a disk
+/// file for the rest.
+struct CacheStore {
+    disk_file: FileHandle,
+    mem_pages: Vec<Vec<Tuple>>,
+    reserved: usize,
+    write_buffer: Vec<Vec<Tuple>>,
+    write_batch: usize,
+    current: Vec<Tuple>,
+    current_bytes: usize,
+    page_capacity: usize,
+    pages_written: i64,
+}
+
+impl CacheStore {
+    fn new(
+        disk: &vtjoin_storage::SharedDisk,
+        capacity_pages: u64,
+        reserved: usize,
+        write_batch: usize,
+    ) -> CacheStore {
+        CacheStore {
+            disk_file: FileHandle::create(disk, capacity_pages),
+            mem_pages: Vec::new(),
+            reserved,
+            write_buffer: Vec::new(),
+            write_batch: write_batch.max(1),
+            current: Vec::new(),
+            current_bytes: 0,
+            page_capacity: PageBuf::capacity_bytes(disk.page_size()),
+            pages_written: 0,
+        }
+    }
+
+    /// Adds a migrated tuple, spilling a full page to the reserved area or
+    /// to the write buffer (flushed to disk in sequential bursts).
+    fn push(&mut self, t: Tuple) -> Result<()> {
+        let n = codec::encoded_len(&t);
+        if self.current_bytes + n > self.page_capacity && !self.current.is_empty() {
+            let full = std::mem::take(&mut self.current);
+            self.current_bytes = 0;
+            if self.mem_pages.len() < self.reserved {
+                self.mem_pages.push(full);
+            } else {
+                self.write_buffer.push(full);
+                if self.write_buffer.len() >= self.write_batch {
+                    self.flush_writes()?;
+                }
+            }
+        }
+        self.current_bytes += n;
+        self.current.push(t);
+        Ok(())
+    }
+
+    /// Flushes the write buffer as one contiguous burst.
+    fn flush_writes(&mut self) -> Result<()> {
+        for tuples in std::mem::take(&mut self.write_buffer) {
+            let mut buf =
+                PageBuf::new(self.page_capacity + vtjoin_storage::PAGE_HEADER_BYTES);
+            for t in &tuples {
+                let fit = buf.try_push(t)?;
+                debug_assert!(fit, "cache page packing mismatch");
+            }
+            self.disk_file.append(buf.take())?;
+            self.pages_written += 1;
+        }
+        Ok(())
+    }
+
+    /// Ends the filling phase: everything except the partial current page
+    /// and the reserved pages goes to disk.
+    fn seal(&mut self) -> Result<()> {
+        self.flush_writes()
+    }
+
+    /// Number of flushed disk pages.
+    fn disk_pages(&self) -> u64 {
+        self.disk_file.len()
+    }
+
+    /// Reads back a flushed page (charged).
+    fn read_disk_page(&self, i: u64) -> Result<Vec<Tuple>> {
+        Ok(PageBuf::decode_page(&self.disk_file.read(i)?)?)
+    }
+}
+
+/// Pages taken from the outer area as the cache write-combining buffer.
+pub const CACHE_WRITE_BATCH: u64 = 8;
+
+/// Runs the Figure 9 loop. `reserved_cache_pages` > 0 activates the §5
+/// extension that trades outer-buffer space for in-memory cache pages.
+pub fn join_partitions(
+    r_parts: &[HeapFile],
+    s_parts: &[HeapFile],
+    intervals: &[Interval],
+    buffer_pages: u64,
+    reserved_cache_pages: u64,
+    spec: &JoinSpec,
+    sink: &mut ResultSink,
+) -> Result<ExecNotes> {
+    assert!(is_partitioning(intervals));
+    assert_eq!(r_parts.len(), intervals.len());
+    assert_eq!(s_parts.len(), intervals.len());
+    let n = intervals.len();
+    let disk = r_parts[0].disk().clone();
+    let page_capacity = PageBuf::capacity_bytes(disk.page_size());
+
+    // Figure 3 layout: outer area + inner page + cache page + result page,
+    // minus the cache write-combining buffer and any pages reserved for
+    // the in-memory cache extension.
+    let write_batch = CACHE_WRITE_BATCH.min((buffer_pages / 4).max(1));
+    let outer_area = buffer_pages
+        .saturating_sub(3)
+        .saturating_sub(write_batch)
+        .saturating_sub(reserved_cache_pages)
+        .max(1);
+
+    let s_total_pages: u64 = s_parts.iter().map(HeapFile::pages).sum();
+    let cache_capacity = s_total_pages + n as u64 + 1;
+
+    let mut notes = ExecNotes::default();
+    let mut outer_part: Vec<Tuple> = Vec::new();
+    // Ping-pong cache stores: `old` was filled while joining p_{i+1}.
+    let mut old_cache = CacheStore::new(
+        &disk,
+        cache_capacity,
+        reserved_cache_pages as usize,
+        write_batch as usize,
+    );
+    for i in (0..n).rev() {
+        let p_i = intervals[i];
+        let p_prev = (i > 0).then(|| intervals[i - 1]);
+        let mut new_cache = CacheStore::new(
+            &disk,
+            cache_capacity,
+            reserved_cache_pages as usize,
+            write_batch as usize,
+        );
+
+        // 1. Purge dead outer tuples, then read the stored partition.
+        outer_part.retain(|x| x.valid().overlaps(p_i));
+        notes.retained_outer_tuples += outer_part.len() as i64;
+        for p in 0..r_parts[i].pages() {
+            outer_part.extend(r_parts[i].read_page(p)?);
+        }
+
+        // Overflow chunking (block-NL fallback on estimate error).
+        let chunks = chunk_by_pages(&outer_part, page_capacity, outer_area);
+        notes.overflow_chunks += chunks.len() as i64 - 1;
+
+        for (ci, range) in chunks.iter().enumerate() {
+            let migrate = ci == 0;
+            let table = BlockTable::build(spec, &outer_part[range.clone()]);
+            let emit = |z: &Tuple| p_i.contains_chronon(z.valid().end());
+
+            // 2. The in-memory cache page from the previous iteration.
+            for y in &old_cache.current {
+                table.probe(y, sink, emit);
+            }
+            // 2b. Reserved in-memory cache pages (extension; free I/O).
+            for page in &old_cache.mem_pages {
+                for y in page {
+                    table.probe(y, sink, emit);
+                }
+            }
+            // 3. Flushed cache pages (charged reads).
+            for cp in 0..old_cache.disk_pages() {
+                let tuples = old_cache.read_disk_page(cp)?;
+                notes.cache_page_reads += 1;
+                for y in &tuples {
+                    table.probe(y, sink, emit);
+                }
+                if migrate {
+                    if let Some(prev) = p_prev {
+                        for y in tuples {
+                            if y.valid().overlaps(prev) {
+                                new_cache.push(y)?;
+                            }
+                        }
+                    }
+                }
+            }
+            // 4. The stored inner partition.
+            for sp in 0..s_parts[i].pages() {
+                let tuples = s_parts[i].read_page(sp)?;
+                for y in &tuples {
+                    table.probe(y, sink, emit);
+                }
+                if migrate {
+                    if let Some(prev) = p_prev {
+                        for y in tuples {
+                            if y.valid().overlaps(prev) {
+                                new_cache.push(y)?;
+                            }
+                        }
+                    }
+                }
+            }
+            notes.cpu.absorb(&table);
+        }
+
+        // Migrate the previous in-memory cache contents (Figure 9 purges
+        // cachePage into newCachePage; order relative to steps 3-4 only
+        // affects page packing).
+        if let Some(prev) = p_prev {
+            for page in std::mem::take(&mut old_cache.mem_pages) {
+                for y in page {
+                    if y.valid().overlaps(prev) {
+                        new_cache.push(y)?;
+                    }
+                }
+            }
+            for y in std::mem::take(&mut old_cache.current) {
+                if y.valid().overlaps(prev) {
+                    new_cache.push(y)?;
+                }
+            }
+        }
+
+        new_cache.seal()?;
+        notes.cache_pages_written += new_cache.pages_written;
+        old_cache = new_cache;
+    }
+    Ok(notes)
+}
+
+/// Splits `tuples` into index ranges, each packing into at most
+/// `max_pages` pages of `page_capacity` usable bytes.
+pub(crate) fn chunk_by_pages(
+    tuples: &[Tuple],
+    page_capacity: usize,
+    max_pages: u64,
+) -> Vec<std::ops::Range<usize>> {
+    if tuples.is_empty() {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let mut out = Vec::new();
+    let mut chunk_start = 0usize;
+    let mut pages_used = 1u64;
+    let mut used_in_page = 0usize;
+    for (i, t) in tuples.iter().enumerate() {
+        let n = codec::encoded_len(t);
+        if used_in_page + n > page_capacity && used_in_page > 0 {
+            if pages_used == max_pages {
+                out.push(chunk_start..i);
+                chunk_start = i;
+                pages_used = 1;
+            } else {
+                pages_used += 1;
+            }
+            used_in_page = 0;
+        }
+        used_in_page += n;
+    }
+    out.push(chunk_start..tuples.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::grace::do_partitioning;
+    use crate::partition::intervals::equal_width;
+    use std::sync::Arc;
+    use vtjoin_core::algebra::natural_join;
+    use vtjoin_core::{AttrDef, AttrType, Relation, Schema, Tuple, Value};
+    use vtjoin_storage::SharedDisk;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        (
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("b", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("c", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+        )
+    }
+
+    fn mixed(n: i64, keys: i64, long_every: i64, r_side: bool) -> Relation {
+        let (rs, ss) = schemas();
+        let schema = if r_side { rs } else { ss };
+        let tuples = (0..n)
+            .map(|i| {
+                let seed = if r_side { i * 13 } else { i * 17 + 5 };
+                let start = seed % 400;
+                let iv = if long_every > 0 && i % long_every == 0 {
+                    Interval::from_raw(start % 200, start % 200 + 200).unwrap()
+                } else {
+                    Interval::from_raw(start, start).unwrap()
+                };
+                Tuple::new(vec![Value::Int(i % keys), Value::Int(i)], iv)
+            })
+            .collect();
+        Relation::from_parts_unchecked(schema, tuples)
+    }
+
+    fn run_exec(
+        r: &Relation,
+        s: &Relation,
+        num_parts: u64,
+        buffer: u64,
+        reserved: u64,
+    ) -> (Relation, ExecNotes, vtjoin_storage::IoStats) {
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, s).unwrap();
+        let parts_iv = equal_width(Interval::from_raw(0, 400).unwrap(), num_parts);
+        let rp = do_partitioning(&hr, &parts_iv, buffer).unwrap();
+        let sp = do_partitioning(&hs, &parts_iv, buffer).unwrap();
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, true);
+        disk.reset_stats();
+        let notes = join_partitions(
+            &rp,
+            &sp,
+            &parts_iv,
+            buffer,
+            reserved,
+            &spec,
+            &mut sink,
+        )
+        .unwrap();
+        let (_, _, rel) = sink.finish();
+        (rel.unwrap(), notes, disk.stats())
+    }
+
+    fn assert_oracle(n: i64, keys: i64, long_every: i64, parts: u64, buffer: u64) {
+        let r = mixed(n, keys, long_every, true);
+        let s = mixed(n, keys, long_every, false);
+        let (got, _, _) = run_exec(&r, &s, parts, buffer, 0);
+        let want = natural_join(&r, &s).unwrap();
+        assert!(
+            got.multiset_eq(&want),
+            "n={n} keys={keys} ll={long_every} parts={parts} buffer={buffer}: \
+             got {} want {} (diff {} entries)",
+            got.len(),
+            want.len(),
+            got.multiset_diff(&want).len()
+        );
+    }
+
+    #[test]
+    fn matches_oracle_short_tuples() {
+        assert_oracle(150, 5, 0, 4, 16);
+    }
+
+    #[test]
+    fn matches_oracle_with_long_lived() {
+        assert_oracle(150, 5, 6, 4, 16);
+        assert_oracle(200, 3, 3, 5, 16);
+    }
+
+    #[test]
+    fn matches_oracle_single_partition() {
+        assert_oracle(80, 4, 5, 1, 16);
+    }
+
+    #[test]
+    fn matches_oracle_many_partitions() {
+        assert_oracle(300, 7, 4, 8, 32);
+    }
+
+    #[test]
+    fn no_duplicates_from_migration() {
+        // Long-lived tuples on both sides spanning every partition: the
+        // canonical-partition rule must emit each pair exactly once.
+        let (rs, ss) = schemas();
+        let r = Relation::from_parts_unchecked(
+            rs,
+            vec![
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(0)],
+                    Interval::from_raw(0, 400).unwrap(),
+                ),
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(1)],
+                    Interval::from_raw(50, 350).unwrap(),
+                ),
+            ],
+        );
+        let s = Relation::from_parts_unchecked(
+            ss,
+            vec![
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(9)],
+                    Interval::from_raw(0, 400).unwrap(),
+                ),
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(8)],
+                    Interval::from_raw(100, 300).unwrap(),
+                ),
+            ],
+        );
+        let (got, _, _) = run_exec(&r, &s, 4, 16, 0);
+        let want = natural_join(&r, &s).unwrap();
+        assert_eq!(got.len(), 4, "{got}");
+        assert!(got.multiset_eq(&want));
+    }
+
+    #[test]
+    fn long_lived_tuples_page_the_cache() {
+        let r0 = mixed(400, 5, 0, true);
+        let s0 = mixed(400, 5, 0, false);
+        let r1 = mixed(400, 5, 2, true);
+        let s1 = mixed(400, 5, 2, false);
+        let (_, notes0, _) = run_exec(&r0, &s0, 8, 12, 0);
+        let (_, notes1, _) = run_exec(&r1, &s1, 8, 12, 0);
+        assert_eq!(notes0.cache_pages_written, 0, "no long-lived → no cache");
+        assert!(
+            notes1.cache_pages_written > 0,
+            "long-lived inner tuples must hit the cache"
+        );
+        assert!(notes1.retained_outer_tuples > notes0.retained_outer_tuples);
+    }
+
+    #[test]
+    fn reserved_cache_pages_reduce_cache_io() {
+        let r = mixed(400, 5, 2, true);
+        let s = mixed(400, 5, 2, false);
+        let (got0, notes0, _) = run_exec(&r, &s, 8, 14, 0);
+        let (got1, notes1, _) = run_exec(&r, &s, 8, 14, 4);
+        assert!(got0.multiset_eq(&got1), "extension must not change the result");
+        assert!(
+            notes1.cache_pages_written < notes0.cache_pages_written,
+            "reserved pages should absorb cache traffic: {} !< {}",
+            notes1.cache_pages_written,
+            notes0.cache_pages_written
+        );
+    }
+
+    #[test]
+    fn overflow_chunks_keep_correctness() {
+        // Deliberately tiny outer area: partitions of the outer relation
+        // cannot fit, forcing chunked (block-NL fallback) processing.
+        let r = mixed(300, 4, 5, true);
+        let s = mixed(300, 4, 5, false);
+        let (got, notes, _) = run_exec(&r, &s, 2, 5, 0); // outer area = 2 pages
+        assert!(notes.overflow_chunks > 0, "fixture must overflow");
+        let want = natural_join(&r, &s).unwrap();
+        assert!(got.multiset_eq(&want));
+    }
+
+    #[test]
+    fn join_reads_each_partition_once_without_long_lived() {
+        let r = mixed(400, 5, 0, true);
+        let s = mixed(400, 5, 0, false);
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        let parts_iv = equal_width(Interval::from_raw(0, 400).unwrap(), 4);
+        let rp = do_partitioning(&hr, &parts_iv, 32).unwrap();
+        let sp = do_partitioning(&hs, &parts_iv, 32).unwrap();
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, false);
+        disk.reset_stats();
+        join_partitions(&rp, &sp, &parts_iv, 32, 0, &spec, &mut sink).unwrap();
+        let st = disk.stats();
+        let part_pages: u64 =
+            rp.iter().map(HeapFile::pages).sum::<u64>() + sp.iter().map(HeapFile::pages).sum::<u64>();
+        assert_eq!(st.random_reads + st.seq_reads, part_pages, "single pass");
+        assert_eq!(st.random_writes + st.seq_writes, 0, "no cache traffic");
+    }
+
+    #[test]
+    fn empty_relations() {
+        let (rs, ss) = schemas();
+        let r = Relation::empty(rs);
+        let s = mixed(50, 3, 0, false);
+        let (got, _, _) = run_exec(&r, &s, 3, 8, 0);
+        assert!(got.is_empty());
+        let (got2, _, _) = run_exec(&mixed(50, 3, 0, true), &Relation::empty(ss), 3, 8, 0);
+        assert!(got2.is_empty());
+    }
+
+    #[test]
+    fn chunk_by_pages_respects_budget() {
+        let t = |pad: usize| {
+            Tuple::new(
+                vec![Value::Bytes(vec![0; pad])],
+                Interval::from_raw(0, 0).unwrap(),
+            )
+        };
+        // each tuple 16 + 1 + 3 + 30 = 50 bytes; capacity 100 → 2 per page.
+        let tuples: Vec<Tuple> = (0..10).map(|_| t(30)).collect();
+        let chunks = chunk_by_pages(&tuples, 100, 2); // 2 pages per chunk = 4 tuples
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], 0..4);
+        assert_eq!(chunks[1], 4..8);
+        assert_eq!(chunks[2], 8..10);
+        assert_eq!(chunk_by_pages(&tuples, 100, 100).len(), 1);
+        assert_eq!(chunk_by_pages(&[], 100, 1), vec![0..0]);
+    }
+}

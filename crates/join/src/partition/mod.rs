@@ -1,0 +1,192 @@
+//! The valid-time partition join (paper §3) and its ablation variant.
+//!
+//! Evaluation has three phases, mirroring `partitionJoin` in Figure 2:
+//!
+//! 1. [`planner::determine_part_intervals`] — chooses the partitioning
+//!    intervals by sampling the outer relation and minimizing
+//!    `C_sample + C_join` over candidate partition sizes (Figure 10).
+//! 2. [`grace::do_partitioning`] — Grace-partitions both relations over
+//!    those intervals, storing each tuple in its **last** overlapping
+//!    partition (§3.3).
+//! 3. [`exec::join_partitions`] — joins corresponding partitions from the
+//!    last to the first, retaining long-lived outer tuples in memory and
+//!    migrating long-lived inner tuples through the paged tuple cache
+//!    (Figure 9).
+//!
+//! [`ReplicatedPartitionJoin`] implements the Leung–Muntz alternative the
+//! paper rejects — tuples physically copied into every overlapping
+//! partition — so the two strategies can be compared directly.
+
+pub mod cache_est;
+pub mod exec;
+pub mod grace;
+pub mod intervals;
+pub mod planner;
+pub mod replicated;
+pub mod sampling;
+
+pub use planner::{CandidateCost, PartitionPlan, PlannerOutput};
+pub use replicated::ReplicatedPartitionJoin;
+
+pub(crate) use exec::chunk_by_pages as exec_chunks;
+
+use crate::common::{
+    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker,
+    Result, ResultSink,
+};
+use std::sync::Arc;
+use vtjoin_core::Tuple;
+use vtjoin_storage::HeapFile;
+
+/// The paper's partition-based valid-time natural join.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionJoin {
+    /// §5 future-work extension: when set, the tuple-cache sizes are
+    /// estimated from a sample of the *inner* relation instead of reusing
+    /// the outer sample (the paper assumes similar distributions; this
+    /// flag removes that assumption at the cost of a second sampling pass).
+    pub sample_inner_for_cache: bool,
+    /// §5 future-work extension: reserve this many buffer pages to hold the
+    /// head of the tuple cache in memory, trading outer-partition space for
+    /// reduced cache paging.
+    pub reserved_cache_pages: u64,
+}
+
+impl PartitionJoin {
+    /// Minimum buffer: outer area ≥ 1, inner page, cache page, result page
+    /// (Figure 3).
+    pub const MIN_BUFFER_PAGES: u64 = 4;
+
+    /// Plans, partitions, and joins, returning both the report and the full
+    /// planner output (used by the Figure 4 harness).
+    pub fn execute_with_plan(
+        &self,
+        outer: &HeapFile,
+        inner: &HeapFile,
+        cfg: &JoinConfig,
+    ) -> Result<(JoinReport, PlannerOutput)> {
+        if cfg.buffer_pages < Self::MIN_BUFFER_PAGES {
+            return Err(JoinError::InsufficientMemory {
+                algorithm: "partition",
+                needed: Self::MIN_BUFFER_PAGES,
+                available: cfg.buffer_pages,
+            });
+        }
+        let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
+        let disk = outer.disk().clone();
+        let mut tracker = PhaseTracker::start(&disk);
+        let mut sink = ResultSink::new(
+            Arc::clone(spec.out_schema()),
+            disk.page_size(),
+            cfg.collect_result,
+        );
+
+        // Degenerate case: the outer relation fits in the outer buffer area
+        // outright — one partition covering all of time, no sampling and no
+        // physical partitioning (§3.1's ideal case).
+        let outer_area = cfg.buffer_pages - 3;
+        if outer.pages() <= outer_area {
+            let block = read_whole(outer)?;
+            tracker.phase("plan");
+            tracker.phase("partition");
+            let table = BlockTable::build(&spec, &block);
+            for p in 0..inner.pages() {
+                for y in inner.read_page(p)? {
+                    table.probe(&y, &mut sink, |_| true);
+                }
+            }
+            let mut cpu = crate::common::CpuCounters::default();
+            cpu.absorb(&table);
+            tracker.phase("join");
+            let (io, phases) = tracker.finish();
+            let (result_tuples, result_pages, result) = sink.finish();
+            let planner_out = PlannerOutput::degenerate(outer.pages());
+            let report = JoinReport {
+                algorithm: "partition",
+                result_tuples,
+                result_pages,
+                io,
+                phases,
+                result,
+                notes: {
+                    let mut notes = vec![
+                        ("num_partitions".to_string(), 1),
+                        ("samples_drawn".to_string(), 0),
+                        ("cache_pages_written".to_string(), 0),
+                        ("overflow_chunks".to_string(), 0),
+                    ];
+                    notes.extend(cpu.notes());
+                    notes
+                },
+            };
+            return Ok((report, planner_out));
+        }
+
+        let inner_sample = if self.sample_inner_for_cache { Some(inner) } else { None };
+        let planner_out =
+            planner::determine_part_intervals(outer, inner, inner_sample, cfg)?;
+        tracker.phase("plan");
+
+        let plan = &planner_out.plan;
+        let r_parts = grace::do_partitioning(outer, &plan.intervals, cfg.buffer_pages)?;
+        let s_parts = grace::do_partitioning(inner, &plan.intervals, cfg.buffer_pages)?;
+        tracker.phase("partition");
+
+        let exec_notes = exec::join_partitions(
+            &r_parts,
+            &s_parts,
+            &plan.intervals,
+            cfg.buffer_pages,
+            self.reserved_cache_pages,
+            &spec,
+            &mut sink,
+        )?;
+        tracker.phase("join");
+
+        let (io, phases) = tracker.finish();
+        let (result_tuples, result_pages, result) = sink.finish();
+        let report = JoinReport {
+            algorithm: "partition",
+            result_tuples,
+            result_pages,
+            io,
+            phases,
+            result,
+            notes: vec![
+                ("num_partitions".into(), plan.intervals.len() as i64),
+                ("part_size".into(), plan.part_size as i64),
+                ("samples_drawn".into(), plan.samples_drawn as i64),
+                ("cache_pages_written".into(), exec_notes.cache_pages_written),
+                ("cache_page_reads".into(), exec_notes.cache_page_reads),
+                ("overflow_chunks".into(), exec_notes.overflow_chunks),
+                ("retained_outer_tuples".into(), exec_notes.retained_outer_tuples),
+                ("cpu_probes".into(), exec_notes.cpu.probes as i64),
+                ("cpu_match_tests".into(), exec_notes.cpu.match_tests as i64),
+            ],
+        };
+        Ok((report, planner_out))
+    }
+}
+
+fn read_whole(heap: &HeapFile) -> Result<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(heap.tuples() as usize);
+    for p in 0..heap.pages() {
+        out.extend(heap.read_page(p)?);
+    }
+    Ok(out)
+}
+
+impl JoinAlgorithm for PartitionJoin {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn execute(
+        &self,
+        outer: &HeapFile,
+        inner: &HeapFile,
+        cfg: &JoinConfig,
+    ) -> Result<JoinReport> {
+        self.execute_with_plan(outer, inner, cfg).map(|(r, _)| r)
+    }
+}

@@ -1,0 +1,432 @@
+//! Choosing the partition size (algorithm `determinePartIntervals`,
+//! Figure 10).
+//!
+//! For a buffer of `buffSize` pages devoted to the outer-partition area,
+//! every candidate partition size `partSize` implies an error budget
+//! `errorSize = buffSize − partSize` and hence, via the Kolmogorov bound, a
+//! sample count and sampling cost `C_sample`; the samples in turn give the
+//! partitioning intervals and an estimate of the tuple-cache paging that
+//! determines `C_join`. The planner returns the candidate minimizing
+//! `C_sample + C_join` (Grace partitioning cost is independent of the
+//! choice, §3.4), together with the full per-candidate cost table — the
+//! data behind the paper's Figure 4 trade-off plot.
+//!
+//! Deviations from the published pseudocode, recorded in DESIGN.md:
+//!
+//! * the paper iterates `partSize` from 1 to `buffSize`; the cost curve is
+//!   smooth, so this implementation evaluates a configurable stride of
+//!   candidates ([`crate::JoinConfig::planner_candidates`]) spanning the
+//!   same range — including both endpoints — which finds the same minimum;
+//! * candidates that would produce more partitions than the Grace phase
+//!   has output buffers for (`numPartitions > buffer_pages − 1`) are
+//!   infeasible and skipped;
+//! * physical sampling is performed once, up front, at the largest sample
+//!   count any candidate requires (the paper draws incrementally inside
+//!   the loop, reaching the same total), with the §4.2 sequential-scan cap
+//!   applied.
+
+use super::cache_est::estimate_cache_sizes;
+use super::intervals::{choose_from_events, choose_intervals, SweepEvents};
+use super::sampling::{collect_pool, kolmogorov_samples, SamplePool};
+use crate::common::{JoinConfig, JoinError, Result};
+use vtjoin_core::Interval;
+use vtjoin_storage::HeapFile;
+
+/// One row of the planner's cost table (one candidate `partSize`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateCost {
+    /// Candidate outer-partition size in pages.
+    pub part_size: u64,
+    /// Implied number of partitions `⌈|r| / partSize⌉`.
+    pub num_partitions: u64,
+    /// Kolmogorov-required sample count for the implied error budget.
+    pub samples_required: u64,
+    /// Estimated sampling cost `m × IO_ran` (uncapped, per Figure 10).
+    pub c_sample: u64,
+    /// Estimated partition-joining cost, including tuple-cache paging.
+    pub c_join: u64,
+    /// Estimated total tuple-cache pages across all partitions.
+    pub cache_pages: u64,
+    /// The tuple-cache paging component of `c_join` (what the paper's
+    /// Figure 4 plots against `C_sample`).
+    pub c_cache: u64,
+    /// Partition-count-dependent Grace flush seeks. §3.4 assumes the
+    /// partitioning cost "is not affected by the chosen partition size",
+    /// but with the buffer divided among `n` partitions each flush burst
+    /// is only `(M−1)/n` pages, so the number of random flushes grows with
+    /// `n`; this term keeps the objective honest (see DESIGN.md).
+    pub c_partition_seeks: u64,
+}
+
+impl CandidateCost {
+    /// The planner's objective for this candidate.
+    pub fn total(&self) -> u64 {
+        self.c_sample + self.c_join + self.c_partition_seeks
+    }
+}
+
+/// The chosen plan.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Chosen outer-partition size in pages.
+    pub part_size: u64,
+    /// The partitioning intervals (cover all of valid time).
+    pub intervals: Vec<Interval>,
+    /// Estimated tuple-cache pages per partition.
+    pub est_cache_pages: Vec<u64>,
+    /// Samples physically drawn (I/O already charged).
+    pub samples_drawn: u64,
+    /// The winning candidate's estimated cost.
+    pub est_cost: u64,
+}
+
+/// Plan plus the full candidate table.
+#[derive(Debug, Clone)]
+pub struct PlannerOutput {
+    /// The chosen plan.
+    pub plan: PartitionPlan,
+    /// Every evaluated candidate, ascending by `part_size`.
+    pub candidates: Vec<CandidateCost>,
+}
+
+impl PlannerOutput {
+    /// The trivial single-partition plan used when the outer relation fits
+    /// in memory outright.
+    pub fn degenerate(r_pages: u64) -> PlannerOutput {
+        PlannerOutput {
+            plan: PartitionPlan {
+                part_size: r_pages.max(1),
+                intervals: vec![Interval::ALL],
+                est_cache_pages: vec![0],
+                samples_drawn: 0,
+                est_cost: 0,
+            },
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// Runs the Figure 10 cost loop. `inner` provides the inner relation's
+/// geometry for the `C_join` estimate; `inner_sample` activates the §5
+/// extension of sampling the inner relation for cache estimation instead
+/// of reusing the outer sample.
+pub fn determine_part_intervals(
+    outer: &HeapFile,
+    inner: &HeapFile,
+    inner_sample: Option<&HeapFile>,
+    cfg: &JoinConfig,
+) -> Result<PlannerOutput> {
+    let r_pages = outer.pages();
+    // Mirror the executor's buffer layout: inner page + cache page +
+    // result page + the cache write-combining buffer all come off the top.
+    let write_batch = super::exec::CACHE_WRITE_BATCH.min((cfg.buffer_pages / 4).max(1));
+    let buff_size = cfg
+        .buffer_pages
+        .checked_sub(3 + write_batch)
+        .filter(|&b| b >= 2)
+        .ok_or(JoinError::InsufficientMemory {
+            algorithm: "partition",
+            needed: 6,
+            available: cfg.buffer_pages,
+        })?;
+
+    // Grace feasibility: one input page plus one output buffer page per
+    // partition must fit in memory.
+    let min_part = r_pages.div_ceil(cfg.buffer_pages - 1).max(1);
+    let max_part = buff_size - 1; // errorSize ≥ 1
+    if min_part > max_part {
+        return Err(JoinError::InsufficientMemory {
+            algorithm: "partition",
+            needed: r_pages.div_ceil(max_part) + 1,
+            available: cfg.buffer_pages,
+        });
+    }
+
+    // ---- physical sampling, charged ------------------------------------------
+    let m_largest = kolmogorov_samples(r_pages, buff_size - max_part);
+    let pool = collect_pool(outer, m_largest, cfg.ratio, cfg.seed)?;
+    let cache_pool: SamplePool = match inner_sample {
+        Some(h) => collect_pool(h, m_largest, cfg.ratio, cfg.seed ^ 0x9e37_79b9)?,
+        None => pool.clone(),
+    };
+
+    let full_events = SweepEvents::build(pool.intervals());
+
+    let s_tpp = tuples_per_page(inner);
+    let s_pages = inner.pages();
+    let ran = cfg.ratio.random;
+
+    // ---- the cost loop -----------------------------------------------------------
+    let candidates_wanted = cfg.planner_candidates.max(2);
+    let mut candidates = Vec::new();
+    let mut best: Option<(CandidateCost, Vec<Interval>, Vec<u64>)> = None;
+
+    let mut part_size = min_part;
+    let stride = ((max_part - min_part) / (candidates_wanted - 1)).max(1);
+    while part_size <= max_part {
+        let num_partitions = r_pages.div_ceil(part_size);
+        let m_required = kolmogorov_samples(r_pages, buff_size - part_size);
+        let m_use = (m_required).min(pool.len() as u64);
+
+        // Partitioning intervals from the sample prefix (full-pool fast
+        // path avoids re-sorting the events for every large candidate).
+        let ivs = if m_use == pool.len() as u64 {
+            choose_from_events(&full_events, num_partitions)
+        } else {
+            choose_intervals(pool.prefix(m_use), num_partitions)
+        };
+
+        // Cache estimate uses the inner-relation scale.
+        let cache_samples = cache_pool.prefix(m_use.min(cache_pool.len() as u64));
+        let est_cache =
+            estimate_cache_sizes(cache_samples, cache_pool.population, &ivs, s_tpp);
+        let cache_pages: u64 = est_cache.iter().sum();
+
+        let n_actual = ivs.len() as u64;
+        let s_part_pages = s_pages.div_ceil(n_actual.max(1)).max(1);
+        // C_join (Figure 10): fetching every outer and inner partition —
+        // one seek plus sequential reads each — plus writing and re-reading
+        // the tuple cache.
+        let fetch_cost = n_actual * ran + (part_size - 1) * n_actual
+            + n_actual * ran
+            + (s_part_pages - 1) * n_actual;
+        let mut c_cache = 0;
+        for &m in &est_cache {
+            if m > 0 {
+                c_cache += 2 * (ran + (m - 1));
+            }
+        }
+        let c_join = fetch_cost + c_cache;
+        // Grace flush seeks: both relations are written through per-
+        // partition buffers of (M−1)/n pages; each burst pays one seek
+        // (random instead of sequential costs `ran − 1` extra).
+        let share = ((cfg.buffer_pages - 1) / n_actual.max(1)).max(1);
+        let c_partition_seeks =
+            (r_pages.div_ceil(share) + s_pages.div_ceil(share)) * ran.saturating_sub(1);
+        // Figure 10 prices sampling at m × IO_ran, *uncapped*: the §4.2
+        // sequential-scan cap is an execution-time optimization (applied
+        // by `collect_pool` to the physical sampling), not part of the
+        // planning objective — capping here would flatten C_sample and
+        // push the optimum to errorSize = 1, guaranteeing overflow.
+        let c_sample = m_required.saturating_mul(cfg.ratio.random);
+
+        let cand = CandidateCost {
+            part_size,
+            num_partitions,
+            samples_required: m_required,
+            c_sample,
+            c_join,
+            cache_pages,
+            c_cache,
+            c_partition_seeks,
+        };
+        candidates.push(cand);
+        // Figure 10 keeps `cost ≤ minCost`, so later (larger) partition
+        // sizes win ties.
+        if best.as_ref().is_none_or(|(b, _, _)| cand.total() <= b.total()) {
+            best = Some((cand, ivs, est_cache));
+        }
+
+        if part_size == max_part {
+            break;
+        }
+        part_size = (part_size + stride).min(max_part);
+    }
+
+    let (winner, intervals, est_cache_pages) = best.expect("at least one candidate");
+    Ok(PlannerOutput {
+        plan: PartitionPlan {
+            part_size: winner.part_size,
+            intervals,
+            est_cache_pages,
+            samples_drawn: pool.len() as u64,
+            est_cost: winner.total(),
+        },
+        candidates,
+    })
+}
+
+fn tuples_per_page(heap: &HeapFile) -> f64 {
+    if heap.pages() == 0 {
+        1.0
+    } else {
+        heap.tuples() as f64 / heap.pages() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::intervals::is_partitioning;
+    use vtjoin_core::{AttrDef, AttrType, Relation, Schema, Tuple, Value};
+    use vtjoin_storage::{CostRatio, SharedDisk};
+
+    fn load(
+        disk: &SharedDisk,
+        n: i64,
+        long_every: i64,
+        lifespan: i64,
+    ) -> HeapFile {
+        let schema = Schema::new(vec![AttrDef::new("k", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let tuples = (0..n)
+            .map(|i| {
+                let start = (i * 7919) % lifespan;
+                let iv = if long_every > 0 && i % long_every == 0 {
+                    let s = start % (lifespan / 2);
+                    Interval::from_raw(s, s + lifespan / 2).unwrap()
+                } else {
+                    Interval::from_raw(start, start).unwrap()
+                };
+                Tuple::new(vec![Value::Int(i)], iv)
+            })
+            .collect();
+        let rel = Relation::from_parts_unchecked(schema, tuples);
+        HeapFile::bulk_load(disk, &rel).unwrap()
+    }
+
+    fn cfg(buffer: u64) -> JoinConfig {
+        JoinConfig::with_buffer(buffer).ratio(CostRatio::R5)
+    }
+
+    #[test]
+    fn produces_a_valid_partitioning() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 800, 0, 1000); // 200 pages
+        let s = load(&disk, 800, 0, 1000);
+        let out = determine_part_intervals(&r, &s, None, &cfg(20)).unwrap();
+        assert!(is_partitioning(&out.plan.intervals));
+        assert!(out.plan.part_size >= 1);
+        assert!(!out.candidates.is_empty());
+        assert_eq!(out.plan.est_cache_pages.len(), out.plan.intervals.len());
+        // The chosen candidate is the argmin of the table.
+        let min = out.candidates.iter().map(CandidateCost::total).min().unwrap();
+        assert_eq!(out.plan.est_cost, min);
+    }
+
+    #[test]
+    fn partitions_are_roughly_equal_depth() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 2000, 0, 5000); // uniform one-chronon tuples
+        let s = load(&disk, 2000, 0, 5000);
+        let out = determine_part_intervals(&r, &s, None, &cfg(40)).unwrap();
+        let rel = r.read_all().unwrap();
+        // Count stored tuples (by last-overlap placement) per partition.
+        let mut counts = vec![0u64; out.plan.intervals.len()];
+        for t in rel.iter() {
+            let p = crate::partition::intervals::partition_of(
+                &out.plan.intervals,
+                t.valid().end(),
+            );
+            counts[p] += 1;
+        }
+        let expect = rel.len() as u64 / counts.len() as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c as f64 <= expect as f64 * 1.5 + 16.0,
+                "partition {i} holds {c}, expected ≈{expect} of {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_cost_curves_shape_of_figure_4() {
+        // C_sample must be non-decreasing in partSize; the cache component
+        // of C_join non-increasing (long-lived tuples overlap fewer, larger
+        // partitions).
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 2000, 5, 2000);
+        let s = load(&disk, 2000, 5, 2000);
+        let out = determine_part_intervals(&r, &s, None, &cfg(60)).unwrap();
+        let cands = &out.candidates;
+        assert!(cands.len() >= 3);
+        for w in cands.windows(2) {
+            assert!(
+                w[1].c_sample >= w[0].c_sample,
+                "C_sample not monotone: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+            // Cache paging shrinks with partition size up to sampling
+            // noise (each candidate re-estimates from a different prefix
+            // of the pool): allow a 10% wobble per step…
+            assert!(
+                w[1].cache_pages as f64 <= w[0].cache_pages as f64 * 1.10 + 4.0,
+                "cache pages should shrink with partSize: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // …but require a clear overall decrease across the sweep.
+        let first = cands.first().unwrap().cache_pages;
+        let last = cands.last().unwrap().cache_pages;
+        assert!(last < first, "cache pages overall: {last} !< {first}");
+    }
+
+    #[test]
+    fn more_long_lived_tuples_mean_more_estimated_cache() {
+        let disk = SharedDisk::new(128);
+        let r0 = load(&disk, 2000, 0, 2000);
+        let r1 = load(&disk, 2000, 4, 2000);
+        let s = load(&disk, 2000, 0, 2000);
+        let c = cfg(30);
+        let none = determine_part_intervals(&r0, &s, None, &c).unwrap();
+        let many = determine_part_intervals(&r1, &s, None, &c).unwrap();
+        let sum0: u64 = none.plan.est_cache_pages.iter().sum();
+        let sum1: u64 = many.plan.est_cache_pages.iter().sum();
+        assert!(sum1 > sum0, "long-lived cache {sum1} !> {sum0}");
+    }
+
+    #[test]
+    fn inner_sampling_extension_uses_inner_distribution() {
+        let disk = SharedDisk::new(128);
+        // Outer has no long-lived tuples; inner has many. The paper's
+        // similar-distribution assumption underestimates the cache; the
+        // extension fixes it.
+        let r = load(&disk, 2000, 0, 2000);
+        let s = load(&disk, 2000, 3, 2000);
+        let c = cfg(30);
+        let assumed = determine_part_intervals(&r, &s, None, &c).unwrap();
+        let sampled = determine_part_intervals(&r, &s, Some(&s), &c).unwrap();
+        let a: u64 = assumed.plan.est_cache_pages.iter().sum();
+        let b: u64 = sampled.plan.est_cache_pages.iter().sum();
+        assert!(b > a, "inner sampling must see the long-lived inner tuples: {b} !> {a}");
+    }
+
+    #[test]
+    fn planner_charges_sampling_io() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 800, 0, 1000);
+        let s = load(&disk, 800, 0, 1000);
+        disk.reset_stats();
+        let _ = determine_part_intervals(&r, &s, None, &cfg(20)).unwrap();
+        let st = disk.stats();
+        assert!(st.total_ios() > 0, "sampling is physical I/O");
+        // Capped at one scan of the outer relation.
+        assert!(st.random_reads + st.seq_reads <= r.pages());
+    }
+
+    #[test]
+    fn infeasible_memory_is_rejected() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 4000, 0, 1000); // 1000 pages
+        let s = load(&disk, 40, 0, 1000);
+        // 5 buffer pages → outer area 2, max_part 1, min_part = 250.
+        assert!(matches!(
+            determine_part_intervals(&r, &s, None, &cfg(5)),
+            Err(JoinError::InsufficientMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 1000, 7, 1500);
+        let s = load(&disk, 1000, 7, 1500);
+        let a = determine_part_intervals(&r, &s, None, &cfg(24)).unwrap();
+        let b = determine_part_intervals(&r, &s, None, &cfg(24)).unwrap();
+        assert_eq!(a.plan.intervals, b.plan.intervals);
+        assert_eq!(a.plan.part_size, b.plan.part_size);
+    }
+}

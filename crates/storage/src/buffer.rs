@@ -1,0 +1,276 @@
+//! A pin/unpin LRU buffer pool.
+//!
+//! The join algorithms of the paper manage their buffer budgets explicitly
+//! (outer-partition area, inner page, tuple cache, result page — Figure 3),
+//! so they do not go through a generic pool. The pool exists for the
+//! engine layer (`vtjoin-engine`), whose catalog scans and view refreshes
+//! benefit from ordinary caching, and it demonstrates that the substrate
+//! supports conventional buffered access as well.
+
+use crate::disk::{PageId, SharedDisk};
+use crate::error::{Result, StorageError};
+use std::collections::HashMap;
+
+/// A fixed-capacity page cache with LRU eviction and pin counting.
+///
+/// Reads through the pool charge disk I/O only on miss. Dirty pages are
+/// written back on eviction or [`BufferPool::flush_all`].
+#[derive(Debug)]
+pub struct BufferPool {
+    disk: SharedDisk,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    /// LRU clock: larger = more recent.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+    last_used: u64,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` page frames over `disk`.
+    pub fn new(disk: SharedDisk, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            disk,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn touch(tick: &mut u64, frame: &mut Frame) {
+        *tick += 1;
+        frame.last_used = *tick;
+    }
+
+    /// Ensures `page` is resident, evicting if necessary; returns whether
+    /// it was a hit.
+    fn fault_in(&mut self, page: PageId) -> Result<bool> {
+        if self.frames.contains_key(&page) {
+            self.hits += 1;
+            return Ok(true);
+        }
+        self.misses += 1;
+        if self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        let data = self.disk.read(page)?;
+        self.tick += 1;
+        self.frames.insert(
+            page,
+            Frame { data, dirty: false, pins: 0, last_used: self.tick },
+        );
+        Ok(false)
+    }
+
+    fn evict_one(&mut self) -> Result<()> {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(p, _)| *p)
+            .ok_or_else(|| StorageError::Corrupt("buffer pool exhausted: all pages pinned".into()))?;
+        let frame = self.frames.remove(&victim).expect("victim resident");
+        if frame.dirty {
+            self.disk.write(victim, frame.data)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a page through the pool, pinning it for the duration of `f`.
+    pub fn with_page<R>(&mut self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.fault_in(page)?;
+        let frame = self.frames.get_mut(&page).expect("just faulted in");
+        Self::touch(&mut self.tick, frame);
+        Ok(f(&frame.data))
+    }
+
+    /// Mutates a page through the pool, marking it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        page: PageId,
+        f: impl FnOnce(&mut Vec<u8>) -> R,
+    ) -> Result<R> {
+        self.fault_in(page)?;
+        let frame = self.frames.get_mut(&page).expect("just faulted in");
+        Self::touch(&mut self.tick, frame);
+        frame.dirty = true;
+        Ok(f(&mut frame.data))
+    }
+
+    /// Installs page contents without reading from disk (e.g. a freshly
+    /// formatted page); marks it dirty.
+    pub fn install(&mut self, page: PageId, data: Vec<u8>) -> Result<()> {
+        if !self.frames.contains_key(&page) && self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.tick += 1;
+        self.frames.insert(
+            page,
+            Frame { data, dirty: true, pins: 0, last_used: self.tick },
+        );
+        Ok(())
+    }
+
+    /// Pins a page so it cannot be evicted.
+    pub fn pin(&mut self, page: PageId) -> Result<()> {
+        self.fault_in(page)?;
+        self.frames.get_mut(&page).expect("resident").pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, page: PageId) {
+        if let Some(f) = self.frames.get_mut(&page) {
+            f.pins = f.pins.saturating_sub(1);
+        }
+    }
+
+    /// Writes back every dirty page (in page order, for deterministic I/O).
+    pub fn flush_all(&mut self) -> Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(p, _)| *p)
+            .collect();
+        dirty.sort();
+        for p in dirty {
+            let frame = self.frames.get_mut(&p).expect("resident");
+            self.disk.write(p, frame.data.clone())?;
+            frame.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pages: u64) -> (SharedDisk, crate::file::PageRange) {
+        let disk = SharedDisk::new(64);
+        let r = disk.alloc(pages);
+        for i in 0..pages {
+            disk.write(r.page(i), vec![i as u8; 64]).unwrap();
+        }
+        (disk, r)
+    }
+
+    #[test]
+    fn hits_avoid_disk_io() {
+        let (disk, r) = setup(4);
+        let mut pool = BufferPool::new(disk.clone(), 2);
+        disk.reset_stats();
+        pool.with_page(r.page(0), |d| assert_eq!(d[0], 0)).unwrap();
+        pool.with_page(r.page(0), |d| assert_eq!(d[0], 0)).unwrap();
+        pool.with_page(r.page(0), |_| ()).unwrap();
+        assert_eq!(disk.stats().total_ios(), 1);
+        assert_eq!(pool.hit_stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (disk, r) = setup(3);
+        let mut pool = BufferPool::new(disk.clone(), 2);
+        pool.with_page(r.page(0), |_| ()).unwrap();
+        pool.with_page(r.page(1), |_| ()).unwrap();
+        pool.with_page(r.page(0), |_| ()).unwrap(); // 1 is now LRU
+        pool.with_page(r.page(2), |_| ()).unwrap(); // evicts 1
+        disk.reset_stats();
+        pool.with_page(r.page(0), |_| ()).unwrap(); // still resident
+        assert_eq!(disk.stats().total_ios(), 0);
+        pool.with_page(r.page(1), |_| ()).unwrap(); // miss
+        assert_eq!(disk.stats().total_ios(), 1);
+    }
+
+    #[test]
+    fn dirty_pages_written_back_on_eviction() {
+        let (disk, r) = setup(3);
+        let mut pool = BufferPool::new(disk.clone(), 1);
+        pool.with_page_mut(r.page(0), |d| d[0] = 99).unwrap();
+        pool.with_page(r.page(1), |_| ()).unwrap(); // evicts dirty page 0
+        let back = disk.with(|d| d.peek(r.page(0)).unwrap().to_vec());
+        assert_eq!(back[0], 99);
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let (disk, r) = setup(2);
+        let mut pool = BufferPool::new(disk.clone(), 2);
+        pool.with_page_mut(r.page(0), |d| d[0] = 7).unwrap();
+        pool.with_page_mut(r.page(1), |d| d[0] = 8).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(disk.with(|d| d.peek(r.page(0)).unwrap()[0]), 7);
+        assert_eq!(disk.with(|d| d.peek(r.page(1)).unwrap()[0]), 8);
+        // Second flush writes nothing.
+        disk.reset_stats();
+        pool.flush_all().unwrap();
+        assert_eq!(disk.stats().total_ios(), 0);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let (disk, r) = setup(3);
+        let mut pool = BufferPool::new(disk.clone(), 2);
+        pool.pin(r.page(0)).unwrap();
+        pool.with_page(r.page(1), |_| ()).unwrap();
+        pool.with_page(r.page(2), |_| ()).unwrap(); // must evict 1, not pinned 0
+        disk.reset_stats();
+        pool.with_page(r.page(0), |_| ()).unwrap();
+        assert_eq!(disk.stats().total_ios(), 0, "pinned page stayed resident");
+        pool.unpin(r.page(0));
+    }
+
+    #[test]
+    fn all_pinned_is_an_error() {
+        let (disk, r) = setup(2);
+        let mut pool = BufferPool::new(disk, 1);
+        pool.pin(r.page(0)).unwrap();
+        assert!(pool.with_page(r.page(1), |_| ()).is_err());
+    }
+
+    #[test]
+    fn install_skips_initial_read() {
+        let disk = SharedDisk::new(64);
+        let r = disk.alloc(1); // never written on disk
+        let mut pool = BufferPool::new(disk.clone(), 1);
+        pool.install(r.page(0), vec![5u8; 64]).unwrap();
+        pool.with_page(r.page(0), |d| assert_eq!(d[0], 5)).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(disk.with(|d| d.peek(r.page(0)).unwrap()[0]), 5);
+    }
+
+    #[test]
+    fn resident_counts() {
+        let (disk, r) = setup(3);
+        let mut pool = BufferPool::new(disk, 2);
+        assert_eq!(pool.resident(), 0);
+        pool.with_page(r.page(0), |_| ()).unwrap();
+        pool.with_page(r.page(1), |_| ()).unwrap();
+        assert_eq!(pool.resident(), 2);
+        pool.with_page(r.page(2), |_| ()).unwrap();
+        assert_eq!(pool.resident(), 2);
+    }
+}

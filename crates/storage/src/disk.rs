@@ -1,0 +1,450 @@
+//! The simulated disk.
+//!
+//! [`DiskSim`] models a linear-addressed device. The only physical state
+//! besides page contents are two **stream positions**: a read position and
+//! a write position. A read of page `p` is *sequential* iff the previous
+//! read touched `p − 1`, and likewise for writes; every other access —
+//! including re-reading the same page — pays the random-access price.
+//!
+//! Separating the two streams models the read-ahead and write-behind
+//! buffering every disk subsystem of the paper's era already had, and it
+//! is the model the paper itself uses: a relation scan stays "a single
+//! random read followed by sequential reads" even while partition buffers
+//! are being flushed (§3.1), and tuple-cache appends "incur an inexpensive
+//! sequential I/O cost" even though they interleave with inner-relation
+//! reads (§4.3). Within one stream the accounting is strict: interleaving
+//! flushes across partition files makes those *writes* random (the §4.2
+//! small-memory effect), and backing up over scattered pages makes those
+//! *reads* random.
+
+use crate::error::{Result, StorageError};
+use crate::file::PageRange;
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Physical page address on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Whether an access was charged as random or sequential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Required a seek.
+    Random,
+    /// Followed the previous access directly.
+    Sequential,
+}
+
+/// One entry of the optional access trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Page touched.
+    pub page: PageId,
+    /// Random or sequential.
+    pub kind: AccessKind,
+    /// True for writes.
+    pub write: bool,
+}
+
+/// A simulated linear-addressed disk with I/O cost accounting.
+///
+/// Pages are lazily materialized: allocating an extent only reserves
+/// address space, memory is committed on first write. This lets callers
+/// over-reserve contiguous extents (the simulator's analogue of
+/// preallocating a file) at no cost.
+///
+/// ```
+/// use vtjoin_storage::{DiskSim, PageId};
+/// let mut disk = DiskSim::new(4096);
+/// let extent = disk.alloc(3);
+/// disk.write(extent.page(0), vec![1u8; 4096]).unwrap();
+/// disk.write(extent.page(1), vec![2u8; 4096]).unwrap(); // sequential
+/// let s = disk.stats();
+/// assert_eq!(s.random_writes, 1);
+/// assert_eq!(s.seq_writes, 1);
+/// ```
+#[derive(Debug)]
+pub struct DiskSim {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    read_head: Option<PageId>,
+    write_head: Option<PageId>,
+    stats: IoStats,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl DiskSim {
+    /// Creates an empty device with the given page size in bytes.
+    pub fn new(page_size: usize) -> DiskSim {
+        assert!(page_size >= 64, "page size must be at least 64 bytes");
+        DiskSim {
+            page_size,
+            pages: Vec::new(),
+            read_head: None,
+            write_head: None,
+            stats: IoStats::ZERO,
+            trace: None,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of allocated pages (committed or not).
+    pub fn capacity_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Number of pages that have actually been written.
+    pub fn committed_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| p.is_some()).count() as u64
+    }
+
+    /// Reserves a contiguous extent of `n` pages and returns its range.
+    pub fn alloc(&mut self, n: u64) -> PageRange {
+        let start = self.pages.len() as u64;
+        self.pages.resize_with(self.pages.len() + n as usize, || None);
+        PageRange::new(PageId(start), n)
+    }
+
+    /// Enables access tracing (for tests); returns previously traced
+    /// entries if tracing was already on.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drains and returns the trace collected so far.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Cumulative statistics since construction or the last
+    /// [`DiskSim::reset_stats`].
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics counters (stream positions are preserved —
+    /// the hardware does not move when the accountant changes ledgers).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::ZERO;
+    }
+
+    /// Forgets both stream positions, making the next accesses random.
+    /// Used by tests; real executions never need it.
+    pub fn invalidate_head(&mut self) {
+        self.read_head = None;
+        self.write_head = None;
+    }
+
+    fn classify(head: &mut Option<PageId>, page: PageId) -> AccessKind {
+        let kind = match head {
+            Some(h) if h.0 + 1 == page.0 => AccessKind::Sequential,
+            _ => AccessKind::Random,
+        };
+        *head = Some(page);
+        kind
+    }
+
+    fn check_bounds(&self, page: PageId) -> Result<()> {
+        if (page.0 as usize) < self.pages.len() {
+            Ok(())
+        } else {
+            Err(StorageError::PageOutOfBounds {
+                page: page.0,
+                device_pages: self.pages.len() as u64,
+            })
+        }
+    }
+
+    /// Reads a page, charging one random or sequential read.
+    pub fn read(&mut self, page: PageId) -> Result<&[u8]> {
+        self.check_bounds(page)?;
+        let kind = Self::classify(&mut self.read_head, page);
+        match kind {
+            AccessKind::Random => self.stats.random_reads += 1,
+            AccessKind::Sequential => self.stats.seq_reads += 1,
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry { page, kind, write: false });
+        }
+        self.pages[page.0 as usize]
+            .as_deref()
+            .ok_or(StorageError::UnwrittenPage(page.0))
+    }
+
+    /// Writes a page, charging one random or sequential write. `data` is
+    /// padded with zeroes (or must not exceed) to the page size.
+    pub fn write(&mut self, page: PageId, data: Vec<u8>) -> Result<()> {
+        self.check_bounds(page)?;
+        assert!(
+            data.len() <= self.page_size,
+            "page write of {} bytes exceeds page size {}",
+            data.len(),
+            self.page_size
+        );
+        let kind = Self::classify(&mut self.write_head, page);
+        match kind {
+            AccessKind::Random => self.stats.random_writes += 1,
+            AccessKind::Sequential => self.stats.seq_writes += 1,
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry { page, kind, write: true });
+        }
+        let mut buf = data;
+        buf.resize(self.page_size, 0);
+        self.pages[page.0 as usize] = Some(buf.into_boxed_slice());
+        Ok(())
+    }
+
+    /// Reads a page **without** charging any I/O. Reserved for test
+    /// assertions and debugging; algorithms must use [`DiskSim::read`].
+    pub fn peek(&self, page: PageId) -> Result<&[u8]> {
+        self.check_bounds(page)?;
+        self.pages[page.0 as usize]
+            .as_deref()
+            .ok_or(StorageError::UnwrittenPage(page.0))
+    }
+}
+
+/// A cheaply clonable handle to a shared [`DiskSim`].
+///
+/// The simulation is effectively single-threaded per disk, but the handle
+/// is `Send + Sync` (via `parking_lot::Mutex`) so relations and files can
+/// be used from criterion benches and the engine's parallel ablations.
+#[derive(Debug, Clone)]
+pub struct SharedDisk(Arc<Mutex<DiskSim>>);
+
+impl SharedDisk {
+    /// Wraps a new simulated disk.
+    pub fn new(page_size: usize) -> SharedDisk {
+        SharedDisk(Arc::new(Mutex::new(DiskSim::new(page_size))))
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.0.lock().page_size()
+    }
+
+    /// Reserves a contiguous extent.
+    pub fn alloc(&self, n: u64) -> PageRange {
+        self.0.lock().alloc(n)
+    }
+
+    /// Reads a page into an owned buffer, charging one read.
+    pub fn read(&self, page: PageId) -> Result<Vec<u8>> {
+        self.0.lock().read(page).map(<[u8]>::to_vec)
+    }
+
+    /// Writes a page, charging one write.
+    pub fn write(&self, page: PageId, data: Vec<u8>) -> Result<()> {
+        self.0.lock().write(page, data)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> IoStats {
+        self.0.lock().stats()
+    }
+
+    /// Zeroes the statistics counters.
+    pub fn reset_stats(&self) {
+        self.0.lock().reset_stats()
+    }
+
+    /// Runs `f` with exclusive access to the underlying simulator.
+    pub fn with<R>(&self, f: impl FnOnce(&mut DiskSim) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(disk: &DiskSim) -> Vec<u8> {
+        vec![7u8; disk.page_size()]
+    }
+
+    #[test]
+    fn sequential_detection_follows_the_head() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(5);
+        for i in 0..5 {
+            d.write(r.page(i), page(&d)).unwrap();
+        }
+        // 1 random (first) + 4 sequential.
+        assert_eq!(d.stats().random_writes, 1);
+        assert_eq!(d.stats().seq_writes, 4);
+
+        d.reset_stats();
+        for i in 0..5 {
+            d.read(r.page(i)).unwrap();
+        }
+        // First read of the stream seeks; the rest follow.
+        assert_eq!(d.stats().random_reads, 1);
+        assert_eq!(d.stats().seq_reads, 4);
+    }
+
+    #[test]
+    fn rereading_same_page_is_random() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.write(r.page(0), page(&d)).unwrap();
+        d.read(r.page(0)).unwrap();
+        d.read(r.page(0)).unwrap();
+        assert_eq!(d.stats().random_reads, 2);
+        assert_eq!(d.stats().seq_reads, 0);
+    }
+
+    #[test]
+    fn interleaved_files_force_random_io() {
+        let mut d = DiskSim::new(64);
+        let a = d.alloc(4);
+        let b = d.alloc(4);
+        // Alternate writes between the two extents: all random.
+        for i in 0..4 {
+            d.write(a.page(i), page(&d)).unwrap();
+            d.write(b.page(i), page(&d)).unwrap();
+        }
+        assert_eq!(d.stats().random_writes, 8);
+        assert_eq!(d.stats().seq_writes, 0);
+    }
+
+    #[test]
+    fn adjacent_extents_can_chain_sequentially() {
+        // The extent boundary is not a barrier: allocation is contiguous.
+        let mut d = DiskSim::new(64);
+        let a = d.alloc(2);
+        let b = d.alloc(2);
+        d.write(a.page(0), page(&d)).unwrap();
+        d.write(a.page(1), page(&d)).unwrap();
+        d.write(b.page(0), page(&d)).unwrap(); // physically next
+        assert_eq!(d.stats().random_writes, 1);
+        assert_eq!(d.stats().seq_writes, 2);
+    }
+
+    #[test]
+    fn reads_and_writes_have_independent_streams() {
+        // Read-ahead/write-behind model: an interleaved read does not
+        // disturb a sequential write stream, and vice versa.
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(4);
+        for i in 0..4 {
+            d.write(r.page(i), page(&d)).unwrap();
+        }
+        d.reset_stats();
+        // Re-write 0..2 while reading 2..4 interleaved.
+        d.write(r.page(0), page(&d)).unwrap();
+        d.read(r.page(2)).unwrap();
+        d.write(r.page(1), page(&d)).unwrap();
+        d.read(r.page(3)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.random_writes, 1);
+        assert_eq!(s.seq_writes, 1, "write stream uninterrupted by reads");
+        assert_eq!(s.random_reads, 1);
+        assert_eq!(s.seq_reads, 1, "read stream uninterrupted by writes");
+    }
+
+    #[test]
+    fn out_of_bounds_and_unwritten_errors() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        assert!(matches!(
+            d.read(PageId(99)),
+            Err(StorageError::PageOutOfBounds { page: 99, .. })
+        ));
+        assert!(matches!(d.read(r.page(0)), Err(StorageError::UnwrittenPage(0))));
+    }
+
+    #[test]
+    fn write_roundtrips_data_padded() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.write(r.page(0), vec![9u8; 10]).unwrap();
+        let data = d.read(r.page(0)).unwrap();
+        assert_eq!(data.len(), 64);
+        assert_eq!(&data[..10], &[9u8; 10]);
+        assert_eq!(data[10], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_write_panics() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        let _ = d.write(r.page(0), vec![0u8; 65]);
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.write(r.page(0), page(&d)).unwrap();
+        let before = d.stats();
+        d.peek(r.page(0)).unwrap();
+        assert_eq!(d.stats(), before);
+    }
+
+    #[test]
+    fn trace_records_accesses() {
+        let mut d = DiskSim::new(64);
+        d.enable_trace();
+        let r = d.alloc(2);
+        d.write(r.page(0), page(&d)).unwrap();
+        d.write(r.page(1), page(&d)).unwrap();
+        d.read(r.page(0)).unwrap();
+        let t = d.take_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].kind, AccessKind::Random);
+        assert_eq!(t[1].kind, AccessKind::Sequential);
+        assert!(!t[2].write && t[2].kind == AccessKind::Random);
+        assert!(d.take_trace().is_empty());
+    }
+
+    #[test]
+    fn reset_stats_keeps_head() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(2);
+        d.write(r.page(0), page(&d)).unwrap();
+        d.reset_stats();
+        d.write(r.page(1), page(&d)).unwrap();
+        assert_eq!(d.stats().seq_writes, 1, "head survived the reset");
+        assert_eq!(d.stats().random_writes, 0);
+    }
+
+    #[test]
+    fn shared_disk_handle() {
+        let d = SharedDisk::new(64);
+        let r = d.alloc(2);
+        d.write(r.page(0), vec![1u8; 64]).unwrap();
+        let other = d.clone();
+        other.write(r.page(1), vec![2u8; 64]).unwrap();
+        assert_eq!(d.stats().seq_writes, 1);
+        assert_eq!(d.read(r.page(0)).unwrap()[0], 1);
+        assert_eq!(d.page_size(), 64);
+        d.reset_stats();
+        assert_eq!(other.stats(), IoStats::ZERO);
+    }
+
+    #[test]
+    fn committed_vs_capacity() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(100);
+        assert_eq!(d.capacity_pages(), 100);
+        assert_eq!(d.committed_pages(), 0);
+        d.write(r.page(7), page(&d)).unwrap();
+        assert_eq!(d.committed_pages(), 1);
+    }
+}

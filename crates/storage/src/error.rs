@@ -1,0 +1,83 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id outside any allocated extent was accessed.
+    PageOutOfBounds {
+        /// The offending page id.
+        page: u64,
+        /// Current device size in pages.
+        device_pages: u64,
+    },
+    /// A page was read before ever being written.
+    UnwrittenPage(u64),
+    /// A record is too large to fit even an empty page.
+    RecordTooLarge {
+        /// Encoded record size.
+        record: usize,
+        /// Usable bytes in one page.
+        capacity: usize,
+    },
+    /// A page's bytes failed to decode.
+    Corrupt(String),
+    /// A file append exceeded the file's reserved extent.
+    ExtentOverflow {
+        /// Extent capacity in pages.
+        capacity: u64,
+    },
+    /// An error bubbled up from the core data model.
+    Core(vtjoin_core::TemporalError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds { page, device_pages } => {
+                write!(f, "page {page} out of bounds (device has {device_pages} pages)")
+            }
+            StorageError::UnwrittenPage(p) => write!(f, "page {p} read before write"),
+            StorageError::RecordTooLarge { record, capacity } => {
+                write!(f, "record of {record} bytes exceeds page capacity {capacity}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::ExtentOverflow { capacity } => {
+                write!(f, "file append exceeded its {capacity}-page extent")
+            }
+            StorageError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<vtjoin_core::TemporalError> for StorageError {
+    fn from(e: vtjoin_core::TemporalError) -> Self {
+        StorageError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = StorageError::PageOutOfBounds { page: 9, device_pages: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = StorageError::RecordTooLarge { record: 5000, capacity: 4094 };
+        assert!(e.to_string().contains("5000"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: StorageError =
+            vtjoin_core::TemporalError::UnknownAttribute("x".into()).into();
+        assert!(matches!(e, StorageError::Core(_)));
+    }
+}

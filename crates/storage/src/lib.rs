@@ -1,0 +1,43 @@
+//! # vtjoin-storage — a paged-storage simulator with honest I/O accounting
+//!
+//! The paper's performance study (§4) measures evaluation cost as **the
+//! number of I/O operations performed, distinguishing between the higher
+//! cost of random access and the lower cost of sequential access**. This
+//! crate provides the substrate that makes such measurements from *real
+//! executions*:
+//!
+//! * [`disk::DiskSim`] — a linear page-addressed device. An access is
+//!   *sequential* iff it targets the page immediately following the
+//!   previously accessed page (the disk head position); every other access
+//!   is *random*. [`stats::IoStats`] accumulates the four counters and
+//!   prices them under a configurable random:sequential cost ratio.
+//! * [`page`] — fixed-size record pages with a compact binary tuple
+//!   encoding (built on the `bytes` crate).
+//! * [`mod@file`] — contiguous extents, so "read a partition" naturally costs
+//!   one random seek plus `k−1` sequential reads, exactly the paper's
+//!   accounting.
+//! * [`heap`] — schema-aware tuple files with bulk load and page-granular
+//!   scans; the unit all join algorithms operate on.
+//! * [`buffer`] — a pin/unpin LRU buffer pool used by the engine layer.
+//!
+//! Everything is deterministic: running the same algorithm on the same
+//! input yields bit-identical I/O statistics.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod error;
+pub mod file;
+pub mod heap;
+pub mod page;
+pub mod stats;
+
+pub use disk::{AccessKind, DiskSim, PageId, SharedDisk};
+pub use error::{Result, StorageError};
+pub use file::{FileHandle, PageRange};
+pub use heap::{HeapFile, HeapReader, HeapWriter};
+pub use page::{PageBuf, PAGE_HEADER_BYTES};
+pub use stats::{CostRatio, IoStats};

@@ -1,0 +1,158 @@
+//! I/O statistics and the random:sequential cost model.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The price of one random access relative to one sequential access.
+///
+/// The paper runs every experiment at ratios 2:1, 5:1, and 10:1 (§4.2);
+/// costs are reported in units of one sequential access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostRatio {
+    /// Cost of one random access, in sequential-access units.
+    pub random: u64,
+}
+
+impl CostRatio {
+    /// The paper's 2:1 ratio.
+    pub const R2: CostRatio = CostRatio { random: 2 };
+    /// The paper's 5:1 ratio (used in §4.3 and §4.4).
+    pub const R5: CostRatio = CostRatio { random: 5 };
+    /// The paper's 10:1 ratio.
+    pub const R10: CostRatio = CostRatio { random: 10 };
+
+    /// A custom ratio `random:1`.
+    pub const fn new(random: u64) -> CostRatio {
+        CostRatio { random }
+    }
+}
+
+impl fmt::Display for CostRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:1", self.random)
+    }
+}
+
+/// Counts of the four access classes performed on a [`crate::DiskSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct IoStats {
+    /// Reads that required a seek.
+    pub random_reads: u64,
+    /// Reads of the page following the previous access.
+    pub seq_reads: u64,
+    /// Writes that required a seek.
+    pub random_writes: u64,
+    /// Writes to the page following the previous access.
+    pub seq_writes: u64,
+}
+
+impl IoStats {
+    /// All-zero statistics.
+    pub const ZERO: IoStats = IoStats {
+        random_reads: 0,
+        seq_reads: 0,
+        random_writes: 0,
+        seq_writes: 0,
+    };
+
+    /// Total random accesses (reads + writes).
+    pub fn random(&self) -> u64 {
+        self.random_reads + self.random_writes
+    }
+
+    /// Total sequential accesses (reads + writes).
+    pub fn sequential(&self) -> u64 {
+        self.seq_reads + self.seq_writes
+    }
+
+    /// Total accesses of any kind.
+    pub fn total_ios(&self) -> u64 {
+        self.random() + self.sequential()
+    }
+
+    /// The paper's evaluation-cost metric: sequential accesses cost 1,
+    /// random accesses cost `ratio.random`.
+    pub fn cost(&self, ratio: CostRatio) -> u64 {
+        self.random() * ratio.random + self.sequential()
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, o: IoStats) -> IoStats {
+        IoStats {
+            random_reads: self.random_reads + o.random_reads,
+            seq_reads: self.seq_reads + o.seq_reads,
+            random_writes: self.random_writes + o.random_writes,
+            seq_writes: self.seq_writes + o.seq_writes,
+        }
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, o: IoStats) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for IoStats {
+    type Output = IoStats;
+    /// Saturating per-field difference — used to compute per-phase deltas
+    /// from monotone counters.
+    fn sub(self, o: IoStats) -> IoStats {
+        IoStats {
+            random_reads: self.random_reads.saturating_sub(o.random_reads),
+            seq_reads: self.seq_reads.saturating_sub(o.seq_reads),
+            random_writes: self.random_writes.saturating_sub(o.random_writes),
+            seq_writes: self.seq_writes.saturating_sub(o.seq_writes),
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads {}r/{}s, writes {}r/{}s",
+            self.random_reads, self.seq_reads, self.random_writes, self.seq_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_weights_random_by_ratio() {
+        let s = IoStats { random_reads: 3, seq_reads: 10, random_writes: 2, seq_writes: 5 };
+        assert_eq!(s.cost(CostRatio::R5), 5 * 5 + 15);
+        assert_eq!(s.cost(CostRatio::new(1)), s.total_ios());
+        assert_eq!(s.random(), 5);
+        assert_eq!(s.sequential(), 15);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IoStats { random_reads: 1, seq_reads: 2, random_writes: 3, seq_writes: 4 };
+        let b = IoStats { random_reads: 10, seq_reads: 20, random_writes: 30, seq_writes: 40 };
+        let sum = a + b;
+        assert_eq!(sum.random_reads, 11);
+        assert_eq!(sum.seq_writes, 44);
+        let delta = b - a;
+        assert_eq!(delta.seq_reads, 18);
+        // saturating
+        assert_eq!((a - b).random_reads, 0);
+        let mut acc = IoStats::ZERO;
+        acc += a;
+        acc += a;
+        assert_eq!(acc.seq_reads, 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CostRatio::R10.to_string(), "10:1");
+        let s = IoStats { random_reads: 1, seq_reads: 2, random_writes: 3, seq_writes: 4 };
+        assert_eq!(s.to_string(), "reads 1r/2s, writes 3r/4s");
+    }
+}

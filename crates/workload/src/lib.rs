@@ -1,0 +1,32 @@
+//! # vtjoin-workload — synthetic valid-time databases
+//!
+//! Deterministic generators for the experiment databases of the paper's §4
+//! plus skewed extensions used by the wider test and ablation surface.
+//!
+//! The paper's global parameters (its Figure 5 — reconstructed in
+//! DESIGN.md) are captured by [`spec::PaperParams`]: 4 KB pages, 128-byte
+//! tuples (32 per page), 262,144-tuple relations occupying 8,192 pages
+//! (32 MB), a 1,000,000-chronon relation lifespan, and ~26,214 real-world
+//! objects with ten tuples each.
+//!
+//! Three experiment workloads:
+//!
+//! * [`generate::uniform_snapshot`] — §4.2: every tuple exactly one
+//!   chronon long, uniformly placed (isolates memory effects; no
+//!   long-lived tuples at all);
+//! * [`generate::long_lived_mix`] — §4.3/§4.4: `k` long-lived tuples whose
+//!   start is uniform over the first half of the lifespan and whose
+//!   duration is half the lifespan, mixed with one-chronon tuples;
+//! * extensions: Zipf-skewed keys, clustered (bursty) starts, and
+//!   configurable duration distributions for the property-test surface.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generate;
+pub mod io;
+pub mod spec;
+
+pub use generate::{long_lived_mix, uniform_snapshot, GeneratorConfig};
+pub use io::{from_text, to_text};
+pub use spec::{PaperParams, WorkloadSpec};

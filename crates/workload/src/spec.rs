@@ -1,0 +1,123 @@
+//! Experiment parameters (the paper's Figure 5, reconstructed).
+
+use serde::{Deserialize, Serialize};
+
+/// The global parameter values of the paper's evaluation (§4.1,
+/// Figure 5). The printed table is corrupted in the available copy; these
+/// values are reverse-engineered from the paper's own arithmetic — see
+/// DESIGN.md for the derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperParams {
+    /// Disk page size in bytes.
+    pub page_size: usize,
+    /// Serialized tuple size in bytes (key + padding + timestamp).
+    pub tuple_bytes: usize,
+    /// Tuples per relation.
+    pub relation_tuples: u64,
+    /// Relation lifespan in chronons.
+    pub lifespan: i64,
+    /// Distinct real-world objects ("ten tuples per object").
+    pub objects: u64,
+}
+
+impl PaperParams {
+    /// The full-scale parameters: 32 MB relations of 262,144 tuples.
+    pub const FULL: PaperParams = PaperParams {
+        page_size: 4096,
+        tuple_bytes: 128,
+        relation_tuples: 262_144,
+        lifespan: 1_000_000,
+        objects: 26_214,
+    };
+
+    /// A laptop-friendly 1/4-scale variant (8 MB relations) preserving
+    /// every ratio: tuples/page, tuples/object, memory fractions. (1/4 is
+    /// the smallest scale at which the paper's 1 MB memory point stays
+    /// feasible for Grace partitioning: the number of partitions must not
+    /// exceed the partitioning buffers, i.e. roughly buffer² ≥ |r| pages.)
+    pub const SMALL: PaperParams = PaperParams {
+        page_size: 4096,
+        tuple_bytes: 128,
+        relation_tuples: 65_536,
+        lifespan: 250_000,
+        objects: 6_553,
+    };
+
+    /// Tuples that fit one page (the paper's 32).
+    pub fn tuples_per_page(&self) -> u64 {
+        // Records are padded to tuple_bytes − 1 so an exact power-of-two
+        // count fits beside the 2-byte page header (see vtjoin-storage).
+        (self.page_size as u64 - 2) / (self.tuple_bytes as u64 - 1)
+    }
+
+    /// Pages one relation occupies.
+    pub fn relation_pages(&self) -> u64 {
+        self.relation_tuples.div_ceil(self.tuples_per_page())
+    }
+
+    /// Relation size in bytes (pages × page size).
+    pub fn relation_bytes(&self) -> u64 {
+        self.relation_pages() * self.page_size as u64
+    }
+
+    /// Buffer pages corresponding to `megabytes` of main memory.
+    pub fn buffer_pages_for_mb(&self, megabytes: u64) -> u64 {
+        megabytes * 1024 * 1024 / self.page_size as u64
+    }
+}
+
+/// A declarative description of one generated relation, serializable so
+/// experiment configurations can be recorded next to their results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Total tuples.
+    pub tuples: u64,
+    /// Number of long-lived tuples among them.
+    pub long_lived: u64,
+    /// Lifespan in chronons.
+    pub lifespan: i64,
+    /// Distinct join-key values.
+    pub keys: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_the_papers_arithmetic() {
+        let p = PaperParams::FULL;
+        assert_eq!(p.tuples_per_page(), 32);
+        assert_eq!(p.relation_pages(), 8192);
+        assert_eq!(p.relation_bytes(), 32 * 1024 * 1024); // "32 megabytes"
+        assert_eq!(p.buffer_pages_for_mb(1), 256);
+        assert_eq!(p.buffer_pages_for_mb(32), 8192);
+        // "ten tuples per object … approximately 26,000 objects"
+        assert_eq!(p.relation_tuples / p.objects, 10);
+    }
+
+    #[test]
+    fn small_scale_preserves_ratios() {
+        let (f, s) = (PaperParams::FULL, PaperParams::SMALL);
+        assert_eq!(s.tuples_per_page(), f.tuples_per_page());
+        assert_eq!(f.relation_tuples / s.relation_tuples, 4);
+        assert_eq!(s.relation_tuples / s.objects, 10);
+    }
+
+    #[test]
+    fn spec_round_trips_names() {
+        let w = WorkloadSpec {
+            name: "fig7".into(),
+            tuples: 100,
+            long_lived: 10,
+            lifespan: 1000,
+            keys: 10,
+            seed: 1,
+        };
+        assert_eq!(w.clone(), w);
+    }
+}

@@ -1,0 +1,108 @@
+//! A tour of the temporal algebra: coalescing, timeslices, semijoins,
+//! outerjoins, and temporal aggregation over a salary history.
+//!
+//! ```text
+//! cargo run --example temporal_algebra
+//! ```
+
+use vtjoin::model::algebra::{
+    self, antijoin, coalesce, count_over_time, outerjoin, project, select_interval,
+    semijoin, JoinSide,
+};
+use vtjoin::prelude::*;
+
+fn iv(s: i64, e: i64) -> Interval {
+    Interval::from_raw(s, e).unwrap()
+}
+
+fn main() {
+    // Salary history: (employee, salary | valid time), months since hire.
+    let sal_schema = Schema::new(vec![
+        AttrDef::new("emp", AttrType::Str),
+        AttrDef::new("salary", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared();
+    let salaries = Relation::new(
+        sal_schema,
+        vec![
+            Tuple::new(vec!["eda".into(), Value::Int(50)], iv(0, 11)),
+            Tuple::new(vec!["eda".into(), Value::Int(50)], iv(12, 23)), // same salary, adjacent
+            Tuple::new(vec!["eda".into(), Value::Int(60)], iv(24, 47)),
+            Tuple::new(vec!["ben".into(), Value::Int(55)], iv(6, 29)),
+            Tuple::new(vec!["kim".into(), Value::Int(70)], iv(18, 35)),
+        ],
+    )
+    .unwrap();
+
+    // ── Coalescing: canonical form ──────────────────────────────────────────
+    // Eda's two 50k periods are value-equivalent and adjacent: one fact.
+    let canonical = coalesce(&salaries);
+    println!("coalesced salary history ({} rows):", canonical.len());
+    for t in canonical.iter() {
+        println!("  {t}");
+    }
+
+    // ── Timeslice: the world at month 20 ────────────────────────────────────
+    let at20 = salaries.timeslice(Chronon::new(20));
+    println!("\nsnapshot at month 20: {} employees on payroll", at20.len());
+
+    // ── Temporal window selection ──────────────────────────────────────────
+    let year2 = select_interval(&salaries, iv(12, 23));
+    println!("year-two payroll fragments: {}", year2.len());
+
+    // ── Projection + coalescing: when was each person employed at all? ─────
+    let employed = coalesce(&project(&salaries, &["emp"]).unwrap());
+    println!("\nemployment periods:");
+    for t in employed.iter() {
+        println!("  {t}");
+    }
+
+    // ── Semijoin / antijoin: bonus periods ──────────────────────────────────
+    // Bonuses were payable while a project assignment existed.
+    let prj_schema = Schema::new(vec![
+        AttrDef::new("emp", AttrType::Str),
+        AttrDef::new("project", AttrType::Str),
+    ])
+    .unwrap()
+    .into_shared();
+    let projects = Relation::new(
+        prj_schema,
+        vec![
+            Tuple::new(vec!["eda".into(), "apollo".into()], iv(10, 30)),
+            Tuple::new(vec!["ben".into(), "gemini".into()], iv(0, 10)),
+        ],
+    )
+    .unwrap();
+    let with_bonus = semijoin(&salaries, &projects).unwrap();
+    let without_bonus = antijoin(&salaries, &projects).unwrap();
+    println!("\nsalary fragments with a concurrent project:");
+    for t in with_bonus.iter() {
+        println!("  {t}");
+    }
+    println!("…and without: {} fragments", without_bonus.len());
+
+    // ── Outerjoin: salary history with (possibly missing) project info ─────
+    let oj = outerjoin(&salaries, &projects, JoinSide::Left).unwrap();
+    let dangling = oj.iter().filter(|t| t.value(2).is_null()).count();
+    println!("\nleft outerjoin rows: {} ({dangling} project-less fragments)", oj.len());
+
+    // ── Temporal aggregation: headcount over time ──────────────────────────
+    println!("\nheadcount over time:");
+    for seg in count_over_time(&salaries) {
+        println!("  {} → {} employees", seg.interval, seg.value);
+    }
+
+    // ── Generalized Allen joins ────────────────────────────────────────────
+    // Which project assignments STARTED DURING a salary period? (strictly
+    // inside, per Allen's `during`.)
+    let during = algebra::allen_join(
+        &project(&salaries, &["salary"]).unwrap(),
+        &projects,
+        vtjoin::model::allen::AllenSet::only(AllenRelation::Contains),
+    )
+    .unwrap();
+    println!("\nsalary periods strictly containing a project assignment: {}", during.len());
+}
+
+use vtjoin::model::AllenRelation;

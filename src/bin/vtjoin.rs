@@ -1,0 +1,251 @@
+//! `vtjoin` — a command-line front end for the library.
+//!
+//! ```text
+//! vtjoin gen  --tuples 1000 --long-lived 100 --keys 50 --side outer -o r.vt
+//! vtjoin info r.vt
+//! vtjoin join r.vt s.vt --algorithm partition --buffer 64 --ratio 5 [-o out.vt]
+//! vtjoin slice r.vt --at 4200
+//! vtjoin coalesce r.vt -o canonical.vt
+//! ```
+//!
+//! Relations travel in the portable text format of `vtjoin::workload::io`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vtjoin::model::algebra;
+use vtjoin::prelude::*;
+use vtjoin::workload::generate::{
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig,
+    KeyDistribution, TimeDistribution,
+};
+use vtjoin::workload::{from_text, to_text};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn run(args: &[String]) -> Result<(), AnyError> {
+    let Some(cmd) = args.first() else {
+        return Err(usage().into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "info" => cmd_info(rest),
+        "join" => cmd_join(rest),
+        "slice" => cmd_slice(rest),
+        "coalesce" => cmd_coalesce(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     vtjoin gen --tuples N [--long-lived N] [--keys N] [--lifespan N] \
+     [--duration MAX] [--seed N] [--side outer|inner] -o FILE\n  \
+     vtjoin info FILE\n  \
+     vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
+     [--buffer PAGES] [--ratio N] [-o FILE]\n  \
+     vtjoin slice FILE --at CHRONON\n  \
+     vtjoin coalesce FILE [-o FILE]"
+        .to_owned()
+}
+
+/// Tiny flag parser: `--name value` pairs plus positionals.
+struct Flags {
+    positional: Vec<String>,
+    named: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, AnyError> {
+        let mut positional = Vec::new();
+        let mut named = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                named.push((name.to_owned(), value.clone()));
+                i += 2;
+            } else if a == "-o" {
+                let value =
+                    args.get(i + 1).ok_or_else(|| "-o needs a value".to_owned())?;
+                named.push(("out".to_owned(), value.clone()));
+                i += 2;
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Flags { positional, named })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, AnyError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => Ok(v.parse::<u64>().map_err(|_| format!("--{name}: bad number `{v}`"))?),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Relation, AnyError> {
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(from_text(&text)?)
+}
+
+fn save(rel: &Relation, path: &str) -> Result<(), AnyError> {
+    std::fs::write(PathBuf::from(path), to_text(rel))
+        .map_err(|e| format!("writing {path}: {e}").into())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), AnyError> {
+    let flags = Flags::parse(args)?;
+    let tuples = flags.get_u64("tuples", 1000)?;
+    let cfg = GeneratorConfig {
+        tuples,
+        long_lived: flags.get_u64("long-lived", 0)?,
+        lifespan: flags.get_u64("lifespan", 100_000)? as i64,
+        keys: flags.get_u64("keys", (tuples / 10).max(1))?,
+        key_dist: KeyDistribution::Uniform,
+        time_dist: TimeDistribution::Uniform,
+        duration_dist: match flags.get_u64("duration", 1)? {
+            0 | 1 => DurationDistribution::Instant,
+            max => DurationDistribution::UniformUpTo(max as i64),
+        },
+        pad_bytes: flags.get_u64("pad", 16)? as usize,
+        seed: flags.get_u64("seed", 42)?,
+    };
+    let schema = match flags.get("side").unwrap_or("outer") {
+        "outer" => outer_schema(cfg.pad_bytes),
+        "inner" => inner_schema(cfg.pad_bytes),
+        other => return Err(format!("--side must be outer|inner, got `{other}`").into()),
+    };
+    let rel = generate(schema, &cfg);
+    let out = flags.get("out").ok_or("gen needs -o FILE")?;
+    save(&rel, out)?;
+    println!("wrote {} tuples to {out}", rel.len());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), AnyError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.positional.first().ok_or("info needs a FILE")?;
+    let rel = load(path)?;
+    println!("schema    {}", rel.schema());
+    println!("tuples    {}", rel.len());
+    if let Some(lifespan) = rel.lifespan() {
+        println!("lifespan  {lifespan}");
+    }
+    let long = rel.iter().filter(|t| t.lifespan() > 1).count();
+    println!("long-lived (≥2 chronons)  {long}");
+    let segs = algebra::count_over_time(&rel);
+    if let Some(peak) = segs.iter().max_by_key(|s| s.value) {
+        println!("peak concurrency  {} during {}", peak.value, peak.interval);
+    }
+    Ok(())
+}
+
+fn cmd_join(args: &[String]) -> Result<(), AnyError> {
+    let flags = Flags::parse(args)?;
+    let [outer_path, inner_path] = flags.positional.as_slice() else {
+        return Err("join needs OUTER and INNER files".into());
+    };
+    let r = load(outer_path)?;
+    let s = load(inner_path)?;
+    let buffer = flags.get_u64("buffer", 256)?;
+    let ratio = CostRatio::new(flags.get_u64("ratio", 5)?);
+    let cfg = JoinConfig::with_buffer(buffer).ratio(ratio).collecting();
+
+    let disk = SharedDisk::new(4096);
+    let hr = HeapFile::bulk_load(&disk, &r)?;
+    let hs = HeapFile::bulk_load(&disk, &s)?;
+
+    let name = flags.get("algorithm").unwrap_or("auto");
+    let algo: Box<dyn JoinAlgorithm> = match name {
+        "nested-loop" => Box::new(NestedLoopJoin),
+        "sort-merge" => Box::new(SortMergeJoin),
+        "partition" => Box::new(PartitionJoin::default()),
+        "time-index" => Box::new(vtjoin::join::TimeIndexJoin::default()),
+        "auto" => vtjoin::engine::choose_algorithm(hr.pages(), hs.pages(), buffer, ratio)
+            .instantiate(),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
+    };
+    let report = algo.execute(&hr, &hs, &cfg)?;
+    println!(
+        "{}: {} result tuples, {} random + {} sequential I/Os, cost {} @ {ratio}",
+        report.algorithm,
+        report.result_tuples,
+        report.io.random(),
+        report.io.sequential(),
+        report.cost(ratio),
+    );
+    for (phase, io) in &report.phases {
+        println!("  {phase:<12} {io}");
+    }
+    for (k, v) in &report.notes {
+        println!("  {k:<24} {v}");
+    }
+    if let Some(out) = flags.get("out") {
+        save(&report.result.expect("collected"), out)?;
+        println!("wrote result to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_slice(args: &[String]) -> Result<(), AnyError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.positional.first().ok_or("slice needs a FILE")?;
+    let at = flags
+        .get("at")
+        .ok_or("slice needs --at CHRONON")?
+        .parse::<i64>()
+        .map_err(|_| "--at: bad chronon")?;
+    let rel = load(path)?;
+    let snap = rel.timeslice(Chronon::new(at));
+    println!("{} rows valid at {at}:", snap.len());
+    for t in snap.iter().take(50) {
+        println!("  {t}");
+    }
+    if snap.len() > 50 {
+        println!("  … and {} more", snap.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_coalesce(args: &[String]) -> Result<(), AnyError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.positional.first().ok_or("coalesce needs a FILE")?;
+    let rel = load(path)?;
+    let out = algebra::coalesce(&rel);
+    println!("{} tuples → {} coalesced", rel.len(), out.len());
+    if let Some(dest) = flags.get("out") {
+        save(&out, dest)?;
+        println!("wrote {dest}");
+    }
+    Ok(())
+}

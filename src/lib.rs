@@ -1,0 +1,65 @@
+//! # vtjoin — efficient evaluation of the valid-time natural join
+//!
+//! A complete, executable reproduction of Soo, Snodgrass & Jensen,
+//! *Efficient Evaluation of the Valid-Time Natural Join* (ICDE 1994): the
+//! temporal data model, a paged-storage simulator with random/sequential
+//! I/O accounting, the paper's partition-based join algorithm and its
+//! sort-merge and nested-loop competitors, the experiment workloads, and a
+//! harness that regenerates every figure of the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the member crates and hosts the
+//! runnable examples and the cross-crate integration-test suite.
+//!
+//! ```
+//! use vtjoin::prelude::*;
+//!
+//! // Two tiny valid-time relations…
+//! let emp = Schema::new(vec![
+//!     AttrDef::new("name", AttrType::Str),
+//!     AttrDef::new("dept", AttrType::Str),
+//! ]).unwrap().into_shared();
+//! let mgr = Schema::new(vec![
+//!     AttrDef::new("dept", AttrType::Str),
+//!     AttrDef::new("mgr", AttrType::Str),
+//! ]).unwrap().into_shared();
+//! let r = Relation::new(emp, vec![
+//!     Tuple::new(vec!["ed".into(), "ship".into()], Interval::from_raw(1, 10).unwrap()),
+//! ]).unwrap();
+//! let s = Relation::new(mgr, vec![
+//!     Tuple::new(vec!["ship".into(), "ann".into()], Interval::from_raw(5, 20).unwrap()),
+//! ]).unwrap();
+//!
+//! // …joined on disk with the paper's partition join.
+//! let disk = SharedDisk::new(4096);
+//! let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+//! let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+//! let report = PartitionJoin::default()
+//!     .execute(&hr, &hs, &JoinConfig::with_buffer(16).collecting())
+//!     .unwrap();
+//! assert_eq!(report.result_tuples, 1);
+//! let result = report.result.unwrap();
+//! assert_eq!(result.tuples()[0].valid(), Interval::from_raw(5, 10).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use vtjoin_core as model;
+pub use vtjoin_engine as engine;
+pub use vtjoin_join as join;
+pub use vtjoin_storage as storage;
+pub use vtjoin_workload as workload;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use vtjoin_core::algebra::{coalesce, natural_join};
+    pub use vtjoin_core::{
+        AttrDef, AttrType, Chronon, Interval, Period, Relation, Schema, Tuple, Value,
+    };
+    pub use vtjoin_engine::{Database, MaterializedVtJoin};
+    pub use vtjoin_join::{
+        JoinAlgorithm, JoinConfig, JoinReport, NestedLoopJoin, PartitionJoin, SortMergeJoin,
+    };
+    pub use vtjoin_storage::{CostRatio, HeapFile, IoStats, SharedDisk};
+    pub use vtjoin_workload::{GeneratorConfig, PaperParams};
+}

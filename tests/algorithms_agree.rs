@@ -1,0 +1,145 @@
+//! Cross-algorithm correctness: every disk-based algorithm must produce
+//! the same multiset as the in-memory reference join, across workload
+//! shapes and buffer sizes.
+
+use vtjoin::join::{ReplicatedPartitionJoin, TimeIndexJoin};
+use vtjoin::model::algebra::natural_join;
+use vtjoin::prelude::*;
+use vtjoin::workload::generate::{
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
+};
+
+fn cfg(tuples: u64, long_lived: u64, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        tuples,
+        long_lived,
+        lifespan: 5_000,
+        keys: 64,
+        key_dist: KeyDistribution::Uniform,
+        time_dist: TimeDistribution::Uniform,
+        duration_dist: DurationDistribution::Instant,
+        pad_bytes: 16,
+        seed,
+    }
+}
+
+fn all_algorithms() -> Vec<Box<dyn JoinAlgorithm>> {
+    vec![
+        Box::new(NestedLoopJoin),
+        Box::new(SortMergeJoin),
+        Box::new(PartitionJoin::default()),
+        Box::new(PartitionJoin { sample_inner_for_cache: true, reserved_cache_pages: 0 }),
+        Box::new(PartitionJoin { sample_inner_for_cache: false, reserved_cache_pages: 3 }),
+        Box::new(ReplicatedPartitionJoin),
+        Box::new(TimeIndexJoin::default()),
+    ]
+}
+
+fn check(gen_r: &GeneratorConfig, gen_s: &GeneratorConfig, buffer: u64) {
+    let r = generate(outer_schema(gen_r.pad_bytes), gen_r);
+    let s = generate(inner_schema(gen_s.pad_bytes), gen_s);
+    let expected = natural_join(&r, &s).unwrap();
+
+    let disk = SharedDisk::new(512);
+    let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+    let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+    let jc = JoinConfig::with_buffer(buffer).collecting();
+    for algo in all_algorithms() {
+        let report = algo.execute(&hr, &hs, &jc).unwrap();
+        let got = report.result.as_ref().expect("collected");
+        assert!(
+            got.multiset_eq(&expected),
+            "{} (buffer {buffer}): got {} want {} tuples, {} diff entries",
+            algo.name(),
+            got.len(),
+            expected.len(),
+            got.multiset_diff(&expected).len()
+        );
+        assert_eq!(report.result_tuples as usize, expected.len());
+    }
+}
+
+#[test]
+fn uniform_one_chronon_workload() {
+    check(&cfg(600, 0, 1), &cfg(600, 0, 2), 24);
+}
+
+#[test]
+fn long_lived_heavy_workload() {
+    check(&cfg(600, 200, 3), &cfg(600, 200, 4), 24);
+}
+
+#[test]
+fn asymmetric_sizes_and_distributions() {
+    // Small outer vs large inner, with the inner long-lived only — the
+    // §5 "distributions differ" caveat.
+    check(&cfg(150, 0, 5), &cfg(900, 450, 6), 24);
+    // Large outer vs small inner.
+    check(&cfg(900, 100, 7), &cfg(150, 10, 8), 24);
+}
+
+#[test]
+fn zipf_keys_and_clustered_time() {
+    let mut a = cfg(500, 100, 9);
+    a.key_dist = KeyDistribution::Zipf(1.1);
+    let mut b = cfg(500, 50, 10);
+    b.time_dist = TimeDistribution::Clustered(5);
+    check(&a, &b, 24);
+}
+
+#[test]
+fn tight_buffers_still_agree() {
+    // Near the feasibility floor (overflow chunking, tiny windows).
+    check(&cfg(400, 120, 11), &cfg(400, 120, 12), 14);
+}
+
+#[test]
+fn generous_buffers_hit_degenerate_paths() {
+    // Everything fits in memory: partition join takes the single-partition
+    // shortcut, nested loop one chunk, sort a single run.
+    check(&cfg(300, 60, 13), &cfg(300, 60, 14), 512);
+}
+
+#[test]
+fn duplicate_tuples_preserve_multiplicity() {
+    let base = cfg(80, 20, 15);
+    let r0 = generate(outer_schema(16), &base);
+    // Duplicate every tuple.
+    let doubled: Vec<Tuple> = r0.iter().flat_map(|t| [t.clone(), t.clone()]).collect();
+    let r = Relation::from_parts_unchecked(outer_schema(16), doubled);
+    let s = generate(inner_schema(16), &cfg(200, 40, 16));
+    let expected = natural_join(&r, &s).unwrap();
+
+    let disk = SharedDisk::new(512);
+    let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+    let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+    for algo in all_algorithms() {
+        let report = algo
+            .execute(&hr, &hs, &JoinConfig::with_buffer(20).collecting())
+            .unwrap();
+        assert!(
+            report.result.as_ref().unwrap().multiset_eq(&expected),
+            "{} broke duplicate multiplicity",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn empty_relations_everywhere() {
+    let disk = SharedDisk::new(512);
+    let empty_r = HeapFile::bulk_load(&disk, &Relation::empty(outer_schema(16))).unwrap();
+    let s = generate(inner_schema(16), &cfg(100, 10, 17));
+    let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+    for algo in all_algorithms() {
+        let report = algo
+            .execute(&empty_r, &hs, &JoinConfig::with_buffer(16).collecting())
+            .unwrap();
+        assert_eq!(report.result_tuples, 0, "{}", algo.name());
+        let report = algo
+            .execute(&hs, &empty_r, &JoinConfig::with_buffer(16).collecting())
+            .unwrap();
+        assert_eq!(report.result_tuples, 0, "{} (swapped)", algo.name());
+    }
+}

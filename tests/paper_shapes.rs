@@ -1,0 +1,187 @@
+//! Fast, assertion-level versions of the paper's experimental claims —
+//! the headline shapes of Figures 6, 7 and 8 at a reduced scale. The full
+//! regeneration lives in `vtjoin-bench`; these tests keep the shapes under
+//! CI.
+
+use vtjoin::prelude::*;
+use vtjoin::workload::generate::{generate_heap, inner_schema, outer_schema, GeneratorConfig};
+
+/// 1/8-scale paper geometry: 32,768-tuple (1024-page, 4 MB) relations —
+/// large enough that the paper's memory:relation regimes (1/32 … 1×) are
+/// all reachable within Grace-partitioning feasibility.
+fn params() -> PaperParams {
+    let mut p = PaperParams::FULL;
+    p.relation_tuples = 32_768;
+    p.lifespan = 125_000;
+    p.objects = 3_276;
+    p
+}
+
+fn pair(long_lived: u64, seed: u64) -> (SharedDisk, HeapFile, HeapFile) {
+    let p = params();
+    let disk = SharedDisk::new(p.page_size);
+    let cfg = GeneratorConfig::paper(&p, seed).long_lived(long_lived);
+    let hr = generate_heap(&disk, outer_schema(cfg.pad_bytes), &cfg).unwrap();
+    let hs = generate_heap(
+        &disk,
+        inner_schema(cfg.pad_bytes),
+        &cfg.clone().seed(seed ^ 0xffff),
+    )
+    .unwrap();
+    (disk, hr, hs)
+}
+
+fn run(algo: &dyn JoinAlgorithm, hr: &HeapFile, hs: &HeapFile, buffer: u64) -> u64 {
+    algo.execute(hr, hs, &JoinConfig::with_buffer(buffer).ratio(CostRatio::R5))
+        .unwrap()
+        .cost(CostRatio::R5)
+}
+
+// "8 MB" at this scale: relation/4.
+const MID_BUFFER: u64 = 256;
+
+#[test]
+fn fig6_nested_loop_collapses_at_small_memory_but_wins_at_large() {
+    let (_, hr, hs) = pair(0, 1);
+    let small = 40; // relation is ~26× this
+    let large = 1100; // outer fits
+    let nl_small = run(&NestedLoopJoin, &hr, &hs, small);
+    let pj_small = run(&PartitionJoin::default(), &hr, &hs, small);
+    let nl_large = run(&NestedLoopJoin, &hr, &hs, large);
+    let pj_large = run(&PartitionJoin::default(), &hr, &hs, large);
+    // §4.2: "nested loops performs quite poorly at small memory
+    // allocations" while the partition join "shows relatively good
+    // performance at all memory sizes"…
+    assert!(
+        nl_small as f64 > 1.5 * pj_small as f64,
+        "at small memory NL {nl_small} should far exceed PJ {pj_small}"
+    );
+    // …and "at large memory allocations the performance of nested-loops
+    // is quite good" — when the outer relation fits outright, both NL and
+    // the partition join's single-partition shortcut converge to two scans.
+    assert!(
+        nl_large <= pj_large,
+        "NL must be at least as good when the outer fits: {nl_large} vs {pj_large}"
+    );
+    assert!(nl_large * 3 < nl_small, "NL at large memory must be far below its small-memory self");
+}
+
+#[test]
+fn fig6_partition_improves_with_memory() {
+    let (_, hr, hs) = pair(0, 2);
+    let costs: Vec<u64> = [64u64, 128, 256, 512]
+        .iter()
+        .map(|&m| run(&PartitionJoin::default(), &hr, &hs, m))
+        .collect();
+    assert!(
+        costs.windows(2).all(|w| w[1] <= w[0] + w[0] / 10),
+        "partition join should improve (or hold) with memory: {costs:?}"
+    );
+    assert!(*costs.last().unwrap() < costs[0], "{costs:?}");
+}
+
+#[test]
+fn fig7_partition_beats_sort_merge_across_densities() {
+    // §4.3's headline. At the extreme point — half the database long-lived,
+    // where the *live* long-lived tuples alone exceed the outer buffer and
+    // every partition structurally overflows — we only require parity
+    // (the paper's simulation did not charge retained tuples against the
+    // buffer; see EXPERIMENTS.md).
+    for (i, ll) in [1024u64, 4096, 8192, 16_384].iter().enumerate() {
+        let (_, hr, hs) = pair(*ll, 10 + i as u64);
+        let pj = run(&PartitionJoin::default(), &hr, &hs, MID_BUFFER);
+        let sm = run(&SortMergeJoin, &hr, &hs, MID_BUFFER);
+        if *ll <= 8192 {
+            assert!(pj < sm, "density {ll}: partition {pj} !< sort-merge {sm}");
+        } else {
+            assert!(
+                pj as f64 <= sm as f64 * 1.15,
+                "density {ll}: partition {pj} not within 15% of sort-merge {sm}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_nested_loop_is_flat_in_long_lived_density() {
+    let (_, hr0, hs0) = pair(0, 20);
+    let (_, hr1, hs1) = pair(16_384, 20);
+    let a = run(&NestedLoopJoin, &hr0, &hs0, MID_BUFFER);
+    let b = run(&NestedLoopJoin, &hr1, &hs1, MID_BUFFER);
+    // Identical page counts → identical cost, regardless of intervals.
+    assert_eq!(a, b, "nested loop must not care about time");
+}
+
+#[test]
+fn fig7_partition_cost_rises_with_density_via_the_cache() {
+    let low = pair(1024, 30);
+    let high = pair(16_384, 31);
+    let rep_low = PartitionJoin::default()
+        .execute(&low.1, &low.2, &JoinConfig::with_buffer(MID_BUFFER))
+        .unwrap();
+    let rep_high = PartitionJoin::default()
+        .execute(&high.1, &high.2, &JoinConfig::with_buffer(MID_BUFFER))
+        .unwrap();
+    assert!(
+        rep_high.cost(CostRatio::R5) > rep_low.cost(CostRatio::R5),
+        "density must cost something"
+    );
+    assert!(
+        rep_high.note("cache_pages_written").unwrap()
+            > rep_low.note("cache_pages_written").unwrap(),
+        "…and the mechanism must be the tuple cache"
+    );
+}
+
+#[test]
+fn fig7_sort_merge_backs_up_under_long_lived_tuples() {
+    let (_, hr0, hs0) = pair(0, 40);
+    let (_, hr1, hs1) = pair(8192, 41);
+    let rep0 = SortMergeJoin
+        .execute(&hr0, &hs0, &JoinConfig::with_buffer(MID_BUFFER))
+        .unwrap();
+    let rep1 = SortMergeJoin
+        .execute(&hr1, &hs1, &JoinConfig::with_buffer(MID_BUFFER))
+        .unwrap();
+    assert_eq!(rep0.note("backup_page_rereads"), Some(0));
+    assert!(rep1.note("backup_page_rereads").unwrap() > 0);
+    assert!(rep1.cost(CostRatio::R5) > rep0.cost(CostRatio::R5));
+}
+
+#[test]
+fn fig8_curves_converge_at_large_memory() {
+    // Cost spread across densities must shrink as memory grows.
+    let densities = [4096u64, 8192, 16_384];
+    let spread = |buffer: u64| {
+        let costs: Vec<u64> = densities
+            .iter()
+            .enumerate()
+            .map(|(i, &ll)| {
+                let (_, hr, hs) = pair(ll, 50 + i as u64);
+                run(&PartitionJoin::default(), &hr, &hs, buffer)
+            })
+            .collect();
+        (*costs.iter().max().unwrap() - *costs.iter().min().unwrap()) as f64
+            / *costs.iter().min().unwrap() as f64
+    };
+    let spread_small = spread(64);
+    let spread_large = spread(1024);
+    assert!(
+        spread_large < spread_small,
+        "relative spread must shrink with memory: small {spread_small:.2} vs large {spread_large:.2}"
+    );
+}
+
+#[test]
+fn replication_ablation_uses_more_storage_than_migration() {
+    let (_, hr, hs) = pair(8192, 60);
+    let rep = vtjoin::join::ReplicatedPartitionJoin
+        .execute(&hr, &hs, &JoinConfig::with_buffer(MID_BUFFER))
+        .unwrap();
+    let replicated = rep.note("replicated_pages").unwrap();
+    let base = rep.note("base_pages").unwrap();
+    assert!(
+        replicated > base + base / 4,
+        "half-long-lived workload must replicate heavily: {replicated} vs {base}"
+    );
+}

@@ -1,0 +1,186 @@
+//! Property-based cross-crate tests: arbitrary relations through the whole
+//! stack — disk round-trips, every join algorithm against the oracle,
+//! snapshot commutativity through the disk path, and incremental views.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vtjoin::engine::MaterializedVtJoin;
+use vtjoin::join::partition::intervals::{choose_intervals, is_partitioning};
+use vtjoin::model::algebra::natural_join;
+use vtjoin::prelude::*;
+
+const T_MAX: i64 = 120;
+
+fn r_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Int),
+        AttrDef::new("b", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+fn s_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Int),
+        AttrDef::new("c", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+prop_compose! {
+    fn arb_tuple(keys: i64)(k in 0..keys, v in 0..1000i64, a in 0..T_MAX, len in 0..40i64)
+        -> (i64, i64, Interval)
+    {
+        (k, v, Interval::from_raw(a, (a + len).min(T_MAX + 40)).unwrap())
+    }
+}
+
+fn arb_rel(schema: Arc<Schema>, keys: i64, n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(keys), 0..n).prop_map(move |ts| {
+        Relation::from_parts_unchecked(
+            Arc::clone(&schema),
+            ts.into_iter()
+                .map(|(k, v, iv)| Tuple::new(vec![Value::Int(k), Value::Int(v)], iv))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn heap_round_trip_preserves_relations(r in arb_rel(r_schema(), 5, 60)) {
+        let disk = SharedDisk::new(256);
+        let heap = HeapFile::bulk_load(&disk, &r).unwrap();
+        let back = heap.read_all().unwrap();
+        prop_assert_eq!(back.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn every_algorithm_matches_the_oracle(
+        r in arb_rel(r_schema(), 4, 60),
+        s in arb_rel(s_schema(), 4, 60),
+        buffer in 12u64..40,
+    ) {
+        let expected = natural_join(&r, &s).unwrap();
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        let cfg = JoinConfig::with_buffer(buffer).collecting();
+        let algos: Vec<Box<dyn JoinAlgorithm>> = vec![
+            Box::new(NestedLoopJoin),
+            Box::new(SortMergeJoin),
+            Box::new(PartitionJoin::default()),
+            Box::new(vtjoin::join::ReplicatedPartitionJoin),
+        ];
+        for algo in algos {
+            let report = algo.execute(&hr, &hs, &cfg).unwrap();
+            let got = report.result.as_ref().unwrap();
+            prop_assert!(
+                got.multiset_eq(&expected),
+                "{}: got {} want {}",
+                algo.name(),
+                got.len(),
+                expected.len()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_commutativity_through_the_disk_path(
+        r in arb_rel(r_schema(), 3, 40),
+        s in arb_rel(s_schema(), 3, 40),
+        t in 0..T_MAX,
+    ) {
+        // τ_t(partition-join(r, s)) == τ_t(r) ⋈ τ_t(s)
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        let report = PartitionJoin::default()
+            .execute(&hr, &hs, &JoinConfig::with_buffer(16).collecting())
+            .unwrap();
+        let c = Chronon::new(t);
+        let lhs = report.result.unwrap().timeslice(c);
+        let rhs = natural_join(&r.timeslice(c), &s.timeslice(c)).unwrap();
+        prop_assert!(lhs.multiset_eq(&rhs));
+    }
+
+    #[test]
+    fn chosen_intervals_always_partition_time(
+        ivs in proptest::collection::vec(
+            (0..500i64, 0..200i64).prop_map(|(a, l)| Interval::from_raw(a, a + l).unwrap()),
+            0..50,
+        ),
+        n in 1u64..20,
+    ) {
+        let parts = choose_intervals(&ivs, n);
+        prop_assert!(is_partitioning(&parts));
+        prop_assert!(parts.len() as u64 <= n.max(1));
+    }
+
+    #[test]
+    fn incremental_view_equals_recomputation(
+        r in arb_rel(r_schema(), 3, 25),
+        s in arb_rel(s_schema(), 3, 25),
+        extra_r in proptest::collection::vec(arb_tuple(3), 0..8),
+        extra_s in proptest::collection::vec(arb_tuple(3), 0..8),
+        n_parts in 1u64..6,
+    ) {
+        let parts = choose_intervals(
+            &r.iter().map(|t| t.valid()).collect::<Vec<_>>(),
+            n_parts,
+        );
+        let mut view = MaterializedVtJoin::create(&r, &s, parts).unwrap();
+        let extra_r: Vec<Tuple> = extra_r
+            .into_iter()
+            .map(|(k, v, iv)| Tuple::new(vec![Value::Int(k), Value::Int(v)], iv))
+            .collect();
+        let extra_s: Vec<Tuple> = extra_s
+            .into_iter()
+            .map(|(k, v, iv)| Tuple::new(vec![Value::Int(k), Value::Int(v)], iv))
+            .collect();
+        view.insert_outer(extra_r.clone());
+        view.insert_inner(extra_s.clone());
+
+        let mut r_all = r.tuples().to_vec();
+        r_all.extend(extra_r);
+        let mut s_all = s.tuples().to_vec();
+        s_all.extend(extra_s);
+        let expected = natural_join(
+            &Relation::from_parts_unchecked(r_schema(), r_all),
+            &Relation::from_parts_unchecked(s_schema(), s_all),
+        )
+        .unwrap();
+        prop_assert!(view.result().multiset_eq(&expected));
+    }
+
+    #[test]
+    fn join_cost_never_below_two_scans(
+        r in arb_rel(r_schema(), 4, 80),
+        s in arb_rel(s_schema(), 4, 80),
+    ) {
+        // Information-theoretic floor: every algorithm must at least read
+        // both relations once.
+        prop_assume!(!r.is_empty() && !s.is_empty());
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        let floor = hr.pages() + hs.pages();
+        for algo in [
+            Box::new(NestedLoopJoin) as Box<dyn JoinAlgorithm>,
+            Box::new(SortMergeJoin),
+            Box::new(PartitionJoin::default()),
+        ] {
+            let report = algo.execute(&hr, &hs, &JoinConfig::with_buffer(16)).unwrap();
+            prop_assert!(
+                report.io.total_ios() >= floor,
+                "{} read less than the input: {} < {floor}",
+                algo.name(),
+                report.io.total_ios()
+            );
+        }
+    }
+}
