@@ -1,15 +1,19 @@
 //! Regenerates the paper's evaluation artifacts.
 //!
 //! ```text
-//! figures [fig4|fig5|fig6|fig7|fig8|ablation|all] [--scale small|full] [--out DIR]
+//! figures [fig4|fig5|fig6|fig7|fig8|ablation|report|all] [--scale small|full] [--out DIR]
 //! ```
 //!
 //! Each artifact prints an aligned table (and an ASCII chart where the
 //! paper has one) and writes a CSV under `--out` (default `results/`).
+//! The `report` artifact instead runs one instrumented partition join and
+//! emits its unified execution report (explain text + JSON).
 
 use std::path::PathBuf;
 use vtjoin_bench::figures::{self, FigureResult};
-use vtjoin_bench::Scale;
+use vtjoin_bench::harness::run_algorithm_reported;
+use vtjoin_bench::{build_pair, Algo, Scale};
+use vtjoin_storage::CostRatio;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,7 +66,12 @@ fn main() {
         produced.push(figures::ablation_replication(scale));
         produced.push(figures::ablation_time_index(scale));
     }
-    if produced.is_empty() {
+    let mut reported = false;
+    if wants("report") {
+        reported = true;
+        execution_report_artifact(scale, &out);
+    }
+    if produced.is_empty() && !reported {
         usage(&format!("unknown artifact(s): {which:?}"));
     }
 
@@ -80,10 +89,34 @@ fn main() {
     eprintln!("done in {:.1?}", started.elapsed());
 }
 
+/// One instrumented partition-join run: prints the explain rendering and
+/// writes the machine-readable report (`docs/OBSERVABILITY.md` schema) as
+/// `execution-report.json` under `--out`.
+fn execution_report_artifact(scale: Scale, out: &std::path::Path) {
+    let params = scale.params();
+    let (_, hr, hs) = build_pair(&params, scale.long_lived(32_000), 42);
+    let (_, er) = run_algorithm_reported(
+        Algo::Partition,
+        &hr,
+        &hs,
+        scale.buffer_pages(4),
+        CostRatio::R5,
+    );
+    println!("== execution report (partition, 4 MB memory, R5) ==");
+    print!("{}", er.render_explain());
+    let path = out.join("execution-report.json");
+    match std::fs::create_dir_all(out)
+        .and_then(|()| std::fs::write(&path, er.to_json_string()))
+    {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("report write failed: {e}\n"),
+    }
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures [fig4|fig5|fig6|fig7|fig8|ablation|all] [--scale small|full] [--out DIR]"
+        "usage: figures [fig4|fig5|fig6|fig7|fig8|ablation|report|all] [--scale small|full] [--out DIR]"
     );
     std::process::exit(2);
 }

@@ -1,9 +1,10 @@
 //! Shared experiment plumbing.
 
 use vtjoin_join::{
-    JoinAlgorithm, JoinConfig, JoinReport, NestedLoopJoin, PartitionJoin,
-    ReplicatedPartitionJoin, SortMergeJoin, TimeIndexJoin,
+    execution_report, partition_execution_report, JoinAlgorithm, JoinConfig, JoinReport,
+    NestedLoopJoin, PartitionJoin, ReplicatedPartitionJoin, SortMergeJoin, TimeIndexJoin,
 };
+use vtjoin_obs::ExecutionReport;
 use vtjoin_storage::{CostRatio, HeapFile, SharedDisk};
 use vtjoin_workload::generate::{generate_heap, inner_schema, outer_schema, GeneratorConfig};
 use vtjoin_workload::PaperParams;
@@ -134,18 +135,42 @@ pub fn run_algorithm(
     buffer_pages: u64,
     ratio: CostRatio,
 ) -> JoinReport {
+    run_algorithm_reported(algo, hr, hs, buffer_pages, ratio).0
+}
+
+/// As [`run_algorithm`], but also lifts the run into the unified
+/// [`ExecutionReport`]. Partition-join runs go through the planner-exposing
+/// entry point so the report carries the plan and predicted-vs-actual
+/// deviation sections; the other algorithms get the base report.
+pub fn run_algorithm_reported(
+    algo: Algo,
+    hr: &HeapFile,
+    hs: &HeapFile,
+    buffer_pages: u64,
+    ratio: CostRatio,
+) -> (JoinReport, ExecutionReport) {
     let cfg = JoinConfig::with_buffer(buffer_pages).ratio(ratio);
+    let fail = |e| -> ! { panic!("{} failed: {e}", algo.name()) };
+    if algo == Algo::Partition {
+        let (report, planner) = PartitionJoin::default()
+            .execute_with_plan(hr, hs, &cfg)
+            .unwrap_or_else(|e| fail(e));
+        let er = partition_execution_report(&report, &cfg, &planner, hr.pages());
+        return (report, er);
+    }
     let report = match algo {
         Algo::NestedLoop => NestedLoopJoin.execute(hr, hs, &cfg),
         Algo::SortMerge => SortMergeJoin.execute(hr, hs, &cfg),
-        Algo::Partition => PartitionJoin::default().execute(hr, hs, &cfg),
+        Algo::Partition => unreachable!("handled above"),
         Algo::Replicated => ReplicatedPartitionJoin.execute(hr, hs, &cfg),
         Algo::TimeIndex => TimeIndexJoin { assume_sorted: false }.execute(hr, hs, &cfg),
         Algo::TimeIndexAppendOnly => {
             TimeIndexJoin { assume_sorted: true }.execute(hr, hs, &cfg)
         }
-    };
-    report.unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+    }
+    .unwrap_or_else(|e| fail(e));
+    let er = execution_report(&report, &cfg);
+    (report, er)
 }
 
 #[cfg(test)]
@@ -185,6 +210,22 @@ mod tests {
             hs.read_page(0).unwrap()[0],
             "independent seeds"
         );
+    }
+
+    #[test]
+    fn reported_runs_carry_plan_sections_for_partition() {
+        let mut params = PaperParams::SMALL;
+        params.relation_tuples = 2048;
+        params.lifespan = 4000;
+        params.objects = 100;
+        let (_, hr, hs) = build_pair(&params, 64, 3);
+        let (rep, er) = run_algorithm_reported(Algo::Partition, &hr, &hs, 16, CostRatio::R5);
+        assert_eq!(er.algorithm, "partition");
+        assert_eq!(er.io.total_ios, rep.io.total_ios());
+        assert!(er.plan.is_some(), "non-degenerate partition run must carry a plan");
+        assert!(er.deviation.is_some());
+        let (_, er) = run_algorithm_reported(Algo::SortMerge, &hr, &hs, 16, CostRatio::R5);
+        assert!(er.plan.is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod query;
 pub mod view;
 
 pub use database::Database;
+pub use parallel::{parallel_partition_join, parallel_partition_join_reported};
 pub use planner::{choose_algorithm, partition_feasible, Algorithm};
 pub use query::{Predicate, Query};
 pub use view::MaterializedVtJoin;

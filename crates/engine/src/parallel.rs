@@ -10,12 +10,13 @@
 //! with replication. The canonical-partition emission rule de-duplicates
 //! pairs that are co-present in several partitions.
 
-use crossbeam::thread;
 use std::sync::Arc;
+use std::thread;
 use vtjoin_core::{Relation, Tuple};
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::partition::intervals::{is_partitioning, partition_of};
 use vtjoin_core::Interval;
+use vtjoin_obs::WorkerSection;
 
 /// Joins `r ⋈ᵛ s` by replicating tuples into every overlapping partition
 /// and joining the partitions on `threads` worker threads.
@@ -28,6 +29,19 @@ pub fn parallel_partition_join(
     intervals: &[Interval],
     threads: usize,
 ) -> Result<Relation, vtjoin_join::JoinError> {
+    parallel_partition_join_reported(r, s, intervals, threads).map(|(rel, _)| rel)
+}
+
+/// As [`parallel_partition_join`], but also reports a per-worker breakdown
+/// (partitions assigned, tuples emitted, wall-clock) for the execution
+/// report's `workers` section. The tuple counts and assignment are
+/// deterministic; the wall-clock figures are not.
+pub fn parallel_partition_join_reported(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+) -> Result<(Relation, Vec<WorkerSection>), vtjoin_join::JoinError> {
     assert!(is_partitioning(intervals), "intervals must partition valid time");
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let n = intervals.len();
@@ -47,15 +61,20 @@ pub fn parallel_partition_join(
 
     let threads = threads.max(1);
     let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    let mut workers: Vec<WorkerSection> = Vec::new();
     thread::scope(|scope| {
         // Static round-robin assignment of partitions to workers keeps the
         // output deterministic.
+        let mut handles = Vec::new();
         for (chunk_idx, chunk) in outputs.chunks_mut(n.div_ceil(threads)).enumerate() {
             let base = chunk_idx * n.div_ceil(threads);
             let spec = &spec;
             let r_parts = &r_parts;
             let s_parts = &s_parts;
-            scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
+                let started = std::time::Instant::now();
+                let partitions = chunk.len() as u64;
+                let mut tuples = 0u64;
                 for (off, out) in chunk.iter_mut().enumerate() {
                     let i = base + off;
                     let p_i = intervals[i];
@@ -64,21 +83,28 @@ pub fn parallel_partition_join(
                             if let Some(z) = spec.try_match(x, y) {
                                 if p_i.contains_chronon(z.valid().end()) {
                                     out.push(z);
+                                    tuples += 1;
                                 }
                             }
                         }
                     }
                 }
-            });
+                WorkerSection {
+                    worker: chunk_idx as u64,
+                    partitions,
+                    tuples,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                }
+            }));
         }
-    })
-    .expect("partition worker panicked");
+        for h in handles {
+            workers.push(h.join().expect("partition worker panicked"));
+        }
+    });
 
     let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
-    Ok(Relation::from_parts_unchecked(
-        Arc::clone(spec.out_schema()),
-        tuples,
-    ))
+    let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
+    Ok((rel, workers))
 }
 
 #[cfg(test)]
@@ -139,6 +165,21 @@ mod tests {
             parallel_partition_join(&r, &s, &[Interval::ALL], 3).unwrap();
         let want = natural_join(&r, &s).unwrap();
         assert!(got.multiset_eq(&want));
+    }
+
+    #[test]
+    fn worker_sections_account_for_all_tuples() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let (got, workers) =
+            parallel_partition_join_reported(&r, &s, &parts, 3).unwrap();
+        assert_eq!(workers.len(), 3);
+        assert_eq!(workers.iter().map(|w| w.partitions).sum::<u64>(), 6);
+        assert_eq!(workers.iter().map(|w| w.tuples).sum::<u64>(), got.len() as u64);
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(w.worker, i as u64);
+        }
     }
 
     #[test]

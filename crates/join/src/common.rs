@@ -315,6 +315,19 @@ impl ResultSink {
     }
 }
 
+/// One phase's measurement: its I/O delta and wall-clock duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name ("plan", "partition", "join", "sort-outer", …).
+    pub name: &'static str,
+    /// I/O performed during the phase.
+    pub io: IoStats,
+    /// Wall-clock duration in microseconds. Unlike the I/O counters this
+    /// is *not* deterministic across runs; reports carry it for profiling,
+    /// never for correctness assertions.
+    pub wall_micros: u64,
+}
+
 /// The outcome of one join execution.
 #[derive(Debug, Clone)]
 pub struct JoinReport {
@@ -326,8 +339,8 @@ pub struct JoinReport {
     pub result_pages: u64,
     /// Measured I/O over the whole run.
     pub io: IoStats,
-    /// Named per-phase I/O breakdown, in execution order.
-    pub phases: Vec<(&'static str, IoStats)>,
+    /// Named per-phase breakdown, in execution order.
+    pub phases: Vec<PhaseStats>,
     /// The materialized result when [`JoinConfig::collect_result`] was set.
     pub result: Option<Relation>,
     /// Algorithm-specific diagnostics (partition count, samples drawn…).
@@ -364,31 +377,44 @@ pub trait JoinAlgorithm {
     ) -> Result<JoinReport>;
 }
 
-/// Helper tracking per-phase I/O deltas on a shared disk.
+/// Helper tracking per-phase I/O deltas and wall-clock on a shared disk.
 #[derive(Debug)]
 pub struct PhaseTracker {
     disk: vtjoin_storage::SharedDisk,
     start: IoStats,
     last: IoStats,
-    phases: Vec<(&'static str, IoStats)>,
+    last_instant: std::time::Instant,
+    phases: Vec<PhaseStats>,
 }
 
 impl PhaseTracker {
     /// Starts tracking from the disk's current counters.
     pub fn start(disk: &vtjoin_storage::SharedDisk) -> PhaseTracker {
         let now = disk.stats();
-        PhaseTracker { disk: disk.clone(), start: now, last: now, phases: Vec::new() }
+        PhaseTracker {
+            disk: disk.clone(),
+            start: now,
+            last: now,
+            last_instant: std::time::Instant::now(),
+            phases: Vec::new(),
+        }
     }
 
     /// Closes the current phase under `name`.
     pub fn phase(&mut self, name: &'static str) {
         let now = self.disk.stats();
-        self.phases.push((name, now - self.last));
+        let instant = std::time::Instant::now();
+        self.phases.push(PhaseStats {
+            name,
+            io: now - self.last,
+            wall_micros: (instant - self.last_instant).as_micros() as u64,
+        });
         self.last = now;
+        self.last_instant = instant;
     }
 
     /// Total I/O since tracking started, plus the phase list.
-    pub fn finish(self) -> (IoStats, Vec<(&'static str, IoStats)>) {
+    pub fn finish(self) -> (IoStats, Vec<PhaseStats>) {
         (self.disk.stats() - self.start, self.phases)
     }
 }
@@ -485,9 +511,9 @@ mod tests {
         tr.phase("two");
         let (total, phases) = tr.finish();
         assert_eq!(total.total_ios(), 3);
-        assert_eq!(phases[0].0, "one");
-        assert_eq!(phases[0].1.total_ios(), 1);
-        assert_eq!(phases[1].1.total_ios(), 2);
+        assert_eq!(phases[0].name, "one");
+        assert_eq!(phases[0].io.total_ios(), 1);
+        assert_eq!(phases[1].io.total_ios(), 2);
     }
 
     #[test]

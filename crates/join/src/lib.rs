@@ -34,11 +34,13 @@ pub mod common;
 pub mod cost;
 pub mod nested_loop;
 pub mod partition;
+pub mod report;
 pub mod sort;
 pub mod sort_merge;
 pub mod time_index;
 
-pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, Result};
+pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseStats, Result};
+pub use report::{execution_report, partition_execution_report};
 pub use nested_loop::NestedLoopJoin;
 pub use partition::{PartitionJoin, ReplicatedPartitionJoin};
 pub use sort_merge::SortMergeJoin;

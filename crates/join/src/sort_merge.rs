@@ -346,12 +346,12 @@ mod tests {
         let report = SortMergeJoin
             .execute(&hr, &hs, &JoinConfig::with_buffer(8))
             .unwrap();
-        let names: Vec<&str> = report.phases.iter().map(|(n, _)| *n).collect();
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name).collect();
         assert_eq!(names, vec!["sort-outer", "sort-inner", "merge"]);
         let sum = report
             .phases
             .iter()
-            .fold(vtjoin_storage::IoStats::ZERO, |acc, (_, s)| acc + *s);
+            .fold(vtjoin_storage::IoStats::ZERO, |acc, p| acc + p.io);
         assert_eq!(sum, report.io, "phases partition total I/O");
     }
 

@@ -511,8 +511,8 @@ mod tests {
         let sort_io = |r: &JoinReport| {
             r.phases
                 .iter()
-                .find(|(n, _)| *n == "sort")
-                .map(|(_, io)| io.total_ios())
+                .find(|p| p.name == "sort")
+                .map(|p| p.io.total_ios())
                 .unwrap_or(0)
         };
         assert_eq!(sort_io(&appendonly), 0, "append-only pays no sort");

@@ -1,0 +1,35 @@
+//! # vtjoin-obs — unified execution-report observability
+//!
+//! The paper's evaluation (§4) reasons about runs through two lenses: the
+//! *predicted* cost the planner minimizes (`C_sample + C_join`, Figure 10)
+//! and the *measured* I/O the execution actually performed. Before this
+//! crate those lived in different places — planner output, `JoinReport`
+//! notes, ad-hoc printing. [`ExecutionReport`] unifies them: per-phase
+//! wall-clock timings and I/O counters, CPU-side counters, buffer-pool
+//! behaviour, the planner's predicted cost decomposition, and a computed
+//! predicted-vs-actual deviation section, in one value with
+//!
+//! * a human rendering ([`ExecutionReport::render_explain`], the CLI's
+//!   `--explain`), and
+//! * an exact JSON round trip ([`ExecutionReport::to_json_string`] /
+//!   [`ExecutionReport::from_json_str`], the CLI's `--stats-json`),
+//!   documented field-by-field in `docs/OBSERVABILITY.md`.
+//!
+//! The crate deliberately depends only on `vtjoin-storage` (for the raw
+//! counter types); the join algorithms *construct* reports, so the
+//! dependency points from `vtjoin-join` to here, never back. JSON is
+//! hand-rolled ([`json::Json`]) because the build containers cannot reach
+//! a cargo registry.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod json;
+pub mod report;
+
+pub use json::{Json, JsonError};
+pub use report::{
+    BufferPoolSection, CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport,
+    IoSection, PhaseSection, PlanSection, PredictedCost, ReportError, ResultSection, WorkerSection,
+    SCHEMA_VERSION,
+};

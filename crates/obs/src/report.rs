@@ -1,0 +1,1023 @@
+//! The unified execution report.
+//!
+//! Every join path produces a [`ExecutionReport`]: one value unifying the
+//! per-phase wall-clock timings, the four random/sequential I/O counters,
+//! algorithm diagnostics, buffer-pool behaviour, the partition-join
+//! planner's predicted costs, and — when predictions exist — a computed
+//! predicted-vs-actual deviation section. The report renders two ways:
+//! [`ExecutionReport::render_explain`] for humans and
+//! [`ExecutionReport::to_json`] / [`ExecutionReport::from_json`] for
+//! machines (see `docs/OBSERVABILITY.md` for the field-by-field schema).
+
+use crate::json::{obj, Json, JsonError};
+use std::fmt;
+use vtjoin_storage::{CostRatio, IoStats};
+
+/// Version stamped into every serialized report as `schema_version`;
+/// [`ExecutionReport::from_json`] rejects other versions.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Error produced when decoding a serialized report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The document is not valid JSON (or uses an out-of-subset feature).
+    Json(JsonError),
+    /// The document is JSON but not a well-formed report.
+    Schema(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "{e}"),
+            ReportError::Schema(msg) => write!(f, "report schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+fn missing(key: &str) -> ReportError {
+    ReportError::Schema(format!("missing or mistyped field '{key}'"))
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64, ReportError> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_i64(j: &Json, key: &str) -> Result<i64, ReportError> {
+    j.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, ReportError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_bool(j: &Json, key: &str) -> Result<bool, ReportError> {
+    j.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_arr<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], ReportError> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing(key))
+}
+
+/// The configuration a run executed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigSection {
+    /// Total main-memory budget in pages.
+    pub buffer_pages: u64,
+    /// Cost of one random access, in sequential-access units (the
+    /// random:sequential ratio's numerator; sequential costs 1).
+    pub random_cost: u64,
+    /// RNG seed the run used.
+    pub seed: u64,
+}
+
+/// Result cardinality. Result writes are cost-excluded (every algorithm
+/// pays them identically), so only sizes are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultSection {
+    /// Result tuples emitted.
+    pub tuples: u64,
+    /// Pages the result relation would occupy.
+    pub pages: u64,
+}
+
+/// The four I/O counters plus derived totals, priced at the run's ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoSection {
+    /// Reads that required a seek.
+    pub random_reads: u64,
+    /// Reads that followed the previous read directly.
+    pub seq_reads: u64,
+    /// Writes that required a seek.
+    pub random_writes: u64,
+    /// Writes that followed the previous write directly.
+    pub seq_writes: u64,
+    /// Sum of all four counters.
+    pub total_ios: u64,
+    /// Weighted cost: `random × random_cost + sequential × 1`.
+    pub cost: u64,
+}
+
+impl IoSection {
+    /// Prices raw counters at `ratio`.
+    pub fn from_stats(io: IoStats, ratio: CostRatio) -> IoSection {
+        IoSection {
+            random_reads: io.random_reads,
+            seq_reads: io.seq_reads,
+            random_writes: io.random_writes,
+            seq_writes: io.seq_writes,
+            total_ios: io.total_ios(),
+            cost: io.cost(ratio),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("random_reads", Json::Int(self.random_reads as i64)),
+            ("seq_reads", Json::Int(self.seq_reads as i64)),
+            ("random_writes", Json::Int(self.random_writes as i64)),
+            ("seq_writes", Json::Int(self.seq_writes as i64)),
+            ("total_ios", Json::Int(self.total_ios as i64)),
+            ("cost", Json::Int(self.cost as i64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<IoSection, ReportError> {
+        Ok(IoSection {
+            random_reads: req_u64(j, "random_reads")?,
+            seq_reads: req_u64(j, "seq_reads")?,
+            random_writes: req_u64(j, "random_writes")?,
+            seq_writes: req_u64(j, "seq_writes")?,
+            total_ios: req_u64(j, "total_ios")?,
+            cost: req_u64(j, "cost")?,
+        })
+    }
+}
+
+/// One execution phase: its I/O delta, wall-clock time, and (for phases
+/// the planner modelled) the predicted cost it should have paid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSection {
+    /// Phase name ("plan", "partition", "join", "sort-outer", …).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub wall_micros: u64,
+    /// I/O performed during the phase.
+    pub io: IoSection,
+    /// The planner's predicted cost for this phase, when it made one
+    /// (partition join: `C_sample` for "plan", `C_join` for "join").
+    pub predicted_cost: Option<u64>,
+}
+
+/// A named algorithm diagnostic (partition count, samples drawn, …).
+/// The full name registry lives in `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    /// Stable counter name.
+    pub name: String,
+    /// Counter value.
+    pub value: i64,
+}
+
+/// Buffer-pool behaviour during the run, when a pool was involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPoolSection {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that went to disk.
+    pub misses: u64,
+    /// Dirty or clean frames evicted to make room.
+    pub evictions: u64,
+}
+
+/// The predicted cost decomposition of the chosen plan (Figure 10's
+/// objective, in cost units at the run's ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictedCost {
+    /// Sampling cost `m × IO_ran`.
+    pub c_sample: u64,
+    /// Partition-joining cost, including tuple-cache paging.
+    pub c_join: u64,
+    /// The tuple-cache paging component of `c_join`.
+    pub c_cache: u64,
+    /// Partition-count-dependent Grace flush-seek surcharge.
+    pub c_partition_seeks: u64,
+    /// The planner's objective: `c_sample + c_join + c_partition_seeks`.
+    pub total: u64,
+}
+
+/// One row of the planner's candidate cost table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateRow {
+    /// Candidate outer-partition size in pages.
+    pub part_size: u64,
+    /// Implied partition count.
+    pub num_partitions: u64,
+    /// Kolmogorov-required samples for the implied error budget.
+    pub samples_required: u64,
+    /// Predicted sampling cost.
+    pub c_sample: u64,
+    /// Predicted joining cost.
+    pub c_join: u64,
+    /// Tuple-cache component of `c_join`.
+    pub c_cache: u64,
+    /// Grace flush-seek surcharge.
+    pub c_partition_seeks: u64,
+    /// The candidate's objective value.
+    pub total: u64,
+    /// Whether the planner chose this candidate.
+    pub chosen: bool,
+}
+
+/// What the partition-join planner decided and predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSection {
+    /// Chosen outer-partition size in pages.
+    pub part_size: u64,
+    /// Number of partitions the plan produced.
+    pub num_partitions: u64,
+    /// Error budget `errorSize = buffSize − partSize` in pages.
+    pub error_size: u64,
+    /// Samples physically drawn (their I/O is charged to the run).
+    pub samples_drawn: u64,
+    /// Estimated total tuple-cache pages.
+    pub est_cache_pages: u64,
+    /// Predicted cost decomposition of the chosen candidate.
+    pub predicted: PredictedCost,
+    /// The full candidate table, ascending by `part_size`.
+    pub candidates: Vec<CandidateRow>,
+}
+
+/// Predicted-vs-actual comparison for the phases the cost model covers
+/// (sampling + partition joining; Grace partitioning's base cost is
+/// model-independent and excluded, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviationSection {
+    /// Predicted cost of the modelled phases (`C_sample + C_join`).
+    pub predicted_cost: u64,
+    /// Measured cost of the same phases at the run's ratio.
+    pub actual_cost: u64,
+    /// `actual − predicted` (positive: model was optimistic).
+    pub error: i64,
+    /// `error` as a percentage of the predicted cost, rounded.
+    pub error_percent: i64,
+    /// The model's own slack: each of the `n` partitions may overshoot
+    /// its target by up to `errorSize` pages (the Kolmogorov guarantee),
+    /// each overrun page costing at most one cache write + re-read at
+    /// random price — `n × errorSize × 2 × random_cost` cost units.
+    pub tolerance: u64,
+    /// Whether `|error| ≤ tolerance`.
+    pub within_tolerance: bool,
+}
+
+impl DeviationSection {
+    /// Computes the deviation of `actual_cost` from `predicted_cost`
+    /// under the errorSize-derived `tolerance`.
+    pub fn compute(predicted_cost: u64, actual_cost: u64, tolerance: u64) -> DeviationSection {
+        let error = actual_cost as i64 - predicted_cost as i64;
+        let error_percent = if predicted_cost == 0 {
+            0
+        } else {
+            (error * 100) / predicted_cost as i64
+        };
+        DeviationSection {
+            predicted_cost,
+            actual_cost,
+            error,
+            error_percent,
+            tolerance,
+            within_tolerance: error.unsigned_abs() <= tolerance,
+        }
+    }
+}
+
+/// Per-worker breakdown of a parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSection {
+    /// Worker index (0-based).
+    pub worker: u64,
+    /// Partitions the worker was assigned.
+    pub partitions: u64,
+    /// Result tuples the worker emitted.
+    pub tuples: u64,
+    /// Wall-clock the worker spent joining, in microseconds.
+    pub wall_micros: u64,
+}
+
+/// The unified execution report: one value describing everything a run
+/// did, predicted, and measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Algorithm that produced the run ("partition", "sort-merge", …).
+    pub algorithm: String,
+    /// Configuration the run executed under.
+    pub config: ConfigSection,
+    /// Result cardinality.
+    pub result: ResultSection,
+    /// Whole-run I/O.
+    pub io: IoSection,
+    /// Per-phase breakdown, in execution order.
+    pub phases: Vec<PhaseSection>,
+    /// Algorithm diagnostics.
+    pub counters: Vec<Counter>,
+    /// Buffer-pool behaviour, when a pool was involved.
+    pub buffer_pool: Option<BufferPoolSection>,
+    /// Planner decision and predictions (partition join only).
+    pub plan: Option<PlanSection>,
+    /// Predicted-vs-actual comparison, when predictions exist.
+    pub deviation: Option<DeviationSection>,
+    /// Per-worker breakdown of parallel executions.
+    pub workers: Vec<WorkerSection>,
+}
+
+impl ExecutionReport {
+    /// Looks up a diagnostic counter by name.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSection> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    // ---- JSON ----------------------------------------------------------------
+
+    /// Serializes to the documented JSON schema (`docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("algorithm", Json::Str(self.algorithm.clone())),
+            (
+                "config",
+                obj(vec![
+                    ("buffer_pages", Json::Int(self.config.buffer_pages as i64)),
+                    ("random_cost", Json::Int(self.config.random_cost as i64)),
+                    ("seed", Json::Int(self.config.seed as i64)),
+                ]),
+            ),
+            (
+                "result",
+                obj(vec![
+                    ("tuples", Json::Int(self.result.tuples as i64)),
+                    ("pages", Json::Int(self.result.pages as i64)),
+                ]),
+            ),
+            ("io", self.io.to_json()),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            let mut ph = vec![
+                                ("name", Json::Str(p.name.clone())),
+                                ("wall_micros", Json::Int(p.wall_micros as i64)),
+                                ("io", p.io.to_json()),
+                            ];
+                            if let Some(pred) = p.predicted_cost {
+                                ph.push(("predicted_cost", Json::Int(pred as i64)));
+                            }
+                            obj(ph)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Arr(
+                    self.counters
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("name", Json::Str(c.name.clone())),
+                                ("value", Json::Int(c.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(bp) = self.buffer_pool {
+            pairs.push((
+                "buffer_pool",
+                obj(vec![
+                    ("hits", Json::Int(bp.hits as i64)),
+                    ("misses", Json::Int(bp.misses as i64)),
+                    ("evictions", Json::Int(bp.evictions as i64)),
+                ]),
+            ));
+        }
+        if let Some(plan) = &self.plan {
+            pairs.push((
+                "plan",
+                obj(vec![
+                    ("part_size", Json::Int(plan.part_size as i64)),
+                    ("num_partitions", Json::Int(plan.num_partitions as i64)),
+                    ("error_size", Json::Int(plan.error_size as i64)),
+                    ("samples_drawn", Json::Int(plan.samples_drawn as i64)),
+                    ("est_cache_pages", Json::Int(plan.est_cache_pages as i64)),
+                    (
+                        "predicted",
+                        obj(vec![
+                            ("c_sample", Json::Int(plan.predicted.c_sample as i64)),
+                            ("c_join", Json::Int(plan.predicted.c_join as i64)),
+                            ("c_cache", Json::Int(plan.predicted.c_cache as i64)),
+                            (
+                                "c_partition_seeks",
+                                Json::Int(plan.predicted.c_partition_seeks as i64),
+                            ),
+                            ("total", Json::Int(plan.predicted.total as i64)),
+                        ]),
+                    ),
+                    (
+                        "candidates",
+                        Json::Arr(
+                            plan.candidates
+                                .iter()
+                                .map(|c| {
+                                    obj(vec![
+                                        ("part_size", Json::Int(c.part_size as i64)),
+                                        ("num_partitions", Json::Int(c.num_partitions as i64)),
+                                        ("samples_required", Json::Int(c.samples_required as i64)),
+                                        ("c_sample", Json::Int(c.c_sample as i64)),
+                                        ("c_join", Json::Int(c.c_join as i64)),
+                                        ("c_cache", Json::Int(c.c_cache as i64)),
+                                        (
+                                            "c_partition_seeks",
+                                            Json::Int(c.c_partition_seeks as i64),
+                                        ),
+                                        ("total", Json::Int(c.total as i64)),
+                                        ("chosen", Json::Bool(c.chosen)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(d) = self.deviation {
+            pairs.push((
+                "deviation",
+                obj(vec![
+                    ("predicted_cost", Json::Int(d.predicted_cost as i64)),
+                    ("actual_cost", Json::Int(d.actual_cost as i64)),
+                    ("error", Json::Int(d.error)),
+                    ("error_percent", Json::Int(d.error_percent)),
+                    ("tolerance", Json::Int(d.tolerance as i64)),
+                    ("within_tolerance", Json::Bool(d.within_tolerance)),
+                ]),
+            ));
+        }
+        if !self.workers.is_empty() {
+            pairs.push((
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            obj(vec![
+                                ("worker", Json::Int(w.worker as i64)),
+                                ("partitions", Json::Int(w.partitions as i64)),
+                                ("tuples", Json::Int(w.tuples as i64)),
+                                ("wall_micros", Json::Int(w.wall_micros as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to the documented JSON text format.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Decodes a report from its JSON text form; exact inverse of
+    /// [`ExecutionReport::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<ExecutionReport, ReportError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Decodes a report from a parsed JSON value.
+    pub fn from_json(j: &Json) -> Result<ExecutionReport, ReportError> {
+        let version = req_i64(j, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(ReportError::Schema(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let config = j.get("config").ok_or_else(|| missing("config"))?;
+        let result = j.get("result").ok_or_else(|| missing("result"))?;
+        let mut phases = Vec::new();
+        for p in req_arr(j, "phases")? {
+            phases.push(PhaseSection {
+                name: req_str(p, "name")?,
+                wall_micros: req_u64(p, "wall_micros")?,
+                io: IoSection::from_json(p.get("io").ok_or_else(|| missing("phases[].io"))?)?,
+                predicted_cost: match p.get("predicted_cost") {
+                    Some(v) => Some(v.as_u64().ok_or_else(|| missing("predicted_cost"))?),
+                    None => None,
+                },
+            });
+        }
+        let mut counters = Vec::new();
+        for c in req_arr(j, "counters")? {
+            counters.push(Counter {
+                name: req_str(c, "name")?,
+                value: req_i64(c, "value")?,
+            });
+        }
+        let buffer_pool = match j.get("buffer_pool") {
+            Some(bp) => Some(BufferPoolSection {
+                hits: req_u64(bp, "hits")?,
+                misses: req_u64(bp, "misses")?,
+                evictions: req_u64(bp, "evictions")?,
+            }),
+            None => None,
+        };
+        let plan = match j.get("plan") {
+            Some(p) => {
+                let pred = p
+                    .get("predicted")
+                    .ok_or_else(|| missing("plan.predicted"))?;
+                let mut candidates = Vec::new();
+                for c in req_arr(p, "candidates")? {
+                    candidates.push(CandidateRow {
+                        part_size: req_u64(c, "part_size")?,
+                        num_partitions: req_u64(c, "num_partitions")?,
+                        samples_required: req_u64(c, "samples_required")?,
+                        c_sample: req_u64(c, "c_sample")?,
+                        c_join: req_u64(c, "c_join")?,
+                        c_cache: req_u64(c, "c_cache")?,
+                        c_partition_seeks: req_u64(c, "c_partition_seeks")?,
+                        total: req_u64(c, "total")?,
+                        chosen: req_bool(c, "chosen")?,
+                    });
+                }
+                Some(PlanSection {
+                    part_size: req_u64(p, "part_size")?,
+                    num_partitions: req_u64(p, "num_partitions")?,
+                    error_size: req_u64(p, "error_size")?,
+                    samples_drawn: req_u64(p, "samples_drawn")?,
+                    est_cache_pages: req_u64(p, "est_cache_pages")?,
+                    predicted: PredictedCost {
+                        c_sample: req_u64(pred, "c_sample")?,
+                        c_join: req_u64(pred, "c_join")?,
+                        c_cache: req_u64(pred, "c_cache")?,
+                        c_partition_seeks: req_u64(pred, "c_partition_seeks")?,
+                        total: req_u64(pred, "total")?,
+                    },
+                    candidates,
+                })
+            }
+            None => None,
+        };
+        let deviation = match j.get("deviation") {
+            Some(d) => Some(DeviationSection {
+                predicted_cost: req_u64(d, "predicted_cost")?,
+                actual_cost: req_u64(d, "actual_cost")?,
+                error: req_i64(d, "error")?,
+                error_percent: req_i64(d, "error_percent")?,
+                tolerance: req_u64(d, "tolerance")?,
+                within_tolerance: req_bool(d, "within_tolerance")?,
+            }),
+            None => None,
+        };
+        let mut workers = Vec::new();
+        if let Some(ws) = j.get("workers").and_then(Json::as_arr) {
+            for w in ws {
+                workers.push(WorkerSection {
+                    worker: req_u64(w, "worker")?,
+                    partitions: req_u64(w, "partitions")?,
+                    tuples: req_u64(w, "tuples")?,
+                    wall_micros: req_u64(w, "wall_micros")?,
+                });
+            }
+        }
+        Ok(ExecutionReport {
+            algorithm: req_str(j, "algorithm")?,
+            config: ConfigSection {
+                buffer_pages: req_u64(config, "buffer_pages")?,
+                random_cost: req_u64(config, "random_cost")?,
+                seed: req_u64(config, "seed")?,
+            },
+            result: ResultSection {
+                tuples: req_u64(result, "tuples")?,
+                pages: req_u64(result, "pages")?,
+            },
+            io: IoSection::from_json(j.get("io").ok_or_else(|| missing("io"))?)?,
+            phases,
+            counters,
+            buffer_pool,
+            plan,
+            deviation,
+            workers,
+        })
+    }
+
+    // ---- explain rendering -----------------------------------------------------
+
+    /// Renders the human-readable explain output: configuration, the
+    /// per-phase cost table (with a predicted-vs-actual deviation column
+    /// where the planner made predictions), planner decision, candidate
+    /// table, deviation summary, and worker breakdown.
+    pub fn render_explain(&self) -> String {
+        let mut out = String::new();
+        let p = |out: &mut String, line: &str| {
+            out.push_str(line);
+            out.push('\n');
+        };
+
+        p(
+            &mut out,
+            &format!("{} join — execution report", self.algorithm),
+        );
+        p(
+            &mut out,
+            &format!(
+                "  config: {} buffer pages, {}:1 random:sequential, seed {:#x}",
+                self.config.buffer_pages, self.config.random_cost, self.config.seed
+            ),
+        );
+        p(
+            &mut out,
+            &format!(
+                "  result: {} tuples ({} pages, cost-excluded)",
+                self.result.tuples, self.result.pages
+            ),
+        );
+        out.push('\n');
+
+        // Per-phase cost table.
+        let mut rows: Vec<[String; 8]> = Vec::new();
+        for ph in &self.phases {
+            rows.push([
+                ph.name.clone(),
+                ph.wall_micros.to_string(),
+                ph.io.random_reads.to_string(),
+                ph.io.seq_reads.to_string(),
+                ph.io.random_writes.to_string(),
+                ph.io.seq_writes.to_string(),
+                ph.io.cost.to_string(),
+                match ph.predicted_cost {
+                    Some(pred) => {
+                        format!("{} ({:+})", pred, ph.io.cost as i64 - pred as i64)
+                    }
+                    None => "—".to_string(),
+                },
+            ]);
+        }
+        rows.push([
+            "total".into(),
+            self.phases
+                .iter()
+                .map(|p| p.wall_micros)
+                .sum::<u64>()
+                .to_string(),
+            self.io.random_reads.to_string(),
+            self.io.seq_reads.to_string(),
+            self.io.random_writes.to_string(),
+            self.io.seq_writes.to_string(),
+            self.io.cost.to_string(),
+            "".into(),
+        ]);
+        render_table(
+            &mut out,
+            &[
+                "phase",
+                "wall µs",
+                "rnd rd",
+                "seq rd",
+                "rnd wr",
+                "seq wr",
+                "cost",
+                "predicted (dev)",
+            ],
+            &rows,
+        );
+
+        if let Some(bp) = self.buffer_pool {
+            p(
+                &mut out,
+                &format!(
+                    "\n  buffer pool: {} hits / {} misses / {} evictions",
+                    bp.hits, bp.misses, bp.evictions
+                ),
+            );
+        }
+
+        if !self.counters.is_empty() {
+            p(&mut out, "\n  counters:");
+            for c in &self.counters {
+                p(&mut out, &format!("    {:<24} {}", c.name, c.value));
+            }
+        }
+
+        if let Some(plan) = &self.plan {
+            p(
+                &mut out,
+                &format!(
+                    "\n  plan: partSize {} pages → {} partitions, errorSize {}, {} samples drawn, ≈{} cache pages",
+                    plan.part_size,
+                    plan.num_partitions,
+                    plan.error_size,
+                    plan.samples_drawn,
+                    plan.est_cache_pages
+                ),
+            );
+            if !plan.candidates.is_empty() {
+                p(
+                    &mut out,
+                    "  candidate table (planner objective, Figure 10):",
+                );
+                let rows: Vec<[String; 8]> = plan
+                    .candidates
+                    .iter()
+                    .map(|c| {
+                        [
+                            format!("{}{}", if c.chosen { "*" } else { " " }, c.part_size),
+                            c.num_partitions.to_string(),
+                            c.samples_required.to_string(),
+                            c.c_sample.to_string(),
+                            c.c_join.to_string(),
+                            c.c_cache.to_string(),
+                            c.c_partition_seeks.to_string(),
+                            c.total.to_string(),
+                        ]
+                    })
+                    .collect();
+                render_table(
+                    &mut out,
+                    &[
+                        "partSize", "parts", "m", "C_sample", "C_join", "C_cache", "C_seeks",
+                        "total",
+                    ],
+                    &rows,
+                );
+            }
+        }
+
+        if let Some(d) = self.deviation {
+            p(&mut out, "\n  predicted vs actual (modelled phases):");
+            p(
+                &mut out,
+                &format!("    predicted cost  {}", d.predicted_cost),
+            );
+            p(&mut out, &format!("    actual cost     {}", d.actual_cost));
+            p(
+                &mut out,
+                &format!(
+                    "    deviation       {:+} ({:+}%) — {} errorSize tolerance of {}",
+                    d.error,
+                    d.error_percent,
+                    if d.within_tolerance {
+                        "within"
+                    } else {
+                        "OUTSIDE"
+                    },
+                    d.tolerance
+                ),
+            );
+        }
+
+        if !self.workers.is_empty() {
+            p(&mut out, "\n  workers:");
+            let rows: Vec<[String; 4]> = self
+                .workers
+                .iter()
+                .map(|w| {
+                    [
+                        w.worker.to_string(),
+                        w.partitions.to_string(),
+                        w.tuples.to_string(),
+                        w.wall_micros.to_string(),
+                    ]
+                })
+                .collect();
+            render_table(&mut out, &["worker", "parts", "tuples", "wall µs"], &rows);
+        }
+
+        out
+    }
+}
+
+fn render_table<const N: usize>(out: &mut String, headers: &[&str; N], rows: &[[String; N]]) {
+    let mut widths: [usize; N] = [0; N];
+    for (i, h) in headers.iter().enumerate() {
+        widths[i] = h.chars().count();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let emit = |out: &mut String, cells: &[String; N], widths: &[usize; N]| {
+        out.push_str("   ");
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            if i == 0 {
+                // Left-align the label column.
+                out.push(' ');
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str("  ");
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    let head: [String; N] = std::array::from_fn(|i| headers[i].to_string());
+    emit(out, &head, &widths);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (N - 1) + 1;
+    out.push_str("   ");
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        emit(out, row, &widths);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ExecutionReport {
+        let io = IoSection {
+            random_reads: 10,
+            seq_reads: 90,
+            random_writes: 5,
+            seq_writes: 45,
+            total_ios: 150,
+            cost: 10 * 5 + 90 + 5 * 5 + 45,
+        };
+        ExecutionReport {
+            algorithm: "partition".into(),
+            config: ConfigSection {
+                buffer_pages: 256,
+                random_cost: 5,
+                seed: 0x5eed,
+            },
+            result: ResultSection {
+                tuples: 1234,
+                pages: 40,
+            },
+            io,
+            phases: vec![
+                PhaseSection {
+                    name: "plan".into(),
+                    wall_micros: 120,
+                    io,
+                    predicted_cost: Some(80),
+                },
+                PhaseSection {
+                    name: "partition".into(),
+                    wall_micros: 400,
+                    io,
+                    predicted_cost: None,
+                },
+                PhaseSection {
+                    name: "join".into(),
+                    wall_micros: 700,
+                    io,
+                    predicted_cost: Some(200),
+                },
+            ],
+            counters: vec![
+                Counter {
+                    name: "num_partitions".into(),
+                    value: 17,
+                },
+                Counter {
+                    name: "cpu_probes".into(),
+                    value: -1,
+                },
+            ],
+            buffer_pool: Some(BufferPoolSection {
+                hits: 7,
+                misses: 3,
+                evictions: 1,
+            }),
+            plan: Some(PlanSection {
+                part_size: 12,
+                num_partitions: 17,
+                error_size: 9,
+                samples_drawn: 154,
+                est_cache_pages: 6,
+                predicted: PredictedCost {
+                    c_sample: 80,
+                    c_join: 200,
+                    c_cache: 24,
+                    c_partition_seeks: 16,
+                    total: 296,
+                },
+                candidates: vec![CandidateRow {
+                    part_size: 12,
+                    num_partitions: 17,
+                    samples_required: 154,
+                    c_sample: 80,
+                    c_join: 200,
+                    c_cache: 24,
+                    c_partition_seeks: 16,
+                    total: 296,
+                    chosen: true,
+                }],
+            }),
+            deviation: Some(DeviationSection::compute(280, 300, 9 * 17 * 2 * 5)),
+            workers: vec![WorkerSection {
+                worker: 0,
+                partitions: 17,
+                tuples: 1234,
+                wall_micros: 650,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = ExecutionReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn optional_sections_round_trip_when_absent() {
+        let mut report = sample_report();
+        report.plan = None;
+        report.deviation = None;
+        report.buffer_pool = None;
+        report.workers.clear();
+        let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+        assert!(!report.to_json_string().contains("\"plan\":"));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = sample_report().to_json_string().replacen(
+            "\"schema_version\": 1",
+            "\"schema_version\": 99",
+            1,
+        );
+        assert!(matches!(
+            ExecutionReport::from_json_str(&text),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let text = sample_report()
+            .to_json_string()
+            .replacen("\"algorithm\"", "\"algo\"", 1);
+        assert!(ExecutionReport::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn deviation_math() {
+        let d = DeviationSection::compute(100, 130, 50);
+        assert_eq!(d.error, 30);
+        assert_eq!(d.error_percent, 30);
+        assert!(d.within_tolerance);
+        let d = DeviationSection::compute(100, 20, 50);
+        assert_eq!(d.error, -80);
+        assert!(!d.within_tolerance);
+        let d = DeviationSection::compute(0, 5, 10);
+        assert_eq!(d.error_percent, 0);
+        assert!(d.within_tolerance);
+    }
+
+    #[test]
+    fn explain_contains_the_load_bearing_rows() {
+        let text = sample_report().render_explain();
+        for needle in [
+            "partition join — execution report",
+            "plan",
+            "predicted (dev)",
+            "total",
+            "candidate table",
+            "predicted vs actual",
+            "within",
+            "buffer pool: 7 hits / 3 misses / 1 evictions",
+            "workers:",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn accessors_find_phases_and_counters() {
+        let r = sample_report();
+        assert_eq!(r.counter("num_partitions"), Some(17));
+        assert_eq!(r.counter("nope"), None);
+        assert_eq!(r.phase("join").unwrap().predicted_cost, Some(200));
+    }
+}

@@ -1,0 +1,29 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `elem` and whose length is
+/// uniform in `len` (half-open, like real proptest's `SizeRange`).
+pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}

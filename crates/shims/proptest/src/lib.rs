@@ -1,0 +1,243 @@
+//! Vendored, dependency-free stand-in for the subset of `proptest` 1.x
+//! this workspace uses: the [`proptest!`] / [`prop_compose!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert*` family.
+//!
+//! Cases are generated from a deterministic per-test seed (FNV-1a of the
+//! test's module path and name), so failures are reproducible run to run.
+//! Unlike the real proptest there is **no shrinking**: a failure reports
+//! the case index and seed instead of a minimal counterexample.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod collection;
+pub mod test_runner;
+
+/// The glob import every test file starts with.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest};
+}
+
+/// Defines property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0..10i64, v in collection::vec(0..5u64, 0..8)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); ) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($var:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let __strategies = ( $($strat,)* );
+            match &__strategies {
+                ($($var,)*) => {
+                    let mut __rejected: u32 = 0;
+                    let mut __case: u32 = 0;
+                    while __case < __config.cases {
+                        let mut __rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                            __seed ^ (u64::from(__case + __rejected)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        );
+                        $(let $var = $crate::strategy::Strategy::sample($var, &mut __rng);)*
+                        let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        match __outcome {
+                            ::std::result::Result::Ok(()) => { __case += 1; }
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                                __rejected += 1;
+                                if __rejected > __config.cases * 16 {
+                                    panic!(
+                                        "property {} rejected too many cases ({})",
+                                        stringify!($name), __rejected
+                                    );
+                                }
+                            }
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                                panic!(
+                                    "property {} failed at case {} (seed {:#x}):\n{}",
+                                    stringify!($name), __case, __seed, msg
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Defines a named strategy function, proptest style:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point(max: i64)(x in 0..max, y in 0..max) -> (i64, i64) { (x, y) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+                              ($($var:ident in $strat:expr),* $(,)?)
+                              -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |__rng: &mut rand::rngs::StdRng| {
+                $(let $var = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case index and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), format!($($fmt)+), __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left), stringify!($right), __l),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when a precondition does not hold; the runner
+/// draws a replacement case instead of counting it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    prop_compose! {
+        fn arb_pair(max: i64)(a in 0..max, b in 0..max) -> (i64, i64) { (a, b) }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(x in 5..50i64, y in 0u64..3) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn composed_strategies_apply_args(pair in arb_pair(9)) {
+            let (a, b) = pair;
+            prop_assert!(a < 9 && b < 9, "got {a}, {b}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0..10i64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for x in &v { prop_assert!((0..10).contains(x)); }
+        }
+
+        #[test]
+        fn maps_and_tuples(s in (0..10i64, 0..10i64).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0..=18).contains(&s));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100i64) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failures_report_case_and_seed(x in 0..10i64) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}

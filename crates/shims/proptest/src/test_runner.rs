@@ -1,0 +1,41 @@
+//! Runner configuration and case outcomes.
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured; the
+/// struct-update `..ProptestConfig::default()` idiom works as upstream.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience constructor matching upstream's `with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property's assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition was unmet; the case is redrawn.
+    Reject(String),
+}
+
+/// FNV-1a hash of a test's path — the deterministic base seed for its cases.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

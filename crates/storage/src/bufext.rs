@@ -1,0 +1,101 @@
+//! Minimal byte-cursor traits standing in for the `bytes` crate.
+//!
+//! The codec and page layers only ever append little-endian integers to a
+//! `Vec<u8>` and consume them from a `&[u8]` cursor, so these two traits
+//! carry exactly that surface. Reader methods panic when the cursor is
+//! short; callers bounds-check first via [`Buf::remaining`] (see
+//! `codec::need`), matching how the `bytes` crate was used before.
+
+/// Read cursor over a byte slice; consuming methods advance the slice.
+pub trait Buf {
+    /// Bytes left in the cursor.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+/// Append-only writer of little-endian primitives.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u16_le(513);
+        v.put_i64_le(-42);
+        v.put_slice(b"xy");
+        let mut cursor: &[u8] = &v;
+        assert_eq!(cursor.remaining(), 13);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 513);
+        assert_eq!(cursor.get_i64_le(), -42);
+        assert_eq!(cursor, b"xy");
+        cursor.advance(2);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

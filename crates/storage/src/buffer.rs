@@ -24,6 +24,18 @@ pub struct BufferPool {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// A snapshot of a pool's lifetime behaviour counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferPoolStats {
+    /// Page requests served from a resident frame (no disk I/O).
+    pub hits: u64,
+    /// Page requests that had to fault the page in from disk.
+    pub misses: u64,
+    /// Frames pushed out to make room; dirty victims also cost a write.
+    pub evictions: u64,
 }
 
 #[derive(Debug)]
@@ -45,6 +57,7 @@ impl BufferPool {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -56,6 +69,11 @@ impl BufferPool {
     /// `(hits, misses)` counters.
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// All lifetime counters in one snapshot.
+    pub fn stats(&self) -> BufferPoolStats {
+        BufferPoolStats { hits: self.hits, misses: self.misses, evictions: self.evictions }
     }
 
     fn touch(tick: &mut u64, frame: &mut Frame) {
@@ -92,6 +110,7 @@ impl BufferPool {
             .map(|(p, _)| *p)
             .ok_or_else(|| StorageError::Corrupt("buffer pool exhausted: all pages pinned".into()))?;
         let frame = self.frames.remove(&victim).expect("victim resident");
+        self.evictions += 1;
         if frame.dirty {
             self.disk.write(victim, frame.data)?;
         }
@@ -260,6 +279,20 @@ mod tests {
         pool.with_page(r.page(0), |d| assert_eq!(d[0], 5)).unwrap();
         pool.flush_all().unwrap();
         assert_eq!(disk.with(|d| d.peek(r.page(0)).unwrap()[0]), 5);
+    }
+
+    #[test]
+    fn stats_count_evictions() {
+        let (disk, r) = setup(3);
+        let mut pool = BufferPool::new(disk, 2);
+        pool.with_page(r.page(0), |_| ()).unwrap();
+        pool.with_page(r.page(1), |_| ()).unwrap();
+        assert_eq!(pool.stats().evictions, 0);
+        pool.with_page(r.page(2), |_| ()).unwrap(); // evicts 0
+        pool.with_page(r.page(0), |_| ()).unwrap(); // evicts 1
+        let stats = pool.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!((stats.hits, stats.misses), pool.hit_stats());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! 4 KB page) while remaining decodable without consulting the schema.
 
 use crate::error::{Result, StorageError};
-use bytes::{Buf, BufMut};
+use crate::bufext::{Buf, BufMut};
 use vtjoin_core::{Chronon, Interval, Tuple, Value};
 
 /// Value tags.

@@ -20,9 +20,8 @@
 use crate::error::{Result, StorageError};
 use crate::file::PageRange;
 use crate::stats::IoStats;
-use parking_lot::Mutex;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Physical page address on the simulated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -222,8 +221,10 @@ impl DiskSim {
 /// A cheaply clonable handle to a shared [`DiskSim`].
 ///
 /// The simulation is effectively single-threaded per disk, but the handle
-/// is `Send + Sync` (via `parking_lot::Mutex`) so relations and files can
+/// is `Send + Sync` (via `std::sync::Mutex`) so relations and files can
 /// be used from criterion benches and the engine's parallel ablations.
+/// Lock poisoning is ignored: the simulator's state stays consistent
+/// across a panicking access, so a poisoned lock is still usable.
 #[derive(Debug, Clone)]
 pub struct SharedDisk(Arc<Mutex<DiskSim>>);
 
@@ -233,39 +234,43 @@ impl SharedDisk {
         SharedDisk(Arc::new(Mutex::new(DiskSim::new(page_size))))
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, DiskSim> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Page size in bytes.
     pub fn page_size(&self) -> usize {
-        self.0.lock().page_size()
+        self.lock().page_size()
     }
 
     /// Reserves a contiguous extent.
     pub fn alloc(&self, n: u64) -> PageRange {
-        self.0.lock().alloc(n)
+        self.lock().alloc(n)
     }
 
     /// Reads a page into an owned buffer, charging one read.
     pub fn read(&self, page: PageId) -> Result<Vec<u8>> {
-        self.0.lock().read(page).map(<[u8]>::to_vec)
+        self.lock().read(page).map(<[u8]>::to_vec)
     }
 
     /// Writes a page, charging one write.
     pub fn write(&self, page: PageId, data: Vec<u8>) -> Result<()> {
-        self.0.lock().write(page, data)
+        self.lock().write(page, data)
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> IoStats {
-        self.0.lock().stats()
+        self.lock().stats()
     }
 
     /// Zeroes the statistics counters.
     pub fn reset_stats(&self) {
-        self.0.lock().reset_stats()
+        self.lock().reset_stats()
     }
 
     /// Runs `f` with exclusive access to the underlying simulator.
     pub fn with<R>(&self, f: impl FnOnce(&mut DiskSim) -> R) -> R {
-        f(&mut self.0.lock())
+        f(&mut self.lock())
     }
 }
 

@@ -12,7 +12,7 @@
 //!   is *random*. [`stats::IoStats`] accumulates the four counters and
 //!   prices them under a configurable random:sequential cost ratio.
 //! * [`page`] — fixed-size record pages with a compact binary tuple
-//!   encoding (built on the `bytes` crate).
+//!   encoding (cursor primitives live in [`bufext`]).
 //! * [`mod@file`] — contiguous extents, so "read a partition" naturally costs
 //!   one random seek plus `k−1` sequential reads, exactly the paper's
 //!   accounting.
@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bufext;
 pub mod buffer;
 pub mod codec;
 pub mod disk;
@@ -35,6 +36,7 @@ pub mod heap;
 pub mod page;
 pub mod stats;
 
+pub use buffer::{BufferPool, BufferPoolStats};
 pub use disk::{AccessKind, DiskSim, PageId, SharedDisk};
 pub use error::{Result, StorageError};
 pub use file::{FileHandle, PageRange};

@@ -6,7 +6,7 @@
 
 use crate::codec;
 use crate::error::{Result, StorageError};
-use bytes::{Buf, BufMut};
+use crate::bufext::{Buf, BufMut};
 use vtjoin_core::Tuple;
 
 /// Bytes reserved for the page header (the record count).

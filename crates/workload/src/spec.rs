@@ -1,12 +1,10 @@
 //! Experiment parameters (the paper's Figure 5, reconstructed).
 
-use serde::{Deserialize, Serialize};
-
 /// The global parameter values of the paper's evaluation (§4.1,
 /// Figure 5). The printed table is corrupted in the available copy; these
 /// values are reverse-engineered from the paper's own arithmetic — see
 /// DESIGN.md for the derivation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PaperParams {
     /// Disk page size in bytes.
     pub page_size: usize,
@@ -66,9 +64,9 @@ impl PaperParams {
     }
 }
 
-/// A declarative description of one generated relation, serializable so
-/// experiment configurations can be recorded next to their results.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A declarative description of one generated relation, so experiment
+/// configurations can be recorded next to their results.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Human-readable name.
     pub name: String,

@@ -58,7 +58,7 @@ fn usage() -> String {
      [--duration MAX] [--seed N] [--side outer|inner] -o FILE\n  \
      vtjoin info FILE\n  \
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
-     [--buffer PAGES] [--ratio N] [-o FILE]\n  \
+     [--buffer PAGES] [--ratio N] [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]"
         .to_owned()
@@ -70,6 +70,9 @@ struct Flags {
     named: Vec<(String, String)>,
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["explain"];
+
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, AnyError> {
         let mut positional = Vec::new();
@@ -78,6 +81,11 @@ impl Flags {
         while i < args.len() {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    named.push((name.to_owned(), "true".to_owned()));
+                    i += 1;
+                    continue;
+                }
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
@@ -195,20 +203,41 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
             .instantiate(),
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
-    let report = algo.execute(&hr, &hs, &cfg)?;
-    println!(
-        "{}: {} result tuples, {} random + {} sequential I/Os, cost {} @ {ratio}",
-        report.algorithm,
-        report.result_tuples,
-        report.io.random(),
-        report.io.sequential(),
-        report.cost(ratio),
-    );
-    for (phase, io) in &report.phases {
-        println!("  {phase:<12} {io}");
+    // The partition join exposes its planner output, which the execution
+    // report turns into plan + predicted-vs-actual deviation sections.
+    let (report, exec_report) = if algo.name() == "partition" {
+        let (report, planner) =
+            PartitionJoin::default().execute_with_plan(&hr, &hs, &cfg)?;
+        let er = partition_execution_report(&report, &cfg, &planner, hr.pages());
+        (report, er)
+    } else {
+        let report = algo.execute(&hr, &hs, &cfg)?;
+        let er = execution_report(&report, &cfg);
+        (report, er)
+    };
+
+    if flags.get("explain").is_some() {
+        print!("{}", exec_report.render_explain());
+    } else {
+        println!(
+            "{}: {} result tuples, {} random + {} sequential I/Os, cost {} @ {ratio}",
+            report.algorithm,
+            report.result_tuples,
+            report.io.random(),
+            report.io.sequential(),
+            report.cost(ratio),
+        );
+        for phase in &report.phases {
+            println!("  {:<12} {}", phase.name, phase.io);
+        }
+        for (k, v) in &report.notes {
+            println!("  {k:<24} {v}");
+        }
     }
-    for (k, v) in &report.notes {
-        println!("  {k:<24} {v}");
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(PathBuf::from(path), exec_report.to_json_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote stats to {path}");
     }
     if let Some(out) = flags.get("out") {
         save(&report.result.expect("collected"), out)?;

@@ -47,6 +47,7 @@
 pub use vtjoin_core as model;
 pub use vtjoin_engine as engine;
 pub use vtjoin_join as join;
+pub use vtjoin_obs as obs;
 pub use vtjoin_storage as storage;
 pub use vtjoin_workload as workload;
 
@@ -58,8 +59,10 @@ pub mod prelude {
     };
     pub use vtjoin_engine::{Database, MaterializedVtJoin};
     pub use vtjoin_join::{
-        JoinAlgorithm, JoinConfig, JoinReport, NestedLoopJoin, PartitionJoin, SortMergeJoin,
+        execution_report, partition_execution_report, JoinAlgorithm, JoinConfig, JoinReport,
+        NestedLoopJoin, PartitionJoin, SortMergeJoin,
     };
+    pub use vtjoin_obs::ExecutionReport;
     pub use vtjoin_storage::{CostRatio, HeapFile, IoStats, SharedDisk};
     pub use vtjoin_workload::{GeneratorConfig, PaperParams};
 }

@@ -102,7 +102,7 @@ fn phase_io_partitions_total_io() {
         let sum = report
             .phases
             .iter()
-            .fold(IoStats::ZERO, |acc, (_, io)| acc + *io);
+            .fold(IoStats::ZERO, |acc, p| acc + p.io);
         assert_eq!(sum, report.io, "{}: phase sums must equal total", algo.name());
     }
 }
