@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use vtjoin_core::algebra::{coalesce, natural_join};
 use vtjoin_core::{AllenRelation, AttrDef, AttrType, Interval, Relation, Schema, Tuple, Value};
+use vtjoin_join::common::{BlockTable, JoinSpec};
 use vtjoin_storage::{codec, PageBuf};
 
 fn intervals() -> Vec<Interval> {
@@ -110,5 +111,42 @@ fn bench_algebra(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interval_ops, bench_codec, bench_algebra);
+fn bench_block_table(c: &mut Criterion) {
+    let r = rel("b", 10_000);
+    let s = rel("c", 10_000);
+    let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+    c.bench_function("block_table_build_10k", |b| {
+        b.iter(|| black_box(BlockTable::build(&spec, r.tuples())));
+    });
+    let table = BlockTable::build(&spec, r.tuples());
+    c.bench_function("block_table_probe_10k_hits", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for y in s.iter() {
+                table.probe_each(y, |z| {
+                    black_box(&z);
+                    n += 1;
+                });
+            }
+            n
+        });
+    });
+    // Misses: keys outside the build side's [0, 64) key range — the pure
+    // hash-lookup path, zero allocations.
+    let misses: Vec<Tuple> = s
+        .iter()
+        .map(|t| Tuple::new(vec![Value::Int(1_000_000), Value::Int(0)], t.valid()))
+        .collect();
+    c.bench_function("block_table_probe_10k_misses", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for y in &misses {
+                table.probe_each(y, |_| n += 1);
+            }
+            n
+        });
+    });
+}
+
+criterion_group!(benches, bench_interval_ops, bench_codec, bench_algebra, bench_block_table);
 criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! `bench_parallel` — wall-clock benchmark of the parallel partition
+//! executor, emitting the repo's perf baseline `BENCH_parallel.json`.
+//!
+//! ```text
+//! bench_parallel [--out FILE] [--tuples N] [--long-lived N] [--keys N]
+//!                [--lifespan N] [--partitions N] [--threads 1,2,4]
+//!                [--repeats N] [--seed N] [--no-baseline] [--smoke]
+//! bench_parallel --validate FILE
+//! ```
+//!
+//! `--smoke` selects the tiny CI geometry; `--validate` checks an emitted
+//! document against the benchmark schema and exits non-zero on mismatch.
+
+use std::process::ExitCode;
+use vtjoin_bench::parallel::{run, smoke_config, validate, ParallelBenchConfig};
+use vtjoin_obs::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let mut cfg = ParallelBenchConfig::default();
+    let mut out = "BENCH_parallel.json".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |name: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--validate" => {
+                let path = value("--validate")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {path}: {e}"))?;
+                let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+                println!("{path}: valid parallel benchmark document");
+                return Ok(());
+            }
+            "--smoke" => {
+                cfg = smoke_config();
+                i += 1;
+                continue;
+            }
+            "--no-baseline" => {
+                cfg.baseline_threads = None;
+                i += 1;
+                continue;
+            }
+            "--out" => out = value(arg)?,
+            "--tuples" => cfg.tuples = parse(arg, &value(arg)?)?,
+            "--long-lived" => cfg.long_lived = parse(arg, &value(arg)?)?,
+            "--keys" => cfg.keys = parse(arg, &value(arg)?)?,
+            "--lifespan" => cfg.lifespan = parse(arg, &value(arg)?)?,
+            "--partitions" => cfg.partitions = parse(arg, &value(arg)?)?,
+            "--repeats" => cfg.repeats = parse(arg, &value(arg)?)?,
+            "--seed" => cfg.seed = parse(arg, &value(arg)?)?,
+            "--threads" => {
+                cfg.threads = value(arg)?
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|_| format!("--threads: bad list entry `{t}`")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if cfg.threads.is_empty() {
+                    return Err("--threads: empty list".into());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+
+    let doc = run(&cfg);
+    validate(&doc).expect("emitted document must satisfy its own schema");
+    std::fs::write(&out, doc.to_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    if let Some(base) = doc.get("baseline") {
+        let x100 = base.get("speedup_x100").and_then(Json::as_i64).unwrap_or(0);
+        println!(
+            "  vs naive executor at {} threads: {}.{:02}x",
+            base.get("threads").and_then(Json::as_i64).unwrap_or(0),
+            x100 / 100,
+            x100 % 100,
+        );
+    }
+    for run in doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+        println!(
+            "  {} thread(s): {} µs, utilization {}%",
+            run.get("threads").and_then(Json::as_i64).unwrap_or(0),
+            run.get("wall_micros").and_then(Json::as_i64).unwrap_or(0),
+            run.get("utilization_percent").and_then(Json::as_i64).unwrap_or(0),
+        );
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>().map_err(|_| format!("{flag}: bad number `{v}`"))
+}

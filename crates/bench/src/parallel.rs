@@ -1,0 +1,305 @@
+//! Parallel-executor benchmark: wall-clock of the work-stealing
+//! hash-probed partition join across thread counts, against the naive
+//! static-scheduled nested-loop executor it replaced, on a skewed
+//! workload. The `bench_parallel` binary runs this and writes
+//! `BENCH_parallel.json` at the repo root — the perf baseline future PRs
+//! measure regressions and wins against.
+//!
+//! Everything in the emitted document is an integer (the repo's JSON
+//! subset); ratios are fixed-point ×100 (`speedup_x100 = 250` means
+//! 2.50×).
+
+use std::time::Instant;
+use vtjoin_core::{Interval, Relation};
+use vtjoin_engine::parallel::{
+    parallel_execution_report, parallel_partition_join_naive, parallel_partition_join_reported,
+};
+use vtjoin_join::partition::intervals::equal_width;
+use vtjoin_obs::json::obj;
+use vtjoin_obs::Json;
+use vtjoin_workload::generate::{
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
+};
+
+/// Version stamped into `BENCH_parallel.json` as `schema_version`;
+/// [`validate`] rejects other versions.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// Workload and sweep configuration for the parallel-executor benchmark.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchConfig {
+    /// Tuples per side.
+    pub tuples: u64,
+    /// Long-lived tuples per side (start in the first half, span half the
+    /// lifespan — they replicate across many partitions).
+    pub long_lived: u64,
+    /// Distinct join-key values.
+    pub keys: u64,
+    /// Lifespan in chronons.
+    pub lifespan: i64,
+    /// Equal-width partitions.
+    pub partitions: u64,
+    /// Thread counts to sweep (1 must be included for the self-speedup
+    /// column to be computed).
+    pub threads: Vec<usize>,
+    /// Timed repetitions per thread count; the minimum is reported.
+    pub repeats: u32,
+    /// Thread count at which to time the naive baseline executor, or
+    /// `None` to skip it (it is O(|rᵢ|·|sᵢ|) per partition — expensive).
+    pub baseline_threads: Option<usize>,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelBenchConfig {
+    /// The acceptance geometry: 100k tuples/side, 16 partitions, skewed
+    /// (clustered starts), threads 1/2/4, naive baseline at 4 threads.
+    fn default() -> ParallelBenchConfig {
+        ParallelBenchConfig {
+            tuples: 100_000,
+            long_lived: 5_000,
+            keys: 512,
+            lifespan: 100_000,
+            partitions: 16,
+            threads: vec![1, 2, 4],
+            repeats: 3,
+            baseline_threads: Some(4),
+            seed: 0x1994_0214,
+        }
+    }
+}
+
+/// A tiny geometry for CI smoke runs (finishes in well under a second,
+/// naive baseline included so every emitted field is exercised).
+pub fn smoke_config() -> ParallelBenchConfig {
+    ParallelBenchConfig {
+        tuples: 2_000,
+        long_lived: 100,
+        keys: 64,
+        lifespan: 10_000,
+        partitions: 8,
+        threads: vec![1, 2],
+        repeats: 1,
+        baseline_threads: Some(2),
+        seed: 0x1994_0214,
+    }
+}
+
+/// Generates the benchmark's skewed relation pair: clustered start
+/// chronons (3 bursts over 10% of the lifespan — very unequal partition
+/// populations under equal-width partitioning) plus long-lived tuples
+/// replicated across many partitions.
+pub fn skewed_pair(cfg: &ParallelBenchConfig) -> (Relation, Relation) {
+    let gen = |seed: u64, outer: bool| {
+        let g = GeneratorConfig {
+            tuples: cfg.tuples,
+            long_lived: cfg.long_lived,
+            lifespan: cfg.lifespan,
+            keys: cfg.keys,
+            key_dist: KeyDistribution::Uniform,
+            time_dist: TimeDistribution::Clustered(3),
+            duration_dist: DurationDistribution::UniformUpTo((cfg.lifespan / 64).max(1)),
+            pad_bytes: 0,
+            seed,
+        };
+        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        generate(schema, &g)
+    };
+    (gen(cfg.seed, true), gen(cfg.seed ^ 0xabcd, false))
+}
+
+/// Runs the benchmark and returns the `BENCH_parallel.json` document.
+pub fn run(cfg: &ParallelBenchConfig) -> Json {
+    let (r, s) = skewed_pair(cfg);
+    let lifespan_iv = Interval::from_raw(0, cfg.lifespan).expect("positive lifespan");
+    let intervals = equal_width(lifespan_iv, cfg.partitions);
+
+    // One reported run for the result cardinality and skew section.
+    let (result, report) =
+        parallel_execution_report(&r, &s, &intervals, cfg.threads.first().copied().unwrap_or(1))
+            .expect("benchmark join failed");
+    let skew = report.skew.expect("parallel report has a skew section");
+
+    let time = |f: &dyn Fn()| {
+        let mut best = u64::MAX;
+        for _ in 0..cfg.repeats.max(1) {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_micros() as u64);
+        }
+        best
+    };
+
+    let mut runs: Vec<(usize, u64, u64)> = Vec::new(); // (threads, wall, util%)
+    for &t in &cfg.threads {
+        let wall = time(&|| {
+            parallel_partition_join_reported(&r, &s, &intervals, t).expect("join failed");
+        });
+        let (_, workers) =
+            parallel_partition_join_reported(&r, &s, &intervals, t).expect("join failed");
+        let busy: u64 = workers.iter().map(|w| w.busy_micros).sum();
+        let wall_max = workers.iter().map(|w| w.wall_micros).max().unwrap_or(0);
+        let util = if wall_max == 0 || workers.is_empty() {
+            100
+        } else {
+            busy * 100 / (workers.len() as u64 * wall_max)
+        };
+        runs.push((t, wall, util));
+    }
+
+    let one_thread_wall = runs.iter().find(|(t, _, _)| *t == 1).map(|&(_, w, _)| w);
+    let runs_json: Vec<Json> = runs
+        .iter()
+        .map(|&(t, wall, util)| {
+            let mut pairs = vec![
+                ("threads", Json::Int(t as i64)),
+                ("wall_micros", Json::Int(wall as i64)),
+                ("utilization_percent", Json::Int(util as i64)),
+            ];
+            if let Some(base) = one_thread_wall {
+                pairs.push((
+                    "speedup_x100_vs_1_thread",
+                    Json::Int((base.max(1) * 100 / wall.max(1)) as i64),
+                ));
+            }
+            obj(pairs)
+        })
+        .collect();
+
+    let mut pairs = vec![
+        ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+        ("benchmark", Json::Str("parallel-partition-join".into())),
+        (
+            "workload",
+            obj(vec![
+                ("tuples_per_side", Json::Int(cfg.tuples as i64)),
+                ("long_lived_per_side", Json::Int(cfg.long_lived as i64)),
+                ("keys", Json::Int(cfg.keys as i64)),
+                ("lifespan", Json::Int(cfg.lifespan)),
+                ("partitions", Json::Int(cfg.partitions as i64)),
+                ("seed", Json::Int(cfg.seed as i64)),
+                ("time_distribution", Json::Str("clustered-3".into())),
+            ]),
+        ),
+        ("result_tuples", Json::Int(result.len() as i64)),
+        (
+            "max_partition_share_percent",
+            Json::Int(skew.max_partition_share_percent as i64),
+        ),
+        ("runs", Json::Arr(runs_json)),
+    ];
+
+    if let Some(bt) = cfg.baseline_threads {
+        let naive_wall = time(&|| {
+            parallel_partition_join_naive(&r, &s, &intervals, bt).expect("baseline join failed");
+        });
+        let new_wall = runs
+            .iter()
+            .find(|(t, _, _)| *t == bt)
+            .map(|&(_, w, _)| w)
+            .unwrap_or_else(|| {
+                time(&|| {
+                    parallel_partition_join_reported(&r, &s, &intervals, bt)
+                        .expect("join failed");
+                })
+            });
+        pairs.push((
+            "baseline",
+            obj(vec![
+                ("algorithm", Json::Str("naive-static-nested-loop".into())),
+                ("threads", Json::Int(bt as i64)),
+                ("wall_micros", Json::Int(naive_wall as i64)),
+                ("new_executor_wall_micros", Json::Int(new_wall as i64)),
+                (
+                    "speedup_x100",
+                    Json::Int((naive_wall.max(1) * 100 / new_wall.max(1)) as i64),
+                ),
+            ]),
+        ));
+    }
+
+    obj(pairs)
+}
+
+/// Validates a `BENCH_parallel.json` document: schema version, benchmark
+/// name, workload fields, and a non-empty run list with the per-run
+/// fields. Used by `bench_parallel --validate` and the CI smoke step.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_i64)
+        .ok_or("missing schema_version")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version}, expected {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    match doc.get("benchmark").and_then(Json::as_str) {
+        Some("parallel-partition-join") => {}
+        other => return Err(format!("unexpected benchmark field {other:?}")),
+    }
+    let workload = doc.get("workload").ok_or("missing workload")?;
+    for key in ["tuples_per_side", "partitions", "seed"] {
+        workload
+            .get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing workload.{key}"))?;
+    }
+    doc.get("result_tuples")
+        .and_then(Json::as_i64)
+        .ok_or("missing result_tuples")?;
+    doc.get("max_partition_share_percent")
+        .and_then(Json::as_i64)
+        .ok_or("missing max_partition_share_percent")?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        for key in ["threads", "wall_micros", "utilization_percent"] {
+            run.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("missing runs[{i}].{key}"))?;
+        }
+    }
+    if let Some(base) = doc.get("baseline") {
+        for key in ["threads", "wall_micros", "new_executor_wall_micros", "speedup_x100"] {
+            base.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("missing baseline.{key}"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_emits_a_valid_document() {
+        let doc = run(&smoke_config());
+        validate(&doc).unwrap();
+        // Round-trips through the JSON text form.
+        let back = Json::parse(&doc.to_pretty()).unwrap();
+        validate(&back).unwrap();
+        assert!(back.get("result_tuples").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let doc = run(&ParallelBenchConfig {
+            baseline_threads: None,
+            ..smoke_config()
+        });
+        validate(&doc).unwrap();
+        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        let text = doc.to_pretty().replacen("\"runs\"", "\"ruins\"", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+    }
+}

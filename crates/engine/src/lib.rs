@@ -30,7 +30,10 @@ pub mod query;
 pub mod view;
 
 pub use database::Database;
-pub use parallel::{parallel_partition_join, parallel_partition_join_reported};
+pub use parallel::{
+    parallel_execution_report, parallel_partition_join, parallel_partition_join_naive,
+    parallel_partition_join_reported,
+};
 pub use planner::{choose_algorithm, partition_feasible, Algorithm};
 pub use query::{Predicate, Query};
 pub use view::MaterializedVtJoin;

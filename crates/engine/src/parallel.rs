@@ -9,20 +9,41 @@
 //! saves storage and update cost; this one buys wall-clock parallelism
 //! with replication. The canonical-partition emission rule de-duplicates
 //! pairs that are co-present in several partitions.
+//!
+//! The executor combines two optimizations over the obvious
+//! one-chunk-per-thread nested-loop design:
+//!
+//! * **hash probing inside partitions** — each claimed partition builds a
+//!   [`BlockTable`] over its outer bucket and probes the inner bucket
+//!   through it, exactly like the serial algorithms, instead of testing
+//!   all `|rᵢ|·|sᵢ|` pairs;
+//! * **cost-aware dynamic scheduling** — partitions are sorted by
+//!   estimated cost `|rᵢ|·|sᵢ|` descending and claimed one at a time from
+//!   an atomic work queue, so one skewed partition occupies one worker
+//!   while the rest drain the remainder, rather than serializing a whole
+//!   statically-assigned chunk.
+//!
+//! Output stays deterministic regardless of scheduling: every partition's
+//! result lands in its own slot and the slots are flattened in partition
+//! order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use vtjoin_core::{Relation, Tuple};
-use vtjoin_join::common::JoinSpec;
-use vtjoin_join::partition::intervals::{is_partitioning, partition_of};
-use vtjoin_core::Interval;
-use vtjoin_obs::WorkerSection;
+use std::time::Instant;
+use vtjoin_core::{Interval, Relation, Tuple};
+use vtjoin_join::common::{BlockTable, JoinSpec};
+use vtjoin_join::partition::intervals::{is_partitioning, replica_range};
+use vtjoin_obs::{
+    ConfigSection, Counter, ExecutionReport, IoSection, PhaseSection, ResultSection, SkewSection,
+    WorkerSection,
+};
 
 /// Joins `r ⋈ᵛ s` by replicating tuples into every overlapping partition
 /// and joining the partitions on `threads` worker threads.
 ///
 /// Returns the join result; the output order is deterministic (partition
-/// order, then input order) regardless of thread scheduling.
+/// order, then per-partition probe order) regardless of thread scheduling.
 pub fn parallel_partition_join(
     r: &Relation,
     s: &Relation,
@@ -33,38 +54,271 @@ pub fn parallel_partition_join(
 }
 
 /// As [`parallel_partition_join`], but also reports a per-worker breakdown
-/// (partitions assigned, tuples emitted, wall-clock) for the execution
-/// report's `workers` section. The tuple counts and assignment are
-/// deterministic; the wall-clock figures are not.
+/// (partitions claimed, tuples emitted, wall-clock and busy time) for the
+/// execution report's `workers` section.
+///
+/// **Worker-count contract**: exactly `min(threads.max(1), partitions)`
+/// workers are spawned and reported — a worker without a partition to
+/// claim would only report zeros, so none is created. The tuple counts
+/// are deterministic in aggregate; which worker claims which partition,
+/// and the wall-clock figures, are not.
 pub fn parallel_partition_join_reported(
     r: &Relation,
     s: &Relation,
     intervals: &[Interval],
     threads: usize,
 ) -> Result<(Relation, Vec<WorkerSection>), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(r, s, intervals, threads)?;
+    Ok((rel, detail.workers))
+}
+
+/// Everything [`execute`] measured beyond the result itself; consumed by
+/// [`parallel_execution_report`] and the worker-section wrapper.
+struct ExecDetail {
+    workers: Vec<WorkerSection>,
+    /// Per-partition estimated costs `|rᵢ|·|sᵢ|`.
+    est_costs: Vec<u64>,
+    /// Total tuple references after replication, per input side.
+    replicated_r: u64,
+    replicated_s: u64,
+    /// Aggregated [`BlockTable`] counters across all partitions.
+    probes: u64,
+    match_tests: u64,
+    /// Wall-clock of the replicate and join phases, in microseconds.
+    replicate_micros: u64,
+    join_micros: u64,
+}
+
+/// Replicates a relation's tuples into one bucket per partition under the
+/// shared Leung–Muntz rule (`replica_range`).
+fn replicate<'a>(rel: &'a Relation, intervals: &[Interval]) -> Vec<Vec<&'a Tuple>> {
+    let mut parts: Vec<Vec<&Tuple>> = vec![Vec::new(); intervals.len()];
+    for t in rel.iter() {
+        for i in replica_range(intervals, t.valid()) {
+            parts[i].push(t);
+        }
+    }
+    parts
+}
+
+fn execute(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
     assert!(is_partitioning(intervals), "intervals must partition valid time");
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let n = intervals.len();
 
-    // Replicate into per-partition buckets.
-    let mut r_parts: Vec<Vec<&Tuple>> = vec![Vec::new(); n];
-    let mut s_parts: Vec<Vec<&Tuple>> = vec![Vec::new(); n];
-    for (rel, parts) in [(r, &mut r_parts), (s, &mut s_parts)] {
-        for t in rel.iter() {
-            let first = partition_of(intervals, t.valid().start());
-            let last = partition_of(intervals, t.valid().end());
-            for bucket in parts.iter_mut().take(last + 1).skip(first) {
-                bucket.push(t);
+    let replicate_started = Instant::now();
+    let r_parts = replicate(r, intervals);
+    let s_parts = replicate(s, intervals);
+    let replicate_micros = replicate_started.elapsed().as_micros() as u64;
+
+    let est_costs: Vec<u64> =
+        (0..n).map(|i| r_parts[i].len() as u64 * s_parts[i].len() as u64).collect();
+    // Heaviest partitions first, so the work-stealing tail is short.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(est_costs[i]));
+
+    let num_workers = threads.max(1).min(n);
+    let next = AtomicUsize::new(0);
+
+    let join_started = Instant::now();
+    let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    let mut workers: Vec<WorkerSection> = Vec::with_capacity(num_workers);
+    let mut probes = 0u64;
+    let mut match_tests = 0u64;
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let spec = &spec;
+            let r_parts = &r_parts;
+            let s_parts = &s_parts;
+            let order = &order;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let started = Instant::now();
+                let mut produced: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                let mut partitions = 0u64;
+                let mut tuples = 0u64;
+                let mut busy = std::time::Duration::ZERO;
+                let mut probes = 0u64;
+                let mut match_tests = 0u64;
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
+                        break;
+                    }
+                    let i = order[k];
+                    let p_i = intervals[i];
+                    let claimed = Instant::now();
+                    let mut out = Vec::new();
+                    if !r_parts[i].is_empty() && !s_parts[i].is_empty() {
+                        let table = BlockTable::build_from(spec, r_parts[i].iter().copied());
+                        for y in &s_parts[i] {
+                            table.probe_each(y, |z| {
+                                if p_i.contains_chronon(z.valid().end()) {
+                                    out.push(z);
+                                }
+                            });
+                        }
+                        let (p, m) = table.cpu_counters();
+                        probes += p;
+                        match_tests += m;
+                    }
+                    busy += claimed.elapsed();
+                    partitions += 1;
+                    tuples += out.len() as u64;
+                    produced.push((i, out));
+                }
+                let section = WorkerSection {
+                    worker: w as u64,
+                    partitions,
+                    tuples,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                    busy_micros: busy.as_micros() as u64,
+                };
+                (section, produced, probes, match_tests)
+            }));
+        }
+        for h in handles {
+            let (section, produced, p, m) = h.join().expect("partition worker panicked");
+            workers.push(section);
+            probes += p;
+            match_tests += m;
+            for (i, out) in produced {
+                outputs[i] = out;
             }
         }
+    });
+    let join_micros = join_started.elapsed().as_micros() as u64;
+
+    let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
+    let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
+    let detail = ExecDetail {
+        workers,
+        replicated_r: r_parts.iter().map(|p| p.len() as u64).sum(),
+        replicated_s: s_parts.iter().map(|p| p.len() as u64).sum(),
+        est_costs,
+        probes,
+        match_tests,
+        replicate_micros,
+        join_micros,
+    };
+    Ok((rel, detail))
+}
+
+/// Computes the [`SkewSection`] of a finished parallel run from the
+/// per-partition cost estimates and worker sections.
+fn skew_section(est_costs: &[u64], workers: &[WorkerSection]) -> SkewSection {
+    let est_cost_total: u64 = est_costs.iter().sum();
+    let est_cost_max = est_costs.iter().copied().max().unwrap_or(0);
+    let busy_micros_total: u64 = workers.iter().map(|w| w.busy_micros).sum();
+    let busy_micros_max = workers.iter().map(|w| w.busy_micros).max().unwrap_or(0);
+    let wall_max = workers.iter().map(|w| w.wall_micros).max().unwrap_or(0);
+    SkewSection {
+        partitions: est_costs.len() as u64,
+        est_cost_total,
+        est_cost_max,
+        max_partition_share_percent: if est_cost_total == 0 {
+            0
+        } else {
+            est_cost_max * 100 / est_cost_total
+        },
+        busy_micros_total,
+        busy_micros_max,
+        utilization_percent: if wall_max == 0 || workers.is_empty() {
+            100
+        } else {
+            busy_micros_total * 100 / (workers.len() as u64 * wall_max)
+        },
     }
+}
+
+/// Runs the parallel join and assembles a full [`ExecutionReport`]
+/// (algorithm `"parallel"`) with replicate/join phases, CPU counters,
+/// the per-worker breakdown, and the skew/utilization summary.
+///
+/// The run is entirely in memory: all I/O sections are zero, the result
+/// page count is zero (nothing is paged), and `buffer_pages`/`seed` in
+/// the config section are zero. Counters carry the partition count,
+/// requested threads, spawned workers, replicated tuple counts per side,
+/// and the aggregated `BlockTable` probe/match-test counters.
+pub fn parallel_execution_report(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(r, s, intervals, threads)?;
+    let zero_io = IoSection {
+        random_reads: 0,
+        seq_reads: 0,
+        random_writes: 0,
+        seq_writes: 0,
+        total_ios: 0,
+        cost: 0,
+    };
+    let skew = skew_section(&detail.est_costs, &detail.workers);
+    let report = ExecutionReport {
+        algorithm: "parallel".into(),
+        config: ConfigSection { buffer_pages: 0, random_cost: 1, seed: 0 },
+        result: ResultSection { tuples: rel.len() as u64, pages: 0 },
+        io: zero_io,
+        phases: vec![
+            PhaseSection {
+                name: "replicate".into(),
+                wall_micros: detail.replicate_micros,
+                io: zero_io,
+                predicted_cost: None,
+            },
+            PhaseSection {
+                name: "join".into(),
+                wall_micros: detail.join_micros,
+                io: zero_io,
+                predicted_cost: None,
+            },
+        ],
+        counters: vec![
+            Counter { name: "num_partitions".into(), value: intervals.len() as i64 },
+            Counter { name: "threads_requested".into(), value: threads as i64 },
+            Counter { name: "workers".into(), value: detail.workers.len() as i64 },
+            Counter { name: "replicated_r_tuples".into(), value: detail.replicated_r as i64 },
+            Counter { name: "replicated_s_tuples".into(), value: detail.replicated_s as i64 },
+            Counter { name: "cpu_probes".into(), value: detail.probes as i64 },
+            Counter { name: "cpu_match_tests".into(), value: detail.match_tests as i64 },
+        ],
+        buffer_pool: None,
+        plan: None,
+        deviation: None,
+        workers: detail.workers,
+        skew: Some(skew),
+    };
+    Ok((rel, report))
+}
+
+/// The pre-optimization executor: static round-robin chunks of partitions,
+/// each joined with the O(|rᵢ|·|sᵢ|) pairwise `try_match` loop. Kept as
+/// the ablation baseline `bench_parallel` measures the work-stealing
+/// hash-probed executor against; not part of the engine's recommended
+/// surface.
+pub fn parallel_partition_join_naive(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    assert!(is_partitioning(intervals), "intervals must partition valid time");
+    let spec = JoinSpec::natural(r.schema(), s.schema())?;
+    let n = intervals.len();
+    let r_parts = replicate(r, intervals);
+    let s_parts = replicate(s, intervals);
 
     let threads = threads.max(1);
     let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-    let mut workers: Vec<WorkerSection> = Vec::new();
     thread::scope(|scope| {
-        // Static round-robin assignment of partitions to workers keeps the
-        // output deterministic.
         let mut handles = Vec::new();
         for (chunk_idx, chunk) in outputs.chunks_mut(n.div_ceil(threads)).enumerate() {
             let base = chunk_idx * n.div_ceil(threads);
@@ -72,9 +326,6 @@ pub fn parallel_partition_join_reported(
             let r_parts = &r_parts;
             let s_parts = &s_parts;
             handles.push(scope.spawn(move || {
-                let started = std::time::Instant::now();
-                let partitions = chunk.len() as u64;
-                let mut tuples = 0u64;
                 for (off, out) in chunk.iter_mut().enumerate() {
                     let i = base + off;
                     let p_i = intervals[i];
@@ -83,28 +334,20 @@ pub fn parallel_partition_join_reported(
                             if let Some(z) = spec.try_match(x, y) {
                                 if p_i.contains_chronon(z.valid().end()) {
                                     out.push(z);
-                                    tuples += 1;
                                 }
                             }
                         }
                     }
                 }
-                WorkerSection {
-                    worker: chunk_idx as u64,
-                    partitions,
-                    tuples,
-                    wall_micros: started.elapsed().as_micros() as u64,
-                }
             }));
         }
         for h in handles {
-            workers.push(h.join().expect("partition worker panicked"));
+            h.join().expect("partition worker panicked");
         }
     });
 
     let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
-    let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
-    Ok((rel, workers))
+    Ok(Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples))
 }
 
 #[cfg(test)]
@@ -148,6 +391,18 @@ mod tests {
     }
 
     #[test]
+    fn naive_baseline_matches_oracle() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let want = natural_join(&r, &s).unwrap();
+        for threads in [1usize, 3] {
+            let got = parallel_partition_join_naive(&r, &s, &parts, threads).unwrap();
+            assert!(got.multiset_eq(&want), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn output_is_deterministic() {
         let r = rel("b", 150, 5);
         let s = rel("c", 150, 5);
@@ -179,7 +434,47 @@ mod tests {
         assert_eq!(workers.iter().map(|w| w.tuples).sum::<u64>(), got.len() as u64);
         for (i, w) in workers.iter().enumerate() {
             assert_eq!(w.worker, i as u64);
+            assert!(w.busy_micros <= w.wall_micros + 1000, "busy beyond wall: {w:?}");
         }
+    }
+
+    #[test]
+    fn spawns_min_of_threads_and_partitions() {
+        let r = rel("b", 100, 4);
+        let s = rel("c", 100, 3);
+        // 2 partitions, 8 threads requested → exactly 2 workers.
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 2);
+        let (got, workers) =
+            parallel_partition_join_reported(&r, &s, &parts, 8).unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers.iter().map(|w| w.partitions).sum::<u64>(), 2);
+        let want = natural_join(&r, &s).unwrap();
+        assert!(got.multiset_eq(&want));
+    }
+
+    #[test]
+    fn execution_report_carries_workers_and_skew() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let (got, er) = parallel_execution_report(&r, &s, &parts, 3).unwrap();
+        assert_eq!(er.algorithm, "parallel");
+        assert_eq!(er.result.tuples, got.len() as u64);
+        assert_eq!(er.counter("num_partitions"), Some(6));
+        assert_eq!(er.counter("workers"), Some(er.workers.len() as i64));
+        assert!(er.counter("cpu_probes").unwrap() > 0);
+        let sk = er.skew.expect("parallel report has a skew section");
+        assert_eq!(sk.partitions, 6);
+        assert!(sk.est_cost_max <= sk.est_cost_total);
+        assert_eq!(
+            sk.busy_micros_total,
+            er.workers.iter().map(|w| w.busy_micros).sum::<u64>()
+        );
+        assert!(sk.utilization_percent <= 100);
+        // Round-trips through the documented JSON schema.
+        let back =
+            vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        assert_eq!(back, er);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Shared infrastructure for the disk-based join algorithms.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use vtjoin_core::{Relation, Schema, Tuple, Value};
 use vtjoin_storage::{CostRatio, HeapFile, IoStats, PageBuf, StorageError};
@@ -145,14 +145,29 @@ impl JoinSpec {
         &self.out_schema
     }
 
-    /// Join key of an outer tuple.
+    /// Join key of an outer tuple, materialized. The hash-table paths use
+    /// [`JoinSpec::outer_key_hash`] instead, which does not allocate.
     pub fn outer_key(&self, x: &Tuple) -> Vec<Value> {
         x.key_at(&self.shared_r)
     }
 
-    /// Join key of an inner tuple.
+    /// Join key of an inner tuple, materialized; see [`JoinSpec::outer_key`].
     pub fn inner_key(&self, y: &Tuple) -> Vec<Value> {
         y.key_at(&self.shared_s)
+    }
+
+    /// Hash of the outer tuple's join key, computed directly off the tuple
+    /// — no key vector is materialized. The hasher is fixed-key SipHash
+    /// (std's `DefaultHasher::new()`), so hashes are deterministic across
+    /// runs and threads, and equal keys hash equally on both sides because
+    /// both sides hash their shared attributes in the same (outer) order.
+    pub fn outer_key_hash(&self, x: &Tuple) -> u64 {
+        hash_key(x, &self.shared_r)
+    }
+
+    /// Hash of the inner tuple's join key; see [`JoinSpec::outer_key_hash`].
+    pub fn inner_key_hash(&self, y: &Tuple) -> u64 {
+        hash_key(y, &self.shared_s)
     }
 
     /// Tests the full §2 join condition and, on success, splices the result
@@ -171,32 +186,86 @@ impl JoinSpec {
     }
 }
 
+/// Hashes a tuple's values at `indices`, in order, with a fixed-key
+/// SipHash. Build and probe sides hash their shared attributes in the
+/// same (zip) order, so equal keys produce equal hashes.
+fn hash_key(t: &Tuple, indices: &[usize]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for &i in indices {
+        t.value(i).hash(&mut h);
+    }
+    h.finish()
+}
+
 /// A hash table over a block of outer tuples, for joining page-at-a-time
 /// inner input against it. The paper's cost model ignores main-memory
 /// operations and flags that omission as future work (§5); the table
-/// counts its probes and pairwise match tests so reports can expose the
-/// CPU side alongside the I/O bill.
+/// counts its probes and hash-equal match tests so reports can expose
+/// the CPU side alongside the I/O bill.
+///
+/// Both build and probe are **allocation-free per tuple**: instead of
+/// materializing a `Vec<Value>` key per tuple, the table stores
+/// `(key hash, &Tuple)` pairs in power-of-two open-hash buckets, filters
+/// candidates by full 64-bit hash equality, and lets
+/// [`JoinSpec::try_match`]'s attribute comparison reject the (rare)
+/// hash-equal, key-unequal collisions. Nothing is heap-allocated until a
+/// genuine match splices its result tuple.
 #[derive(Debug)]
 pub struct BlockTable<'a> {
     spec: &'a JoinSpec,
-    by_key: HashMap<Vec<Value>, Vec<&'a Tuple>>,
+    buckets: Vec<Vec<(u64, &'a Tuple)>>,
+    mask: usize,
     probes: std::cell::Cell<u64>,
     match_tests: std::cell::Cell<u64>,
 }
 
 impl<'a> BlockTable<'a> {
-    /// Builds the table over `block`.
+    /// Builds the table over a contiguous `block`.
     pub fn build(spec: &'a JoinSpec, block: &'a [Tuple]) -> BlockTable<'a> {
-        let mut by_key: HashMap<Vec<Value>, Vec<&'a Tuple>> = HashMap::new();
-        for x in block {
-            by_key.entry(spec.outer_key(x)).or_default().push(x);
+        Self::build_from(spec, block)
+    }
+
+    /// Builds the table from any iterator of tuple references — the
+    /// parallel executor feeds replicated partition buckets
+    /// (`Vec<&Tuple>`) without copying them into a contiguous block.
+    pub fn build_from<I>(spec: &'a JoinSpec, tuples: I) -> BlockTable<'a>
+    where
+        I: IntoIterator<Item = &'a Tuple>,
+    {
+        let tuples = tuples.into_iter();
+        let nbuckets = tuples.size_hint().0.max(1).next_power_of_two();
+        let mask = nbuckets - 1;
+        let mut buckets: Vec<Vec<(u64, &'a Tuple)>> = vec![Vec::new(); nbuckets];
+        for x in tuples {
+            let h = spec.outer_key_hash(x);
+            buckets[(h as usize) & mask].push((h, x));
         }
         BlockTable {
             spec,
-            by_key,
+            buckets,
+            mask,
             probes: std::cell::Cell::new(0),
             match_tests: std::cell::Cell::new(0),
         }
+    }
+
+    /// Probes one inner tuple, invoking `on_match` for every §2 match.
+    /// The probe path itself allocates nothing; only a successful match
+    /// allocates (for the spliced result tuple).
+    pub fn probe_each(&self, y: &Tuple, mut on_match: impl FnMut(Tuple)) {
+        self.probes.set(self.probes.get() + 1);
+        let h = self.spec.inner_key_hash(y);
+        let mut tests = 0u64;
+        for &(hx, x) in &self.buckets[(h as usize) & self.mask] {
+            if hx != h {
+                continue;
+            }
+            tests += 1;
+            if let Some(z) = self.spec.try_match(x, y) {
+                on_match(z);
+            }
+        }
+        self.match_tests.set(self.match_tests.get() + tests);
     }
 
     /// Probes one inner tuple, pushing every match into `sink`, optionally
@@ -208,21 +277,14 @@ impl<'a> BlockTable<'a> {
         sink: &mut ResultSink,
         emit: impl Fn(&Tuple) -> bool,
     ) {
-        self.probes.set(self.probes.get() + 1);
-        if let Some(candidates) = self.by_key.get(&self.spec.inner_key(y)) {
-            self.match_tests
-                .set(self.match_tests.get() + candidates.len() as u64);
-            for x in candidates {
-                if let Some(z) = self.spec.try_match(x, y) {
-                    if emit(&z) {
-                        sink.push(z);
-                    }
-                }
+        self.probe_each(y, |z| {
+            if emit(&z) {
+                sink.push(z);
             }
-        }
+        });
     }
 
-    /// `(hash probes, pairwise match tests)` performed so far.
+    /// `(hash probes, hash-equal match tests)` performed so far.
     pub fn cpu_counters(&self) -> (u64, u64) {
         (self.probes.get(), self.match_tests.get())
     }
@@ -234,7 +296,7 @@ impl<'a> BlockTable<'a> {
 pub struct CpuCounters {
     /// Inner tuples probed against some block table.
     pub probes: u64,
-    /// Pairwise `try_match` evaluations (key-equal candidates).
+    /// Pairwise `try_match` evaluations (hash-equal candidates).
     pub match_tests: u64,
 }
 

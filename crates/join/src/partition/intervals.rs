@@ -178,6 +178,17 @@ pub fn partition_of(ivs: &[Interval], c: Chronon) -> usize {
     ivs.partition_point(|iv| iv.start() <= c) - 1
 }
 
+/// The contiguous range of partitions a tuple with validity `valid` is
+/// **replicated into** under the Leung–Muntz rule: every partition it
+/// overlaps, i.e. from the partition containing its start chronon through
+/// the partition containing its end chronon. Shared by the disk-backed
+/// replicated variant and the in-memory parallel executor so the
+/// replication rule cannot drift between them.
+/// Precondition: `ivs` satisfies [`is_partitioning`].
+pub fn replica_range(ivs: &[Interval], valid: Interval) -> std::ops::RangeInclusive<usize> {
+    partition_of(ivs, valid.start())..=partition_of(ivs, valid.end())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,7 @@
 //! de-duplicates pairs co-present in several partitions.
 
 
-use super::intervals::{self, partition_of};
+use super::intervals::{self, replica_range};
 use super::planner;
 use crate::common::{
     BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker,
@@ -61,9 +61,8 @@ pub fn do_replicated_partitioning(
         .collect();
     for p in 0..heap.pages() {
         for t in heap.read_page(p)? {
-            let first = partition_of(ivs, t.valid().start());
-            let last = partition_of(ivs, t.valid().end());
-            for w in writers.iter_mut().take(last + 1).skip(first) {
+            let range = replica_range(ivs, t.valid());
+            for w in &mut writers[range] {
                 w.push(&t)?;
             }
         }

@@ -48,6 +48,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         plan: None,
         deviation: None,
         workers: Vec::new(),
+        skew: None,
     }
 }
 

@@ -14,8 +14,9 @@ use std::fmt;
 use vtjoin_storage::{CostRatio, IoStats};
 
 /// Version stamped into every serialized report as `schema_version`;
-/// [`ExecutionReport::from_json`] rejects other versions.
-pub const SCHEMA_VERSION: i64 = 1;
+/// [`ExecutionReport::from_json`] rejects other versions. Version 2 added
+/// `workers[].busy_micros` and the optional `skew` section.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -295,12 +296,40 @@ impl DeviationSection {
 pub struct WorkerSection {
     /// Worker index (0-based).
     pub worker: u64,
-    /// Partitions the worker was assigned.
+    /// Partitions the worker claimed from the work queue.
     pub partitions: u64,
     /// Result tuples the worker emitted.
     pub tuples: u64,
-    /// Wall-clock the worker spent joining, in microseconds.
+    /// Wall-clock from worker start to worker exit, in microseconds
+    /// (includes time spent waiting on the work queue).
     pub wall_micros: u64,
+    /// Microseconds actually spent joining partitions (build + probe);
+    /// `busy_micros / wall_micros` is the worker's utilization.
+    pub busy_micros: u64,
+}
+
+/// Partition-skew and worker-utilization summary of a parallel execution
+/// (\[LM92b\] setting). Estimated cost of partition `i` is `|rᵢ|·|sᵢ|`,
+/// the pairwise-candidate count the scheduler sorts by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewSection {
+    /// Number of partitions joined.
+    pub partitions: u64,
+    /// Sum of the per-partition estimated costs `Σ |rᵢ|·|sᵢ|`.
+    pub est_cost_total: u64,
+    /// Largest single-partition estimated cost `max |rᵢ|·|sᵢ|`.
+    pub est_cost_max: u64,
+    /// `est_cost_max` as a rounded-down percentage of `est_cost_total` —
+    /// 100/partitions for a perfectly balanced workload, approaching 100
+    /// under heavy skew.
+    pub max_partition_share_percent: u64,
+    /// Sum of the workers' `busy_micros`.
+    pub busy_micros_total: u64,
+    /// Largest single-worker `busy_micros` (the critical path).
+    pub busy_micros_max: u64,
+    /// `busy_micros_total / (workers × max worker wall_micros)` as a
+    /// rounded-down percentage: 100 means no worker ever idled.
+    pub utilization_percent: u64,
 }
 
 /// The unified execution report: one value describing everything a run
@@ -327,6 +356,8 @@ pub struct ExecutionReport {
     pub deviation: Option<DeviationSection>,
     /// Per-worker breakdown of parallel executions.
     pub workers: Vec<WorkerSection>,
+    /// Partition-skew / utilization summary of parallel executions.
+    pub skew: Option<SkewSection>,
 }
 
 impl ExecutionReport {
@@ -484,10 +515,31 @@ impl ExecutionReport {
                                 ("partitions", Json::Int(w.partitions as i64)),
                                 ("tuples", Json::Int(w.tuples as i64)),
                                 ("wall_micros", Json::Int(w.wall_micros as i64)),
+                                ("busy_micros", Json::Int(w.busy_micros as i64)),
                             ])
                         })
                         .collect(),
                 ),
+            ));
+        }
+        if let Some(sk) = self.skew {
+            pairs.push((
+                "skew",
+                obj(vec![
+                    ("partitions", Json::Int(sk.partitions as i64)),
+                    ("est_cost_total", Json::Int(sk.est_cost_total as i64)),
+                    ("est_cost_max", Json::Int(sk.est_cost_max as i64)),
+                    (
+                        "max_partition_share_percent",
+                        Json::Int(sk.max_partition_share_percent as i64),
+                    ),
+                    ("busy_micros_total", Json::Int(sk.busy_micros_total as i64)),
+                    ("busy_micros_max", Json::Int(sk.busy_micros_max as i64)),
+                    (
+                        "utilization_percent",
+                        Json::Int(sk.utilization_percent as i64),
+                    ),
+                ]),
             ));
         }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -597,9 +649,22 @@ impl ExecutionReport {
                     partitions: req_u64(w, "partitions")?,
                     tuples: req_u64(w, "tuples")?,
                     wall_micros: req_u64(w, "wall_micros")?,
+                    busy_micros: req_u64(w, "busy_micros")?,
                 });
             }
         }
+        let skew = match j.get("skew") {
+            Some(sk) => Some(SkewSection {
+                partitions: req_u64(sk, "partitions")?,
+                est_cost_total: req_u64(sk, "est_cost_total")?,
+                est_cost_max: req_u64(sk, "est_cost_max")?,
+                max_partition_share_percent: req_u64(sk, "max_partition_share_percent")?,
+                busy_micros_total: req_u64(sk, "busy_micros_total")?,
+                busy_micros_max: req_u64(sk, "busy_micros_max")?,
+                utilization_percent: req_u64(sk, "utilization_percent")?,
+            }),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -618,6 +683,7 @@ impl ExecutionReport {
             plan,
             deviation,
             workers,
+            skew,
         })
     }
 
@@ -788,19 +854,49 @@ impl ExecutionReport {
 
         if !self.workers.is_empty() {
             p(&mut out, "\n  workers:");
-            let rows: Vec<[String; 4]> = self
+            let rows: Vec<[String; 6]> = self
                 .workers
                 .iter()
                 .map(|w| {
+                    let util = (w.busy_micros * 100)
+                        .checked_div(w.wall_micros)
+                        .unwrap_or(100);
                     [
                         w.worker.to_string(),
                         w.partitions.to_string(),
                         w.tuples.to_string(),
                         w.wall_micros.to_string(),
+                        w.busy_micros.to_string(),
+                        format!("{util}%"),
                     ]
                 })
                 .collect();
-            render_table(&mut out, &["worker", "parts", "tuples", "wall µs"], &rows);
+            render_table(
+                &mut out,
+                &["worker", "parts", "tuples", "wall µs", "busy µs", "util"],
+                &rows,
+            );
+        }
+
+        if let Some(sk) = self.skew {
+            p(&mut out, "\n  skew:");
+            p(
+                &mut out,
+                &format!(
+                    "    est cost (|rᵢ|·|sᵢ|): total {}, max {} ({}% in the heaviest of {} partitions)",
+                    sk.est_cost_total,
+                    sk.est_cost_max,
+                    sk.max_partition_share_percent,
+                    sk.partitions
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    busy µs: total {}, max {} — utilization {}%",
+                    sk.busy_micros_total, sk.busy_micros_max, sk.utilization_percent
+                ),
+            );
         }
 
         out
@@ -936,7 +1032,17 @@ mod tests {
                 partitions: 17,
                 tuples: 1234,
                 wall_micros: 650,
+                busy_micros: 600,
             }],
+            skew: Some(SkewSection {
+                partitions: 17,
+                est_cost_total: 4000,
+                est_cost_max: 900,
+                max_partition_share_percent: 22,
+                busy_micros_total: 600,
+                busy_micros_max: 600,
+                utilization_percent: 92,
+            }),
         }
     }
 
@@ -955,6 +1061,7 @@ mod tests {
         report.deviation = None;
         report.buffer_pool = None;
         report.workers.clear();
+        report.skew = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
@@ -963,7 +1070,7 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"schema_version\": 99",
             1,
         );
@@ -1008,6 +1115,9 @@ mod tests {
             "within",
             "buffer pool: 7 hits / 3 misses / 1 evictions",
             "workers:",
+            "busy µs",
+            "skew:",
+            "utilization 92%",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

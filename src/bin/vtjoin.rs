@@ -59,6 +59,8 @@ fn usage() -> String {
      vtjoin info FILE\n  \
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
      [--buffer PAGES] [--ratio N] [--explain] [--stats-json FILE] [-o FILE]\n  \
+     vtjoin join OUTER INNER --threads N [--partitions N] [--explain] \
+     [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]"
         .to_owned()
@@ -185,6 +187,15 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     };
     let r = load(outer_path)?;
     let s = load(inner_path)?;
+
+    // `--threads` selects the in-memory parallel executor (work-stealing
+    // hash-probed partition join over replicated partitions); the
+    // disk-based algorithms below ignore it.
+    let threads = flags.get_u64("threads", 0)?;
+    if threads > 0 {
+        return join_parallel(&flags, &r, &s, threads as usize);
+    }
+
     let buffer = flags.get_u64("buffer", 256)?;
     let ratio = CostRatio::new(flags.get_u64("ratio", 5)?);
     let cfg = JoinConfig::with_buffer(buffer).ratio(ratio).collecting();
@@ -241,6 +252,59 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     }
     if let Some(out) = flags.get("out") {
         save(&report.result.expect("collected"), out)?;
+        println!("wrote result to {out}");
+    }
+    Ok(())
+}
+
+/// The `--threads` path of `join`: equal-width partitions over the
+/// inputs' combined lifespan, joined by the parallel executor, reported
+/// through the same explain/stats-json surface as the disk algorithms.
+fn join_parallel(
+    flags: &Flags,
+    r: &Relation,
+    s: &Relation,
+    threads: usize,
+) -> Result<(), AnyError> {
+    let partitions = flags.get_u64("partitions", (threads as u64 * 4).max(16))?;
+    let hull = match (r.lifespan(), s.lifespan()) {
+        (Some(a), Some(b)) => {
+            Interval::new(a.start().min(b.start()), a.end().max(b.end())).expect("ordered hull")
+        }
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => Interval::ALL,
+    };
+    let intervals = vtjoin::join::partition::intervals::equal_width(hull, partitions);
+    let (result, exec_report) =
+        vtjoin::engine::parallel_execution_report(r, s, &intervals, threads)?;
+
+    if flags.get("explain").is_some() {
+        print!("{}", exec_report.render_explain());
+    } else {
+        println!(
+            "parallel: {} result tuples, {} partitions on {} workers",
+            result.len(),
+            intervals.len(),
+            exec_report.workers.len(),
+        );
+        for phase in &exec_report.phases {
+            println!("  {:<12} {} µs", phase.name, phase.wall_micros);
+        }
+        if let Some(sk) = exec_report.skew {
+            println!(
+                "  skew: heaviest partition {}% of est cost, utilization {}%",
+                sk.max_partition_share_percent, sk.utilization_percent
+            );
+        }
+    }
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(PathBuf::from(path), exec_report.to_json_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote stats to {path}");
+    }
+    if let Some(out) = flags.get("out") {
+        save(&result, out)?;
         println!("wrote result to {out}");
     }
     Ok(())
