@@ -295,6 +295,7 @@ pub fn parallel_execution_report(
         deviation: None,
         workers: detail.workers,
         skew: Some(skew),
+        faults: None,
     };
     Ok((rel, report))
 }

@@ -28,6 +28,18 @@ pub enum JoinError {
     /// An algorithm precondition was violated (e.g. an append-only input
     /// that is not actually in `Vs` order).
     Precondition(&'static str),
+    /// A tuple too large to fit even one empty page reached a
+    /// page-granular path (tuple cache, outer-area chunking).
+    OversizedTuple {
+        /// Encoded tuple size in bytes.
+        tuple_bytes: usize,
+        /// Usable bytes in one page.
+        page_capacity: usize,
+    },
+    /// An internal invariant failed. Surfaced as a typed error instead
+    /// of a panic (or a release-mode silent drop) so fault-injected and
+    /// adversarial runs degrade gracefully.
+    Internal(&'static str),
 }
 
 impl fmt::Display for JoinError {
@@ -40,6 +52,11 @@ impl fmt::Display for JoinError {
                 "{algorithm} needs at least {needed} buffer pages, only {available} configured"
             ),
             JoinError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            JoinError::OversizedTuple { tuple_bytes, page_capacity } => write!(
+                f,
+                "tuple of {tuple_bytes} bytes exceeds the {page_capacity}-byte page capacity"
+            ),
+            JoinError::Internal(msg) => write!(f, "internal invariant failed: {msg}"),
         }
     }
 }
@@ -407,6 +424,21 @@ pub struct JoinReport {
     pub result: Option<Relation>,
     /// Algorithm-specific diagnostics (partition count, samples drawn…).
     pub notes: Vec<(String, i64)>,
+    /// Fault-injection outcome for this run. `None` when the disk has no
+    /// injector and nothing faulted; `Some` (possibly all-zero) whenever
+    /// fault injection is enabled, so chaos runs always report.
+    pub faults: Option<FaultSummary>,
+}
+
+/// How a run fared against injected device faults: the storage-layer
+/// counters for the run's window, plus planner-level degradations (the
+/// equal-width fallback taken when sampling I/O failed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Storage-layer fault counters (delta over the run).
+    pub stats: vtjoin_storage::FaultStats,
+    /// Times the planner degraded to equal-width partitioning.
+    pub degraded: i64,
 }
 
 impl JoinReport {
@@ -444,6 +476,7 @@ pub trait JoinAlgorithm {
 pub struct PhaseTracker {
     disk: vtjoin_storage::SharedDisk,
     start: IoStats,
+    fault_start: vtjoin_storage::FaultStats,
     last: IoStats,
     last_instant: std::time::Instant,
     phases: Vec<PhaseStats>,
@@ -456,9 +489,23 @@ impl PhaseTracker {
         PhaseTracker {
             disk: disk.clone(),
             start: now,
+            fault_start: disk.fault_stats(),
             last: now,
             last_instant: std::time::Instant::now(),
             phases: Vec::new(),
+        }
+    }
+
+    /// Fault outcome since tracking started. `Some` whenever the disk has
+    /// an injector configured, anything actually faulted, or the planner
+    /// degraded — `None` on a clean run over a fault-free disk, keeping
+    /// pre-existing reports byte-identical.
+    pub fn fault_summary(&self, degraded: i64) -> Option<FaultSummary> {
+        let stats = self.disk.fault_stats() - self.fault_start;
+        if self.disk.fault_config().is_some() || stats.any() || degraded != 0 {
+            Some(FaultSummary { stats, degraded })
+        } else {
+            None
         }
     }
 

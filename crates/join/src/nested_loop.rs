@@ -82,6 +82,7 @@ impl JoinAlgorithm for NestedLoopJoin {
         }
         tracker.phase("join");
 
+        let faults = tracker.fault_summary(0);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
         Ok(JoinReport {
@@ -96,6 +97,7 @@ impl JoinAlgorithm for NestedLoopJoin {
                 notes.extend(cpu.notes());
                 notes
             },
+            faults,
         })
     }
 }

@@ -28,9 +28,35 @@
 //! "buffer thrashing" cost.
 
 use super::intervals::is_partitioning;
-use crate::common::{BlockTable, CpuCounters, JoinSpec, Result, ResultSink};
+use crate::common::{BlockTable, CpuCounters, JoinError, JoinSpec, Result, ResultSink};
 use vtjoin_core::{Interval, Tuple};
 use vtjoin_storage::{codec, FileHandle, HeapFile, PageBuf};
+
+/// The Figure 3 buffer split, derived in exactly one place so the
+/// executor, the planner, and the report renderer cannot drift (they
+/// previously each hand-computed it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferLayout {
+    /// Pages taken for the cache write-combining buffer.
+    pub write_batch: u64,
+    /// Pages left after the inner, cache, and result pages plus the write
+    /// batch — the planner's `buffSize` (outer area before reservations).
+    pub sizing_area: u64,
+    /// Pages actually available to hold the outer partition, after any
+    /// reserved in-memory cache pages; never below 1.
+    pub outer_area: u64,
+}
+
+/// Computes the buffer layout for a total budget of `buffer_pages`:
+/// outer area + inner page + cache page + result page, minus the cache
+/// write-combining buffer and any pages reserved for the in-memory
+/// cache extension.
+pub fn buffer_layout(buffer_pages: u64, reserved_cache_pages: u64) -> BufferLayout {
+    let write_batch = CACHE_WRITE_BATCH.min((buffer_pages / 4).max(1));
+    let sizing_area = buffer_pages.saturating_sub(3).saturating_sub(write_batch);
+    let outer_area = sizing_area.saturating_sub(reserved_cache_pages).max(1);
+    BufferLayout { write_batch, sizing_area, outer_area }
+}
 
 /// Diagnostics from the join phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -88,8 +114,18 @@ impl CacheStore {
 
     /// Adds a migrated tuple, spilling a full page to the reserved area or
     /// to the write buffer (flushed to disk in sequential bursts).
+    ///
+    /// A tuple that cannot fit even an empty cache page is rejected here,
+    /// at the door — otherwise it would poison the page accounting and
+    /// fail (or worse, silently vanish) only at flush time.
     fn push(&mut self, t: Tuple) -> Result<()> {
         let n = codec::encoded_len(&t);
+        if n > self.page_capacity {
+            return Err(JoinError::OversizedTuple {
+                tuple_bytes: n,
+                page_capacity: self.page_capacity,
+            });
+        }
         if self.current_bytes + n > self.page_capacity && !self.current.is_empty() {
             let full = std::mem::take(&mut self.current);
             self.current_bytes = 0;
@@ -113,8 +149,16 @@ impl CacheStore {
             let mut buf =
                 PageBuf::new(self.page_capacity + vtjoin_storage::PAGE_HEADER_BYTES);
             for t in &tuples {
-                let fit = buf.try_push(t)?;
-                debug_assert!(fit, "cache page packing mismatch");
+                // `push` sized these pages, so a non-fit means the two
+                // accountings disagree. That must be a hard, *typed* error:
+                // the previous `debug_assert!` let release builds drop the
+                // tuple on the floor and return a silently truncated join.
+                if !buf.try_push(t)? {
+                    return Err(JoinError::Internal(
+                        "tuple-cache page packing mismatch: a spilled page \
+                         exceeds the page capacity",
+                    ));
+                }
             }
             self.disk_file.append(buf.take())?;
             self.pages_written += 1;
@@ -160,15 +204,9 @@ pub fn join_partitions(
     let disk = r_parts[0].disk().clone();
     let page_capacity = PageBuf::capacity_bytes(disk.page_size());
 
-    // Figure 3 layout: outer area + inner page + cache page + result page,
-    // minus the cache write-combining buffer and any pages reserved for
-    // the in-memory cache extension.
-    let write_batch = CACHE_WRITE_BATCH.min((buffer_pages / 4).max(1));
-    let outer_area = buffer_pages
-        .saturating_sub(3)
-        .saturating_sub(write_batch)
-        .saturating_sub(reserved_cache_pages)
-        .max(1);
+    let layout = buffer_layout(buffer_pages, reserved_cache_pages);
+    let write_batch = layout.write_batch;
+    let outer_area = layout.outer_area;
 
     let s_total_pages: u64 = s_parts.iter().map(HeapFile::pages).sum();
     let cache_capacity = s_total_pages + n as u64 + 1;
@@ -200,7 +238,7 @@ pub fn join_partitions(
         }
 
         // Overflow chunking (block-NL fallback on estimate error).
-        let chunks = chunk_by_pages(&outer_part, page_capacity, outer_area);
+        let chunks = chunk_by_pages(&outer_part, page_capacity, outer_area)?;
         notes.overflow_chunks += chunks.len() as i64 - 1;
 
         for (ci, range) in chunks.iter().enumerate() {
@@ -281,14 +319,19 @@ pub fn join_partitions(
 
 /// Splits `tuples` into index ranges, each packing into at most
 /// `max_pages` pages of `page_capacity` usable bytes.
+///
+/// A single tuple larger than one page is a typed error: the old code's
+/// `used_in_page > 0` guard let such a tuple stay "inside" a page and
+/// overpack the chunk past its budget, silently violating the
+/// outer-area memory bound.
 pub(crate) fn chunk_by_pages(
     tuples: &[Tuple],
     page_capacity: usize,
     max_pages: u64,
-) -> Vec<std::ops::Range<usize>> {
+) -> Result<Vec<std::ops::Range<usize>>> {
     if tuples.is_empty() {
         #[allow(clippy::single_range_in_vec_init)]
-        return vec![0..0];
+        return Ok(vec![0..0]);
     }
     let mut out = Vec::new();
     let mut chunk_start = 0usize;
@@ -296,6 +339,9 @@ pub(crate) fn chunk_by_pages(
     let mut used_in_page = 0usize;
     for (i, t) in tuples.iter().enumerate() {
         let n = codec::encoded_len(t);
+        if n > page_capacity {
+            return Err(JoinError::OversizedTuple { tuple_bytes: n, page_capacity });
+        }
         if used_in_page + n > page_capacity && used_in_page > 0 {
             if pages_used == max_pages {
                 out.push(chunk_start..i);
@@ -309,7 +355,7 @@ pub(crate) fn chunk_by_pages(
         used_in_page += n;
     }
     out.push(chunk_start..tuples.len());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -497,7 +543,10 @@ mod tests {
         // cannot fit, forcing chunked (block-NL fallback) processing.
         let r = mixed(300, 4, 5, true);
         let s = mixed(300, 4, 5, false);
-        let (got, notes, _) = run_exec(&r, &s, 2, 5, 0); // outer area = 2 pages
+        // buffer 5 → write batch 1, outer area = 5 − 3 − 1 = 1 page
+        // (via `buffer_layout`, which this comment previously contradicted).
+        let (got, notes, _) = run_exec(&r, &s, 2, 5, 0);
+        assert_eq!(buffer_layout(5, 0).outer_area, 1);
         assert!(notes.overflow_chunks > 0, "fixture must overflow");
         let want = natural_join(&r, &s).unwrap();
         assert!(got.multiset_eq(&want));
@@ -545,12 +594,74 @@ mod tests {
         };
         // each tuple 16 + 1 + 3 + 30 = 50 bytes; capacity 100 → 2 per page.
         let tuples: Vec<Tuple> = (0..10).map(|_| t(30)).collect();
-        let chunks = chunk_by_pages(&tuples, 100, 2); // 2 pages per chunk = 4 tuples
+        let chunks = chunk_by_pages(&tuples, 100, 2).unwrap(); // 2 pages per chunk = 4 tuples
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[0], 0..4);
         assert_eq!(chunks[1], 4..8);
         assert_eq!(chunks[2], 8..10);
-        assert_eq!(chunk_by_pages(&tuples, 100, 100).len(), 1);
-        assert_eq!(chunk_by_pages(&[], 100, 1), vec![0..0]);
+        assert_eq!(chunk_by_pages(&tuples, 100, 100).unwrap().len(), 1);
+        assert_eq!(chunk_by_pages(&[], 100, 1).unwrap(), vec![0..0]);
+    }
+
+    #[test]
+    fn chunk_by_pages_rejects_oversized_tuple() {
+        // Regression: a single tuple above page capacity used to stay
+        // "inside" its page (the `used_in_page > 0` guard) and overpack
+        // the chunk past the outer-area budget. Now it is a typed error.
+        let big = Tuple::new(
+            vec![Value::Bytes(vec![0; 200])],
+            Interval::from_raw(0, 0).unwrap(),
+        );
+        let small = Tuple::new(
+            vec![Value::Bytes(vec![0; 30])],
+            Interval::from_raw(0, 0).unwrap(),
+        );
+        let err = chunk_by_pages(&[small, big], 100, 2).unwrap_err();
+        assert!(
+            matches!(err, crate::common::JoinError::OversizedTuple { tuple_bytes, page_capacity }
+                if tuple_bytes > 100 && page_capacity == 100),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cache_push_rejects_oversized_tuple() {
+        // Regression: an oversized tuple must be rejected at the cache
+        // door, not discovered (or dropped) at flush time.
+        let disk = SharedDisk::new(64);
+        let mut cache = CacheStore::new(&disk, 4, 0, 2);
+        let big = Tuple::new(
+            vec![Value::Bytes(vec![0; 100])],
+            Interval::from_raw(0, 0).unwrap(),
+        );
+        let err = cache.push(big).unwrap_err();
+        assert!(matches!(err, crate::common::JoinError::OversizedTuple { .. }), "{err}");
+        // The cache stays usable for sane tuples afterwards.
+        cache
+            .push(Tuple::new(vec![Value::Int(1)], Interval::from_raw(0, 0).unwrap()))
+            .unwrap();
+        cache.seal().unwrap();
+    }
+
+    #[test]
+    fn flush_writes_surfaces_packing_mismatch_as_typed_error() {
+        // Regression for the release-mode silent drop: force the flush
+        // accounting to disagree with the page accounting by planting an
+        // overfull page directly in the write buffer (as a corrupted or
+        // future-buggy `push` could). A debug_assert! here vanished in
+        // `--release` and the surplus tuples vanished with it; the join
+        // then returned a silently truncated result. It must be an error
+        // in every build profile.
+        let disk = SharedDisk::new(64);
+        let mut cache = CacheStore::new(&disk, 4, 0, 2);
+        let t = |k: i64| Tuple::new(vec![Value::Int(k)], Interval::from_raw(0, 0).unwrap());
+        // 64-byte pages hold two 26-byte records; plant three.
+        cache.write_buffer.push(vec![t(1), t(2), t(3)]);
+        let err = cache.flush_writes().unwrap_err();
+        assert!(
+            matches!(err, crate::common::JoinError::Internal(msg) if msg.contains("packing")),
+            "{err}"
+        );
+        assert_eq!(cache.pages_written, 0, "nothing may be half-written as success");
     }
 }

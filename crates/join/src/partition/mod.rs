@@ -98,6 +98,7 @@ impl PartitionJoin {
             let mut cpu = crate::common::CpuCounters::default();
             cpu.absorb(&table);
             tracker.phase("join");
+            let faults = tracker.fault_summary(0);
             let (io, phases) = tracker.finish();
             let (result_tuples, result_pages, result) = sink.finish();
             let planner_out = PlannerOutput::degenerate(outer.pages());
@@ -118,6 +119,7 @@ impl PartitionJoin {
                     notes.extend(cpu.notes());
                     notes
                 },
+                faults,
             };
             return Ok((report, planner_out));
         }
@@ -143,6 +145,8 @@ impl PartitionJoin {
         )?;
         tracker.phase("join");
 
+        let degraded = i64::from(planner_out.degraded);
+        let faults = tracker.fault_summary(degraded);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
         let report = JoinReport {
@@ -160,9 +164,11 @@ impl PartitionJoin {
                 ("cache_page_reads".into(), exec_notes.cache_page_reads),
                 ("overflow_chunks".into(), exec_notes.overflow_chunks),
                 ("retained_outer_tuples".into(), exec_notes.retained_outer_tuples),
+                ("planner_degraded".into(), degraded),
                 ("cpu_probes".into(), exec_notes.cpu.probes as i64),
                 ("cpu_match_tests".into(), exec_notes.cpu.match_tests as i64),
             ],
+            faults,
         };
         Ok((report, planner_out))
     }

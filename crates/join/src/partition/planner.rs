@@ -26,11 +26,12 @@
 //!   applied.
 
 use super::cache_est::estimate_cache_sizes;
-use super::intervals::{choose_from_events, choose_intervals, SweepEvents};
+use super::exec::buffer_layout;
+use super::intervals::{choose_from_events, choose_intervals, equal_width, SweepEvents};
 use super::sampling::{collect_pool, kolmogorov_samples, SamplePool};
 use crate::common::{JoinConfig, JoinError, Result};
 use vtjoin_core::Interval;
-use vtjoin_storage::HeapFile;
+use vtjoin_storage::{HeapFile, StorageError};
 
 /// One row of the planner's cost table (one candidate `partSize`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,11 @@ pub struct PlannerOutput {
     pub plan: PartitionPlan,
     /// Every evaluated candidate, ascending by `part_size`.
     pub candidates: Vec<CandidateCost>,
+    /// True when sampling I/O failed and the planner fell back to
+    /// sampling-free equal-width partitioning (cost-table-free, like the
+    /// degenerate plan). Correctness is unaffected; only performance
+    /// suffers, exactly the paper's tolerance for estimate error.
+    pub degraded: bool,
 }
 
 impl PlannerOutput {
@@ -102,7 +108,54 @@ impl PlannerOutput {
                 est_cost: 0,
             },
             candidates: Vec::new(),
+            degraded: false,
         }
+    }
+
+    /// The graceful-degradation plan: when sampling I/O fails (injected
+    /// faults exhausting their retries, or corruption detected by the page
+    /// checksum), fall back to equal-width intervals over the outer
+    /// relation's catalog time hull — zone maps are free to consult, so
+    /// this path performs **no further I/O** and cannot fail again. The
+    /// partition size splits the feasible range: small enough to hedge
+    /// against skew-driven overflow, large enough not to explode the
+    /// partition count.
+    fn degraded_equal_width(
+        outer: &HeapFile,
+        r_pages: u64,
+        min_part: u64,
+        max_part: u64,
+    ) -> PlannerOutput {
+        let part_size = min_part + (max_part - min_part) / 2;
+        let num_partitions = r_pages.div_ceil(part_size).max(1);
+        let hull = outer.time_hull().unwrap_or(Interval::ALL);
+        let intervals = equal_width(hull, num_partitions);
+        let est_cache_pages = vec![0; intervals.len()];
+        PlannerOutput {
+            plan: PartitionPlan {
+                part_size,
+                intervals,
+                est_cache_pages,
+                samples_drawn: 0,
+                est_cost: 0,
+            },
+            candidates: Vec::new(),
+            degraded: true,
+        }
+    }
+}
+
+/// Whether a sampling failure is one the planner may absorb by degrading
+/// to equal-width partitioning: transient device faults that exhausted
+/// their retries, and corruption detected by the page checksum. Logic
+/// errors (out-of-bounds pages, schema trouble) still propagate.
+fn degradable(e: &JoinError) -> bool {
+    match e {
+        JoinError::Storage(se) => {
+            se.is_transient()
+                || matches!(se, StorageError::Corrupt(_) | StorageError::UnwrittenPage(_))
+        }
+        _ => false,
     }
 }
 
@@ -117,18 +170,18 @@ pub fn determine_part_intervals(
     cfg: &JoinConfig,
 ) -> Result<PlannerOutput> {
     let r_pages = outer.pages();
-    // Mirror the executor's buffer layout: inner page + cache page +
-    // result page + the cache write-combining buffer all come off the top.
-    let write_batch = super::exec::CACHE_WRITE_BATCH.min((cfg.buffer_pages / 4).max(1));
-    let buff_size = cfg
-        .buffer_pages
-        .checked_sub(3 + write_batch)
-        .filter(|&b| b >= 2)
-        .ok_or(JoinError::InsufficientMemory {
+    // The executor's buffer layout, from the one shared formula: inner
+    // page + cache page + result page + the cache write-combining buffer
+    // all come off the top.
+    let layout = buffer_layout(cfg.buffer_pages, 0);
+    if layout.sizing_area < 2 {
+        return Err(JoinError::InsufficientMemory {
             algorithm: "partition",
             needed: 6,
             available: cfg.buffer_pages,
-        })?;
+        });
+    }
+    let buff_size = layout.sizing_area;
 
     // Grace feasibility: one input page plus one output buffer page per
     // partition must fit in memory.
@@ -143,11 +196,27 @@ pub fn determine_part_intervals(
     }
 
     // ---- physical sampling, charged ------------------------------------------
+    // When sampling I/O fails in a degradable way (retry-exhausted
+    // transient faults, checksum-detected corruption), fall back to the
+    // sampling-free equal-width plan instead of failing the whole join:
+    // the degradation ladder is retry → equal-width fallback → typed error.
     let m_largest = kolmogorov_samples(r_pages, buff_size - max_part);
-    let pool = collect_pool(outer, m_largest, cfg.ratio, cfg.seed)?;
-    let cache_pool: SamplePool = match inner_sample {
-        Some(h) => collect_pool(h, m_largest, cfg.ratio, cfg.seed ^ 0x9e37_79b9)?,
-        None => pool.clone(),
+    let sampled: Result<(SamplePool, SamplePool)> = (|| {
+        let pool = collect_pool(outer, m_largest, cfg.ratio, cfg.seed)?;
+        let cache_pool: SamplePool = match inner_sample {
+            Some(h) => collect_pool(h, m_largest, cfg.ratio, cfg.seed ^ 0x9e37_79b9)?,
+            None => pool.clone(),
+        };
+        Ok((pool, cache_pool))
+    })();
+    let (pool, cache_pool) = match sampled {
+        Ok(pools) => pools,
+        Err(e) if degradable(&e) => {
+            return Ok(PlannerOutput::degraded_equal_width(
+                outer, r_pages, min_part, max_part,
+            ));
+        }
+        Err(e) => return Err(e),
     };
 
     let full_events = SweepEvents::build(pool.intervals());
@@ -233,7 +302,11 @@ pub fn determine_part_intervals(
         part_size = (part_size + stride).min(max_part);
     }
 
-    let (winner, intervals, est_cache_pages) = best.expect("at least one candidate");
+    // `min_part <= max_part` was checked above, so the loop ran at least
+    // once; still, surface a missing winner as a typed error rather than
+    // a panic so no execution path can bring the process down.
+    let (winner, intervals, est_cache_pages) =
+        best.ok_or(JoinError::Internal("planner evaluated no candidates"))?;
     Ok(PlannerOutput {
         plan: PartitionPlan {
             part_size: winner.part_size,
@@ -243,6 +316,7 @@ pub fn determine_part_intervals(
             est_cost: winner.total(),
         },
         candidates,
+        degraded: false,
     })
 }
 
@@ -417,6 +491,45 @@ mod tests {
             determine_part_intervals(&r, &s, None, &cfg(5)),
             Err(JoinError::InsufficientMemory { .. })
         ));
+    }
+
+    #[test]
+    fn sampling_fault_degrades_to_equal_width() {
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 800, 0, 1000);
+        let s = load(&disk, 800, 0, 1000);
+        // Every read faults and no retry budget: sampling cannot proceed.
+        disk.set_retry_policy(vtjoin_storage::RetryPolicy::NONE);
+        disk.set_fault_config(Some(vtjoin_storage::FaultConfig {
+            seed: 1,
+            read_fail_permille: 1000,
+            write_fail_permille: 0,
+            torn_write_permille: 0,
+        }));
+        let out = determine_part_intervals(&r, &s, None, &cfg(20)).unwrap();
+        assert!(out.degraded, "sampling failure must degrade, not error");
+        assert!(out.candidates.is_empty(), "no cost table without samples");
+        assert!(is_partitioning(&out.plan.intervals));
+        assert_eq!(out.plan.samples_drawn, 0);
+        assert_eq!(out.plan.est_cache_pages.len(), out.plan.intervals.len());
+        // Feasibility bounds still hold for the fallback partition size.
+        assert!(out.plan.part_size >= 1);
+        disk.set_fault_config(None);
+    }
+
+    #[test]
+    fn non_degradable_errors_still_propagate() {
+        // InsufficientMemory is a configuration problem, not a device
+        // fault — the fallback must not mask it.
+        let disk = SharedDisk::new(128);
+        let r = load(&disk, 4000, 0, 1000);
+        let s = load(&disk, 40, 0, 1000);
+        disk.set_fault_config(Some(vtjoin_storage::FaultConfig::uniform(1, 1000)));
+        assert!(matches!(
+            determine_part_intervals(&r, &s, None, &cfg(5)),
+            Err(JoinError::InsufficientMemory { .. })
+        ));
+        disk.set_fault_config(None);
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
             for p in 0..r_parts[i].pages() {
                 block.extend(r_parts[i].read_page(p)?);
             }
-            let chunks = super::exec_chunks(&block, page_capacity, outer_area);
+            let chunks = super::exec_chunks(&block, page_capacity, outer_area)?;
             overflow_chunks += chunks.len() as i64 - 1;
             for range in chunks {
                 let table = BlockTable::build(&spec, &block[range]);
@@ -141,6 +141,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
 
         let replicated_pages: i64 = r_parts.iter().chain(&s_parts).map(|p| p.pages() as i64).sum();
         let base_pages = (outer.pages() + inner.pages()) as i64;
+        let faults = tracker.fault_summary(0);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
         Ok(JoinReport {
@@ -156,6 +157,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
                 ("base_pages".into(), base_pages),
                 ("overflow_chunks".into(), overflow_chunks),
             ],
+            faults,
         })
     }
 }

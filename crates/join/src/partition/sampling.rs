@@ -17,7 +17,7 @@
 //! proportional to the relation's page count. [`collect_pool`] implements
 //! both regimes and charges whichever is cheaper.
 
-use crate::common::Result;
+use crate::common::{JoinError, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -126,9 +126,12 @@ pub fn collect_pool(
         let indices = sample_indices(&mut rng, population, m_target);
         let mut intervals = Vec::with_capacity(indices.len());
         for idx in indices {
-            let (page, slot) = heap
-                .locate_tuple(idx)
-                .expect("sampled index within population");
+            // A miss here means the sampler and the catalog disagree about
+            // the population — surfaced as a typed error (not a panic) so
+            // a fault-injected planning pass can degrade gracefully.
+            let (page, slot) = heap.locate_tuple(idx).ok_or(JoinError::Internal(
+                "sampled tuple index outside the heap population",
+            ))?;
             let tuples = heap.read_page(page)?;
             intervals.push(tuples[slot as usize].valid());
         }

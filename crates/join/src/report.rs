@@ -7,13 +7,29 @@
 //! deviation section (the check behind the paper's Figure 7/8 accuracy
 //! claims). Field semantics are documented in `docs/OBSERVABILITY.md`.
 
-use crate::common::{JoinConfig, JoinReport};
+use crate::common::{FaultSummary, JoinConfig, JoinReport};
+use crate::partition::exec::buffer_layout;
 use crate::partition::sampling::sample_cost;
 use crate::partition::PlannerOutput;
 use vtjoin_obs::{
-    CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport, IoSection,
-    PhaseSection, PlanSection, PredictedCost, ResultSection,
+    CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport, FaultsSection,
+    IoSection, PhaseSection, PlanSection, PredictedCost, ResultSection,
 };
+
+/// Converts the join layer's fault accounting into the obs schema section.
+fn faults_section(f: &FaultSummary) -> FaultsSection {
+    FaultsSection {
+        injected_read_faults: f.stats.injected_read_faults,
+        injected_write_faults: f.stats.injected_write_faults,
+        torn_writes: f.stats.torn_writes,
+        checksum_failures: f.stats.checksum_failures,
+        retries: f.stats.retries,
+        recovered: f.stats.recovered,
+        exhausted: f.stats.exhausted,
+        backoff_steps: f.stats.backoff_steps,
+        degraded: f.degraded,
+    }
+}
 
 /// Converts a finished [`JoinReport`] into an [`ExecutionReport`] with no
 /// planner sections — the form every algorithm can produce. Phases carry
@@ -49,6 +65,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         deviation: None,
         workers: Vec::new(),
         skew: None,
+        faults: report.faults.as_ref().map(faults_section),
     }
 }
 
@@ -83,10 +100,9 @@ pub fn partition_execution_report(
     }
 
     let plan = &planner.plan;
-    // Mirror the executor's buffer layout (see planner.rs): inner page +
-    // cache page + result page + the cache write-combining buffer.
-    let write_batch = crate::partition::exec::CACHE_WRITE_BATCH.min((cfg.buffer_pages / 4).max(1));
-    let buff_size = cfg.buffer_pages.saturating_sub(3 + write_batch);
+    // The executor's buffer layout: inner page + cache page + result page +
+    // the cache write-combining buffer, shared with planner.rs and exec.rs.
+    let buff_size = buffer_layout(cfg.buffer_pages, 0).sizing_area;
     let error_size = buff_size.saturating_sub(plan.part_size);
     let num_partitions = plan.intervals.len() as u64;
 

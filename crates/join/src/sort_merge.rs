@@ -77,6 +77,7 @@ impl JoinAlgorithm for SortMergeJoin {
             merge_join(&sorted_r, &sorted_s, &spec, cfg.buffer_pages, &mut sink)?;
         tracker.phase("merge");
 
+        let faults = tracker.fault_summary(0);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
         Ok(JoinReport {
@@ -91,6 +92,7 @@ impl JoinAlgorithm for SortMergeJoin {
                 notes.extend(cpu.notes());
                 notes
             },
+            faults,
         })
     }
 }

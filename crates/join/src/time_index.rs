@@ -368,6 +368,7 @@ impl JoinAlgorithm for TimeIndexJoin {
         }
         tracker.phase("probe");
 
+        let faults = tracker.fault_summary(0);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
         Ok(JoinReport {
@@ -387,6 +388,7 @@ impl JoinAlgorithm for TimeIndexJoin {
                 notes.extend(cpu.notes());
                 notes
             },
+            faults,
         })
     }
 }

@@ -15,8 +15,10 @@ use vtjoin_storage::{CostRatio, IoStats};
 
 /// Version stamped into every serialized report as `schema_version`;
 /// [`ExecutionReport::from_json`] rejects other versions. Version 2 added
-/// `workers[].busy_micros` and the optional `skew` section.
-pub const SCHEMA_VERSION: i64 = 2;
+/// `workers[].busy_micros` and the optional `skew` section. Version 3
+/// added the optional `faults` section (fault-injection accounting and
+/// graceful-degradation outcome).
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -332,6 +334,72 @@ pub struct SkewSection {
     pub utilization_percent: u64,
 }
 
+/// Fault-injection accounting for a run executed against a faulty disk
+/// (the `faults` schema section, new in version 3). All counters are
+/// deltas over the run; `degraded` records how many times the planner
+/// fell back to the equal-width plan instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultsSection {
+    /// Read attempts that were injected to fail.
+    pub injected_read_faults: u64,
+    /// Write attempts that were injected to fail.
+    pub injected_write_faults: u64,
+    /// Writes that reported success but persisted a corrupted page.
+    pub torn_writes: u64,
+    /// Pages whose checksum did not verify on decode.
+    pub checksum_failures: u64,
+    /// Retry attempts issued after an injected fault.
+    pub retries: u64,
+    /// Operations that ultimately succeeded after at least one retry.
+    pub recovered: u64,
+    /// Operations that exhausted the retry budget and surfaced an error.
+    pub exhausted: u64,
+    /// Total backoff units accumulated across retries (accounting only —
+    /// the simulator never sleeps).
+    pub backoff_steps: u64,
+    /// Times the run degraded to a fallback plan instead of erroring.
+    pub degraded: i64,
+}
+
+impl FaultsSection {
+    fn to_json(self) -> Json {
+        obj(vec![
+            (
+                "injected_read_faults",
+                Json::Int(self.injected_read_faults as i64),
+            ),
+            (
+                "injected_write_faults",
+                Json::Int(self.injected_write_faults as i64),
+            ),
+            ("torn_writes", Json::Int(self.torn_writes as i64)),
+            (
+                "checksum_failures",
+                Json::Int(self.checksum_failures as i64),
+            ),
+            ("retries", Json::Int(self.retries as i64)),
+            ("recovered", Json::Int(self.recovered as i64)),
+            ("exhausted", Json::Int(self.exhausted as i64)),
+            ("backoff_steps", Json::Int(self.backoff_steps as i64)),
+            ("degraded", Json::Int(self.degraded)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<FaultsSection, ReportError> {
+        Ok(FaultsSection {
+            injected_read_faults: req_u64(j, "injected_read_faults")?,
+            injected_write_faults: req_u64(j, "injected_write_faults")?,
+            torn_writes: req_u64(j, "torn_writes")?,
+            checksum_failures: req_u64(j, "checksum_failures")?,
+            retries: req_u64(j, "retries")?,
+            recovered: req_u64(j, "recovered")?,
+            exhausted: req_u64(j, "exhausted")?,
+            backoff_steps: req_u64(j, "backoff_steps")?,
+            degraded: req_i64(j, "degraded")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,6 +426,9 @@ pub struct ExecutionReport {
     pub workers: Vec<WorkerSection>,
     /// Partition-skew / utilization summary of parallel executions.
     pub skew: Option<SkewSection>,
+    /// Fault-injection accounting, when the run executed under injected
+    /// faults (or observed any fault-path activity).
+    pub faults: Option<FaultsSection>,
 }
 
 impl ExecutionReport {
@@ -542,6 +613,9 @@ impl ExecutionReport {
                 ]),
             ));
         }
+        if let Some(fs) = self.faults {
+            pairs.push(("faults", fs.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -665,6 +739,10 @@ impl ExecutionReport {
             }),
             None => None,
         };
+        let faults = match j.get("faults") {
+            Some(fs) => Some(FaultsSection::from_json(fs)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -684,6 +762,7 @@ impl ExecutionReport {
             deviation,
             workers,
             skew,
+            faults,
         })
     }
 
@@ -878,6 +957,28 @@ impl ExecutionReport {
             );
         }
 
+        if let Some(fs) = self.faults {
+            p(&mut out, "\n  faults:");
+            p(
+                &mut out,
+                &format!(
+                    "    injected: {} read / {} write, {} torn writes, {} checksum failures",
+                    fs.injected_read_faults,
+                    fs.injected_write_faults,
+                    fs.torn_writes,
+                    fs.checksum_failures
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    retries: {} ({} recovered, {} exhausted, {} backoff steps)",
+                    fs.retries, fs.recovered, fs.exhausted, fs.backoff_steps
+                ),
+            );
+            p(&mut out, &format!("    degraded plans: {}", fs.degraded));
+        }
+
         if let Some(sk) = self.skew {
             p(&mut out, "\n  skew:");
             p(
@@ -1043,6 +1144,17 @@ mod tests {
                 busy_micros_max: 600,
                 utilization_percent: 92,
             }),
+            faults: Some(FaultsSection {
+                injected_read_faults: 4,
+                injected_write_faults: 2,
+                torn_writes: 1,
+                checksum_failures: 1,
+                retries: 5,
+                recovered: 5,
+                exhausted: 1,
+                backoff_steps: 9,
+                degraded: 1,
+            }),
         }
     }
 
@@ -1062,15 +1174,17 @@ mod tests {
         report.buffer_pool = None;
         report.workers.clear();
         report.skew = None;
+        report.faults = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
+        assert!(!report.to_json_string().contains("\"faults\":"));
     }
 
     #[test]
     fn version_mismatch_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"schema_version\": 99",
             1,
         );
@@ -1118,6 +1232,10 @@ mod tests {
             "busy µs",
             "skew:",
             "utilization 92%",
+            "faults:",
+            "injected: 4 read / 2 write, 1 torn writes, 1 checksum failures",
+            "retries: 5 (5 recovered, 1 exhausted, 9 backoff steps)",
+            "degraded plans: 1",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

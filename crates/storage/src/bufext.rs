@@ -16,6 +16,8 @@ pub trait Buf {
     fn get_u8(&mut self) -> u8;
     /// Reads a little-endian `u16`.
     fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
     /// Reads a little-endian `i64`.
     fn get_i64_le(&mut self) -> i64;
 }
@@ -41,6 +43,12 @@ impl Buf for &[u8] {
         v
     }
 
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
     fn get_i64_le(&mut self) -> i64 {
         let v = i64::from_le_bytes(self[..8].try_into().unwrap());
         self.advance(8);
@@ -54,6 +62,8 @@ pub trait BufMut {
     fn put_u8(&mut self, v: u8);
     /// Appends a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
     /// Appends a little-endian `i64`.
     fn put_i64_le(&mut self, v: i64);
     /// Appends a byte slice.
@@ -66,6 +76,10 @@ impl BufMut for Vec<u8> {
     }
 
     fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
         self.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -87,12 +101,14 @@ mod tests {
         let mut v = Vec::new();
         v.put_u8(7);
         v.put_u16_le(513);
+        v.put_u32_le(70_000);
         v.put_i64_le(-42);
         v.put_slice(b"xy");
         let mut cursor: &[u8] = &v;
-        assert_eq!(cursor.remaining(), 13);
+        assert_eq!(cursor.remaining(), 17);
         assert_eq!(cursor.get_u8(), 7);
         assert_eq!(cursor.get_u16_le(), 513);
+        assert_eq!(cursor.get_u32_le(), 70_000);
         assert_eq!(cursor.get_i64_le(), -42);
         assert_eq!(cursor, b"xy");
         cursor.advance(2);

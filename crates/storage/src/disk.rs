@@ -18,6 +18,7 @@
 //! *reads* random.
 
 use crate::error::{Result, StorageError};
+use crate::faults::{FaultConfig, FaultInjector, FaultStats, RetryPolicy};
 use crate::file::PageRange;
 use crate::stats::IoStats;
 use std::fmt;
@@ -78,6 +79,9 @@ pub struct DiskSim {
     write_head: Option<PageId>,
     stats: IoStats,
     trace: Option<Vec<TraceEntry>>,
+    faults: Option<FaultInjector>,
+    fault_stats: FaultStats,
+    retry: RetryPolicy,
 }
 
 impl DiskSim {
@@ -91,6 +95,9 @@ impl DiskSim {
             write_head: None,
             stats: IoStats::ZERO,
             trace: None,
+            faults: None,
+            fault_stats: FaultStats::ZERO,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -148,6 +155,48 @@ impl DiskSim {
         self.write_head = None;
     }
 
+    /// Enables (or with `None` disables) fault injection. Enabling resets
+    /// the fault stream to `cfg.seed`, so a run is replayed bit-identically
+    /// by re-applying the same config.
+    pub fn set_fault_config(&mut self, cfg: Option<FaultConfig>) {
+        self.faults = cfg.map(FaultInjector::new);
+    }
+
+    /// The active fault configuration, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.faults.as_ref().map(FaultInjector::config)
+    }
+
+    /// Replaces the retry policy for transient injected faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Cumulative fault statistics since construction or the last
+    /// [`DiskSim::reset_fault_stats`].
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Zeroes the fault counters (the fault stream position is preserved).
+    pub fn reset_fault_stats(&mut self) {
+        self.fault_stats = FaultStats::ZERO;
+    }
+
+    /// Records a page-checksum verification failure observed by a decoder.
+    ///
+    /// The checksum is verified above the device (the decoder sees the
+    /// bytes, the disk sees the I/O), so readers report detections back
+    /// here to keep all fault accounting on one ledger.
+    pub fn note_checksum_failure(&mut self) {
+        self.fault_stats.checksum_failures += 1;
+    }
+
     fn classify(head: &mut Option<PageId>, page: PageId) -> AccessKind {
         let kind = match head {
             Some(h) if h.0 + 1 == page.0 => AccessKind::Sequential,
@@ -168,24 +217,87 @@ impl DiskSim {
         }
     }
 
-    /// Reads a page, charging one random or sequential read.
-    pub fn read(&mut self, page: PageId) -> Result<&[u8]> {
-        self.check_bounds(page)?;
-        let kind = Self::classify(&mut self.read_head, page);
-        match kind {
-            AccessKind::Random => self.stats.random_reads += 1,
-            AccessKind::Sequential => self.stats.seq_reads += 1,
+    fn charge(&mut self, page: PageId, write: bool) {
+        let head = if write { &mut self.write_head } else { &mut self.read_head };
+        let kind = Self::classify(head, page);
+        match (write, kind) {
+            (false, AccessKind::Random) => self.stats.random_reads += 1,
+            (false, AccessKind::Sequential) => self.stats.seq_reads += 1,
+            (true, AccessKind::Random) => self.stats.random_writes += 1,
+            (true, AccessKind::Sequential) => self.stats.seq_writes += 1,
         }
         if let Some(t) = &mut self.trace {
-            t.push(TraceEntry { page, kind, write: false });
+            t.push(TraceEntry { page, kind, write });
         }
+    }
+
+    /// Attempts an operation under the retry policy. Each attempt is
+    /// charged as a real access (the device did the work even when the
+    /// transfer failed; a retried access re-targets the same page, so it
+    /// is charged random). Returns the number of attempts used on
+    /// success, or [`StorageError::InjectedFault`] once the budget is
+    /// exhausted. Backoff is recorded, never slept.
+    fn attempt(&mut self, page: PageId, write: bool) -> Result<u32> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            self.charge(page, write);
+            let faulted = match &mut self.faults {
+                Some(inj) => {
+                    if write {
+                        inj.roll_write_fail()
+                    } else {
+                        inj.roll_read_fail()
+                    }
+                }
+                None => false,
+            };
+            if !faulted {
+                if attempt > 1 {
+                    self.fault_stats.recovered += 1;
+                }
+                return Ok(attempt);
+            }
+            if write {
+                self.fault_stats.injected_write_faults += 1;
+            } else {
+                self.fault_stats.injected_read_faults += 1;
+            }
+            if attempt >= max_attempts {
+                self.fault_stats.exhausted += 1;
+                return Err(StorageError::InjectedFault {
+                    page: page.0,
+                    write,
+                    attempts: attempt,
+                });
+            }
+            self.fault_stats.retries += 1;
+            self.fault_stats.backoff_steps += 1u64 << (attempt - 1).min(16);
+            attempt += 1;
+        }
+    }
+
+    /// Reads a page, charging one random or sequential read per attempt.
+    ///
+    /// Transient injected faults are retried under the disk's
+    /// [`RetryPolicy`]; an exhausted budget surfaces
+    /// [`StorageError::InjectedFault`].
+    pub fn read(&mut self, page: PageId) -> Result<&[u8]> {
+        self.check_bounds(page)?;
+        self.attempt(page, false)?;
         self.pages[page.0 as usize]
             .as_deref()
             .ok_or(StorageError::UnwrittenPage(page.0))
     }
 
-    /// Writes a page, charging one random or sequential write. `data` is
-    /// padded with zeroes (or must not exceed) to the page size.
+    /// Writes a page, charging one random or sequential write per
+    /// attempt. `data` is padded with zeroes (or must not exceed) to the
+    /// page size.
+    ///
+    /// Transient injected faults fail before any byte lands and are
+    /// retried under the disk's [`RetryPolicy`]. A torn write succeeds
+    /// from the caller's point of view but stores a corrupted image —
+    /// detectable only by the page checksum at decode time.
     pub fn write(&mut self, page: PageId, data: Vec<u8>) -> Result<()> {
         self.check_bounds(page)?;
         assert!(
@@ -194,16 +306,21 @@ impl DiskSim {
             data.len(),
             self.page_size
         );
-        let kind = Self::classify(&mut self.write_head, page);
-        match kind {
-            AccessKind::Random => self.stats.random_writes += 1,
-            AccessKind::Sequential => self.stats.seq_writes += 1,
-        }
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEntry { page, kind, write: true });
-        }
+        self.attempt(page, true)?;
         let mut buf = data;
         buf.resize(self.page_size, 0);
+        if let Some(inj) = &mut self.faults {
+            if inj.roll_torn_write() {
+                self.fault_stats.torn_writes += 1;
+                // Flip an 8-byte run at a stream-determined offset; the
+                // page checksum covers the whole image, so any position
+                // is detectable.
+                let at = (inj.next_u64() as usize) % self.page_size;
+                for b in buf.iter_mut().skip(at).take(8) {
+                    *b ^= 0xA5;
+                }
+            }
+        }
         self.pages[page.0 as usize] = Some(buf.into_boxed_slice());
         Ok(())
     }
@@ -266,6 +383,31 @@ impl SharedDisk {
     /// Zeroes the statistics counters.
     pub fn reset_stats(&self) {
         self.lock().reset_stats()
+    }
+
+    /// Enables (or disables with `None`) fault injection.
+    pub fn set_fault_config(&self, cfg: Option<FaultConfig>) {
+        self.lock().set_fault_config(cfg)
+    }
+
+    /// The active fault configuration, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.lock().fault_config()
+    }
+
+    /// Replaces the retry policy for transient injected faults.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        self.lock().set_retry_policy(retry)
+    }
+
+    /// Cumulative fault statistics.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.lock().fault_stats()
+    }
+
+    /// Records a page-checksum verification failure observed by a decoder.
+    pub fn note_checksum_failure(&self) {
+        self.lock().note_checksum_failure()
     }
 
     /// Runs `f` with exclusive access to the underlying simulator.
@@ -441,6 +583,130 @@ mod tests {
         assert_eq!(d.page_size(), 64);
         d.reset_stats();
         assert_eq!(other.stats(), IoStats::ZERO);
+    }
+
+    #[test]
+    fn faults_off_is_bit_identical_to_seed_behavior() {
+        // The default disk has no injector: counters stay zero and the
+        // retry loop degenerates to exactly one attempt per access.
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(2);
+        d.write(r.page(0), page(&d)).unwrap();
+        d.read(r.page(0)).unwrap();
+        assert_eq!(d.fault_stats(), crate::faults::FaultStats::ZERO);
+        assert_eq!(d.stats().total_ios(), 2);
+        assert!(d.fault_config().is_none());
+    }
+
+    #[test]
+    fn injected_read_faults_retry_then_recover_or_exhaust() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(4);
+        for i in 0..4 {
+            d.write(r.page(i), page(&d)).unwrap();
+        }
+        // High but not certain rate: over many reads we must observe both
+        // recoveries and (with NONE retry later) immediate surfacing.
+        d.set_fault_config(Some(FaultConfig {
+            seed: 11,
+            read_fail_permille: 400,
+            write_fail_permille: 0,
+            torn_write_permille: 0,
+        }));
+        let mut errors = 0u32;
+        for k in 0..200u64 {
+            if d.read(r.page(k % 4)).is_err() {
+                errors += 1;
+            }
+        }
+        let fs = d.fault_stats();
+        assert!(fs.injected_read_faults > 0, "rate 40% must fire");
+        assert!(fs.recovered > 0, "some reads must recover via retry");
+        assert_eq!(fs.exhausted, u64::from(errors));
+        assert!(fs.retries >= fs.recovered);
+        assert!(fs.backoff_steps >= fs.retries, "backoff grows with retries");
+        assert_eq!(fs.injected_write_faults, 0);
+    }
+
+    #[test]
+    fn retry_none_surfaces_first_fault() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.write(r.page(0), page(&d)).unwrap();
+        d.set_retry_policy(RetryPolicy::NONE);
+        d.set_fault_config(Some(FaultConfig {
+            seed: 1,
+            read_fail_permille: 1000,
+            write_fail_permille: 0,
+            torn_write_permille: 0,
+        }));
+        let e = d.read(r.page(0)).unwrap_err();
+        assert!(matches!(e, StorageError::InjectedFault { write: false, attempts: 1, .. }));
+        assert!(e.is_transient());
+        assert_eq!(d.fault_stats().retries, 0);
+        assert_eq!(d.fault_stats().exhausted, 1);
+    }
+
+    #[test]
+    fn certain_write_faults_leave_page_untouched() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.write(r.page(0), vec![7u8; 64]).unwrap();
+        d.set_fault_config(Some(FaultConfig {
+            seed: 5,
+            read_fail_permille: 0,
+            write_fail_permille: 1000,
+            torn_write_permille: 0,
+        }));
+        let e = d.write(r.page(0), vec![9u8; 64]).unwrap_err();
+        assert!(matches!(e, StorageError::InjectedFault { write: true, .. }));
+        // The old image survives: transient write faults fail before
+        // any byte lands.
+        assert_eq!(d.peek(r.page(0)).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn torn_writes_corrupt_but_report_success() {
+        let mut d = DiskSim::new(64);
+        let r = d.alloc(1);
+        d.set_fault_config(Some(FaultConfig {
+            seed: 9,
+            read_fail_permille: 0,
+            write_fail_permille: 0,
+            torn_write_permille: 1000,
+        }));
+        d.write(r.page(0), vec![0u8; 64]).unwrap();
+        assert_eq!(d.fault_stats().torn_writes, 1);
+        let stored = d.peek(r.page(0)).unwrap();
+        assert!(stored.iter().any(|&b| b != 0), "image must differ from what was written");
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed: u64| -> (FaultStats, Vec<u8>) {
+            let mut d = DiskSim::new(64);
+            let r = d.alloc(8);
+            d.set_fault_config(Some(FaultConfig::uniform(seed, 300)));
+            for i in 0..8 {
+                let _ = d.write(r.page(i), vec![i as u8; 64]);
+            }
+            for i in 0..8 {
+                let _ = d.read(r.page(i));
+            }
+            let img = d.peek(r.page(0)).map(<[u8]>::to_vec).unwrap_or_default();
+            (d.fault_stats(), img)
+        };
+        assert_eq!(run(77), run(77), "identical seed, identical faults and images");
+        assert_ne!(run(77).0, run(78).0, "different seed perturbs the stream");
+    }
+
+    #[test]
+    fn checksum_failures_are_notable() {
+        let mut d = DiskSim::new(64);
+        d.note_checksum_failure();
+        assert_eq!(d.fault_stats().checksum_failures, 1);
+        d.reset_fault_stats();
+        assert_eq!(d.fault_stats(), crate::faults::FaultStats::ZERO);
     }
 
     #[test]

@@ -33,6 +33,27 @@ pub enum StorageError {
     },
     /// An error bubbled up from the core data model.
     Core(vtjoin_core::TemporalError),
+    /// An injected transient device fault that survived every retry.
+    ///
+    /// Only produced when fault injection is enabled on the disk
+    /// (see [`crate::faults::FaultConfig`]).
+    InjectedFault {
+        /// The page the faulted operation targeted.
+        page: u64,
+        /// True for a write fault, false for a read fault.
+        write: bool,
+        /// Attempts performed before giving up (including the first).
+        attempts: u32,
+    },
+}
+
+impl StorageError {
+    /// Whether the error models a *transient* device condition — one a
+    /// retry at a higher level could plausibly clear. Corruption is not
+    /// transient: a torn page stays torn no matter how often it is read.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::InjectedFault { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +71,10 @@ impl fmt::Display for StorageError {
                 write!(f, "file append exceeded its {capacity}-page extent")
             }
             StorageError::Core(e) => write!(f, "{e}"),
+            StorageError::InjectedFault { page, write, attempts } => {
+                let op = if *write { "write" } else { "read" };
+                write!(f, "injected {op} fault on page {page} persisted across {attempts} attempts")
+            }
         }
     }
 }
@@ -72,6 +97,15 @@ mod tests {
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
         let e = StorageError::RecordTooLarge { record: 5000, capacity: 4094 };
         assert!(e.to_string().contains("5000"));
+    }
+
+    #[test]
+    fn transience_is_limited_to_injected_faults() {
+        let e = StorageError::InjectedFault { page: 3, write: true, attempts: 4 };
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("write fault on page 3"));
+        assert!(!StorageError::Corrupt("torn".into()).is_transient());
+        assert!(!StorageError::UnwrittenPage(0).is_transient());
     }
 
     #[test]

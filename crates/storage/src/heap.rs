@@ -116,6 +116,16 @@ impl HeapFile {
         self.page_zones[i as usize]
     }
 
+    /// Catalog metadata: the hull of all stored valid times — the union of
+    /// every page's zone map. `None` for an empty file. Free to consult
+    /// (no I/O), which makes it the natural seed for sampling-free
+    /// equal-width partitioning when sampling I/O is unavailable.
+    pub fn time_hull(&self) -> Option<vtjoin_core::Interval> {
+        let min = self.page_zones.iter().map(|z| z.min_start).min()?;
+        let max = self.page_zones.iter().map(|z| z.max_end).max()?;
+        vtjoin_core::Interval::new(min, max).ok()
+    }
+
     /// Catalog metadata: the page holding the `idx`-th tuple (in load
     /// order) and its slot on that page.
     pub fn locate_tuple(&self, idx: u64) -> Option<(u64, u32)> {
@@ -375,6 +385,19 @@ mod tests {
         assert_eq!(last.len(), 4);
         assert!(rd.next_page().unwrap().is_none());
         assert_eq!(rd.position(), 10);
+    }
+
+    #[test]
+    fn time_hull_spans_all_zones_without_io() {
+        let disk = SharedDisk::new(128);
+        let heap = HeapFile::bulk_load(&disk, &relation(40)).unwrap();
+        disk.reset_stats();
+        let hull = heap.time_hull().unwrap();
+        assert_eq!(disk.stats().total_ios(), 0, "catalog reads are free");
+        assert_eq!(hull.start().value(), 0);
+        assert_eq!(hull.end().value(), 39 + 5);
+        let empty = HeapFile::bulk_load(&disk, &relation(0)).unwrap();
+        assert!(empty.time_hull().is_none());
     }
 
     #[test]

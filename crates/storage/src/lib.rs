@@ -21,7 +21,11 @@
 //! * [`buffer`] — a pin/unpin LRU buffer pool used by the engine layer.
 //!
 //! Everything is deterministic: running the same algorithm on the same
-//! input yields bit-identical I/O statistics.
+//! input yields bit-identical I/O statistics. That determinism extends
+//! to failure: [`faults`] injects seeded transient read/write faults and
+//! torn-page corruption, pages carry checksums so corruption is detected
+//! at decode time, and the disk absorbs transient faults under a bounded
+//! retry-with-backoff policy before surfacing a typed error.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -31,6 +35,7 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod error;
+pub mod faults;
 pub mod file;
 pub mod heap;
 pub mod page;
@@ -39,6 +44,7 @@ pub mod stats;
 pub use buffer::{BufferPool, BufferPoolStats};
 pub use disk::{AccessKind, DiskSim, PageId, SharedDisk};
 pub use error::{Result, StorageError};
+pub use faults::{FaultConfig, FaultStats, RetryPolicy};
 pub use file::{FileHandle, PageRange};
 pub use heap::{HeapFile, HeapReader, HeapWriter};
 pub use page::{PageBuf, PAGE_HEADER_BYTES};

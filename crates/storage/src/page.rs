@@ -1,16 +1,19 @@
 //! Record pages.
 //!
-//! A page is `[u16 record-count][records…]` with records packed
-//! back-to-back. Pages are the unit of I/O; the join algorithms reason
-//! about buffer budgets purely in page counts.
+//! A page is `[u16 record-count][u32 checksum][records…]` with records
+//! packed back-to-back. Pages are the unit of I/O; the join algorithms
+//! reason about buffer budgets purely in page counts. The checksum
+//! covers the full padded page image (see [`codec::page_checksum`]) and
+//! is verified by [`PageBuf::decode_page`], so a torn write surfaces as
+//! a typed [`StorageError::Corrupt`] instead of garbage tuples.
 
 use crate::codec;
 use crate::error::{Result, StorageError};
 use crate::bufext::{Buf, BufMut};
 use vtjoin_core::Tuple;
 
-/// Bytes reserved for the page header (the record count).
-pub const PAGE_HEADER_BYTES: usize = 2;
+/// Bytes reserved for the page header (record count + checksum).
+pub const PAGE_HEADER_BYTES: usize = 6;
 
 /// An in-memory page being filled with encoded tuples.
 #[derive(Debug, Clone)]
@@ -26,6 +29,7 @@ impl PageBuf {
         assert!(page_size > PAGE_HEADER_BYTES);
         let mut data = Vec::with_capacity(page_size);
         data.put_u16_le(0);
+        data.put_u32_le(0);
         PageBuf { page_size, data, count: 0 }
     }
 
@@ -70,22 +74,36 @@ impl PageBuf {
         Ok(true)
     }
 
-    /// Finishes the page, returning its bytes and leaving the buffer empty
-    /// and reusable.
+    /// Finishes the page, returning its full `page_size` image (padded
+    /// with zeroes, checksum sealed) and leaving the buffer empty and
+    /// reusable.
     pub fn take(&mut self) -> Vec<u8> {
         let mut fresh = Vec::with_capacity(self.page_size);
         fresh.put_u16_le(0);
+        fresh.put_u32_le(0);
         self.count = 0;
-        std::mem::replace(&mut self.data, fresh)
+        let mut page = std::mem::replace(&mut self.data, fresh);
+        page.resize(self.page_size, 0);
+        let sum = codec::page_checksum(&page);
+        page[2..6].copy_from_slice(&sum.to_le_bytes());
+        page
     }
 
-    /// Decodes every tuple in a page image.
+    /// Decodes every tuple in a page image, verifying the checksum first.
     pub fn decode_page(bytes: &[u8]) -> Result<Vec<Tuple>> {
         if bytes.len() < PAGE_HEADER_BYTES {
             return Err(StorageError::Corrupt("page shorter than header".into()));
         }
+        let stored = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes"));
+        let computed = codec::page_checksum(bytes);
+        if stored != computed {
+            return Err(StorageError::Corrupt(format!(
+                "page checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
         let mut cursor: &[u8] = bytes;
         let count = cursor.get_u16_le() as usize;
+        let _checksum = cursor.get_u32_le();
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             out.push(codec::decode(&mut cursor)?);
@@ -110,7 +128,7 @@ mod tests {
         while p.try_push(&t(pushed)).unwrap() {
             pushed += 1;
         }
-        // record = 16 + 1 + 9 = 26 bytes; capacity = 126 → 4 records.
+        // record = 16 + 1 + 9 = 26 bytes; capacity = 122 → 4 records.
         assert_eq!(pushed, 4);
         assert_eq!(p.count(), 4);
         let bytes = p.take();
@@ -161,7 +179,7 @@ mod tests {
 
     #[test]
     fn paper_geometry_32_tuples_per_4k_page() {
-        // 128-byte records, 4096-byte page → 31 fit (4094 usable bytes).
+        // 128-byte records, 4096-byte page → 31 fit (4090 usable bytes).
         // The experiment layout therefore pads records to 127 bytes so that
         // exactly 32 fit; verify both facts.
         let pad127 = 127 - (16 + 1 + 9 + 3);

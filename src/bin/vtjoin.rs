@@ -58,7 +58,8 @@ fn usage() -> String {
      [--duration MAX] [--seed N] [--side outer|inner] -o FILE\n  \
      vtjoin info FILE\n  \
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
-     [--buffer PAGES] [--ratio N] [--explain] [--stats-json FILE] [-o FILE]\n  \
+     [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] [--retries N] \
+     [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin join OUTER INNER --threads N [--partitions N] [--explain] \
      [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
      vtjoin slice FILE --at CHRONON\n  \
@@ -203,6 +204,25 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     let disk = SharedDisk::new(4096);
     let hr = HeapFile::bulk_load(&disk, &r)?;
     let hs = HeapFile::bulk_load(&disk, &s)?;
+
+    // Fault injection arms AFTER the bulk load so the inputs themselves are
+    // intact: the join then runs against a disk that fails reads and writes
+    // (and tears a fraction of writes) at the requested permille rate.
+    let fault_permille = flags.get_u64("faults", 0)?;
+    if fault_permille > 0 {
+        if fault_permille > 1000 {
+            return Err("--faults: rate is permille and must be ≤ 1000".into());
+        }
+        disk.set_retry_policy(vtjoin::storage::RetryPolicy {
+            max_attempts: flags.get_u64("retries", 4)?.max(1) as u32,
+        });
+        disk.set_fault_config(Some(vtjoin::storage::FaultConfig {
+            seed: flags.get_u64("fault-seed", 0xFA017)?,
+            read_fail_permille: fault_permille as u32,
+            write_fail_permille: fault_permille as u32,
+            torn_write_permille: (fault_permille / 4) as u32,
+        }));
+    }
 
     let name = flags.get("algorithm").unwrap_or("auto");
     let algo: Box<dyn JoinAlgorithm> = match name {
