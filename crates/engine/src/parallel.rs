@@ -10,33 +10,46 @@
 //! with replication. The canonical-partition emission rule de-duplicates
 //! pairs that are co-present in several partitions.
 //!
-//! The executor combines two optimizations over the obvious
+//! The executor combines three optimizations over the obvious
 //! one-chunk-per-thread nested-loop design:
 //!
-//! * **hash probing inside partitions** — each claimed partition builds a
-//!   [`BlockTable`] over its outer bucket and probes the inner bucket
-//!   through it, exactly like the serial algorithms, instead of testing
-//!   all `|rᵢ|·|sᵢ|` pairs;
+//! * **gated intra-partition kernels** — each claimed partition is joined
+//!   by whichever [`vtjoin_join::kernel`] the per-partition cost gate
+//!   picks: the hash kernel (BlockTable build + probe) on mostly-unique
+//!   keys, the forward-sweep interval kernel on duplicate-heavy data,
+//!   where rescanning whole key buckets per probe is the dominant cost.
+//!   A forced [`KernelChoice`] overrides the gate (CLI `--kernel`);
 //! * **cost-aware dynamic scheduling** — partitions are sorted by
 //!   estimated cost `|rᵢ|·|sᵢ|` descending and claimed one at a time from
 //!   an atomic work queue, so one skewed partition occupies one worker
 //!   while the rest drain the remainder, rather than serializing a whole
-//!   statically-assigned chunk.
+//!   statically-assigned chunk;
+//! * **batched, reusable output** — workers emit into a capacity-reserved
+//!   thread-local [`OutputBatch`] (sized from a running emitted-per-cost
+//!   estimate) and splice it into the partition's output slot once per
+//!   partition, and reuse one sweep scratch across every partition they
+//!   steal; per-tuple pushes into growing vectors were what made
+//!   self-speedup *degrade* under thread count.
 //!
-//! Output stays deterministic regardless of scheduling: every partition's
-//! result lands in its own slot and the slots are flattened in partition
-//! order.
+//! Output stays deterministic regardless of scheduling: the kernel gate
+//! depends only on partition data (never on thread count), every
+//! partition's result lands in its own slot, and the slots are flattened
+//! in partition order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 use vtjoin_core::{Interval, Relation, Tuple};
-use vtjoin_join::common::{BlockTable, JoinSpec};
+use vtjoin_join::common::JoinSpec;
+use vtjoin_join::kernel::{
+    choose_kernel, hash_join, sweep_join, KernelChoice, KernelCounters, KernelKind, OutputBatch,
+    SweepScratch,
+};
 use vtjoin_join::partition::intervals::{is_partitioning, replica_range};
 use vtjoin_obs::{
-    ConfigSection, Counter, ExecutionReport, IoSection, PhaseSection, ResultSection, SkewSection,
-    WorkerSection,
+    ConfigSection, Counter, ExecutionReport, IoSection, KernelSection, PhaseSection, ResultSection,
+    SkewSection, WorkerSection,
 };
 
 /// Joins `r ⋈ᵛ s` by replicating tuples into every overlapping partition
@@ -50,7 +63,21 @@ pub fn parallel_partition_join(
     intervals: &[Interval],
     threads: usize,
 ) -> Result<Relation, vtjoin_join::JoinError> {
-    parallel_partition_join_reported(r, s, intervals, threads).map(|(rel, _)| rel)
+    parallel_partition_join_with(r, s, intervals, threads, KernelChoice::Auto)
+}
+
+/// As [`parallel_partition_join`], with an explicit kernel policy: force
+/// the hash or sweep kernel everywhere, or let the per-partition gate
+/// decide (`KernelChoice::Auto`, the default). All policies produce the
+/// same result multiset; only the work profile differs.
+pub fn parallel_partition_join_with(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+    choice: KernelChoice,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    execute(r, s, intervals, threads, choice).map(|(rel, _)| rel)
 }
 
 /// As [`parallel_partition_join`], but also reports a per-worker breakdown
@@ -68,7 +95,7 @@ pub fn parallel_partition_join_reported(
     intervals: &[Interval],
     threads: usize,
 ) -> Result<(Relation, Vec<WorkerSection>), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, threads)?;
+    let (rel, detail) = execute(r, s, intervals, threads, KernelChoice::Auto)?;
     Ok((rel, detail.workers))
 }
 
@@ -81,9 +108,11 @@ struct ExecDetail {
     /// Total tuple references after replication, per input side.
     replicated_r: u64,
     replicated_s: u64,
-    /// Aggregated [`BlockTable`] counters across all partitions.
+    /// Aggregated hash-kernel BlockTable counters across all partitions.
     probes: u64,
     match_tests: u64,
+    /// Per-kernel accounting, merged across workers.
+    kernel: KernelCounters,
     /// Wall-clock of the replicate and join phases, in microseconds.
     replicate_micros: u64,
     join_micros: u64,
@@ -106,6 +135,7 @@ fn execute(
     s: &Relation,
     intervals: &[Interval],
     threads: usize,
+    choice: KernelChoice,
 ) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
     assert!(is_partitioning(intervals), "intervals must partition valid time");
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
@@ -130,6 +160,7 @@ fn execute(
     let mut workers: Vec<WorkerSection> = Vec::with_capacity(num_workers);
     let mut probes = 0u64;
     let mut match_tests = 0u64;
+    let mut kernel = KernelCounters::default();
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
@@ -137,6 +168,7 @@ fn execute(
             let r_parts = &r_parts;
             let s_parts = &s_parts;
             let order = &order;
+            let est_costs = &est_costs;
             let next = &next;
             handles.push(scope.spawn(move || {
                 let started = Instant::now();
@@ -146,6 +178,16 @@ fn execute(
                 let mut busy = std::time::Duration::ZERO;
                 let mut probes = 0u64;
                 let mut match_tests = 0u64;
+                let mut kernel = KernelCounters::default();
+                // Reused across every partition this worker steals: sweep
+                // event/active-list buffers and the output batch grow to
+                // the workload's high-water mark once, then never again.
+                let mut scratch = SweepScratch::default();
+                let mut batch = OutputBatch::new();
+                // Running emitted-tuples-per-estimated-cost ratio, used to
+                // reserve output capacity before joining each partition.
+                let mut emitted_total = 0u64;
+                let mut cost_total = 0u64;
                 loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
@@ -156,23 +198,48 @@ fn execute(
                     let claimed = Instant::now();
                     let mut out = Vec::new();
                     if !r_parts[i].is_empty() && !s_parts[i].is_empty() {
-                        let table = BlockTable::build_from(spec, r_parts[i].iter().copied());
-                        for y in &s_parts[i] {
-                            table.probe_each(y, |z| {
-                                if p_i.contains_chronon(z.valid().end()) {
-                                    out.push(z);
-                                }
-                            });
+                        let est = if cost_total > 0 {
+                            ((emitted_total as u128 * est_costs[i] as u128
+                                / cost_total as u128) as usize)
+                                .max(16)
+                        } else {
+                            // First partition: no ratio yet; a side's size
+                            // is the output floor for a key-dense join.
+                            r_parts[i].len().max(s_parts[i].len())
+                        };
+                        batch.begin(est);
+                        match choose_kernel(choice, spec, &r_parts[i], &s_parts[i]) {
+                            KernelKind::Hash => {
+                                let hs =
+                                    hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch);
+                                probes += hs.probes;
+                                match_tests += hs.match_tests;
+                                kernel.hash_partitions += 1;
+                            }
+                            KernelKind::Sweep => {
+                                let ss = sweep_join(
+                                    spec,
+                                    &r_parts[i],
+                                    &s_parts[i],
+                                    p_i,
+                                    &mut scratch,
+                                    &mut batch,
+                                );
+                                kernel.sweep_partitions += 1;
+                                kernel.sweep_comparisons += ss.comparisons;
+                            }
                         }
-                        let (p, m) = table.cpu_counters();
-                        probes += p;
-                        match_tests += m;
+                        emitted_total += batch.len() as u64;
+                        cost_total += est_costs[i];
+                        // One splice per partition into its output slot.
+                        out = batch.take();
                     }
                     busy += claimed.elapsed();
                     partitions += 1;
                     tuples += out.len() as u64;
                     produced.push((i, out));
                 }
+                kernel.batches_flushed = batch.batches_flushed();
                 let section = WorkerSection {
                     worker: w as u64,
                     partitions,
@@ -180,14 +247,15 @@ fn execute(
                     wall_micros: started.elapsed().as_micros() as u64,
                     busy_micros: busy.as_micros() as u64,
                 };
-                (section, produced, probes, match_tests)
+                (section, produced, probes, match_tests, kernel)
             }));
         }
         for h in handles {
-            let (section, produced, p, m) = h.join().expect("partition worker panicked");
+            let (section, produced, p, m, k) = h.join().expect("partition worker panicked");
             workers.push(section);
             probes += p;
             match_tests += m;
+            kernel.merge(k);
             for (i, out) in produced {
                 outputs[i] = out;
             }
@@ -204,6 +272,7 @@ fn execute(
         est_costs,
         probes,
         match_tests,
+        kernel,
         replicate_micros,
         join_micros,
     };
@@ -245,14 +314,27 @@ fn skew_section(est_costs: &[u64], workers: &[WorkerSection]) -> SkewSection {
 /// page count is zero (nothing is paged), and `buffer_pages`/`seed` in
 /// the config section are zero. Counters carry the partition count,
 /// requested threads, spawned workers, replicated tuple counts per side,
-/// and the aggregated `BlockTable` probe/match-test counters.
+/// and the hash kernel's aggregated `BlockTable` probe/match-test
+/// counters; the schema-v4 `kernel` section carries the per-kernel
+/// partition split, sweep comparisons, and batches flushed.
 pub fn parallel_execution_report(
     r: &Relation,
     s: &Relation,
     intervals: &[Interval],
     threads: usize,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, threads)?;
+    parallel_execution_report_with(r, s, intervals, threads, KernelChoice::Auto)
+}
+
+/// As [`parallel_execution_report`], with an explicit kernel policy.
+pub fn parallel_execution_report_with(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+    choice: KernelChoice,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(r, s, intervals, threads, choice)?;
     let zero_io = IoSection {
         random_reads: 0,
         seq_reads: 0,
@@ -295,6 +377,12 @@ pub fn parallel_execution_report(
         deviation: None,
         workers: detail.workers,
         skew: Some(skew),
+        kernel: Some(KernelSection {
+            hash_partitions: detail.kernel.hash_partitions,
+            sweep_partitions: detail.kernel.sweep_partitions,
+            sweep_comparisons: detail.kernel.sweep_comparisons,
+            batches_flushed: detail.kernel.batches_flushed,
+        }),
         faults: None,
     };
     Ok((rel, report))
@@ -404,6 +492,50 @@ mod tests {
     }
 
     #[test]
+    fn forced_kernels_agree_with_auto_and_the_oracle() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let want = natural_join(&r, &s).unwrap();
+        for choice in [KernelChoice::Auto, KernelChoice::Hash, KernelChoice::Sweep] {
+            for threads in [1usize, 3] {
+                let got =
+                    parallel_partition_join_with(&r, &s, &parts, threads, choice).unwrap();
+                assert!(got.multiset_eq(&want), "choice = {choice:?}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_kernel_section_accounts_every_partition() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        for (choice, all_hash, all_sweep) in [
+            (KernelChoice::Hash, true, false),
+            (KernelChoice::Sweep, false, true),
+            (KernelChoice::Auto, false, false),
+        ] {
+            let (_, er) =
+                parallel_execution_report_with(&r, &s, &parts, 2, choice).unwrap();
+            let k = er.kernel.expect("parallel report has a kernel section");
+            // Empty partitions are skipped without invoking a kernel, so
+            // the split covers at most every partition.
+            assert!(k.hash_partitions + k.sweep_partitions <= 6);
+            // One batch hand-over per kernel invocation, never per tuple.
+            assert_eq!(k.batches_flushed, k.hash_partitions + k.sweep_partitions);
+            if all_hash {
+                assert_eq!(k.sweep_partitions, 0);
+                assert_eq!(k.sweep_comparisons, 0);
+            }
+            if all_sweep {
+                assert_eq!(k.hash_partitions, 0);
+                assert_eq!(er.counter("cpu_probes"), Some(0));
+            }
+        }
+    }
+
+    #[test]
     fn output_is_deterministic() {
         let r = rel("b", 150, 5);
         let s = rel("c", 150, 5);
@@ -463,7 +595,11 @@ mod tests {
         assert_eq!(er.result.tuples, got.len() as u64);
         assert_eq!(er.counter("num_partitions"), Some(6));
         assert_eq!(er.counter("workers"), Some(er.workers.len() as i64));
-        assert!(er.counter("cpu_probes").unwrap() > 0);
+        // This workload is duplicate-heavy (6 keys), so the auto gate
+        // routes its partitions to the sweep kernel: the work shows up as
+        // sweep comparisons, not BlockTable probes.
+        let k = er.kernel.expect("kernel section");
+        assert!(er.counter("cpu_probes").unwrap() > 0 || k.sweep_comparisons > 0);
         let sk = er.skew.expect("parallel report has a skew section");
         assert_eq!(sk.partitions, 6);
         assert!(sk.est_cost_max <= sk.est_cost_total);

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use vtjoin_core::{Relation, Schema, Tuple, Value};
+use vtjoin_core::{Relation, Schema, Tuple};
 use vtjoin_storage::{CostRatio, HeapFile, IoStats, PageBuf, StorageError};
 
 /// Crate-wide result alias.
@@ -162,15 +162,25 @@ impl JoinSpec {
         &self.out_schema
     }
 
-    /// Join key of an outer tuple, materialized. The hash-table paths use
-    /// [`JoinSpec::outer_key_hash`] instead, which does not allocate.
-    pub fn outer_key(&self, x: &Tuple) -> Vec<Value> {
-        x.key_at(&self.shared_r)
+    /// Compares the join keys of an outer and an inner tuple index-wise,
+    /// borrowing both sides — no key `Vec<Value>` is ever materialized.
+    /// Callers first filter by the precomputed 64-bit hashes
+    /// ([`JoinSpec::outer_key_hash`] / [`JoinSpec::inner_key_hash`]); this
+    /// rejects the rare hash-equal, key-unequal collisions.
+    #[inline]
+    pub fn keys_equal(&self, x: &Tuple, y: &Tuple) -> bool {
+        self.shared_r.iter().zip(&self.shared_s).all(|(&i, &j)| x.value(i) == y.value(j))
     }
 
-    /// Join key of an inner tuple, materialized; see [`JoinSpec::outer_key`].
-    pub fn inner_key(&self, y: &Tuple) -> Vec<Value> {
-        y.key_at(&self.shared_s)
+    /// Splices the result tuple for a known match, stamped with `common`
+    /// (the maximal overlap the caller already computed).
+    pub fn splice(&self, x: &Tuple, y: &Tuple, common: vtjoin_core::Interval) -> Tuple {
+        let mut vals = Vec::with_capacity(self.out_schema.arity());
+        vals.extend_from_slice(x.values());
+        for &j in &self.s_extra {
+            vals.push(y.value(j).clone());
+        }
+        Tuple::new(vals, common)
     }
 
     /// Hash of the outer tuple's join key, computed directly off the tuple
@@ -190,16 +200,11 @@ impl JoinSpec {
     /// Tests the full §2 join condition and, on success, splices the result
     /// tuple stamped with the maximal overlap.
     pub fn try_match(&self, x: &Tuple, y: &Tuple) -> Option<Tuple> {
-        if self.shared_r.iter().zip(&self.shared_s).any(|(&i, &j)| x.value(i) != y.value(j)) {
+        if !self.keys_equal(x, y) {
             return None;
         }
         let common = x.valid().overlap(y.valid())?;
-        let mut vals = Vec::with_capacity(self.out_schema.arity());
-        vals.extend_from_slice(x.values());
-        for &j in &self.s_extra {
-            vals.push(y.value(j).clone());
-        }
-        Some(Tuple::new(vals, common))
+        Some(self.splice(x, y, common))
     }
 }
 
@@ -375,6 +380,14 @@ impl ResultSink {
         }
     }
 
+    /// Drains a kernel's [`crate::kernel::OutputBatch`] into the sink in
+    /// one hand-over per partition, keeping the batch's allocation alive
+    /// for the next partition. Page accounting is identical to pushing
+    /// each tuple individually.
+    pub fn absorb(&mut self, batch: &mut crate::kernel::OutputBatch) {
+        batch.drain_each(|t| self.push(t));
+    }
+
     /// Number of result tuples so far.
     pub fn tuples(&self) -> u64 {
         self.tuples
@@ -531,7 +544,7 @@ impl PhaseTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vtjoin_core::{AttrDef, AttrType, Interval};
+    use vtjoin_core::{AttrDef, AttrType, Interval, Value};
     use vtjoin_storage::SharedDisk;
 
     fn r_schema() -> Arc<Schema> {

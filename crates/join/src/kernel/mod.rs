@@ -1,0 +1,328 @@
+//! Intra-partition join kernels and the cost-model gate that picks
+//! between them.
+//!
+//! A *kernel* joins one partition's two in-memory tuple sets. Two are
+//! provided:
+//!
+//! * [`hash_join`] — the PR-2 path: build a [`BlockTable`] over the outer
+//!   bucket, probe every inner tuple through it. Each probe rescans the
+//!   whole hash-equal bucket and rejects most candidates on the temporal
+//!   predicate, so its cost grows with duplicates-per-key.
+//! * [`sweep_join`] — the forward-sweep interval join (Piatov et al.):
+//!   endpoint-sorted merge sweep with gapless active lists, where every
+//!   hash-equal candidate inspected is already known to overlap in time.
+//!
+//! Both emit into a reusable [`OutputBatch`] and filter by the
+//! canonical-partition rule (emit iff the overlap *ends* inside the
+//! partition's interval), so they produce the same result multiset — the
+//! `kernel_equivalence` proptest pins this against a nested-loop oracle.
+//!
+//! [`choose_kernel`] gates per partition on estimated duplicates-per-key:
+//! a strided sample of join-key hashes estimates how many tuples share a
+//! key, and the sweep takes over above
+//! [`SWEEP_DUP_THRESHOLD_X100`] (4 duplicates per key). The CLI's
+//! `--kernel hash|sweep|auto` forces either side of the gate.
+
+pub mod batch;
+pub mod sweep;
+
+pub use batch::OutputBatch;
+pub use sweep::{sweep_join, SweepScratch, SweepStats};
+
+use crate::common::{BlockTable, JoinSpec};
+use vtjoin_core::{Interval, Tuple};
+
+/// Which kernel actually ran on a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// BlockTable build + probe.
+    Hash,
+    /// Forward-sweep with active lists.
+    Sweep,
+}
+
+impl KernelKind {
+    /// Stable lower-case name, as rendered in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelKind::Hash => "hash",
+            KernelKind::Sweep => "sweep",
+        }
+    }
+}
+
+/// Operator-level kernel policy: force one kernel, or let the per-
+/// partition cost gate decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Gate per partition on estimated duplicates-per-key (the default).
+    #[default]
+    Auto,
+    /// Force [`KernelKind::Hash`] everywhere.
+    Hash,
+    /// Force [`KernelKind::Sweep`] everywhere.
+    Sweep,
+}
+
+impl KernelChoice {
+    /// Parses a CLI value (`auto` | `hash` | `sweep`).
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        match s {
+            "auto" => Some(KernelChoice::Auto),
+            "hash" => Some(KernelChoice::Hash),
+            "sweep" => Some(KernelChoice::Sweep),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (CLI round-trip).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelChoice::Auto => "auto",
+            KernelChoice::Hash => "hash",
+            KernelChoice::Sweep => "sweep",
+        }
+    }
+}
+
+/// Gate threshold, duplicates-per-key ×100: the sweep takes over when a
+/// key is shared by more than 4 tuples on average. Below that, bucket
+/// rescans are short and the hash kernel's lack of a sort wins; above it,
+/// the sweep's "only inspect currently-open tuples" property dominates.
+pub const SWEEP_DUP_THRESHOLD_X100: u64 = 400;
+
+/// Upper bound on sampled hashes per side in the gate estimator.
+const GATE_SAMPLE_PER_SIDE: usize = 1024;
+
+/// Estimates duplicates-per-key (×100, fixed point) over both sides of a
+/// partition from a strided sample of join-key hashes.
+///
+/// Two regimes: when the sample's distinct count is well below the sample
+/// size, the key space is *saturated* — the sample has seen (nearly) all
+/// keys, so dups ≈ `total / distinct` extrapolated over the full
+/// partition. Otherwise keys are mostly unique in the sample and the
+/// in-sample ratio `sample / distinct` (≈ 1.0) is the honest estimate —
+/// extrapolating would fabricate duplication a small sample cannot see.
+pub fn estimate_dups_per_key_x100(spec: &JoinSpec, r: &[&Tuple], s: &[&Tuple]) -> u64 {
+    let total = r.len() + s.len();
+    if total == 0 {
+        return 100;
+    }
+    let mut hashes: Vec<u64> = Vec::with_capacity(GATE_SAMPLE_PER_SIDE * 2);
+    let r_stride = r.len().div_ceil(GATE_SAMPLE_PER_SIDE).max(1);
+    hashes.extend(r.iter().step_by(r_stride).map(|x| spec.outer_key_hash(x)));
+    let s_stride = s.len().div_ceil(GATE_SAMPLE_PER_SIDE).max(1);
+    hashes.extend(s.iter().step_by(s_stride).map(|y| spec.inner_key_hash(y)));
+    let m = hashes.len();
+    hashes.sort_unstable();
+    hashes.dedup();
+    let distinct = hashes.len().max(1);
+    if distinct < m * 4 / 5 {
+        (100 * total as u64) / distinct as u64
+    } else {
+        (100 * m as u64) / distinct as u64
+    }
+}
+
+/// Resolves the kernel for one partition. Deterministic: depends only on
+/// the partition's data (never on thread count or scheduling), so
+/// parallel output stays identical across worker counts.
+pub fn choose_kernel(
+    choice: KernelChoice,
+    spec: &JoinSpec,
+    r: &[&Tuple],
+    s: &[&Tuple],
+) -> KernelKind {
+    match choice {
+        KernelChoice::Hash => KernelKind::Hash,
+        KernelChoice::Sweep => KernelKind::Sweep,
+        KernelChoice::Auto => {
+            if estimate_dups_per_key_x100(spec, r, s) > SWEEP_DUP_THRESHOLD_X100 {
+                KernelKind::Sweep
+            } else {
+                KernelKind::Hash
+            }
+        }
+    }
+}
+
+/// What one hash-kernel invocation measured (mirrors [`SweepStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashStats {
+    /// Inner tuples probed.
+    pub probes: u64,
+    /// Hash-equal candidate pairs tested (most fail the temporal
+    /// predicate on duplicate-heavy data — the sweep's advantage).
+    pub match_tests: u64,
+    /// Result tuples emitted.
+    pub pairs_emitted: u64,
+}
+
+/// Joins `r ⋈ᵛ s` with the PR-2 hash kernel (BlockTable build + probe),
+/// emitting into `out` every match whose overlap ends inside
+/// `emit_within` — the same contract as [`sweep_join`], so the executor
+/// can swap kernels per partition.
+pub fn hash_join(
+    spec: &JoinSpec,
+    r: &[&Tuple],
+    s: &[&Tuple],
+    emit_within: Interval,
+    out: &mut OutputBatch,
+) -> HashStats {
+    let table = BlockTable::build_from(spec, r.iter().copied());
+    let mut pairs = 0u64;
+    for y in s {
+        table.probe_each(y, |z| {
+            if emit_within.contains_chronon(z.valid().end()) {
+                out.emit(z);
+                pairs += 1;
+            }
+        });
+    }
+    let (probes, match_tests) = table.cpu_counters();
+    HashStats { probes, match_tests, pairs_emitted: pairs }
+}
+
+/// Run-level kernel accounting, folded across partitions and workers and
+/// surfaced as the obs schema-v4 `kernel` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Partitions joined by the hash kernel.
+    pub hash_partitions: u64,
+    /// Partitions joined by the sweep kernel.
+    pub sweep_partitions: u64,
+    /// Hash-equal candidates the sweep inspected (all time-overlapping).
+    pub sweep_comparisons: u64,
+    /// Output batches handed over (one per non-trivial partition).
+    pub batches_flushed: u64,
+}
+
+impl KernelCounters {
+    /// Folds another worker's counters in.
+    pub fn merge(&mut self, other: KernelCounters) {
+        self.hash_partitions += other.hash_partitions;
+        self.sweep_partitions += other.sweep_partitions;
+        self.sweep_comparisons += other.sweep_comparisons;
+        self.batches_flushed += other.batches_flushed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vtjoin_core::{AttrDef, AttrType, Relation, Schema, Value};
+
+    fn pair(keys: i64, n: i64) -> (Relation, Relation) {
+        let rs = Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("b", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared();
+        let ss = Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new("c", AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared();
+        let mk = |schema: Arc<Schema>| {
+            let tuples = (0..n)
+                .map(|i| {
+                    Tuple::new(
+                        vec![Value::Int(i % keys), Value::Int(i)],
+                        Interval::from_raw(i, i + 10).unwrap(),
+                    )
+                })
+                .collect();
+            Relation::from_parts_unchecked(schema, tuples)
+        };
+        (mk(rs), mk(ss))
+    }
+
+    #[test]
+    fn gate_picks_sweep_on_duplicate_heavy_and_hash_on_unique() {
+        let (r, s) = pair(4, 512);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let rr: Vec<&Tuple> = r.iter().collect();
+        let sr: Vec<&Tuple> = s.iter().collect();
+        assert!(estimate_dups_per_key_x100(&spec, &rr, &sr) > SWEEP_DUP_THRESHOLD_X100);
+        assert_eq!(choose_kernel(KernelChoice::Auto, &spec, &rr, &sr), KernelKind::Sweep);
+
+        let (ru, su) = pair(100_000, 512);
+        let spec_u = JoinSpec::natural(ru.schema(), su.schema()).unwrap();
+        let rru: Vec<&Tuple> = ru.iter().collect();
+        let sru: Vec<&Tuple> = su.iter().collect();
+        assert!(estimate_dups_per_key_x100(&spec_u, &rru, &sru) <= SWEEP_DUP_THRESHOLD_X100);
+        assert_eq!(choose_kernel(KernelChoice::Auto, &spec_u, &rru, &sru), KernelKind::Hash);
+    }
+
+    #[test]
+    fn forced_choices_override_the_gate() {
+        let (r, s) = pair(4, 64);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let rr: Vec<&Tuple> = r.iter().collect();
+        let sr: Vec<&Tuple> = s.iter().collect();
+        assert_eq!(choose_kernel(KernelChoice::Hash, &spec, &rr, &sr), KernelKind::Hash);
+        assert_eq!(choose_kernel(KernelChoice::Sweep, &spec, &rr, &sr), KernelKind::Sweep);
+    }
+
+    #[test]
+    fn choice_parses_and_round_trips() {
+        for s in ["auto", "hash", "sweep"] {
+            assert_eq!(KernelChoice::parse(s).unwrap().as_str(), s);
+        }
+        assert_eq!(KernelChoice::parse("nested-loop"), None);
+        assert_eq!(KernelChoice::default(), KernelChoice::Auto);
+    }
+
+    #[test]
+    fn hash_and_sweep_kernels_agree() {
+        let (r, s) = pair(8, 200);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let rr: Vec<&Tuple> = r.iter().collect();
+        let sr: Vec<&Tuple> = s.iter().collect();
+
+        let mut out_h = OutputBatch::new();
+        let hs = hash_join(&spec, &rr, &sr, Interval::ALL, &mut out_h);
+        let mut out_s = OutputBatch::new();
+        let mut scratch = SweepScratch::default();
+        let ss = sweep_join(&spec, &rr, &sr, Interval::ALL, &mut scratch, &mut out_s);
+
+        assert_eq!(hs.pairs_emitted, ss.pairs_emitted);
+        let schema = Arc::clone(spec.out_schema());
+        let rel_h = Relation::from_parts_unchecked(Arc::clone(&schema), out_h.take());
+        let rel_s = Relation::from_parts_unchecked(schema, out_s.take());
+        assert!(rel_h.multiset_eq(&rel_s));
+        // Every sweep comparison overlaps in time; hash match tests include
+        // temporal rejects, so the sweep never inspects more candidates.
+        assert!(ss.comparisons <= hs.match_tests);
+    }
+
+    #[test]
+    fn empty_partition_estimates_one_dup_per_key() {
+        let (r, s) = pair(4, 8);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        assert_eq!(estimate_dups_per_key_x100(&spec, &[], &[]), 100);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = KernelCounters {
+            hash_partitions: 1,
+            sweep_partitions: 2,
+            sweep_comparisons: 10,
+            batches_flushed: 3,
+        };
+        a.merge(KernelCounters {
+            hash_partitions: 4,
+            sweep_partitions: 1,
+            sweep_comparisons: 5,
+            batches_flushed: 2,
+        });
+        assert_eq!(a.hash_partitions, 5);
+        assert_eq!(a.sweep_partitions, 3);
+        assert_eq!(a.sweep_comparisons, 15);
+        assert_eq!(a.batches_flushed, 5);
+    }
+}

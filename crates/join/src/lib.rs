@@ -32,6 +32,7 @@
 
 pub mod common;
 pub mod cost;
+pub mod kernel;
 pub mod nested_loop;
 pub mod partition;
 pub mod report;
@@ -40,6 +41,7 @@ pub mod sort_merge;
 pub mod time_index;
 
 pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseStats, Result};
+pub use kernel::{KernelChoice, KernelCounters, KernelKind, OutputBatch, SweepScratch};
 pub use report::{execution_report, partition_execution_report};
 pub use nested_loop::NestedLoopJoin;
 pub use partition::{PartitionJoin, ReplicatedPartitionJoin};

@@ -29,6 +29,7 @@
 
 use super::intervals::is_partitioning;
 use crate::common::{BlockTable, CpuCounters, JoinError, JoinSpec, Result, ResultSink};
+use crate::kernel::OutputBatch;
 use vtjoin_core::{Interval, Tuple};
 use vtjoin_storage::{codec, FileHandle, HeapFile, PageBuf};
 
@@ -69,6 +70,11 @@ pub struct ExecNotes {
     pub overflow_chunks: i64,
     /// Long-lived outer tuples retained across partition boundaries.
     pub retained_outer_tuples: i64,
+    /// Hash-kernel block tables built (one per outer chunk).
+    pub hash_tables: i64,
+    /// Output batches handed to the sink (one per result-producing
+    /// partition, instead of one sink push per tuple).
+    pub batches_flushed: i64,
     /// Main-memory operation counts (§5 future-work extension).
     pub cpu: CpuCounters,
 }
@@ -213,6 +219,10 @@ pub fn join_partitions(
 
     let mut notes = ExecNotes::default();
     let mut outer_part: Vec<Tuple> = Vec::new();
+    // Matches accumulate here and reach the sink once per partition; the
+    // chunk's allocation is reused for the whole run (`absorb` drains
+    // without freeing).
+    let mut batch = OutputBatch::new();
     // Ping-pong cache stores: `old` was filled while joining p_{i+1}.
     let mut old_cache = CacheStore::new(
         &disk,
@@ -244,16 +254,24 @@ pub fn join_partitions(
         for (ci, range) in chunks.iter().enumerate() {
             let migrate = ci == 0;
             let table = BlockTable::build(spec, &outer_part[range.clone()]);
-            let emit = |z: &Tuple| p_i.contains_chronon(z.valid().end());
+            notes.hash_tables += 1;
+            let out = &mut batch;
+            let mut probe = |table: &BlockTable<'_>, y: &Tuple| {
+                table.probe_each(y, |z| {
+                    if p_i.contains_chronon(z.valid().end()) {
+                        out.emit(z);
+                    }
+                });
+            };
 
             // 2. The in-memory cache page from the previous iteration.
             for y in &old_cache.current {
-                table.probe(y, sink, emit);
+                probe(&table, y);
             }
             // 2b. Reserved in-memory cache pages (extension; free I/O).
             for page in &old_cache.mem_pages {
                 for y in page {
-                    table.probe(y, sink, emit);
+                    probe(&table, y);
                 }
             }
             // 3. Flushed cache pages (charged reads).
@@ -261,7 +279,7 @@ pub fn join_partitions(
                 let tuples = old_cache.read_disk_page(cp)?;
                 notes.cache_page_reads += 1;
                 for y in &tuples {
-                    table.probe(y, sink, emit);
+                    probe(&table, y);
                 }
                 if migrate {
                     if let Some(prev) = p_prev {
@@ -277,7 +295,7 @@ pub fn join_partitions(
             for sp in 0..s_parts[i].pages() {
                 let tuples = s_parts[i].read_page(sp)?;
                 for y in &tuples {
-                    table.probe(y, sink, emit);
+                    probe(&table, y);
                 }
                 if migrate {
                     if let Some(prev) = p_prev {
@@ -290,6 +308,12 @@ pub fn join_partitions(
                 }
             }
             notes.cpu.absorb(&table);
+        }
+
+        // One batched hand-over per result-producing partition.
+        if !batch.is_empty() {
+            sink.absorb(&mut batch);
+            notes.batches_flushed += 1;
         }
 
         // Migrate the previous in-memory cache contents (Figure 9 purges

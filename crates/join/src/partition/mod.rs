@@ -167,6 +167,11 @@ impl PartitionJoin {
                 ("planner_degraded".into(), degraded),
                 ("cpu_probes".into(), exec_notes.cpu.probes as i64),
                 ("cpu_match_tests".into(), exec_notes.cpu.match_tests as i64),
+                // Lifted into the schema-v4 `kernel` section by
+                // `execution_report`; the serial executor always joins with
+                // the hash kernel (its inner side streams page-at-a-time).
+                ("kernel_hash_partitions".into(), exec_notes.hash_tables),
+                ("kernel_batches_flushed".into(), exec_notes.batches_flushed),
             ],
             faults,
         };

@@ -13,7 +13,7 @@ use crate::partition::sampling::sample_cost;
 use crate::partition::PlannerOutput;
 use vtjoin_obs::{
     CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport, FaultsSection,
-    IoSection, PhaseSection, PlanSection, PredictedCost, ResultSection,
+    IoSection, KernelSection, PhaseSection, PlanSection, PredictedCost, ResultSection,
 };
 
 /// Converts the join layer's fault accounting into the obs schema section.
@@ -31,10 +31,30 @@ fn faults_section(f: &FaultSummary) -> FaultsSection {
     }
 }
 
+/// Lifts the `kernel_*` diagnostic notes an executor recorded into the
+/// schema-v4 `kernel` section. Returns `None` (and leaves the notes for
+/// the counter list) when the run recorded no kernel accounting, so
+/// pre-kernel reports keep their exact shape.
+fn kernel_section(report: &JoinReport) -> Option<KernelSection> {
+    let get = |name: &str| report.note(name).map(|v| v as u64);
+    let hash_partitions = get("kernel_hash_partitions");
+    let sweep_partitions = get("kernel_sweep_partitions");
+    if hash_partitions.is_none() && sweep_partitions.is_none() {
+        return None;
+    }
+    Some(KernelSection {
+        hash_partitions: hash_partitions.unwrap_or(0),
+        sweep_partitions: sweep_partitions.unwrap_or(0),
+        sweep_comparisons: get("kernel_sweep_comparisons").unwrap_or(0),
+        batches_flushed: get("kernel_batches_flushed").unwrap_or(0),
+    })
+}
+
 /// Converts a finished [`JoinReport`] into an [`ExecutionReport`] with no
 /// planner sections — the form every algorithm can produce. Phases carry
 /// their measured I/O (priced at `cfg.ratio`) and wall-clock; notes become
-/// named counters.
+/// named counters (`kernel_*` notes are additionally lifted into the
+/// schema-v4 `kernel` section).
 pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionReport {
     ExecutionReport {
         algorithm: report.algorithm.to_owned(),
@@ -65,6 +85,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         deviation: None,
         workers: Vec::new(),
         skew: None,
+        kernel: kernel_section(report),
         faults: report.faults.as_ref().map(faults_section),
     }
 }

@@ -30,6 +30,6 @@ pub mod report;
 pub use json::{Json, JsonError};
 pub use report::{
     BufferPoolSection, CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport,
-    FaultsSection, IoSection, PhaseSection, PlanSection, PredictedCost, ReportError, ResultSection,
-    SkewSection, WorkerSection, SCHEMA_VERSION,
+    FaultsSection, IoSection, KernelSection, PhaseSection, PlanSection, PredictedCost, ReportError,
+    ResultSection, SkewSection, WorkerSection, SCHEMA_VERSION,
 };

@@ -13,12 +13,18 @@ use crate::json::{obj, Json, JsonError};
 use std::fmt;
 use vtjoin_storage::{CostRatio, IoStats};
 
-/// Version stamped into every serialized report as `schema_version`;
-/// [`ExecutionReport::from_json`] rejects other versions. Version 2 added
-/// `workers[].busy_micros` and the optional `skew` section. Version 3
-/// added the optional `faults` section (fault-injection accounting and
-/// graceful-degradation outcome).
-pub const SCHEMA_VERSION: i64 = 3;
+/// Version stamped into every serialized report as `schema_version`.
+/// Version 2 added `workers[].busy_micros` and the optional `skew`
+/// section. Version 3 added the optional `faults` section
+/// (fault-injection accounting and graceful-degradation outcome).
+/// Version 4 added the optional `kernel` section (per-kernel partition
+/// counts, sweep comparisons, batches flushed).
+///
+/// Every post-v1 addition is an *optional* section, so
+/// [`ExecutionReport::from_json`] accepts any version from 1 up to the
+/// current one — older (kernel-less, fault-less…) reports still parse —
+/// and rejects only versions newer than it knows.
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -400,6 +406,49 @@ impl FaultsSection {
     }
 }
 
+/// Per-kernel accounting for executions that pick an intra-partition
+/// join kernel per partition (the `kernel` schema section, new in
+/// version 4). The gate chooses the sweep kernel on duplicate-heavy
+/// partitions and the hash kernel elsewhere; both emit through batched
+/// output chunks handed over once per partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelSection {
+    /// Partitions joined by the hash kernel (BlockTable build + probe).
+    pub hash_partitions: u64,
+    /// Partitions joined by the forward-sweep kernel.
+    pub sweep_partitions: u64,
+    /// Hash-equal candidate pairs the sweep inspected. Every one already
+    /// overlaps in time — compare with the `cpu_match_tests` counter,
+    /// which includes the hash kernel's temporal rejects.
+    pub sweep_comparisons: u64,
+    /// Output batches spliced into the result (one per non-empty
+    /// partition, instead of one push per tuple).
+    pub batches_flushed: u64,
+}
+
+impl KernelSection {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("hash_partitions", Json::Int(self.hash_partitions as i64)),
+            ("sweep_partitions", Json::Int(self.sweep_partitions as i64)),
+            (
+                "sweep_comparisons",
+                Json::Int(self.sweep_comparisons as i64),
+            ),
+            ("batches_flushed", Json::Int(self.batches_flushed as i64)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<KernelSection, ReportError> {
+        Ok(KernelSection {
+            hash_partitions: req_u64(j, "hash_partitions")?,
+            sweep_partitions: req_u64(j, "sweep_partitions")?,
+            sweep_comparisons: req_u64(j, "sweep_comparisons")?,
+            batches_flushed: req_u64(j, "batches_flushed")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -426,6 +475,9 @@ pub struct ExecutionReport {
     pub workers: Vec<WorkerSection>,
     /// Partition-skew / utilization summary of parallel executions.
     pub skew: Option<SkewSection>,
+    /// Per-kernel accounting, when the execution gated between
+    /// intra-partition join kernels.
+    pub kernel: Option<KernelSection>,
     /// Fault-injection accounting, when the run executed under injected
     /// faults (or observed any fault-path activity).
     pub faults: Option<FaultsSection>,
@@ -613,6 +665,9 @@ impl ExecutionReport {
                 ]),
             ));
         }
+        if let Some(k) = self.kernel {
+            pairs.push(("kernel", k.to_json()));
+        }
         if let Some(fs) = self.faults {
             pairs.push(("faults", fs.to_json()));
         }
@@ -633,9 +688,9 @@ impl ExecutionReport {
     /// Decodes a report from a parsed JSON value.
     pub fn from_json(j: &Json) -> Result<ExecutionReport, ReportError> {
         let version = req_i64(j, "schema_version")?;
-        if version != SCHEMA_VERSION {
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(ReportError::Schema(format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {version} (expected 1..={SCHEMA_VERSION})"
             )));
         }
         let config = j.get("config").ok_or_else(|| missing("config"))?;
@@ -739,6 +794,10 @@ impl ExecutionReport {
             }),
             None => None,
         };
+        let kernel = match j.get("kernel") {
+            Some(k) => Some(KernelSection::from_json(k)?),
+            None => None,
+        };
         let faults = match j.get("faults") {
             Some(fs) => Some(FaultsSection::from_json(fs)?),
             None => None,
@@ -762,6 +821,7 @@ impl ExecutionReport {
             deviation,
             workers,
             skew,
+            kernel,
             faults,
         })
     }
@@ -957,6 +1017,24 @@ impl ExecutionReport {
             );
         }
 
+        if let Some(k) = self.kernel {
+            p(&mut out, "\n  kernel:");
+            p(
+                &mut out,
+                &format!(
+                    "    partitions: {} hash / {} sweep",
+                    k.hash_partitions, k.sweep_partitions
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    sweep comparisons: {} (all time-overlapping), {} output batches flushed",
+                    k.sweep_comparisons, k.batches_flushed
+                ),
+            );
+        }
+
         if let Some(fs) = self.faults {
             p(&mut out, "\n  faults:");
             p(
@@ -1144,6 +1222,12 @@ mod tests {
                 busy_micros_max: 600,
                 utilization_percent: 92,
             }),
+            kernel: Some(KernelSection {
+                hash_partitions: 5,
+                sweep_partitions: 12,
+                sweep_comparisons: 4321,
+                batches_flushed: 17,
+            }),
             faults: Some(FaultsSection {
                 injected_read_faults: 4,
                 injected_write_faults: 2,
@@ -1174,22 +1258,61 @@ mod tests {
         report.buffer_pool = None;
         report.workers.clear();
         report.skew = None;
+        report.kernel = None;
         report.faults = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
+        assert!(!report.to_json_string().contains("\"kernel\":"));
         assert!(!report.to_json_string().contains("\"faults\":"));
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"schema_version\": 99",
             1,
         );
         assert!(matches!(
             ExecutionReport::from_json_str(&text),
+            Err(ReportError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn older_versions_still_parse() {
+        // A v3 (kernel-less) and a v1 (sections-less) document must both
+        // decode: every post-v1 addition is an optional section.
+        let mut report = sample_report();
+        report.kernel = None;
+        let v3 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 4", "\"schema_version\": 3", 1);
+        let back = ExecutionReport::from_json_str(&v3).unwrap();
+        assert_eq!(back.algorithm, report.algorithm);
+        assert_eq!(back.kernel, None);
+        assert_eq!(back.faults, report.faults);
+
+        report.workers.clear();
+        report.skew = None;
+        report.faults = None;
+        report.plan = None;
+        report.deviation = None;
+        report.buffer_pool = None;
+        let v1 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 4", "\"schema_version\": 1", 1);
+        let back = ExecutionReport::from_json_str(&v1).unwrap();
+        assert_eq!(back.result, report.result);
+        assert!(matches!(
+            ExecutionReport::from_json_str(&v1.replacen(
+                "\"schema_version\": 1",
+                "\"schema_version\": 0",
+                1
+            )),
             Err(ReportError::Schema(_))
         ));
     }
@@ -1232,6 +1355,9 @@ mod tests {
             "busy µs",
             "skew:",
             "utilization 92%",
+            "kernel:",
+            "partitions: 5 hash / 12 sweep",
+            "sweep comparisons: 4321 (all time-overlapping), 17 output batches flushed",
             "faults:",
             "injected: 4 read / 2 write, 1 torn writes, 1 checksum failures",
             "retries: 5 (5 recovered, 1 exhausted, 9 backoff steps)",

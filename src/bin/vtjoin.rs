@@ -60,8 +60,8 @@ fn usage() -> String {
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
      [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] [--retries N] \
      [--explain] [--stats-json FILE] [-o FILE]\n  \
-     vtjoin join OUTER INNER --threads N [--partitions N] [--explain] \
-     [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
+     vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
+     [--explain] [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]"
         .to_owned()
@@ -287,6 +287,11 @@ fn join_parallel(
     threads: usize,
 ) -> Result<(), AnyError> {
     let partitions = flags.get_u64("partitions", (threads as u64 * 4).max(16))?;
+    // Kernel policy: `auto` gates per partition on estimated
+    // duplicates-per-key; `hash`/`sweep` force one kernel everywhere.
+    let kernel_name = flags.get("kernel").unwrap_or("auto");
+    let kernel = vtjoin::join::KernelChoice::parse(kernel_name)
+        .ok_or_else(|| format!("--kernel must be auto|hash|sweep, got `{kernel_name}`"))?;
     let hull = match (r.lifespan(), s.lifespan()) {
         (Some(a), Some(b)) => {
             Interval::new(a.start().min(b.start()), a.end().max(b.end())).expect("ordered hull")
@@ -297,7 +302,7 @@ fn join_parallel(
     };
     let intervals = vtjoin::join::partition::intervals::equal_width(hull, partitions);
     let (result, exec_report) =
-        vtjoin::engine::parallel_execution_report(r, s, &intervals, threads)?;
+        vtjoin::engine::parallel_execution_report_with(r, s, &intervals, threads, kernel)?;
 
     if flags.get("explain").is_some() {
         print!("{}", exec_report.render_explain());
@@ -310,6 +315,12 @@ fn join_parallel(
         );
         for phase in &exec_report.phases {
             println!("  {:<12} {} µs", phase.name, phase.wall_micros);
+        }
+        if let Some(k) = exec_report.kernel {
+            println!(
+                "  kernel ({kernel_name}): {} hash / {} sweep partitions, {} batches",
+                k.hash_partitions, k.sweep_partitions, k.batches_flushed
+            );
         }
         if let Some(sk) = exec_report.skew {
             println!(
