@@ -6,15 +6,18 @@
 //! bench_kernel [--out FILE] [--tuples N] [--long-lived N] [--keys N]
 //!              [--lifespan N] [--max-duration N] [--partitions N]
 //!              [--threads N] [--repeats N] [--seed N] [--smoke]
-//! bench_kernel --validate FILE
+//! bench_kernel --validate FILE [--baseline FILE] [--tolerance-permille N]
 //! ```
 //!
 //! `--smoke` selects the tiny CI geometry; `--validate` checks an emitted
 //! document against the benchmark schema (including the byte-identity and
-//! equal-cardinality requirements) and exits non-zero on mismatch.
+//! equal-cardinality requirements) and exits non-zero on mismatch. With
+//! `--baseline`, deterministic counters must also stay within
+//! `--tolerance-permille` (default 0 = exact) of the checked-in baseline.
 
 use std::process::ExitCode;
 use vtjoin_bench::kernel::{run, smoke_config, validate, KernelBenchConfig};
+use vtjoin_bench::regress::validate_with_baseline;
 use vtjoin_obs::Json;
 
 fn main() -> ExitCode {
@@ -31,6 +34,9 @@ fn main() -> ExitCode {
 fn run_cli(args: &[String]) -> Result<(), String> {
     let mut cfg = KernelBenchConfig::default();
     let mut out = "BENCH_kernel.json".to_owned();
+    let mut validate_path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance_permille = 0_u64;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -40,15 +46,9 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg {
-            "--validate" => {
-                let path = value("--validate")?;
-                let text = std::fs::read_to_string(&path)
-                    .map_err(|e| format!("reading {path}: {e}"))?;
-                let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-                validate(&doc).map_err(|e| format!("{path}: {e}"))?;
-                println!("{path}: valid kernel benchmark document");
-                return Ok(());
-            }
+            "--validate" => validate_path = Some(value(arg)?),
+            "--baseline" => baseline = Some(value(arg)?),
+            "--tolerance-permille" => tolerance_permille = parse(arg, &value(arg)?)?,
             "--smoke" => {
                 cfg = smoke_config();
                 i += 1;
@@ -67,6 +67,18 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
+    }
+
+    if let Some(path) = validate_path {
+        validate_with_baseline(&path, baseline.as_deref(), tolerance_permille, validate)?;
+        match baseline {
+            Some(base) => println!("{path}: valid, no counter drift vs {base}"),
+            None => println!("{path}: valid kernel benchmark document"),
+        }
+        return Ok(());
+    }
+    if baseline.is_some() {
+        return Err("--baseline only applies with --validate".into());
     }
 
     let doc = run(&cfg);

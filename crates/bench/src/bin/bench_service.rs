@@ -1,22 +1,24 @@
-//! `bench_parallel` — wall-clock benchmark of the parallel partition
-//! executor, emitting the repo's perf baseline `BENCH_parallel.json`.
+//! `bench_service` — plan-cache reuse and concurrent throughput of the
+//! multi-query join service, emitting `BENCH_service.json`.
 //!
 //! ```text
-//! bench_parallel [--out FILE] [--tuples N] [--long-lived N] [--keys N]
-//!                [--lifespan N] [--partitions N] [--threads 1,2,4]
-//!                [--repeats N] [--seed N] [--no-baseline] [--smoke]
-//! bench_parallel --validate FILE [--baseline FILE] [--tolerance-permille N]
+//! bench_service [--out FILE] [--tuples N] [--long-lived N] [--keys N]
+//!               [--lifespan N] [--buffer PAGES] [--pool-pages N]
+//!               [--threads-per-query N] [--concurrency N] [--repeats N]
+//!               [--seed N] [--smoke]
+//! bench_service --validate FILE [--baseline FILE] [--tolerance-permille N]
 //! ```
 //!
 //! `--smoke` selects the tiny CI geometry; `--validate` checks an emitted
-//! document against the benchmark schema and exits non-zero on mismatch.
-//! With `--baseline`, the document's deterministic counters must also stay
-//! within `--tolerance-permille` (default 0 = exact) of the checked-in
-//! baseline — the CI bench-regression gate.
+//! document against the benchmark schema (exact hit/miss split, positive
+//! planner I/O savings, byte-identity vs the oracle join) and exits
+//! non-zero on mismatch. With `--baseline`, deterministic counters must
+//! also stay within `--tolerance-permille` (default 0 = exact) of the
+//! checked-in baseline.
 
 use std::process::ExitCode;
-use vtjoin_bench::parallel::{run, smoke_config, validate, ParallelBenchConfig};
 use vtjoin_bench::regress::validate_with_baseline;
+use vtjoin_bench::service::{run, smoke_config, validate, ServiceBenchConfig};
 use vtjoin_obs::Json;
 
 fn main() -> ExitCode {
@@ -31,8 +33,8 @@ fn main() -> ExitCode {
 }
 
 fn run_cli(args: &[String]) -> Result<(), String> {
-    let mut cfg = ParallelBenchConfig::default();
-    let mut out = "BENCH_parallel.json".to_owned();
+    let mut cfg = ServiceBenchConfig::default();
+    let mut out = "BENCH_service.json".to_owned();
     let mut validate_path: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance_permille = 0_u64;
@@ -53,28 +55,17 @@ fn run_cli(args: &[String]) -> Result<(), String> {
                 i += 1;
                 continue;
             }
-            "--no-baseline" => {
-                cfg.baseline_threads = None;
-                i += 1;
-                continue;
-            }
             "--out" => out = value(arg)?,
             "--tuples" => cfg.tuples = parse(arg, &value(arg)?)?,
             "--long-lived" => cfg.long_lived = parse(arg, &value(arg)?)?,
             "--keys" => cfg.keys = parse(arg, &value(arg)?)?,
             "--lifespan" => cfg.lifespan = parse(arg, &value(arg)?)?,
-            "--partitions" => cfg.partitions = parse(arg, &value(arg)?)?,
+            "--buffer" => cfg.buffer_pages = parse(arg, &value(arg)?)?,
+            "--pool-pages" => cfg.pool_pages = parse(arg, &value(arg)?)?,
+            "--threads-per-query" => cfg.threads_per_query = parse(arg, &value(arg)?)?,
+            "--concurrency" => cfg.concurrency = parse(arg, &value(arg)?)?,
             "--repeats" => cfg.repeats = parse(arg, &value(arg)?)?,
             "--seed" => cfg.seed = parse(arg, &value(arg)?)?,
-            "--threads" => {
-                cfg.threads = value(arg)?
-                    .split(',')
-                    .map(|t| t.trim().parse::<usize>().map_err(|_| format!("--threads: bad list entry `{t}`")))
-                    .collect::<Result<Vec<_>, _>>()?;
-                if cfg.threads.is_empty() {
-                    return Err("--threads: empty list".into());
-                }
-            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -84,7 +75,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         validate_with_baseline(&path, baseline.as_deref(), tolerance_permille, validate)?;
         match baseline {
             Some(base) => println!("{path}: valid, no counter drift vs {base}"),
-            None => println!("{path}: valid parallel benchmark document"),
+            None => println!("{path}: valid service benchmark document"),
         }
         return Ok(());
     }
@@ -96,23 +87,37 @@ fn run_cli(args: &[String]) -> Result<(), String> {
     validate(&doc).expect("emitted document must satisfy its own schema");
     std::fs::write(&out, doc.to_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
-    if let Some(base) = doc.get("baseline") {
-        let x100 = base.get("speedup_x100").and_then(Json::as_i64).unwrap_or(0);
-        println!(
-            "  vs naive executor at {} threads: {}.{:02}x",
-            base.get("threads").and_then(Json::as_i64).unwrap_or(0),
-            x100 / 100,
-            x100 % 100,
-        );
-    }
-    for run in doc.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
-        println!(
-            "  {} thread(s): {} µs, utilization {}%",
-            run.get("threads").and_then(Json::as_i64).unwrap_or(0),
-            run.get("wall_micros").and_then(Json::as_i64).unwrap_or(0),
-            run.get("utilization_percent").and_then(Json::as_i64).unwrap_or(0),
-        );
-    }
+    let get = |section: &str, key: &str| -> i64 {
+        doc.get(section).and_then(|s| s.get(key)).and_then(Json::as_i64).unwrap_or(0)
+    };
+    println!(
+        "  repeated: {} requests, {} cache hits, {} I/Os",
+        get("repeated", "requests"),
+        get("repeated", "cache_hits"),
+        get("repeated", "io_total"),
+    );
+    println!(
+        "  cold:     {} requests, all replanned, {} I/Os",
+        get("cold", "requests"),
+        get("cold", "io_total"),
+    );
+    println!(
+        "  planner I/O saved by cache: {}",
+        doc.get("planner_io_saved").and_then(Json::as_i64).unwrap_or(0),
+    );
+    let x100 = doc.get("speedup_x100_warm_vs_cold").and_then(Json::as_i64).unwrap_or(0);
+    println!("  warm vs cold: {}.{:02}x", x100 / 100, x100 % 100);
+    let x100 = doc
+        .get("concurrent")
+        .and_then(|c| c.get("speedup_x100_vs_serial"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    println!(
+        "  concurrent ({} submitters): {}.{:02}x vs serial",
+        get("workload", "concurrency"),
+        x100 / 100,
+        x100 % 100,
+    );
     Ok(())
 }
 

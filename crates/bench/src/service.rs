@@ -1,0 +1,368 @@
+//! Service benchmark: repeated-workload plan-cache reuse and concurrent
+//! throughput through the [`vtjoin_engine::JoinService`], emitting
+//! `BENCH_service.json`.
+//!
+//! Three measured sections:
+//!
+//! * **repeated** — the same table pair submitted `repeats` times with the
+//!   plan cache on: exactly 1 miss then `repeats − 1` hits, so every hit
+//!   skips the Kolmogorov sampling pass entirely;
+//! * **cold** — the identical submission sequence with the cache disabled
+//!   (every request replans). `planner_io_saved` is the difference between
+//!   the two runs' total simulated I/O: the sampling reads the cache made
+//!   unnecessary, an exact deterministic integer under a fixed seed;
+//! * **concurrent** — the same requests fanned across `concurrency`
+//!   submitter threads, admission-controlled by the shared page pool.
+//!
+//! Every response in every section is checked byte-identical (sorted
+//! storage-codec encoding) to the in-memory `natural_join` oracle;
+//! [`validate`] rejects documents where any check failed. Wall-clock and
+//! speedup fields are named so the regression comparator
+//! ([`crate::regress`]) skips them; everything else is deterministic.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+use vtjoin_core::algebra::natural_join;
+use vtjoin_core::Relation;
+use vtjoin_engine::{Database, JoinService, ServiceConfig};
+use vtjoin_join::JoinConfig;
+use vtjoin_obs::json::obj;
+use vtjoin_obs::Json;
+use vtjoin_workload::generate::{
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
+};
+
+/// Version stamped into `BENCH_service.json` as `schema_version`;
+/// [`validate`] rejects other versions.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// Workload configuration for the service benchmark.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchConfig {
+    /// Tuples per side.
+    pub tuples: u64,
+    /// Long-lived tuples per side.
+    pub long_lived: u64,
+    /// Distinct join-key values.
+    pub keys: u64,
+    /// Lifespan in chronons.
+    pub lifespan: i64,
+    /// Buffer pages per join (small enough that the outer relation does
+    /// **not** fit — otherwise the degenerate plan never samples and the
+    /// cache has nothing to save).
+    pub buffer_pages: u64,
+    /// Shared pool pages the admission controller manages.
+    pub pool_pages: u64,
+    /// Worker threads inside each admitted join.
+    pub threads_per_query: usize,
+    /// Submitter threads in the concurrent section.
+    pub concurrency: usize,
+    /// Requests per section.
+    pub repeats: u64,
+    /// Workload RNG seed (also the planner's sampling seed).
+    pub seed: u64,
+}
+
+impl Default for ServiceBenchConfig {
+    /// The acceptance geometry: 40k tuples/side over a small buffer, 8
+    /// repeats, 4 submitter threads. One worker thread per query keeps
+    /// the concurrent section from oversubscribing small CI machines —
+    /// its parallelism axis is the submitters, not the per-join workers.
+    fn default() -> ServiceBenchConfig {
+        ServiceBenchConfig {
+            tuples: 40_000,
+            long_lived: 2_000,
+            keys: 2_000,
+            lifespan: 100_000,
+            buffer_pages: 64,
+            pool_pages: 16_384,
+            threads_per_query: 1,
+            concurrency: 4,
+            repeats: 8,
+            seed: 0x1994_0214,
+        }
+    }
+}
+
+/// A tiny geometry for CI smoke runs — still large enough relative to
+/// `buffer_pages` that the planner samples (so cache hits save real I/O).
+pub fn smoke_config() -> ServiceBenchConfig {
+    ServiceBenchConfig {
+        tuples: 3_000,
+        long_lived: 200,
+        keys: 256,
+        lifespan: 10_000,
+        buffer_pages: 16,
+        pool_pages: 4_096,
+        threads_per_query: 1,
+        concurrency: 4,
+        repeats: 4,
+        seed: 0x1994_0214,
+    }
+}
+
+/// The benchmark's relation pair (uniform keys and start times, mixed
+/// durations — the paper's base workload shape).
+pub fn workload_pair(cfg: &ServiceBenchConfig) -> (Relation, Relation) {
+    let gen = |seed: u64, outer: bool| {
+        let g = GeneratorConfig {
+            tuples: cfg.tuples,
+            long_lived: cfg.long_lived,
+            lifespan: cfg.lifespan,
+            keys: cfg.keys,
+            key_dist: KeyDistribution::Uniform,
+            time_dist: TimeDistribution::Uniform,
+            duration_dist: DurationDistribution::UniformUpTo((cfg.lifespan / 64).max(1)),
+            pad_bytes: 0,
+            seed,
+        };
+        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        generate(schema, &g)
+    };
+    (gen(cfg.seed, true), gen(cfg.seed ^ 0xabcd, false))
+}
+
+/// The order-independent byte image of a result relation.
+fn sorted_encoding(rel: &Relation) -> Vec<Vec<u8>> {
+    let mut bytes: Vec<Vec<u8>> = rel.iter().map(vtjoin_storage::codec::encode).collect();
+    bytes.sort_unstable();
+    bytes
+}
+
+fn build_service(cfg: &ServiceBenchConfig, plan_cache: bool) -> JoinService {
+    let (r, s) = workload_pair(cfg);
+    let mut db = Database::new(1024);
+    db.create_table("r", &r).expect("bench table r");
+    db.create_table("s", &s).expect("bench table s");
+    let mut svc_cfg = ServiceConfig::new(
+        JoinConfig::with_buffer(cfg.buffer_pages).seed(cfg.seed),
+        cfg.pool_pages,
+    );
+    svc_cfg.threads_per_query = cfg.threads_per_query.max(1);
+    svc_cfg.max_queue = (cfg.concurrency as u64).max(1);
+    svc_cfg.plan_cache = plan_cache;
+    JoinService::new(db, svc_cfg)
+}
+
+/// Runs one serial section: `repeats` submissions of `r ⋈ s`, checking
+/// every response against the oracle encoding. Returns the section JSON
+/// and (total I/O, wall µs, all-identical flag).
+fn serial_section(
+    svc: &JoinService,
+    repeats: u64,
+    oracle: &[Vec<u8>],
+) -> (Json, u64, u64, bool) {
+    let mut identical = true;
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        let resp = svc.submit("r", "s").expect("bench submit failed");
+        identical &= sorted_encoding(&resp.result) == oracle;
+    }
+    let wall = t0.elapsed().as_micros() as u64;
+    let sec = svc.service_section();
+    let io = svc.execution_report().io.total_ios;
+    let json = obj(vec![
+        ("requests", Json::Int(sec.requests as i64)),
+        ("completed", Json::Int(sec.completed as i64)),
+        ("cache_hits", Json::Int(sec.cache_hits as i64)),
+        ("cache_misses", Json::Int(sec.cache_misses as i64)),
+        ("io_total", Json::Int(io as i64)),
+        ("wall_micros", Json::Int(wall as i64)),
+    ]);
+    (json, io, wall, identical)
+}
+
+/// Runs the benchmark and returns the `BENCH_service.json` document.
+pub fn run(cfg: &ServiceBenchConfig) -> Json {
+    let (r, s) = workload_pair(cfg);
+    let oracle = sorted_encoding(&natural_join(&r, &s).expect("oracle join"));
+    let result_tuples = oracle.len() as i64;
+
+    // Repeated workload, plan cache on: 1 miss, repeats − 1 hits. The
+    // first submission plans fresh; every later one reuses its boundaries
+    // (asserted structurally by `validate` on the emitted counters).
+    let warm_svc = build_service(cfg, true);
+    let (repeated, warm_io, warm_wall, ok) = serial_section(&warm_svc, cfg.repeats, &oracle);
+    let mut identical = ok;
+
+    // Cold ablation, cache off: every request replans and resamples.
+    let cold_svc = build_service(cfg, false);
+    let (cold, cold_io, cold_wall, ok) = serial_section(&cold_svc, cfg.repeats, &oracle);
+    identical &= ok;
+
+    // Concurrent section, cache on: the same request volume fanned over
+    // `concurrency` submitter threads against the shared page pool.
+    let conc_svc = build_service(cfg, true);
+    let next = AtomicUsize::new(0);
+    let conc_identical = AtomicBool::new(true);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.concurrency.max(1) {
+            scope.spawn(|| loop {
+                if next.fetch_add(1, Ordering::Relaxed) >= cfg.repeats as usize {
+                    break;
+                }
+                let resp = conc_svc.submit("r", "s").expect("bench submit failed");
+                if sorted_encoding(&resp.result) != oracle {
+                    conc_identical.store(false, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let conc_wall = t0.elapsed().as_micros() as u64;
+    let conc_sec = conc_svc.service_section();
+    identical &= conc_identical.load(Ordering::Relaxed);
+    let concurrent = obj(vec![
+        ("requests", Json::Int(conc_sec.requests as i64)),
+        ("completed", Json::Int(conc_sec.completed as i64)),
+        ("rejected", Json::Int(conc_sec.rejected as i64)),
+        // Hit/miss split under concurrency is scheduling-dependent (two
+        // threads can race to the first miss); "queue"/"speedup" naming
+        // keeps these out of the deterministic regression surface.
+        ("cache_hits_queue_dependent", Json::Int(conc_sec.cache_hits as i64)),
+        ("wall_micros", Json::Int(conc_wall as i64)),
+        (
+            "speedup_x100_vs_serial",
+            Json::Int((cold_wall.max(1) * 100 / conc_wall.max(1)) as i64),
+        ),
+    ]);
+
+    obj(vec![
+        ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+        ("benchmark", Json::Str("service-plan-cache".into())),
+        (
+            "workload",
+            obj(vec![
+                ("tuples_per_side", Json::Int(cfg.tuples as i64)),
+                ("long_lived_per_side", Json::Int(cfg.long_lived as i64)),
+                ("keys", Json::Int(cfg.keys as i64)),
+                ("lifespan", Json::Int(cfg.lifespan)),
+                ("buffer_pages", Json::Int(cfg.buffer_pages as i64)),
+                ("pool_pages", Json::Int(cfg.pool_pages as i64)),
+                ("threads_per_query", Json::Int(cfg.threads_per_query as i64)),
+                ("concurrency", Json::Int(cfg.concurrency as i64)),
+                ("repeats", Json::Int(cfg.repeats as i64)),
+                ("seed", Json::Int(cfg.seed as i64)),
+            ]),
+        ),
+        ("result_tuples", Json::Int(result_tuples)),
+        ("results_byte_identical", Json::Int(i64::from(identical))),
+        (
+            "planner_io_saved",
+            Json::Int(cold_io as i64 - warm_io as i64),
+        ),
+        (
+            "speedup_x100_warm_vs_cold",
+            Json::Int((cold_wall.max(1) * 100 / warm_wall.max(1)) as i64),
+        ),
+        ("repeated", repeated),
+        ("cold", cold),
+        ("concurrent", concurrent),
+    ])
+}
+
+/// Validates a `BENCH_service.json` document: schema version, benchmark
+/// name, workload fields, the exact expected hit/miss split in the serial
+/// sections, positive planner I/O savings, and a passing byte-identity
+/// check. Used by `bench_service --validate` and the CI smoke step.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_i64)
+        .ok_or("missing schema_version")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!("schema_version {version}, expected {BENCH_SCHEMA_VERSION}"));
+    }
+    match doc.get("benchmark").and_then(Json::as_str) {
+        Some("service-plan-cache") => {}
+        other => return Err(format!("unexpected benchmark field {other:?}")),
+    }
+    let workload = doc.get("workload").ok_or("missing workload")?;
+    for key in
+        ["tuples_per_side", "keys", "buffer_pages", "pool_pages", "concurrency", "repeats", "seed"]
+    {
+        workload
+            .get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing workload.{key}"))?;
+    }
+    match doc.get("results_byte_identical").and_then(Json::as_i64) {
+        Some(1) => {}
+        Some(_) => return Err("service results diverged from the oracle join".into()),
+        None => return Err("missing results_byte_identical".into()),
+    }
+    let repeats = workload.get("repeats").and_then(Json::as_i64).unwrap_or(0);
+
+    let field = |section: &str, key: &str| -> Result<i64, String> {
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing {section}.{key}"))
+    };
+    if field("repeated", "requests")? != repeats {
+        return Err("repeated.requests does not match workload.repeats".into());
+    }
+    if field("repeated", "cache_misses")? != 1 || field("repeated", "cache_hits")? != repeats - 1 {
+        return Err(format!(
+            "repeated section must be exactly 1 miss + {} hits, found {} / {}",
+            repeats - 1,
+            field("repeated", "cache_misses")?,
+            field("repeated", "cache_hits")?,
+        ));
+    }
+    if field("cold", "cache_hits")? != 0 || field("cold", "cache_misses")? != repeats {
+        return Err("cold section must miss on every request".into());
+    }
+    let saved = doc
+        .get("planner_io_saved")
+        .and_then(Json::as_i64)
+        .ok_or("missing planner_io_saved")?;
+    if saved < 1 {
+        return Err(format!(
+            "planner_io_saved = {saved}: cache hits saved no sampling I/O \
+             (is the workload degenerate — outer fits in the buffer?)"
+        ));
+    }
+    if field("concurrent", "completed")? != repeats || field("concurrent", "rejected")? != 0 {
+        return Err("concurrent section must complete every request".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_emits_a_valid_document() {
+        let doc = run(&smoke_config());
+        validate(&doc).unwrap();
+        let back = Json::parse(&doc.to_pretty()).unwrap();
+        validate(&back).unwrap();
+        assert!(back.get("result_tuples").and_then(Json::as_i64).unwrap() > 0);
+        assert!(back.get("planner_io_saved").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let doc = run(&smoke_config());
+        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 7", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        let text = doc
+            .to_pretty()
+            .replacen("\"results_byte_identical\": 1", "\"results_byte_identical\": 0", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        let text = doc.to_pretty().replacen("\"cache_misses\": 1", "\"cache_misses\": 2", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn smoke_document_is_deterministic_on_counters() {
+        // Two independent runs must agree on every deterministic leaf —
+        // the property the CI baseline gate relies on.
+        let a = run(&smoke_config());
+        let b = run(&smoke_config());
+        assert_eq!(crate::regress::compare(&a, &b, 0), Vec::new());
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
-use vtjoin_core::{Relation, Schema, Tuple};
+use vtjoin_core::{Interval, Relation, Schema, Tuple};
 use vtjoin_storage::{HeapFile, HeapWriter, IoStats, SharedDisk};
 
 /// Errors raised by the database layer.
@@ -65,12 +65,65 @@ pub type Result<T> = std::result::Result<T, DbError>;
 pub struct Database {
     disk: SharedDisk,
     tables: BTreeMap<String, HeapFile>,
+    meta: BTreeMap<String, TableMeta>,
+}
+
+/// Catalog-tracked per-table metadata beyond what the heap file itself
+/// knows: a monotone version stamp (bumped on every rewrite) and the
+/// long-lived tuple count, both maintained at load time so statistics
+/// queries perform no I/O.
+#[derive(Debug, Clone, Copy)]
+struct TableMeta {
+    version: u64,
+    long_lived: u64,
+}
+
+/// A zero-I/O statistics snapshot of one table — the raw material for a
+/// plan-cache fingerprint. Everything here is maintained by the catalog at
+/// create/append time; reading it never touches the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Tuple count.
+    pub tuples: u64,
+    /// Heap pages.
+    pub pages: u64,
+    /// Zone-map time hull over all tuples (`None` for an empty table).
+    pub time_hull: Option<Interval>,
+    /// Tuples whose lifespan covers at least 1/16 of the table's hull —
+    /// the statistic behind the planner's tuple-cache estimate (§3.3).
+    pub long_lived: u64,
+    /// Monotone rewrite stamp: bumped every time the table's heap file is
+    /// replaced (create = 1, each append +1).
+    pub version: u64,
+}
+
+/// Counts tuples whose lifespan is at least 1/16 of the hull span (with a
+/// floor of 2 chronons, so instant-heavy tables over tiny hulls do not
+/// count everything as long-lived).
+fn long_lived_count(tuples: &[Tuple]) -> u64 {
+    let mut hull: Option<Interval> = None;
+    for t in tuples {
+        hull = Some(match hull {
+            Some(h) => h.span(t.valid()),
+            None => t.valid(),
+        });
+    }
+    let Some(h) = hull else { return 0 };
+    let threshold = (h.duration() / 16).max(2);
+    tuples
+        .iter()
+        .filter(|t| t.valid().duration() >= threshold)
+        .count() as u64
 }
 
 impl Database {
     /// An empty database on a fresh simulated disk.
     pub fn new(page_size: usize) -> Database {
-        Database { disk: SharedDisk::new(page_size), tables: BTreeMap::new() }
+        Database {
+            disk: SharedDisk::new(page_size),
+            tables: BTreeMap::new(),
+            meta: BTreeMap::new(),
+        }
     }
 
     /// The shared disk (for running join algorithms against tables).
@@ -85,6 +138,13 @@ impl Database {
         }
         let heap = HeapFile::bulk_load(&self.disk, rel)?;
         self.tables.insert(name.to_owned(), heap);
+        self.meta.insert(
+            name.to_owned(),
+            TableMeta {
+                version: 1,
+                long_lived: long_lived_count(rel.tuples()),
+            },
+        );
         Ok(())
     }
 
@@ -108,10 +168,27 @@ impl Database {
     /// Drops a table (its extent is abandoned; the simulated disk does not
     /// reclaim address space).
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.meta.remove(name);
         self.tables
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Zero-I/O statistics snapshot of a table (see [`TableStats`]).
+    pub fn table_stats(&self, name: &str) -> Result<TableStats> {
+        let heap = self.table(name)?;
+        let meta = self.meta.get(name).copied().unwrap_or(TableMeta {
+            version: 1,
+            long_lived: 0,
+        });
+        Ok(TableStats {
+            tuples: heap.tuples(),
+            pages: heap.pages(),
+            time_hull: heap.time_hull(),
+            long_lived: meta.long_lived,
+            version: meta.version,
+        })
     }
 
     /// Reads a whole table back into memory (a charged full scan).
@@ -134,6 +211,14 @@ impl Database {
         }
         let heap = w.finish()?;
         self.tables.insert(name.to_owned(), heap);
+        let version = self.meta.get(name).map_or(1, |m| m.version) + 1;
+        self.meta.insert(
+            name.to_owned(),
+            TableMeta {
+                version,
+                long_lived: long_lived_count(&all),
+            },
+        );
         Ok(())
     }
 
@@ -170,7 +255,10 @@ mod tests {
         assert_eq!(db.table_names(), vec!["t"]);
         let back = db.scan("t").unwrap();
         assert!(back.multiset_eq(&rel(20)));
-        assert!(matches!(db.create_table("t", &rel(1)), Err(DbError::TableExists(_))));
+        assert!(matches!(
+            db.create_table("t", &rel(1)),
+            Err(DbError::TableExists(_))
+        ));
         db.drop_table("t").unwrap();
         assert!(matches!(db.scan("t"), Err(DbError::NoSuchTable(_))));
         assert!(matches!(db.drop_table("t"), Err(DbError::NoSuchTable(_))));

@@ -18,7 +18,12 @@
 //!   coalescing;
 //! * [`parallel`] — a multi-threaded partition join over replicated
 //!   partitions, the Leung–Muntz multiprocessor setting (\[LM92b\]) as an
-//!   in-memory ablation.
+//!   in-memory ablation;
+//! * [`service`] — a concurrent multi-query join service: admission
+//!   control over a shared page pool and a statistics-fingerprinted plan
+//!   cache that reuses partition boundaries across requests, skipping the
+//!   paper's per-join Kolmogorov sampling when relation statistics stay
+//!   within the plan's own `errorSize` slack.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -27,14 +32,18 @@ pub mod database;
 pub mod parallel;
 pub mod planner;
 pub mod query;
+pub mod service;
 pub mod view;
 
-pub use database::Database;
+pub use database::{Database, TableStats};
 pub use parallel::{
     parallel_execution_report, parallel_execution_report_with, parallel_partition_join,
-    parallel_partition_join_naive, parallel_partition_join_reported,
-    parallel_partition_join_with,
+    parallel_partition_join_naive, parallel_partition_join_reported, parallel_partition_join_with,
 };
 pub use planner::{choose_algorithm, partition_feasible, Algorithm};
 pub use query::{Predicate, Query};
+pub use service::{
+    Admission, JoinResponse, JoinService, PlanOutcome, Rejected, ServiceConfig, ServiceError,
+    StatsFingerprint,
+};
 pub use view::MaterializedVtJoin;

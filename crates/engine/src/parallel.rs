@@ -137,7 +137,14 @@ fn execute(
     threads: usize,
     choice: KernelChoice,
 ) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
-    assert!(is_partitioning(intervals), "intervals must partition valid time");
+    // A typed error, not an assert: the intervals may arrive from a plan
+    // cache or an external request, and a malformed set must fail the one
+    // request instead of taking the process down.
+    if !is_partitioning(intervals) {
+        return Err(vtjoin_join::JoinError::Precondition(
+            "intervals must partition all of valid time (sorted, gapless, ending at forever)",
+        ));
+    }
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let n = intervals.len();
 
@@ -146,8 +153,9 @@ fn execute(
     let s_parts = replicate(s, intervals);
     let replicate_micros = replicate_started.elapsed().as_micros() as u64;
 
-    let est_costs: Vec<u64> =
-        (0..n).map(|i| r_parts[i].len() as u64 * s_parts[i].len() as u64).collect();
+    let est_costs: Vec<u64> = (0..n)
+        .map(|i| r_parts[i].len() as u64 * s_parts[i].len() as u64)
+        .collect();
     // Heaviest partitions first, so the work-stealing tail is short.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(est_costs[i]));
@@ -199,8 +207,8 @@ fn execute(
                     let mut out = Vec::new();
                     if !r_parts[i].is_empty() && !s_parts[i].is_empty() {
                         let est = if cost_total > 0 {
-                            ((emitted_total as u128 * est_costs[i] as u128
-                                / cost_total as u128) as usize)
+                            ((emitted_total as u128 * est_costs[i] as u128 / cost_total as u128)
+                                as usize)
                                 .max(16)
                         } else {
                             // First partition: no ratio yet; a side's size
@@ -210,8 +218,7 @@ fn execute(
                         batch.begin(est);
                         match choose_kernel(choice, spec, &r_parts[i], &s_parts[i]) {
                             KernelKind::Hash => {
-                                let hs =
-                                    hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch);
+                                let hs = hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch);
                                 probes += hs.probes;
                                 match_tests += hs.match_tests;
                                 kernel.hash_partitions += 1;
@@ -250,17 +257,30 @@ fn execute(
                 (section, produced, probes, match_tests, kernel)
             }));
         }
+        let mut worker_panicked = false;
         for h in handles {
-            let (section, produced, p, m, k) = h.join().expect("partition worker panicked");
-            workers.push(section);
-            probes += p;
-            match_tests += m;
-            kernel.merge(k);
-            for (i, out) in produced {
-                outputs[i] = out;
+            // A panicking worker (a bug, not a data error) must surface as
+            // a typed error on this one request, not abort the service.
+            match h.join() {
+                Ok((section, produced, p, m, k)) => {
+                    workers.push(section);
+                    probes += p;
+                    match_tests += m;
+                    kernel.merge(k);
+                    for (i, out) in produced {
+                        outputs[i] = out;
+                    }
+                }
+                Err(_) => worker_panicked = true,
             }
         }
-    });
+        if worker_panicked {
+            return Err(vtjoin_join::JoinError::Internal(
+                "partition worker panicked",
+            ));
+        }
+        Ok(())
+    })?;
     let join_micros = join_started.elapsed().as_micros() as u64;
 
     let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
@@ -291,11 +311,9 @@ fn skew_section(est_costs: &[u64], workers: &[WorkerSection]) -> SkewSection {
         partitions: est_costs.len() as u64,
         est_cost_total,
         est_cost_max,
-        max_partition_share_percent: if est_cost_total == 0 {
-            0
-        } else {
-            est_cost_max * 100 / est_cost_total
-        },
+        max_partition_share_percent: (est_cost_max * 100)
+            .checked_div(est_cost_total)
+            .unwrap_or(0),
         busy_micros_total,
         busy_micros_max,
         utilization_percent: if wall_max == 0 || workers.is_empty() {
@@ -346,8 +364,15 @@ pub fn parallel_execution_report_with(
     let skew = skew_section(&detail.est_costs, &detail.workers);
     let report = ExecutionReport {
         algorithm: "parallel".into(),
-        config: ConfigSection { buffer_pages: 0, random_cost: 1, seed: 0 },
-        result: ResultSection { tuples: rel.len() as u64, pages: 0 },
+        config: ConfigSection {
+            buffer_pages: 0,
+            random_cost: 1,
+            seed: 0,
+        },
+        result: ResultSection {
+            tuples: rel.len() as u64,
+            pages: 0,
+        },
         io: zero_io,
         phases: vec![
             PhaseSection {
@@ -364,13 +389,34 @@ pub fn parallel_execution_report_with(
             },
         ],
         counters: vec![
-            Counter { name: "num_partitions".into(), value: intervals.len() as i64 },
-            Counter { name: "threads_requested".into(), value: threads as i64 },
-            Counter { name: "workers".into(), value: detail.workers.len() as i64 },
-            Counter { name: "replicated_r_tuples".into(), value: detail.replicated_r as i64 },
-            Counter { name: "replicated_s_tuples".into(), value: detail.replicated_s as i64 },
-            Counter { name: "cpu_probes".into(), value: detail.probes as i64 },
-            Counter { name: "cpu_match_tests".into(), value: detail.match_tests as i64 },
+            Counter {
+                name: "num_partitions".into(),
+                value: intervals.len() as i64,
+            },
+            Counter {
+                name: "threads_requested".into(),
+                value: threads as i64,
+            },
+            Counter {
+                name: "workers".into(),
+                value: detail.workers.len() as i64,
+            },
+            Counter {
+                name: "replicated_r_tuples".into(),
+                value: detail.replicated_r as i64,
+            },
+            Counter {
+                name: "replicated_s_tuples".into(),
+                value: detail.replicated_s as i64,
+            },
+            Counter {
+                name: "cpu_probes".into(),
+                value: detail.probes as i64,
+            },
+            Counter {
+                name: "cpu_match_tests".into(),
+                value: detail.match_tests as i64,
+            },
         ],
         buffer_pool: None,
         plan: None,
@@ -384,6 +430,7 @@ pub fn parallel_execution_report_with(
             batches_flushed: detail.kernel.batches_flushed,
         }),
         faults: None,
+        service: None,
     };
     Ok((rel, report))
 }
@@ -399,7 +446,11 @@ pub fn parallel_partition_join_naive(
     intervals: &[Interval],
     threads: usize,
 ) -> Result<Relation, vtjoin_join::JoinError> {
-    assert!(is_partitioning(intervals), "intervals must partition valid time");
+    if !is_partitioning(intervals) {
+        return Err(vtjoin_join::JoinError::Precondition(
+            "intervals must partition all of valid time (sorted, gapless, ending at forever)",
+        ));
+    }
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let n = intervals.len();
     let r_parts = replicate(r, intervals);
@@ -430,13 +481,25 @@ pub fn parallel_partition_join_naive(
                 }
             }));
         }
+        let mut worker_panicked = false;
         for h in handles {
-            h.join().expect("partition worker panicked");
+            if h.join().is_err() {
+                worker_panicked = true;
+            }
         }
-    });
+        if worker_panicked {
+            return Err(vtjoin_join::JoinError::Internal(
+                "partition worker panicked",
+            ));
+        }
+        Ok(())
+    })?;
 
     let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
-    Ok(Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples))
+    Ok(Relation::from_parts_unchecked(
+        Arc::clone(spec.out_schema()),
+        tuples,
+    ))
 }
 
 #[cfg(test)]
@@ -499,9 +562,11 @@ mod tests {
         let want = natural_join(&r, &s).unwrap();
         for choice in [KernelChoice::Auto, KernelChoice::Hash, KernelChoice::Sweep] {
             for threads in [1usize, 3] {
-                let got =
-                    parallel_partition_join_with(&r, &s, &parts, threads, choice).unwrap();
-                assert!(got.multiset_eq(&want), "choice = {choice:?}, threads = {threads}");
+                let got = parallel_partition_join_with(&r, &s, &parts, threads, choice).unwrap();
+                assert!(
+                    got.multiset_eq(&want),
+                    "choice = {choice:?}, threads = {threads}"
+                );
             }
         }
     }
@@ -516,8 +581,7 @@ mod tests {
             (KernelChoice::Sweep, false, true),
             (KernelChoice::Auto, false, false),
         ] {
-            let (_, er) =
-                parallel_execution_report_with(&r, &s, &parts, 2, choice).unwrap();
+            let (_, er) = parallel_execution_report_with(&r, &s, &parts, 2, choice).unwrap();
             let k = er.kernel.expect("parallel report has a kernel section");
             // Empty partitions are skipped without invoking a kernel, so
             // the split covers at most every partition.
@@ -549,8 +613,7 @@ mod tests {
     fn single_partition_degenerates_to_plain_join() {
         let r = rel("b", 80, 4);
         let s = rel("c", 80, 4);
-        let got =
-            parallel_partition_join(&r, &s, &[Interval::ALL], 3).unwrap();
+        let got = parallel_partition_join(&r, &s, &[Interval::ALL], 3).unwrap();
         let want = natural_join(&r, &s).unwrap();
         assert!(got.multiset_eq(&want));
     }
@@ -560,14 +623,19 @@ mod tests {
         let r = rel("b", 200, 4);
         let s = rel("c", 200, 3);
         let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
-        let (got, workers) =
-            parallel_partition_join_reported(&r, &s, &parts, 3).unwrap();
+        let (got, workers) = parallel_partition_join_reported(&r, &s, &parts, 3).unwrap();
         assert_eq!(workers.len(), 3);
         assert_eq!(workers.iter().map(|w| w.partitions).sum::<u64>(), 6);
-        assert_eq!(workers.iter().map(|w| w.tuples).sum::<u64>(), got.len() as u64);
+        assert_eq!(
+            workers.iter().map(|w| w.tuples).sum::<u64>(),
+            got.len() as u64
+        );
         for (i, w) in workers.iter().enumerate() {
             assert_eq!(w.worker, i as u64);
-            assert!(w.busy_micros <= w.wall_micros + 1000, "busy beyond wall: {w:?}");
+            assert!(
+                w.busy_micros <= w.wall_micros + 1000,
+                "busy beyond wall: {w:?}"
+            );
         }
     }
 
@@ -577,8 +645,7 @@ mod tests {
         let s = rel("c", 100, 3);
         // 2 partitions, 8 threads requested → exactly 2 workers.
         let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 2);
-        let (got, workers) =
-            parallel_partition_join_reported(&r, &s, &parts, 8).unwrap();
+        let (got, workers) = parallel_partition_join_reported(&r, &s, &parts, 8).unwrap();
         assert_eq!(workers.len(), 2);
         assert_eq!(workers.iter().map(|w| w.partitions).sum::<u64>(), 2);
         let want = natural_join(&r, &s).unwrap();
@@ -609,8 +676,7 @@ mod tests {
         );
         assert!(sk.utilization_percent <= 100);
         // Round-trips through the documented JSON schema.
-        let back =
-            vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
         assert_eq!(back, er);
     }
 
@@ -619,6 +685,8 @@ mod tests {
         let r = rel("b", 0, 0);
         let s = rel("c", 50, 3);
         let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 4);
-        assert!(parallel_partition_join(&r, &s, &parts, 2).unwrap().is_empty());
+        assert!(parallel_partition_join(&r, &s, &parts, 2)
+            .unwrap()
+            .is_empty());
     }
 }

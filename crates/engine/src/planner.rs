@@ -105,7 +105,10 @@ pub fn run_join(
 mod tests {
     use super::*;
     use vtjoin_core::algebra::natural_join;
-    use vtjoin_workload::generate::{generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution, TimeDistribution};
+    use vtjoin_workload::generate::{
+        generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig,
+        KeyDistribution, TimeDistribution,
+    };
 
     #[test]
     fn nested_loop_wins_when_outer_fits() {
@@ -131,7 +134,10 @@ mod tests {
         // 8192-page relation at 16 buffer pages: Grace partitioning cannot
         // fit one output buffer per required partition.
         assert!(!partition_feasible(8192, 16));
-        assert_eq!(choose_algorithm(8192, 8192, 16, CostRatio::R5), Algorithm::SortMerge);
+        assert_eq!(
+            choose_algorithm(8192, 8192, 16, CostRatio::R5),
+            Algorithm::SortMerge
+        );
         // …but the same relation at 256 pages is fine.
         assert!(partition_feasible(8192, 256));
         // And the chosen algorithm must actually run (no InsufficientMemory).
@@ -154,7 +160,7 @@ mod tests {
             keys: 40,
             key_dist: KeyDistribution::Uniform,
             time_dist: TimeDistribution::Uniform,
-        duration_dist: DurationDistribution::Instant,
+            duration_dist: DurationDistribution::Instant,
             pad_bytes: 0,
             seed: 5,
         };
@@ -166,12 +172,20 @@ mod tests {
         let jc = JoinConfig::with_buffer(10).collecting();
         let (algo, report) = run_join(&db, "r", "s", &jc).unwrap();
         let want = natural_join(&r, &s).unwrap();
-        assert!(report.result.as_ref().unwrap().multiset_eq(&want), "{}", algo.name());
+        assert!(
+            report.result.as_ref().unwrap().multiset_eq(&want),
+            "{}",
+            algo.name()
+        );
     }
 
     #[test]
     fn instantiate_names_agree() {
-        for a in [Algorithm::NestedLoop, Algorithm::SortMerge, Algorithm::Partition] {
+        for a in [
+            Algorithm::NestedLoop,
+            Algorithm::SortMerge,
+            Algorithm::Partition,
+        ] {
             assert_eq!(a.instantiate().name(), a.name());
         }
     }

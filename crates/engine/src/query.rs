@@ -88,7 +88,9 @@ impl Predicate {
                     .schema()
                     .index_of(name)
                     .ok_or_else(|| DbError::Join(format!("unknown attribute `{name}`")))?;
-                t.value(idx).as_int().is_some_and(|v| (*lo..=*hi).contains(&v))
+                t.value(idx)
+                    .as_int()
+                    .is_some_and(|v| (*lo..=*hi).contains(&v))
             }
             Predicate::Overlaps(w) => t.valid().overlaps(*w),
             Predicate::During(w) => w.contains(t.valid()),
@@ -138,7 +140,10 @@ pub struct QueryOutput {
 impl Query {
     /// A scan of one table.
     pub fn table(name: &str) -> Query {
-        Query { source: Source::Table(name.to_owned()), ops: Vec::new() }
+        Query {
+            source: Source::Table(name.to_owned()),
+            ops: Vec::new(),
+        }
     }
 
     /// A cost-planned valid-time natural join of two tables.
@@ -159,7 +164,8 @@ impl Query {
     /// Appends a projection.
     #[must_use]
     pub fn project(mut self, attrs: &[&str]) -> Query {
-        self.ops.push(Op::Project(attrs.iter().map(|s| (*s).to_owned()).collect()));
+        self.ops
+            .push(Op::Project(attrs.iter().map(|s| (*s).to_owned()).collect()));
         self
     }
 
@@ -191,8 +197,15 @@ impl Query {
         let (mut rel, chosen) = match &self.source {
             Source::Table(name) => (db.scan(name)?, None),
             Source::Join(outer, inner) => {
-                let (algo, report) = planner::run_join(db, outer, inner, &cfg.clone().collecting())?;
-                (report.result.expect("collected"), Some(algo))
+                let (algo, report) =
+                    planner::run_join(db, outer, inner, &cfg.clone().collecting())?;
+                // The config above requested collection; if an algorithm
+                // ever fails to honour it, surface a typed error instead
+                // of panicking mid-query.
+                let rel = report.result.ok_or_else(|| {
+                    DbError::Join("join reported success but collected no result".into())
+                })?;
+                (rel, Some(algo))
             }
         };
         let io = db.io_stats() - before;
@@ -217,7 +230,11 @@ impl Query {
                 Op::Coalesce => algebra::coalesce(&rel),
             };
         }
-        Ok(QueryOutput { relation: rel, io, chosen })
+        Ok(QueryOutput {
+            relation: rel,
+            io,
+            chosen,
+        })
     }
 }
 
@@ -302,8 +319,7 @@ mod tests {
             .iter()
             .filter(|t| {
                 let e = t.value(1).as_int().unwrap();
-                ((0..=9).contains(&e)
-                    && t.valid().overlaps(Interval::from_raw(0, 10).unwrap()))
+                ((0..=9).contains(&e) && t.valid().overlaps(Interval::from_raw(0, 10).unwrap()))
                     || t.lifespan() >= 100
             })
             .count();
@@ -357,7 +373,9 @@ mod tests {
     #[test]
     fn unknown_names_error() {
         let db = setup();
-        assert!(Query::table("ghost").run(&db, &JoinConfig::with_buffer(8)).is_err());
+        assert!(Query::table("ghost")
+            .run(&db, &JoinConfig::with_buffer(8))
+            .is_err());
         let bad = Query::table("employees")
             .filter(Predicate::attr_eq("ghost", Value::Int(1)))
             .run(&db, &JoinConfig::with_buffer(8));

@@ -1,0 +1,715 @@
+//! A concurrent multi-query join service with an admission controller and
+//! a statistics-fingerprinted plan cache.
+//!
+//! The paper's planner pays a real sampling cost `C_sample` on **every**
+//! join (`determinePartIntervals`, Figure 10). A service that answers the
+//! same join over slowly-changing relations should not: the partition
+//! boundaries the Kolmogorov sample produced remain *correct* forever —
+//! they partition all of valid time, so every tuple still lands in some
+//! partition — and remain *well-balanced* for as long as the relations'
+//! statistics stay within the plan's own `errorSize` slack. [`JoinService`]
+//! exploits exactly that:
+//!
+//! * a **plan cache** keyed by table pair, validated by a
+//!   [`StatsFingerprint`] of each side (cardinality, zone-map time hull,
+//!   long-lived count, catalog version, sampling seed). A hit reuses the
+//!   cached partition boundaries and skips sampling entirely — zero
+//!   planning I/O. When a fingerprint drifts past the entry's tolerance
+//!   (the `errorSize` page budget converted to tuples), the entry is
+//!   invalidated and the join replans fresh;
+//! * an **admission controller** over a shared
+//!   [`vtjoin_storage::PagePool`]: each request reserves its two
+//!   relations' pages before running, requests that can never fit are
+//!   rejected immediately ([`Rejected::TooLarge`]), and once the bounded
+//!   wait queue is full further requests are rejected
+//!   ([`Rejected::Saturated`]) rather than queueing without bound — no
+//!   deadlock under memory pressure, by construction;
+//! * execution on the existing work-stealing parallel executor
+//!   ([`crate::parallel`]), whose output is deterministic in partition
+//!   order regardless of scheduling — concurrent and serial submissions of
+//!   the same join produce byte-identical results.
+//!
+//! Every outcome is accounted in a [`ServiceSection`] (obs schema v5) and
+//! the whole run renders as one [`ExecutionReport`] with algorithm
+//! `"service"`.
+
+use crate::database::{Database, DbError, TableStats};
+use crate::parallel::parallel_partition_join_with;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, RwLock};
+use vtjoin_core::{Interval, Relation, Tuple};
+use vtjoin_join::kernel::KernelChoice;
+use vtjoin_join::partition::planner::{determine_part_intervals, plan_error_size, PlannerOutput};
+use vtjoin_join::{JoinConfig, JoinError};
+use vtjoin_obs::{
+    ConfigSection, Counter, ExecutionReport, IoSection, PhaseSection, ResultSection, ServiceSection,
+};
+use vtjoin_storage::{HeapFile, IoStats, PagePool, ReserveError};
+
+/// Why the admission controller refused a request. Both outcomes are
+/// immediate — a request the pool can never satisfy, or one arriving at a
+/// full queue, is never left blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The request's page reservation exceeds the whole pool.
+    TooLarge {
+        /// Pages the request needs (outer + inner).
+        pages: u64,
+        /// Total pool capacity.
+        pool_pages: u64,
+    },
+    /// The bounded admission queue was full.
+    Saturated {
+        /// Requests already waiting.
+        waiting: u64,
+        /// The configured queue bound.
+        max_waiting: u64,
+    },
+}
+
+/// Errors surfaced by [`JoinService::submit`]. Every variant is a typed
+/// per-request failure: a bad request can never take the service down.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The admission controller refused the request.
+    Rejected(Rejected),
+    /// Catalog failure (unknown table, storage trouble during lookup).
+    Db(DbError),
+    /// The join itself failed with a typed error.
+    Join(JoinError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Rejected(Rejected::TooLarge { pages, pool_pages }) => {
+                write!(
+                    f,
+                    "rejected: request needs {pages} pages, pool holds {pool_pages}"
+                )
+            }
+            ServiceError::Rejected(Rejected::Saturated {
+                waiting,
+                max_waiting,
+            }) => {
+                write!(
+                    f,
+                    "rejected: admission queue full ({waiting}/{max_waiting} waiting)"
+                )
+            }
+            ServiceError::Db(e) => write!(f, "{e}"),
+            ServiceError::Join(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// How a request was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Pool pages were available immediately.
+    Immediate,
+    /// The request blocked in the admission queue before running.
+    Queued,
+}
+
+/// How the request's partition plan was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// Cached boundaries were reused; Kolmogorov sampling was skipped
+    /// entirely (zero planning I/O).
+    CacheHit,
+    /// No cached entry existed; `determinePartIntervals` ran fresh.
+    Miss,
+    /// A cached entry existed but its fingerprints drifted past the
+    /// `errorSize` tolerance; the entry was dropped and the join replanned.
+    Invalidated,
+}
+
+/// One completed join request.
+#[derive(Debug)]
+pub struct JoinResponse {
+    /// The join result, deterministic in partition order.
+    pub result: Relation,
+    /// How the partition plan was obtained.
+    pub plan: PlanOutcome,
+    /// How the request was admitted.
+    pub admission: Admission,
+    /// Number of partitions the executor ran.
+    pub partitions: u64,
+    /// Pool pages this request reserved while running.
+    pub reserved_pages: u64,
+}
+
+/// The statistics fingerprint of one relation at plan time — everything
+/// the plan cache compares to decide whether cached partition boundaries
+/// still fit. All fields come from the catalog ([`Database::table_stats`])
+/// at zero I/O cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsFingerprint {
+    /// Tuple count.
+    pub tuples: u64,
+    /// Heap pages.
+    pub pages: u64,
+    /// Zone-map time hull (`None` for an empty relation).
+    pub time_hull: Option<Interval>,
+    /// Long-lived tuple count (the §3.3 cache-estimate driver).
+    pub long_lived: u64,
+    /// Catalog rewrite stamp.
+    pub version: u64,
+    /// Sampling seed the plan was computed under.
+    pub seed: u64,
+}
+
+impl StatsFingerprint {
+    /// Fingerprints a catalog snapshot under the given sampling seed.
+    pub fn from_stats(s: TableStats, seed: u64) -> StatsFingerprint {
+        StatsFingerprint {
+            tuples: s.tuples,
+            pages: s.pages,
+            time_hull: s.time_hull,
+            long_lived: s.long_lived,
+            version: s.version,
+            seed,
+        }
+    }
+}
+
+/// One cached plan: the boundaries, the chosen partition size, and the
+/// fingerprints plus drift tolerances that gate reuse.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    outer: StatsFingerprint,
+    inner: StatsFingerprint,
+    intervals: Vec<Interval>,
+    part_size: u64,
+    /// Per-side drift budgets in tuples: the plan's `errorSize` page slack
+    /// converted at each side's tuples-per-page density at cache time.
+    outer_tol_tuples: u64,
+    inner_tol_tuples: u64,
+}
+
+fn tuples_per_page_ceil(fp: &StatsFingerprint) -> u64 {
+    fp.tuples.div_ceil(fp.pages.max(1)).max(1)
+}
+
+fn side_within_tolerance(cached: &StatsFingerprint, now: &StatsFingerprint, tol: u64) -> bool {
+    // Identical catalog version ⇒ identical statistics: nothing to check.
+    if cached.version == now.version {
+        return true;
+    }
+    // The time hull is deliberately NOT an invalidation trigger: cached
+    // intervals partition all of valid time, so hull growth (appends at
+    // the end of the time-line, §3.1) lands in the tail partition and only
+    // affects balance — which the tuple-count drift bound already covers.
+    cached.tuples.abs_diff(now.tuples) <= tol && cached.long_lived.abs_diff(now.long_lived) <= tol
+}
+
+impl CacheEntry {
+    fn still_valid(&self, outer_now: &StatsFingerprint, inner_now: &StatsFingerprint) -> bool {
+        self.outer.seed == outer_now.seed
+            && self.inner.seed == inner_now.seed
+            && side_within_tolerance(&self.outer, outer_now, self.outer_tol_tuples)
+            && side_within_tolerance(&self.inner, inner_now, self.inner_tol_tuples)
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    requests: u64,
+    admitted: u64,
+    queued: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+    result_tuples: u64,
+}
+
+/// Configuration of a [`JoinService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Join configuration every request plans and runs under (buffer
+    /// budget, cost ratio, sampling seed).
+    pub join: JoinConfig,
+    /// Total shared buffer-pool pages the admission controller manages.
+    pub pool_pages: u64,
+    /// Maximum requests allowed to block waiting for pool pages before
+    /// further requests are rejected as [`Rejected::Saturated`].
+    pub max_queue: u64,
+    /// Worker threads per admitted join.
+    pub threads_per_query: usize,
+    /// Kernel policy for the parallel executor.
+    pub kernel: KernelChoice,
+    /// Whether the plan cache is consulted at all (disable for ablations;
+    /// every request then replans).
+    pub plan_cache: bool,
+}
+
+impl ServiceConfig {
+    /// A service configuration with the given join config and pool size;
+    /// queue bound 16, 4 threads per query, automatic kernel gate, plan
+    /// cache on.
+    pub fn new(join: JoinConfig, pool_pages: u64) -> ServiceConfig {
+        ServiceConfig {
+            join,
+            pool_pages,
+            max_queue: 16,
+            threads_per_query: 4,
+            kernel: KernelChoice::Auto,
+            plan_cache: true,
+        }
+    }
+}
+
+/// A concurrent multi-query join service over one [`Database`]: admission
+/// control against a shared page pool, a statistics-fingerprinted plan
+/// cache, and execution on the work-stealing parallel executor. All
+/// methods take `&self`; the service is `Sync` and meant to be shared
+/// across submitter threads.
+#[derive(Debug)]
+pub struct JoinService {
+    db: RwLock<Database>,
+    cfg: ServiceConfig,
+    pool: PagePool,
+    cache: Mutex<HashMap<(String, String), CacheEntry>>,
+    counters: Mutex<Counters>,
+    io_base: IoStats,
+}
+
+impl JoinService {
+    /// Wraps a database in a service under the given configuration.
+    pub fn new(db: Database, cfg: ServiceConfig) -> JoinService {
+        let io_base = db.io_stats();
+        let pool = PagePool::new(cfg.pool_pages);
+        JoinService {
+            db: RwLock::new(db),
+            cfg,
+            pool,
+            cache: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters::default()),
+            io_base,
+        }
+    }
+
+    /// The underlying database, for catalog reads and table maintenance.
+    /// Writers (append / create) naturally invalidate affected plans at
+    /// the next submit through the version stamp in the fingerprint.
+    pub fn database(&self) -> &RwLock<Database> {
+        &self.db
+    }
+
+    /// Consumes the service, returning the database.
+    pub fn into_database(self) -> Database {
+        self.db.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends tuples to a table (convenience write-lock wrapper). The
+    /// table's version stamp bumps, so cached plans over it revalidate
+    /// against the fresh statistics on the next request.
+    pub fn append(&self, table: &str, tuples: &[Tuple]) -> Result<(), DbError> {
+        self.write_db().append(table, tuples)
+    }
+
+    fn read_db(&self) -> std::sync::RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_db(&self) -> std::sync::RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_counters(&self) -> MutexGuard<'_, Counters> {
+        self.counters.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits one join request: `outer ⋈ᵛ inner`. Blocks while queued for
+    /// pool pages; returns typed errors for rejections, catalog problems,
+    /// and join failures. Safe to call from many threads concurrently.
+    pub fn submit(&self, outer: &str, inner: &str) -> Result<JoinResponse, ServiceError> {
+        self.lock_counters().requests += 1;
+
+        // Phase 1 — catalog snapshot. Heap files are cheap clones (page
+        // ranges + zone maps); holding them keeps this request's view
+        // stable even if the table is rewritten mid-flight, and lets the
+        // db lock drop before any blocking, so admission can never
+        // deadlock against writers.
+        let (r_heap, s_heap, r_stats, s_stats) = {
+            let db = self.read_db();
+            let r_heap = db.table(outer).map_err(ServiceError::Db)?.clone();
+            let s_heap = db.table(inner).map_err(ServiceError::Db)?.clone();
+            let r_stats = db.table_stats(outer).map_err(ServiceError::Db)?;
+            let s_stats = db.table_stats(inner).map_err(ServiceError::Db)?;
+            (r_heap, s_heap, r_stats, s_stats)
+        };
+
+        // Phase 2 — admission: reserve both relations' pages.
+        let pages = (r_stats.pages + s_stats.pages).max(1);
+        let (reservation, waited) = match self.pool.reserve(pages, self.cfg.max_queue) {
+            Ok(granted) => granted,
+            Err(ReserveError::TooLarge { pages, capacity }) => {
+                self.lock_counters().rejected += 1;
+                return Err(ServiceError::Rejected(Rejected::TooLarge {
+                    pages,
+                    pool_pages: capacity,
+                }));
+            }
+            Err(ReserveError::Saturated {
+                waiting,
+                max_waiting,
+            }) => {
+                self.lock_counters().rejected += 1;
+                return Err(ServiceError::Rejected(Rejected::Saturated {
+                    waiting,
+                    max_waiting,
+                }));
+            }
+        };
+        {
+            let mut c = self.lock_counters();
+            c.admitted += 1;
+            if waited {
+                c.queued += 1;
+            }
+        }
+        let admission = if waited {
+            Admission::Queued
+        } else {
+            Admission::Immediate
+        };
+
+        // Phases 3 & 4 — plan and execute; any failure from here on is a
+        // typed per-request error and must be counted, with the page
+        // reservation released either way (RAII).
+        let outcome = self.plan_and_run(outer, inner, &r_heap, &s_heap, &r_stats, &s_stats);
+        drop(reservation);
+        match outcome {
+            Ok((result, plan, partitions)) => {
+                let mut c = self.lock_counters();
+                c.completed += 1;
+                c.result_tuples += result.len() as u64;
+                drop(c);
+                Ok(JoinResponse {
+                    result,
+                    plan,
+                    admission,
+                    partitions,
+                    reserved_pages: pages,
+                })
+            }
+            Err(e) => {
+                self.lock_counters().failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn plan_and_run(
+        &self,
+        outer: &str,
+        inner: &str,
+        r_heap: &HeapFile,
+        s_heap: &HeapFile,
+        r_stats: &TableStats,
+        s_stats: &TableStats,
+    ) -> Result<(Relation, PlanOutcome, u64), ServiceError> {
+        let seed = self.cfg.join.seed;
+        let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
+        let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
+        let (intervals, plan) = self.plan(outer, inner, &outer_fp, &inner_fp, r_heap, s_heap)?;
+
+        let r_rel = r_heap
+            .read_all()
+            .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
+        let s_rel = s_heap
+            .read_all()
+            .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
+        let partitions = intervals.len() as u64;
+        let result = parallel_partition_join_with(
+            &r_rel,
+            &s_rel,
+            &intervals,
+            self.cfg.threads_per_query,
+            self.cfg.kernel,
+        )
+        .map_err(ServiceError::Join)?;
+        Ok((result, plan, partitions))
+    }
+
+    /// Plan-cache lookup → reuse or fresh `determinePartIntervals`. The
+    /// cache lock is held only around lookup/insert, never across the
+    /// sampling I/O, so concurrent misses plan in parallel (last insert
+    /// wins; both count as misses).
+    fn plan(
+        &self,
+        outer: &str,
+        inner: &str,
+        outer_fp: &StatsFingerprint,
+        inner_fp: &StatsFingerprint,
+        r_heap: &HeapFile,
+        s_heap: &HeapFile,
+    ) -> Result<(Vec<Interval>, PlanOutcome), ServiceError> {
+        let key = (outer.to_owned(), inner.to_owned());
+        let mut invalidated = false;
+        if self.cfg.plan_cache {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = cache.get(&key) {
+                if entry.still_valid(outer_fp, inner_fp) {
+                    // The planner's reuse hook: a PlannerOutput with the
+                    // cached boundaries and part_size, zero samples drawn.
+                    let reused = PlannerOutput::reused(entry.intervals.clone(), entry.part_size);
+                    drop(cache);
+                    self.lock_counters().cache_hits += 1;
+                    return Ok((reused.plan.intervals, PlanOutcome::CacheHit));
+                }
+                cache.remove(&key);
+                invalidated = true;
+            }
+        }
+
+        let planner = determine_part_intervals(r_heap, s_heap, None, &self.cfg.join)
+            .map_err(ServiceError::Join)?;
+        let part_size = planner.plan.part_size;
+        let intervals = planner.plan.intervals;
+        {
+            let mut c = self.lock_counters();
+            c.cache_misses += 1;
+            if invalidated {
+                c.cache_invalidations += 1;
+            }
+        }
+        if self.cfg.plan_cache {
+            let error_size = plan_error_size(&self.cfg.join, part_size);
+            let entry = CacheEntry {
+                outer: *outer_fp,
+                inner: *inner_fp,
+                intervals: intervals.clone(),
+                part_size,
+                outer_tol_tuples: error_size * tuples_per_page_ceil(outer_fp),
+                inner_tol_tuples: error_size * tuples_per_page_ceil(inner_fp),
+            };
+            self.cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key, entry);
+        }
+        let outcome = if invalidated {
+            PlanOutcome::Invalidated
+        } else {
+            PlanOutcome::Miss
+        };
+        Ok((intervals, outcome))
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The service accounting section (obs schema v5), combining request
+    /// counters with the page pool's high-water marks.
+    pub fn service_section(&self) -> ServiceSection {
+        let c = *self.lock_counters();
+        let pool = self.pool.stats();
+        ServiceSection {
+            requests: c.requests,
+            admitted: c.admitted,
+            queued: c.queued,
+            rejected: c.rejected,
+            completed: c.completed,
+            failed: c.failed,
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            cache_invalidations: c.cache_invalidations,
+            queue_depth_high_water: pool.queue_high_water,
+            pool_pages: self.pool.capacity(),
+            pool_pages_high_water: pool.pages_high_water,
+        }
+    }
+
+    /// One execution report summarizing everything the service has done so
+    /// far: cumulative I/O since construction, request/cache counters, and
+    /// the schema-v5 `service` section.
+    pub fn execution_report(&self) -> ExecutionReport {
+        let c = *self.lock_counters();
+        let io = {
+            let db = self.read_db();
+            db.io_stats() - self.io_base
+        };
+        let cfg = &self.cfg.join;
+        ExecutionReport {
+            algorithm: "service".into(),
+            config: ConfigSection {
+                buffer_pages: cfg.buffer_pages,
+                random_cost: cfg.ratio.random,
+                seed: cfg.seed,
+            },
+            result: ResultSection {
+                tuples: c.result_tuples,
+                pages: 0,
+            },
+            io: IoSection::from_stats(io, cfg.ratio),
+            phases: vec![PhaseSection {
+                name: "serve".into(),
+                wall_micros: 0,
+                io: IoSection::from_stats(io, cfg.ratio),
+                predicted_cost: None,
+            }],
+            counters: vec![
+                Counter {
+                    name: "pool_pages".into(),
+                    value: self.pool.capacity() as i64,
+                },
+                Counter {
+                    name: "threads_per_query".into(),
+                    value: self.cfg.threads_per_query as i64,
+                },
+                Counter {
+                    name: "max_queue".into(),
+                    value: self.cfg.max_queue as i64,
+                },
+                Counter {
+                    name: "cached_plans".into(),
+                    value: self.cached_plans() as i64,
+                },
+            ],
+            buffer_pool: None,
+            plan: None,
+            deviation: None,
+            workers: Vec::new(),
+            skew: None,
+            kernel: None,
+            faults: None,
+            service: Some(self.service_section()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vtjoin_core::algebra::natural_join;
+    use vtjoin_core::{AttrDef, AttrType, Schema, Value};
+
+    fn rel(attr: &str, n: i64, long_every: i64) -> Relation {
+        let schema = Schema::new(vec![
+            AttrDef::new("k", AttrType::Int),
+            AttrDef::new(attr, AttrType::Int),
+        ])
+        .unwrap()
+        .into_shared();
+        let tuples = (0..n)
+            .map(|i| {
+                let start = (i * 23) % 400;
+                let iv = if long_every > 0 && i % long_every == 0 {
+                    Interval::from_raw(start % 200, start % 200 + 200).unwrap()
+                } else {
+                    Interval::from_raw(start, start).unwrap()
+                };
+                Tuple::new(vec![Value::Int(i % 16), Value::Int(i)], iv)
+            })
+            .collect();
+        Relation::from_parts_unchecked(schema, tuples)
+    }
+
+    fn service(pool_pages: u64) -> JoinService {
+        let mut db = Database::new(256);
+        db.create_table("r", &rel("b", 600, 5)).unwrap();
+        db.create_table("s", &rel("c", 600, 7)).unwrap();
+        JoinService::new(
+            db,
+            ServiceConfig::new(JoinConfig::with_buffer(24), pool_pages),
+        )
+    }
+
+    #[test]
+    fn first_submit_misses_then_hits() {
+        let svc = service(4096);
+        let a = svc.submit("r", "s").unwrap();
+        assert_eq!(a.plan, PlanOutcome::Miss);
+        let b = svc.submit("r", "s").unwrap();
+        assert_eq!(b.plan, PlanOutcome::CacheHit);
+        let sec = svc.service_section();
+        assert_eq!(sec.cache_hits, 1);
+        assert_eq!(sec.cache_misses, 1);
+        assert_eq!(sec.cache_invalidations, 0);
+        assert!(a.result.multiset_eq(&b.result));
+    }
+
+    #[test]
+    fn result_matches_the_oracle() {
+        let svc = service(4096);
+        let got = svc.submit("r", "s").unwrap().result;
+        let want = natural_join(&rel("b", 600, 5), &rel("c", 600, 7)).unwrap();
+        assert!(got.multiset_eq(&want));
+    }
+
+    #[test]
+    fn oversize_request_is_rejected_not_deadlocked() {
+        let svc = service(4); // smaller than either relation
+        match svc.submit("r", "s") {
+            Err(ServiceError::Rejected(Rejected::TooLarge { pool_pages: 4, .. })) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let sec = svc.service_section();
+        assert_eq!(sec.rejected, 1);
+        assert_eq!(sec.admitted, 0);
+    }
+
+    #[test]
+    fn unknown_table_is_a_typed_error() {
+        let svc = service(4096);
+        assert!(matches!(
+            svc.submit("r", "nope"),
+            Err(ServiceError::Db(DbError::NoSuchTable(_)))
+        ));
+        assert_eq!(svc.service_section().failed, 0); // refused before admission
+    }
+
+    #[test]
+    fn append_past_tolerance_invalidates() {
+        let svc = service(4096);
+        svc.submit("r", "s").unwrap();
+        // Double the outer relation: far beyond any errorSize tolerance.
+        let extra = rel("b", 600, 5).into_tuples();
+        svc.append("r", &extra).unwrap();
+        let resp = svc.submit("r", "s").unwrap();
+        assert_eq!(resp.plan, PlanOutcome::Invalidated);
+        let sec = svc.service_section();
+        assert_eq!(sec.cache_misses, 2);
+        assert_eq!(sec.cache_invalidations, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_replans() {
+        let mut cfg = ServiceConfig::new(JoinConfig::with_buffer(24), 4096);
+        cfg.plan_cache = false;
+        let mut db = Database::new(256);
+        db.create_table("r", &rel("b", 600, 5)).unwrap();
+        db.create_table("s", &rel("c", 600, 7)).unwrap();
+        let svc = JoinService::new(db, cfg);
+        svc.submit("r", "s").unwrap();
+        svc.submit("r", "s").unwrap();
+        let sec = svc.service_section();
+        assert_eq!(sec.cache_hits, 0);
+        assert_eq!(sec.cache_misses, 2);
+        assert_eq!(svc.cached_plans(), 0);
+    }
+
+    #[test]
+    fn report_round_trips_with_service_section() {
+        let svc = service(4096);
+        svc.submit("r", "s").unwrap();
+        let report = svc.execution_report();
+        assert_eq!(report.algorithm, "service");
+        let sec = report.service.expect("service section present");
+        assert_eq!(sec.requests, 1);
+        let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+        assert!(report.render_explain().contains("service:"));
+    }
+}

@@ -66,7 +66,10 @@ fn remove_multiset(vec: &mut Vec<Tuple>, remove: Vec<Tuple>) {
         }
         _ => true,
     });
-    debug_assert!(counts.values().all(|&c| c == 0), "derived tuples must exist in the view");
+    debug_assert!(
+        counts.values().all(|&c| c == 0),
+        "derived tuples must exist in the view"
+    );
 }
 
 /// A materialized `r ⋈ᵛ s` maintained under insertions and deletions.
@@ -118,10 +121,7 @@ impl MaterializedVtJoin {
 
     /// The materialized result as a relation.
     pub fn result(&self) -> Relation {
-        Relation::from_parts_unchecked(
-            Arc::clone(self.spec.out_schema()),
-            self.result.clone(),
-        )
+        Relation::from_parts_unchecked(Arc::clone(self.spec.out_schema()), self.result.clone())
     }
 
     /// Partition buckets probed since creation (diagnostics).
@@ -171,7 +171,11 @@ impl MaterializedVtJoin {
 
     fn delete_one(&mut self, x: Tuple, x_is_outer: bool) -> Result<(), ViewError> {
         let idx = partition_of(&self.intervals, x.valid().end());
-        let bucket = if x_is_outer { &mut self.r_parts[idx] } else { &mut self.s_parts[idx] };
+        let bucket = if x_is_outer {
+            &mut self.r_parts[idx]
+        } else {
+            &mut self.s_parts[idx]
+        };
         let pos = bucket
             .iter()
             .position(|t| t == &x)
@@ -196,7 +200,11 @@ impl MaterializedVtJoin {
         let mut out = Vec::new();
         for idx in first..self.intervals.len() {
             self.probes += 1;
-            let bucket = if x_is_outer { &self.s_parts[idx] } else { &self.r_parts[idx] };
+            let bucket = if x_is_outer {
+                &self.s_parts[idx]
+            } else {
+                &self.r_parts[idx]
+            };
             out.extend(bucket.iter().filter_map(|y| {
                 if x_is_outer {
                     self.spec.try_match(x, y)
@@ -297,10 +305,28 @@ mod tests {
         let mut r_all = r.tuples().to_vec();
         let mut s_all = s.tuples().to_vec();
         for step in 0..6 {
-            let new_r: Vec<Tuple> =
-                (0..5).map(|i| tup(&rs, i % 5, 1000 + step * 10 + i, (step * 41) % 280, (step * 41) % 280 + 15)).collect();
-            let new_s: Vec<Tuple> =
-                (0..3).map(|i| tup(&ss, i % 5, 2000 + step * 10 + i, (step * 53) % 290, (step * 53) % 290 + 8)).collect();
+            let new_r: Vec<Tuple> = (0..5)
+                .map(|i| {
+                    tup(
+                        &rs,
+                        i % 5,
+                        1000 + step * 10 + i,
+                        (step * 41) % 280,
+                        (step * 41) % 280 + 15,
+                    )
+                })
+                .collect();
+            let new_s: Vec<Tuple> = (0..3)
+                .map(|i| {
+                    tup(
+                        &ss,
+                        i % 5,
+                        2000 + step * 10 + i,
+                        (step * 53) % 290,
+                        (step * 53) % 290 + 8,
+                    )
+                })
+                .collect();
             view.insert_outer(new_r.clone());
             view.insert_inner(new_s.clone());
             r_all.extend(new_r);
@@ -310,7 +336,10 @@ mod tests {
                 &Relation::from_parts_unchecked(Arc::clone(&ss), s_all.clone()),
             )
             .unwrap();
-            assert!(view.result().multiset_eq(&want), "divergence at step {step}");
+            assert!(
+                view.result().multiset_eq(&want),
+                "divergence at step {step}"
+            );
         }
     }
 
@@ -323,7 +352,11 @@ mod tests {
         let before = view.probes();
         // A fact valid at the end of the time-line: last partition only.
         view.insert_outer(vec![tup(&rs, 1, 9999, 295, 299)]);
-        assert_eq!(view.probes() - before, 1, "append-only insert probes one bucket");
+        assert_eq!(
+            view.probes() - before,
+            1,
+            "append-only insert probes one bucket"
+        );
         // A fact spanning everything probes all four.
         let before = view.probes();
         view.insert_outer(vec![tup(&rs, 1, 9998, 0, 299)]);
@@ -353,7 +386,10 @@ mod tests {
                 &Relation::from_parts_unchecked(Arc::clone(&ss), s_now.clone()),
             )
             .unwrap();
-            assert!(view.result().multiset_eq(&want), "after outer delete {victim_idx}");
+            assert!(
+                view.result().multiset_eq(&want),
+                "after outer delete {victim_idx}"
+            );
         }
         let victim = s_now.remove(9);
         view.delete_inner(vec![victim]).unwrap();
@@ -369,14 +405,8 @@ mod tests {
     fn deleting_one_of_two_duplicates_keeps_the_other() {
         let (rs, ss) = schemas();
         let dup = tup(&rs, 1, 7, 10, 40);
-        let r = Relation::from_parts_unchecked(
-            Arc::clone(&rs),
-            vec![dup.clone(), dup.clone()],
-        );
-        let s = Relation::from_parts_unchecked(
-            Arc::clone(&ss),
-            vec![tup(&ss, 1, 9, 20, 60)],
-        );
+        let r = Relation::from_parts_unchecked(Arc::clone(&rs), vec![dup.clone(), dup.clone()]);
+        let s = Relation::from_parts_unchecked(Arc::clone(&ss), vec![tup(&ss, 1, 9, 20, 60)]);
         let mut view = MaterializedVtJoin::create(&r, &s, parts()).unwrap();
         assert_eq!(view.result().len(), 2);
         view.delete_outer(vec![dup.clone()]).unwrap();

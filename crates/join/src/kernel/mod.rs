@@ -180,7 +180,11 @@ pub fn hash_join(
         });
     }
     let (probes, match_tests) = table.cpu_counters();
-    HashStats { probes, match_tests, pairs_emitted: pairs }
+    HashStats {
+        probes,
+        match_tests,
+        pairs_emitted: pairs,
+    }
 }
 
 /// Run-level kernel accounting, folded across partitions and workers and
@@ -247,14 +251,20 @@ mod tests {
         let rr: Vec<&Tuple> = r.iter().collect();
         let sr: Vec<&Tuple> = s.iter().collect();
         assert!(estimate_dups_per_key_x100(&spec, &rr, &sr) > SWEEP_DUP_THRESHOLD_X100);
-        assert_eq!(choose_kernel(KernelChoice::Auto, &spec, &rr, &sr), KernelKind::Sweep);
+        assert_eq!(
+            choose_kernel(KernelChoice::Auto, &spec, &rr, &sr),
+            KernelKind::Sweep
+        );
 
         let (ru, su) = pair(100_000, 512);
         let spec_u = JoinSpec::natural(ru.schema(), su.schema()).unwrap();
         let rru: Vec<&Tuple> = ru.iter().collect();
         let sru: Vec<&Tuple> = su.iter().collect();
         assert!(estimate_dups_per_key_x100(&spec_u, &rru, &sru) <= SWEEP_DUP_THRESHOLD_X100);
-        assert_eq!(choose_kernel(KernelChoice::Auto, &spec_u, &rru, &sru), KernelKind::Hash);
+        assert_eq!(
+            choose_kernel(KernelChoice::Auto, &spec_u, &rru, &sru),
+            KernelKind::Hash
+        );
     }
 
     #[test]
@@ -263,8 +273,14 @@ mod tests {
         let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
         let rr: Vec<&Tuple> = r.iter().collect();
         let sr: Vec<&Tuple> = s.iter().collect();
-        assert_eq!(choose_kernel(KernelChoice::Hash, &spec, &rr, &sr), KernelKind::Hash);
-        assert_eq!(choose_kernel(KernelChoice::Sweep, &spec, &rr, &sr), KernelKind::Sweep);
+        assert_eq!(
+            choose_kernel(KernelChoice::Hash, &spec, &rr, &sr),
+            KernelKind::Hash
+        );
+        assert_eq!(
+            choose_kernel(KernelChoice::Sweep, &spec, &rr, &sr),
+            KernelKind::Sweep
+        );
     }
 
     #[test]

@@ -142,7 +142,12 @@ pub fn sweep_join(
     scratch: &mut SweepScratch,
     out: &mut OutputBatch,
 ) -> SweepStats {
-    let SweepScratch { r_events, s_events, r_active, s_active } = scratch;
+    let SweepScratch {
+        r_events,
+        s_events,
+        r_active,
+        s_active,
+    } = scratch;
 
     r_events.clear();
     r_events.extend(r.iter().enumerate().map(|(i, x)| SweepEvent {
@@ -266,7 +271,14 @@ mod tests {
         let mut scratch = SweepScratch::default();
         let mut out = OutputBatch::new();
         out.begin(16);
-        sweep_join(&spec, &r_refs, &s_refs, Interval::ALL, &mut scratch, &mut out);
+        sweep_join(
+            &spec,
+            &r_refs,
+            &s_refs,
+            Interval::ALL,
+            &mut scratch,
+            &mut out,
+        );
         Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), out.take())
     }
 
@@ -342,7 +354,9 @@ mod tests {
         );
         let big_s = rel(
             Arc::clone(&ss),
-            &(0..64).map(|i| (i % 4, i, i + 1, i + 6)).collect::<Vec<_>>(),
+            &(0..64)
+                .map(|i| (i % 4, i, i + 1, i + 6))
+                .collect::<Vec<_>>(),
         );
         let small_r = rel(rs, &[(1, 0, 0, 2)]);
         let small_s = rel(ss, &[(1, 9, 1, 3)]);

@@ -25,7 +25,7 @@ pub mod planner;
 pub mod replicated;
 pub mod sampling;
 
-pub use planner::{CandidateCost, PartitionPlan, PlannerOutput};
+pub use planner::{plan_error_size, CandidateCost, PartitionPlan, PlannerOutput};
 pub use replicated::ReplicatedPartitionJoin;
 
 pub(crate) use exec::chunk_by_pages as exec_chunks;

@@ -112,6 +112,31 @@ impl PlannerOutput {
         }
     }
 
+    /// A plan rebuilt from previously computed partition boundaries — the
+    /// plan-cache reuse hook. Skips Kolmogorov sampling entirely (zero
+    /// sampling I/O, `samples_drawn = 0`) and carries no cost table: the
+    /// costs were paid and recorded by the run that first produced these
+    /// intervals. Correctness does not depend on the statistics still
+    /// matching — the intervals partition all of valid time, so any tuple
+    /// lands somewhere — only balance does, which is exactly the paper's
+    /// `errorSize` tolerance for estimate drift (the caller is responsible
+    /// for invalidating entries that drift past it, see
+    /// [`plan_error_size`]).
+    pub fn reused(intervals: Vec<Interval>, part_size: u64) -> PlannerOutput {
+        let est_cache_pages = vec![0; intervals.len()];
+        PlannerOutput {
+            plan: PartitionPlan {
+                part_size: part_size.max(1),
+                intervals,
+                est_cache_pages,
+                samples_drawn: 0,
+                est_cost: 0,
+            },
+            candidates: Vec::new(),
+            degraded: false,
+        }
+    }
+
     /// The graceful-degradation plan: when sampling I/O fails (injected
     /// faults exhausting their retries, or corruption detected by the page
     /// checksum), fall back to equal-width intervals over the outer
@@ -318,6 +343,16 @@ pub fn determine_part_intervals(
         candidates,
         degraded: false,
     })
+}
+
+/// The paper's `errorSize` slack for a chosen `part_size` under `cfg`:
+/// `buffSize − partSize` pages, where `buffSize` is the executor's
+/// outer-partition sizing area. Each partition may overshoot its target by
+/// up to this many pages before the plan's cost estimates stop holding —
+/// the same bound a plan cache must apply when deciding whether cached
+/// boundaries still fit relations whose statistics have drifted.
+pub fn plan_error_size(cfg: &JoinConfig, part_size: u64) -> u64 {
+    buffer_layout(cfg.buffer_pages, 0).sizing_area.saturating_sub(part_size)
 }
 
 fn tuples_per_page(heap: &HeapFile) -> f64 {

@@ -87,6 +87,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         skew: None,
         kernel: kernel_section(report),
         faults: report.faults.as_ref().map(faults_section),
+        service: None,
     }
 }
 
@@ -127,12 +128,17 @@ pub fn partition_execution_report(
     let error_size = buff_size.saturating_sub(plan.part_size);
     let num_partitions = plan.intervals.len() as u64;
 
-    let chosen = planner
+    // The chosen part_size always comes from the candidate table; if a
+    // malformed PlannerOutput ever breaks that invariant, emit the report
+    // without plan sections rather than panicking mid-request.
+    let Some(chosen) = planner
         .candidates
         .iter()
         .find(|c| c.part_size == plan.part_size)
         .copied()
-        .expect("chosen candidate is in the table");
+    else {
+        return er;
+    };
 
     er.plan = Some(PlanSection {
         part_size: plan.part_size,

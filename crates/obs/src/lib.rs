@@ -31,5 +31,5 @@ pub use json::{Json, JsonError};
 pub use report::{
     BufferPoolSection, CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport,
     FaultsSection, IoSection, KernelSection, PhaseSection, PlanSection, PredictedCost, ReportError,
-    ResultSection, SkewSection, WorkerSection, SCHEMA_VERSION,
+    ResultSection, ServiceSection, SkewSection, WorkerSection, SCHEMA_VERSION,
 };

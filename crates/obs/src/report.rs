@@ -18,13 +18,15 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// section. Version 3 added the optional `faults` section
 /// (fault-injection accounting and graceful-degradation outcome).
 /// Version 4 added the optional `kernel` section (per-kernel partition
-/// counts, sweep comparisons, batches flushed).
+/// counts, sweep comparisons, batches flushed). Version 5 added the
+/// optional `service` section (multi-query admission and plan-cache
+/// accounting).
 ///
 /// Every post-v1 addition is an *optional* section, so
 /// [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 4;
+pub const SCHEMA_VERSION: i64 = 5;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -449,6 +451,91 @@ impl KernelSection {
     }
 }
 
+/// Multi-query service accounting (the `service` schema section, new in
+/// version 5): admission-controller outcomes and plan-cache behaviour
+/// across every request a `JoinService` run processed. All counters are
+/// lifetime totals over the service run. `queued` counts requests that
+/// were admitted only after blocking on the page pool; `rejected` counts
+/// both oversize and queue-saturated refusals (each refusal is typed at
+/// the API layer — the report keeps the sum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceSection {
+    /// Join requests submitted to the service.
+    pub requests: u64,
+    /// Requests admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Requests that blocked in the admission queue before running.
+    pub queued: u64,
+    /// Requests refused by the admission controller (oversize or
+    /// saturated queue).
+    pub rejected: u64,
+    /// Admitted requests that completed with a result.
+    pub completed: u64,
+    /// Admitted requests that failed with a typed join error.
+    pub failed: u64,
+    /// Plan-cache lookups that reused cached partition boundaries
+    /// (skipping Kolmogorov sampling entirely).
+    pub cache_hits: u64,
+    /// Plan-cache lookups that found no usable entry and planned fresh.
+    pub cache_misses: u64,
+    /// Cache misses caused by an existing entry whose statistics
+    /// fingerprint drifted past the errorSize tolerance (a subset of
+    /// `cache_misses`).
+    pub cache_invalidations: u64,
+    /// Largest number of requests ever simultaneously blocked waiting
+    /// for pool pages.
+    pub queue_depth_high_water: u64,
+    /// Total shared buffer-pool pages the admission controller manages.
+    pub pool_pages: u64,
+    /// Largest number of pool pages ever simultaneously reserved.
+    pub pool_pages_high_water: u64,
+}
+
+impl ServiceSection {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("requests", Json::Int(self.requests as i64)),
+            ("admitted", Json::Int(self.admitted as i64)),
+            ("queued", Json::Int(self.queued as i64)),
+            ("rejected", Json::Int(self.rejected as i64)),
+            ("completed", Json::Int(self.completed as i64)),
+            ("failed", Json::Int(self.failed as i64)),
+            ("cache_hits", Json::Int(self.cache_hits as i64)),
+            ("cache_misses", Json::Int(self.cache_misses as i64)),
+            (
+                "cache_invalidations",
+                Json::Int(self.cache_invalidations as i64),
+            ),
+            (
+                "queue_depth_high_water",
+                Json::Int(self.queue_depth_high_water as i64),
+            ),
+            ("pool_pages", Json::Int(self.pool_pages as i64)),
+            (
+                "pool_pages_high_water",
+                Json::Int(self.pool_pages_high_water as i64),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<ServiceSection, ReportError> {
+        Ok(ServiceSection {
+            requests: req_u64(j, "requests")?,
+            admitted: req_u64(j, "admitted")?,
+            queued: req_u64(j, "queued")?,
+            rejected: req_u64(j, "rejected")?,
+            completed: req_u64(j, "completed")?,
+            failed: req_u64(j, "failed")?,
+            cache_hits: req_u64(j, "cache_hits")?,
+            cache_misses: req_u64(j, "cache_misses")?,
+            cache_invalidations: req_u64(j, "cache_invalidations")?,
+            queue_depth_high_water: req_u64(j, "queue_depth_high_water")?,
+            pool_pages: req_u64(j, "pool_pages")?,
+            pool_pages_high_water: req_u64(j, "pool_pages_high_water")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -481,6 +568,9 @@ pub struct ExecutionReport {
     /// Fault-injection accounting, when the run executed under injected
     /// faults (or observed any fault-path activity).
     pub faults: Option<FaultsSection>,
+    /// Multi-query service accounting, when the run went through a
+    /// `JoinService` (admission controller + plan cache).
+    pub service: Option<ServiceSection>,
 }
 
 impl ExecutionReport {
@@ -671,6 +761,9 @@ impl ExecutionReport {
         if let Some(fs) = self.faults {
             pairs.push(("faults", fs.to_json()));
         }
+        if let Some(sv) = self.service {
+            pairs.push(("service", sv.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -802,6 +895,10 @@ impl ExecutionReport {
             Some(fs) => Some(FaultsSection::from_json(fs)?),
             None => None,
         };
+        let service = match j.get("service") {
+            Some(sv) => Some(ServiceSection::from_json(sv)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -823,6 +920,7 @@ impl ExecutionReport {
             skew,
             kernel,
             faults,
+            service,
         })
     }
 
@@ -1057,6 +1155,38 @@ impl ExecutionReport {
             p(&mut out, &format!("    degraded plans: {}", fs.degraded));
         }
 
+        if let Some(sv) = self.service {
+            p(&mut out, "\n  service:");
+            p(
+                &mut out,
+                &format!(
+                    "    requests: {} ({} admitted, {} queued, {} rejected)",
+                    sv.requests, sv.admitted, sv.queued, sv.rejected
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    outcomes: {} completed, {} failed",
+                    sv.completed, sv.failed
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    plan cache: {} hits / {} misses ({} invalidations)",
+                    sv.cache_hits, sv.cache_misses, sv.cache_invalidations
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    pool: {} pages, high water {} pages / {} queued requests",
+                    sv.pool_pages, sv.pool_pages_high_water, sv.queue_depth_high_water
+                ),
+            );
+        }
+
         if let Some(sk) = self.skew {
             p(&mut out, "\n  skew:");
             p(
@@ -1239,6 +1369,20 @@ mod tests {
                 backoff_steps: 9,
                 degraded: 1,
             }),
+            service: Some(ServiceSection {
+                requests: 24,
+                admitted: 21,
+                queued: 6,
+                rejected: 3,
+                completed: 20,
+                failed: 1,
+                cache_hits: 15,
+                cache_misses: 5,
+                cache_invalidations: 2,
+                queue_depth_high_water: 4,
+                pool_pages: 512,
+                pool_pages_high_water: 480,
+            }),
         }
     }
 
@@ -1260,17 +1404,19 @@ mod tests {
         report.skew = None;
         report.kernel = None;
         report.faults = None;
+        report.service = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
         assert!(!report.to_json_string().contains("\"kernel\":"));
         assert!(!report.to_json_string().contains("\"faults\":"));
+        assert!(!report.to_json_string().contains("\"service\":"));
     }
 
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 4",
+            "\"schema_version\": 5",
             "\"schema_version\": 99",
             1,
         );
@@ -1282,14 +1428,24 @@ mod tests {
 
     #[test]
     fn older_versions_still_parse() {
-        // A v3 (kernel-less) and a v1 (sections-less) document must both
-        // decode: every post-v1 addition is an optional section.
+        // A v4 (service-less), a v3 (kernel-less) and a v1 (sections-less)
+        // document must all decode: every post-v1 addition is an optional
+        // section.
         let mut report = sample_report();
+        report.service = None;
+        let v4 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 5", "\"schema_version\": 4", 1);
+        let back = ExecutionReport::from_json_str(&v4).unwrap();
+        assert_eq!(back.service, None);
+        assert_eq!(back.kernel, report.kernel);
+
         report.kernel = None;
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 4", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 5", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1304,7 +1460,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 4", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 5", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(
@@ -1362,6 +1518,10 @@ mod tests {
             "injected: 4 read / 2 write, 1 torn writes, 1 checksum failures",
             "retries: 5 (5 recovered, 1 exhausted, 9 backoff steps)",
             "degraded plans: 1",
+            "service:",
+            "requests: 24 (21 admitted, 6 queued, 3 rejected)",
+            "plan cache: 15 hits / 5 misses (2 invalidations)",
+            "pool: 512 pages, high water 480 pages / 4 queued requests",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

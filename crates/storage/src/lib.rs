@@ -39,6 +39,7 @@ pub mod faults;
 pub mod file;
 pub mod heap;
 pub mod page;
+pub mod reserve;
 pub mod stats;
 
 pub use buffer::{BufferPool, BufferPoolStats};
@@ -48,4 +49,5 @@ pub use faults::{FaultConfig, FaultStats, RetryPolicy};
 pub use file::{FileHandle, PageRange};
 pub use heap::{HeapFile, HeapReader, HeapWriter};
 pub use page::{PageBuf, PAGE_HEADER_BYTES};
+pub use reserve::{PagePool, PageReservation, PoolStats, ReserveError};
 pub use stats::{CostRatio, IoStats};

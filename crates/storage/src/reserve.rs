@@ -1,0 +1,326 @@
+//! Shared buffer-pool reservation accounting.
+//!
+//! The join algorithms budget their buffer pages per run ([`crate::buffer`]
+//! caches pages for one caller); a multi-query service needs the level
+//! above: a single page budget shared by every query *in flight*, so that
+//! admitting one more join never overcommits the memory the configuration
+//! promised. [`PagePool`] is that ledger. It moves no data — heap files
+//! still read through the simulated disk — it only accounts for who holds
+//! how many pages, blocks admissions that do not fit, and refuses outright
+//! the two cases that could otherwise deadlock or starve the queue:
+//!
+//! * a request larger than the whole pool can never be satisfied and is
+//!   rejected immediately ([`ReserveError::TooLarge`]) instead of waiting
+//!   forever;
+//! * once `max_waiting` requests are already blocked, further requests are
+//!   rejected ([`ReserveError::Saturated`]) instead of growing the queue
+//!   without bound under memory pressure.
+//!
+//! Reservations are RAII: dropping a [`PageReservation`] returns its pages
+//! and wakes every waiter (wake-all, because waiters need different page
+//! counts and any of them might now fit).
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifetime counters of a [`PagePool`]; all monotone, deterministic given
+/// a deterministic admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Reservations granted (immediately or after waiting).
+    pub granted: u64,
+    /// Reservations granted only after blocking at least once.
+    pub waited: u64,
+    /// Requests rejected because they exceed the pool capacity outright.
+    pub rejected_oversize: u64,
+    /// Requests rejected because the wait queue was full.
+    pub rejected_saturated: u64,
+    /// Reservations returned to the pool.
+    pub released: u64,
+    /// Largest number of pages ever simultaneously reserved.
+    pub pages_high_water: u64,
+    /// Largest number of requests ever simultaneously blocked waiting.
+    pub queue_high_water: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    in_flight: u64,
+    waiting: u64,
+    stats: PoolStats,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    capacity: u64,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// Why a reservation was refused. Both variants are immediate — the pool
+/// never blocks a request it cannot eventually satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveError {
+    /// The request exceeds the pool's total capacity.
+    TooLarge {
+        /// Pages requested.
+        pages: u64,
+        /// Total pool capacity.
+        capacity: u64,
+    },
+    /// The bounded wait queue is full.
+    Saturated {
+        /// Requests already waiting.
+        waiting: u64,
+        /// The configured queue bound.
+        max_waiting: u64,
+    },
+}
+
+impl std::fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReserveError::TooLarge { pages, capacity } => {
+                write!(f, "reservation of {pages} pages exceeds the {capacity}-page pool")
+            }
+            ReserveError::Saturated { waiting, max_waiting } => {
+                write!(f, "admission queue full ({waiting} waiting, bound {max_waiting})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+/// A shared page-budget ledger for concurrent queries. Cheaply clonable;
+/// all clones account against the same budget.
+#[derive(Debug, Clone)]
+pub struct PagePool(Arc<PoolShared>);
+
+impl PagePool {
+    /// A pool of `capacity` pages. A zero-capacity pool rejects every
+    /// non-zero reservation as oversize.
+    pub fn new(capacity: u64) -> PagePool {
+        PagePool(Arc::new(PoolShared {
+            capacity,
+            state: Mutex::new(PoolState::default()),
+            cv: Condvar::new(),
+        }))
+    }
+
+    /// Total capacity in pages.
+    pub fn capacity(&self) -> u64 {
+        self.0.capacity
+    }
+
+    /// Pages currently reserved.
+    pub fn in_flight(&self) -> u64 {
+        self.lock().in_flight
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.0.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Reserves `pages` without blocking. Returns `None` when the pool
+    /// cannot grant the request *right now* (oversize requests still fail
+    /// with an accounting entry, so callers can distinguish).
+    pub fn try_reserve(&self, pages: u64) -> Option<PageReservation> {
+        let mut st = self.lock();
+        if pages > self.0.capacity {
+            st.stats.rejected_oversize += 1;
+            return None;
+        }
+        if st.in_flight + pages > self.0.capacity {
+            return None;
+        }
+        Self::grant(&mut st, pages, false);
+        Some(PageReservation { pool: self.clone(), pages })
+    }
+
+    /// Reserves `pages`, blocking until capacity frees. Fails immediately
+    /// when the request can never fit ([`ReserveError::TooLarge`]) or when
+    /// `max_waiting` requests are already blocked
+    /// ([`ReserveError::Saturated`]). The returned flag is `true` when the
+    /// reservation had to wait (the caller was *queued* rather than
+    /// admitted immediately).
+    pub fn reserve(
+        &self,
+        pages: u64,
+        max_waiting: u64,
+    ) -> Result<(PageReservation, bool), ReserveError> {
+        let mut st = self.lock();
+        if pages > self.0.capacity {
+            st.stats.rejected_oversize += 1;
+            return Err(ReserveError::TooLarge { pages, capacity: self.0.capacity });
+        }
+        if st.in_flight + pages <= self.0.capacity {
+            Self::grant(&mut st, pages, false);
+            return Ok((PageReservation { pool: self.clone(), pages }, false));
+        }
+        if st.waiting >= max_waiting {
+            st.stats.rejected_saturated += 1;
+            return Err(ReserveError::Saturated { waiting: st.waiting, max_waiting });
+        }
+        st.waiting += 1;
+        st.stats.queue_high_water = st.stats.queue_high_water.max(st.waiting);
+        while st.in_flight + pages > self.0.capacity {
+            st = self.0.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.waiting -= 1;
+        Self::grant(&mut st, pages, true);
+        Ok((PageReservation { pool: self.clone(), pages }, true))
+    }
+
+    fn grant(st: &mut PoolState, pages: u64, waited: bool) {
+        st.in_flight += pages;
+        st.stats.granted += 1;
+        if waited {
+            st.stats.waited += 1;
+        }
+        st.stats.pages_high_water = st.stats.pages_high_water.max(st.in_flight);
+    }
+
+    fn release(&self, pages: u64) {
+        let mut st = self.lock();
+        st.in_flight = st.in_flight.saturating_sub(pages);
+        st.stats.released += 1;
+        drop(st);
+        // Wake everyone: waiters need different page counts, and any of
+        // them might fit now.
+        self.0.cv.notify_all();
+    }
+}
+
+/// A granted page reservation; pages return to the pool on drop.
+#[derive(Debug)]
+pub struct PageReservation {
+    pool: PagePool,
+    pages: u64,
+}
+
+impl PageReservation {
+    /// Pages this reservation holds.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+impl Drop for PageReservation {
+    fn drop(&mut self) {
+        self.pool.release(self.pages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn grants_and_releases() {
+        let pool = PagePool::new(10);
+        let a = pool.try_reserve(4).unwrap();
+        let b = pool.try_reserve(6).unwrap();
+        assert_eq!(pool.in_flight(), 10);
+        assert!(pool.try_reserve(1).is_none());
+        drop(a);
+        assert_eq!(pool.in_flight(), 6);
+        let c = pool.try_reserve(4).unwrap();
+        drop(b);
+        drop(c);
+        let st = pool.stats();
+        assert_eq!(st.granted, 3);
+        assert_eq!(st.released, 3);
+        assert_eq!(st.pages_high_water, 10);
+    }
+
+    #[test]
+    fn oversize_is_rejected_not_queued() {
+        let pool = PagePool::new(8);
+        assert!(matches!(
+            pool.reserve(9, 100),
+            Err(ReserveError::TooLarge { pages: 9, capacity: 8 })
+        ));
+        assert_eq!(pool.stats().rejected_oversize, 1);
+        // Even while the pool is busy, an oversize request never waits.
+        let _held = pool.try_reserve(8).unwrap();
+        assert!(matches!(pool.reserve(9, 100), Err(ReserveError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn saturated_queue_rejects() {
+        let pool = PagePool::new(4);
+        let held = pool.try_reserve(4).unwrap();
+        // Queue bound zero: a full pool rejects instead of waiting.
+        assert!(matches!(
+            pool.reserve(1, 0),
+            Err(ReserveError::Saturated { waiting: 0, max_waiting: 0 })
+        ));
+        assert_eq!(pool.stats().rejected_saturated, 1);
+        drop(held);
+        let (r, waited) = pool.reserve(1, 0).unwrap();
+        assert!(!waited);
+        drop(r);
+    }
+
+    #[test]
+    fn blocked_reservation_wakes_on_release() {
+        let pool = PagePool::new(4);
+        let held = pool.try_reserve(3).unwrap();
+        let done = AtomicU64::new(0);
+        thread::scope(|scope| {
+            let pool2 = pool.clone();
+            let done = &done;
+            let h = scope.spawn(move || {
+                let (r, waited) = pool2.reserve(2, 8).unwrap();
+                assert!(waited, "had to wait for the holder to release");
+                done.store(1, Ordering::SeqCst);
+                drop(r);
+            });
+            // Give the waiter time to block, then release.
+            while pool.stats().queue_high_water == 0 {
+                thread::yield_now();
+            }
+            assert_eq!(done.load(Ordering::SeqCst), 0);
+            drop(held);
+            h.join().unwrap();
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        let st = pool.stats();
+        assert_eq!(st.waited, 1);
+        assert_eq!(st.queue_high_water, 1);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overcommit() {
+        let pool = PagePool::new(10);
+        let peak = AtomicU64::new(0);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                let peak = &peak;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let (r, _) = pool.reserve(3, 64).unwrap();
+                        let now = pool.in_flight();
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        assert!(now <= 10, "overcommitted: {now}");
+                        drop(r);
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 10);
+        let st = pool.stats();
+        assert_eq!(st.granted, 400);
+        assert_eq!(st.released, 400);
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

@@ -4,6 +4,7 @@
 //! vtjoin gen  --tuples 1000 --long-lived 100 --keys 50 --side outer -o r.vt
 //! vtjoin info r.vt
 //! vtjoin join r.vt s.vt --algorithm partition --buffer 64 --ratio 5 [-o out.vt]
+//! vtjoin serve --requests reqs.txt --concurrency 4
 //! vtjoin slice r.vt --at 4200
 //! vtjoin coalesce r.vt -o canonical.vt
 //! ```
@@ -42,6 +43,7 @@ fn run(args: &[String]) -> Result<(), AnyError> {
         "gen" => cmd_gen(rest),
         "info" => cmd_info(rest),
         "join" => cmd_join(rest),
+        "serve" => cmd_serve(rest),
         "slice" => cmd_slice(rest),
         "coalesce" => cmd_coalesce(rest),
         "help" | "--help" | "-h" => {
@@ -62,6 +64,9 @@ fn usage() -> String {
      [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
      [--explain] [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
+     vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
+     [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
+     [--explain] [--stats-json FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]"
         .to_owned()
@@ -337,6 +342,127 @@ fn join_parallel(
     if let Some(out) = flags.get("out") {
         save(&result, out)?;
         println!("wrote result to {out}");
+    }
+    Ok(())
+}
+
+/// `serve`: run a batch of join requests through the concurrent
+/// [`vtjoin::engine::JoinService`] — admission-controlled against a shared
+/// page pool, with plan-cache reuse across repeated table pairs.
+///
+/// The requests file is line-oriented (`#` comments and blank lines
+/// ignored):
+///
+/// ```text
+/// load r r.vt        # create table `r` from a portable-text relation
+/// load s s.vt
+/// join r s           # submit r ⋈ s (submitted concurrently)
+/// join r s           # repeated pairs hit the plan cache
+/// ```
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    use vtjoin::engine::{Database, JoinService, ServiceConfig};
+
+    let flags = Flags::parse(args)?;
+    let requests_path = flags.get("requests").ok_or("serve needs --requests FILE")?;
+    let text = std::fs::read_to_string(Path::new(requests_path))
+        .map_err(|e| format!("reading {requests_path}: {e}"))?;
+
+    let mut db = Database::new(4096);
+    let mut joins: Vec<(String, String)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["load", name, path] => {
+                let rel = load(path)?;
+                db.create_table(name, &rel)?;
+            }
+            ["join", outer, inner] => {
+                joins.push(((*outer).to_owned(), (*inner).to_owned()));
+            }
+            _ => {
+                return Err(format!(
+                    "{requests_path}:{}: bad request `{line}` \
+                     (expected `load NAME FILE` or `join OUTER INNER`)",
+                    lineno + 1
+                )
+                .into())
+            }
+        }
+    }
+
+    let concurrency = flags.get_u64("concurrency", 4)?.max(1) as usize;
+    let kernel_name = flags.get("kernel").unwrap_or("auto");
+    let kernel = vtjoin::join::KernelChoice::parse(kernel_name)
+        .ok_or_else(|| format!("--kernel must be auto|hash|sweep, got `{kernel_name}`"))?;
+    let mut cfg = ServiceConfig::new(
+        JoinConfig::with_buffer(flags.get_u64("buffer", 256)?),
+        flags.get_u64("pool-pages", 4096)?,
+    );
+    cfg.max_queue = flags.get_u64("max-queue", cfg.max_queue)?;
+    cfg.threads_per_query =
+        flags.get_u64("threads-per-query", cfg.threads_per_query as u64)?.max(1) as usize;
+    cfg.kernel = kernel;
+    let svc = JoinService::new(db, cfg);
+
+    // Fixed-size outcome slots keep the printed order deterministic (the
+    // request-file order) no matter how the submitter threads interleave.
+    let outcomes: Vec<Mutex<String>> =
+        joins.iter().map(|_| Mutex::new(String::new())).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.min(joins.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((outer, inner)) = joins.get(i) else { break };
+                let line = match svc.submit(outer, inner) {
+                    Ok(resp) => format!(
+                        "join {outer} {inner}: {} tuples, plan {:?}, admission {:?}, \
+                         {} partitions, {} pages reserved",
+                        resp.result.len(),
+                        resp.plan,
+                        resp.admission,
+                        resp.partitions,
+                        resp.reserved_pages,
+                    ),
+                    Err(e) => format!("join {outer} {inner}: FAILED: {e}"),
+                };
+                *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = line;
+            });
+        }
+    });
+    for slot in &outcomes {
+        println!("{}", slot.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+
+    let report = svc.execution_report();
+    if flags.get("explain").is_some() {
+        print!("{}", report.render_explain());
+    } else {
+        let sec = report.service.expect("service report carries its section");
+        println!(
+            "service: {} requests ({} admitted, {} queued, {} rejected), \
+             {} completed, {} failed",
+            sec.requests, sec.admitted, sec.queued, sec.rejected, sec.completed, sec.failed,
+        );
+        println!(
+            "  plan cache: {} hits / {} misses ({} invalidations)",
+            sec.cache_hits, sec.cache_misses, sec.cache_invalidations,
+        );
+        println!(
+            "  pool: {} pages, high water {} pages / {} queued requests",
+            sec.pool_pages, sec.pool_pages_high_water, sec.queue_depth_high_water,
+        );
+    }
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(PathBuf::from(path), report.to_json_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote stats to {path}");
     }
     Ok(())
 }

@@ -1,0 +1,170 @@
+//! Concurrency + plan-cache correctness of the multi-query join service.
+//!
+//! * many submitter threads issuing overlapping join requests must each
+//!   receive a result byte-identical to the serial in-memory oracle;
+//! * a repeated identical workload (sequential, so the hit/miss split is
+//!   deterministic) must report exactly one plan-cache miss and identical
+//!   output on every hit;
+//! * statistics drift past the `errorSize`-derived tolerance must force a
+//!   replan, with hit/miss/invalidation counters asserted exactly under
+//!   the fixed seed; a version bump with *unchanged* statistics (an empty
+//!   append) must stay a hit through the drift check.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vtjoin::engine::{Database, JoinService, PlanOutcome, ServiceConfig};
+use vtjoin::model::algebra::natural_join;
+use vtjoin::prelude::*;
+use vtjoin::workload::generate::{
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
+};
+
+fn workload(tuples: u64, seed: u64, outer: bool) -> Relation {
+    let g = GeneratorConfig {
+        tuples,
+        long_lived: tuples / 20,
+        lifespan: 20_000,
+        keys: 128,
+        key_dist: KeyDistribution::Uniform,
+        time_dist: TimeDistribution::Uniform,
+        duration_dist: DurationDistribution::UniformUpTo(300),
+        pad_bytes: 0,
+        seed,
+    };
+    let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+    generate(schema, &g)
+}
+
+/// The order-independent byte image acceptance compares on.
+fn sorted_encoding(rel: &Relation) -> Vec<Vec<u8>> {
+    let mut bytes: Vec<Vec<u8>> = rel.iter().map(vtjoin::storage::codec::encode).collect();
+    bytes.sort_unstable();
+    bytes
+}
+
+fn service_with(pairs: &[(&str, u64, bool)]) -> JoinService {
+    let mut db = Database::new(1024);
+    for (name, tuples, outer) in pairs {
+        let seed = 0x5EED ^ (*tuples << 1) ^ u64::from(*outer);
+        db.create_table(name, &workload(*tuples, seed, *outer)).unwrap();
+    }
+    let mut cfg = ServiceConfig::new(JoinConfig::with_buffer(16).seed(7), 16_384);
+    cfg.threads_per_query = 2;
+    JoinService::new(db, cfg)
+}
+
+#[test]
+fn concurrent_overlapping_joins_match_the_serial_oracle() {
+    let svc = service_with(&[
+        ("r1", 2_000, true),
+        ("s1", 2_000, false),
+        ("r2", 1_200, true),
+        ("s2", 1_500, false),
+    ]);
+    // Every distinct pair's oracle, computed serially up front.
+    let oracle = |o: &str, i: &str| {
+        let db = svc.database().read().unwrap();
+        let (r, s) = (db.scan(o).unwrap(), db.scan(i).unwrap());
+        sorted_encoding(&natural_join(&r, &s).unwrap())
+    };
+    let jobs = [("r1", "s1"), ("r2", "s2"), ("r1", "s2"), ("r2", "s1")];
+    let oracles: Vec<_> = jobs.iter().map(|(o, i)| oracle(o, i)).collect();
+
+    // 8 submitter threads draining a 32-request queue that cycles through
+    // the four overlapping pairs.
+    let next = AtomicUsize::new(0);
+    let total = 32;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut checked = 0;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break checked;
+                        }
+                        let (o, inn) = jobs[i % jobs.len()];
+                        let resp = svc.submit(o, inn).unwrap();
+                        assert_eq!(
+                            sorted_encoding(&resp.result),
+                            oracles[i % jobs.len()],
+                            "{o} ⋈ {inn} diverged from the oracle under concurrency"
+                        );
+                        checked += 1;
+                    }
+                })
+            })
+            .collect();
+        let checked: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(checked, total);
+    });
+
+    let sec = svc.service_section();
+    assert_eq!(sec.requests, total as u64);
+    assert_eq!(sec.completed, total as u64);
+    assert_eq!(sec.failed + sec.rejected, 0);
+    // Hit/miss split is scheduling-dependent, but totals must balance and
+    // at least the steady state (every pair planned once) must hit.
+    assert_eq!(sec.cache_hits + sec.cache_misses, total as u64);
+    assert!(sec.cache_hits >= (total - 2 * jobs.len()) as u64);
+}
+
+#[test]
+fn repeated_workload_hits_the_cache_with_identical_output() {
+    let svc = service_with(&[("r", 2_500, true), ("s", 2_500, false)]);
+    let first = svc.submit("r", "s").unwrap();
+    assert_eq!(first.plan, PlanOutcome::Miss);
+    let want = sorted_encoding(&first.result);
+    for round in 0..4 {
+        let resp = svc.submit("r", "s").unwrap();
+        assert_eq!(resp.plan, PlanOutcome::CacheHit, "round {round}");
+        assert_eq!(sorted_encoding(&resp.result), want, "round {round}");
+    }
+    let sec = svc.service_section();
+    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (4, 1, 0));
+    assert!(sec.cache_hits > 0, "repeated workload must report a positive hit ratio");
+}
+
+#[test]
+fn version_bump_with_unchanged_stats_stays_a_hit() {
+    let svc = service_with(&[("r", 2_000, true), ("s", 2_000, false)]);
+    assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::Miss);
+    // An empty append rewrites the table and bumps its catalog version —
+    // the fingerprint's fast path (version equality) no longer applies,
+    // so this exercises the drift-tolerance comparison with zero drift.
+    svc.append("r", &[]).unwrap();
+    assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::CacheHit);
+    let sec = svc.service_section();
+    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (1, 1, 0));
+}
+
+#[test]
+fn drift_past_tolerance_forces_a_replan() {
+    let svc = service_with(&[("r", 2_000, true), ("s", 2_000, false)]);
+    assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::Miss);
+    assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::CacheHit);
+
+    // Double the outer relation: cardinality drift far beyond any
+    // errorSize-derived tolerance, so the cached plan must be dropped.
+    let extra = workload(2_000, 0xD01F, true).into_tuples();
+    svc.append("r", &extra).unwrap();
+    let resp = svc.submit("r", "s").unwrap();
+    assert_eq!(resp.plan, PlanOutcome::Invalidated);
+
+    // The replanned entry is cached in turn.
+    assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::CacheHit);
+
+    let sec = svc.service_section();
+    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (2, 2, 1));
+    assert_eq!(sec.requests, 4);
+    assert_eq!(sec.completed, 4);
+
+    // And the post-drift result matches the post-drift oracle.
+    let want = {
+        let db = svc.database().read().unwrap();
+        let (r, s) = (db.scan("r").unwrap(), db.scan("s").unwrap());
+        sorted_encoding(&natural_join(&r, &s).unwrap())
+    };
+    assert_eq!(sorted_encoding(&resp.result), want);
+}
