@@ -12,6 +12,7 @@
 
 use crate::allen::AllenSet;
 use crate::error::{Result, TemporalError};
+use crate::predicate::JoinPredicate;
 use crate::interval::Interval;
 use crate::period::Period;
 use crate::relation::Relation;
@@ -144,6 +145,40 @@ pub fn allen_join(r: &Relation, s: &Relation, pred: AllenSet) -> Result<Relation
                     .overlap(y.valid())
                     .unwrap_or_else(|| x.valid().span(y.valid()));
                 out.push(Tuple::new(splice(x, y, &s_all), stamp));
+            }
+        }
+    }
+    Ok(Relation::from_parts_unchecked(out_schema, out))
+}
+
+/// The **predicate natural join**: like [`natural_join`], tuples must agree
+/// on the shared explicit attributes, but the temporal condition is an
+/// arbitrary [`JoinPredicate`] instead of interval overlap. Matched pairs
+/// are stamped per [`JoinPredicate::stamp`]: the maximal overlap when one
+/// exists, otherwise the convex hull (span). With
+/// [`JoinPredicate::intersects`] this is exactly [`natural_join`].
+///
+/// Implemented as a hash join on the key plus a per-pair classification
+/// test — the correctness oracle for the predicate-parameterized disk and
+/// in-memory executors in the `vtjoin-join` and `vtjoin-engine` crates.
+pub fn predicate_join(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Result<Relation> {
+    let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
+    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
+    let s_extra = non_shared_indices(s.schema().arity(), &shared_s);
+
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for y in s.iter() {
+        table.entry(y.key_at(&shared_s)).or_default().push(y);
+    }
+
+    let mut out = Vec::new();
+    for x in r.iter() {
+        if let Some(candidates) = table.get(&x.key_at(&shared_r)) {
+            for y in candidates {
+                if pred.matches(x.valid(), y.valid()) {
+                    let stamp = pred.stamp(x.valid(), y.valid());
+                    out.push(Tuple::new(splice(x, y, &s_extra), stamp));
+                }
             }
         }
     }
@@ -453,6 +488,41 @@ mod tests {
         let j = allen_join(&r, &s, AllenSet::only(AllenRelation::Before)).unwrap();
         assert_eq!(j.len(), 1);
         assert_eq!(j.tuples()[0].valid(), iv(0, 9));
+    }
+
+    #[test]
+    fn predicate_join_with_intersects_is_natural_join() {
+        use crate::predicate::JoinPredicate;
+        let r = Relation::new(
+            emp(),
+            vec![et(1, 10, 0, 6), et(2, 10, 3, 9), et(3, 20, 2, 4)],
+        )
+        .unwrap();
+        let s = Relation::new(
+            mgr(),
+            vec![mt(10, 100, 2, 5), mt(20, 200, 0, 9), mt(10, 101, 6, 8)],
+        )
+        .unwrap();
+        let natural = natural_join(&r, &s).unwrap();
+        let pred = predicate_join(&r, &s, &JoinPredicate::intersects()).unwrap();
+        assert!(natural.multiset_eq(&pred));
+    }
+
+    #[test]
+    fn predicate_join_keys_still_gate_disjoint_relations() {
+        use crate::allen::AllenRelation;
+        use crate::predicate::JoinPredicate;
+        // Same key, disjoint time, gap 2: `before` matches with a span
+        // stamp; a key mismatch never matches regardless of time.
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 2), et(2, 30, 0, 2)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 5, 7)]).unwrap();
+        let before = JoinPredicate::relation(AllenRelation::Before);
+        let j = predicate_join(&r, &s, &before).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.tuples()[0].valid(), iv(0, 7));
+        // Tighten the gap below 2 and the pair drops out.
+        let tight = before.with_max_gap(1);
+        assert!(predicate_join(&r, &s, &tight).unwrap().is_empty());
     }
 
     #[test]

@@ -14,8 +14,8 @@ pub mod setops;
 pub use aggregate::{count_over_time, extremum_over_time, sum_over_time, Extremum};
 pub use coalesce::coalesce;
 pub use join::{
-    allen_join, antijoin, full_outerjoin, natural_join, outerjoin, semijoin, time_join,
-    JoinSide,
+    allen_join, antijoin, full_outerjoin, natural_join, outerjoin, predicate_join, semijoin,
+    time_join, JoinSide,
 };
 pub use select::{project, select, select_interval};
 pub use setops::{difference, intersection, union};

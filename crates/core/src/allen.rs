@@ -7,7 +7,24 @@
 //!
 //! On a discrete time-line with *closed* intervals, "meets" is interpreted
 //! as adjacency: `a meets b` iff `a.end + 1 == b.start` (sharing an endpoint
-//! chronon would mean the intervals overlap, since chronons are indivisible).
+//! chronon would mean the intervals overlap, since chronons are indivisible):
+//!
+//! ```
+//! use vtjoin_core::allen::AllenRelation;
+//! use vtjoin_core::Interval;
+//!
+//! let a = Interval::from_raw(0, 4).unwrap();
+//! let b = Interval::from_raw(5, 9).unwrap();
+//! let c = Interval::from_raw(4, 9).unwrap();
+//!
+//! // [0,4] and [5,9] are adjacent: no chronon lies between them.
+//! assert_eq!(AllenRelation::classify(a, b), AllenRelation::Meets);
+//! // [0,4] and [4,9] share chronon 4, so they overlap instead.
+//! assert_eq!(AllenRelation::classify(a, c), AllenRelation::Overlaps);
+//! // Exactly one relation holds per ordered pair; swapping gives the inverse.
+//! assert_eq!(AllenRelation::classify(b, a), AllenRelation::MetBy);
+//! assert_eq!(AllenRelation::Meets.inverse(), AllenRelation::MetBy);
+//! ```
 
 use crate::interval::Interval;
 use std::fmt;
@@ -200,6 +217,23 @@ impl AllenSet {
         self.0 & (1 << r as u16) != 0
     }
 
+    /// The union of two sets.
+    #[must_use]
+    pub fn union(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 | other.0)
+    }
+
+    /// The intersection of two sets.
+    #[must_use]
+    pub fn intersect(self, other: AllenSet) -> AllenSet {
+        AllenSet(self.0 & other.0)
+    }
+
+    /// The member relations, in canonical [`AllenRelation::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
+        AllenRelation::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
     /// Whether the relation between `a` and `b` is in the set.
     pub fn matches(self, a: Interval, b: Interval) -> bool {
         self.contains(AllenRelation::classify(a, b))
@@ -307,6 +341,19 @@ mod tests {
         assert!(!s.matches(iv(0, 5), iv(5, 6)));
         assert!(AllenSet::empty().is_empty());
         assert_eq!(AllenSet::all().len(), 13);
+    }
+
+    #[test]
+    fn set_algebra_and_iteration() {
+        let fwd = AllenSet::only(AllenRelation::Before).with(AllenRelation::Meets);
+        let near = AllenSet::only(AllenRelation::Meets).with(AllenRelation::Overlaps);
+        assert_eq!(fwd.union(near).len(), 3);
+        assert_eq!(fwd.intersect(near), AllenSet::only(AllenRelation::Meets));
+        assert_eq!(
+            fwd.union(near).iter().collect::<Vec<_>>(),
+            vec![AllenRelation::Before, AllenRelation::Meets, AllenRelation::Overlaps],
+        );
+        assert_eq!(AllenSet::all().iter().count(), 13);
     }
 
     #[test]

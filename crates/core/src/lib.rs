@@ -21,6 +21,7 @@
 //! | [`chronon`] | the discrete time-line |
 //! | [`interval`] | closed intervals, the paper's `overlap`, interval algebra |
 //! | [`allen`] | Allen's 13 interval relations |
+//! | [`predicate`] | generalized join predicates compiled from Allen relation sets |
 //! | [`period`] | temporal elements: canonical sets of disjoint intervals |
 //! | [`value`], [`schema`], [`mod@tuple`], [`relation`] | the 1NF model |
 //! | [`algebra`] | selection, projection, coalescing, timeslice, joins, aggregation |
@@ -35,12 +36,14 @@ pub mod chronon;
 pub mod error;
 pub mod interval;
 pub mod period;
+pub mod predicate;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use allen::AllenRelation;
+pub use allen::{AllenRelation, AllenSet};
+pub use predicate::{JoinPredicate, PredicateTemplate};
 pub use chronon::Chronon;
 pub use error::{Result, TemporalError};
 pub use interval::Interval;

@@ -1,0 +1,421 @@
+//! Generalized temporal join predicates over Allen relations.
+//!
+//! A [`JoinPredicate`] names *which* temporal relationship two key-matching
+//! tuples must stand in to join: any subset of Allen's thirteen relations
+//! ([`crate::allen`]), optionally composed with a maximum gap for the
+//! disjoint relations (`before`/`after`). The valid-time natural join of
+//! the paper is the special case [`JoinPredicate::intersects`] — the nine
+//! overlap-implying relations.
+//!
+//! The predicate compiles to one of three evaluation **templates** (per
+//! Piatov, Helmer, Dignös & Persia's sweeping-based interval joins for
+//! extended Allen predicates):
+//!
+//! * [`PredicateTemplate::Intersection`] — every requested relation implies
+//!   a shared chronon, so the endpoint-sweep (or hash) kernel's
+//!   overlap-candidate enumeration already produces a superset of the
+//!   answer; the predicate becomes an endpoint-order filter on the
+//!   candidate pairs, and time-partitioned execution remains valid because
+//!   every matching pair still has an overlap interval whose end falls in
+//!   exactly one partition (the canonical-partition emit rule).
+//! * [`PredicateTemplate::Sequence`] — only disjoint relations
+//!   (`before`/`meets`/`met-by`/`after`): a matching pair may never share a
+//!   partition of the time-line, so partitioning cannot serve it; execution
+//!   falls back to a predicate-aware sort-merge scan per key.
+//! * [`PredicateTemplate::Mixed`] — both kinds requested; also served by
+//!   the sort-merge fallback.
+//!
+//! ```
+//! use vtjoin_core::{Interval, JoinPredicate};
+//!
+//! // `overlaps-or-meets`: strict forward overlap, or adjacency.
+//! let pred: JoinPredicate = "overlaps-or-meets".parse().unwrap();
+//! let a = Interval::from_raw(0, 4).unwrap();
+//! let b = Interval::from_raw(5, 9).unwrap();
+//! assert!(pred.matches(a, b)); // [0,4] meets [5,9] (end + 1 == start)
+//! assert!(!pred.matches(b, a));
+//!
+//! // Non-overlapping matches are stamped with the convex hull.
+//! assert_eq!(pred.stamp(a, b), Interval::from_raw(0, 9).unwrap());
+//! ```
+
+use crate::allen::{AllenRelation, AllenSet};
+use crate::interval::Interval;
+use std::fmt;
+use std::str::FromStr;
+
+/// The evaluation template a [`JoinPredicate`] compiles to. See the
+/// module documentation for what each template means operationally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateTemplate {
+    /// All requested relations imply a shared chronon: sweep/hash kernels
+    /// with an endpoint-order filter, time partitioning stays valid.
+    Intersection,
+    /// All requested relations are disjoint (`before`, `meets`, `met-by`,
+    /// `after`): predicate-aware sort-merge fallback.
+    Sequence,
+    /// Both overlap-implying and disjoint relations requested: sort-merge
+    /// fallback.
+    Mixed,
+}
+
+impl PredicateTemplate {
+    /// Stable display name ("intersection", "sequence", "mixed").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PredicateTemplate::Intersection => "intersection",
+            PredicateTemplate::Sequence => "sequence",
+            PredicateTemplate::Mixed => "mixed",
+        }
+    }
+}
+
+/// A parse failure from [`JoinPredicate::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateParseError(String);
+
+impl fmt::Display for PredicateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid join predicate: {}", self.0)
+    }
+}
+
+impl std::error::Error for PredicateParseError {}
+
+/// A generalized temporal join predicate: a set of Allen relations plus an
+/// optional maximum gap bounding the `before`/`after` members.
+///
+/// The **gap** between two disjoint intervals is the number of chronons
+/// strictly between them: `meets` is exactly the gap-0 adjacency
+/// (`a.end + 1 == b.start`), `before` has gap ≥ 1. A predicate with
+/// `max_gap = Some(g)` matches `before`/`after` pairs only when their gap
+/// is at most `g`; the other eleven relations are unaffected.
+///
+/// Values are canonical: the gap bound is dropped at construction when the
+/// set contains neither `before` nor `after`, so equal predicates compare
+/// and render equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPredicate {
+    relations: AllenSet,
+    max_gap: Option<u64>,
+}
+
+impl Default for JoinPredicate {
+    /// The valid-time natural join's predicate, [`JoinPredicate::intersects`].
+    fn default() -> JoinPredicate {
+        JoinPredicate::intersects()
+    }
+}
+
+impl JoinPredicate {
+    /// The nine overlap-implying relations — the temporal predicate of the
+    /// paper's valid-time natural join. Renders as `intersects`.
+    pub fn intersects() -> JoinPredicate {
+        JoinPredicate::from_set(AllenSet::overlapping())
+    }
+
+    /// A single-relation predicate.
+    pub fn relation(r: AllenRelation) -> JoinPredicate {
+        JoinPredicate::from_set(AllenSet::only(r))
+    }
+
+    /// A predicate over an arbitrary relation set, with no gap bound.
+    pub fn from_set(relations: AllenSet) -> JoinPredicate {
+        JoinPredicate { relations, max_gap: None }
+    }
+
+    /// Builder-style: bound the gap of the set's `before`/`after` members
+    /// to at most `g` chronons. Dropped (canonicalized away) when the set
+    /// contains neither.
+    #[must_use]
+    pub fn with_max_gap(mut self, g: u64) -> JoinPredicate {
+        self.max_gap = if self.gap_applies() { Some(g) } else { None };
+        self
+    }
+
+    fn gap_applies(&self) -> bool {
+        self.relations.contains(AllenRelation::Before)
+            || self.relations.contains(AllenRelation::After)
+    }
+
+    /// The relation set the predicate tests.
+    pub fn relations(&self) -> AllenSet {
+        self.relations
+    }
+
+    /// The gap bound, when one is set.
+    pub fn max_gap(&self) -> Option<u64> {
+        self.max_gap
+    }
+
+    /// Whether this is exactly the natural join's predicate
+    /// ([`JoinPredicate::intersects`]), for which every existing
+    /// overlap-based path is already the complete answer.
+    pub fn is_natural(&self) -> bool {
+        self.relations == AllenSet::overlapping() && self.max_gap.is_none()
+    }
+
+    /// The evaluation template the predicate compiles to.
+    pub fn template(&self) -> PredicateTemplate {
+        let overlap_part = self.relations.intersect(AllenSet::overlapping());
+        if overlap_part == self.relations && !self.relations.is_empty() {
+            PredicateTemplate::Intersection
+        } else if overlap_part.is_empty() {
+            PredicateTemplate::Sequence
+        } else {
+            PredicateTemplate::Mixed
+        }
+    }
+
+    /// Whether replicated time-partitioned execution can serve the
+    /// predicate (true exactly for the intersection template: every match
+    /// has an overlap interval locating it in one canonical partition).
+    pub fn partitioning_eligible(&self) -> bool {
+        self.template() == PredicateTemplate::Intersection
+    }
+
+    /// Whether the pair `(a, b)` satisfies the predicate, in that operand
+    /// order (`a` from the outer relation, `b` from the inner).
+    pub fn matches(&self, a: Interval, b: Interval) -> bool {
+        let rel = AllenRelation::classify(a, b);
+        if !self.relations.contains(rel) {
+            return false;
+        }
+        match (rel, self.max_gap) {
+            (AllenRelation::Before, Some(g)) => gap_between(a, b) <= g as i128,
+            (AllenRelation::After, Some(g)) => gap_between(b, a) <= g as i128,
+            _ => true,
+        }
+    }
+
+    /// The result timestamp for a matched pair: the maximal overlap when
+    /// one exists, otherwise the convex hull (span) — the convention of
+    /// the in-memory [`crate::algebra::allen_join`].
+    pub fn stamp(&self, a: Interval, b: Interval) -> Interval {
+        a.overlap(b).unwrap_or_else(|| a.span(b))
+    }
+}
+
+/// Chronons strictly between `earlier` and `later` (`earlier` entirely
+/// before `later`); 0 when they are adjacent.
+fn gap_between(earlier: Interval, later: Interval) -> i128 {
+    later.start().distance_from(earlier.end()) - 1
+}
+
+impl fmt::Display for JoinPredicate {
+    /// Canonical form: `intersects` for the natural predicate, otherwise
+    /// the member relations in canonical order joined with `-or-`, with
+    /// `before`/`after` rendered as `before-within-N` under a gap bound.
+    /// [`JoinPredicate::from_str`] is the exact inverse.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_natural() {
+            return f.write_str("intersects");
+        }
+        let mut first = true;
+        for r in self.relations.iter() {
+            if !first {
+                f.write_str("-or-")?;
+            }
+            first = false;
+            match (r, self.max_gap) {
+                (AllenRelation::Before, Some(g)) => write!(f, "before-within-{g}")?,
+                (AllenRelation::After, Some(g)) => write!(f, "after-within-{g}")?,
+                _ => write!(f, "{r}")?,
+            }
+        }
+        if first {
+            f.write_str("nothing")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for JoinPredicate {
+    type Err = PredicateParseError;
+
+    /// Parses the `--predicate` grammar: terms joined with `-or-`, each
+    /// term an Allen relation name (`before`, `meets`, `overlaps`,
+    /// `starts`, `during`, `finishes`, `equals`, `finished-by`,
+    /// `contains`, `started-by`, `overlapped-by`, `met-by`, `after`),
+    /// the alias `intersects` (the nine overlap-implying relations), or a
+    /// gap-bounded `before-within-N` / `after-within-N`. No relation name
+    /// contains `-or-`, so the split is unambiguous.
+    fn from_str(s: &str) -> Result<JoinPredicate, PredicateParseError> {
+        let mut relations = AllenSet::empty();
+        let mut max_gap: Option<u64> = None;
+        let mut saw_term = false;
+        for term in s.split("-or-") {
+            saw_term = true;
+            if term == "intersects" {
+                relations = relations.union(AllenSet::overlapping());
+                continue;
+            }
+            if let Some(rel) = AllenRelation::ALL.iter().find(|r| r.to_string() == term) {
+                relations = relations.with(*rel);
+                continue;
+            }
+            let bounded = term
+                .strip_prefix("before-within-")
+                .map(|g| (AllenRelation::Before, g))
+                .or_else(|| {
+                    term.strip_prefix("after-within-")
+                        .map(|g| (AllenRelation::After, g))
+                });
+            match bounded {
+                Some((rel, digits)) => {
+                    let g: u64 = digits.parse().map_err(|_| {
+                        PredicateParseError(format!("bad gap bound in term '{term}'"))
+                    })?;
+                    if let Some(prev) = max_gap {
+                        if prev != g {
+                            return Err(PredicateParseError(format!(
+                                "conflicting gap bounds {prev} and {g}"
+                            )));
+                        }
+                    }
+                    max_gap = Some(g);
+                    relations = relations.with(rel);
+                }
+                None => {
+                    return Err(PredicateParseError(format!("unknown term '{term}'")));
+                }
+            }
+        }
+        if !saw_term || relations.is_empty() {
+            return Err(PredicateParseError("empty predicate".into()));
+        }
+        let pred = JoinPredicate { relations, max_gap: None };
+        Ok(match max_gap {
+            Some(g) => pred.with_max_gap(g),
+            None => pred,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::from_raw(s, e).unwrap()
+    }
+
+    #[test]
+    fn natural_default_round_trips() {
+        let p = JoinPredicate::default();
+        assert!(p.is_natural());
+        assert_eq!(p.to_string(), "intersects");
+        assert_eq!("intersects".parse::<JoinPredicate>().unwrap(), p);
+        assert_eq!(p.template(), PredicateTemplate::Intersection);
+        assert!(p.partitioning_eligible());
+    }
+
+    #[test]
+    fn every_single_relation_round_trips() {
+        for r in AllenRelation::ALL {
+            let p = JoinPredicate::relation(r);
+            let back: JoinPredicate = p.to_string().parse().unwrap();
+            assert_eq!(back, p, "{r}");
+            let expect = if r.implies_overlap() {
+                PredicateTemplate::Intersection
+            } else {
+                PredicateTemplate::Sequence
+            };
+            assert_eq!(p.template(), expect, "{r}");
+        }
+    }
+
+    #[test]
+    fn compositions_classify_and_round_trip() {
+        let om: JoinPredicate = "overlaps-or-meets".parse().unwrap();
+        assert_eq!(om.template(), PredicateTemplate::Mixed);
+        assert!(!om.partitioning_eligible());
+        assert_eq!(om.to_string(), "meets-or-overlaps"); // canonical order
+        assert_eq!(
+            om.to_string().parse::<JoinPredicate>().unwrap(),
+            om
+        );
+
+        let seq: JoinPredicate = "before-or-after".parse().unwrap();
+        assert_eq!(seq.template(), PredicateTemplate::Sequence);
+
+        let gap: JoinPredicate = "before-within-5".parse().unwrap();
+        assert_eq!(gap.max_gap(), Some(5));
+        assert_eq!(gap.to_string(), "before-within-5");
+        assert_eq!(gap.to_string().parse::<JoinPredicate>().unwrap(), gap);
+    }
+
+    #[test]
+    fn matches_agrees_with_classify() {
+        for r in AllenRelation::ALL {
+            let p = JoinPredicate::relation(r);
+            for a_s in 0..5 {
+                for a_e in a_s..5 {
+                    for b_s in 0..5 {
+                        for b_e in b_s..5 {
+                            let (a, b) = (iv(a_s, a_e), iv(b_s, b_e));
+                            assert_eq!(
+                                p.matches(a, b),
+                                AllenRelation::classify(a, b) == r,
+                                "{r}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_bound_tightens_before() {
+        let p: JoinPredicate = "before-within-2".parse().unwrap();
+        // [0,1] … gap … [g+2, g+3]
+        assert!(!p.matches(iv(0, 1), iv(2, 3))); // gap 0 is `meets`, not `before`
+        assert!(p.matches(iv(0, 1), iv(3, 4))); // gap 1
+        assert!(p.matches(iv(0, 1), iv(4, 5))); // gap 2
+        assert!(!p.matches(iv(0, 1), iv(5, 6))); // gap 3
+        let unbounded = JoinPredicate::relation(AllenRelation::Before);
+        assert!(unbounded.matches(iv(0, 1), iv(1000, 1001)));
+    }
+
+    #[test]
+    fn gap_bound_is_dropped_without_before_or_after() {
+        let p = JoinPredicate::relation(AllenRelation::Meets).with_max_gap(4);
+        assert_eq!(p.max_gap(), None);
+        assert_eq!(p, JoinPredicate::relation(AllenRelation::Meets));
+    }
+
+    #[test]
+    fn stamp_is_overlap_else_span() {
+        let p = JoinPredicate::default();
+        assert_eq!(p.stamp(iv(0, 5), iv(3, 9)), iv(3, 5));
+        assert_eq!(p.stamp(iv(0, 2), iv(8, 9)), iv(0, 9));
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!("".parse::<JoinPredicate>().is_err());
+        assert!("sideways".parse::<JoinPredicate>().is_err());
+        assert!("before-within-".parse::<JoinPredicate>().is_err());
+        assert!("before-within-x".parse::<JoinPredicate>().is_err());
+        assert!("before-within-1-or-after-within-2"
+            .parse::<JoinPredicate>()
+            .is_err());
+        assert!("before-or-".parse::<JoinPredicate>().is_err());
+    }
+
+    #[test]
+    fn intersects_matches_iff_overlap() {
+        let p = JoinPredicate::intersects();
+        for a_s in 0..5 {
+            for a_e in a_s..5 {
+                for b_s in 0..5 {
+                    for b_e in b_s..5 {
+                        let (a, b) = (iv(a_s, a_e), iv(b_s, b_e));
+                        assert_eq!(p.matches(a, b), a.overlaps(b));
+                    }
+                }
+            }
+        }
+    }
+}

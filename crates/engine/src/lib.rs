@@ -37,8 +37,9 @@ pub mod view;
 
 pub use database::{Database, TableStats};
 pub use parallel::{
-    parallel_execution_report, parallel_execution_report_with, parallel_partition_join,
-    parallel_partition_join_naive, parallel_partition_join_reported, parallel_partition_join_with,
+    parallel_execution_report, parallel_execution_report_pred, parallel_execution_report_with,
+    parallel_partition_join, parallel_partition_join_naive, parallel_partition_join_pred,
+    parallel_partition_join_reported, parallel_partition_join_with,
 };
 pub use planner::{choose_algorithm, partition_feasible, Algorithm};
 pub use query::{Predicate, Query};

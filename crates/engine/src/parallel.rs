@@ -35,21 +35,32 @@
 //! depends only on partition data (never on thread count), every
 //! partition's result lands in its own slot, and the slots are flattened
 //! in partition order.
+//!
+//! **Generalized predicates.** The `_pred` entry points evaluate an
+//! arbitrary [`JoinPredicate`]. Intersection-template predicates run the
+//! partitioned path above with the predicate-filtering kernel variants
+//! (the canonical-partition emit rule still de-duplicates, because every
+//! intersection match is stamped with its overlap). Sequence and mixed
+//! templates — whose matches may share no partition — run the
+//! predicate-aware merge fallback instead: the outer relation is split
+//! into contiguous chunks, one per worker, and each chunk is merged
+//! against the whole inner side. Chunk outputs concatenate back to outer
+//! order, so this path is also deterministic across thread counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
-use vtjoin_core::{Interval, Relation, Tuple};
+use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::{
-    choose_kernel, hash_join, sweep_join, KernelChoice, KernelCounters, KernelKind, OutputBatch,
-    SweepScratch,
+    choose_kernel, hash_join, hash_join_pred, merge_join_pred, sweep_join, sweep_join_pred,
+    KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
 };
 use vtjoin_join::partition::intervals::{is_partitioning, replica_range};
 use vtjoin_obs::{
-    ConfigSection, Counter, ExecutionReport, IoSection, KernelSection, PhaseSection, ResultSection,
-    SkewSection, WorkerSection,
+    ConfigSection, Counter, ExecutionReport, IoSection, KernelSection, PhaseSection,
+    PredicateSection, ResultSection, SkewSection, WorkerSection,
 };
 
 /// Joins `r ⋈ᵛ s` by replicating tuples into every overlapping partition
@@ -77,7 +88,32 @@ pub fn parallel_partition_join_with(
     threads: usize,
     choice: KernelChoice,
 ) -> Result<Relation, vtjoin_join::JoinError> {
-    execute(r, s, intervals, threads, choice).map(|(rel, _)| rel)
+    execute(
+        r,
+        s,
+        intervals,
+        threads,
+        choice,
+        &JoinPredicate::intersects(),
+    )
+    .map(|(rel, _)| rel)
+}
+
+/// As [`parallel_partition_join`], evaluating an arbitrary
+/// [`JoinPredicate`] instead of the natural intersection predicate.
+///
+/// Intersection-template predicates run the partitioned executor with
+/// predicate-filtering kernels; sequence/mixed templates run the merge
+/// fallback (see the module documentation) and ignore `intervals` beyond
+/// validating them.
+pub fn parallel_partition_join_pred(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+    pred: &JoinPredicate,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    execute(r, s, intervals, threads, KernelChoice::Auto, pred).map(|(rel, _)| rel)
 }
 
 /// As [`parallel_partition_join`], but also reports a per-worker breakdown
@@ -95,7 +131,14 @@ pub fn parallel_partition_join_reported(
     intervals: &[Interval],
     threads: usize,
 ) -> Result<(Relation, Vec<WorkerSection>), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, threads, KernelChoice::Auto)?;
+    let (rel, detail) = execute(
+        r,
+        s,
+        intervals,
+        threads,
+        KernelChoice::Auto,
+        &JoinPredicate::intersects(),
+    )?;
     Ok((rel, detail.workers))
 }
 
@@ -113,6 +156,9 @@ struct ExecDetail {
     match_tests: u64,
     /// Per-kernel accounting, merged across workers.
     kernel: KernelCounters,
+    /// Predicate-filter / merge-fallback accounting, merged across
+    /// workers; all-zero for the natural join.
+    predicate: PredicateCounters,
     /// Wall-clock of the replicate and join phases, in microseconds.
     replicate_micros: u64,
     join_micros: u64,
@@ -136,6 +182,7 @@ fn execute(
     intervals: &[Interval],
     threads: usize,
     choice: KernelChoice,
+    pred: &JoinPredicate,
 ) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
     // A typed error, not an assert: the intervals may arrive from a plan
     // cache or an external request, and a malformed set must fail the one
@@ -145,8 +192,14 @@ fn execute(
             "intervals must partition all of valid time (sorted, gapless, ending at forever)",
         ));
     }
+    // Sequence/mixed templates cannot be served by time partitioning (a
+    // matching pair may share no partition); they run the merge fallback.
+    if !pred.partitioning_eligible() {
+        return execute_merge(r, s, threads, pred);
+    }
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let n = intervals.len();
+    let natural = pred.is_natural();
 
     let replicate_started = Instant::now();
     let r_parts = replicate(r, intervals);
@@ -169,6 +222,7 @@ fn execute(
     let mut probes = 0u64;
     let mut match_tests = 0u64;
     let mut kernel = KernelCounters::default();
+    let mut predicate = PredicateCounters::default();
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
@@ -187,6 +241,7 @@ fn execute(
                 let mut probes = 0u64;
                 let mut match_tests = 0u64;
                 let mut kernel = KernelCounters::default();
+                let mut predicate = PredicateCounters::default();
                 // Reused across every partition this worker steals: sweep
                 // event/active-list buffers and the output batch grow to
                 // the workload's high-water mark once, then never again.
@@ -218,22 +273,49 @@ fn execute(
                         batch.begin(est);
                         match choose_kernel(choice, spec, &r_parts[i], &s_parts[i]) {
                             KernelKind::Hash => {
-                                let hs = hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch);
+                                let hs = if natural {
+                                    hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch)
+                                } else {
+                                    hash_join_pred(
+                                        spec,
+                                        pred,
+                                        &r_parts[i],
+                                        &s_parts[i],
+                                        p_i,
+                                        &mut batch,
+                                    )
+                                };
                                 probes += hs.probes;
                                 match_tests += hs.match_tests;
+                                predicate.filter_checks += hs.filter_checks;
+                                predicate.filter_hits += hs.filter_hits;
                                 kernel.hash_partitions += 1;
                             }
                             KernelKind::Sweep => {
-                                let ss = sweep_join(
-                                    spec,
-                                    &r_parts[i],
-                                    &s_parts[i],
-                                    p_i,
-                                    &mut scratch,
-                                    &mut batch,
-                                );
+                                let ss = if natural {
+                                    sweep_join(
+                                        spec,
+                                        &r_parts[i],
+                                        &s_parts[i],
+                                        p_i,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                } else {
+                                    sweep_join_pred(
+                                        spec,
+                                        pred,
+                                        &r_parts[i],
+                                        &s_parts[i],
+                                        p_i,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                };
                                 kernel.sweep_partitions += 1;
                                 kernel.sweep_comparisons += ss.comparisons;
+                                predicate.filter_checks += ss.filter_checks;
+                                predicate.filter_hits += ss.filter_hits;
                             }
                         }
                         emitted_total += batch.len() as u64;
@@ -254,7 +336,7 @@ fn execute(
                     wall_micros: started.elapsed().as_micros() as u64,
                     busy_micros: busy.as_micros() as u64,
                 };
-                (section, produced, probes, match_tests, kernel)
+                (section, produced, probes, match_tests, kernel, predicate)
             }));
         }
         let mut worker_panicked = false;
@@ -262,11 +344,12 @@ fn execute(
             // A panicking worker (a bug, not a data error) must surface as
             // a typed error on this one request, not abort the service.
             match h.join() {
-                Ok((section, produced, p, m, k)) => {
+                Ok((section, produced, p, m, k, pc)) => {
                     workers.push(section);
                     probes += p;
                     match_tests += m;
                     kernel.merge(k);
+                    predicate.merge(pc);
                     for (i, out) in produced {
                         outputs[i] = out;
                     }
@@ -293,6 +376,93 @@ fn execute(
         probes,
         match_tests,
         kernel,
+        predicate,
+        replicate_micros,
+        join_micros,
+    };
+    Ok((rel, detail))
+}
+
+/// The merge-fallback executor for sequence/mixed predicate templates:
+/// contiguous outer chunks, one per worker, each merged against the whole
+/// inner side by [`merge_join_pred`]. Chunk outputs concatenate back to
+/// outer order, so the result is deterministic across thread counts.
+fn execute_merge(
+    r: &Relation,
+    s: &Relation,
+    threads: usize,
+    pred: &JoinPredicate,
+) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
+    let spec = JoinSpec::natural(r.schema(), s.schema())?;
+    let gather_started = Instant::now();
+    let r_all: Vec<&Tuple> = r.iter().collect();
+    let s_all: Vec<&Tuple> = s.iter().collect();
+    let replicate_micros = gather_started.elapsed().as_micros() as u64;
+
+    let num_workers = threads.max(1).min(r_all.len()).max(1);
+    let chunk_len = r_all.len().div_ceil(num_workers).max(1);
+    let chunks: Vec<&[&Tuple]> = r_all.chunks(chunk_len).collect();
+    let est_costs: Vec<u64> = chunks
+        .iter()
+        .map(|c| c.len() as u64 * s_all.len() as u64)
+        .collect();
+
+    let join_started = Instant::now();
+    let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); chunks.len()];
+    let mut workers: Vec<WorkerSection> = Vec::with_capacity(chunks.len());
+    let mut predicate = PredicateCounters::default();
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        for (w, chunk) in chunks.iter().enumerate() {
+            let spec = &spec;
+            let s_all = &s_all;
+            handles.push(scope.spawn(move || {
+                let started = Instant::now();
+                let mut batch = OutputBatch::new();
+                batch.begin(chunk.len().max(16));
+                let stats = merge_join_pred(spec, pred, chunk, s_all, &mut batch);
+                let out = batch.take();
+                let elapsed = started.elapsed().as_micros() as u64;
+                let section = WorkerSection {
+                    worker: w as u64,
+                    partitions: 1,
+                    tuples: out.len() as u64,
+                    wall_micros: elapsed,
+                    busy_micros: elapsed,
+                };
+                (section, out, stats)
+            }));
+        }
+        let mut worker_panicked = false;
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((section, out, stats)) => {
+                    workers.push(section);
+                    outputs[w] = out;
+                    predicate.merge_pairs_scanned += stats.pairs_scanned;
+                    predicate.merge_pairs_emitted += stats.pairs_emitted;
+                }
+                Err(_) => worker_panicked = true,
+            }
+        }
+        if worker_panicked {
+            return Err(vtjoin_join::JoinError::Internal("merge worker panicked"));
+        }
+        Ok(())
+    })?;
+    let join_micros = join_started.elapsed().as_micros() as u64;
+
+    let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
+    let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
+    let detail = ExecDetail {
+        workers,
+        replicated_r: r_all.len() as u64,
+        replicated_s: s_all.len() as u64,
+        est_costs,
+        probes: 0,
+        match_tests: 0,
+        kernel: KernelCounters::default(),
+        predicate,
         replicate_micros,
         join_micros,
     };
@@ -352,7 +522,34 @@ pub fn parallel_execution_report_with(
     threads: usize,
     choice: KernelChoice,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, threads, choice)?;
+    let pred = JoinPredicate::intersects();
+    let (rel, detail) = execute(r, s, intervals, threads, choice, &pred)?;
+    Ok(build_report(rel, detail, intervals, threads, &pred))
+}
+
+/// As [`parallel_execution_report`], evaluating an arbitrary
+/// [`JoinPredicate`]. Non-natural runs additionally carry the schema-v6
+/// `predicate` section; merge-fallback runs (sequence/mixed templates)
+/// carry no `kernel` section, since no partition kernel is invoked.
+pub fn parallel_execution_report_pred(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+    pred: &JoinPredicate,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(r, s, intervals, threads, KernelChoice::Auto, pred)?;
+    Ok(build_report(rel, detail, intervals, threads, pred))
+}
+
+/// Assembles the [`ExecutionReport`] for a finished parallel run.
+fn build_report(
+    rel: Relation,
+    detail: ExecDetail,
+    intervals: &[Interval],
+    threads: usize,
+    pred: &JoinPredicate,
+) -> (Relation, ExecutionReport) {
     let zero_io = IoSection {
         random_reads: 0,
         seq_reads: 0,
@@ -423,16 +620,32 @@ pub fn parallel_execution_report_with(
         deviation: None,
         workers: detail.workers,
         skew: Some(skew),
-        kernel: Some(KernelSection {
-            hash_partitions: detail.kernel.hash_partitions,
-            sweep_partitions: detail.kernel.sweep_partitions,
-            sweep_comparisons: detail.kernel.sweep_comparisons,
-            batches_flushed: detail.kernel.batches_flushed,
-        }),
+        kernel: if pred.partitioning_eligible() {
+            Some(KernelSection {
+                hash_partitions: detail.kernel.hash_partitions,
+                sweep_partitions: detail.kernel.sweep_partitions,
+                sweep_comparisons: detail.kernel.sweep_comparisons,
+                batches_flushed: detail.kernel.batches_flushed,
+            })
+        } else {
+            None
+        },
         faults: None,
         service: None,
+        predicate: if pred.is_natural() {
+            None
+        } else {
+            Some(PredicateSection {
+                predicate: pred.to_string(),
+                template: pred.template().as_str().to_owned(),
+                filter_checks: detail.predicate.filter_checks,
+                filter_hits: detail.predicate.filter_hits,
+                merge_pairs_scanned: detail.predicate.merge_pairs_scanned,
+                merge_pairs_emitted: detail.predicate.merge_pairs_emitted,
+            })
+        },
     };
-    Ok((rel, report))
+    (rel, report)
 }
 
 /// The pre-optimization executor: static round-robin chunks of partitions,
@@ -676,6 +889,89 @@ mod tests {
         );
         assert!(sk.utilization_percent <= 100);
         // Round-trips through the documented JSON schema.
+        let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        assert_eq!(back, er);
+    }
+
+    #[test]
+    fn predicate_paths_match_the_oracle() {
+        use vtjoin_core::algebra::predicate_join;
+        let r = rel("b", 180, 4);
+        let s = rel("c", 180, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        // One predicate per template: intersection (filtered kernels),
+        // sequence and mixed (merge fallback), plus a gap bound.
+        for p in [
+            "overlaps",
+            "during",
+            "equals",
+            "intersects",
+            "before",
+            "meets",
+            "after",
+            "meets-or-overlaps",
+            "before-within-3",
+        ] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let want = predicate_join(&r, &s, &pred).unwrap();
+            for threads in [1usize, 3] {
+                let got = parallel_partition_join_pred(&r, &s, &parts, threads, &pred).unwrap();
+                assert!(
+                    got.multiset_eq(&want),
+                    "{p}, threads = {threads}: got {} want {}",
+                    got.len(),
+                    want.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_fallback_is_deterministic_across_thread_counts() {
+        let r = rel("b", 150, 5);
+        let s = rel("c", 150, 5);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 4);
+        let pred: JoinPredicate = "before".parse().unwrap();
+        let a = parallel_partition_join_pred(&r, &s, &parts, 4, &pred).unwrap();
+        let b = parallel_partition_join_pred(&r, &s, &parts, 1, &pred).unwrap();
+        assert_eq!(a.tuples(), b.tuples(), "order independent of thread count");
+    }
+
+    #[test]
+    fn predicate_report_sections_reflect_the_template() {
+        let r = rel("b", 180, 4);
+        let s = rel("c", 180, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+
+        // Natural runs carry no predicate section (pre-v6 shape).
+        let (_, er) = parallel_execution_report(&r, &s, &parts, 2).unwrap();
+        assert!(er.predicate.is_none());
+
+        // Intersection template: filtered kernels, no merge fallback.
+        let pred: JoinPredicate = "overlaps".parse().unwrap();
+        let (got, er) = parallel_execution_report_pred(&r, &s, &parts, 2, &pred).unwrap();
+        let pd = er.predicate.as_ref().expect("predicate section");
+        assert_eq!(pd.predicate, "overlaps");
+        assert_eq!(pd.template, "intersection");
+        assert!(pd.filter_checks >= pd.filter_hits);
+        assert_eq!(pd.merge_pairs_scanned, 0);
+        assert!(er.kernel.is_some());
+        assert_eq!(er.result.tuples, got.len() as u64);
+
+        // Sequence template: merge fallback, no kernel section.
+        let pred: JoinPredicate = "before".parse().unwrap();
+        let (got, er) = parallel_execution_report_pred(&r, &s, &parts, 2, &pred).unwrap();
+        let pd = er.predicate.as_ref().expect("predicate section");
+        assert_eq!(pd.template, "sequence");
+        assert_eq!(pd.filter_checks, 0);
+        assert_eq!(pd.merge_pairs_emitted, got.len() as u64);
+        assert!(pd.merge_pairs_scanned >= pd.merge_pairs_emitted);
+        assert!(er.kernel.is_none());
+        assert_eq!(
+            er.workers.iter().map(|w| w.tuples).sum::<u64>(),
+            got.len() as u64
+        );
+        // Round-trips through the documented v6 JSON schema.
         let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
         assert_eq!(back, er);
     }

@@ -86,8 +86,41 @@ pub fn choose_algorithm(
     }
 }
 
+/// Restricts a cost-based choice to algorithms that can evaluate the
+/// configured predicate. The natural join keeps the cost choice
+/// unchanged. Non-natural intersection predicates can run on nested loop
+/// and the partition join, but not sort-merge (its backing-up merge
+/// window assumes overlap matches), so a sort-merge choice is demoted to
+/// the partition join when feasible, nested loop otherwise.
+/// Sequence/mixed templates can only run on nested loop.
+fn respect_predicate(
+    algo: Algorithm,
+    cfg: &JoinConfig,
+    outer_pages: u64,
+    buffer_pages: u64,
+) -> Algorithm {
+    if cfg.predicate.is_natural() {
+        return algo;
+    }
+    if !cfg.predicate.partitioning_eligible() {
+        return Algorithm::NestedLoop;
+    }
+    match algo {
+        Algorithm::SortMerge => {
+            if partition_feasible(outer_pages, buffer_pages) {
+                Algorithm::Partition
+            } else {
+                Algorithm::NestedLoop
+            }
+        }
+        other => other,
+    }
+}
+
 /// Plans and executes `outer ⋈ᵛ inner` over database tables, returning the
-/// report of the chosen algorithm.
+/// report of the chosen algorithm. The choice honours `cfg.predicate`:
+/// algorithms that cannot evaluate the configured predicate are never
+/// picked (`respect_predicate` demotes them before instantiation).
 pub fn run_join(
     db: &Database,
     outer: &str,
@@ -97,6 +130,7 @@ pub fn run_join(
     let ho = db.table(outer)?;
     let hi = db.table(inner)?;
     let algo = choose_algorithm(ho.pages(), hi.pages(), cfg.buffer_pages, cfg.ratio);
+    let algo = respect_predicate(algo, cfg, ho.pages(), cfg.buffer_pages);
     let report = algo.instantiate().execute(ho, hi, cfg)?;
     Ok((algo, report))
 }
@@ -177,6 +211,73 @@ mod tests {
             "{}",
             algo.name()
         );
+    }
+
+    #[test]
+    fn predicate_routing_avoids_incapable_algorithms() {
+        use vtjoin_core::JoinPredicate;
+        let overlaps: JoinPredicate = "overlaps".parse().unwrap();
+        let before: JoinPredicate = "before".parse().unwrap();
+        // A sort-merge cost winner is demoted for a non-natural
+        // intersection predicate (partition feasible here)…
+        let cfg = JoinConfig::with_buffer(256).predicate(overlaps);
+        assert_eq!(
+            respect_predicate(Algorithm::SortMerge, &cfg, 8192, 256),
+            Algorithm::Partition
+        );
+        // …and to nested loop when partitioning is infeasible.
+        let cfg = JoinConfig::with_buffer(16).predicate(overlaps);
+        assert_eq!(
+            respect_predicate(Algorithm::SortMerge, &cfg, 8192, 16),
+            Algorithm::NestedLoop
+        );
+        // Sequence templates always run on nested loop.
+        let cfg = JoinConfig::with_buffer(256).predicate(before);
+        assert_eq!(
+            respect_predicate(Algorithm::Partition, &cfg, 8192, 256),
+            Algorithm::NestedLoop
+        );
+        // The natural join keeps the cost choice.
+        let cfg = JoinConfig::with_buffer(256);
+        assert_eq!(
+            respect_predicate(Algorithm::SortMerge, &cfg, 8192, 256),
+            Algorithm::SortMerge
+        );
+    }
+
+    #[test]
+    fn run_join_with_predicate_matches_the_oracle() {
+        use vtjoin_core::algebra::predicate_join;
+        use vtjoin_core::JoinPredicate;
+        let cfg = GeneratorConfig {
+            tuples: 300,
+            long_lived: 30,
+            lifespan: 2000,
+            keys: 40,
+            key_dist: KeyDistribution::Uniform,
+            time_dist: TimeDistribution::Uniform,
+            duration_dist: DurationDistribution::Instant,
+            pad_bytes: 0,
+            seed: 5,
+        };
+        let r = generate(outer_schema(0), &cfg);
+        let s = generate(inner_schema(0), &cfg.clone().seed(6));
+        let mut db = Database::new(512);
+        db.create_table("r", &r).unwrap();
+        db.create_table("s", &s).unwrap();
+        for p in ["during", "before-within-100", "meets-or-overlaps"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let jc = JoinConfig::with_buffer(10)
+                .collecting()
+                .predicate(pred);
+            let (algo, report) = run_join(&db, "r", "s", &jc).unwrap();
+            let want = predicate_join(&r, &s, &pred).unwrap();
+            assert!(
+                report.result.as_ref().unwrap().multiset_eq(&want),
+                "{p} via {}",
+                algo.name()
+            );
+        }
     }
 
     #[test]

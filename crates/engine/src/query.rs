@@ -191,7 +191,9 @@ impl Query {
     }
 
     /// Executes against `db`. `cfg` governs the join source (buffer size,
-    /// ratio); a table scan ignores it.
+    /// ratio, and the join predicate — set [`JoinConfig::predicate`] to
+    /// evaluate an Allen predicate instead of the natural intersection
+    /// join); a table scan ignores it.
     pub fn run(&self, db: &Database, cfg: &JoinConfig) -> Result<QueryOutput> {
         let before = db.io_stats();
         let (mut rel, chosen) = match &self.source {
@@ -339,6 +341,24 @@ mod tests {
         )
         .unwrap();
         assert!(out.relation.multiset_eq(&want));
+    }
+
+    #[test]
+    fn join_source_honours_the_configured_predicate() {
+        let db = setup();
+        for p in ["during", "before", "meets-or-overlaps"] {
+            let pred: vtjoin_core::JoinPredicate = p.parse().unwrap();
+            let out = Query::join("employees", "managers")
+                .run(&db, &JoinConfig::with_buffer(16).predicate(pred))
+                .unwrap();
+            let want = vtjoin_core::algebra::predicate_join(
+                &db.scan("employees").unwrap(),
+                &db.scan("managers").unwrap(),
+                &pred,
+            )
+            .unwrap();
+            assert!(out.relation.multiset_eq(&want), "{p}");
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! statistics stay within the plan's own `errorSize` slack. [`JoinService`]
 //! exploits exactly that:
 //!
-//! * a **plan cache** keyed by table pair, validated by a
+//! * a **plan cache** keyed by table pair and canonical predicate name
+//!   (a plan computed for one predicate never serves another), validated
+//!   by a
 //!   [`StatsFingerprint`] of each side (cardinality, zone-map time hull,
 //!   long-lived count, catalog version, sampling seed). A hit reuses the
 //!   cached partition boundaries and skips sampling entirely — zero
@@ -34,11 +36,11 @@
 //! `"service"`.
 
 use crate::database::{Database, DbError, TableStats};
-use crate::parallel::parallel_partition_join_with;
+use crate::parallel::{parallel_partition_join_pred, parallel_partition_join_with};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, RwLock};
-use vtjoin_core::{Interval, Relation, Tuple};
+use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
 use vtjoin_join::kernel::KernelChoice;
 use vtjoin_join::partition::planner::{determine_part_intervals, plan_error_size, PlannerOutput};
 use vtjoin_join::{JoinConfig, JoinError};
@@ -126,6 +128,10 @@ pub enum PlanOutcome {
     /// A cached entry existed but its fingerprints drifted past the
     /// `errorSize` tolerance; the entry was dropped and the join replanned.
     Invalidated,
+    /// The request's predicate compiles to a sequence/mixed template,
+    /// which time partitioning cannot serve: no partition plan was
+    /// computed, cached, or consulted — the merge fallback ran instead.
+    Unpartitioned,
 }
 
 /// One completed join request.
@@ -276,7 +282,7 @@ pub struct JoinService {
     db: RwLock<Database>,
     cfg: ServiceConfig,
     pool: PagePool,
-    cache: Mutex<HashMap<(String, String), CacheEntry>>,
+    cache: Mutex<HashMap<(String, String, String), CacheEntry>>,
     counters: Mutex<Counters>,
     io_base: IoStats,
 }
@@ -331,6 +337,21 @@ impl JoinService {
     /// pool pages; returns typed errors for rejections, catalog problems,
     /// and join failures. Safe to call from many threads concurrently.
     pub fn submit(&self, outer: &str, inner: &str) -> Result<JoinResponse, ServiceError> {
+        self.submit_with(outer, inner, &JoinPredicate::intersects())
+    }
+
+    /// As [`JoinService::submit`], joining under an arbitrary
+    /// [`JoinPredicate`]. Intersection-template predicates go through the
+    /// plan cache (keyed per predicate) and the partitioned executor;
+    /// sequence/mixed templates skip planning entirely and run the merge
+    /// fallback ([`PlanOutcome::Unpartitioned`]). Admission control is
+    /// identical for every predicate.
+    pub fn submit_with(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+    ) -> Result<JoinResponse, ServiceError> {
         self.lock_counters().requests += 1;
 
         // Phase 1 — catalog snapshot. Heap files are cheap clones (page
@@ -385,7 +406,7 @@ impl JoinService {
         // Phases 3 & 4 — plan and execute; any failure from here on is a
         // typed per-request error and must be counted, with the page
         // reservation released either way (RAII).
-        let outcome = self.plan_and_run(outer, inner, &r_heap, &s_heap, &r_stats, &s_stats);
+        let outcome = self.plan_and_run(outer, inner, pred, &r_heap, &s_heap, &r_stats, &s_stats);
         drop(reservation);
         match outcome {
             Ok((result, plan, partitions)) => {
@@ -408,34 +429,64 @@ impl JoinService {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_and_run(
         &self,
         outer: &str,
         inner: &str,
+        pred: &JoinPredicate,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
         r_stats: &TableStats,
         s_stats: &TableStats,
     ) -> Result<(Relation, PlanOutcome, u64), ServiceError> {
-        let seed = self.cfg.join.seed;
-        let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
-        let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
-        let (intervals, plan) = self.plan(outer, inner, &outer_fp, &inner_fp, r_heap, s_heap)?;
-
         let r_rel = r_heap
             .read_all()
             .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
         let s_rel = s_heap
             .read_all()
             .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
+
+        // Sequence/mixed templates cannot use time partitioning: skip the
+        // planner and the plan cache entirely, run the merge fallback.
+        if !pred.partitioning_eligible() {
+            let result = parallel_partition_join_pred(
+                &r_rel,
+                &s_rel,
+                &[Interval::ALL],
+                self.cfg.threads_per_query,
+                pred,
+            )
+            .map_err(ServiceError::Join)?;
+            return Ok((result, PlanOutcome::Unpartitioned, 0));
+        }
+
+        let seed = self.cfg.join.seed;
+        let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
+        let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
+        let (intervals, plan) =
+            self.plan(outer, inner, pred, &outer_fp, &inner_fp, r_heap, s_heap)?;
+
         let partitions = intervals.len() as u64;
-        let result = parallel_partition_join_with(
-            &r_rel,
-            &s_rel,
-            &intervals,
-            self.cfg.threads_per_query,
-            self.cfg.kernel,
-        )
+        let result = if pred.is_natural() {
+            parallel_partition_join_with(
+                &r_rel,
+                &s_rel,
+                &intervals,
+                self.cfg.threads_per_query,
+                self.cfg.kernel,
+            )
+        } else {
+            // Non-natural intersection predicates run the filtered
+            // kernels; the per-partition gate picks hash vs sweep.
+            parallel_partition_join_pred(
+                &r_rel,
+                &s_rel,
+                &intervals,
+                self.cfg.threads_per_query,
+                pred,
+            )
+        }
         .map_err(ServiceError::Join)?;
         Ok((result, plan, partitions))
     }
@@ -443,17 +494,21 @@ impl JoinService {
     /// Plan-cache lookup → reuse or fresh `determinePartIntervals`. The
     /// cache lock is held only around lookup/insert, never across the
     /// sampling I/O, so concurrent misses plan in parallel (last insert
-    /// wins; both count as misses).
+    /// wins; both count as misses). The key includes the predicate's
+    /// canonical name, so a plan computed for one predicate is never
+    /// handed to another.
+    #[allow(clippy::too_many_arguments)]
     fn plan(
         &self,
         outer: &str,
         inner: &str,
+        pred: &JoinPredicate,
         outer_fp: &StatsFingerprint,
         inner_fp: &StatsFingerprint,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
     ) -> Result<(Vec<Interval>, PlanOutcome), ServiceError> {
-        let key = (outer.to_owned(), inner.to_owned());
+        let key = (outer.to_owned(), inner.to_owned(), pred.to_string());
         let mut invalidated = false;
         if self.cfg.plan_cache {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
@@ -585,6 +640,7 @@ impl JoinService {
             kernel: None,
             faults: None,
             service: Some(self.service_section()),
+            predicate: None,
         }
     }
 }
@@ -698,6 +754,50 @@ mod tests {
         assert_eq!(sec.cache_hits, 0);
         assert_eq!(sec.cache_misses, 2);
         assert_eq!(svc.cached_plans(), 0);
+    }
+
+    #[test]
+    fn predicates_cache_separately_and_match_the_oracle() {
+        use vtjoin_core::algebra::predicate_join;
+        let svc = service(4096);
+        let during: JoinPredicate = "during".parse().unwrap();
+        let overlaps: JoinPredicate = "overlaps".parse().unwrap();
+
+        // Distinct predicates never share a cache entry: each first
+        // submission misses, each repeat hits.
+        let a = svc.submit_with("r", "s", &during).unwrap();
+        assert_eq!(a.plan, PlanOutcome::Miss);
+        let b = svc.submit_with("r", "s", &overlaps).unwrap();
+        assert_eq!(b.plan, PlanOutcome::Miss);
+        let c = svc.submit_with("r", "s", &during).unwrap();
+        assert_eq!(c.plan, PlanOutcome::CacheHit);
+        assert_eq!(svc.cached_plans(), 2);
+
+        let r = rel("b", 600, 5);
+        let s = rel("c", 600, 7);
+        assert!(a
+            .result
+            .multiset_eq(&predicate_join(&r, &s, &during).unwrap()));
+        assert!(b
+            .result
+            .multiset_eq(&predicate_join(&r, &s, &overlaps).unwrap()));
+        assert!(a.result.multiset_eq(&c.result));
+    }
+
+    #[test]
+    fn sequence_predicates_bypass_the_plan_cache() {
+        use vtjoin_core::algebra::predicate_join;
+        let svc = service(4096);
+        let before: JoinPredicate = "before-within-40".parse().unwrap();
+        let resp = svc.submit_with("r", "s", &before).unwrap();
+        assert_eq!(resp.plan, PlanOutcome::Unpartitioned);
+        assert_eq!(resp.partitions, 0);
+        assert_eq!(svc.cached_plans(), 0);
+        let sec = svc.service_section();
+        assert_eq!(sec.cache_hits, 0);
+        assert_eq!(sec.cache_misses, 0);
+        let want = predicate_join(&rel("b", 600, 5), &rel("c", 600, 7), &before).unwrap();
+        assert!(resp.result.multiset_eq(&want));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use vtjoin_core::{Relation, Schema, Tuple};
+use vtjoin_core::{JoinPredicate, Relation, Schema, Tuple};
 use vtjoin_storage::{CostRatio, HeapFile, IoStats, PageBuf, StorageError};
 
 /// Crate-wide result alias.
@@ -95,6 +95,13 @@ pub struct JoinConfig {
     /// `buffSize`; evaluating a stride of candidates finds the same smooth
     /// minimum at a fraction of the planning CPU — see DESIGN.md).
     pub planner_candidates: u64,
+    /// The temporal join predicate. Defaults to
+    /// [`JoinPredicate::intersects`] — the paper's natural join. Every
+    /// algorithm honors the default; algorithms whose evaluation strategy
+    /// cannot serve a generalized predicate return
+    /// [`JoinError::Precondition`] instead of a wrong answer (see
+    /// `docs/PREDICATES.md` for the support matrix).
+    pub predicate: JoinPredicate,
 }
 
 impl Default for JoinConfig {
@@ -113,6 +120,7 @@ impl JoinConfig {
             seed: 0x5eed,
             collect_result: false,
             planner_candidates: 64,
+            predicate: JoinPredicate::intersects(),
         }
     }
 
@@ -134,6 +142,13 @@ impl JoinConfig {
     #[must_use]
     pub fn collecting(mut self) -> JoinConfig {
         self.collect_result = true;
+        self
+    }
+
+    /// Builder-style: set the temporal join predicate.
+    #[must_use]
+    pub fn predicate(mut self, predicate: JoinPredicate) -> JoinConfig {
+        self.predicate = predicate;
         self
     }
 }
@@ -205,6 +220,21 @@ impl JoinSpec {
         }
         let common = x.valid().overlap(y.valid())?;
         Some(self.splice(x, y, common))
+    }
+
+    /// Generalized-predicate variant of [`JoinSpec::try_match`]: keys must
+    /// match and the pair's Allen relation must satisfy `pred`; the result
+    /// is stamped per [`JoinPredicate::stamp`] (overlap when one exists,
+    /// convex hull otherwise). With [`JoinPredicate::intersects`] this is
+    /// exactly [`JoinSpec::try_match`].
+    pub fn try_match_pred(&self, pred: &JoinPredicate, x: &Tuple, y: &Tuple) -> Option<Tuple> {
+        if !self.keys_equal(x, y) {
+            return None;
+        }
+        if !pred.matches(x.valid(), y.valid()) {
+            return None;
+        }
+        Some(self.splice(x, y, pred.stamp(x.valid(), y.valid())))
     }
 }
 
@@ -304,6 +334,39 @@ impl<'a> BlockTable<'a> {
                 sink.push(z);
             }
         });
+    }
+
+    /// Generalized-predicate probe: like [`BlockTable::probe_each`] but
+    /// the match test is [`JoinSpec::try_match_pred`] under `pred`.
+    /// Returns `(predicate checks, predicate hits)` over the key-equal
+    /// candidates — the filter accounting the obs schema-v6 `predicate`
+    /// section reports.
+    pub fn probe_each_pred(
+        &self,
+        pred: &JoinPredicate,
+        y: &Tuple,
+        mut on_match: impl FnMut(Tuple),
+    ) -> (u64, u64) {
+        self.probes.set(self.probes.get() + 1);
+        let h = self.spec.inner_key_hash(y);
+        let mut tests = 0u64;
+        let (mut checks, mut hits) = (0u64, 0u64);
+        for &(hx, x) in &self.buckets[(h as usize) & self.mask] {
+            if hx != h {
+                continue;
+            }
+            tests += 1;
+            if !self.spec.keys_equal(x, y) {
+                continue;
+            }
+            checks += 1;
+            if pred.matches(x.valid(), y.valid()) {
+                hits += 1;
+                on_match(self.spec.splice(x, y, pred.stamp(x.valid(), y.valid())));
+            }
+        }
+        self.match_tests.set(self.match_tests.get() + tests);
+        (checks, hits)
     }
 
     /// `(hash probes, hash-equal match tests)` performed so far.

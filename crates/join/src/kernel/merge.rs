@@ -1,0 +1,192 @@
+//! Predicate-aware sort-merge fallback for non-intersection predicates.
+//!
+//! The partitioned executors rest on one invariant: every matching pair
+//! intersects in time, so the match is discovered in the (unique)
+//! partition holding its overlap end. Sequence predicates (`before`,
+//! `meets`, `met-by`, `after`) and mixed sets violate that invariant —
+//! a `before` pair may share no partition at all — so they run here
+//! instead: bucket both sides by join-key hash, sort each inner bucket
+//! by interval start, and scan each outer tuple's bucket through
+//! [`JoinSpec::try_match_pred`].
+//!
+//! The sorted scan buys an early exit: a candidate whose start lies
+//! beyond the predicate's *reach* past the outer tuple's end (`end` for
+//! intersection relations, `end + 1` when `meets` is allowed,
+//! `end + 1 + gap` for a gap-bounded `before`) can never match, and
+//! neither can anything after it in the bucket. Only an unbounded
+//! `before` forces a full bucket scan.
+
+use std::collections::HashMap;
+
+use super::batch::OutputBatch;
+use crate::common::JoinSpec;
+use vtjoin_core::{AllenRelation, Chronon, JoinPredicate, Tuple};
+
+/// What one merge-fallback invocation measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Hash-equal candidate pairs scanned (tested against key equality
+    /// and the predicate) before the per-tuple early exit.
+    pub pairs_scanned: u64,
+    /// Result tuples emitted.
+    pub pairs_emitted: u64,
+}
+
+/// Latest inner-interval start that could still satisfy `pred` against
+/// an outer interval ending at `x_end`; `None` when the predicate's
+/// reach is unbounded (a `before` with no gap bound).
+fn scan_bound(pred: &JoinPredicate, x_end: Chronon) -> Option<Chronon> {
+    let set = pred.relations();
+    if set.contains(AllenRelation::Before) {
+        let g = pred.max_gap()?;
+        Some(
+            x_end
+                .saturating_add(1)
+                .saturating_add(g.min(i64::MAX as u64) as i64),
+        )
+    } else if set.contains(AllenRelation::Meets) {
+        Some(x_end.saturating_add(1))
+    } else {
+        Some(x_end)
+    }
+}
+
+/// Joins `r` and `s` on equal keys under an arbitrary [`JoinPredicate`],
+/// emitting every [`JoinSpec::try_match_pred`] survivor into `out`.
+///
+/// This is the fallback path for **sequence** and **mixed** predicate
+/// templates (see [`JoinPredicate::template`]); it accepts any template
+/// and always produces the full, un-deduplicated result — callers run it
+/// over the whole input, never per partition.
+pub fn merge_join_pred(
+    spec: &JoinSpec,
+    pred: &JoinPredicate,
+    r: &[&Tuple],
+    s: &[&Tuple],
+    out: &mut OutputBatch,
+) -> MergeStats {
+    let mut buckets: HashMap<u64, Vec<(Chronon, u32)>> = HashMap::new();
+    for (i, y) in s.iter().enumerate() {
+        buckets
+            .entry(spec.inner_key_hash(y))
+            .or_default()
+            .push((y.valid().start(), i as u32));
+    }
+    for bucket in buckets.values_mut() {
+        bucket.sort_unstable();
+    }
+
+    let mut stats = MergeStats::default();
+    for x in r {
+        let Some(bucket) = buckets.get(&spec.outer_key_hash(x)) else {
+            continue;
+        };
+        let bound = scan_bound(pred, x.valid().end());
+        for &(y_start, yi) in bucket {
+            if let Some(b) = bound {
+                if y_start > b {
+                    break;
+                }
+            }
+            stats.pairs_scanned += 1;
+            if let Some(z) = spec.try_match_pred(pred, x, s[yi as usize]) {
+                out.emit(z);
+                stats.pairs_emitted += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vtjoin_core::algebra::predicate_join;
+    use vtjoin_core::{AttrDef, AttrType, Interval, Relation, Schema, Value};
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        (
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("b", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+            Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new("c", AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared(),
+        )
+    }
+
+    fn rel(schema: Arc<Schema>, raw: &[(i64, i64, i64, i64)]) -> Relation {
+        let tuples = raw
+            .iter()
+            .map(|&(k, v, s, e)| {
+                Tuple::new(
+                    vec![Value::Int(k), Value::Int(v)],
+                    Interval::from_raw(s, e).unwrap(),
+                )
+            })
+            .collect();
+        Relation::from_parts_unchecked(schema, tuples)
+    }
+
+    fn run_merge(r: &Relation, s: &Relation, pred: &JoinPredicate) -> (Relation, MergeStats) {
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let r_refs: Vec<&Tuple> = r.iter().collect();
+        let s_refs: Vec<&Tuple> = s.iter().collect();
+        let mut out = OutputBatch::new();
+        out.begin(16);
+        let stats = merge_join_pred(&spec, pred, &r_refs, &s_refs, &mut out);
+        (
+            Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), out.take()),
+            stats,
+        )
+    }
+
+    #[test]
+    fn sequence_predicates_match_the_oracle() {
+        let (rs, ss) = schemas();
+        let r = rel(rs, &[(1, 0, 0, 4), (1, 1, 10, 12), (2, 2, 0, 50)]);
+        let s = rel(ss, &[(1, 9, 5, 9), (1, 8, 20, 30), (2, 7, 60, 70)]);
+        for p in ["before", "meets", "met-by", "after", "before-within-1"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let (got, _) = run_merge(&r, &s, &pred);
+            let want = predicate_join(&r, &s, &pred).unwrap();
+            assert!(got.multiset_eq(&want), "{p}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn mixed_template_scans_without_dedup_artifacts() {
+        let (rs, ss) = schemas();
+        let r = rel(rs, &[(1, 0, 0, 4)]);
+        let s = rel(ss, &[(1, 9, 5, 9), (1, 8, 3, 9), (1, 7, 7, 9)]);
+        // overlaps-or-meets: [0,4] meets [5,9], overlaps [3,9], misses [7,9].
+        let pred: JoinPredicate = "overlaps-or-meets".parse().unwrap();
+        let (got, stats) = run_merge(&r, &s, &pred);
+        let want = predicate_join(&r, &s, &pred).unwrap();
+        assert!(got.multiset_eq(&want));
+        assert_eq!(stats.pairs_emitted, 2);
+    }
+
+    #[test]
+    fn gap_bound_enables_early_exit() {
+        let (rs, ss) = schemas();
+        let r = rel(rs, &[(1, 0, 0, 4)]);
+        // Starts 6, 8, 100: a gap bound of 1 reaches only start ≤ 6.
+        let s = rel(ss, &[(1, 9, 6, 9), (1, 8, 8, 9), (1, 7, 100, 200)]);
+        let pred: JoinPredicate = "before-within-1".parse().unwrap();
+        let (got, stats) = run_merge(&r, &s, &pred);
+        assert_eq!(got.len(), 1);
+        assert_eq!(stats.pairs_scanned, 1);
+        let unbounded: JoinPredicate = "before".parse().unwrap();
+        let (all, all_stats) = run_merge(&r, &s, &unbounded);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all_stats.pairs_scanned, 3);
+    }
+}

@@ -22,15 +22,69 @@
 //! key, and the sweep takes over above
 //! [`SWEEP_DUP_THRESHOLD_X100`] (4 duplicates per key). The CLI's
 //! `--kernel hash|sweep|auto` forces either side of the gate.
+//!
+//! Both kernels also come in predicate-parameterized forms
+//! ([`hash_join_pred`], [`sweep::sweep_join_pred`]) that filter each
+//! key-equal candidate through a [`vtjoin_core::JoinPredicate`]
+//! compiled from a set of Allen relations; predicates whose matches
+//! need not intersect in time fall back to [`merge::merge_join_pred`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vtjoin_core::{AttrDef, AttrType, Interval, Relation, Schema, Tuple, Value};
+//! use vtjoin_join::common::JoinSpec;
+//! use vtjoin_join::kernel::{hash_join, hash_join_pred, OutputBatch};
+//!
+//! let mk = |other: &str, vals: &[(i64, i64, i64, i64)]| {
+//!     let schema = Schema::new(vec![
+//!         AttrDef::new("k", AttrType::Int),
+//!         AttrDef::new(other, AttrType::Int),
+//!     ])
+//!     .unwrap()
+//!     .into_shared();
+//!     let tuples = vals
+//!         .iter()
+//!         .map(|&(k, v, s, e)| {
+//!             Tuple::new(
+//!                 vec![Value::Int(k), Value::Int(v)],
+//!                 Interval::from_raw(s, e).unwrap(),
+//!             )
+//!         })
+//!         .collect();
+//!     Relation::from_parts_unchecked(schema, tuples)
+//! };
+//! let r = mk("b", &[(1, 10, 0, 5)]);
+//! let s = mk("c", &[(1, 20, 3, 9), (1, 30, 1, 4)]);
+//! let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+//! let rr: Vec<&Tuple> = r.iter().collect();
+//! let sr: Vec<&Tuple> = s.iter().collect();
+//!
+//! // Natural join: both inner tuples overlap [0,5], stamped with the overlap.
+//! let mut out = OutputBatch::new();
+//! out.begin(4);
+//! let stats = hash_join(&spec, &rr, &sr, Interval::ALL, &mut out);
+//! assert_eq!(stats.pairs_emitted, 2);
+//!
+//! // Same partition under an Allen predicate: [0,5] `overlaps` [3,9]
+//! // but `contains` [1,4], so the filter rejects the second pair.
+//! let pred = "overlaps".parse().unwrap();
+//! let mut out_p = OutputBatch::new();
+//! out_p.begin(4);
+//! let pstats = hash_join_pred(&spec, &pred, &rr, &sr, Interval::ALL, &mut out_p);
+//! assert_eq!((pstats.filter_checks, pstats.filter_hits), (2, 1));
+//! assert_eq!(out_p.take()[0].valid(), Interval::from_raw(3, 5).unwrap());
+//! ```
 
 pub mod batch;
+pub mod merge;
 pub mod sweep;
 
 pub use batch::OutputBatch;
-pub use sweep::{sweep_join, SweepScratch, SweepStats};
+pub use merge::{merge_join_pred, MergeStats};
+pub use sweep::{sweep_join, sweep_join_pred, SweepScratch, SweepStats};
 
 use crate::common::{BlockTable, JoinSpec};
-use vtjoin_core::{Interval, Tuple};
+use vtjoin_core::{Interval, JoinPredicate, Tuple};
 
 /// Which kernel actually ran on a partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +210,11 @@ pub struct HashStats {
     pub match_tests: u64,
     /// Result tuples emitted.
     pub pairs_emitted: u64,
+    /// Key-equal pairs tested against a generalized predicate filter
+    /// (zero for the natural join, which has no filter to run).
+    pub filter_checks: u64,
+    /// Filter tests that passed.
+    pub filter_hits: u64,
 }
 
 /// Joins `r ⋈ᵛ s` with the PR-2 hash kernel (BlockTable build + probe),
@@ -184,6 +243,52 @@ pub fn hash_join(
         probes,
         match_tests,
         pairs_emitted: pairs,
+        ..HashStats::default()
+    }
+}
+
+/// Predicate-parameterized hash kernel: the same BlockTable build +
+/// probe as [`hash_join`], with each key-equal candidate filtered
+/// through `pred` and stamped by [`JoinPredicate::stamp`].
+///
+/// Restricted to **intersection-template** predicates, for the same
+/// reason as [`sweep::sweep_join_pred`]: the `emit_within`
+/// canonical-partition rule de-duplicates by the emitted tuple's valid
+/// end, which is the overlap end exactly when every surviving match
+/// intersects in time. Sequence and mixed templates take
+/// [`merge::merge_join_pred`] instead.
+pub fn hash_join_pred(
+    spec: &JoinSpec,
+    pred: &JoinPredicate,
+    r: &[&Tuple],
+    s: &[&Tuple],
+    emit_within: Interval,
+    out: &mut OutputBatch,
+) -> HashStats {
+    debug_assert!(
+        pred.partitioning_eligible(),
+        "hash_join_pred requires an intersection-template predicate"
+    );
+    let table = BlockTable::build_from(spec, r.iter().copied());
+    let mut pairs = 0u64;
+    let (mut checks, mut hits) = (0u64, 0u64);
+    for y in s {
+        let (c, h) = table.probe_each_pred(pred, y, |z| {
+            if emit_within.contains_chronon(z.valid().end()) {
+                out.emit(z);
+                pairs += 1;
+            }
+        });
+        checks += c;
+        hits += h;
+    }
+    let (probes, match_tests) = table.cpu_counters();
+    HashStats {
+        probes,
+        match_tests,
+        pairs_emitted: pairs,
+        filter_checks: checks,
+        filter_hits: hits,
     }
 }
 
@@ -208,6 +313,31 @@ impl KernelCounters {
         self.sweep_partitions += other.sweep_partitions;
         self.sweep_comparisons += other.sweep_comparisons;
         self.batches_flushed += other.batches_flushed;
+    }
+}
+
+/// Run-level predicate-filter accounting, folded across partitions and
+/// workers and surfaced as the obs schema-v6 `predicate` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateCounters {
+    /// Key-equal pairs tested against the predicate filter (hash and
+    /// sweep kernels).
+    pub filter_checks: u64,
+    /// Filter tests that passed.
+    pub filter_hits: u64,
+    /// Hash-equal candidate pairs the merge fallback scanned.
+    pub merge_pairs_scanned: u64,
+    /// Pairs the merge fallback emitted.
+    pub merge_pairs_emitted: u64,
+}
+
+impl PredicateCounters {
+    /// Folds another worker's counters in.
+    pub fn merge(&mut self, other: PredicateCounters) {
+        self.filter_checks += other.filter_checks;
+        self.filter_hits += other.filter_hits;
+        self.merge_pairs_scanned += other.merge_pairs_scanned;
+        self.merge_pairs_emitted += other.merge_pairs_emitted;
     }
 }
 
@@ -313,6 +443,36 @@ mod tests {
         // Every sweep comparison overlaps in time; hash match tests include
         // temporal rejects, so the sweep never inspects more candidates.
         assert!(ss.comparisons <= hs.match_tests);
+    }
+
+    #[test]
+    fn predicate_kernels_agree_on_intersection_templates() {
+        let (r, s) = pair(8, 200);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let rr: Vec<&Tuple> = r.iter().collect();
+        let sr: Vec<&Tuple> = s.iter().collect();
+        for p in ["overlaps", "during-or-starts-or-equals", "intersects"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let mut out_h = OutputBatch::new();
+            let hs = hash_join_pred(&spec, &pred, &rr, &sr, Interval::ALL, &mut out_h);
+            let mut out_s = OutputBatch::new();
+            let mut scratch = SweepScratch::default();
+            let ss = sweep_join_pred(
+                &spec,
+                &pred,
+                &rr,
+                &sr,
+                Interval::ALL,
+                &mut scratch,
+                &mut out_s,
+            );
+            assert_eq!(hs.pairs_emitted, ss.pairs_emitted, "{p}");
+            assert_eq!(hs.filter_hits, ss.filter_hits, "{p}");
+            let schema = Arc::clone(spec.out_schema());
+            let rel_h = Relation::from_parts_unchecked(Arc::clone(&schema), out_h.take());
+            let rel_s = Relation::from_parts_unchecked(schema, out_s.take());
+            assert!(rel_h.multiset_eq(&rel_s), "{p}");
+        }
     }
 
     #[test]

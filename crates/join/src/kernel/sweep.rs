@@ -27,7 +27,7 @@
 
 use super::batch::OutputBatch;
 use crate::common::JoinSpec;
-use vtjoin_core::{Chronon, Interval, Tuple};
+use vtjoin_core::{Chronon, Interval, JoinPredicate, Tuple};
 
 /// One side's arrival: its interval endpoints, precomputed join-key
 /// hash, and index into the side's tuple slice.
@@ -125,6 +125,11 @@ pub struct SweepStats {
     pub comparisons: u64,
     /// Result tuples emitted.
     pub pairs_emitted: u64,
+    /// Key-equal pairs tested against a generalized predicate filter
+    /// (zero for the natural join, which has no filter to run).
+    pub filter_checks: u64,
+    /// Filter tests that passed.
+    pub filter_hits: u64,
 }
 
 /// Joins `r ⋈ᵛ s` by forward sweep, emitting into `out` every matching
@@ -136,6 +141,47 @@ pub struct SweepStats {
 /// only allocation per match is the result tuple itself.
 pub fn sweep_join(
     spec: &JoinSpec,
+    r: &[&Tuple],
+    s: &[&Tuple],
+    emit_within: Interval,
+    scratch: &mut SweepScratch,
+    out: &mut OutputBatch,
+) -> SweepStats {
+    sweep_impl(spec, None, r, s, emit_within, scratch, out)
+}
+
+/// Predicate-parameterized sweep: discovers the same key-equal
+/// overlapping pairs as [`sweep_join`], then filters each through
+/// `pred` before splicing.
+///
+/// Only **intersection-template** predicates (see
+/// [`JoinPredicate::template`]) may run here: the sweep's active lists
+/// can only discover pairs whose intervals intersect, and the
+/// canonical-partition `emit_within` rule de-duplicates by overlap end.
+/// For such predicates [`JoinPredicate::stamp`] *is* the overlap, so the
+/// emitted tuples carry the same timestamps the filter-free kernels
+/// would produce for the pairs that survive. Callers route sequence and
+/// mixed templates to the sort-merge fallback instead
+/// (`merge_join_pred`).
+pub fn sweep_join_pred(
+    spec: &JoinSpec,
+    pred: &JoinPredicate,
+    r: &[&Tuple],
+    s: &[&Tuple],
+    emit_within: Interval,
+    scratch: &mut SweepScratch,
+    out: &mut OutputBatch,
+) -> SweepStats {
+    debug_assert!(
+        pred.partitioning_eligible(),
+        "sweep_join_pred requires an intersection-template predicate"
+    );
+    sweep_impl(spec, Some(pred), r, s, emit_within, scratch, out)
+}
+
+fn sweep_impl(
+    spec: &JoinSpec,
+    filter: Option<&JoinPredicate>,
     r: &[&Tuple],
     s: &[&Tuple],
     emit_within: Interval,
@@ -191,6 +237,13 @@ pub fn sweep_join(
                 if emit_within.contains_chronon(end) {
                     let y = s[yi as usize];
                     if spec.keys_equal(x, y) {
+                        if let Some(p) = filter {
+                            stats.filter_checks += 1;
+                            if !p.matches(x.valid(), y.valid()) {
+                                return;
+                            }
+                            stats.filter_hits += 1;
+                        }
                         let overlap =
                             Interval::new(ev.start, end).expect("live sweep entries overlap");
                         out.emit(spec.splice(x, y, overlap));
@@ -212,6 +265,13 @@ pub fn sweep_join(
                 if emit_within.contains_chronon(end) {
                     let x = r[xi as usize];
                     if spec.keys_equal(x, y) {
+                        if let Some(p) = filter {
+                            stats.filter_checks += 1;
+                            if !p.matches(x.valid(), y.valid()) {
+                                return;
+                            }
+                            stats.filter_hits += 1;
+                        }
                         let overlap =
                             Interval::new(ev.start, end).expect("live sweep entries overlap");
                         out.emit(spec.splice(x, y, overlap));
@@ -343,6 +403,35 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(stats.pairs_emitted, 1);
         assert!(stats.comparisons >= 2);
+    }
+
+    #[test]
+    fn predicate_sweep_filters_key_equal_overlaps() {
+        let (rs, ss) = schemas();
+        // [0,10] contains [2,4] but only overlaps [5,20].
+        let r = rel(rs, &[(1, 0, 0, 10)]);
+        let s = rel(ss, &[(1, 9, 2, 4), (1, 8, 5, 20)]);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let pred: JoinPredicate = "contains".parse().unwrap();
+        let r_refs: Vec<&Tuple> = r.iter().collect();
+        let s_refs: Vec<&Tuple> = s.iter().collect();
+        let mut scratch = SweepScratch::default();
+        let mut out = OutputBatch::new();
+        out.begin(4);
+        let stats = sweep_join_pred(
+            &spec,
+            &pred,
+            &r_refs,
+            &s_refs,
+            Interval::ALL,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(stats.filter_checks, 2);
+        assert_eq!(stats.filter_hits, 1);
+        assert_eq!(stats.pairs_emitted, 1);
+        let batch = out.take();
+        assert_eq!(batch[0].valid(), Interval::from_raw(2, 4).unwrap());
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod sort_merge;
 pub mod time_index;
 
 pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseStats, Result};
-pub use kernel::{KernelChoice, KernelCounters, KernelKind, OutputBatch, SweepScratch};
+pub use kernel::{
+    KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
+};
 pub use report::{execution_report, partition_execution_report};
 pub use nested_loop::NestedLoopJoin;
 pub use partition::{PartitionJoin, ReplicatedPartitionJoin};

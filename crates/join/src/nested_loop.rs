@@ -60,6 +60,7 @@ impl JoinAlgorithm for NestedLoopJoin {
         let chunk_pages = cfg.buffer_pages - 2;
         let mut chunks = 0i64;
         let mut cpu = CpuCounters::default();
+        let (mut filter_checks, mut filter_hits) = (0u64, 0u64);
         let mut next_outer_page = 0u64;
         while next_outer_page < outer.pages() {
             // Fill the outer block.
@@ -73,9 +74,23 @@ impl JoinAlgorithm for NestedLoopJoin {
             let table = BlockTable::build(&spec, &block);
 
             // Stream the inner relation through the single inner page.
-            for p in 0..inner.pages() {
-                for y in inner.read_page(p)? {
-                    table.probe(&y, &mut sink, |_| true);
+            // Nested loop considers every pair of pages, so it evaluates
+            // any join predicate directly — it is the disk-based oracle
+            // for the generalized-predicate executors.
+            if cfg.predicate.is_natural() {
+                for p in 0..inner.pages() {
+                    for y in inner.read_page(p)? {
+                        table.probe(&y, &mut sink, |_| true);
+                    }
+                }
+            } else {
+                for p in 0..inner.pages() {
+                    for y in inner.read_page(p)? {
+                        let (c, h) =
+                            table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
+                        filter_checks += c;
+                        filter_hits += h;
+                    }
                 }
             }
             cpu.absorb(&table);
@@ -95,6 +110,10 @@ impl JoinAlgorithm for NestedLoopJoin {
             notes: {
                 let mut notes = vec![("outer_chunks".to_string(), chunks)];
                 notes.extend(cpu.notes());
+                if !cfg.predicate.is_natural() {
+                    notes.push(("filter_checks".to_string(), filter_checks as i64));
+                    notes.push(("filter_hits".to_string(), filter_hits as i64));
+                }
                 notes
             },
             faults,
@@ -165,6 +184,27 @@ mod tests {
         let expected = natural_join(&r, &s).unwrap();
         assert!(report.result.as_ref().unwrap().multiset_eq(&expected));
         assert_eq!(report.result_tuples as usize, expected.len());
+    }
+
+    #[test]
+    fn predicate_config_matches_the_predicate_oracle() {
+        use vtjoin_core::algebra::predicate_join;
+        use vtjoin_core::JoinPredicate;
+        let disk = SharedDisk::new(256);
+        let (r, s) = make_relations(120, 7);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        for p in ["before", "overlaps-or-meets", "during", "before-within-3"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let cfg = JoinConfig::with_buffer(6).collecting().predicate(pred);
+            let report = NestedLoopJoin.execute(&hr, &hs, &cfg).unwrap();
+            let expected = predicate_join(&r, &s, &pred).unwrap();
+            assert!(
+                report.result.as_ref().unwrap().multiset_eq(&expected),
+                "{p}"
+            );
+            assert!(report.note("filter_checks") >= report.note("filter_hits"));
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use super::intervals::is_partitioning;
 use crate::common::{BlockTable, CpuCounters, JoinError, JoinSpec, Result, ResultSink};
 use crate::kernel::OutputBatch;
-use vtjoin_core::{Interval, Tuple};
+use vtjoin_core::{Interval, JoinPredicate, Tuple};
 use vtjoin_storage::{codec, FileHandle, HeapFile, PageBuf};
 
 /// The Figure 3 buffer split, derived in exactly one place so the
@@ -75,6 +75,11 @@ pub struct ExecNotes {
     /// Output batches handed to the sink (one per result-producing
     /// partition, instead of one sink push per tuple).
     pub batches_flushed: i64,
+    /// Key-equal pairs tested against a generalized predicate filter
+    /// (zero for the natural join).
+    pub filter_checks: i64,
+    /// Predicate filter tests that passed.
+    pub filter_hits: i64,
     /// Main-memory operation counts (§5 future-work extension).
     pub cpu: CpuCounters,
 }
@@ -194,6 +199,11 @@ pub const CACHE_WRITE_BATCH: u64 = 8;
 
 /// Runs the Figure 9 loop. `reserved_cache_pages` > 0 activates the §5
 /// extension that trades outer-buffer space for in-memory cache pages.
+///
+/// `pred` must be an intersection-template predicate (which the natural
+/// join is): the canonical-partition emission rule below de-duplicates
+/// by overlap end, which only covers matches that intersect in time.
+#[allow(clippy::too_many_arguments)]
 pub fn join_partitions(
     r_parts: &[HeapFile],
     s_parts: &[HeapFile],
@@ -201,8 +211,10 @@ pub fn join_partitions(
     buffer_pages: u64,
     reserved_cache_pages: u64,
     spec: &JoinSpec,
+    pred: &JoinPredicate,
     sink: &mut ResultSink,
 ) -> Result<ExecNotes> {
+    debug_assert!(pred.partitioning_eligible());
     assert!(is_partitioning(intervals));
     assert_eq!(r_parts.len(), intervals.len());
     assert_eq!(s_parts.len(), intervals.len());
@@ -256,12 +268,26 @@ pub fn join_partitions(
             let table = BlockTable::build(spec, &outer_part[range.clone()]);
             notes.hash_tables += 1;
             let out = &mut batch;
+            let natural = pred.is_natural();
+            let (mut filter_checks, mut filter_hits) = (0u64, 0u64);
             let mut probe = |table: &BlockTable<'_>, y: &Tuple| {
-                table.probe_each(y, |z| {
-                    if p_i.contains_chronon(z.valid().end()) {
-                        out.emit(z);
-                    }
-                });
+                if natural {
+                    table.probe_each(y, |z| {
+                        if p_i.contains_chronon(z.valid().end()) {
+                            out.emit(z);
+                        }
+                    });
+                } else {
+                    // Intersection-template stamps are overlaps, so the
+                    // same canonical-partition rule de-duplicates.
+                    let (c, h) = table.probe_each_pred(pred, y, |z| {
+                        if p_i.contains_chronon(z.valid().end()) {
+                            out.emit(z);
+                        }
+                    });
+                    filter_checks += c;
+                    filter_hits += h;
+                }
             };
 
             // 2. The in-memory cache page from the previous iteration.
@@ -308,6 +334,8 @@ pub fn join_partitions(
                 }
             }
             notes.cpu.absorb(&table);
+            notes.filter_checks += filter_checks as i64;
+            notes.filter_hits += filter_hits as i64;
         }
 
         // One batched hand-over per result-producing partition.
@@ -450,6 +478,7 @@ mod tests {
             buffer,
             reserved,
             &spec,
+            &JoinPredicate::intersects(),
             &mut sink,
         )
         .unwrap();
@@ -491,6 +520,32 @@ mod tests {
     #[test]
     fn matches_oracle_many_partitions() {
         assert_oracle(300, 7, 4, 8, 32);
+    }
+
+    #[test]
+    fn intersection_predicates_dedup_across_partitions() {
+        use vtjoin_core::algebra::predicate_join;
+        // Long-lived tuples span many partitions; every intersection-
+        // template predicate must still emit each surviving pair once.
+        let r = mixed(150, 5, 4, true);
+        let s = mixed(150, 5, 4, false);
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        let parts_iv = equal_width(Interval::from_raw(0, 400).unwrap(), 4);
+        let rp = do_partitioning(&hr, &parts_iv, 16).unwrap();
+        let sp = do_partitioning(&hs, &parts_iv, 16).unwrap();
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        for p in ["during", "overlaps", "contains-or-started-by", "equals"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, true);
+            let notes =
+                join_partitions(&rp, &sp, &parts_iv, 16, 0, &spec, &pred, &mut sink).unwrap();
+            let (_, _, rel) = sink.finish();
+            let want = predicate_join(&r, &s, &pred).unwrap();
+            assert!(rel.unwrap().multiset_eq(&want), "{p}");
+            assert!(notes.filter_checks >= notes.filter_hits, "{p}");
+        }
     }
 
     #[test]
@@ -589,7 +644,17 @@ mod tests {
         let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
         let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, false);
         disk.reset_stats();
-        join_partitions(&rp, &sp, &parts_iv, 32, 0, &spec, &mut sink).unwrap();
+        join_partitions(
+            &rp,
+            &sp,
+            &parts_iv,
+            32,
+            0,
+            &spec,
+            &JoinPredicate::intersects(),
+            &mut sink,
+        )
+        .unwrap();
         let st = disk.stats();
         let part_pages: u64 =
             rp.iter().map(HeapFile::pages).sum::<u64>() + sp.iter().map(HeapFile::pages).sum::<u64>();

@@ -72,6 +72,13 @@ impl PartitionJoin {
                 available: cfg.buffer_pages,
             });
         }
+        if !cfg.predicate.partitioning_eligible() {
+            return Err(JoinError::Precondition(
+                "partition join serves only intersection-template predicates (every match \
+                 must intersect in time); evaluate sequence/mixed predicates with \
+                 nested-loop or the parallel executor's merge fallback",
+            ));
+        }
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);
@@ -90,9 +97,21 @@ impl PartitionJoin {
             tracker.phase("plan");
             tracker.phase("partition");
             let table = BlockTable::build(&spec, &block);
-            for p in 0..inner.pages() {
-                for y in inner.read_page(p)? {
-                    table.probe(&y, &mut sink, |_| true);
+            let (mut filter_checks, mut filter_hits) = (0u64, 0u64);
+            if cfg.predicate.is_natural() {
+                for p in 0..inner.pages() {
+                    for y in inner.read_page(p)? {
+                        table.probe(&y, &mut sink, |_| true);
+                    }
+                }
+            } else {
+                for p in 0..inner.pages() {
+                    for y in inner.read_page(p)? {
+                        let (c, h) =
+                            table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
+                        filter_checks += c;
+                        filter_hits += h;
+                    }
                 }
             }
             let mut cpu = crate::common::CpuCounters::default();
@@ -117,6 +136,10 @@ impl PartitionJoin {
                         ("overflow_chunks".to_string(), 0),
                     ];
                     notes.extend(cpu.notes());
+                    if !cfg.predicate.is_natural() {
+                        notes.push(("filter_checks".to_string(), filter_checks as i64));
+                        notes.push(("filter_hits".to_string(), filter_hits as i64));
+                    }
                     notes
                 },
                 faults,
@@ -141,6 +164,7 @@ impl PartitionJoin {
             cfg.buffer_pages,
             self.reserved_cache_pages,
             &spec,
+            &cfg.predicate,
             &mut sink,
         )?;
         tracker.phase("join");
@@ -149,7 +173,7 @@ impl PartitionJoin {
         let faults = tracker.fault_summary(degraded);
         let (io, phases) = tracker.finish();
         let (result_tuples, result_pages, result) = sink.finish();
-        let report = JoinReport {
+        let mut report = JoinReport {
             algorithm: "partition",
             result_tuples,
             result_pages,
@@ -175,6 +199,14 @@ impl PartitionJoin {
             ],
             faults,
         };
+        if !cfg.predicate.is_natural() {
+            report
+                .notes
+                .push(("filter_checks".into(), exec_notes.filter_checks));
+            report
+                .notes
+                .push(("filter_hits".into(), exec_notes.filter_hits));
+        }
         Ok((report, planner_out))
     }
 }

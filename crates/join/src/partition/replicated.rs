@@ -92,6 +92,12 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
                 available: cfg.buffer_pages,
             });
         }
+        if !cfg.predicate.is_natural() {
+            return Err(JoinError::Precondition(
+                "the replicated-partition ablation evaluates only the natural \
+                 (intersection) predicate",
+            ));
+        }
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

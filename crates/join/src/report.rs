@@ -13,7 +13,8 @@ use crate::partition::sampling::sample_cost;
 use crate::partition::PlannerOutput;
 use vtjoin_obs::{
     CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport, FaultsSection,
-    IoSection, KernelSection, PhaseSection, PlanSection, PredictedCost, ResultSection,
+    IoSection, KernelSection, PhaseSection, PlanSection, PredicateSection, PredictedCost,
+    ResultSection,
 };
 
 /// Converts the join layer's fault accounting into the obs schema section.
@@ -50,11 +51,30 @@ fn kernel_section(report: &JoinReport) -> Option<KernelSection> {
     })
 }
 
+/// Lifts the predicate-filter diagnostic notes into the schema-v6
+/// `predicate` section. Natural-join runs carry no section, so every
+/// pre-predicate report keeps its exact shape.
+fn predicate_section(report: &JoinReport, cfg: &JoinConfig) -> Option<PredicateSection> {
+    if cfg.predicate.is_natural() {
+        return None;
+    }
+    let get = |name: &str| report.note(name).map(|v| v as u64).unwrap_or(0);
+    Some(PredicateSection {
+        predicate: cfg.predicate.to_string(),
+        template: cfg.predicate.template().as_str().to_owned(),
+        filter_checks: get("filter_checks"),
+        filter_hits: get("filter_hits"),
+        merge_pairs_scanned: get("merge_pairs_scanned"),
+        merge_pairs_emitted: get("merge_pairs_emitted"),
+    })
+}
+
 /// Converts a finished [`JoinReport`] into an [`ExecutionReport`] with no
 /// planner sections — the form every algorithm can produce. Phases carry
 /// their measured I/O (priced at `cfg.ratio`) and wall-clock; notes become
 /// named counters (`kernel_*` notes are additionally lifted into the
-/// schema-v4 `kernel` section).
+/// schema-v4 `kernel` section, predicate-filter notes into the schema-v6
+/// `predicate` section).
 pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionReport {
     ExecutionReport {
         algorithm: report.algorithm.to_owned(),
@@ -88,6 +108,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         kernel: kernel_section(report),
         faults: report.faults.as_ref().map(faults_section),
         service: None,
+        predicate: predicate_section(report, cfg),
     }
 }
 

@@ -59,6 +59,13 @@ impl JoinAlgorithm for SortMergeJoin {
                 available: cfg.buffer_pages,
             });
         }
+        if !cfg.predicate.is_natural() {
+            return Err(JoinError::Precondition(
+                "sort-merge evaluates only the natural (intersection) predicate; its \
+                 backing-up merge window assumes overlap matches — use nested-loop or \
+                 the parallel executor for generalized predicates",
+            ));
+        }
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

@@ -289,6 +289,13 @@ impl JoinAlgorithm for TimeIndexJoin {
                 available: cfg.buffer_pages,
             });
         }
+        if !cfg.predicate.is_natural() {
+            return Err(JoinError::Precondition(
+                "time-index evaluates only the natural (intersection) predicate; its \
+                 index probe window is the outer hull's overlap — use nested-loop or \
+                 the parallel executor for generalized predicates",
+            ));
+        }
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

@@ -20,13 +20,15 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// Version 4 added the optional `kernel` section (per-kernel partition
 /// counts, sweep comparisons, batches flushed). Version 5 added the
 /// optional `service` section (multi-query admission and plan-cache
-/// accounting).
+/// accounting). Version 6 added the optional `predicate` section
+/// (Allen-predicate name, compiled sweep template, and predicate-filter /
+/// merge-fallback counters).
 ///
 /// Every post-v1 addition is an *optional* section, so
 /// [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 5;
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -536,6 +538,62 @@ impl ServiceSection {
     }
 }
 
+/// Allen-predicate accounting (the `predicate` schema section, new in
+/// version 6): which generalized join predicate the run evaluated, which
+/// sweep plan template it compiled to, and the counters of the two
+/// predicate execution paths. `filter_checks`/`filter_hits` count the
+/// intersection-template filter applied after the key-equality and
+/// overlap tests inside the hash/sweep kernels; `merge_pairs_scanned`/
+/// `merge_pairs_emitted` count the predicate-aware sort-merge fallback
+/// used for sequence/mixed templates. A natural join carries no section.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PredicateSection {
+    /// Canonical predicate name (`JoinPredicate`'s display form, e.g.
+    /// "meets-or-overlaps" or "before-within-3").
+    pub predicate: String,
+    /// Compiled plan template: "intersection", "sequence", or "mixed".
+    pub template: String,
+    /// Key-equal candidate pairs the intersection-template filter tested.
+    pub filter_checks: u64,
+    /// Candidate pairs the filter accepted (result tuples emitted by the
+    /// filtered kernels).
+    pub filter_hits: u64,
+    /// Key-equal candidate pairs the merge fallback scanned.
+    pub merge_pairs_scanned: u64,
+    /// Pairs the merge fallback emitted.
+    pub merge_pairs_emitted: u64,
+}
+
+impl PredicateSection {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("predicate", Json::Str(self.predicate.clone())),
+            ("template", Json::Str(self.template.clone())),
+            ("filter_checks", Json::Int(self.filter_checks as i64)),
+            ("filter_hits", Json::Int(self.filter_hits as i64)),
+            (
+                "merge_pairs_scanned",
+                Json::Int(self.merge_pairs_scanned as i64),
+            ),
+            (
+                "merge_pairs_emitted",
+                Json::Int(self.merge_pairs_emitted as i64),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<PredicateSection, ReportError> {
+        Ok(PredicateSection {
+            predicate: req_str(j, "predicate")?,
+            template: req_str(j, "template")?,
+            filter_checks: req_u64(j, "filter_checks")?,
+            filter_hits: req_u64(j, "filter_hits")?,
+            merge_pairs_scanned: req_u64(j, "merge_pairs_scanned")?,
+            merge_pairs_emitted: req_u64(j, "merge_pairs_emitted")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -571,6 +629,9 @@ pub struct ExecutionReport {
     /// Multi-query service accounting, when the run went through a
     /// `JoinService` (admission controller + plan cache).
     pub service: Option<ServiceSection>,
+    /// Allen-predicate accounting, when the run evaluated a generalized
+    /// (non-natural) join predicate.
+    pub predicate: Option<PredicateSection>,
 }
 
 impl ExecutionReport {
@@ -764,6 +825,9 @@ impl ExecutionReport {
         if let Some(sv) = self.service {
             pairs.push(("service", sv.to_json()));
         }
+        if let Some(pd) = &self.predicate {
+            pairs.push(("predicate", pd.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -899,6 +963,10 @@ impl ExecutionReport {
             Some(sv) => Some(ServiceSection::from_json(sv)?),
             None => None,
         };
+        let predicate = match j.get("predicate") {
+            Some(pd) => Some(PredicateSection::from_json(pd)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -921,6 +989,7 @@ impl ExecutionReport {
             kernel,
             faults,
             service,
+            predicate,
         })
     }
 
@@ -1129,6 +1198,28 @@ impl ExecutionReport {
                 &format!(
                     "    sweep comparisons: {} (all time-overlapping), {} output batches flushed",
                     k.sweep_comparisons, k.batches_flushed
+                ),
+            );
+        }
+
+        if let Some(pd) = &self.predicate {
+            p(&mut out, "\n  predicate:");
+            p(
+                &mut out,
+                &format!("    {} (template: {})", pd.predicate, pd.template),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    kernel filter: {} hits / {} checks",
+                    pd.filter_hits, pd.filter_checks
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    merge fallback: {} emitted / {} pairs scanned",
+                    pd.merge_pairs_emitted, pd.merge_pairs_scanned
                 ),
             );
         }
@@ -1383,6 +1474,14 @@ mod tests {
                 pool_pages: 512,
                 pool_pages_high_water: 480,
             }),
+            predicate: Some(PredicateSection {
+                predicate: "meets-or-overlaps".into(),
+                template: "intersection".into(),
+                filter_checks: 4321,
+                filter_hits: 1234,
+                merge_pairs_scanned: 0,
+                merge_pairs_emitted: 0,
+            }),
         }
     }
 
@@ -1405,18 +1504,20 @@ mod tests {
         report.kernel = None;
         report.faults = None;
         report.service = None;
+        report.predicate = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
         assert!(!report.to_json_string().contains("\"kernel\":"));
         assert!(!report.to_json_string().contains("\"faults\":"));
         assert!(!report.to_json_string().contains("\"service\":"));
+        assert!(!report.to_json_string().contains("\"predicate\":"));
     }
 
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 5",
+            "\"schema_version\": 6",
             "\"schema_version\": 99",
             1,
         );
@@ -1428,15 +1529,24 @@ mod tests {
 
     #[test]
     fn older_versions_still_parse() {
-        // A v4 (service-less), a v3 (kernel-less) and a v1 (sections-less)
-        // document must all decode: every post-v1 addition is an optional
-        // section.
+        // A v5 (predicate-less), a v4 (service-less), a v3 (kernel-less)
+        // and a v1 (sections-less) document must all decode: every post-v1
+        // addition is an optional section.
         let mut report = sample_report();
+        report.predicate = None;
+        let v5 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 6", "\"schema_version\": 5", 1);
+        let back = ExecutionReport::from_json_str(&v5).unwrap();
+        assert_eq!(back.predicate, None);
+        assert_eq!(back.service, report.service);
+
         report.service = None;
         let v4 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 5", "\"schema_version\": 4", 1);
+                .replacen("\"schema_version\": 6", "\"schema_version\": 4", 1);
         let back = ExecutionReport::from_json_str(&v4).unwrap();
         assert_eq!(back.service, None);
         assert_eq!(back.kernel, report.kernel);
@@ -1445,7 +1555,7 @@ mod tests {
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 5", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 6", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1460,7 +1570,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 5", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 6", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(
@@ -1522,6 +1632,10 @@ mod tests {
             "requests: 24 (21 admitted, 6 queued, 3 rejected)",
             "plan cache: 15 hits / 5 misses (2 invalidations)",
             "pool: 512 pages, high water 480 pages / 4 queued requests",
+            "predicate:",
+            "meets-or-overlaps (template: intersection)",
+            "kernel filter: 1234 hits / 4321 checks",
+            "merge fallback: 0 emitted / 0 pairs scanned",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

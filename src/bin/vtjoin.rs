@@ -4,6 +4,7 @@
 //! vtjoin gen  --tuples 1000 --long-lived 100 --keys 50 --side outer -o r.vt
 //! vtjoin info r.vt
 //! vtjoin join r.vt s.vt --algorithm partition --buffer 64 --ratio 5 [-o out.vt]
+//! vtjoin join r.vt s.vt --predicate meets-or-overlaps --explain
 //! vtjoin serve --requests reqs.txt --concurrency 4
 //! vtjoin slice r.vt --at 4200
 //! vtjoin coalesce r.vt -o canonical.vt
@@ -60,15 +61,21 @@ fn usage() -> String {
      [--duration MAX] [--seed N] [--side outer|inner] -o FILE\n  \
      vtjoin info FILE\n  \
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
-     [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] [--retries N] \
-     [--explain] [--stats-json FILE] [-o FILE]\n  \
+     [--predicate PRED] [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] \
+     [--retries N] [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
-     [--explain] [--stats-json FILE] [-o FILE]   (in-memory parallel partition join)\n  \
+     [--predicate PRED] [--explain] [--stats-json FILE] [-o FILE]   \
+     (in-memory parallel partition join)\n  \
      vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
      [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
      [--explain] [--stats-json FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
-     vtjoin coalesce FILE [-o FILE]"
+     vtjoin coalesce FILE [-o FILE]\n\n\
+     PRED is an Allen predicate: one or more of before, meets, overlaps, starts,\n\
+     during, finishes, equals, finished-by, contains, started-by, overlapped-by,\n\
+     met-by, after joined with `-or-` (e.g. `meets-or-overlaps`), or `intersects`\n\
+     (the default, the valid-time natural join), or `before-within-N` /\n\
+     `after-within-N` for a bounded gap. See docs/PREDICATES.md."
         .to_owned()
 }
 
@@ -125,6 +132,16 @@ impl Flags {
             None => Ok(default),
             Some(v) => Ok(v.parse::<u64>().map_err(|_| format!("--{name}: bad number `{v}`"))?),
         }
+    }
+}
+
+/// `--predicate PRED` (default: `intersects`, the natural join).
+fn parse_predicate(flags: &Flags) -> Result<JoinPredicate, AnyError> {
+    match flags.get("predicate") {
+        None => Ok(JoinPredicate::intersects()),
+        Some(p) => p
+            .parse::<JoinPredicate>()
+            .map_err(|e| format!("--predicate: {e}").into()),
     }
 }
 
@@ -204,7 +221,11 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
 
     let buffer = flags.get_u64("buffer", 256)?;
     let ratio = CostRatio::new(flags.get_u64("ratio", 5)?);
-    let cfg = JoinConfig::with_buffer(buffer).ratio(ratio).collecting();
+    let pred = parse_predicate(&flags)?;
+    let cfg = JoinConfig::with_buffer(buffer)
+        .ratio(ratio)
+        .predicate(pred)
+        .collecting();
 
     let disk = SharedDisk::new(4096);
     let hr = HeapFile::bulk_load(&disk, &r)?;
@@ -235,8 +256,29 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
         "sort-merge" => Box::new(SortMergeJoin),
         "partition" => Box::new(PartitionJoin::default()),
         "time-index" => Box::new(vtjoin::join::TimeIndexJoin::default()),
-        "auto" => vtjoin::engine::choose_algorithm(hr.pages(), hs.pages(), buffer, ratio)
-            .instantiate(),
+        // `auto` honours the predicate: algorithms that cannot evaluate it
+        // (sort-merge for non-natural intersections; everything but nested
+        // loop for sequence/mixed templates) are never chosen. Forcing one
+        // with `--algorithm` instead surfaces the algorithm's own typed
+        // precondition error.
+        "auto" => {
+            use vtjoin::engine::{choose_algorithm, partition_feasible, Algorithm};
+            let mut a = choose_algorithm(hr.pages(), hs.pages(), buffer, ratio);
+            if !pred.is_natural() {
+                a = if !pred.partitioning_eligible() {
+                    Algorithm::NestedLoop
+                } else if a == Algorithm::SortMerge {
+                    if partition_feasible(hr.pages(), buffer) {
+                        Algorithm::Partition
+                    } else {
+                        Algorithm::NestedLoop
+                    }
+                } else {
+                    a
+                };
+            }
+            a.instantiate()
+        }
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
     // The partition join exposes its planner output, which the execution
@@ -306,8 +348,16 @@ fn join_parallel(
         (None, None) => Interval::ALL,
     };
     let intervals = vtjoin::join::partition::intervals::equal_width(hull, partitions);
-    let (result, exec_report) =
-        vtjoin::engine::parallel_execution_report_with(r, s, &intervals, threads, kernel)?;
+    // The natural join keeps the forced-kernel surface; a non-natural
+    // predicate routes through the predicate-aware executor (filtered
+    // kernels under the auto gate, or the sort-merge fallback for
+    // sequence/mixed templates, where partitioning does not apply).
+    let pred = parse_predicate(flags)?;
+    let (result, exec_report) = if pred.is_natural() {
+        vtjoin::engine::parallel_execution_report_with(r, s, &intervals, threads, kernel)?
+    } else {
+        vtjoin::engine::parallel_execution_report_pred(r, s, &intervals, threads, &pred)?
+    };
 
     if flags.get("explain").is_some() {
         print!("{}", exec_report.render_explain());
@@ -327,10 +377,22 @@ fn join_parallel(
                 k.hash_partitions, k.sweep_partitions, k.batches_flushed
             );
         }
-        if let Some(sk) = exec_report.skew {
+        if let Some(sk) = &exec_report.skew {
             println!(
                 "  skew: heaviest partition {}% of est cost, utilization {}%",
                 sk.max_partition_share_percent, sk.utilization_percent
+            );
+        }
+        if let Some(pd) = &exec_report.predicate {
+            println!(
+                "  predicate {} (template {}): {} filter hits / {} checks, \
+                 {} / {} merge pairs emitted",
+                pd.predicate,
+                pd.template,
+                pd.filter_hits,
+                pd.filter_checks,
+                pd.merge_pairs_emitted,
+                pd.merge_pairs_scanned,
             );
         }
     }
@@ -358,6 +420,7 @@ fn join_parallel(
 /// load s s.vt
 /// join r s           # submit r ⋈ s (submitted concurrently)
 /// join r s           # repeated pairs hit the plan cache
+/// join r s during    # optional Allen predicate (cached per predicate)
 /// ```
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -370,7 +433,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         .map_err(|e| format!("reading {requests_path}: {e}"))?;
 
     let mut db = Database::new(4096);
-    let mut joins: Vec<(String, String)> = Vec::new();
+    let mut joins: Vec<(String, String, JoinPredicate)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -383,12 +446,22 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 db.create_table(name, &rel)?;
             }
             ["join", outer, inner] => {
-                joins.push(((*outer).to_owned(), (*inner).to_owned()));
+                joins.push((
+                    (*outer).to_owned(),
+                    (*inner).to_owned(),
+                    JoinPredicate::intersects(),
+                ));
+            }
+            ["join", outer, inner, pred] => {
+                let pred = pred.parse::<JoinPredicate>().map_err(|e| {
+                    format!("{requests_path}:{}: bad predicate: {e}", lineno + 1)
+                })?;
+                joins.push(((*outer).to_owned(), (*inner).to_owned(), pred));
             }
             _ => {
                 return Err(format!(
                     "{requests_path}:{}: bad request `{line}` \
-                     (expected `load NAME FILE` or `join OUTER INNER`)",
+                     (expected `load NAME FILE` or `join OUTER INNER [PREDICATE]`)",
                     lineno + 1
                 )
                 .into())
@@ -419,10 +492,15 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         for _ in 0..concurrency.min(joins.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((outer, inner)) = joins.get(i) else { break };
-                let line = match svc.submit(outer, inner) {
+                let Some((outer, inner, pred)) = joins.get(i) else { break };
+                let tag = if pred.is_natural() {
+                    String::new()
+                } else {
+                    format!(" {pred}")
+                };
+                let line = match svc.submit_with(outer, inner, pred) {
                     Ok(resp) => format!(
-                        "join {outer} {inner}: {} tuples, plan {:?}, admission {:?}, \
+                        "join {outer} {inner}{tag}: {} tuples, plan {:?}, admission {:?}, \
                          {} partitions, {} pages reserved",
                         resp.result.len(),
                         resp.plan,
@@ -430,7 +508,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                         resp.partitions,
                         resp.reserved_pages,
                     ),
-                    Err(e) => format!("join {outer} {inner}: FAILED: {e}"),
+                    Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
                 };
                 *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = line;
             });

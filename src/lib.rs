@@ -53,9 +53,10 @@ pub use vtjoin_workload as workload;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use vtjoin_core::algebra::{coalesce, natural_join};
+    pub use vtjoin_core::algebra::{coalesce, natural_join, predicate_join};
     pub use vtjoin_core::{
-        AttrDef, AttrType, Chronon, Interval, Period, Relation, Schema, Tuple, Value,
+        AllenRelation, AttrDef, AttrType, Chronon, Interval, JoinPredicate, Period, Relation,
+        Schema, Tuple, Value,
     };
     pub use vtjoin_engine::{Database, MaterializedVtJoin};
     pub use vtjoin_join::{
