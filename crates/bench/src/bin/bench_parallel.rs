@@ -4,9 +4,15 @@
 //! ```text
 //! bench_parallel [--out FILE] [--tuples N] [--long-lived N] [--keys N]
 //!                [--lifespan N] [--partitions N] [--threads 1,2,4]
-//!                [--repeats N] [--seed N] [--no-baseline] [--smoke]
+//!                [--repeats N] [--seed N] [--zipf X100] [--no-baseline]
+//!                [--smoke]
 //! bench_parallel --validate FILE [--baseline FILE] [--tolerance-permille N]
 //! ```
+//!
+//! `--zipf` sets the key distribution's Zipf exponent fixed-point ×100
+//! (`--zipf 120` = Zipf(1.2); 0 = uniform keys, the default). The run
+//! always includes the grid-vs-time-only comparison; its structural
+//! outcome (byte-identity, max cell share) is validated on emit.
 //!
 //! `--smoke` selects the tiny CI geometry; `--validate` checks an emitted
 //! document against the benchmark schema and exits non-zero on mismatch.
@@ -66,6 +72,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             "--partitions" => cfg.partitions = parse(arg, &value(arg)?)?,
             "--repeats" => cfg.repeats = parse(arg, &value(arg)?)?,
             "--seed" => cfg.seed = parse(arg, &value(arg)?)?,
+            "--zipf" => cfg.zipf_x100 = parse(arg, &value(arg)?)?,
             "--threads" => {
                 cfg.threads = value(arg)?
                     .split(',')
@@ -112,6 +119,24 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             run.get("wall_micros").and_then(Json::as_i64).unwrap_or(0),
             run.get("utilization_percent").and_then(Json::as_i64).unwrap_or(0),
         );
+    }
+    if let Some(grid) = doc.get("grid") {
+        println!(
+            "  grid {}x{}: max cell share {}% (time-only {}%), identical to serial: {}",
+            grid.get("key_buckets").and_then(Json::as_i64).unwrap_or(0),
+            grid.get("time_partitions").and_then(Json::as_i64).unwrap_or(0),
+            grid.get("max_cell_share_percent").and_then(Json::as_i64).unwrap_or(0),
+            grid.get("time_only_max_share_percent").and_then(Json::as_i64).unwrap_or(0),
+            grid.get("grid_identical_to_serial").and_then(Json::as_i64).unwrap_or(0),
+        );
+        for run in grid.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+            println!(
+                "    {} thread(s): grid {} µs vs time-only {} µs",
+                run.get("threads").and_then(Json::as_i64).unwrap_or(0),
+                run.get("grid_wall_micros").and_then(Json::as_i64).unwrap_or(0),
+                run.get("time_only_wall_micros").and_then(Json::as_i64).unwrap_or(0),
+            );
+        }
     }
     Ok(())
 }

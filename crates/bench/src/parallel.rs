@@ -1,9 +1,13 @@
 //! Parallel-executor benchmark: wall-clock of the work-stealing
 //! hash-probed partition join across thread counts, against the naive
 //! static-scheduled nested-loop executor it replaced, on a skewed
-//! workload. The `bench_parallel` binary runs this and writes
-//! `BENCH_parallel.json` at the repo root — the perf baseline future PRs
-//! measure regressions and wins against.
+//! workload — plus a **grid-vs-time-only** comparison: the same workload
+//! joined over a K×N (key × time) grid, with the structural claims (max
+//! cell share, byte-identity across thread counts) emitted as
+//! deterministic counters the CI regression gate can pin. The
+//! `bench_parallel` binary runs this and writes `BENCH_parallel.json` at
+//! the repo root — the perf baseline future PRs measure regressions and
+//! wins against.
 //!
 //! Everything in the emitted document is an integer (the repo's JSON
 //! subset); ratios are fixed-point ×100 (`speedup_x100 = 250` means
@@ -12,9 +16,12 @@
 use std::time::Instant;
 use vtjoin_core::{Interval, Relation};
 use vtjoin_engine::parallel::{
-    parallel_execution_report, parallel_partition_join_naive, parallel_partition_join_reported,
+    grid_partition_join, parallel_execution_report, parallel_partition_join_naive,
+    parallel_partition_join_reported,
 };
-use vtjoin_join::partition::intervals::equal_width;
+use vtjoin_join::common::JoinSpec;
+use vtjoin_join::partition::intervals::{equal_width, replica_range};
+use vtjoin_join::partition::{plan_grid, GridChoice};
 use vtjoin_obs::json::obj;
 use vtjoin_obs::Json;
 use vtjoin_workload::generate::{
@@ -23,8 +30,20 @@ use vtjoin_workload::generate::{
 };
 
 /// Version stamped into `BENCH_parallel.json` as `schema_version`;
-/// [`validate`] rejects other versions.
-pub const BENCH_SCHEMA_VERSION: i64 = 1;
+/// [`validate`] rejects other versions. Version 2 added the `grid`
+/// section and the workload's `zipf_x100` key-skew knob.
+pub const BENCH_SCHEMA_VERSION: i64 = 2;
+
+/// Key-bucket count of the benchmark's forced K×N grid. Fixed (not
+/// `Auto`) so the grid shape — and with it every structural counter the
+/// regression gate pins — is independent of the worker count the bench
+/// host happens to sweep.
+pub const BENCH_GRID_BUCKETS: u64 = 8;
+
+/// Ceiling on the grid's max-cell share the validator enforces, in
+/// percent (the acceptance criterion: the K×N grid must spread the
+/// skewed workload's heaviest time partition across key buckets).
+pub const GRID_MAX_SHARE_PERCENT: i64 = 15;
 
 /// Workload and sweep configuration for the parallel-executor benchmark.
 #[derive(Debug, Clone)]
@@ -48,6 +67,9 @@ pub struct ParallelBenchConfig {
     /// Thread count at which to time the naive baseline executor, or
     /// `None` to skip it (it is O(|rᵢ|·|sᵢ|) per partition — expensive).
     pub baseline_threads: Option<usize>,
+    /// Zipf exponent of the key distribution, fixed-point ×100
+    /// (0 = uniform keys, the baseline geometry).
+    pub zipf_x100: u64,
     /// Workload RNG seed.
     pub seed: u64,
 }
@@ -65,6 +87,7 @@ impl Default for ParallelBenchConfig {
             threads: vec![1, 2, 4],
             repeats: 3,
             baseline_threads: Some(4),
+            zipf_x100: 0,
             seed: 0x1994_0214,
         }
     }
@@ -82,6 +105,7 @@ pub fn smoke_config() -> ParallelBenchConfig {
         threads: vec![1, 2],
         repeats: 1,
         baseline_threads: Some(2),
+        zipf_x100: 0,
         seed: 0x1994_0214,
     }
 }
@@ -89,7 +113,8 @@ pub fn smoke_config() -> ParallelBenchConfig {
 /// Generates the benchmark's skewed relation pair: clustered start
 /// chronons (3 bursts over 10% of the lifespan — very unequal partition
 /// populations under equal-width partitioning) plus long-lived tuples
-/// replicated across many partitions.
+/// replicated across many partitions, with optional Zipf key skew
+/// (`cfg.zipf_x100`, the workload knob the grid's key axis answers).
 pub fn skewed_pair(cfg: &ParallelBenchConfig) -> (Relation, Relation) {
     let gen = |seed: u64, outer: bool| {
         let g = GeneratorConfig {
@@ -97,7 +122,11 @@ pub fn skewed_pair(cfg: &ParallelBenchConfig) -> (Relation, Relation) {
             long_lived: cfg.long_lived,
             lifespan: cfg.lifespan,
             keys: cfg.keys,
-            key_dist: KeyDistribution::Uniform,
+            key_dist: if cfg.zipf_x100 == 0 {
+                KeyDistribution::Uniform
+            } else {
+                KeyDistribution::Zipf(cfg.zipf_x100 as f64 / 100.0)
+            },
             time_dist: TimeDistribution::Clustered(3),
             duration_dist: DurationDistribution::UniformUpTo((cfg.lifespan / 64).max(1)),
             pad_bytes: 0,
@@ -148,6 +177,61 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
         runs.push((t, wall, util));
     }
 
+    // Grid-vs-time-only: the same workload over a forced K×N grid (fixed
+    // bucket count, so the shape is host-independent). The serial grid run
+    // is the byte-identity oracle; every swept thread count must
+    // reproduce it exactly, and the structural outcome (max cell share,
+    // occupancy, replication) is emitted as deterministic counters.
+    let spec = JoinSpec::natural(r.schema(), s.schema()).expect("bench schemas join");
+    let max_threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    let plan = plan_grid(
+        &spec,
+        &r,
+        &s,
+        &intervals,
+        max_threads,
+        GridChoice::Fixed(BENCH_GRID_BUCKETS),
+    )
+    .plan;
+    let grid_serial = grid_partition_join(&r, &s, &plan, 1).expect("grid join failed");
+    let mut grid_identical = true;
+    let mut grid_runs_json: Vec<Json> = Vec::new();
+    for &(t, time_only_wall, _) in &runs {
+        let grid_wall = time(&|| {
+            grid_partition_join(&r, &s, &plan, t).expect("grid join failed");
+        });
+        let got = grid_partition_join(&r, &s, &plan, t).expect("grid join failed");
+        grid_identical &= got.tuples() == grid_serial.tuples();
+        grid_runs_json.push(obj(vec![
+            ("threads", Json::Int(t as i64)),
+            ("grid_wall_micros", Json::Int(grid_wall as i64)),
+            ("time_only_wall_micros", Json::Int(time_only_wall as i64)),
+        ]));
+    }
+    let k = plan.key_buckets;
+    let n_cells = plan.cells();
+    // Per-cell cost estimates of the grid, for the share counters — the
+    // same |r_c|·|s_c| estimate the executor schedules by.
+    let cell_costs: Vec<u64> = {
+        let mut r_cnt = vec![0u64; n_cells];
+        let mut s_cnt = vec![0u64; n_cells];
+        for t in r.iter() {
+            let b = plan.key_bucket(spec.outer_key_hash(t)) as usize;
+            for i in replica_range(&plan.intervals, t.valid()) {
+                r_cnt[i * k as usize + b] += 1;
+            }
+        }
+        for t in s.iter() {
+            let b = plan.key_bucket(spec.inner_key_hash(t)) as usize;
+            for i in replica_range(&plan.intervals, t.valid()) {
+                s_cnt[i * k as usize + b] += 1;
+            }
+        }
+        (0..n_cells).map(|c| r_cnt[c] * s_cnt[c]).collect()
+    };
+    let grid_total: u64 = cell_costs.iter().sum();
+    let grid_max = cell_costs.iter().copied().max().unwrap_or(0);
+
     let one_thread_wall = runs.iter().find(|(t, _, _)| *t == 1).map(|&(_, w, _)| w);
     let runs_json: Vec<Json> = runs
         .iter()
@@ -180,6 +264,7 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
                 ("partitions", Json::Int(cfg.partitions as i64)),
                 ("seed", Json::Int(cfg.seed as i64)),
                 ("time_distribution", Json::Str("clustered-3".into())),
+                ("zipf_x100", Json::Int(cfg.zipf_x100 as i64)),
             ]),
         ),
         ("result_tuples", Json::Int(result.len() as i64)),
@@ -188,6 +273,32 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
             Json::Int(skew.max_partition_share_percent as i64),
         ),
         ("runs", Json::Arr(runs_json)),
+        (
+            "grid",
+            obj(vec![
+                ("key_buckets", Json::Int(k as i64)),
+                ("time_partitions", Json::Int(plan.intervals.len() as i64)),
+                ("cells", Json::Int(n_cells as i64)),
+                (
+                    "occupied_cells",
+                    Json::Int(cell_costs.iter().filter(|&&c| c > 0).count() as i64),
+                ),
+                (
+                    "max_cell_share_percent",
+                    Json::Int((grid_max * 100).checked_div(grid_total).unwrap_or(0) as i64),
+                ),
+                (
+                    "time_only_max_share_percent",
+                    Json::Int(skew.max_partition_share_percent as i64),
+                ),
+                ("grid_result_tuples", Json::Int(grid_serial.len() as i64)),
+                (
+                    "grid_identical_to_serial",
+                    Json::Int(i64::from(grid_identical)),
+                ),
+                ("runs", Json::Arr(grid_runs_json)),
+            ]),
+        ),
     ];
 
     if let Some(bt) = cfg.baseline_threads {
@@ -273,6 +384,54 @@ pub fn validate(doc: &Json) -> Result<(), String> {
                 .ok_or_else(|| format!("missing baseline.{key}"))?;
         }
     }
+
+    // The grid section carries the acceptance claims as counters; the
+    // validator enforces them, so a regressed grid cannot silently ship a
+    // "valid" baseline.
+    let grid = doc.get("grid").ok_or("missing grid section")?;
+    let gi = |key: &str| -> Result<i64, String> {
+        grid.get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing grid.{key}"))
+    };
+    let key_buckets = gi("key_buckets")?;
+    let time_partitions = gi("time_partitions")?;
+    if key_buckets < 1 || gi("cells")? != key_buckets * time_partitions {
+        return Err("grid.cells must equal key_buckets * time_partitions".into());
+    }
+    if gi("grid_identical_to_serial")? != 1 {
+        return Err("grid output not byte-identical to the serial grid run".into());
+    }
+    if gi("grid_result_tuples")?
+        != doc.get("result_tuples").and_then(Json::as_i64).unwrap_or(-1)
+    {
+        return Err("grid result cardinality differs from the time-only run".into());
+    }
+    let grid_share = gi("max_cell_share_percent")?;
+    if grid_share > GRID_MAX_SHARE_PERCENT {
+        return Err(format!(
+            "grid max cell share {grid_share}% exceeds the {GRID_MAX_SHARE_PERCENT}% ceiling"
+        ));
+    }
+    if grid_share > gi("time_only_max_share_percent")? {
+        return Err(format!(
+            "grid max cell share {grid_share}% exceeds the time-only partition share"
+        ));
+    }
+    let grid_runs = grid
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing grid.runs array")?;
+    if grid_runs.is_empty() {
+        return Err("grid.runs array is empty".into());
+    }
+    for (i, run) in grid_runs.iter().enumerate() {
+        for key in ["threads", "grid_wall_micros", "time_only_wall_micros"] {
+            run.get(key)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("missing grid.runs[{i}].{key}"))?;
+        }
+    }
     Ok(())
 }
 
@@ -297,9 +456,58 @@ mod tests {
             ..smoke_config()
         });
         validate(&doc).unwrap();
-        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
+        let text = doc.to_pretty().replacen("\"schema_version\": 2", "\"schema_version\": 9", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc.to_pretty().replacen("\"runs\"", "\"ruins\"", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn validate_enforces_the_grid_acceptance_gates() {
+        let doc = run(&ParallelBenchConfig {
+            baseline_threads: None,
+            ..smoke_config()
+        });
+        // A lost byte-identity flag fails validation outright.
+        let text = doc
+            .to_pretty()
+            .replacen("\"grid_identical_to_serial\": 1", "\"grid_identical_to_serial\": 0", 1);
+        assert!(validate(&Json::parse(&text).unwrap())
+            .unwrap_err()
+            .contains("byte-identical"));
+        // A grid section that stopped spreading the skew fails too.
+        let text = doc
+            .to_pretty()
+            .replacen("\"max_cell_share_percent\": ", "\"max_cell_share_percent\": 9", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        // Dropping the grid section entirely is a schema error.
+        let text = doc.to_pretty().replacen("\"grid\"", "\"grift\"", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zipf_knob_skews_the_workload_and_keeps_the_grid_valid() {
+        // Zipf(1.0), the classic exponent. A single hot key cannot be
+        // split along the key axis, so the share ceiling bounds how much
+        // skew the fixed smoke geometry can absorb — heavier exponents
+        // need finer time partitioning to compensate.
+        let cfg = ParallelBenchConfig {
+            zipf_x100: 100,
+            baseline_threads: None,
+            ..smoke_config()
+        };
+        let (r, _) = skewed_pair(&cfg);
+        let head = r
+            .iter()
+            .filter(|t| t.value(0).as_int() == Some(0))
+            .count() as u64;
+        assert!(
+            head > cfg.tuples / cfg.keys,
+            "zipf head key should exceed the uniform share, got {head}"
+        );
+        let doc = run(&cfg);
+        validate(&doc).unwrap();
+        let wl = doc.get("workload").unwrap();
+        assert_eq!(wl.get("zipf_x100").and_then(Json::as_i64), Some(100));
     }
 }

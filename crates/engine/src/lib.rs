@@ -37,6 +37,8 @@ pub mod view;
 
 pub use database::{Database, TableStats};
 pub use parallel::{
+    grid_execution_report_pred, grid_execution_report_sharded, grid_execution_report_with,
+    grid_partition_join, grid_partition_join_pred, grid_partition_join_with,
     parallel_execution_report, parallel_execution_report_pred, parallel_execution_report_with,
     parallel_partition_join, parallel_partition_join_naive, parallel_partition_join_pred,
     parallel_partition_join_reported, parallel_partition_join_with,

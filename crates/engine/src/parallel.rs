@@ -1,45 +1,55 @@
-//! Multi-threaded partition joining over replicated partitions.
+//! Multi-threaded grid-partition joining with sharded scatter/gather.
 //!
 //! Leung & Muntz studied partition-based temporal joins **in a
 //! multiprocessor setting** with tuples replicated across processors
 //! (\[LM92b\], §4.1 of the paper). Replication is precisely what makes the
 //! partition joins independent — no tuple migrates between partitions, so
 //! each `rᵢ ⋈ᵛ sᵢ` can run on its own thread. This module provides that
-//! variant as an in-memory ablation: the paper's serial migrating join
-//! saves storage and update cost; this one buys wall-clock parallelism
-//! with replication. The canonical-partition emission rule de-duplicates
-//! pairs that are co-present in several partitions.
+//! variant as an in-memory ablation, generalized from the paper's 1×N
+//! time-only partitioning to a **2D (key × time) grid**
+//! ([`vtjoin_join::partition::GridPlan`]): a cell is a (key-bucket,
+//! time-range) pair, tuples replicate only along the time axis (matching
+//! pairs co-bucket by construction — equal keys hash identically), and
+//! the canonical-partition emit rule generalizes to a *canonical-cell*
+//! rule, so every result is emitted exactly once. The 1×N grid is
+//! byte-identical to the pre-grid executor: cells are laid out time-major,
+//! so collapsing the key axis reproduces the old partition order exactly.
 //!
-//! The executor combines three optimizations over the obvious
+//! The executor is a scatter/gather coordinator over independent shard
+//! workers, combining four optimizations over the obvious
 //! one-chunk-per-thread nested-loop design:
 //!
-//! * **gated intra-partition kernels** — each claimed partition is joined
-//!   by whichever [`vtjoin_join::kernel`] the per-partition cost gate
-//!   picks: the hash kernel (BlockTable build + probe) on mostly-unique
-//!   keys, the forward-sweep interval kernel on duplicate-heavy data,
-//!   where rescanning whole key buckets per probe is the dominant cost.
-//!   A forced [`KernelChoice`] overrides the gate (CLI `--kernel`);
-//! * **cost-aware dynamic scheduling** — partitions are sorted by
-//!   estimated cost `|rᵢ|·|sᵢ|` descending and claimed one at a time from
-//!   an atomic work queue, so one skewed partition occupies one worker
-//!   while the rest drain the remainder, rather than serializing a whole
-//!   statically-assigned chunk;
-//! * **batched, reusable output** — workers emit into a capacity-reserved
-//!   thread-local [`OutputBatch`] (sized from a running emitted-per-cost
-//!   estimate) and splice it into the partition's output slot once per
-//!   partition, and reuse one sweep scratch across every partition they
-//!   steal; per-tuple pushes into growing vectors were what made
-//!   self-speedup *degrade* under thread count.
+//! * **gated intra-partition kernels** — each claimed cell is joined by
+//!   whichever [`vtjoin_join::kernel`] the per-cell cost gate picks: the
+//!   hash kernel (BlockTable build + probe) on mostly-unique keys, the
+//!   forward-sweep interval kernel on duplicate-heavy data. A forced
+//!   [`KernelChoice`] overrides the gate (CLI `--kernel`);
+//! * **cost-aware dynamic scheduling** — cells are sorted by estimated
+//!   cost `|r_c|·|s_c|` descending and claimed one at a time from an
+//!   atomic work queue, so one skewed cell occupies one worker while the
+//!   rest drain the remainder;
+//! * **private per-worker output arenas** — each worker emits into a
+//!   capacity-reserved thread-local [`OutputBatch`] and drains it, once
+//!   per cell, into a worker-private arena `Vec` (recording only the
+//!   cell's offset range). The arena is split into per-cell slots after
+//!   the worker's last cell, so the join loop performs **zero shared-path
+//!   work and zero per-cell allocations**; per-tuple pushes into growing
+//!   shared vectors were what made self-speedup *degrade* under thread
+//!   count;
+//! * **per-shard page reservations** — a worker can pin its share of a
+//!   [`PagePool`] for its whole lifetime (the service's per-query
+//!   sub-pool), making shard memory accounting visible to admission
+//!   control without taking a lock inside the join loop.
 //!
 //! Output stays deterministic regardless of scheduling: the kernel gate
-//! depends only on partition data (never on thread count), every
-//! partition's result lands in its own slot, and the slots are flattened
-//! in partition order.
+//! depends only on cell data (never on thread count), every cell's result
+//! lands in its own slot at gather time, and the slots are flattened in
+//! time-major cell order.
 //!
 //! **Generalized predicates.** The `_pred` entry points evaluate an
 //! arbitrary [`JoinPredicate`]. Intersection-template predicates run the
-//! partitioned path above with the predicate-filtering kernel variants
-//! (the canonical-partition emit rule still de-duplicates, because every
+//! grid path above with the predicate-filtering kernel variants (the
+//! canonical-cell emit rule still de-duplicates, because every
 //! intersection match is stamped with its overlap). Sequence and mixed
 //! templates — whose matches may share no partition — run the
 //! predicate-aware merge fallback instead: the outer relation is split
@@ -58,10 +68,12 @@ use vtjoin_join::kernel::{
     KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
 };
 use vtjoin_join::partition::intervals::{is_partitioning, replica_range};
+use vtjoin_join::partition::GridPlan;
 use vtjoin_obs::{
-    ConfigSection, Counter, ExecutionReport, IoSection, KernelSection, PhaseSection,
+    ConfigSection, Counter, ExecutionReport, GridSection, IoSection, KernelSection, PhaseSection,
     PredicateSection, ResultSection, SkewSection, WorkerSection,
 };
+use vtjoin_storage::PagePool;
 
 /// Joins `r ⋈ᵛ s` by replicating tuples into every overlapping partition
 /// and joining the partitions on `threads` worker threads.
@@ -92,9 +104,11 @@ pub fn parallel_partition_join_with(
         r,
         s,
         intervals,
+        1,
         threads,
         choice,
         &JoinPredicate::intersects(),
+        None,
     )
     .map(|(rel, _)| rel)
 }
@@ -113,18 +127,18 @@ pub fn parallel_partition_join_pred(
     threads: usize,
     pred: &JoinPredicate,
 ) -> Result<Relation, vtjoin_join::JoinError> {
-    execute(r, s, intervals, threads, KernelChoice::Auto, pred).map(|(rel, _)| rel)
+    execute(r, s, intervals, 1, threads, KernelChoice::Auto, pred, None).map(|(rel, _)| rel)
 }
 
 /// As [`parallel_partition_join`], but also reports a per-worker breakdown
 /// (partitions claimed, tuples emitted, wall-clock and busy time) for the
 /// execution report's `workers` section.
 ///
-/// **Worker-count contract**: exactly `min(threads.max(1), partitions)`
-/// workers are spawned and reported — a worker without a partition to
-/// claim would only report zeros, so none is created. The tuple counts
-/// are deterministic in aggregate; which worker claims which partition,
-/// and the wall-clock figures, are not.
+/// **Worker-count contract**: exactly `min(threads.max(1), cells)` workers
+/// are spawned and reported — a worker without a cell to claim would only
+/// report zeros, so none is created. The tuple counts are deterministic in
+/// aggregate; which worker claims which cell, and the wall-clock figures,
+/// are not.
 pub fn parallel_partition_join_reported(
     r: &Relation,
     s: &Relation,
@@ -135,23 +149,88 @@ pub fn parallel_partition_join_reported(
         r,
         s,
         intervals,
+        1,
         threads,
         KernelChoice::Auto,
         &JoinPredicate::intersects(),
+        None,
     )?;
     Ok((rel, detail.workers))
+}
+
+/// Joins `r ⋈ᵛ s` over a 2D (key × time) [`GridPlan`]: `plan.key_buckets`
+/// hash buckets × `plan.intervals` time ranges, joined cell-by-cell on
+/// `threads` workers. The 1×N plan is byte-identical to
+/// [`parallel_partition_join`]; a K×N plan reorders output (time-major
+/// cell order) but is deterministic at every thread count and emits the
+/// same result multiset.
+pub fn grid_partition_join(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    grid_partition_join_with(r, s, plan, threads, KernelChoice::Auto)
+}
+
+/// As [`grid_partition_join`], with an explicit kernel policy.
+pub fn grid_partition_join_with(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    choice: KernelChoice,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    execute(
+        r,
+        s,
+        &plan.intervals,
+        plan.key_buckets,
+        threads,
+        choice,
+        &JoinPredicate::intersects(),
+        None,
+    )
+    .map(|(rel, _)| rel)
+}
+
+/// As [`grid_partition_join`], evaluating an arbitrary [`JoinPredicate`].
+/// Sequence/mixed templates run the merge fallback, which ignores the
+/// grid shape entirely.
+pub fn grid_partition_join_pred(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    pred: &JoinPredicate,
+) -> Result<Relation, vtjoin_join::JoinError> {
+    execute(
+        r,
+        s,
+        &plan.intervals,
+        plan.key_buckets,
+        threads,
+        KernelChoice::Auto,
+        pred,
+        None,
+    )
+    .map(|(rel, _)| rel)
 }
 
 /// Everything [`execute`] measured beyond the result itself; consumed by
 /// [`parallel_execution_report`] and the worker-section wrapper.
 struct ExecDetail {
     workers: Vec<WorkerSection>,
-    /// Per-partition estimated costs `|rᵢ|·|sᵢ|`.
+    /// Per-cell estimated costs `|r_c|·|s_c|`, time-major.
     est_costs: Vec<u64>,
     /// Total tuple references after replication, per input side.
     replicated_r: u64,
     replicated_s: u64,
-    /// Aggregated hash-kernel BlockTable counters across all partitions.
+    /// `|r| + |s|` before replication (replication-factor denominator).
+    input_tuples: u64,
+    /// Grid shape the run executed (1 × N for the time-only surface).
+    key_buckets: u64,
+    /// Aggregated hash-kernel BlockTable counters across all cells.
     probes: u64,
     match_tests: u64,
     /// Per-kernel accounting, merged across workers.
@@ -162,6 +241,9 @@ struct ExecDetail {
     /// Wall-clock of the replicate and join phases, in microseconds.
     replicate_micros: u64,
     join_micros: u64,
+    /// Wall-clock the coordinator spent gathering worker results (the
+    /// scatter/gather join loop), in microseconds.
+    coordinator_wait_micros: u64,
 }
 
 /// Replicates a relation's tuples into one bucket per partition under the
@@ -176,13 +258,38 @@ fn replicate<'a>(rel: &'a Relation, intervals: &[Interval]) -> Vec<Vec<&'a Tuple
     parts
 }
 
+/// Scatters a relation over the grid: bucket = masked join-key hash,
+/// partitions = the Leung–Muntz `replica_range` — so a tuple replicates
+/// only along the time axis, landing in `i * k + b` for each overlapped
+/// time range `i`. With one bucket the hash is skipped entirely, keeping
+/// the 1×N path's cost identical to the pre-grid executor.
+fn replicate_cells<'a>(
+    rel: &'a Relation,
+    intervals: &[Interval],
+    k: usize,
+    hash: impl Fn(&Tuple) -> u64,
+) -> Vec<Vec<&'a Tuple>> {
+    let mut cells: Vec<Vec<&Tuple>> = vec![Vec::new(); intervals.len() * k];
+    let mask = k as u64 - 1;
+    for t in rel.iter() {
+        let b = if k == 1 { 0 } else { (hash(t) & mask) as usize };
+        for i in replica_range(intervals, t.valid()) {
+            cells[i * k + b].push(t);
+        }
+    }
+    cells
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute(
     r: &Relation,
     s: &Relation,
     intervals: &[Interval],
+    key_buckets: u64,
     threads: usize,
     choice: KernelChoice,
     pred: &JoinPredicate,
+    shard_pool: Option<(&PagePool, u64)>,
 ) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
     // A typed error, not an assert: the intervals may arrive from a plan
     // cache or an external request, and a malformed set must fail the one
@@ -198,90 +305,106 @@ fn execute(
         return execute_merge(r, s, threads, pred);
     }
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
-    let n = intervals.len();
+    let k = key_buckets.max(1).next_power_of_two() as usize;
+    let n_cells = intervals.len() * k;
     let natural = pred.is_natural();
 
     let replicate_started = Instant::now();
-    let r_parts = replicate(r, intervals);
-    let s_parts = replicate(s, intervals);
+    let r_cells = replicate_cells(r, intervals, k, |t| spec.outer_key_hash(t));
+    let s_cells = replicate_cells(s, intervals, k, |t| spec.inner_key_hash(t));
     let replicate_micros = replicate_started.elapsed().as_micros() as u64;
 
-    let est_costs: Vec<u64> = (0..n)
-        .map(|i| r_parts[i].len() as u64 * s_parts[i].len() as u64)
+    let est_costs: Vec<u64> = (0..n_cells)
+        .map(|c| r_cells[c].len() as u64 * s_cells[c].len() as u64)
         .collect();
-    // Heaviest partitions first, so the work-stealing tail is short.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(est_costs[i]));
+    // Heaviest cells first, so the work-stealing tail is short.
+    let mut order: Vec<usize> = (0..n_cells).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(est_costs[c]));
 
-    let num_workers = threads.max(1).min(n);
+    let num_workers = threads.max(1).min(n_cells);
     let next = AtomicUsize::new(0);
 
     let join_started = Instant::now();
-    let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n_cells];
     let mut workers: Vec<WorkerSection> = Vec::with_capacity(num_workers);
     let mut probes = 0u64;
     let mut match_tests = 0u64;
     let mut kernel = KernelCounters::default();
     let mut predicate = PredicateCounters::default();
+    let mut coordinator_wait_micros = 0u64;
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(num_workers);
         for w in 0..num_workers {
             let spec = &spec;
-            let r_parts = &r_parts;
-            let s_parts = &s_parts;
+            let r_cells = &r_cells;
+            let s_cells = &s_cells;
             let order = &order;
             let est_costs = &est_costs;
             let next = &next;
             handles.push(scope.spawn(move || {
+                // Pin this shard's page share for the worker's whole
+                // lifetime (RAII release on return). Best-effort: a share
+                // the pool cannot grant right now does not block the join,
+                // it only goes unaccounted.
+                let _reservation = shard_pool.and_then(|(pool, pages)| pool.try_reserve(pages));
                 let started = Instant::now();
-                let mut produced: Vec<(usize, Vec<Tuple>)> = Vec::new();
-                let mut partitions = 0u64;
+                let mut cells = 0u64;
                 let mut tuples = 0u64;
                 let mut busy = std::time::Duration::ZERO;
                 let mut probes = 0u64;
                 let mut match_tests = 0u64;
                 let mut kernel = KernelCounters::default();
                 let mut predicate = PredicateCounters::default();
-                // Reused across every partition this worker steals: sweep
+                // Reused across every cell this worker steals: sweep
                 // event/active-list buffers and the output batch grow to
                 // the workload's high-water mark once, then never again.
                 let mut scratch = SweepScratch::default();
                 let mut batch = OutputBatch::new();
+                // Worker-private output arena: each cell's tuples are
+                // drained here contiguously and only the (cell, len) range
+                // recorded, so the join loop allocates no per-cell vectors
+                // and touches no shared output path.
+                let mut sink: Vec<Tuple> = Vec::new();
+                let mut ranges: Vec<(usize, usize)> = Vec::new();
                 // Running emitted-tuples-per-estimated-cost ratio, used to
-                // reserve output capacity before joining each partition.
+                // reserve output capacity before joining each cell.
                 let mut emitted_total = 0u64;
                 let mut cost_total = 0u64;
                 loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= order.len() {
+                    let q = next.fetch_add(1, Ordering::Relaxed);
+                    if q >= order.len() {
                         break;
                     }
-                    let i = order[k];
-                    let p_i = intervals[i];
+                    let c = order[q];
+                    // The cell's canonical emit window is its time range:
+                    // a pair co-resident in several cells of its bucket
+                    // row is emitted only where the overlap's endpoint
+                    // falls (the canonical-cell rule).
+                    let p_c = intervals[c / k];
                     let claimed = Instant::now();
-                    let mut out = Vec::new();
-                    if !r_parts[i].is_empty() && !s_parts[i].is_empty() {
+                    let before = sink.len();
+                    if !r_cells[c].is_empty() && !s_cells[c].is_empty() {
                         let est = if cost_total > 0 {
-                            ((emitted_total as u128 * est_costs[i] as u128 / cost_total as u128)
+                            ((emitted_total as u128 * est_costs[c] as u128 / cost_total as u128)
                                 as usize)
                                 .max(16)
                         } else {
-                            // First partition: no ratio yet; a side's size
-                            // is the output floor for a key-dense join.
-                            r_parts[i].len().max(s_parts[i].len())
+                            // First cell: no ratio yet; a side's size is
+                            // the output floor for a key-dense join.
+                            r_cells[c].len().max(s_cells[c].len())
                         };
                         batch.begin(est);
-                        match choose_kernel(choice, spec, &r_parts[i], &s_parts[i]) {
+                        match choose_kernel(choice, spec, &r_cells[c], &s_cells[c]) {
                             KernelKind::Hash => {
                                 let hs = if natural {
-                                    hash_join(spec, &r_parts[i], &s_parts[i], p_i, &mut batch)
+                                    hash_join(spec, &r_cells[c], &s_cells[c], p_c, &mut batch)
                                 } else {
                                     hash_join_pred(
                                         spec,
                                         pred,
-                                        &r_parts[i],
-                                        &s_parts[i],
-                                        p_i,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
                                         &mut batch,
                                     )
                                 };
@@ -295,9 +418,9 @@ fn execute(
                                 let ss = if natural {
                                     sweep_join(
                                         spec,
-                                        &r_parts[i],
-                                        &s_parts[i],
-                                        p_i,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
                                         &mut scratch,
                                         &mut batch,
                                     )
@@ -305,9 +428,9 @@ fn execute(
                                     sweep_join_pred(
                                         spec,
                                         pred,
-                                        &r_parts[i],
-                                        &s_parts[i],
-                                        p_i,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
                                         &mut scratch,
                                         &mut batch,
                                     )
@@ -319,19 +442,27 @@ fn execute(
                             }
                         }
                         emitted_total += batch.len() as u64;
-                        cost_total += est_costs[i];
-                        // One splice per partition into its output slot.
-                        out = batch.take();
+                        cost_total += est_costs[c];
+                        // One flush per cell into the private arena; the
+                        // batch keeps its allocation for the next cell.
+                        batch.drain_each(|t| sink.push(t));
                     }
                     busy += claimed.elapsed();
-                    partitions += 1;
-                    tuples += out.len() as u64;
-                    produced.push((i, out));
+                    cells += 1;
+                    tuples += (sink.len() - before) as u64;
+                    ranges.push((c, sink.len() - before));
                 }
                 kernel.batches_flushed = batch.batches_flushed();
+                // Split the arena into per-cell slots — once, after the
+                // last cell, off the join loop's critical path.
+                let mut produced: Vec<(usize, Vec<Tuple>)> = Vec::with_capacity(ranges.len());
+                let mut it = sink.into_iter();
+                for (cell, len) in ranges {
+                    produced.push((cell, it.by_ref().take(len).collect()));
+                }
                 let section = WorkerSection {
                     worker: w as u64,
-                    partitions,
+                    partitions: cells,
                     tuples,
                     wall_micros: started.elapsed().as_micros() as u64,
                     busy_micros: busy.as_micros() as u64,
@@ -339,24 +470,26 @@ fn execute(
                 (section, produced, probes, match_tests, kernel, predicate)
             }));
         }
+        let gather_started = Instant::now();
         let mut worker_panicked = false;
         for h in handles {
             // A panicking worker (a bug, not a data error) must surface as
             // a typed error on this one request, not abort the service.
             match h.join() {
-                Ok((section, produced, p, m, k, pc)) => {
+                Ok((section, produced, p, m, kc, pc)) => {
                     workers.push(section);
                     probes += p;
                     match_tests += m;
-                    kernel.merge(k);
+                    kernel.merge(kc);
                     predicate.merge(pc);
-                    for (i, out) in produced {
-                        outputs[i] = out;
+                    for (c, out) in produced {
+                        outputs[c] = out;
                     }
                 }
                 Err(_) => worker_panicked = true,
             }
         }
+        coordinator_wait_micros = gather_started.elapsed().as_micros() as u64;
         if worker_panicked {
             return Err(vtjoin_join::JoinError::Internal(
                 "partition worker panicked",
@@ -370,8 +503,10 @@ fn execute(
     let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
     let detail = ExecDetail {
         workers,
-        replicated_r: r_parts.iter().map(|p| p.len() as u64).sum(),
-        replicated_s: s_parts.iter().map(|p| p.len() as u64).sum(),
+        replicated_r: r_cells.iter().map(|p| p.len() as u64).sum(),
+        replicated_s: s_cells.iter().map(|p| p.len() as u64).sum(),
+        input_tuples: r.len() as u64 + s.len() as u64,
+        key_buckets: k as u64,
         est_costs,
         probes,
         match_tests,
@@ -379,6 +514,7 @@ fn execute(
         predicate,
         replicate_micros,
         join_micros,
+        coordinator_wait_micros,
     };
     Ok((rel, detail))
 }
@@ -458,6 +594,8 @@ fn execute_merge(
         workers,
         replicated_r: r_all.len() as u64,
         replicated_s: s_all.len() as u64,
+        input_tuples: r_all.len() as u64 + s_all.len() as u64,
+        key_buckets: 1,
         est_costs,
         probes: 0,
         match_tests: 0,
@@ -465,12 +603,14 @@ fn execute_merge(
         predicate,
         replicate_micros,
         join_micros,
+        coordinator_wait_micros: 0,
     };
     Ok((rel, detail))
 }
 
 /// Computes the [`SkewSection`] of a finished parallel run from the
-/// per-partition cost estimates and worker sections.
+/// per-cell cost estimates and worker sections. For grid runs the
+/// "partitions" the section counts are grid cells.
 fn skew_section(est_costs: &[u64], workers: &[WorkerSection]) -> SkewSection {
     let est_cost_total: u64 = est_costs.iter().sum();
     let est_cost_max = est_costs.iter().copied().max().unwrap_or(0);
@@ -504,7 +644,9 @@ fn skew_section(est_costs: &[u64], workers: &[WorkerSection]) -> SkewSection {
 /// requested threads, spawned workers, replicated tuple counts per side,
 /// and the hash kernel's aggregated `BlockTable` probe/match-test
 /// counters; the schema-v4 `kernel` section carries the per-kernel
-/// partition split, sweep comparisons, and batches flushed.
+/// partition split, sweep comparisons, and batches flushed; the
+/// schema-v7 `grid` section carries the grid shape, cell occupancy and
+/// share, time-axis replication factor, and coordinator gather wait.
 pub fn parallel_execution_report(
     r: &Relation,
     s: &Relation,
@@ -523,14 +665,14 @@ pub fn parallel_execution_report_with(
     choice: KernelChoice,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
     let pred = JoinPredicate::intersects();
-    let (rel, detail) = execute(r, s, intervals, threads, choice, &pred)?;
+    let (rel, detail) = execute(r, s, intervals, 1, threads, choice, &pred, None)?;
     Ok(build_report(rel, detail, intervals, threads, &pred))
 }
 
 /// As [`parallel_execution_report`], evaluating an arbitrary
 /// [`JoinPredicate`]. Non-natural runs additionally carry the schema-v6
 /// `predicate` section; merge-fallback runs (sequence/mixed templates)
-/// carry no `kernel` section, since no partition kernel is invoked.
+/// carry no `kernel` or `grid` section, since no cell kernel is invoked.
 pub fn parallel_execution_report_pred(
     r: &Relation,
     s: &Relation,
@@ -538,8 +680,80 @@ pub fn parallel_execution_report_pred(
     threads: usize,
     pred: &JoinPredicate,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, threads, KernelChoice::Auto, pred)?;
+    let (rel, detail) = execute(r, s, intervals, 1, threads, KernelChoice::Auto, pred, None)?;
     Ok(build_report(rel, detail, intervals, threads, pred))
+}
+
+/// As [`parallel_execution_report`], over an explicit [`GridPlan`].
+pub fn grid_execution_report_with(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    choice: KernelChoice,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let pred = JoinPredicate::intersects();
+    let (rel, detail) = execute(
+        r,
+        s,
+        &plan.intervals,
+        plan.key_buckets,
+        threads,
+        choice,
+        &pred,
+        None,
+    )?;
+    Ok(build_report(rel, detail, &plan.intervals, threads, &pred))
+}
+
+/// As [`grid_execution_report_with`], evaluating an arbitrary
+/// [`JoinPredicate`].
+pub fn grid_execution_report_pred(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    pred: &JoinPredicate,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(
+        r,
+        s,
+        &plan.intervals,
+        plan.key_buckets,
+        threads,
+        KernelChoice::Auto,
+        pred,
+        None,
+    )?;
+    Ok(build_report(rel, detail, &plan.intervals, threads, pred))
+}
+
+/// As [`grid_execution_report_pred`], with each shard worker pinning
+/// `pages_per_worker` pages of `pool` for its lifetime (the service's
+/// per-query sub-pool reservations). Reservation is best-effort: a share
+/// the pool cannot grant does not block or fail the join.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_execution_report_sharded(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    pool: &PagePool,
+    pages_per_worker: u64,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
+    let (rel, detail) = execute(
+        r,
+        s,
+        &plan.intervals,
+        plan.key_buckets,
+        threads,
+        choice,
+        pred,
+        Some((pool, pages_per_worker)),
+    )?;
+    Ok(build_report(rel, detail, &plan.intervals, threads, pred))
 }
 
 /// Assembles the [`ExecutionReport`] for a finished parallel run.
@@ -559,6 +773,21 @@ fn build_report(
         cost: 0,
     };
     let skew = skew_section(&detail.est_costs, &detail.workers);
+    let grid = pred.partitioning_eligible().then(|| {
+        let est_total: u64 = detail.est_costs.iter().sum();
+        let est_max = detail.est_costs.iter().copied().max().unwrap_or(0);
+        GridSection {
+            key_buckets: detail.key_buckets,
+            time_partitions: intervals.len() as u64,
+            cells: detail.est_costs.len() as u64,
+            occupied_cells: detail.est_costs.iter().filter(|&&c| c > 0).count() as u64,
+            max_cell_share_percent: (est_max * 100).checked_div(est_total).unwrap_or(0),
+            replication_factor_x100: ((detail.replicated_r + detail.replicated_s) * 100)
+                .checked_div(detail.input_tuples)
+                .unwrap_or(100),
+            coordinator_wait_micros: detail.coordinator_wait_micros,
+        }
+    });
     let report = ExecutionReport {
         algorithm: "parallel".into(),
         config: ConfigSection {
@@ -644,6 +873,7 @@ fn build_report(
                 merge_pairs_emitted: detail.predicate.merge_pairs_emitted,
             })
         },
+        grid,
     };
     (rel, report)
 }
@@ -888,9 +1118,170 @@ mod tests {
             er.workers.iter().map(|w| w.busy_micros).sum::<u64>()
         );
         assert!(sk.utilization_percent <= 100);
+        // The time-only surface reports a degenerate 1×N grid with
+        // time-axis replication ≥ 1×.
+        let g = er.grid.expect("parallel report has a grid section");
+        assert_eq!(g.key_buckets, 1);
+        assert_eq!(g.time_partitions, 6);
+        assert_eq!(g.cells, 6);
+        assert!(g.occupied_cells <= g.cells);
+        assert!(g.replication_factor_x100 >= 100);
+        assert_eq!(g.max_cell_share_percent, sk.max_partition_share_percent);
         // Round-trips through the documented JSON schema.
         let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
         assert_eq!(back, er);
+    }
+
+    #[test]
+    fn grid_shapes_match_the_oracle_at_every_thread_count() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let want = natural_join(&r, &s).unwrap();
+        let six = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        // 1×N, K×1 and K×N shapes all emit the oracle multiset, and each
+        // shape's output is byte-identical at every thread count.
+        for plan in [
+            GridPlan::time_only(six.clone()),
+            GridPlan::with_buckets(4, vec![Interval::ALL]),
+            GridPlan::with_buckets(4, six.clone()),
+            GridPlan::with_buckets(8, six),
+        ] {
+            let serial = grid_partition_join(&r, &s, &plan, 1).unwrap();
+            assert!(
+                serial.multiset_eq(&want),
+                "K={} N={}",
+                plan.key_buckets,
+                plan.intervals.len()
+            );
+            for threads in [2usize, 4, 16] {
+                let got = grid_partition_join(&r, &s, &plan, threads).unwrap();
+                assert_eq!(
+                    got.tuples(),
+                    serial.tuples(),
+                    "K={} N={} threads={threads}",
+                    plan.key_buckets,
+                    plan.intervals.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_grid_is_byte_identical_to_time_only() {
+        let r = rel("b", 150, 5);
+        let s = rel("c", 150, 5);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 4);
+        let plain = parallel_partition_join(&r, &s, &parts, 3).unwrap();
+        let grid = grid_partition_join(&r, &s, &GridPlan::time_only(parts), 3).unwrap();
+        assert_eq!(plain.tuples(), grid.tuples());
+    }
+
+    #[test]
+    fn canonical_cell_emits_each_pair_exactly_once() {
+        // Every tuple spans all of [0, 400), so every pair co-resides in
+        // every cell of its bucket row across all 5 time partitions; only
+        // the canonical cell (overlap endpoint) may emit it.
+        let mk = |attr: &str, n: i64| {
+            let schema = Schema::new(vec![
+                AttrDef::new("k", AttrType::Int),
+                AttrDef::new(attr, AttrType::Int),
+            ])
+            .unwrap()
+            .into_shared();
+            let tuples = (0..n)
+                .map(|i| {
+                    Tuple::new(
+                        vec![Value::Int(i % 3), Value::Int(i)],
+                        Interval::from_raw(0, 400).unwrap(),
+                    )
+                })
+                .collect();
+            Relation::from_parts_unchecked(schema, tuples)
+        };
+        let r = mk("b", 30);
+        let s = mk("c", 30);
+        let want = natural_join(&r, &s).unwrap();
+        // 30×30 with 3 keys → exactly 300 pairs; any double emission from
+        // a non-canonical cell would inflate the count.
+        assert_eq!(want.len(), 300);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 5);
+        for k in [1, 4, 8] {
+            let plan = GridPlan::with_buckets(k, parts.clone());
+            for threads in [1usize, 3] {
+                let got = grid_partition_join(&r, &s, &plan, threads).unwrap();
+                assert_eq!(got.len(), 300, "K={k} threads={threads}");
+                assert!(got.multiset_eq(&want), "K={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_predicate_path_matches_the_oracle() {
+        use vtjoin_core::algebra::predicate_join;
+        let r = rel("b", 180, 4);
+        let s = rel("c", 180, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let plan = GridPlan::with_buckets(4, parts);
+        for p in ["overlaps", "during", "before"] {
+            let pred: JoinPredicate = p.parse().unwrap();
+            let want = predicate_join(&r, &s, &pred).unwrap();
+            for threads in [1usize, 3] {
+                let got = grid_partition_join_pred(&r, &s, &plan, threads, &pred).unwrap();
+                assert!(got.multiset_eq(&want), "{p}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_report_reflects_the_shape() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let plan = GridPlan::with_buckets(4, parts);
+        let (got, er) = grid_execution_report_with(&r, &s, &plan, 2, KernelChoice::Auto).unwrap();
+        assert_eq!(er.result.tuples, got.len() as u64);
+        let g = er.grid.expect("grid section");
+        assert_eq!(g.key_buckets, 4);
+        assert_eq!(g.time_partitions, 6);
+        assert_eq!(g.cells, 24);
+        assert!(g.occupied_cells > 0 && g.occupied_cells <= 24);
+        assert!(g.max_cell_share_percent <= 100);
+        // Tuples replicate only along the time axis: the replication
+        // factor of the 4×6 grid equals the 1×6 grid's.
+        let (_, er1) = parallel_execution_report(&r, &s, &plan.intervals, 2).unwrap();
+        let g1 = er1.grid.unwrap();
+        assert_eq!(g.replication_factor_x100, g1.replication_factor_x100);
+        // The skew section counts cells for grid runs.
+        assert_eq!(er.skew.unwrap().partitions, 24);
+        // Round-trips through the documented v7 JSON schema.
+        let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        assert_eq!(back, er);
+    }
+
+    #[test]
+    fn sharded_run_reserves_and_releases_worker_pages() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let plan = GridPlan::with_buckets(2, parts);
+        let pool = PagePool::new(64);
+        let pred = JoinPredicate::intersects();
+        let (got, _) =
+            grid_execution_report_sharded(&r, &s, &plan, 3, KernelChoice::Auto, &pred, &pool, 8)
+                .unwrap();
+        let want = natural_join(&r, &s).unwrap();
+        assert!(got.multiset_eq(&want));
+        // Every worker's reservation was granted and released.
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.stats().granted, 3);
+        assert_eq!(pool.stats().released, 3);
+        // A pool too small for any share still completes the join.
+        let tiny = PagePool::new(4);
+        let (got, _) =
+            grid_execution_report_sharded(&r, &s, &plan, 3, KernelChoice::Auto, &pred, &tiny, 8)
+                .unwrap();
+        assert!(got.multiset_eq(&want));
+        assert_eq!(tiny.in_flight(), 0);
     }
 
     #[test]
@@ -956,9 +1347,10 @@ mod tests {
         assert!(pd.filter_checks >= pd.filter_hits);
         assert_eq!(pd.merge_pairs_scanned, 0);
         assert!(er.kernel.is_some());
+        assert!(er.grid.is_some());
         assert_eq!(er.result.tuples, got.len() as u64);
 
-        // Sequence template: merge fallback, no kernel section.
+        // Sequence template: merge fallback, no kernel or grid section.
         let pred: JoinPredicate = "before".parse().unwrap();
         let (got, er) = parallel_execution_report_pred(&r, &s, &parts, 2, &pred).unwrap();
         let pd = er.predicate.as_ref().expect("predicate section");
@@ -967,6 +1359,7 @@ mod tests {
         assert_eq!(pd.merge_pairs_emitted, got.len() as u64);
         assert!(pd.merge_pairs_scanned >= pd.merge_pairs_emitted);
         assert!(er.kernel.is_none());
+        assert!(er.grid.is_none());
         assert_eq!(
             er.workers.iter().map(|w| w.tuples).sum::<u64>(),
             got.len() as u64

@@ -267,9 +267,7 @@ mod tests {
         db.create_table("s", &s).unwrap();
         for p in ["during", "before-within-100", "meets-or-overlaps"] {
             let pred: JoinPredicate = p.parse().unwrap();
-            let jc = JoinConfig::with_buffer(10)
-                .collecting()
-                .predicate(pred);
+            let jc = JoinConfig::with_buffer(10).collecting().predicate(pred);
             let (algo, report) = run_join(&db, "r", "s", &jc).unwrap();
             let want = predicate_join(&r, &s, &pred).unwrap();
             assert!(

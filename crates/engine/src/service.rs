@@ -36,13 +36,15 @@
 //! `"service"`.
 
 use crate::database::{Database, DbError, TableStats};
-use crate::parallel::{parallel_partition_join_pred, parallel_partition_join_with};
+use crate::parallel::{grid_execution_report_sharded, parallel_partition_join_pred};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, MutexGuard, RwLock};
 use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
+use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::KernelChoice;
-use vtjoin_join::partition::planner::{determine_part_intervals, plan_error_size, PlannerOutput};
+use vtjoin_join::partition::planner::{determine_part_intervals, plan_error_size};
+use vtjoin_join::partition::{plan_grid, GridChoice, GridPlan};
 use vtjoin_join::{JoinConfig, JoinError};
 use vtjoin_obs::{
     ConfigSection, Counter, ExecutionReport, IoSection, PhaseSection, ResultSection, ServiceSection,
@@ -143,8 +145,11 @@ pub struct JoinResponse {
     pub plan: PlanOutcome,
     /// How the request was admitted.
     pub admission: Admission,
-    /// Number of partitions the executor ran.
+    /// Number of time partitions the executor ran.
     pub partitions: u64,
+    /// Key-axis bucket count of the executed grid (1 for time-only plans,
+    /// 0 for merge-fallback runs that used no grid at all).
+    pub key_buckets: u64,
     /// Pool pages this request reserved while running.
     pub reserved_pages: u64,
 }
@@ -183,14 +188,16 @@ impl StatsFingerprint {
     }
 }
 
-/// One cached plan: the boundaries, the chosen partition size, and the
-/// fingerprints plus drift tolerances that gate reuse.
+/// One cached plan: the boundaries, the grid shape, and the fingerprints
+/// plus drift tolerances that gate reuse. The chosen `partSize` itself is
+/// not stored — its slack is baked into the per-side tolerances below.
 #[derive(Debug, Clone)]
 struct CacheEntry {
     outer: StatsFingerprint,
     inner: StatsFingerprint,
     intervals: Vec<Interval>,
-    part_size: u64,
+    /// Key-axis bucket count the grid planner chose for these boundaries.
+    key_buckets: u64,
     /// Per-side drift budgets in tuples: the plan's `errorSize` page slack
     /// converted at each side's tuples-per-page density at cache time.
     outer_tol_tuples: u64,
@@ -251,6 +258,10 @@ pub struct ServiceConfig {
     pub threads_per_query: usize,
     /// Kernel policy for the parallel executor.
     pub kernel: KernelChoice,
+    /// Grid policy for the executor's key axis: cost-chosen (`Auto`, the
+    /// default), forced time-only, forced key × time, or a fixed bucket
+    /// count. Overridable per request via [`JoinService::submit_grid`].
+    pub grid: GridChoice,
     /// Whether the plan cache is consulted at all (disable for ablations;
     /// every request then replans).
     pub plan_cache: bool,
@@ -258,8 +269,8 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// A service configuration with the given join config and pool size;
-    /// queue bound 16, 4 threads per query, automatic kernel gate, plan
-    /// cache on.
+    /// queue bound 16, 4 threads per query, automatic kernel gate,
+    /// cost-chosen grid, plan cache on.
     pub fn new(join: JoinConfig, pool_pages: u64) -> ServiceConfig {
         ServiceConfig {
             join,
@@ -267,6 +278,7 @@ impl ServiceConfig {
             max_queue: 16,
             threads_per_query: 4,
             kernel: KernelChoice::Auto,
+            grid: GridChoice::Auto,
             plan_cache: true,
         }
     }
@@ -282,7 +294,7 @@ pub struct JoinService {
     db: RwLock<Database>,
     cfg: ServiceConfig,
     pool: PagePool,
-    cache: Mutex<HashMap<(String, String, String), CacheEntry>>,
+    cache: Mutex<HashMap<(String, String, String, String), CacheEntry>>,
     counters: Mutex<Counters>,
     io_base: IoStats,
 }
@@ -352,6 +364,20 @@ impl JoinService {
         inner: &str,
         pred: &JoinPredicate,
     ) -> Result<JoinResponse, ServiceError> {
+        self.submit_grid(outer, inner, pred, self.cfg.grid)
+    }
+
+    /// As [`JoinService::submit_with`], overriding the service's configured
+    /// [`GridChoice`] for this one request (the serve protocol's `grid=`
+    /// token). Plans are cached per grid choice, so a `1xN` request never
+    /// reuses — or poisons — an `auto` entry.
+    pub fn submit_grid(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+        grid: GridChoice,
+    ) -> Result<JoinResponse, ServiceError> {
         self.lock_counters().requests += 1;
 
         // Phase 1 — catalog snapshot. Heap files are cheap clones (page
@@ -406,10 +432,12 @@ impl JoinService {
         // Phases 3 & 4 — plan and execute; any failure from here on is a
         // typed per-request error and must be counted, with the page
         // reservation released either way (RAII).
-        let outcome = self.plan_and_run(outer, inner, pred, &r_heap, &s_heap, &r_stats, &s_stats);
+        let outcome = self.plan_and_run(
+            outer, inner, pred, grid, &r_heap, &s_heap, &r_stats, &s_stats, pages,
+        );
         drop(reservation);
         match outcome {
-            Ok((result, plan, partitions)) => {
+            Ok((result, plan, partitions, key_buckets)) => {
                 let mut c = self.lock_counters();
                 c.completed += 1;
                 c.result_tuples += result.len() as u64;
@@ -419,6 +447,7 @@ impl JoinService {
                     plan,
                     admission,
                     partitions,
+                    key_buckets,
                     reserved_pages: pages,
                 })
             }
@@ -435,11 +464,13 @@ impl JoinService {
         outer: &str,
         inner: &str,
         pred: &JoinPredicate,
+        grid: GridChoice,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
         r_stats: &TableStats,
         s_stats: &TableStats,
-    ) -> Result<(Relation, PlanOutcome, u64), ServiceError> {
+        reserved_pages: u64,
+    ) -> Result<(Relation, PlanOutcome, u64, u64), ServiceError> {
         let r_rel = r_heap
             .read_all()
             .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
@@ -458,68 +489,80 @@ impl JoinService {
                 pred,
             )
             .map_err(ServiceError::Join)?;
-            return Ok((result, PlanOutcome::Unpartitioned, 0));
+            return Ok((result, PlanOutcome::Unpartitioned, 0, 0));
         }
 
         let seed = self.cfg.join.seed;
         let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
         let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
-        let (intervals, plan) =
-            self.plan(outer, inner, pred, &outer_fp, &inner_fp, r_heap, s_heap)?;
+        let (plan, outcome) = self.plan(
+            outer, inner, pred, grid, &outer_fp, &inner_fp, r_heap, s_heap, &r_rel, &s_rel,
+        )?;
 
-        let partitions = intervals.len() as u64;
-        let result = if pred.is_natural() {
-            parallel_partition_join_with(
-                &r_rel,
-                &s_rel,
-                &intervals,
-                self.cfg.threads_per_query,
-                self.cfg.kernel,
-            )
-        } else {
-            // Non-natural intersection predicates run the filtered
-            // kernels; the per-partition gate picks hash vs sweep.
-            parallel_partition_join_pred(
-                &r_rel,
-                &s_rel,
-                &intervals,
-                self.cfg.threads_per_query,
-                pred,
-            )
-        }
+        let partitions = plan.intervals.len() as u64;
+        let key_buckets = plan.key_buckets;
+        // Shard execution: the request's admitted page budget becomes a
+        // private sub-pool, and each grid worker pins its per-shard share
+        // for its whole lifetime — admission-visible memory accounting
+        // with no locking inside the join loop.
+        let threads = self.cfg.threads_per_query.max(1);
+        let shard_pool = PagePool::new(reserved_pages);
+        let share = reserved_pages.div_ceil(threads as u64).max(1);
+        let result = grid_execution_report_sharded(
+            &r_rel,
+            &s_rel,
+            &plan,
+            threads,
+            self.cfg.kernel,
+            pred,
+            &shard_pool,
+            share,
+        )
+        .map(|(rel, _)| rel)
         .map_err(ServiceError::Join)?;
-        Ok((result, plan, partitions))
+        Ok((result, outcome, partitions, key_buckets))
     }
 
-    /// Plan-cache lookup → reuse or fresh `determinePartIntervals`. The
-    /// cache lock is held only around lookup/insert, never across the
-    /// sampling I/O, so concurrent misses plan in parallel (last insert
-    /// wins; both count as misses). The key includes the predicate's
-    /// canonical name, so a plan computed for one predicate is never
-    /// handed to another.
+    /// Plan-cache lookup → reuse or fresh `determinePartIntervals` plus
+    /// grid planning. The cache lock is held only around lookup/insert,
+    /// never across the sampling I/O, so concurrent misses plan in
+    /// parallel (last insert wins; both count as misses). The key includes
+    /// the predicate's canonical name and the grid choice, so a plan
+    /// computed for one predicate or grid policy is never handed to
+    /// another. A hit reuses both the cached time boundaries *and* the
+    /// cached key-bucket count — zero planning I/O and no re-histogram.
     #[allow(clippy::too_many_arguments)]
     fn plan(
         &self,
         outer: &str,
         inner: &str,
         pred: &JoinPredicate,
+        grid: GridChoice,
         outer_fp: &StatsFingerprint,
         inner_fp: &StatsFingerprint,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
-    ) -> Result<(Vec<Interval>, PlanOutcome), ServiceError> {
-        let key = (outer.to_owned(), inner.to_owned(), pred.to_string());
+        r_rel: &Relation,
+        s_rel: &Relation,
+    ) -> Result<(GridPlan, PlanOutcome), ServiceError> {
+        let key = (
+            outer.to_owned(),
+            inner.to_owned(),
+            pred.to_string(),
+            grid.to_string(),
+        );
         let mut invalidated = false;
         if self.cfg.plan_cache {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = cache.get(&key) {
                 if entry.still_valid(outer_fp, inner_fp) {
-                    // The planner's reuse hook: a PlannerOutput with the
-                    // cached boundaries and part_size, zero samples drawn.
-                    let reused = PlannerOutput::reused(entry.intervals.clone(), entry.part_size);
+                    let plan = GridPlan {
+                        key_buckets: entry.key_buckets,
+                        intervals: entry.intervals.clone(),
+                    };
                     drop(cache);
                     self.lock_counters().cache_hits += 1;
-                    return Ok((reused.plan.intervals, PlanOutcome::CacheHit));
+                    return Ok((plan, PlanOutcome::CacheHit));
                 }
                 cache.remove(&key);
                 invalidated = true;
@@ -530,6 +573,15 @@ impl JoinService {
             .map_err(ServiceError::Join)?;
         let part_size = planner.plan.part_size;
         let intervals = planner.plan.intervals;
+        let spec = JoinSpec::natural(r_rel.schema(), s_rel.schema()).map_err(ServiceError::Join)?;
+        let grid_out = plan_grid(
+            &spec,
+            r_rel,
+            s_rel,
+            &intervals,
+            self.cfg.threads_per_query,
+            grid,
+        );
         {
             let mut c = self.lock_counters();
             c.cache_misses += 1;
@@ -543,7 +595,7 @@ impl JoinService {
                 outer: *outer_fp,
                 inner: *inner_fp,
                 intervals: intervals.clone(),
-                part_size,
+                key_buckets: grid_out.plan.key_buckets,
                 outer_tol_tuples: error_size * tuples_per_page_ceil(outer_fp),
                 inner_tol_tuples: error_size * tuples_per_page_ceil(inner_fp),
             };
@@ -557,7 +609,7 @@ impl JoinService {
         } else {
             PlanOutcome::Miss
         };
-        Ok((intervals, outcome))
+        Ok((grid_out.plan, outcome))
     }
 
     /// Number of plans currently cached.
@@ -641,6 +693,7 @@ impl JoinService {
             faults: None,
             service: Some(self.service_section()),
             predicate: None,
+            grid: None,
         }
     }
 }
@@ -792,12 +845,47 @@ mod tests {
         let resp = svc.submit_with("r", "s", &before).unwrap();
         assert_eq!(resp.plan, PlanOutcome::Unpartitioned);
         assert_eq!(resp.partitions, 0);
+        assert_eq!(resp.key_buckets, 0, "merge fallback runs no grid");
         assert_eq!(svc.cached_plans(), 0);
         let sec = svc.service_section();
         assert_eq!(sec.cache_hits, 0);
         assert_eq!(sec.cache_misses, 0);
         let want = predicate_join(&rel("b", 600, 5), &rel("c", 600, 7), &before).unwrap();
         assert!(resp.result.multiset_eq(&want));
+    }
+
+    #[test]
+    fn grid_choices_cache_separately_and_agree() {
+        let svc = service(4096);
+        let pred = JoinPredicate::intersects();
+        // Default (auto) grid: key_buckets is whatever the cost model
+        // picked, at least 1.
+        let a = svc.submit("r", "s").unwrap();
+        assert_eq!(a.plan, PlanOutcome::Miss);
+        assert!(a.key_buckets >= 1);
+        // A forced shape plans under its own cache key: first submission
+        // misses even though the auto entry exists.
+        let b = svc
+            .submit_grid("r", "s", &pred, GridChoice::Fixed(4))
+            .unwrap();
+        assert_eq!(b.plan, PlanOutcome::Miss);
+        assert_eq!(b.key_buckets, 4);
+        let c = svc
+            .submit_grid("r", "s", &pred, GridChoice::Fixed(4))
+            .unwrap();
+        assert_eq!(c.plan, PlanOutcome::CacheHit);
+        assert_eq!(c.key_buckets, 4, "hit reuses the cached bucket count");
+        assert_eq!(svc.cached_plans(), 2);
+        // Every shape produces the same multiset, and a fixed shape is
+        // byte-deterministic across submissions.
+        assert!(a.result.multiset_eq(&b.result));
+        assert_eq!(b.result.tuples(), c.result.tuples());
+        // Forced time-only reports exactly one bucket.
+        let t = svc
+            .submit_grid("r", "s", &pred, GridChoice::TimeOnly)
+            .unwrap();
+        assert_eq!(t.key_buckets, 1);
+        assert!(t.result.multiset_eq(&a.result));
     }
 
     #[test]

@@ -81,6 +81,34 @@ pub fn sort_cost(pages: u64, buffer_pages: u64, ratio: CostRatio) -> u64 {
     cost
 }
 
+/// Fixed per-cell overhead of the grid executor, in the same work units
+/// as the per-cell `|r_c|·|s_c|` estimates (≈ match tests): claiming the
+/// cell from the work queue, sizing the output batch, and building the
+/// kernel's per-cell state. Splitting a cell only pays when the critical-
+/// path reduction beats this charge — which is what makes the grid
+/// planner collapse to 1×N on balanced inputs.
+pub const GRID_CELL_OVERHEAD: u64 = 256;
+
+/// Makespan objective for one candidate grid shape, the 2D analogue of
+/// the Figure 10 `C_sample + C_join` trade-off: the schedule can finish
+/// no sooner than the fair share of total work across `workers`, and no
+/// sooner than the single heaviest cell (cells are indivisible), with
+/// every occupied cell additionally charged `cell_overhead` spread across
+/// the workers. The heaviest cell pays its own overhead on the critical
+/// path.
+pub fn grid_makespan(
+    total_work: u64,
+    max_cell_work: u64,
+    occupied_cells: u64,
+    workers: u64,
+    cell_overhead: u64,
+) -> u64 {
+    let w = workers.max(1);
+    let overhead_total = occupied_cells * cell_overhead;
+    let fair_share = (total_work + overhead_total).div_ceil(w);
+    fair_share.max(max_cell_work + cell_overhead.min(overhead_total))
+}
+
 /// One seek plus a sequential scan.
 pub fn scan(pages: u64, ratio: CostRatio) -> u64 {
     if pages == 0 {
@@ -179,6 +207,23 @@ mod tests {
         let nl_big = nested_loop_cost(r, s, 8192, CostRatio::R5);
         let sm_big = sort_merge_cost_lower_bound(r, s, 8192, CostRatio::R5);
         assert!(nl_big < sm_big);
+    }
+
+    #[test]
+    fn grid_makespan_shape() {
+        // Balanced work: fair share dominates, extra cells only add
+        // overhead — more cells can never score better.
+        let balanced = grid_makespan(16_000, 1_000, 16, 4, 256);
+        let split = grid_makespan(16_000, 500, 32, 4, 256);
+        assert!(split >= balanced, "{split} !>= {balanced}");
+        // Skewed work: one cell holds 40% — the critical path is that
+        // cell, and halving it must beat the unsplit shape.
+        let skewed = grid_makespan(10_000, 4_000, 8, 4, 64);
+        assert_eq!(skewed, 4_000 + 64);
+        let halved = grid_makespan(10_000, 2_000, 16, 4, 64);
+        assert!(halved < skewed, "{halved} !< {skewed}");
+        // Degenerate inputs stay sane.
+        assert_eq!(grid_makespan(0, 0, 0, 0, 256), 0);
     }
 
     #[test]

@@ -67,7 +67,12 @@ impl ActiveLists {
         for b in &mut self.buckets {
             b.clear();
         }
-        self.mask = self.buckets.len() - 1;
+        // Mask over exactly `want` buckets, not the (grow-only) table
+        // length: bucket co-residency — and with it the swap-remove order
+        // of hash-equal entries — must be a pure function of *this*
+        // partition, never of which partitions this scratch served
+        // before, or output order would vary with thread scheduling.
+        self.mask = want - 1;
     }
 
     #[inline]

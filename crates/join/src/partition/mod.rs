@@ -20,11 +20,13 @@
 pub mod cache_est;
 pub mod exec;
 pub mod grace;
+pub mod grid;
 pub mod intervals;
 pub mod planner;
 pub mod replicated;
 pub mod sampling;
 
+pub use grid::{plan_grid, GridCandidate, GridChoice, GridPlan, GridPlanOutput};
 pub use planner::{plan_error_size, CandidateCost, PartitionPlan, PlannerOutput};
 pub use replicated::ReplicatedPartitionJoin;
 

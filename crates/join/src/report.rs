@@ -109,6 +109,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         faults: report.faults.as_ref().map(faults_section),
         service: None,
         predicate: predicate_section(report, cfg),
+        grid: None,
     }
 }
 

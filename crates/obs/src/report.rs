@@ -22,13 +22,15 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// optional `service` section (multi-query admission and plan-cache
 /// accounting). Version 6 added the optional `predicate` section
 /// (Allen-predicate name, compiled sweep template, and predicate-filter /
-/// merge-fallback counters).
+/// merge-fallback counters). Version 7 added the optional `grid` section
+/// (2D key × time grid shape, cell counts and share, replication factor,
+/// scatter/gather coordinator wait).
 ///
 /// Every post-v1 addition is an *optional* section, so
 /// [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 6;
+pub const SCHEMA_VERSION: i64 = 7;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -594,6 +596,69 @@ impl PredicateSection {
     }
 }
 
+/// 2D grid-partitioned execution accounting (schema v7): the grid's two
+/// axes (key-hash buckets × time ranges), how its cells were populated,
+/// how concentrated the estimated work was, the replication overhead
+/// (along the time axis only — the key axis never replicates), and how
+/// long the scatter/gather coordinator spent blocked on its shard
+/// workers. A 1×N shape is the paper's time-only partitioning expressed
+/// as a degenerate grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GridSection {
+    /// Key-axis bucket count (power of two; 1 = time-only).
+    pub key_buckets: u64,
+    /// Time-axis partition count.
+    pub time_partitions: u64,
+    /// Total cells, `key_buckets × time_partitions`.
+    pub cells: u64,
+    /// Cells holding any estimated work (`|r_c|·|s_c| > 0`).
+    pub occupied_cells: u64,
+    /// The heaviest cell's share of total estimated work, in percent.
+    pub max_cell_share_percent: u64,
+    /// Tuple replicas per input tuple, ×100 (100 = no replication).
+    /// Identical for every key-axis width: tuples replicate only along
+    /// the time axis.
+    pub replication_factor_x100: u64,
+    /// Wall-clock the coordinator spent waiting for shard workers to
+    /// finish, before gathering their outputs in cell order.
+    pub coordinator_wait_micros: u64,
+}
+
+impl GridSection {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("key_buckets", Json::Int(self.key_buckets as i64)),
+            ("time_partitions", Json::Int(self.time_partitions as i64)),
+            ("cells", Json::Int(self.cells as i64)),
+            ("occupied_cells", Json::Int(self.occupied_cells as i64)),
+            (
+                "max_cell_share_percent",
+                Json::Int(self.max_cell_share_percent as i64),
+            ),
+            (
+                "replication_factor_x100",
+                Json::Int(self.replication_factor_x100 as i64),
+            ),
+            (
+                "coordinator_wait_micros",
+                Json::Int(self.coordinator_wait_micros as i64),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<GridSection, ReportError> {
+        Ok(GridSection {
+            key_buckets: req_u64(j, "key_buckets")?,
+            time_partitions: req_u64(j, "time_partitions")?,
+            cells: req_u64(j, "cells")?,
+            occupied_cells: req_u64(j, "occupied_cells")?,
+            max_cell_share_percent: req_u64(j, "max_cell_share_percent")?,
+            replication_factor_x100: req_u64(j, "replication_factor_x100")?,
+            coordinator_wait_micros: req_u64(j, "coordinator_wait_micros")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -632,6 +697,9 @@ pub struct ExecutionReport {
     /// Allen-predicate accounting, when the run evaluated a generalized
     /// (non-natural) join predicate.
     pub predicate: Option<PredicateSection>,
+    /// 2D grid-partitioning accounting, when the run executed on the
+    /// sharded (key × time) grid executor.
+    pub grid: Option<GridSection>,
 }
 
 impl ExecutionReport {
@@ -828,6 +896,9 @@ impl ExecutionReport {
         if let Some(pd) = &self.predicate {
             pairs.push(("predicate", pd.to_json()));
         }
+        if let Some(g) = self.grid {
+            pairs.push(("grid", g.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -967,6 +1038,10 @@ impl ExecutionReport {
             Some(pd) => Some(PredicateSection::from_json(pd)?),
             None => None,
         };
+        let grid = match j.get("grid") {
+            Some(g) => Some(GridSection::from_json(g)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -990,6 +1065,7 @@ impl ExecutionReport {
             faults,
             service,
             predicate,
+            grid,
         })
     }
 
@@ -1299,6 +1375,30 @@ impl ExecutionReport {
             );
         }
 
+        if let Some(g) = self.grid {
+            p(&mut out, "\n  grid:");
+            p(
+                &mut out,
+                &format!(
+                    "    shape: {} key buckets × {} time partitions = {} cells ({} occupied)",
+                    g.key_buckets, g.time_partitions, g.cells, g.occupied_cells
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    heaviest cell: {}% of est work; replication {}.{:02}× (time axis only)",
+                    g.max_cell_share_percent,
+                    g.replication_factor_x100 / 100,
+                    g.replication_factor_x100 % 100
+                ),
+            );
+            p(
+                &mut out,
+                &format!("    coordinator wait: {} µs", g.coordinator_wait_micros),
+            );
+        }
+
         out
     }
 }
@@ -1482,6 +1582,15 @@ mod tests {
                 merge_pairs_scanned: 0,
                 merge_pairs_emitted: 0,
             }),
+            grid: Some(GridSection {
+                key_buckets: 4,
+                time_partitions: 17,
+                cells: 68,
+                occupied_cells: 61,
+                max_cell_share_percent: 9,
+                replication_factor_x100: 112,
+                coordinator_wait_micros: 640,
+            }),
         }
     }
 
@@ -1505,6 +1614,7 @@ mod tests {
         report.faults = None;
         report.service = None;
         report.predicate = None;
+        report.grid = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
@@ -1512,12 +1622,13 @@ mod tests {
         assert!(!report.to_json_string().contains("\"faults\":"));
         assert!(!report.to_json_string().contains("\"service\":"));
         assert!(!report.to_json_string().contains("\"predicate\":"));
+        assert!(!report.to_json_string().contains("\"grid\":"));
     }
 
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 6",
+            "\"schema_version\": 7",
             "\"schema_version\": 99",
             1,
         );
@@ -1529,15 +1640,24 @@ mod tests {
 
     #[test]
     fn older_versions_still_parse() {
-        // A v5 (predicate-less), a v4 (service-less), a v3 (kernel-less)
-        // and a v1 (sections-less) document must all decode: every post-v1
-        // addition is an optional section.
+        // A v6 (grid-less), a v5 (predicate-less), a v4 (service-less), a
+        // v3 (kernel-less) and a v1 (sections-less) document must all
+        // decode: every post-v1 addition is an optional section.
         let mut report = sample_report();
+        report.grid = None;
+        let v6 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 7", "\"schema_version\": 6", 1);
+        let back = ExecutionReport::from_json_str(&v6).unwrap();
+        assert_eq!(back.grid, None);
+        assert_eq!(back.predicate, report.predicate);
+
         report.predicate = None;
         let v5 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 6", "\"schema_version\": 5", 1);
+                .replacen("\"schema_version\": 7", "\"schema_version\": 5", 1);
         let back = ExecutionReport::from_json_str(&v5).unwrap();
         assert_eq!(back.predicate, None);
         assert_eq!(back.service, report.service);
@@ -1546,7 +1666,7 @@ mod tests {
         let v4 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 6", "\"schema_version\": 4", 1);
+                .replacen("\"schema_version\": 7", "\"schema_version\": 4", 1);
         let back = ExecutionReport::from_json_str(&v4).unwrap();
         assert_eq!(back.service, None);
         assert_eq!(back.kernel, report.kernel);
@@ -1555,7 +1675,7 @@ mod tests {
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 6", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 7", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1570,7 +1690,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 6", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 7", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(
@@ -1636,6 +1756,10 @@ mod tests {
             "meets-or-overlaps (template: intersection)",
             "kernel filter: 1234 hits / 4321 checks",
             "merge fallback: 0 emitted / 0 pairs scanned",
+            "grid:",
+            "shape: 4 key buckets × 17 time partitions = 68 cells (61 occupied)",
+            "heaviest cell: 9% of est work; replication 1.12× (time axis only)",
+            "coordinator wait: 640 µs",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

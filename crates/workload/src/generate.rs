@@ -86,6 +86,23 @@ impl GeneratorConfig {
         }
     }
 
+    /// Generator for a declarative [`crate::spec::WorkloadSpec`]: paper-style
+    /// one-chronon tuples plus the spec's long-lived count, with the key
+    /// distribution decoded from the spec's fixed-point Zipf exponent.
+    pub fn from_spec(spec: &crate::spec::WorkloadSpec) -> GeneratorConfig {
+        GeneratorConfig {
+            tuples: spec.tuples,
+            long_lived: spec.long_lived.min(spec.tuples),
+            lifespan: spec.lifespan,
+            keys: spec.keys,
+            key_dist: spec.key_distribution(),
+            time_dist: TimeDistribution::Uniform,
+            duration_dist: DurationDistribution::Instant,
+            pad_bytes: 0,
+            seed: spec.seed,
+        }
+    }
+
     /// Builder: set the number of long-lived tuples.
     #[must_use]
     pub fn long_lived(mut self, n: u64) -> GeneratorConfig {
@@ -313,6 +330,26 @@ mod tests {
             .filter(|t| t.value(0).as_int().unwrap() >= 100)
             .count();
         assert!(zero * 4 > tail, "zipf head {zero} should dominate tail {tail}");
+    }
+
+    #[test]
+    fn from_spec_honours_the_zipf_knob() {
+        use crate::spec::WorkloadSpec;
+        let spec = WorkloadSpec {
+            name: "skew".into(),
+            tuples: 2000,
+            long_lived: 100,
+            lifespan: 10_000,
+            keys: 200,
+            zipf_x100: 120,
+            seed: 42,
+        };
+        let cfg = GeneratorConfig::from_spec(&spec);
+        assert_eq!(cfg.key_dist, KeyDistribution::Zipf(1.2));
+        assert_eq!(cfg.long_lived, 100);
+        let r = generate(outer_schema(0), &cfg);
+        let zero = r.iter().filter(|t| t.value(0).as_int() == Some(0)).count();
+        assert!(zero > 2000 / 200, "zipf head should exceed the uniform share, got {zero}");
     }
 
     #[test]

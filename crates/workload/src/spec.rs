@@ -78,8 +78,24 @@ pub struct WorkloadSpec {
     pub lifespan: i64,
     /// Distinct join-key values.
     pub keys: u64,
+    /// Zipf exponent of the key distribution, fixed-point ×100
+    /// (`0` = uniform, `100` = Zipf(1.0), `120` = Zipf(1.2)). Fixed-point
+    /// keeps the spec `Eq`/hashable for experiment bookkeeping.
+    pub zipf_x100: u64,
     /// RNG seed.
     pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The key distribution this spec describes, decoded from the
+    /// fixed-point exponent.
+    pub fn key_distribution(&self) -> crate::generate::KeyDistribution {
+        if self.zipf_x100 == 0 {
+            crate::generate::KeyDistribution::Uniform
+        } else {
+            crate::generate::KeyDistribution::Zipf(self.zipf_x100 as f64 / 100.0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -114,8 +130,26 @@ mod tests {
             long_lived: 10,
             lifespan: 1000,
             keys: 10,
+            zipf_x100: 0,
             seed: 1,
         };
         assert_eq!(w.clone(), w);
+    }
+
+    #[test]
+    fn zipf_fixed_point_decodes_to_the_key_distribution() {
+        use crate::generate::KeyDistribution;
+        let mut w = WorkloadSpec {
+            name: "skew".into(),
+            tuples: 100,
+            long_lived: 0,
+            lifespan: 1000,
+            keys: 10,
+            zipf_x100: 0,
+            seed: 1,
+        };
+        assert_eq!(w.key_distribution(), KeyDistribution::Uniform);
+        w.zipf_x100 = 120;
+        assert_eq!(w.key_distribution(), KeyDistribution::Zipf(1.2));
     }
 }

@@ -64,11 +64,11 @@ fn usage() -> String {
      [--predicate PRED] [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] \
      [--retries N] [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
-     [--predicate PRED] [--explain] [--stats-json FILE] [-o FILE]   \
-     (in-memory parallel partition join)\n  \
+     [--grid auto|1xN|KxN|<k>xN] [--predicate PRED] [--explain] [--stats-json FILE] \
+     [-o FILE]   (in-memory parallel grid-partition join)\n  \
      vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
      [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
-     [--explain] [--stats-json FILE]\n  \
+     [--grid auto|1xN|KxN|<k>xN] [--explain] [--stats-json FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]\n\n\
      PRED is an Allen predicate: one or more of before, meets, overlaps, starts,\n\
@@ -324,21 +324,31 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
-/// The `--threads` path of `join`: equal-width partitions over the
-/// inputs' combined lifespan, joined by the parallel executor, reported
-/// through the same explain/stats-json surface as the disk algorithms.
+/// The `--threads` path of `join`: equal-width time partitions over the
+/// inputs' combined lifespan, crossed with a cost-chosen (or forced)
+/// key-hash axis into a 2D grid, joined by the parallel executor and
+/// reported through the same explain/stats-json surface as the disk
+/// algorithms.
 fn join_parallel(
     flags: &Flags,
     r: &Relation,
     s: &Relation,
     threads: usize,
 ) -> Result<(), AnyError> {
+    use vtjoin::join::partition::plan_grid;
+
     let partitions = flags.get_u64("partitions", (threads as u64 * 4).max(16))?;
     // Kernel policy: `auto` gates per partition on estimated
     // duplicates-per-key; `hash`/`sweep` force one kernel everywhere.
     let kernel_name = flags.get("kernel").unwrap_or("auto");
     let kernel = vtjoin::join::KernelChoice::parse(kernel_name)
         .ok_or_else(|| format!("--kernel must be auto|hash|sweep, got `{kernel_name}`"))?;
+    // Grid policy: `auto` lets the cost model pick the key-bucket count
+    // (possibly collapsing to time-only), `1xN` forces time-only, `KxN`
+    // forces the key axis on, `<k>xN` fixes the bucket count.
+    let grid_name = flags.get("grid").unwrap_or("auto");
+    let grid = vtjoin::join::partition::GridChoice::parse(grid_name)
+        .ok_or_else(|| format!("--grid must be auto|1xN|KxN|<k>xN, got `{grid_name}`"))?;
     let hull = match (r.lifespan(), s.lifespan()) {
         (Some(a), Some(b)) => {
             Interval::new(a.start().min(b.start()), a.end().max(b.end())).expect("ordered hull")
@@ -348,15 +358,18 @@ fn join_parallel(
         (None, None) => Interval::ALL,
     };
     let intervals = vtjoin::join::partition::intervals::equal_width(hull, partitions);
+    let spec = vtjoin::join::common::JoinSpec::natural(r.schema(), s.schema())?;
+    let plan = plan_grid(&spec, r, s, &intervals, threads, grid).plan;
     // The natural join keeps the forced-kernel surface; a non-natural
     // predicate routes through the predicate-aware executor (filtered
     // kernels under the auto gate, or the sort-merge fallback for
-    // sequence/mixed templates, where partitioning does not apply).
+    // sequence/mixed templates, where neither time partitioning nor the
+    // key grid applies).
     let pred = parse_predicate(flags)?;
     let (result, exec_report) = if pred.is_natural() {
-        vtjoin::engine::parallel_execution_report_with(r, s, &intervals, threads, kernel)?
+        vtjoin::engine::grid_execution_report_with(r, s, &plan, threads, kernel)?
     } else {
-        vtjoin::engine::parallel_execution_report_pred(r, s, &intervals, threads, &pred)?
+        vtjoin::engine::grid_execution_report_pred(r, s, &plan, threads, &pred)?
     };
 
     if flags.get("explain").is_some() {
@@ -368,6 +381,19 @@ fn join_parallel(
             intervals.len(),
             exec_report.workers.len(),
         );
+        if let Some(g) = exec_report.grid {
+            println!(
+                "  grid ({grid_name}): {}x{} = {} cells ({} occupied), \
+                 max cell {}% of est cost, replication {}.{:02}x",
+                g.key_buckets,
+                g.time_partitions,
+                g.cells,
+                g.occupied_cells,
+                g.max_cell_share_percent,
+                g.replication_factor_x100 / 100,
+                g.replication_factor_x100 % 100,
+            );
+        }
         for phase in &exec_report.phases {
             println!("  {:<12} {} µs", phase.name, phase.wall_micros);
         }
@@ -421,11 +447,13 @@ fn join_parallel(
 /// join r s           # submit r ⋈ s (submitted concurrently)
 /// join r s           # repeated pairs hit the plan cache
 /// join r s during    # optional Allen predicate (cached per predicate)
+/// join r s grid=4xN  # per-request grid override (cached per grid choice)
 /// ```
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     use vtjoin::engine::{Database, JoinService, ServiceConfig};
+    use vtjoin::join::partition::GridChoice;
 
     let flags = Flags::parse(args)?;
     let requests_path = flags.get("requests").ok_or("serve needs --requests FILE")?;
@@ -433,7 +461,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         .map_err(|e| format!("reading {requests_path}: {e}"))?;
 
     let mut db = Database::new(4096);
-    let mut joins: Vec<(String, String, JoinPredicate)> = Vec::new();
+    let mut joins: Vec<(String, String, JoinPredicate, Option<GridChoice>)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -445,23 +473,50 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 let rel = load(path)?;
                 db.create_table(name, &rel)?;
             }
-            ["join", outer, inner] => {
-                joins.push((
-                    (*outer).to_owned(),
-                    (*inner).to_owned(),
-                    JoinPredicate::intersects(),
-                ));
-            }
-            ["join", outer, inner, pred] => {
-                let pred = pred.parse::<JoinPredicate>().map_err(|e| {
-                    format!("{requests_path}:{}: bad predicate: {e}", lineno + 1)
-                })?;
-                joins.push(((*outer).to_owned(), (*inner).to_owned(), pred));
+            // `join OUTER INNER [PREDICATE] [grid=CHOICE]`: the optional
+            // trailing tokens are an Allen predicate and/or a per-request
+            // grid override, in either order.
+            ["join", outer, inner, opts @ ..] if opts.len() <= 2 => {
+                let mut pred = JoinPredicate::intersects();
+                let mut grid = None;
+                let mut saw_pred = false;
+                for opt in opts {
+                    if let Some(g) = opt.strip_prefix("grid=") {
+                        if grid.is_some() {
+                            return Err(format!(
+                                "{requests_path}:{}: duplicate grid= option",
+                                lineno + 1
+                            )
+                            .into());
+                        }
+                        grid = Some(GridChoice::parse(g).ok_or_else(|| {
+                            format!(
+                                "{requests_path}:{}: bad grid choice `{g}` \
+                                 (expected auto|1xN|KxN|<k>xN)",
+                                lineno + 1
+                            )
+                        })?);
+                    } else {
+                        if saw_pred {
+                            return Err(format!(
+                                "{requests_path}:{}: more than one predicate",
+                                lineno + 1
+                            )
+                            .into());
+                        }
+                        saw_pred = true;
+                        pred = opt.parse::<JoinPredicate>().map_err(|e| {
+                            format!("{requests_path}:{}: bad predicate: {e}", lineno + 1)
+                        })?;
+                    }
+                }
+                joins.push(((*outer).to_owned(), (*inner).to_owned(), pred, grid));
             }
             _ => {
                 return Err(format!(
                     "{requests_path}:{}: bad request `{line}` \
-                     (expected `load NAME FILE` or `join OUTER INNER [PREDICATE]`)",
+                     (expected `load NAME FILE` or \
+                     `join OUTER INNER [PREDICATE] [grid=CHOICE]`)",
                     lineno + 1
                 )
                 .into())
@@ -481,6 +536,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     cfg.threads_per_query =
         flags.get_u64("threads-per-query", cfg.threads_per_query as u64)?.max(1) as usize;
     cfg.kernel = kernel;
+    let grid_name = flags.get("grid").unwrap_or("auto");
+    cfg.grid = GridChoice::parse(grid_name)
+        .ok_or_else(|| format!("--grid must be auto|1xN|KxN|<k>xN, got `{grid_name}`"))?;
     let svc = JoinService::new(db, cfg);
 
     // Fixed-size outcome slots keep the printed order deterministic (the
@@ -492,20 +550,28 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         for _ in 0..concurrency.min(joins.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((outer, inner, pred)) = joins.get(i) else { break };
-                let tag = if pred.is_natural() {
+                let Some((outer, inner, pred, grid)) = joins.get(i) else { break };
+                let mut tag = if pred.is_natural() {
                     String::new()
                 } else {
                     format!(" {pred}")
                 };
-                let line = match svc.submit_with(outer, inner, pred) {
+                if let Some(g) = grid {
+                    tag.push_str(&format!(" grid={g}"));
+                }
+                let submitted = match grid {
+                    Some(g) => svc.submit_grid(outer, inner, pred, *g),
+                    None => svc.submit_with(outer, inner, pred),
+                };
+                let line = match submitted {
                     Ok(resp) => format!(
                         "join {outer} {inner}{tag}: {} tuples, plan {:?}, admission {:?}, \
-                         {} partitions, {} pages reserved",
+                         {} partitions x {} key buckets, {} pages reserved",
                         resp.result.len(),
                         resp.plan,
                         resp.admission,
                         resp.partitions,
+                        resp.key_buckets,
                         resp.reserved_pages,
                     ),
                     Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
