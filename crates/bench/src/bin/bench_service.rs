@@ -5,6 +5,7 @@
 //! bench_service [--out FILE] [--tuples N] [--long-lived N] [--keys N]
 //!               [--lifespan N] [--buffer PAGES] [--pool-pages N]
 //!               [--threads-per-query N] [--concurrency N] [--repeats N]
+//!               [--arrivals N] [--mean-interarrival-micros N]
 //!               [--seed N] [--smoke]
 //! bench_service --validate FILE [--baseline FILE] [--tolerance-permille N]
 //! ```
@@ -65,6 +66,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             "--threads-per-query" => cfg.threads_per_query = parse(arg, &value(arg)?)?,
             "--concurrency" => cfg.concurrency = parse(arg, &value(arg)?)?,
             "--repeats" => cfg.repeats = parse(arg, &value(arg)?)?,
+            "--arrivals" => cfg.arrivals = parse(arg, &value(arg)?)?,
+            "--mean-interarrival-micros" => {
+                cfg.mean_interarrival_micros = parse(arg, &value(arg)?)?
+            }
             "--seed" => cfg.seed = parse(arg, &value(arg)?)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -117,6 +122,37 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         get("workload", "concurrency"),
         x100 / 100,
         x100 % 100,
+    );
+    let cl = |section: &str, key: &str| -> i64 {
+        doc.get("closed_loop")
+            .and_then(|c| c.get(section))
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+    };
+    println!(
+        "  saturation: {} background shed (RetryAfter), {} deadline shed, {} drained",
+        cl("saturation", "shed_retry_after"),
+        cl("saturation", "shed_deadline"),
+        cl("saturation", "drain_completed"),
+    );
+    let class_p = |class: &str, key: &str| -> i64 {
+        doc.get("closed_loop")
+            .and_then(|c| c.get("poisson"))
+            .and_then(|p| p.get(class))
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+    };
+    println!(
+        "  poisson ({} arrivals): interactive p50/p99/p999 {}/{}/{} µs, \
+         batch p99 {} µs, {} shed with RetryAfter",
+        cl("poisson", "arrivals"),
+        class_p("interactive", "p50_micros"),
+        class_p("interactive", "p99_micros"),
+        class_p("interactive", "p999_micros"),
+        class_p("batch", "p99_micros"),
+        cl("poisson", "queue_shed_retry_after"),
     );
     Ok(())
 }

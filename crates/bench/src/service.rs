@@ -14,17 +14,39 @@
 //! * **concurrent** — the same requests fanned across `concurrency`
 //!   submitter threads, admission-controlled by the shared page pool.
 //!
-//! Every response in every section is checked byte-identical (sorted
-//! storage-codec encoding) to the in-memory `natural_join` oracle;
-//! [`validate`] rejects documents where any check failed. Wall-clock and
-//! speedup fields are named so the regression comparator
+//! Schema v2 adds a **closed-loop** section exercising the priority /
+//! deadline / shedding pipeline:
+//!
+//! * **saturation** — the bench holds the whole pool via a maintenance
+//!   reservation, then submits background requests (each must shed with a
+//!   typed `RetryAfter` and a positive retry hint) and deadline-carrying
+//!   interactive requests (each must shed with `DeadlineExceeded` once its
+//!   deadline lapses in the queue). The shed counters are *exact* under
+//!   this geometry — the pool can never admit while held — so the regress
+//!   gate compares them at zero tolerance. Releasing the hold drains the
+//!   remaining requests to completion, byte-checked against the oracle.
+//! * **poisson** — open-loop arrivals on a seeded exponential clock
+//!   against a pool sized for two concurrent joins, mixed 50/30/20 across
+//!   interactive/batch/background. Per-class p50/p99/p999 latencies and
+//!   the completion/shed split are wall-clock artifacts, so every such
+//!   field is named with a denylist marker (`micros` / `queue`); the
+//!   arrival counts per class come from the seeded schedule alone and are
+//!   gated exactly.
+//!
+//! Every admitted response in every section is checked byte-identical
+//! (sorted storage-codec encoding) to the in-memory `natural_join`
+//! oracle; [`validate`] rejects documents where any check failed.
+//! Wall-clock and speedup fields are named so the regression comparator
 //! ([`crate::regress`]) skips them; everything else is deterministic.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use vtjoin_core::algebra::natural_join;
-use vtjoin_core::Relation;
-use vtjoin_engine::{Database, JoinService, ServiceConfig};
+use vtjoin_core::{JoinPredicate, Relation};
+use vtjoin_engine::{
+    Database, JoinService, Priority, Rejected, ServiceConfig, ServiceError, SubmitOptions,
+};
 use vtjoin_join::JoinConfig;
 use vtjoin_obs::json::obj;
 use vtjoin_obs::Json;
@@ -34,8 +56,9 @@ use vtjoin_workload::generate::{
 };
 
 /// Version stamped into `BENCH_service.json` as `schema_version`;
-/// [`validate`] rejects other versions.
-pub const BENCH_SCHEMA_VERSION: i64 = 1;
+/// [`validate`] rejects other versions. Version 2 added the `closed_loop`
+/// section (saturation shedding + Poisson arrivals).
+pub const BENCH_SCHEMA_VERSION: i64 = 2;
 
 /// Workload configuration for the service benchmark.
 #[derive(Debug, Clone)]
@@ -60,6 +83,10 @@ pub struct ServiceBenchConfig {
     pub concurrency: usize,
     /// Requests per section.
     pub repeats: u64,
+    /// Arrivals in the closed-loop Poisson section.
+    pub arrivals: u64,
+    /// Mean inter-arrival gap of the Poisson section, in microseconds.
+    pub mean_interarrival_micros: u64,
     /// Workload RNG seed (also the planner's sampling seed).
     pub seed: u64,
 }
@@ -80,6 +107,8 @@ impl Default for ServiceBenchConfig {
             threads_per_query: 1,
             concurrency: 4,
             repeats: 8,
+            arrivals: 200,
+            mean_interarrival_micros: 1_000,
             seed: 0x1994_0214,
         }
     }
@@ -98,6 +127,8 @@ pub fn smoke_config() -> ServiceBenchConfig {
         threads_per_query: 1,
         concurrency: 4,
         repeats: 4,
+        arrivals: 32,
+        mean_interarrival_micros: 1_500,
         seed: 0x1994_0214,
     }
 }
@@ -173,6 +204,260 @@ fn serial_section(
     (json, io, wall, identical)
 }
 
+/// Seeded xorshift64* — the bench's only randomness source, so arrival
+/// schedules and class assignments replay exactly under a fixed seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+}
+
+/// `sorted[ceil(q·n) − 1]` — the standard nearest-rank percentile.
+fn percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * q_num).div_ceil(q_den).max(1) - 1;
+    sorted[rank.min(n - 1) as usize]
+}
+
+fn latency_stats(lat: &mut Vec<u64>) -> Json {
+    lat.sort_unstable();
+    obj(vec![
+        ("completed_queue_dependent", Json::Int(lat.len() as i64)),
+        ("p50_micros", Json::Int(percentile(lat, 50, 100) as i64)),
+        ("p99_micros", Json::Int(percentile(lat, 99, 100) as i64)),
+        ("p999_micros", Json::Int(percentile(lat, 999, 1000) as i64)),
+    ])
+}
+
+/// The deterministic saturation phase: hold the entire pool, shed
+/// background and deadline-carrying requests with typed outcomes, then
+/// release and drain. Returns the section JSON, the byte-identity flag,
+/// and the per-request footprint observed on drain (pages), which sizes
+/// the Poisson section's pool.
+fn saturation_section(cfg: &ServiceBenchConfig, oracle: &[Vec<u8>]) -> (Json, bool, u64) {
+    let svc = build_service(cfg, true);
+    let hold = svc
+        .reserve_maintenance(cfg.pool_pages)
+        .expect("pool must be idle before the saturation phase");
+
+    let background_arrivals = cfg.repeats.max(1);
+    let mut retry_hints_positive = true;
+    let mut shed_retry_after = 0u64;
+    for _ in 0..background_arrivals {
+        let opts = SubmitOptions {
+            priority: Priority::Background,
+            ..SubmitOptions::default()
+        };
+        match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts) {
+            Err(ServiceError::Rejected(Rejected::RetryAfter { millis })) => {
+                shed_retry_after += 1;
+                retry_hints_positive &= millis >= 1;
+            }
+            other => panic!("held pool must shed background with RetryAfter, got {other:?}"),
+        }
+    }
+
+    let deadline_arrivals = (cfg.repeats / 2).max(1);
+    for _ in 0..deadline_arrivals {
+        let opts = SubmitOptions {
+            priority: Priority::Interactive,
+            deadline: Some(Duration::from_millis(5)),
+            ..SubmitOptions::default()
+        };
+        match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts) {
+            Err(ServiceError::Rejected(Rejected::DeadlineExceeded { .. })) => {}
+            other => panic!("held pool must shed on deadline expiry, got {other:?}"),
+        }
+    }
+
+    drop(hold);
+    let drain_requests = (cfg.repeats / 2).max(1);
+    let mut drain_completed = 0u64;
+    let mut identical = true;
+    let mut reserved_pages = 0u64;
+    for _ in 0..drain_requests {
+        let opts = SubmitOptions {
+            priority: Priority::Interactive,
+            deadline: Some(Duration::from_secs(30)),
+            ..SubmitOptions::default()
+        };
+        let resp = svc
+            .submit_opts("r", "s", &JoinPredicate::intersects(), &opts)
+            .expect("released pool must admit the drain");
+        drain_completed += 1;
+        reserved_pages = resp.reserved_pages;
+        identical &= sorted_encoding(&resp.result) == oracle;
+    }
+
+    let sec = svc.service_section();
+    let json = obj(vec![
+        ("background_arrivals", Json::Int(background_arrivals as i64)),
+        ("shed_retry_after", Json::Int(sec.shed_retry_after as i64)),
+        ("deadline_arrivals", Json::Int(deadline_arrivals as i64)),
+        ("shed_deadline", Json::Int(sec.shed_deadline as i64)),
+        (
+            "retry_hints_positive",
+            Json::Int(i64::from(retry_hints_positive && shed_retry_after == background_arrivals)),
+        ),
+        ("drain_requests", Json::Int(drain_requests as i64)),
+        ("drain_completed", Json::Int(drain_completed as i64)),
+        ("results_byte_identical", Json::Int(i64::from(identical))),
+    ]);
+    (json, identical, reserved_pages)
+}
+
+/// The open-loop Poisson phase: seeded exponential arrivals against a
+/// pool sized for two concurrent joins. Arrival counts per class are
+/// schedule-determined (gated exactly); completions, sheds, and latency
+/// percentiles are wall-clock artifacts (denylist-named).
+fn poisson_section(
+    cfg: &ServiceBenchConfig,
+    oracle: &[Vec<u8>],
+    pages_per_request: u64,
+) -> (Json, bool) {
+    // Seeded schedule, fixed before any request is submitted: offsets in
+    // µs from the section start, plus a priority class per arrival.
+    let mut rng = XorShift(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mean = cfg.mean_interarrival_micros.max(1) as f64;
+    let mut at = 0u64;
+    let mut schedule: Vec<(u64, Priority)> = Vec::with_capacity(cfg.arrivals as usize);
+    for _ in 0..cfg.arrivals {
+        at += (-rng.unit().ln() * mean).ceil() as u64;
+        let class = match rng.next() % 10 {
+            0..=4 => Priority::Interactive,
+            5..=7 => Priority::Batch,
+            _ => Priority::Background,
+        };
+        schedule.push((at, class));
+    }
+    let arrivals_of =
+        |p: Priority| schedule.iter().filter(|(_, c)| *c == p).count() as i64;
+
+    // Two concurrent joins fit; the third queues (or sheds, for
+    // background). The queue bound admits every waiter the schedule can
+    // produce, so non-background requests only shed via their deadline.
+    let (r, s) = workload_pair(cfg);
+    let mut db = Database::new(1024);
+    db.create_table("r", &r).expect("bench table r");
+    db.create_table("s", &s).expect("bench table s");
+    let mut svc_cfg = ServiceConfig::new(
+        JoinConfig::with_buffer(cfg.buffer_pages).seed(cfg.seed),
+        pages_per_request * 2 + pages_per_request / 2,
+    );
+    svc_cfg.threads_per_query = cfg.threads_per_query.max(1);
+    svc_cfg.max_queue = cfg.arrivals.max(4);
+    let svc = JoinService::new(db, svc_cfg);
+
+    // One observation per arrival: (class, outcome tag, latency µs,
+    // queue-wait µs). Latency is the full submit() round trip.
+    let obs: Mutex<Vec<(Priority, u8, u64, u64)>> = Mutex::new(Vec::new());
+    let identical = AtomicBool::new(true);
+    let errors = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (offset, class) in &schedule {
+            let due = Duration::from_micros(*offset);
+            let elapsed = t0.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            scope.spawn(|| {
+                let opts = SubmitOptions {
+                    priority: *class,
+                    deadline: match class {
+                        Priority::Interactive => Some(Duration::from_millis(500)),
+                        _ => None,
+                    },
+                    ..SubmitOptions::default()
+                };
+                let started = Instant::now();
+                let outcome = svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts);
+                let lat = started.elapsed().as_micros() as u64;
+                let (tag, wait) = match &outcome {
+                    Ok(resp) => {
+                        if sorted_encoding(&resp.result) != oracle {
+                            identical.store(false, Ordering::Relaxed);
+                        }
+                        (0, resp.wait_micros)
+                    }
+                    Err(ServiceError::Rejected(Rejected::RetryAfter { .. })) => (1, 0),
+                    Err(ServiceError::Rejected(Rejected::DeadlineExceeded {
+                        waited_micros,
+                    })) => (2, *waited_micros),
+                    Err(ServiceError::Rejected(Rejected::Saturated { .. })) => (3, 0),
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        (4, 0)
+                    }
+                };
+                obs.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((*class, tag, lat, wait));
+            });
+        }
+    });
+
+    let obs = obs.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut completed = 0i64;
+    let mut shed_retry = 0i64;
+    let mut shed_deadline = 0i64;
+    let mut saturated = 0i64;
+    let mut waits: Vec<u64> = Vec::new();
+    let mut by_class: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (class, tag, lat, wait) in &obs {
+        match tag {
+            0 => {
+                completed += 1;
+                waits.push(*wait);
+                by_class[*class as usize].push(*lat);
+            }
+            1 => shed_retry += 1,
+            2 => {
+                shed_deadline += 1;
+                waits.push(*wait);
+            }
+            3 => saturated += 1,
+            _ => {}
+        }
+    }
+    waits.sort_unstable();
+    let mut pairs = vec![
+        ("arrivals", Json::Int(cfg.arrivals as i64)),
+        ("interactive_arrivals", Json::Int(arrivals_of(Priority::Interactive))),
+        ("batch_arrivals", Json::Int(arrivals_of(Priority::Batch))),
+        ("background_arrivals", Json::Int(arrivals_of(Priority::Background))),
+        ("errors", Json::Int(errors.load(Ordering::Relaxed) as i64)),
+        ("queue_completed", Json::Int(completed)),
+        ("queue_shed_retry_after", Json::Int(shed_retry)),
+        ("queue_shed_deadline", Json::Int(shed_deadline)),
+        ("queue_saturated", Json::Int(saturated)),
+        ("queue_wait_p99_micros", Json::Int(percentile(&waits, 99, 100) as i64)),
+        (
+            "results_byte_identical",
+            Json::Int(i64::from(identical.load(Ordering::Relaxed))),
+        ),
+    ];
+    for (label, idx) in [("interactive", 0usize), ("batch", 1), ("background", 2)] {
+        pairs.push((label, latency_stats(&mut by_class[idx])));
+    }
+    (obj(pairs), identical.load(Ordering::Relaxed))
+}
+
 /// Runs the benchmark and returns the `BENCH_service.json` document.
 pub fn run(cfg: &ServiceBenchConfig) -> Json {
     let (r, s) = workload_pair(cfg);
@@ -213,6 +498,18 @@ pub fn run(cfg: &ServiceBenchConfig) -> Json {
     let conc_wall = t0.elapsed().as_micros() as u64;
     let conc_sec = conc_svc.service_section();
     identical &= conc_identical.load(Ordering::Relaxed);
+
+    // Closed-loop section: deterministic saturation shedding, then the
+    // Poisson open-loop arrival sweep against a two-slot pool.
+    let (saturation, sat_ok, pages_per_request) = saturation_section(cfg, &oracle);
+    identical &= sat_ok;
+    let (poisson, poisson_ok) = poisson_section(cfg, &oracle, pages_per_request.max(1));
+    identical &= poisson_ok;
+    let closed_loop = obj(vec![
+        ("pages_per_request", Json::Int(pages_per_request as i64)),
+        ("saturation", saturation),
+        ("poisson", poisson),
+    ]);
     let concurrent = obj(vec![
         ("requests", Json::Int(conc_sec.requests as i64)),
         ("completed", Json::Int(conc_sec.completed as i64)),
@@ -243,6 +540,11 @@ pub fn run(cfg: &ServiceBenchConfig) -> Json {
                 ("threads_per_query", Json::Int(cfg.threads_per_query as i64)),
                 ("concurrency", Json::Int(cfg.concurrency as i64)),
                 ("repeats", Json::Int(cfg.repeats as i64)),
+                ("arrivals", Json::Int(cfg.arrivals as i64)),
+                (
+                    "mean_interarrival_micros",
+                    Json::Int(cfg.mean_interarrival_micros as i64),
+                ),
                 ("seed", Json::Int(cfg.seed as i64)),
             ]),
         ),
@@ -259,6 +561,7 @@ pub fn run(cfg: &ServiceBenchConfig) -> Json {
         ("repeated", repeated),
         ("cold", cold),
         ("concurrent", concurrent),
+        ("closed_loop", closed_loop),
     ])
 }
 
@@ -327,6 +630,52 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     if field("concurrent", "completed")? != repeats || field("concurrent", "rejected")? != 0 {
         return Err("concurrent section must complete every request".into());
     }
+
+    // Closed-loop section: the saturation counters are exact by
+    // construction (the pool is held for the whole phase), and both
+    // phases must keep admitted results byte-identical to the oracle.
+    let closed = doc.get("closed_loop").ok_or("missing closed_loop")?;
+    let cl = |section: &str, key: &str| -> Result<i64, String> {
+        closed
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing closed_loop.{section}.{key}"))
+    };
+    let background_arrivals = cl("saturation", "background_arrivals")?;
+    if background_arrivals < 1 || cl("saturation", "shed_retry_after")? != background_arrivals {
+        return Err(format!(
+            "saturation must shed every background request with RetryAfter \
+             ({background_arrivals} arrivals, {} shed)",
+            cl("saturation", "shed_retry_after")?,
+        ));
+    }
+    if cl("saturation", "shed_deadline")? != cl("saturation", "deadline_arrivals")? {
+        return Err("saturation must shed every deadline request with DeadlineExceeded".into());
+    }
+    if cl("saturation", "retry_hints_positive")? != 1 {
+        return Err("a RetryAfter hint of 0 ms is not a retry hint".into());
+    }
+    if cl("saturation", "drain_completed")? != cl("saturation", "drain_requests")? {
+        return Err("releasing the hold must drain every remaining request".into());
+    }
+    if cl("saturation", "results_byte_identical")? != 1
+        || cl("poisson", "results_byte_identical")? != 1
+    {
+        return Err("closed-loop results diverged from the oracle join".into());
+    }
+    if cl("poisson", "errors")? != 0 {
+        return Err("poisson arrivals hit non-shedding errors".into());
+    }
+    let arrivals = cl("poisson", "arrivals")?;
+    let split = cl("poisson", "interactive_arrivals")?
+        + cl("poisson", "batch_arrivals")?
+        + cl("poisson", "background_arrivals")?;
+    if arrivals < 1 || split != arrivals {
+        return Err(format!(
+            "poisson class split {split} does not sum to {arrivals} arrivals"
+        ));
+    }
     Ok(())
 }
 
@@ -347,13 +696,17 @@ mod tests {
     #[test]
     fn validate_rejects_broken_documents() {
         let doc = run(&smoke_config());
-        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 7", 1);
+        let text = doc.to_pretty().replacen("\"schema_version\": 2", "\"schema_version\": 7", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc
             .to_pretty()
             .replacen("\"results_byte_identical\": 1", "\"results_byte_identical\": 0", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc.to_pretty().replacen("\"cache_misses\": 1", "\"cache_misses\": 2", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        let text = doc
+            .to_pretty()
+            .replacen("\"retry_hints_positive\": 1", "\"retry_hints_positive\": 0", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
     }
 

@@ -58,7 +58,7 @@
 //! order, so this path is also deterministic across thread counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Instant;
 use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
@@ -756,6 +756,243 @@ pub fn grid_execution_report_sharded(
     Ok(build_report(rel, detail, &plan.intervals, threads, pred))
 }
 
+/// What a streamed run delivered: how many wire batches the sink saw and
+/// how many tuples they carried in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamSummary {
+    /// Non-empty batches handed to the sink.
+    pub batches: u64,
+    /// Total tuples across all batches.
+    pub tuples: u64,
+}
+
+/// As [`grid_execution_report_sharded`], but **streaming**: instead of
+/// materializing one output relation, each grid cell's result is handed to
+/// `sink` as soon as it is both *complete* and *next in deterministic
+/// order*. The wire unit is one [`OutputBatch`] flush — exactly the
+/// per-cell batch the materializing executor drains into its arena — so
+/// the concatenation of all batches is byte-identical to the
+/// materializing executor's output (time-major cell order, empty cells
+/// contributing nothing).
+///
+/// Workers send finished cells over a channel; the coordinator holds a
+/// reorder buffer and releases batches in cell order, so the stream is
+/// deterministic at every thread count even though cells complete out of
+/// order. Sequence/mixed predicate templates stream the merge fallback's
+/// outer chunks in chunk order instead.
+///
+/// The sink runs on the calling thread, between channel receives: a slow
+/// sink backpressures the coordinator, not the workers (cells buffer in
+/// the reorder window). Errors surface after any already-released batches
+/// — a caller that observes `Err` must treat the stream as truncated.
+#[allow(clippy::too_many_arguments)]
+pub fn grid_join_streamed(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    pool: &PagePool,
+    pages_per_worker: u64,
+    sink: &mut dyn FnMut(Vec<Tuple>),
+) -> Result<StreamSummary, vtjoin_join::JoinError> {
+    if !pred.partitioning_eligible() {
+        return merge_join_streamed(r, s, threads, pred, sink);
+    }
+    let intervals = &plan.intervals;
+    if !is_partitioning(intervals) {
+        return Err(vtjoin_join::JoinError::Precondition(
+            "intervals must partition all of valid time (sorted, gapless, ending at forever)",
+        ));
+    }
+    let spec = JoinSpec::natural(r.schema(), s.schema())?;
+    let k = plan.key_buckets.max(1).next_power_of_two() as usize;
+    let n_cells = intervals.len() * k;
+    let natural = pred.is_natural();
+
+    let r_cells = replicate_cells(r, intervals, k, |t| spec.outer_key_hash(t));
+    let s_cells = replicate_cells(s, intervals, k, |t| spec.inner_key_hash(t));
+
+    let est_costs: Vec<u64> = (0..n_cells)
+        .map(|c| r_cells[c].len() as u64 * s_cells[c].len() as u64)
+        .collect();
+    let mut order: Vec<usize> = (0..n_cells).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(est_costs[c]));
+
+    let num_workers = threads.max(1).min(n_cells);
+    let next = AtomicUsize::new(0);
+    let mut summary = StreamSummary::default();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Tuple>)>();
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let spec = &spec;
+            let r_cells = &r_cells;
+            let s_cells = &s_cells;
+            let order = &order;
+            let next = &next;
+            let tx = tx.clone();
+            handles.push(scope.spawn(move || {
+                let _reservation = pool.try_reserve(pages_per_worker);
+                let mut scratch = SweepScratch::default();
+                let mut batch = OutputBatch::new();
+                loop {
+                    let q = next.fetch_add(1, Ordering::Relaxed);
+                    if q >= order.len() {
+                        break;
+                    }
+                    let c = order[q];
+                    let p_c = intervals[c / k];
+                    if !r_cells[c].is_empty() && !s_cells[c].is_empty() {
+                        batch.begin(r_cells[c].len().max(s_cells[c].len()).max(16));
+                        match choose_kernel(choice, spec, &r_cells[c], &s_cells[c]) {
+                            KernelKind::Hash => {
+                                if natural {
+                                    hash_join(spec, &r_cells[c], &s_cells[c], p_c, &mut batch);
+                                } else {
+                                    hash_join_pred(
+                                        spec,
+                                        pred,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut batch,
+                                    );
+                                }
+                            }
+                            KernelKind::Sweep => {
+                                if natural {
+                                    sweep_join(
+                                        spec,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                } else {
+                                    sweep_join_pred(
+                                        spec,
+                                        pred,
+                                        &r_cells[c],
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // `take` hands the batch over as the wire unit (empty
+                    // cells send an empty marker so the reorder window can
+                    // advance past them). A send can only fail if the
+                    // coordinator died; the worker just stops.
+                    if tx.send((c, batch.take())).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        // Reorder window: release cells strictly in time-major order, so
+        // the stream is deterministic regardless of completion order.
+        let mut pending: Vec<Option<Vec<Tuple>>> = (0..n_cells).map(|_| None).collect();
+        let mut next_out = 0usize;
+        for (c, out) in rx {
+            pending[c] = Some(out);
+            while next_out < n_cells {
+                let Some(out) = pending[next_out].take() else {
+                    break;
+                };
+                next_out += 1;
+                if !out.is_empty() {
+                    summary.batches += 1;
+                    summary.tuples += out.len() as u64;
+                    sink(out);
+                }
+            }
+        }
+        let mut worker_panicked = false;
+        for h in handles {
+            if h.join().is_err() {
+                worker_panicked = true;
+            }
+        }
+        if worker_panicked || next_out < n_cells {
+            return Err(vtjoin_join::JoinError::Internal(
+                "partition worker panicked",
+            ));
+        }
+        Ok(())
+    })?;
+    Ok(summary)
+}
+
+/// The streaming merge fallback for sequence/mixed predicate templates:
+/// each outer chunk's result is one wire batch, released in chunk order.
+fn merge_join_streamed(
+    r: &Relation,
+    s: &Relation,
+    threads: usize,
+    pred: &JoinPredicate,
+    sink: &mut dyn FnMut(Vec<Tuple>),
+) -> Result<StreamSummary, vtjoin_join::JoinError> {
+    let spec = JoinSpec::natural(r.schema(), s.schema())?;
+    let r_all: Vec<&Tuple> = r.iter().collect();
+    let s_all: Vec<&Tuple> = s.iter().collect();
+    let num_workers = threads.max(1).min(r_all.len()).max(1);
+    let chunk_len = r_all.len().div_ceil(num_workers).max(1);
+    let chunks: Vec<&[&Tuple]> = r_all.chunks(chunk_len).collect();
+    let n_chunks = chunks.len();
+
+    let mut summary = StreamSummary::default();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Tuple>)>();
+        let mut handles = Vec::with_capacity(n_chunks);
+        for (w, chunk) in chunks.iter().enumerate() {
+            let spec = &spec;
+            let s_all = &s_all;
+            let tx = tx.clone();
+            handles.push(scope.spawn(move || {
+                let mut batch = OutputBatch::new();
+                batch.begin(chunk.len().max(16));
+                merge_join_pred(spec, pred, chunk, s_all, &mut batch);
+                let _ = tx.send((w, batch.take()));
+            }));
+        }
+        drop(tx);
+        let mut pending: Vec<Option<Vec<Tuple>>> = (0..n_chunks).map(|_| None).collect();
+        let mut next_out = 0usize;
+        for (w, out) in rx {
+            pending[w] = Some(out);
+            while next_out < n_chunks {
+                let Some(out) = pending[next_out].take() else {
+                    break;
+                };
+                next_out += 1;
+                if !out.is_empty() {
+                    summary.batches += 1;
+                    summary.tuples += out.len() as u64;
+                    sink(out);
+                }
+            }
+        }
+        let mut worker_panicked = false;
+        for h in handles {
+            if h.join().is_err() {
+                worker_panicked = true;
+            }
+        }
+        if worker_panicked || next_out < n_chunks {
+            return Err(vtjoin_join::JoinError::Internal("merge worker panicked"));
+        }
+        Ok(())
+    })?;
+    Ok(summary)
+}
+
 /// Assembles the [`ExecutionReport`] for a finished parallel run.
 fn build_report(
     rel: Relation,
@@ -1050,6 +1287,75 @@ mod tests {
         let a = parallel_partition_join(&r, &s, &parts, 4).unwrap();
         let b = parallel_partition_join(&r, &s, &parts, 2).unwrap();
         assert_eq!(a.tuples(), b.tuples(), "order independent of thread count");
+    }
+
+    #[test]
+    fn streamed_batches_concatenate_to_the_materialized_output() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        for key_buckets in [1u64, 4] {
+            let plan = GridPlan {
+                key_buckets,
+                intervals: equal_width(Interval::from_raw(0, 400).unwrap(), 6),
+            };
+            let want = grid_partition_join(&r, &s, &plan, 1).unwrap();
+            for threads in [1usize, 2, 4] {
+                let pool = PagePool::new(64);
+                let mut streamed: Vec<Tuple> = Vec::new();
+                let mut batches = 0u64;
+                let summary = grid_join_streamed(
+                    &r,
+                    &s,
+                    &plan,
+                    threads,
+                    KernelChoice::Auto,
+                    &JoinPredicate::intersects(),
+                    &pool,
+                    4,
+                    &mut |b| {
+                        assert!(!b.is_empty(), "sink only sees non-empty batches");
+                        batches += 1;
+                        streamed.extend(b);
+                    },
+                )
+                .unwrap();
+                assert_eq!(summary.batches, batches);
+                assert_eq!(summary.tuples, streamed.len() as u64);
+                assert_eq!(
+                    streamed,
+                    want.tuples(),
+                    "key_buckets = {key_buckets}, threads = {threads}"
+                );
+                assert_eq!(pool.in_flight(), 0, "shard reservations released");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_merge_fallback_matches_materialized_order() {
+        let r = rel("b", 120, 4);
+        let s = rel("c", 120, 3);
+        let pred: JoinPredicate = "before".parse().unwrap();
+        assert!(!pred.partitioning_eligible());
+        let plan = GridPlan::time_only(vec![Interval::ALL]);
+        let want = parallel_partition_join_pred(&r, &s, &[Interval::ALL], 1, &pred).unwrap();
+        for threads in [1usize, 3] {
+            let pool = PagePool::new(64);
+            let mut streamed: Vec<Tuple> = Vec::new();
+            grid_join_streamed(
+                &r,
+                &s,
+                &plan,
+                threads,
+                KernelChoice::Auto,
+                &pred,
+                &pool,
+                4,
+                &mut |b| streamed.extend(b),
+            )
+            .unwrap();
+            assert_eq!(streamed, want.tuples(), "threads = {threads}");
+        }
     }
 
     #[test]

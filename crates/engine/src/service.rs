@@ -1,5 +1,6 @@
-//! A concurrent multi-query join service with an admission controller and
-//! a statistics-fingerprinted plan cache.
+//! A concurrent multi-query join service: a priority-aware admission
+//! pipeline, a statistics-fingerprinted plan cache, LRU table residency,
+//! and streaming execution.
 //!
 //! The paper's planner pays a real sampling cost `C_sample` on **every**
 //! join (`determinePartIntervals`, Figure 10). A service that answers the
@@ -8,38 +9,52 @@
 //! they partition all of valid time, so every tuple still lands in some
 //! partition — and remain *well-balanced* for as long as the relations'
 //! statistics stay within the plan's own `errorSize` slack. [`JoinService`]
-//! exploits exactly that:
+//! exploits exactly that, and hardens the serve path around it:
 //!
-//! * a **plan cache** keyed by table pair and canonical predicate name
-//!   (a plan computed for one predicate never serves another), validated
-//!   by a
-//!   [`StatsFingerprint`] of each side (cardinality, zone-map time hull,
-//!   long-lived count, catalog version, sampling seed). A hit reuses the
-//!   cached partition boundaries and skips sampling entirely — zero
-//!   planning I/O. When a fingerprint drifts past the entry's tolerance
-//!   (the `errorSize` page budget converted to tuples), the entry is
-//!   invalidated and the join replans fresh;
-//! * an **admission controller** over a shared
-//!   [`vtjoin_storage::PagePool`]: each request reserves its two
-//!   relations' pages before running, requests that can never fit are
-//!   rejected immediately ([`Rejected::TooLarge`]), and once the bounded
-//!   wait queue is full further requests are rejected
-//!   ([`Rejected::Saturated`]) rather than queueing without bound — no
-//!   deadlock under memory pressure, by construction;
-//! * execution on the existing work-stealing parallel executor
-//!   ([`crate::parallel`]), whose output is deterministic in partition
-//!   order regardless of scheduling — concurrent and serial submissions of
-//!   the same join produce byte-identical results.
+//! * a **plan cache** keyed by table pair, canonical predicate name, and
+//!   grid choice, validated by a [`StatsFingerprint`] of each side
+//!   (cardinality, zone-map time hull, long-lived count, catalog version,
+//!   sampling seed). A hit reuses the cached partition boundaries and
+//!   skips sampling entirely — zero planning I/O. When a fingerprint
+//!   drifts past the entry's tolerance (the `errorSize` page budget
+//!   converted to tuples), the entry is invalidated and the join replans;
+//! * a **fair, priority-aware admission pipeline** over a shared
+//!   [`vtjoin_storage::PagePool`]: each request reserves its real page
+//!   footprint (both relations *plus* the configured join buffer) under a
+//!   [`Priority`] class before running. Admission is ticket-ordered
+//!   FIFO-within-priority — the pool's fast path may not barge past a
+//!   compatible queued waiter, so a stream of small interactive joins can
+//!   no longer starve a queued batch join. Requests that can never fit
+//!   are rejected immediately ([`Rejected::TooLarge`]); once the bounded
+//!   wait queue is full, further interactive/batch requests are rejected
+//!   ([`Rejected::Saturated`]) rather than queueing without bound;
+//! * **deadline-aware load shedding**: a request may carry a deadline —
+//!   if the observed queue wait (EWMA) already exceeds it the request is
+//!   shed before queueing, and if the deadline expires while queued the
+//!   ticket is withdrawn; both surface as
+//!   [`Rejected::DeadlineExceeded`]. Background requests never queue at
+//!   all: when they cannot be admitted immediately they are shed with
+//!   [`Rejected::RetryAfter`], whose hint is derived from the observed
+//!   queue-wait and execution-cost EWMAs;
+//! * **LRU table residency**: hot relations stay decoded in memory across
+//!   requests under a dedicated page budget, so a plan-cache hit on a hot
+//!   pair performs *zero* heap I/O end to end;
+//! * **streaming execution** ([`JoinService::submit_streamed`]): results
+//!   are delivered incrementally as [`vtjoin_join::kernel::OutputBatch`]
+//!   wire units in deterministic order — the concatenation of the batches
+//!   is byte-identical to the materialized result.
 //!
-//! Every outcome is accounted in a [`ServiceSection`] (obs schema v5) and
-//! the whole run renders as one [`ExecutionReport`] with algorithm
-//! `"service"`.
+//! Every outcome is accounted in a [`ServiceSection`] (obs schema v8,
+//! including per-class counters, shed counters, stream counters, and a
+//! queue-wait histogram) and the whole run renders as one
+//! [`ExecutionReport`] with algorithm `"service"`.
 
 use crate::database::{Database, DbError, TableStats};
-use crate::parallel::{grid_execution_report_sharded, parallel_partition_join_pred};
-use std::collections::HashMap;
+use crate::parallel::{grid_execution_report_sharded, grid_join_streamed, StreamSummary};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::{Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::KernelChoice;
@@ -49,26 +64,148 @@ use vtjoin_join::{JoinConfig, JoinError};
 use vtjoin_obs::{
     ConfigSection, Counter, ExecutionReport, IoSection, PhaseSection, ResultSection, ServiceSection,
 };
-use vtjoin_storage::{HeapFile, IoStats, PagePool, ReserveError};
+use vtjoin_storage::{
+    HeapFile, IoStats, PagePool, PageReservation, ReserveError, ReserveRequest, PRIORITY_CASUAL,
+    PRIORITY_NORMAL, PRIORITY_URGENT,
+};
 
-/// Why the admission controller refused a request. Both outcomes are
-/// immediate — a request the pool can never satisfy, or one arriving at a
-/// full queue, is never left blocked.
+/// Queue-wait histogram bucket upper bounds, in microseconds; the last
+/// bucket is unbounded. Mirrored in `docs/OBSERVABILITY.md`.
+pub const WAIT_HIST_BOUNDS_MICROS: [u64; 7] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Number of queue-wait histogram buckets.
+pub const WAIT_HIST_BUCKETS: usize = WAIT_HIST_BOUNDS_MICROS.len() + 1;
+
+fn wait_bucket(micros: u64) -> usize {
+    WAIT_HIST_BOUNDS_MICROS
+        .iter()
+        .position(|&b| micros < b)
+        .unwrap_or(WAIT_HIST_BOUNDS_MICROS.len())
+}
+
+/// Admission class of one request. Within a class, admission is strictly
+/// arrival-ordered; a higher class may overtake queued lower-class
+/// requests, never a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive requests: may overtake queued batch/background
+    /// waiters.
+    Interactive,
+    /// The default class: queues FIFO among peers.
+    #[default]
+    Batch,
+    /// Best-effort requests: **never queue** — a background request that
+    /// cannot be admitted immediately is shed with
+    /// [`Rejected::RetryAfter`] instead of occupying a queue slot.
+    Background,
+}
+
+impl Priority {
+    /// The storage-layer admission class this priority maps to.
+    fn storage_class(self) -> u8 {
+        match self {
+            Priority::Interactive => PRIORITY_URGENT,
+            Priority::Batch => PRIORITY_NORMAL,
+            Priority::Background => PRIORITY_CASUAL,
+        }
+    }
+
+    /// Canonical lower-case name (the serve protocol's `priority=` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Priority {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Priority, String> {
+        match s {
+            "interactive" => Ok(Priority::Interactive),
+            "batch" => Ok(Priority::Batch),
+            "background" => Ok(Priority::Background),
+            other => Err(format!(
+                "unknown priority '{other}' (expected interactive, batch, or background)"
+            )),
+        }
+    }
+}
+
+/// Per-request admission options ([`JoinService::submit_opts`] /
+/// [`JoinService::submit_streamed`]). The default is a batch-priority
+/// request with no deadline, no page-budget cap, and the service's
+/// configured grid policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Admission class.
+    pub priority: Priority,
+    /// Total time the request may spend *queued for admission*. Expiry
+    /// sheds the request with [`Rejected::DeadlineExceeded`]; a request
+    /// whose deadline is already smaller than the observed queue wait is
+    /// shed before taking a queue slot at all.
+    pub deadline: Option<Duration>,
+    /// Per-request page-budget cap: a request whose real footprint
+    /// (outer + inner + join buffer) exceeds this budget is rejected as
+    /// [`Rejected::TooLarge`] against the budget, before touching the
+    /// shared pool.
+    pub page_budget: Option<u64>,
+    /// Grid policy override for this one request (`None` = the service's
+    /// configured [`ServiceConfig::grid`]).
+    pub grid: Option<GridChoice>,
+}
+
+/// Why the admission controller refused a request. Every outcome is
+/// immediate or deadline-bounded — a request the service cannot serve is
+/// never left blocked indefinitely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejected {
-    /// The request's page reservation exceeds the whole pool.
+    /// The request's page reservation exceeds the whole pool (or the
+    /// request's own [`SubmitOptions::page_budget`]).
     TooLarge {
-        /// Pages the request needs (outer + inner).
+        /// Pages the request needs (outer + inner + join buffer).
         pages: u64,
-        /// Total pool capacity.
+        /// The budget that refused it: the pool capacity, or the
+        /// per-request page budget if that was the binding constraint.
         pool_pages: u64,
     },
-    /// The bounded admission queue was full.
+    /// The bounded admission queue was full (interactive/batch only;
+    /// background requests shed as [`Rejected::RetryAfter`] instead).
     Saturated {
         /// Requests already waiting.
         waiting: u64,
         /// The configured queue bound.
         max_waiting: u64,
+    },
+    /// The request's deadline expired while queued for admission — or was
+    /// already smaller than the observed queue wait, in which case it was
+    /// shed immediately (`waited_micros == 0`).
+    DeadlineExceeded {
+        /// Time actually spent queued before the request was withdrawn.
+        waited_micros: u64,
+    },
+    /// Load shedding of a background request that could not be admitted
+    /// immediately: retry after the hinted delay, derived from the
+    /// observed queue-wait and execution-cost EWMAs.
+    RetryAfter {
+        /// Suggested client back-off, in milliseconds (≥ 1).
+        millis: u64,
     },
 }
 
@@ -90,7 +227,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Rejected(Rejected::TooLarge { pages, pool_pages }) => {
                 write!(
                     f,
-                    "rejected: request needs {pages} pages, pool holds {pool_pages}"
+                    "rejected: request needs {pages} pages, budget holds {pool_pages}"
                 )
             }
             ServiceError::Rejected(Rejected::Saturated {
@@ -101,6 +238,15 @@ impl fmt::Display for ServiceError {
                     f,
                     "rejected: admission queue full ({waiting}/{max_waiting} waiting)"
                 )
+            }
+            ServiceError::Rejected(Rejected::DeadlineExceeded { waited_micros }) => {
+                write!(
+                    f,
+                    "rejected: deadline expired after {waited_micros} µs queued"
+                )
+            }
+            ServiceError::Rejected(Rejected::RetryAfter { millis }) => {
+                write!(f, "shed: retry after {millis} ms")
             }
             ServiceError::Db(e) => write!(f, "{e}"),
             ServiceError::Join(e) => write!(f, "{e}"),
@@ -150,8 +296,37 @@ pub struct JoinResponse {
     /// Key-axis bucket count of the executed grid (1 for time-only plans,
     /// 0 for merge-fallback runs that used no grid at all).
     pub key_buckets: u64,
+    /// Pool pages this request reserved while running (outer + inner +
+    /// join buffer).
+    pub reserved_pages: u64,
+    /// Wall-clock the request spent queued for admission, in microseconds
+    /// (0 for immediate admissions).
+    pub wait_micros: u64,
+}
+
+/// One completed **streamed** join request: everything the sink was not
+/// already handed. The result itself went out incrementally; concatenated,
+/// the batches are byte-identical to the materialized
+/// [`JoinResponse::result`] of the same request.
+#[derive(Debug)]
+pub struct StreamedResponse {
+    /// How the partition plan was obtained.
+    pub plan: PlanOutcome,
+    /// How the request was admitted.
+    pub admission: Admission,
+    /// Number of time partitions the executor ran.
+    pub partitions: u64,
+    /// Key-axis bucket count of the executed grid (0 for merge-fallback
+    /// runs).
+    pub key_buckets: u64,
     /// Pool pages this request reserved while running.
     pub reserved_pages: u64,
+    /// Wall-clock the request spent queued for admission, in microseconds.
+    pub wait_micros: u64,
+    /// Non-empty batches delivered to the sink.
+    pub batches: u64,
+    /// Total tuples across all delivered batches.
+    pub tuples: u64,
 }
 
 /// The statistics fingerprint of one relation at plan time — everything
@@ -229,6 +404,27 @@ impl CacheEntry {
     }
 }
 
+/// Holds a single-flight planning claim for one cache key; dropping it —
+/// on success or on any error path — releases the claim and wakes the
+/// requests parked behind the planner.
+struct PlanClaim<'a> {
+    svc: &'a JoinService,
+    key: Option<(String, String, String, String)>,
+}
+
+impl Drop for PlanClaim<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.svc
+                .planning
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+            self.svc.planning_done.notify_all();
+        }
+    }
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct Counters {
     requests: u64,
@@ -241,6 +437,111 @@ struct Counters {
     cache_misses: u64,
     cache_invalidations: u64,
     result_tuples: u64,
+    // v8: per-class request counts.
+    interactive_requests: u64,
+    batch_requests: u64,
+    background_requests: u64,
+    // v8: load-shedding outcomes (both also count under `rejected`).
+    shed_deadline: u64,
+    shed_retry_after: u64,
+    // v8: streaming.
+    streamed_requests: u64,
+    streamed_batches: u64,
+    streamed_tuples: u64,
+    // v8: table residency.
+    residency_hits: u64,
+    residency_misses: u64,
+    residency_evictions: u64,
+    // v8: queue-wait accounting. The histogram counts every admission
+    // (immediate grants land in the first bucket); the EWMAs feed the
+    // shedding policy's retry hints.
+    wait_hist: [u64; WAIT_HIST_BUCKETS],
+    wait_ewma_micros: u64,
+    exec_ewma_micros: u64,
+}
+
+/// One resident (decoded, in-memory) relation, keyed by table name and
+/// catalog version.
+#[derive(Debug)]
+struct ResidentEntry {
+    rel: Arc<Relation>,
+    pages: u64,
+    last_used: u64,
+}
+
+/// LRU residency cache: hot relations stay decoded across requests under
+/// a dedicated page budget, so a plan-cache hit on a hot pair performs no
+/// heap I/O at all.
+#[derive(Debug, Default)]
+struct Residency {
+    tick: u64,
+    total_pages: u64,
+    entries: HashMap<(String, u64), ResidentEntry>,
+}
+
+impl Residency {
+    fn get(&mut self, table: &str, version: u64) -> Option<Arc<Relation>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(&(table.to_owned(), version))?;
+        e.last_used = tick;
+        Some(Arc::clone(&e.rel))
+    }
+
+    /// Inserts a freshly-read relation, drops stale versions of the same
+    /// table, and evicts least-recently-used entries past the budget.
+    /// Returns how many entries were evicted (stale versions included —
+    /// they can never be requested again, the catalog version only grows).
+    fn insert(
+        &mut self,
+        table: &str,
+        version: u64,
+        rel: Arc<Relation>,
+        pages: u64,
+        budget: u64,
+    ) -> u64 {
+        let mut evicted = 0;
+        let stale: Vec<(String, u64)> = self
+            .entries
+            .keys()
+            .filter(|(t, v)| t == table && *v != version)
+            .cloned()
+            .collect();
+        for k in stale {
+            if let Some(e) = self.entries.remove(&k) {
+                self.total_pages -= e.pages;
+                evicted += 1;
+            }
+        }
+        if pages > budget {
+            return evicted; // would never fit; serve uncached
+        }
+        self.tick += 1;
+        let entry = ResidentEntry {
+            rel,
+            pages,
+            last_used: self.tick,
+        };
+        if let Some(old) = self.entries.insert((table.to_owned(), version), entry) {
+            self.total_pages -= old.pages;
+        }
+        self.total_pages += pages;
+        while self.total_pages > budget {
+            let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&lru) {
+                self.total_pages -= e.pages;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// Configuration of a [`JoinService`].
@@ -253,6 +554,7 @@ pub struct ServiceConfig {
     pub pool_pages: u64,
     /// Maximum requests allowed to block waiting for pool pages before
     /// further requests are rejected as [`Rejected::Saturated`].
+    /// Background requests never occupy these slots.
     pub max_queue: u64,
     /// Worker threads per admitted join.
     pub threads_per_query: usize,
@@ -265,12 +567,15 @@ pub struct ServiceConfig {
     /// Whether the plan cache is consulted at all (disable for ablations;
     /// every request then replans).
     pub plan_cache: bool,
+    /// Page budget of the LRU table-residency cache (0 disables it; the
+    /// default is half the pool).
+    pub residency_pages: u64,
 }
 
 impl ServiceConfig {
     /// A service configuration with the given join config and pool size;
     /// queue bound 16, 4 threads per query, automatic kernel gate,
-    /// cost-chosen grid, plan cache on.
+    /// cost-chosen grid, plan cache on, residency budget half the pool.
     pub fn new(join: JoinConfig, pool_pages: u64) -> ServiceConfig {
         ServiceConfig {
             join,
@@ -280,21 +585,36 @@ impl ServiceConfig {
             kernel: KernelChoice::Auto,
             grid: GridChoice::Auto,
             plan_cache: true,
+            residency_pages: pool_pages / 2,
         }
     }
 }
 
-/// A concurrent multi-query join service over one [`Database`]: admission
-/// control against a shared page pool, a statistics-fingerprinted plan
-/// cache, and execution on the work-stealing parallel executor. All
-/// methods take `&self`; the service is `Sync` and meant to be shared
-/// across submitter threads.
+/// What admission handed back for one accepted request.
+struct Admit {
+    reservation: PageReservation,
+    admission: Admission,
+    wait_micros: u64,
+}
+
+/// A concurrent multi-query join service over one [`Database`]: fair
+/// priority-aware admission against a shared page pool, deadline-aware
+/// load shedding, a statistics-fingerprinted plan cache, LRU table
+/// residency, and materialized or streamed execution on the work-stealing
+/// parallel executor. All methods take `&self`; the service is `Sync` and
+/// meant to be shared across submitter threads.
 #[derive(Debug)]
 pub struct JoinService {
     db: RwLock<Database>,
     cfg: ServiceConfig,
     pool: PagePool,
     cache: Mutex<HashMap<(String, String, String, String), CacheEntry>>,
+    /// Single-flight guard: keys whose plan is being computed right now.
+    /// Concurrent requests for the same key wait on the condvar and take
+    /// the cache hit instead of racing a redundant sampling pass.
+    planning: Mutex<HashSet<(String, String, String, String)>>,
+    planning_done: Condvar,
+    residency: Mutex<Residency>,
     counters: Mutex<Counters>,
     io_base: IoStats,
 }
@@ -309,6 +629,9 @@ impl JoinService {
             cfg,
             pool,
             cache: Mutex::new(HashMap::new()),
+            planning: Mutex::new(HashSet::new()),
+            planning_done: Condvar::new(),
+            residency: Mutex::new(Residency::default()),
             counters: Mutex::new(Counters::default()),
             io_base,
         }
@@ -328,9 +651,19 @@ impl JoinService {
 
     /// Appends tuples to a table (convenience write-lock wrapper). The
     /// table's version stamp bumps, so cached plans over it revalidate
-    /// against the fresh statistics on the next request.
+    /// against the fresh statistics — and the stale resident copy is
+    /// dropped — on the next request.
     pub fn append(&self, table: &str, tuples: &[Tuple]) -> Result<(), DbError> {
         self.write_db().append(table, tuples)
+    }
+
+    /// Reserves `pages` of the shared pool out-of-band, at interactive
+    /// urgency and without blocking (maintenance windows, benchmarks that
+    /// need a deterministically saturated pool). Returns `None` when the
+    /// pool cannot grant the reservation right now; dropping the
+    /// reservation returns the pages.
+    pub fn reserve_maintenance(&self, pages: u64) -> Option<PageReservation> {
+        self.pool.try_reserve_prio(pages, PRIORITY_URGENT)
     }
 
     fn read_db(&self) -> std::sync::RwLockReadGuard<'_, Database> {
@@ -364,7 +697,7 @@ impl JoinService {
         inner: &str,
         pred: &JoinPredicate,
     ) -> Result<JoinResponse, ServiceError> {
-        self.submit_grid(outer, inner, pred, self.cfg.grid)
+        self.submit_opts(outer, inner, pred, &SubmitOptions::default())
     }
 
     /// As [`JoinService::submit_with`], overriding the service's configured
@@ -378,77 +711,55 @@ impl JoinService {
         pred: &JoinPredicate,
         grid: GridChoice,
     ) -> Result<JoinResponse, ServiceError> {
-        self.lock_counters().requests += 1;
+        self.submit_opts(
+            outer,
+            inner,
+            pred,
+            &SubmitOptions {
+                grid: Some(grid),
+                ..SubmitOptions::default()
+            },
+        )
+    }
 
-        // Phase 1 — catalog snapshot. Heap files are cheap clones (page
-        // ranges + zone maps); holding them keeps this request's view
-        // stable even if the table is rewritten mid-flight, and lets the
-        // db lock drop before any blocking, so admission can never
-        // deadlock against writers.
-        let (r_heap, s_heap, r_stats, s_stats) = {
-            let db = self.read_db();
-            let r_heap = db.table(outer).map_err(ServiceError::Db)?.clone();
-            let s_heap = db.table(inner).map_err(ServiceError::Db)?.clone();
-            let r_stats = db.table_stats(outer).map_err(ServiceError::Db)?;
-            let s_stats = db.table_stats(inner).map_err(ServiceError::Db)?;
-            (r_heap, s_heap, r_stats, s_stats)
-        };
+    /// The full-contract submission: one join request under explicit
+    /// [`SubmitOptions`] (priority class, admission deadline, page-budget
+    /// cap, grid override).
+    pub fn submit_opts(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+        opts: &SubmitOptions,
+    ) -> Result<JoinResponse, ServiceError> {
+        let (r_heap, s_heap, r_stats, s_stats, pages) = self.snapshot(outer, inner, opts)?;
+        let admit = self.admit(pages, opts)?;
+        let grid = opts.grid.unwrap_or(self.cfg.grid);
 
-        // Phase 2 — admission: reserve both relations' pages.
-        let pages = (r_stats.pages + s_stats.pages).max(1);
-        let (reservation, waited) = match self.pool.reserve(pages, self.cfg.max_queue) {
-            Ok(granted) => granted,
-            Err(ReserveError::TooLarge { pages, capacity }) => {
-                self.lock_counters().rejected += 1;
-                return Err(ServiceError::Rejected(Rejected::TooLarge {
-                    pages,
-                    pool_pages: capacity,
-                }));
-            }
-            Err(ReserveError::Saturated {
-                waiting,
-                max_waiting,
-            }) => {
-                self.lock_counters().rejected += 1;
-                return Err(ServiceError::Rejected(Rejected::Saturated {
-                    waiting,
-                    max_waiting,
-                }));
-            }
-        };
-        {
-            let mut c = self.lock_counters();
-            c.admitted += 1;
-            if waited {
-                c.queued += 1;
-            }
-        }
-        let admission = if waited {
-            Admission::Queued
-        } else {
-            Admission::Immediate
-        };
-
-        // Phases 3 & 4 — plan and execute; any failure from here on is a
-        // typed per-request error and must be counted, with the page
-        // reservation released either way (RAII).
+        // Plan and execute; any failure from here on is a typed
+        // per-request error and must be counted, with the page reservation
+        // released either way (RAII).
+        let exec_started = Instant::now();
         let outcome = self.plan_and_run(
             outer, inner, pred, grid, &r_heap, &s_heap, &r_stats, &s_stats, pages,
         );
-        drop(reservation);
+        drop(admit.reservation);
         match outcome {
             Ok((result, plan, partitions, key_buckets)) => {
+                let exec_micros = exec_started.elapsed().as_micros() as u64;
                 let mut c = self.lock_counters();
                 c.completed += 1;
                 c.result_tuples += result.len() as u64;
+                c.exec_ewma_micros = (c.exec_ewma_micros * 7 + exec_micros) / 8;
                 drop(c);
                 Ok(JoinResponse {
                     result,
                     plan,
-                    admission,
+                    admission: admit.admission,
                     partitions,
                     key_buckets,
                     reserved_pages: pages,
+                    wait_micros: admit.wait_micros,
                 })
             }
             Err(e) => {
@@ -458,6 +769,235 @@ impl JoinService {
         }
     }
 
+    /// Streaming submission: the join result is delivered to `sink`
+    /// incrementally, one non-empty [`vtjoin_join::kernel::OutputBatch`]
+    /// wire unit at a time, in deterministic order — concatenated, the
+    /// batches are byte-identical to the materialized result of the same
+    /// request at any thread count. Admission, shedding, planning, and
+    /// accounting are identical to [`JoinService::submit_opts`]; a request
+    /// that fails mid-stream has delivered a (deterministic) prefix.
+    pub fn submit_streamed(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+        opts: &SubmitOptions,
+        sink: &mut dyn FnMut(Vec<Tuple>),
+    ) -> Result<StreamedResponse, ServiceError> {
+        let (r_heap, s_heap, r_stats, s_stats, pages) = self.snapshot(outer, inner, opts)?;
+        {
+            let mut c = self.lock_counters();
+            c.streamed_requests += 1;
+        }
+        let admit = self.admit(pages, opts)?;
+        let grid = opts.grid.unwrap_or(self.cfg.grid);
+
+        let exec_started = Instant::now();
+        let outcome = self.plan_and_stream(
+            outer, inner, pred, grid, &r_heap, &s_heap, &r_stats, &s_stats, pages, sink,
+        );
+        drop(admit.reservation);
+        match outcome {
+            Ok((summary, plan, partitions, key_buckets)) => {
+                let exec_micros = exec_started.elapsed().as_micros() as u64;
+                let mut c = self.lock_counters();
+                c.completed += 1;
+                c.result_tuples += summary.tuples;
+                c.streamed_batches += summary.batches;
+                c.streamed_tuples += summary.tuples;
+                c.exec_ewma_micros = (c.exec_ewma_micros * 7 + exec_micros) / 8;
+                drop(c);
+                Ok(StreamedResponse {
+                    plan,
+                    admission: admit.admission,
+                    partitions,
+                    key_buckets,
+                    reserved_pages: pages,
+                    wait_micros: admit.wait_micros,
+                    batches: summary.batches,
+                    tuples: summary.tuples,
+                })
+            }
+            Err(e) => {
+                self.lock_counters().failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase 1 — catalog snapshot and footprint accounting. Heap files
+    /// are cheap clones (page ranges + zone maps); holding them keeps this
+    /// request's view stable even if the table is rewritten mid-flight,
+    /// and lets the db lock drop before any blocking, so admission can
+    /// never deadlock against writers. The footprint charges both
+    /// relations *and* the configured join buffer — the pages the
+    /// partition join actually works in.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(
+        &self,
+        outer: &str,
+        inner: &str,
+        opts: &SubmitOptions,
+    ) -> Result<(HeapFile, HeapFile, TableStats, TableStats, u64), ServiceError> {
+        {
+            let mut c = self.lock_counters();
+            c.requests += 1;
+            match opts.priority {
+                Priority::Interactive => c.interactive_requests += 1,
+                Priority::Batch => c.batch_requests += 1,
+                Priority::Background => c.background_requests += 1,
+            }
+        }
+        let (r_heap, s_heap, r_stats, s_stats) = {
+            let db = self.read_db();
+            let r_heap = db.table(outer).map_err(ServiceError::Db)?.clone();
+            let s_heap = db.table(inner).map_err(ServiceError::Db)?.clone();
+            let r_stats = db.table_stats(outer).map_err(ServiceError::Db)?;
+            let s_stats = db.table_stats(inner).map_err(ServiceError::Db)?;
+            (r_heap, s_heap, r_stats, s_stats)
+        };
+        let pages = (r_stats.pages + s_stats.pages + self.cfg.join.buffer_pages).max(1);
+        if let Some(budget) = opts.page_budget {
+            if pages > budget {
+                self.lock_counters().rejected += 1;
+                return Err(ServiceError::Rejected(Rejected::TooLarge {
+                    pages,
+                    pool_pages: budget,
+                }));
+            }
+        }
+        Ok((r_heap, s_heap, r_stats, s_stats, pages))
+    }
+
+    /// Phase 2 — admission under the shedding policy. Interactive and
+    /// batch requests queue (ticket-ordered, FIFO within priority) up to
+    /// the configured bound and their deadline; background requests never
+    /// queue — they are admitted immediately or shed with a retry hint.
+    fn admit(&self, pages: u64, opts: &SubmitOptions) -> Result<Admit, ServiceError> {
+        // Pre-queue shed: if the queue is non-empty and the observed
+        // queue wait already exceeds the request's whole deadline, the
+        // request cannot make it — refuse it without burning a queue slot.
+        if let Some(d) = opts.deadline {
+            let mut c = self.lock_counters();
+            if self.pool.waiting() > 0 && c.wait_ewma_micros > d.as_micros() as u64 {
+                c.rejected += 1;
+                c.shed_deadline += 1;
+                return Err(ServiceError::Rejected(Rejected::DeadlineExceeded {
+                    waited_micros: 0,
+                }));
+            }
+        }
+        let background = opts.priority == Priority::Background;
+        let req = ReserveRequest {
+            pages,
+            priority: opts.priority.storage_class(),
+            max_waiting: if background { 0 } else { self.cfg.max_queue },
+            deadline: opts.deadline,
+        };
+        match self.pool.reserve_request(req) {
+            Ok(adm) => {
+                let mut c = self.lock_counters();
+                c.admitted += 1;
+                if adm.waited {
+                    c.queued += 1;
+                }
+                c.wait_hist[wait_bucket(adm.wait_micros)] += 1;
+                c.wait_ewma_micros = (c.wait_ewma_micros * 7 + adm.wait_micros) / 8;
+                Ok(Admit {
+                    reservation: adm.reservation,
+                    admission: if adm.waited {
+                        Admission::Queued
+                    } else {
+                        Admission::Immediate
+                    },
+                    wait_micros: adm.wait_micros,
+                })
+            }
+            Err(ReserveError::TooLarge { pages, capacity }) => {
+                self.lock_counters().rejected += 1;
+                Err(ServiceError::Rejected(Rejected::TooLarge {
+                    pages,
+                    pool_pages: capacity,
+                }))
+            }
+            Err(ReserveError::Saturated {
+                waiting,
+                max_waiting,
+            }) => {
+                let mut c = self.lock_counters();
+                c.rejected += 1;
+                if background {
+                    c.shed_retry_after += 1;
+                    let millis = ((c.wait_ewma_micros + c.exec_ewma_micros) / 1000).max(1);
+                    Err(ServiceError::Rejected(Rejected::RetryAfter { millis }))
+                } else {
+                    Err(ServiceError::Rejected(Rejected::Saturated {
+                        waiting,
+                        max_waiting,
+                    }))
+                }
+            }
+            Err(ReserveError::DeadlineExceeded { waited_micros }) => {
+                let mut c = self.lock_counters();
+                c.rejected += 1;
+                c.shed_deadline += 1;
+                // The expired wait is still a queue-wait observation.
+                c.wait_ewma_micros = (c.wait_ewma_micros * 7 + waited_micros) / 8;
+                Err(ServiceError::Rejected(Rejected::DeadlineExceeded {
+                    waited_micros,
+                }))
+            }
+        }
+    }
+
+    /// Reads one relation through the LRU residency cache: a hit returns
+    /// the resident copy at zero I/O; a miss reads the heap and makes the
+    /// relation resident (evicting least-recently-used entries past the
+    /// budget). Keyed by catalog version, so a rewritten table can never
+    /// serve a stale copy.
+    fn resident_relation(
+        &self,
+        table: &str,
+        heap: &HeapFile,
+        stats: &TableStats,
+    ) -> Result<Arc<Relation>, ServiceError> {
+        if self.cfg.residency_pages == 0 {
+            let rel = heap
+                .read_all()
+                .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
+            return Ok(Arc::new(rel));
+        }
+        {
+            let mut res = self.residency.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(rel) = res.get(table, stats.version) {
+                self.lock_counters().residency_hits += 1;
+                return Ok(rel);
+            }
+        }
+        // Read outside the residency lock: concurrent misses on different
+        // tables read in parallel (a double miss on the same table costs
+        // one redundant read; last insert wins).
+        let rel = Arc::new(
+            heap.read_all()
+                .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?,
+        );
+        let evicted = {
+            let mut res = self.residency.lock().unwrap_or_else(|e| e.into_inner());
+            res.insert(
+                table,
+                stats.version,
+                Arc::clone(&rel),
+                stats.pages,
+                self.cfg.residency_pages,
+            )
+        };
+        let mut c = self.lock_counters();
+        c.residency_misses += 1;
+        c.residency_evictions += evicted;
+        Ok(rel)
+    }
+
+    /// Phases 3 & 4 — plan (through the cache) and execute, materialized.
     #[allow(clippy::too_many_arguments)]
     fn plan_and_run(
         &self,
@@ -471,17 +1011,12 @@ impl JoinService {
         s_stats: &TableStats,
         reserved_pages: u64,
     ) -> Result<(Relation, PlanOutcome, u64, u64), ServiceError> {
-        let r_rel = r_heap
-            .read_all()
-            .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
-        let s_rel = s_heap
-            .read_all()
-            .map_err(|e| ServiceError::Join(JoinError::Storage(e)))?;
-
-        // Sequence/mixed templates cannot use time partitioning: skip the
-        // planner and the plan cache entirely, run the merge fallback.
-        if !pred.partitioning_eligible() {
-            let result = parallel_partition_join_pred(
+        let (r_rel, s_rel, plan, outcome) =
+            self.plan_phase(outer, inner, pred, grid, r_heap, s_heap, r_stats, s_stats)?;
+        let Some(plan) = plan else {
+            // Sequence/mixed template: stream-shape merge fallback,
+            // materialized via the parallel merge executor.
+            let result = crate::parallel::parallel_partition_join_pred(
                 &r_rel,
                 &s_rel,
                 &[Interval::ALL],
@@ -489,16 +1024,8 @@ impl JoinService {
                 pred,
             )
             .map_err(ServiceError::Join)?;
-            return Ok((result, PlanOutcome::Unpartitioned, 0, 0));
-        }
-
-        let seed = self.cfg.join.seed;
-        let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
-        let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
-        let (plan, outcome) = self.plan(
-            outer, inner, pred, grid, &outer_fp, &inner_fp, r_heap, s_heap, &r_rel, &s_rel,
-        )?;
-
+            return Ok((result, outcome, 0, 0));
+        };
         let partitions = plan.intervals.len() as u64;
         let key_buckets = plan.key_buckets;
         // Shard execution: the request's admitted page budget becomes a
@@ -523,10 +1050,90 @@ impl JoinService {
         Ok((result, outcome, partitions, key_buckets))
     }
 
+    /// Phases 3 & 4, streamed: identical planning, execution through
+    /// [`grid_join_streamed`] (which routes sequence/mixed templates to
+    /// the streaming merge fallback itself).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_and_stream(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+        grid: GridChoice,
+        r_heap: &HeapFile,
+        s_heap: &HeapFile,
+        r_stats: &TableStats,
+        s_stats: &TableStats,
+        reserved_pages: u64,
+        sink: &mut dyn FnMut(Vec<Tuple>),
+    ) -> Result<(StreamSummary, PlanOutcome, u64, u64), ServiceError> {
+        let (r_rel, s_rel, plan, outcome) =
+            self.plan_phase(outer, inner, pred, grid, r_heap, s_heap, r_stats, s_stats)?;
+        let (plan, partitions, key_buckets) = match plan {
+            Some(p) => {
+                let parts = p.intervals.len() as u64;
+                let kb = p.key_buckets;
+                (p, parts, kb)
+            }
+            None => (GridPlan::time_only(vec![Interval::ALL]), 0, 0),
+        };
+        let threads = self.cfg.threads_per_query.max(1);
+        let shard_pool = PagePool::new(reserved_pages);
+        let share = reserved_pages.div_ceil(threads as u64).max(1);
+        let summary = grid_join_streamed(
+            &r_rel,
+            &s_rel,
+            &plan,
+            threads,
+            self.cfg.kernel,
+            pred,
+            &shard_pool,
+            share,
+            sink,
+        )
+        .map_err(ServiceError::Join)?;
+        Ok((summary, outcome, partitions, key_buckets))
+    }
+
+    /// Shared planning front half: residency-cached relation reads plus
+    /// the plan-cache lookup. Returns `None` for the plan when the
+    /// predicate cannot be served by partitioning (merge fallback).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn plan_phase(
+        &self,
+        outer: &str,
+        inner: &str,
+        pred: &JoinPredicate,
+        grid: GridChoice,
+        r_heap: &HeapFile,
+        s_heap: &HeapFile,
+        r_stats: &TableStats,
+        s_stats: &TableStats,
+    ) -> Result<(Arc<Relation>, Arc<Relation>, Option<GridPlan>, PlanOutcome), ServiceError> {
+        let r_rel = self.resident_relation(outer, r_heap, r_stats)?;
+        let s_rel = self.resident_relation(inner, s_heap, s_stats)?;
+
+        // Sequence/mixed templates cannot use time partitioning: skip the
+        // planner and the plan cache entirely.
+        if !pred.partitioning_eligible() {
+            return Ok((r_rel, s_rel, None, PlanOutcome::Unpartitioned));
+        }
+
+        let seed = self.cfg.join.seed;
+        let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
+        let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
+        let (plan, outcome) = self.plan(
+            outer, inner, pred, grid, &outer_fp, &inner_fp, r_heap, s_heap, &r_rel, &s_rel,
+        )?;
+        Ok((r_rel, s_rel, Some(plan), outcome))
+    }
+
     /// Plan-cache lookup → reuse or fresh `determinePartIntervals` plus
     /// grid planning. The cache lock is held only around lookup/insert,
-    /// never across the sampling I/O, so concurrent misses plan in
-    /// parallel (last insert wins; both count as misses). The key includes
+    /// never across the sampling I/O; concurrent misses for the *same* key
+    /// are single-flighted (one thread samples, the rest park on a condvar
+    /// and take the published hit), while misses for distinct keys still
+    /// plan in parallel. The key includes
     /// the predicate's canonical name and the grid choice, so a plan
     /// computed for one predicate or grid policy is never handed to
     /// another. A hit reuses both the cached time boundaries *and* the
@@ -553,21 +1160,44 @@ impl JoinService {
         );
         let mut invalidated = false;
         if self.cfg.plan_cache {
-            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(entry) = cache.get(&key) {
-                if entry.still_valid(outer_fp, inner_fp) {
-                    let plan = GridPlan {
-                        key_buckets: entry.key_buckets,
-                        intervals: entry.intervals.clone(),
-                    };
-                    drop(cache);
-                    self.lock_counters().cache_hits += 1;
-                    return Ok((plan, PlanOutcome::CacheHit));
+            // Single-flight: at most one thread runs the sampling pass per
+            // key; concurrent requests for the same key park here and take
+            // the cache hit the planner publishes.
+            let mut planning = self.planning.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                {
+                    let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(entry) = cache.get(&key) {
+                        if entry.still_valid(outer_fp, inner_fp) {
+                            let plan = GridPlan {
+                                key_buckets: entry.key_buckets,
+                                intervals: entry.intervals.clone(),
+                            };
+                            drop(cache);
+                            drop(planning);
+                            self.lock_counters().cache_hits += 1;
+                            return Ok((plan, PlanOutcome::CacheHit));
+                        }
+                        cache.remove(&key);
+                        invalidated = true;
+                    }
                 }
-                cache.remove(&key);
-                invalidated = true;
+                if !planning.contains(&key) {
+                    planning.insert(key.clone());
+                    break;
+                }
+                planning = self
+                    .planning_done
+                    .wait(planning)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
+        // Releases the single-flight claim on every exit, including the
+        // error paths, so waiters never hang on a failed planner.
+        let _claim = PlanClaim {
+            svc: self,
+            key: self.cfg.plan_cache.then(|| key.clone()),
+        };
 
         let planner = determine_part_intervals(r_heap, s_heap, None, &self.cfg.join)
             .map_err(ServiceError::Join)?;
@@ -617,7 +1247,16 @@ impl JoinService {
         self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// The service accounting section (obs schema v5), combining request
+    /// Number of relations currently resident in the LRU cache.
+    pub fn resident_tables(&self) -> usize {
+        self.residency
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    /// The service accounting section (obs schema v8), combining request
     /// counters with the page pool's high-water marks.
     pub fn service_section(&self) -> ServiceSection {
         let c = *self.lock_counters();
@@ -635,12 +1274,25 @@ impl JoinService {
             queue_depth_high_water: pool.queue_high_water,
             pool_pages: self.pool.capacity(),
             pool_pages_high_water: pool.pages_high_water,
+            interactive_requests: c.interactive_requests,
+            batch_requests: c.batch_requests,
+            background_requests: c.background_requests,
+            shed_deadline: c.shed_deadline,
+            shed_retry_after: c.shed_retry_after,
+            streamed_requests: c.streamed_requests,
+            streamed_batches: c.streamed_batches,
+            streamed_tuples: c.streamed_tuples,
+            residency_hits: c.residency_hits,
+            residency_misses: c.residency_misses,
+            residency_evictions: c.residency_evictions,
+            queue_wait_ewma_micros: c.wait_ewma_micros,
+            queue_wait_histogram: c.wait_hist.to_vec(),
         }
     }
 
     /// One execution report summarizing everything the service has done so
     /// far: cumulative I/O since construction, request/cache counters, and
-    /// the schema-v5 `service` section.
+    /// the schema-v8 `service` section.
     pub fn execution_report(&self) -> ExecutionReport {
         let c = *self.lock_counters();
         let io = {
@@ -682,6 +1334,10 @@ impl JoinService {
                 Counter {
                     name: "cached_plans".into(),
                     value: self.cached_plans() as i64,
+                },
+                Counter {
+                    name: "resident_tables".into(),
+                    value: self.resident_tables() as i64,
                 },
             ],
             buffer_pool: None,
@@ -894,10 +1550,175 @@ mod tests {
         svc.submit("r", "s").unwrap();
         let report = svc.execution_report();
         assert_eq!(report.algorithm, "service");
-        let sec = report.service.expect("service section present");
+        let sec = report.service.as_ref().expect("service section present");
         assert_eq!(sec.requests, 1);
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(report.render_explain().contains("service:"));
+    }
+
+    #[test]
+    fn reservation_charges_inputs_plus_join_buffer() {
+        // Satellite (c) regression: admission must charge the configured
+        // join buffer on top of the two relations, since the partition
+        // join actually works in those pages.
+        let svc = service(4096);
+        let resp = svc.submit("r", "s").unwrap();
+        let (r_pages, s_pages) = {
+            let db = svc.database().read().unwrap();
+            (
+                db.table_stats("r").unwrap().pages,
+                db.table_stats("s").unwrap().pages,
+            )
+        };
+        assert_eq!(
+            resp.reserved_pages,
+            r_pages + s_pages + 24,
+            "reservation = outer + inner + buffer_pages"
+        );
+    }
+
+    #[test]
+    fn per_request_page_budget_rejects_before_the_pool() {
+        let svc = service(4096);
+        let opts = SubmitOptions {
+            page_budget: Some(8),
+            ..SubmitOptions::default()
+        };
+        match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts) {
+            Err(ServiceError::Rejected(Rejected::TooLarge { pool_pages: 8, .. })) => {}
+            other => panic!("expected TooLarge against the budget, got {other:?}"),
+        }
+        let sec = svc.service_section();
+        assert_eq!(sec.rejected, 1);
+        assert_eq!(sec.admitted, 0);
+        assert_eq!(sec.batch_requests, 1);
+    }
+
+    #[test]
+    fn background_sheds_with_retry_after_instead_of_queueing() {
+        let svc = service(4096);
+        // Deterministically saturate the pool out of band.
+        let held = svc.reserve_maintenance(4096).expect("idle pool");
+        let opts = SubmitOptions {
+            priority: Priority::Background,
+            ..SubmitOptions::default()
+        };
+        match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts) {
+            Err(ServiceError::Rejected(Rejected::RetryAfter { millis })) => {
+                assert!(millis >= 1, "retry hint is at least 1 ms");
+            }
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+        let sec = svc.service_section();
+        assert_eq!(sec.shed_retry_after, 1);
+        assert_eq!(sec.background_requests, 1);
+        assert_eq!(sec.rejected, 1);
+        drop(held);
+        // The pool is whole again: the same request now succeeds.
+        let resp = svc
+            .submit_opts("r", "s", &JoinPredicate::intersects(), &opts)
+            .unwrap();
+        assert_eq!(resp.admission, Admission::Immediate);
+    }
+
+    #[test]
+    fn queued_deadline_expiry_sheds_with_typed_outcome() {
+        let svc = service(4096);
+        let held = svc.reserve_maintenance(4096).expect("idle pool");
+        let opts = SubmitOptions {
+            deadline: Some(Duration::from_millis(15)),
+            ..SubmitOptions::default()
+        };
+        match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &opts) {
+            Err(ServiceError::Rejected(Rejected::DeadlineExceeded { waited_micros })) => {
+                assert!(waited_micros > 0, "the request actually queued");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let sec = svc.service_section();
+        assert_eq!(sec.shed_deadline, 1);
+        assert_eq!(sec.rejected, 1);
+        drop(held);
+        let resp = svc.submit("r", "s").unwrap();
+        assert_eq!(resp.admission, Admission::Immediate, "pool fully usable");
+    }
+
+    #[test]
+    fn streamed_submission_is_byte_identical_to_materialized() {
+        let svc = service(4096);
+        let want = svc.submit("r", "s").unwrap();
+        let mut streamed: Vec<Tuple> = Vec::new();
+        let resp = svc
+            .submit_streamed(
+                "r",
+                "s",
+                &JoinPredicate::intersects(),
+                &SubmitOptions::default(),
+                &mut |b| streamed.extend(b),
+            )
+            .unwrap();
+        assert_eq!(resp.plan, PlanOutcome::CacheHit, "same plan cache");
+        assert_eq!(streamed, want.result.tuples(), "byte-identical stream");
+        assert_eq!(resp.tuples, streamed.len() as u64);
+        assert!(resp.batches >= 1);
+        let sec = svc.service_section();
+        assert_eq!(sec.streamed_requests, 1);
+        assert_eq!(sec.streamed_tuples, resp.tuples);
+        assert_eq!(sec.streamed_batches, resp.batches);
+    }
+
+    #[test]
+    fn residency_serves_hot_tables_without_heap_io() {
+        let svc = service(4096);
+        svc.submit("r", "s").unwrap();
+        let io_after_first = {
+            let db = svc.database().read().unwrap();
+            db.io_stats()
+        };
+        let a = svc.submit("r", "s").unwrap();
+        let io_after_second = {
+            let db = svc.database().read().unwrap();
+            db.io_stats()
+        };
+        // Plan-cache hit + resident tables ⇒ the second request reads
+        // nothing from the heap at all.
+        assert_eq!(a.plan, PlanOutcome::CacheHit);
+        assert_eq!(io_after_second, io_after_first, "zero heap I/O when hot");
+        let sec = svc.service_section();
+        assert_eq!(sec.residency_misses, 2, "first request faulted both in");
+        assert_eq!(sec.residency_hits, 2, "second request hit both");
+        assert_eq!(svc.resident_tables(), 2);
+    }
+
+    #[test]
+    fn residency_drops_stale_versions_on_append() {
+        let svc = service(4096);
+        svc.submit("r", "s").unwrap();
+        svc.append("r", &rel("b", 10, 5).into_tuples()).unwrap();
+        let resp = svc.submit("r", "s").unwrap();
+        // The appended table re-faults (new version), the other stays hot.
+        let sec = svc.service_section();
+        assert_eq!(sec.residency_misses, 3);
+        assert_eq!(sec.residency_hits, 1);
+        assert_eq!(svc.resident_tables(), 2, "stale r copy was dropped");
+        // And the result reflects the append, not the stale copy.
+        let mut want_tuples = rel("b", 600, 5).into_tuples();
+        want_tuples.extend(rel("b", 10, 5).into_tuples());
+        let want_r =
+            Relation::from_parts_unchecked(Arc::clone(rel("b", 1, 1).schema()), want_tuples);
+        let want = natural_join(&want_r, &rel("c", 600, 7)).unwrap();
+        assert!(resp.result.multiset_eq(&want));
+    }
+
+    #[test]
+    fn wait_histogram_counts_every_admission() {
+        let svc = service(4096);
+        svc.submit("r", "s").unwrap();
+        svc.submit("r", "s").unwrap();
+        let sec = svc.service_section();
+        let total: u64 = sec.queue_wait_histogram.iter().sum();
+        assert_eq!(total, sec.admitted);
+        assert_eq!(sec.queue_wait_histogram.len(), WAIT_HIST_BUCKETS);
     }
 }

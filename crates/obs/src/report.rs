@@ -24,13 +24,17 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// (Allen-predicate name, compiled sweep template, and predicate-filter /
 /// merge-fallback counters). Version 7 added the optional `grid` section
 /// (2D key × time grid shape, cell counts and share, replication factor,
-/// scatter/gather coordinator wait).
+/// scatter/gather coordinator wait). Version 8 extended the `service`
+/// section with priority-class request counts, load-shedding outcomes
+/// (deadline / retry-after), streaming counters, LRU table-residency
+/// counters, and a queue-wait histogram; all new fields decode as zero /
+/// empty when absent, so v5–v7 service documents still parse.
 ///
-/// Every post-v1 addition is an *optional* section, so
-/// [`ExecutionReport::from_json`] accepts any version from 1 up to the
+/// Every post-v1 addition is an *optional* section or an optional field,
+/// so [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 7;
+pub const SCHEMA_VERSION: i64 = 8;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +70,12 @@ fn req_u64(j: &Json, key: &str) -> Result<u64, ReportError> {
     j.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| missing(key))
+}
+
+/// Decodes a field added after a section's first schema version: absent
+/// means zero, so older documents still parse.
+fn opt_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
 }
 
 fn req_i64(j: &Json, key: &str) -> Result<i64, ReportError> {
@@ -456,13 +466,15 @@ impl KernelSection {
 }
 
 /// Multi-query service accounting (the `service` schema section, new in
-/// version 5): admission-controller outcomes and plan-cache behaviour
-/// across every request a `JoinService` run processed. All counters are
-/// lifetime totals over the service run. `queued` counts requests that
-/// were admitted only after blocking on the page pool; `rejected` counts
-/// both oversize and queue-saturated refusals (each refusal is typed at
-/// the API layer — the report keeps the sum).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// version 5; extended in version 8): admission-controller outcomes and
+/// plan-cache behaviour across every request a `JoinService` run
+/// processed. All counters are lifetime totals over the service run.
+/// `queued` counts requests that were admitted only after blocking on the
+/// page pool; `rejected` counts every refusal — oversize, queue-saturated,
+/// deadline-shed, and retry-after-shed alike (each refusal is typed at
+/// the API layer — the report keeps the sum, with the v8 shed counters
+/// breaking out the load-shedding subset).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceSection {
     /// Join requests submitted to the service.
     pub requests: u64,
@@ -493,10 +505,44 @@ pub struct ServiceSection {
     pub pool_pages: u64,
     /// Largest number of pool pages ever simultaneously reserved.
     pub pool_pages_high_water: u64,
+    /// Requests submitted at interactive priority (v8).
+    pub interactive_requests: u64,
+    /// Requests submitted at batch priority (v8).
+    pub batch_requests: u64,
+    /// Requests submitted at background priority (v8).
+    pub background_requests: u64,
+    /// Requests shed because their admission deadline expired — before
+    /// queueing (observed wait already too long) or while queued (v8; a
+    /// subset of `rejected`).
+    pub shed_deadline: u64,
+    /// Background requests shed with a retry-after hint instead of
+    /// queueing (v8; a subset of `rejected`).
+    pub shed_retry_after: u64,
+    /// Requests served through the streaming API (v8).
+    pub streamed_requests: u64,
+    /// Non-empty result batches delivered to streaming sinks (v8).
+    pub streamed_batches: u64,
+    /// Total tuples delivered through streaming sinks (v8).
+    pub streamed_tuples: u64,
+    /// Relation reads served from the LRU residency cache at zero heap
+    /// I/O (v8).
+    pub residency_hits: u64,
+    /// Relation reads that faulted the table in from the heap (v8).
+    pub residency_misses: u64,
+    /// Resident relations evicted — LRU pressure or staleness after a
+    /// table rewrite (v8).
+    pub residency_evictions: u64,
+    /// Exponentially-weighted moving average of admission queue wait, in
+    /// microseconds — the load-shedding policy's retry-hint input (v8).
+    pub queue_wait_ewma_micros: u64,
+    /// Queue-wait histogram: admissions per wait bucket, buckets bounded
+    /// at 100 µs, 1 ms, 10 ms, 100 ms, 1 s, 10 s, 100 s, +∞ (v8; empty in
+    /// pre-v8 documents).
+    pub queue_wait_histogram: Vec<u64>,
 }
 
 impl ServiceSection {
-    fn to_json(self) -> Json {
+    fn to_json(&self) -> Json {
         obj(vec![
             ("requests", Json::Int(self.requests as i64)),
             ("admitted", Json::Int(self.admitted as i64)),
@@ -519,6 +565,42 @@ impl ServiceSection {
                 "pool_pages_high_water",
                 Json::Int(self.pool_pages_high_water as i64),
             ),
+            (
+                "interactive_requests",
+                Json::Int(self.interactive_requests as i64),
+            ),
+            ("batch_requests", Json::Int(self.batch_requests as i64)),
+            (
+                "background_requests",
+                Json::Int(self.background_requests as i64),
+            ),
+            ("shed_deadline", Json::Int(self.shed_deadline as i64)),
+            ("shed_retry_after", Json::Int(self.shed_retry_after as i64)),
+            (
+                "streamed_requests",
+                Json::Int(self.streamed_requests as i64),
+            ),
+            ("streamed_batches", Json::Int(self.streamed_batches as i64)),
+            ("streamed_tuples", Json::Int(self.streamed_tuples as i64)),
+            ("residency_hits", Json::Int(self.residency_hits as i64)),
+            ("residency_misses", Json::Int(self.residency_misses as i64)),
+            (
+                "residency_evictions",
+                Json::Int(self.residency_evictions as i64),
+            ),
+            (
+                "queue_wait_ewma_micros",
+                Json::Int(self.queue_wait_ewma_micros as i64),
+            ),
+            (
+                "queue_wait_histogram",
+                Json::Arr(
+                    self.queue_wait_histogram
+                        .iter()
+                        .map(|&n| Json::Int(n as i64))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -536,6 +618,24 @@ impl ServiceSection {
             queue_depth_high_water: req_u64(j, "queue_depth_high_water")?,
             pool_pages: req_u64(j, "pool_pages")?,
             pool_pages_high_water: req_u64(j, "pool_pages_high_water")?,
+            // v8 fields: absent in v5–v7 documents, which must still parse.
+            interactive_requests: opt_u64(j, "interactive_requests"),
+            batch_requests: opt_u64(j, "batch_requests"),
+            background_requests: opt_u64(j, "background_requests"),
+            shed_deadline: opt_u64(j, "shed_deadline"),
+            shed_retry_after: opt_u64(j, "shed_retry_after"),
+            streamed_requests: opt_u64(j, "streamed_requests"),
+            streamed_batches: opt_u64(j, "streamed_batches"),
+            streamed_tuples: opt_u64(j, "streamed_tuples"),
+            residency_hits: opt_u64(j, "residency_hits"),
+            residency_misses: opt_u64(j, "residency_misses"),
+            residency_evictions: opt_u64(j, "residency_evictions"),
+            queue_wait_ewma_micros: opt_u64(j, "queue_wait_ewma_micros"),
+            queue_wait_histogram: j
+                .get("queue_wait_histogram")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_default(),
         })
     }
 }
@@ -890,7 +990,7 @@ impl ExecutionReport {
         if let Some(fs) = self.faults {
             pairs.push(("faults", fs.to_json()));
         }
-        if let Some(sv) = self.service {
+        if let Some(sv) = &self.service {
             pairs.push(("service", sv.to_json()));
         }
         if let Some(pd) = &self.predicate {
@@ -1322,13 +1422,20 @@ impl ExecutionReport {
             p(&mut out, &format!("    degraded plans: {}", fs.degraded));
         }
 
-        if let Some(sv) = self.service {
+        if let Some(sv) = &self.service {
             p(&mut out, "\n  service:");
             p(
                 &mut out,
                 &format!(
                     "    requests: {} ({} admitted, {} queued, {} rejected)",
                     sv.requests, sv.admitted, sv.queued, sv.rejected
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    priorities: {} interactive / {} batch / {} background",
+                    sv.interactive_requests, sv.batch_requests, sv.background_requests
                 ),
             );
             p(
@@ -1341,8 +1448,29 @@ impl ExecutionReport {
             p(
                 &mut out,
                 &format!(
+                    "    shed: {} deadline, {} retry-after",
+                    sv.shed_deadline, sv.shed_retry_after
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
                     "    plan cache: {} hits / {} misses ({} invalidations)",
                     sv.cache_hits, sv.cache_misses, sv.cache_invalidations
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    residency: {} hits / {} misses ({} evictions)",
+                    sv.residency_hits, sv.residency_misses, sv.residency_evictions
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    streamed: {} requests, {} batches, {} tuples",
+                    sv.streamed_requests, sv.streamed_batches, sv.streamed_tuples
                 ),
             );
             p(
@@ -1352,6 +1480,21 @@ impl ExecutionReport {
                     sv.pool_pages, sv.pool_pages_high_water, sv.queue_depth_high_water
                 ),
             );
+            if !sv.queue_wait_histogram.is_empty() {
+                let buckets: Vec<String> = sv
+                    .queue_wait_histogram
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect();
+                p(
+                    &mut out,
+                    &format!(
+                        "    queue wait: ewma {} µs, histogram [{}]",
+                        sv.queue_wait_ewma_micros,
+                        buckets.join(" ")
+                    ),
+                );
+            }
         }
 
         if let Some(sk) = self.skew {
@@ -1573,6 +1716,19 @@ mod tests {
                 queue_depth_high_water: 4,
                 pool_pages: 512,
                 pool_pages_high_water: 480,
+                interactive_requests: 8,
+                batch_requests: 14,
+                background_requests: 2,
+                shed_deadline: 1,
+                shed_retry_after: 2,
+                streamed_requests: 3,
+                streamed_batches: 40,
+                streamed_tuples: 9000,
+                residency_hits: 30,
+                residency_misses: 12,
+                residency_evictions: 4,
+                queue_wait_ewma_micros: 350,
+                queue_wait_histogram: vec![15, 4, 2, 0, 0, 0, 0, 0],
             }),
             predicate: Some(PredicateSection {
                 predicate: "meets-or-overlaps".into(),
@@ -1628,7 +1784,7 @@ mod tests {
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 7",
+            "\"schema_version\": 8",
             "\"schema_version\": 99",
             1,
         );
@@ -1648,7 +1804,7 @@ mod tests {
         let v6 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 7", "\"schema_version\": 6", 1);
+                .replacen("\"schema_version\": 8", "\"schema_version\": 6", 1);
         let back = ExecutionReport::from_json_str(&v6).unwrap();
         assert_eq!(back.grid, None);
         assert_eq!(back.predicate, report.predicate);
@@ -1657,7 +1813,7 @@ mod tests {
         let v5 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 7", "\"schema_version\": 5", 1);
+                .replacen("\"schema_version\": 8", "\"schema_version\": 5", 1);
         let back = ExecutionReport::from_json_str(&v5).unwrap();
         assert_eq!(back.predicate, None);
         assert_eq!(back.service, report.service);
@@ -1666,7 +1822,7 @@ mod tests {
         let v4 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 7", "\"schema_version\": 4", 1);
+                .replacen("\"schema_version\": 8", "\"schema_version\": 4", 1);
         let back = ExecutionReport::from_json_str(&v4).unwrap();
         assert_eq!(back.service, None);
         assert_eq!(back.kernel, report.kernel);
@@ -1675,7 +1831,7 @@ mod tests {
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 7", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 8", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1690,7 +1846,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 7", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 8", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(
@@ -1701,6 +1857,60 @@ mod tests {
             )),
             Err(ReportError::Schema(_))
         ));
+    }
+
+    #[test]
+    fn pre_v8_service_sections_decode_with_zeroed_v8_fields() {
+        // A v5–v7 document carries a service section without any of the
+        // v8 fields; they must decode as zero / empty, not as an error.
+        let mut report = sample_report();
+        let stripped = ServiceSection {
+            interactive_requests: 0,
+            batch_requests: 0,
+            background_requests: 0,
+            shed_deadline: 0,
+            shed_retry_after: 0,
+            streamed_requests: 0,
+            streamed_batches: 0,
+            streamed_tuples: 0,
+            residency_hits: 0,
+            residency_misses: 0,
+            residency_evictions: 0,
+            queue_wait_ewma_micros: 0,
+            queue_wait_histogram: Vec::new(),
+            ..report.service.clone().unwrap()
+        };
+        let v8_fields = [
+            "interactive_requests",
+            "batch_requests",
+            "background_requests",
+            "shed_deadline",
+            "shed_retry_after",
+            "streamed_requests",
+            "streamed_batches",
+            "streamed_tuples",
+            "residency_hits",
+            "residency_misses",
+            "residency_evictions",
+            "queue_wait_ewma_micros",
+            "queue_wait_histogram",
+        ];
+        let mut doc = report.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (key, value) in pairs.iter_mut() {
+                if key == "schema_version" {
+                    *value = Json::Int(7);
+                }
+                if key == "service" {
+                    if let Json::Obj(svc) = value {
+                        svc.retain(|(k, _)| !v8_fields.contains(&k.as_str()));
+                    }
+                }
+            }
+        }
+        let back = ExecutionReport::from_json_str(&doc.to_pretty()).unwrap();
+        report.service = Some(stripped);
+        assert_eq!(back.service, report.service);
     }
 
     #[test]
@@ -1750,8 +1960,13 @@ mod tests {
             "degraded plans: 1",
             "service:",
             "requests: 24 (21 admitted, 6 queued, 3 rejected)",
+            "priorities: 8 interactive / 14 batch / 2 background",
+            "shed: 1 deadline, 2 retry-after",
             "plan cache: 15 hits / 5 misses (2 invalidations)",
+            "residency: 30 hits / 12 misses (4 evictions)",
+            "streamed: 3 requests, 40 batches, 9000 tuples",
             "pool: 512 pages, high water 480 pages / 4 queued requests",
+            "queue wait: ewma 350 µs, histogram [15 4 2 0 0 0 0 0]",
             "predicate:",
             "meets-or-overlaps (template: intersection)",
             "kernel filter: 1234 hits / 4321 checks",

@@ -49,5 +49,8 @@ pub use faults::{FaultConfig, FaultStats, RetryPolicy};
 pub use file::{FileHandle, PageRange};
 pub use heap::{HeapFile, HeapReader, HeapWriter};
 pub use page::{PageBuf, PAGE_HEADER_BYTES};
-pub use reserve::{PagePool, PageReservation, PoolStats, ReserveError};
+pub use reserve::{
+    Admitted, PagePool, PageReservation, PoolStats, ReserveError, ReserveRequest, PRIORITY_CASUAL,
+    PRIORITY_NORMAL, PRIORITY_URGENT,
+};
 pub use stats::{CostRatio, IoStats};

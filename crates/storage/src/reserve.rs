@@ -1,4 +1,5 @@
-//! Shared buffer-pool reservation accounting.
+//! Shared buffer-pool reservation accounting with fair, priority-aware
+//! admission.
 //!
 //! The join algorithms budget their buffer pages per run ([`crate::buffer`]
 //! caches pages for one caller); a multi-query service needs the level
@@ -7,20 +8,47 @@
 //! promised. [`PagePool`] is that ledger. It moves no data — heap files
 //! still read through the simulated disk — it only accounts for who holds
 //! how many pages, blocks admissions that do not fit, and refuses outright
-//! the two cases that could otherwise deadlock or starve the queue:
+//! the cases that could otherwise deadlock or starve the queue:
 //!
 //! * a request larger than the whole pool can never be satisfied and is
 //!   rejected immediately ([`ReserveError::TooLarge`]) instead of waiting
 //!   forever;
 //! * once `max_waiting` requests are already blocked, further requests are
 //!   rejected ([`ReserveError::Saturated`]) instead of growing the queue
-//!   without bound under memory pressure.
+//!   without bound under memory pressure;
+//! * a request carrying a deadline that expires while it is still queued
+//!   is withdrawn and rejected ([`ReserveError::DeadlineExceeded`]) so it
+//!   never holds a queue slot it can no longer use.
+//!
+//! ## Fairness: the ticket queue
+//!
+//! Admission is **ticket-ordered within priority class**. Every blocked
+//! request takes a monotonically increasing ticket; the wait queue is kept
+//! sorted by `(priority, ticket)` and grants are *pumped* strictly in that
+//! order — the grant loop stops at the first waiter that does not fit, so
+//! nobody behind a blocked head can slip past it. The fast path obeys the
+//! same rule: a newly-arriving request is granted immediately only when no
+//! waiter of **equal or higher priority** (numerically `<=`) is queued.
+//! This fixes, by construction, the starvation bug where a steady stream
+//! of small fast-path grants kept a queued large request blocked
+//! indefinitely: the small arrivals now queue behind it (or are refused on
+//! the non-blocking path). A *higher*-priority arrival may still overtake
+//! queued lower-priority waiters — that is what priority classes are for —
+//! but never a peer.
 //!
 //! Reservations are RAII: dropping a [`PageReservation`] returns its pages
-//! and wakes every waiter (wake-all, because waiters need different page
-//! counts and any of them might now fit).
+//! and pumps the queue (wake-all, because granted waiters identify
+//! themselves by ticket).
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Highest-urgency admission class (numerically smallest).
+pub const PRIORITY_URGENT: u8 = 0;
+/// Default admission class for requests that may block.
+pub const PRIORITY_NORMAL: u8 = 1;
+/// Lowest-urgency admission class; never overtakes anyone.
+pub const PRIORITY_CASUAL: u8 = 2;
 
 /// Lifetime counters of a [`PagePool`]; all monotone, deterministic given
 /// a deterministic admission order.
@@ -34,6 +62,8 @@ pub struct PoolStats {
     pub rejected_oversize: u64,
     /// Requests rejected because the wait queue was full.
     pub rejected_saturated: u64,
+    /// Requests withdrawn because their deadline expired while queued.
+    pub rejected_deadline: u64,
     /// Reservations returned to the pool.
     pub released: u64,
     /// Largest number of pages ever simultaneously reserved.
@@ -42,10 +72,26 @@ pub struct PoolStats {
     pub queue_high_water: u64,
 }
 
+/// One blocked admission request, keyed for strict `(priority, ticket)`
+/// ordering.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    ticket: u64,
+    priority: u8,
+    pages: u64,
+}
+
 #[derive(Debug, Default)]
 struct PoolState {
     in_flight: u64,
-    waiting: u64,
+    next_ticket: u64,
+    /// Blocked requests, sorted by `(priority, ticket)`. Invariant: after
+    /// every state change the head does not fit (else `pump` would have
+    /// granted it), so the fast path only needs the priority check.
+    queue: Vec<Waiter>,
+    /// Tickets `pump` has granted whose owner threads have not yet picked
+    /// the grant up; their pages are already charged to `in_flight`.
+    granted_tickets: Vec<u64>,
     stats: PoolStats,
 }
 
@@ -56,8 +102,48 @@ struct PoolShared {
     cv: Condvar,
 }
 
-/// Why a reservation was refused. Both variants are immediate — the pool
-/// never blocks a request it cannot eventually satisfy.
+/// A blocking reservation request: how many pages, how urgent, how long
+/// the caller is willing to stay queued, and how many peers may queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ReserveRequest {
+    /// Pages to reserve.
+    pub pages: u64,
+    /// Admission class; numerically smaller is more urgent. Within a
+    /// class, admission is strictly ticket- (arrival-) ordered.
+    pub priority: u8,
+    /// Queue bound: arriving when this many requests are already blocked
+    /// is an immediate [`ReserveError::Saturated`].
+    pub max_waiting: u64,
+    /// Longest the request may stay queued before it is withdrawn with
+    /// [`ReserveError::DeadlineExceeded`]. `None` waits indefinitely.
+    pub deadline: Option<Duration>,
+}
+
+impl ReserveRequest {
+    /// A normal-priority request with no deadline.
+    pub fn new(pages: u64, max_waiting: u64) -> ReserveRequest {
+        ReserveRequest {
+            pages,
+            priority: PRIORITY_NORMAL,
+            max_waiting,
+            deadline: None,
+        }
+    }
+}
+
+/// A granted admission: the reservation plus how it was admitted.
+#[derive(Debug)]
+pub struct Admitted {
+    /// The pages, returned to the pool on drop.
+    pub reservation: PageReservation,
+    /// Whether the request blocked in the queue before being granted.
+    pub waited: bool,
+    /// Wall-clock the request spent blocked (0 for immediate grants).
+    pub wait_micros: u64,
+}
+
+/// Why a reservation was refused. Every variant leaves the caller
+/// unblocked — the pool never keeps a request it cannot satisfy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReserveError {
     /// The request exceeds the pool's total capacity.
@@ -74,6 +160,11 @@ pub enum ReserveError {
         /// The configured queue bound.
         max_waiting: u64,
     },
+    /// The request's deadline expired while it was still queued.
+    DeadlineExceeded {
+        /// How long the request waited before being withdrawn.
+        waited_micros: u64,
+    },
 }
 
 impl std::fmt::Display for ReserveError {
@@ -84,6 +175,9 @@ impl std::fmt::Display for ReserveError {
             }
             ReserveError::Saturated { waiting, max_waiting } => {
                 write!(f, "admission queue full ({waiting} waiting, bound {max_waiting})")
+            }
+            ReserveError::DeadlineExceeded { waited_micros } => {
+                write!(f, "deadline expired after {waited_micros} µs in the admission queue")
             }
         }
     }
@@ -117,6 +211,11 @@ impl PagePool {
         self.lock().in_flight
     }
 
+    /// Requests currently blocked in the admission queue.
+    pub fn waiting(&self) -> u64 {
+        self.lock().queue.len() as u64
+    }
+
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> PoolStats {
         self.lock().stats
@@ -126,57 +225,140 @@ impl PagePool {
         self.0.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Reserves `pages` without blocking. Returns `None` when the pool
-    /// cannot grant the request *right now* (oversize requests still fail
-    /// with an accounting entry, so callers can distinguish).
+    /// Reserves `pages` without blocking, at the lowest urgency: any
+    /// queued waiter refuses the request (granting it would barge past
+    /// someone who arrived earlier). Returns `None` when the pool cannot
+    /// grant the request *right now* (oversize requests still fail with
+    /// an accounting entry, so callers can distinguish).
     pub fn try_reserve(&self, pages: u64) -> Option<PageReservation> {
+        self.try_reserve_prio(pages, u8::MAX)
+    }
+
+    /// As [`PagePool::try_reserve`] at an explicit priority: the request
+    /// is granted only when it fits *and* no waiter of equal or higher
+    /// priority is queued (it may overtake strictly lower-priority
+    /// waiters, like the blocking fast path).
+    pub fn try_reserve_prio(&self, pages: u64, priority: u8) -> Option<PageReservation> {
         let mut st = self.lock();
         if pages > self.0.capacity {
             st.stats.rejected_oversize += 1;
+            return None;
+        }
+        if st.queue.iter().any(|w| w.priority <= priority) {
             return None;
         }
         if st.in_flight + pages > self.0.capacity {
             return None;
         }
-        Self::grant(&mut st, pages, false);
+        Self::charge(&mut st, pages, false);
         Some(PageReservation { pool: self.clone(), pages })
     }
 
-    /// Reserves `pages`, blocking until capacity frees. Fails immediately
-    /// when the request can never fit ([`ReserveError::TooLarge`]) or when
-    /// `max_waiting` requests are already blocked
-    /// ([`ReserveError::Saturated`]). The returned flag is `true` when the
-    /// reservation had to wait (the caller was *queued* rather than
-    /// admitted immediately).
+    /// Reserves `pages`, blocking until capacity frees. Equivalent to
+    /// [`PagePool::reserve_request`] at [`PRIORITY_NORMAL`] with no
+    /// deadline; the returned flag is `true` when the reservation had to
+    /// wait (the caller was *queued* rather than admitted immediately).
     pub fn reserve(
         &self,
         pages: u64,
         max_waiting: u64,
     ) -> Result<(PageReservation, bool), ReserveError> {
-        let mut st = self.lock();
-        if pages > self.0.capacity {
-            st.stats.rejected_oversize += 1;
-            return Err(ReserveError::TooLarge { pages, capacity: self.0.capacity });
-        }
-        if st.in_flight + pages <= self.0.capacity {
-            Self::grant(&mut st, pages, false);
-            return Ok((PageReservation { pool: self.clone(), pages }, false));
-        }
-        if st.waiting >= max_waiting {
-            st.stats.rejected_saturated += 1;
-            return Err(ReserveError::Saturated { waiting: st.waiting, max_waiting });
-        }
-        st.waiting += 1;
-        st.stats.queue_high_water = st.stats.queue_high_water.max(st.waiting);
-        while st.in_flight + pages > self.0.capacity {
-            st = self.0.cv.wait(st).unwrap_or_else(|e| e.into_inner());
-        }
-        st.waiting -= 1;
-        Self::grant(&mut st, pages, true);
-        Ok((PageReservation { pool: self.clone(), pages }, true))
+        self.reserve_request(ReserveRequest::new(pages, max_waiting))
+            .map(|a| (a.reservation, a.waited))
     }
 
-    fn grant(st: &mut PoolState, pages: u64, waited: bool) {
+    /// Reserves pages under the full admission contract: fails immediately
+    /// when the request can never fit ([`ReserveError::TooLarge`]) or when
+    /// `max_waiting` requests are already blocked
+    /// ([`ReserveError::Saturated`]); otherwise takes a ticket, queues in
+    /// `(priority, ticket)` order, and blocks until granted — or until the
+    /// deadline expires, which withdraws the ticket
+    /// ([`ReserveError::DeadlineExceeded`]).
+    ///
+    /// The fast path may not barge: an immediately-fitting request is
+    /// granted without queueing only when no waiter of equal or higher
+    /// priority is blocked, so FIFO order within a class is strict.
+    pub fn reserve_request(&self, req: ReserveRequest) -> Result<Admitted, ReserveError> {
+        let mut st = self.lock();
+        if req.pages > self.0.capacity {
+            st.stats.rejected_oversize += 1;
+            return Err(ReserveError::TooLarge {
+                pages: req.pages,
+                capacity: self.0.capacity,
+            });
+        }
+        let blocked_behind = st.queue.iter().any(|w| w.priority <= req.priority);
+        if !blocked_behind && st.in_flight + req.pages <= self.0.capacity {
+            Self::charge(&mut st, req.pages, false);
+            return Ok(Admitted {
+                reservation: PageReservation { pool: self.clone(), pages: req.pages },
+                waited: false,
+                wait_micros: 0,
+            });
+        }
+        if st.queue.len() as u64 >= req.max_waiting {
+            st.stats.rejected_saturated += 1;
+            return Err(ReserveError::Saturated {
+                waiting: st.queue.len() as u64,
+                max_waiting: req.max_waiting,
+            });
+        }
+
+        // Take a ticket and join the queue in (priority, ticket) order.
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        let waiter = Waiter { ticket, priority: req.priority, pages: req.pages };
+        let at = st
+            .queue
+            .partition_point(|w| (w.priority, w.ticket) <= (req.priority, ticket));
+        st.queue.insert(at, waiter);
+        st.stats.queue_high_water = st.stats.queue_high_water.max(st.queue.len() as u64);
+
+        let started = Instant::now();
+        loop {
+            if let Some(at) = st.granted_tickets.iter().position(|&t| t == ticket) {
+                // `pump` already charged the pages; just pick the grant up.
+                st.granted_tickets.swap_remove(at);
+                let wait_micros = started.elapsed().as_micros() as u64;
+                return Ok(Admitted {
+                    reservation: PageReservation { pool: self.clone(), pages: req.pages },
+                    waited: true,
+                    wait_micros,
+                });
+            }
+            match req.deadline {
+                None => {
+                    st = self.0.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(deadline) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= deadline {
+                        // Withdraw the ticket. Removing a (possibly
+                        // head-of-line) waiter can unblock those behind it,
+                        // so pump before returning.
+                        st.queue.retain(|w| w.ticket != ticket);
+                        st.stats.rejected_deadline += 1;
+                        if Self::pump(&mut st, self.0.capacity) {
+                            drop(st);
+                            self.0.cv.notify_all();
+                        }
+                        return Err(ReserveError::DeadlineExceeded {
+                            waited_micros: elapsed.as_micros() as u64,
+                        });
+                    }
+                    let (guard, _timeout) = self
+                        .0
+                        .cv
+                        .wait_timeout(st, deadline - elapsed)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+
+    /// Charges an immediate (fast-path) grant.
+    fn charge(st: &mut PoolState, pages: u64, waited: bool) {
         st.in_flight += pages;
         st.stats.granted += 1;
         if waited {
@@ -185,13 +367,32 @@ impl PagePool {
         st.stats.pages_high_water = st.stats.pages_high_water.max(st.in_flight);
     }
 
+    /// Grants queued waiters strictly in `(priority, ticket)` order while
+    /// they fit, stopping at the first that does not — the head-of-line
+    /// blocking that makes admission starvation-free. Returns whether any
+    /// grant was handed out (callers then wake the waiters).
+    fn pump(st: &mut PoolState, capacity: u64) -> bool {
+        let mut any = false;
+        while let Some(w) = st.queue.first().copied() {
+            if st.in_flight + w.pages > capacity {
+                break;
+            }
+            st.queue.remove(0);
+            Self::charge(st, w.pages, true);
+            st.granted_tickets.push(w.ticket);
+            any = true;
+        }
+        any
+    }
+
     fn release(&self, pages: u64) {
         let mut st = self.lock();
         st.in_flight = st.in_flight.saturating_sub(pages);
         st.stats.released += 1;
+        Self::pump(&mut st, self.0.capacity);
         drop(st);
-        // Wake everyone: waiters need different page counts, and any of
-        // them might fit now.
+        // Wake everyone: granted waiters identify themselves by ticket,
+        // and deadline waiters re-check their clocks.
         self.0.cv.notify_all();
     }
 }
@@ -219,7 +420,7 @@ impl Drop for PageReservation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::thread;
 
     #[test]
@@ -322,5 +523,205 @@ mod tests {
         assert_eq!(st.granted, 400);
         assert_eq!(st.released, 400);
         assert_eq!(pool.in_flight(), 0);
+    }
+
+    /// Regression: the pre-ticket-queue fast path granted newly-arriving
+    /// small requests whenever they fit, even while a larger request of
+    /// the same priority sat blocked — so a steady stream of small joins
+    /// starved a queued large join indefinitely. With the ticket queue the
+    /// fast path may not barge past a compatible waiter: small arrivals
+    /// are refused (non-blocking) or queue behind (blocking), and the
+    /// large request completes as soon as the holder releases.
+    #[test]
+    fn queued_large_request_is_not_starved_by_small_arrivals() {
+        let pool = PagePool::new(10);
+        let holder = pool.try_reserve(4).unwrap(); // 6 pages free
+        let large_granted = AtomicBool::new(false);
+        thread::scope(|scope| {
+            let large_pool = pool.clone();
+            let large_granted = &large_granted;
+            let large = scope.spawn(move || {
+                let (r, waited) = large_pool.reserve(8, 16).unwrap();
+                large_granted.store(true, Ordering::SeqCst);
+                assert!(waited);
+                drop(r);
+            });
+            while pool.waiting() == 0 {
+                thread::yield_now();
+            }
+            // The regression: 6 pages are free and 2 would fit, but the
+            // large request was queued first — every shape of small
+            // arrival must refuse to barge.
+            for _ in 0..32 {
+                assert!(
+                    pool.try_reserve(2).is_none(),
+                    "small fast-path grant barged past the queued large request"
+                );
+            }
+            // A blocking same-priority small arrival queues *behind* the
+            // large request: its deadline expires un-granted.
+            match pool.reserve_request(ReserveRequest {
+                pages: 2,
+                priority: PRIORITY_NORMAL,
+                max_waiting: 16,
+                deadline: Some(Duration::from_millis(20)),
+            }) {
+                Err(ReserveError::DeadlineExceeded { .. }) => {}
+                other => panic!("small arrival overtook the queued large request: {other:?}"),
+            }
+            assert!(!large_granted.load(Ordering::SeqCst));
+            // The holder releases: the large request is granted at once
+            // even though small requests kept arriving the whole time.
+            drop(holder);
+            large.join().unwrap();
+        });
+        assert!(large_granted.load(Ordering::SeqCst));
+        assert_eq!(pool.in_flight(), 0);
+        let st = pool.stats();
+        assert_eq!(st.rejected_deadline, 1);
+        assert_eq!(st.granted, st.released);
+    }
+
+    /// Priority classes are the sanctioned exception to FIFO: an urgent
+    /// arrival may overtake queued lower-priority waiters (both on the
+    /// fast path and in grant order), but never a peer.
+    #[test]
+    fn urgent_requests_overtake_casual_waiters_only() {
+        let pool = PagePool::new(4);
+        let holder = pool.try_reserve(3).unwrap(); // 1 page free
+        thread::scope(|scope| {
+            let casual_pool = pool.clone();
+            let casual = scope.spawn(move || {
+                casual_pool
+                    .reserve_request(ReserveRequest {
+                        pages: 2,
+                        priority: PRIORITY_CASUAL,
+                        max_waiting: 8,
+                        deadline: None,
+                    })
+                    .unwrap()
+            });
+            while pool.waiting() == 0 {
+                thread::yield_now();
+            }
+            // Fast path: 1 page fits and only a casual waiter is queued —
+            // an urgent request may barge, a casual peer may not.
+            assert!(pool.try_reserve_prio(1, PRIORITY_CASUAL).is_none());
+            let urgent = pool.try_reserve_prio(1, PRIORITY_URGENT).unwrap();
+            drop(urgent);
+
+            // Grant order: queue an urgent waiter *after* the casual one;
+            // on release it is granted first.
+            let urgent_pool = pool.clone();
+            let urgent = scope.spawn(move || {
+                let a = urgent_pool
+                    .reserve_request(ReserveRequest {
+                        pages: 4,
+                        priority: PRIORITY_URGENT,
+                        max_waiting: 8,
+                        deadline: None,
+                    })
+                    .unwrap();
+                assert!(a.waited);
+                a
+            });
+            while pool.waiting() < 2 {
+                thread::yield_now();
+            }
+            drop(holder);
+            // The urgent waiter (4 pages) fits only if granted before the
+            // casual one (2 pages) — strict (priority, ticket) order.
+            let urgent_adm = urgent.join().unwrap();
+            assert_eq!(pool.in_flight(), 4);
+            drop(urgent_adm);
+            let casual_adm = casual.join().unwrap();
+            assert!(casual_adm.waited);
+            drop(casual_adm);
+        });
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn deadline_expiry_withdraws_the_ticket_and_unblocks_the_queue() {
+        let pool = PagePool::new(4);
+        let holder = pool.try_reserve(4).unwrap();
+        // A large-ish waiter whose deadline expires while queued…
+        let err = pool
+            .reserve_request(ReserveRequest {
+                pages: 3,
+                priority: PRIORITY_NORMAL,
+                max_waiting: 8,
+                deadline: Some(Duration::from_millis(10)),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ReserveError::DeadlineExceeded { .. }));
+        let st = pool.stats();
+        assert_eq!(st.rejected_deadline, 1);
+        assert_eq!(pool.waiting(), 0, "expired ticket must leave the queue");
+        drop(holder);
+        // …leaves the pool fully usable.
+        let (r, _) = pool.reserve(4, 8).unwrap();
+        drop(r);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    /// Multi-threaded stress across priorities, deadlines, and sizes: no
+    /// lost wakeups (the test terminates), never overcommitted, and the
+    /// ledger invariant `granted == released + live reservations` holds at
+    /// the end (live = 0) and is sampled mid-flight through the
+    /// success/release counting.
+    #[test]
+    fn stress_mixed_priorities_keep_the_ledger_balanced() {
+        let pool = PagePool::new(12);
+        let successes = AtomicU64::new(0);
+        let deadline_rejects = AtomicU64::new(0);
+        thread::scope(|scope| {
+            for t in 0..8 {
+                let pool = pool.clone();
+                let successes = &successes;
+                let deadline_rejects = &deadline_rejects;
+                scope.spawn(move || {
+                    // Deterministic per-thread mix of sizes/priorities.
+                    let mut x = 0x9E3779B97F4A7C15u64 ^ (t as u64);
+                    for i in 0..150 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let pages = 1 + (x % 4);
+                        let priority = (x >> 8) as u8 % 3;
+                        let deadline = if i % 5 == 0 {
+                            Some(Duration::from_micros(200))
+                        } else {
+                            None
+                        };
+                        match pool.reserve_request(ReserveRequest {
+                            pages,
+                            priority,
+                            max_waiting: 64,
+                            deadline,
+                        }) {
+                            Ok(adm) => {
+                                assert!(pool.in_flight() <= 12, "overcommitted");
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                drop(adm);
+                            }
+                            Err(ReserveError::DeadlineExceeded { .. }) => {
+                                deadline_rejects.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected rejection: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let st = pool.stats();
+        let ok = successes.load(Ordering::Relaxed);
+        assert_eq!(st.granted, ok, "every success is a grant");
+        assert_eq!(st.released, ok, "every reservation was returned (live = 0)");
+        assert_eq!(st.granted, st.released + pool.in_flight());
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(st.rejected_deadline, deadline_rejects.load(Ordering::Relaxed));
+        assert_eq!(ok + st.rejected_deadline, 8 * 150);
+        assert!(st.pages_high_water <= 12);
     }
 }

@@ -68,7 +68,8 @@ fn usage() -> String {
      [-o FILE]   (in-memory parallel grid-partition join)\n  \
      vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
      [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
-     [--grid auto|1xN|KxN|<k>xN] [--explain] [--stats-json FILE]\n  \
+     [--grid auto|1xN|KxN|<k>xN] [--priority interactive|batch|background] \
+     [--deadline-ms MILLIS] [--stream] [--explain] [--stats-json FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]\n\n\
      PRED is an Allen predicate: one or more of before, meets, overlaps, starts,\n\
@@ -86,7 +87,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["explain"];
+const BOOL_FLAGS: &[&str] = &["explain", "stream"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, AnyError> {
@@ -442,17 +443,24 @@ fn join_parallel(
 /// ignored):
 ///
 /// ```text
-/// load r r.vt        # create table `r` from a portable-text relation
+/// load r r.vt                  # create table `r` from a portable-text relation
 /// load s s.vt
-/// join r s           # submit r ⋈ s (submitted concurrently)
-/// join r s           # repeated pairs hit the plan cache
-/// join r s during    # optional Allen predicate (cached per predicate)
-/// join r s grid=4xN  # per-request grid override (cached per grid choice)
+/// join r s                     # submit r ⋈ s (submitted concurrently)
+/// join r s                     # repeated pairs hit the plan cache
+/// join r s during              # optional Allen predicate (cached per predicate)
+/// join r s grid=4xN            # per-request grid override (cached per grid choice)
+/// join r s priority=interactive  # priority class (interactive|batch|background)
+/// join r s deadline=50         # admission deadline in milliseconds
 /// ```
+///
+/// `--priority CLASS` and `--deadline-ms MILLIS` set the defaults for
+/// requests that carry no per-request token; `--stream` delivers results
+/// incrementally, printing batch-level progress as each wire unit lands.
 fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
-    use vtjoin::engine::{Database, JoinService, ServiceConfig};
+    use std::time::Duration;
+    use vtjoin::engine::{Database, JoinService, Priority, ServiceConfig, SubmitOptions};
     use vtjoin::join::partition::GridChoice;
 
     let flags = Flags::parse(args)?;
@@ -460,8 +468,19 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let text = std::fs::read_to_string(Path::new(requests_path))
         .map_err(|e| format!("reading {requests_path}: {e}"))?;
 
+    // Defaults for requests that carry no per-request token.
+    let default_priority: Priority = {
+        let name = flags.get("priority").unwrap_or("batch");
+        name.parse().map_err(|e| format!("--priority: {e}"))?
+    };
+    let default_deadline = match flags.get_u64("deadline-ms", 0)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let stream = flags.get("stream").is_some();
+
     let mut db = Database::new(4096);
-    let mut joins: Vec<(String, String, JoinPredicate, Option<GridChoice>)> = Vec::new();
+    let mut joins: Vec<(String, String, JoinPredicate, SubmitOptions)> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -473,29 +492,46 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 let rel = load(path)?;
                 db.create_table(name, &rel)?;
             }
-            // `join OUTER INNER [PREDICATE] [grid=CHOICE]`: the optional
-            // trailing tokens are an Allen predicate and/or a per-request
-            // grid override, in either order.
-            ["join", outer, inner, opts @ ..] if opts.len() <= 2 => {
+            // `join OUTER INNER [PREDICATE] [grid=] [priority=] [deadline=]`:
+            // the optional trailing tokens are an Allen predicate and/or
+            // per-request overrides, in any order.
+            ["join", outer, inner, opts @ ..] if opts.len() <= 4 => {
                 let mut pred = JoinPredicate::intersects();
-                let mut grid = None;
+                let mut submit = SubmitOptions {
+                    priority: default_priority,
+                    deadline: default_deadline,
+                    ..SubmitOptions::default()
+                };
                 let mut saw_pred = false;
                 for opt in opts {
                     if let Some(g) = opt.strip_prefix("grid=") {
-                        if grid.is_some() {
+                        if submit.grid.is_some() {
                             return Err(format!(
                                 "{requests_path}:{}: duplicate grid= option",
                                 lineno + 1
                             )
                             .into());
                         }
-                        grid = Some(GridChoice::parse(g).ok_or_else(|| {
+                        submit.grid = Some(GridChoice::parse(g).ok_or_else(|| {
                             format!(
                                 "{requests_path}:{}: bad grid choice `{g}` \
                                  (expected auto|1xN|KxN|<k>xN)",
                                 lineno + 1
                             )
                         })?);
+                    } else if let Some(p) = opt.strip_prefix("priority=") {
+                        submit.priority = p.parse().map_err(|e| {
+                            format!("{requests_path}:{}: {e}", lineno + 1)
+                        })?;
+                    } else if let Some(ms) = opt.strip_prefix("deadline=") {
+                        let ms: u64 = ms.parse().map_err(|_| {
+                            format!(
+                                "{requests_path}:{}: bad deadline `{ms}` \
+                                 (expected milliseconds)",
+                                lineno + 1
+                            )
+                        })?;
+                        submit.deadline = Some(Duration::from_millis(ms));
                     } else {
                         if saw_pred {
                             return Err(format!(
@@ -510,13 +546,13 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                         })?;
                     }
                 }
-                joins.push(((*outer).to_owned(), (*inner).to_owned(), pred, grid));
+                joins.push(((*outer).to_owned(), (*inner).to_owned(), pred, submit));
             }
             _ => {
                 return Err(format!(
                     "{requests_path}:{}: bad request `{line}` \
-                     (expected `load NAME FILE` or \
-                     `join OUTER INNER [PREDICATE] [grid=CHOICE]`)",
+                     (expected `load NAME FILE` or `join OUTER INNER \
+                     [PREDICATE] [grid=CHOICE] [priority=CLASS] [deadline=MS]`)",
                     lineno + 1
                 )
                 .into())
@@ -524,7 +560,12 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         }
     }
 
-    let concurrency = flags.get_u64("concurrency", 4)?.max(1) as usize;
+    let concurrency = flags.get_u64("concurrency", 4)? as usize;
+    if concurrency == 0 {
+        return Err("--concurrency must be at least 1 (0 submitter threads can serve nothing)"
+            .to_string()
+            .into());
+    }
     let kernel_name = flags.get("kernel").unwrap_or("auto");
     let kernel = vtjoin::join::KernelChoice::parse(kernel_name)
         .ok_or_else(|| format!("--kernel must be auto|hash|sweep, got `{kernel_name}`"))?;
@@ -533,8 +574,15 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         flags.get_u64("pool-pages", 4096)?,
     );
     cfg.max_queue = flags.get_u64("max-queue", cfg.max_queue)?;
-    cfg.threads_per_query =
-        flags.get_u64("threads-per-query", cfg.threads_per_query as u64)?.max(1) as usize;
+    let threads_per_query = flags.get_u64("threads-per-query", cfg.threads_per_query as u64)?;
+    if threads_per_query == 0 {
+        return Err(
+            "--threads-per-query must be at least 1 (0 worker threads can run no join)"
+                .to_string()
+                .into(),
+        );
+    }
+    cfg.threads_per_query = threads_per_query as usize;
     cfg.kernel = kernel;
     let grid_name = flags.get("grid").unwrap_or("auto");
     cfg.grid = GridChoice::parse(grid_name)
@@ -550,31 +598,60 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         for _ in 0..concurrency.min(joins.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((outer, inner, pred, grid)) = joins.get(i) else { break };
+                let Some((outer, inner, pred, submit)) = joins.get(i) else { break };
                 let mut tag = if pred.is_natural() {
                     String::new()
                 } else {
                     format!(" {pred}")
                 };
-                if let Some(g) = grid {
+                if let Some(g) = submit.grid {
                     tag.push_str(&format!(" grid={g}"));
                 }
-                let submitted = match grid {
-                    Some(g) => svc.submit_grid(outer, inner, pred, *g),
-                    None => svc.submit_with(outer, inner, pred),
-                };
-                let line = match submitted {
-                    Ok(resp) => format!(
-                        "join {outer} {inner}{tag}: {} tuples, plan {:?}, admission {:?}, \
-                         {} partitions x {} key buckets, {} pages reserved",
-                        resp.result.len(),
-                        resp.plan,
-                        resp.admission,
-                        resp.partitions,
-                        resp.key_buckets,
-                        resp.reserved_pages,
-                    ),
-                    Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
+                if submit.priority != Priority::default() {
+                    tag.push_str(&format!(" priority={}", submit.priority));
+                }
+                if let Some(d) = submit.deadline {
+                    tag.push_str(&format!(" deadline={}ms", d.as_millis()));
+                }
+                let line = if stream {
+                    // Progress lines interleave across submitters (they are
+                    // progress); the summary slot keeps file order.
+                    let mut batches = 0u64;
+                    let mut sink = |batch: Vec<vtjoin::model::Tuple>| {
+                        batches += 1;
+                        println!(
+                            "  stream {outer} {inner}{tag}: batch {batches}, {} tuples",
+                            batch.len()
+                        );
+                    };
+                    match svc.submit_streamed(outer, inner, pred, submit, &mut sink) {
+                        Ok(resp) => format!(
+                            "join {outer} {inner}{tag}: {} tuples in {} batches, plan {:?}, \
+                             admission {:?}, {} partitions x {} key buckets, {} pages reserved",
+                            resp.tuples,
+                            resp.batches,
+                            resp.plan,
+                            resp.admission,
+                            resp.partitions,
+                            resp.key_buckets,
+                            resp.reserved_pages,
+                        ),
+                        Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
+                    }
+                } else {
+                    match svc.submit_opts(outer, inner, pred, submit) {
+                        Ok(resp) => format!(
+                            "join {outer} {inner}{tag}: {} tuples, plan {:?}, admission {:?}, \
+                             {} partitions x {} key buckets, {} pages reserved",
+                            resp.result.len(),
+                            resp.plan,
+                            resp.admission,
+                            resp.partitions,
+                            resp.key_buckets,
+                            resp.reserved_pages,
+                        ),
+                        Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
+                    }
                 };
                 *outcomes[i].lock().unwrap_or_else(|e| e.into_inner()) = line;
             });
@@ -588,7 +665,10 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     if flags.get("explain").is_some() {
         print!("{}", report.render_explain());
     } else {
-        let sec = report.service.expect("service report carries its section");
+        let sec = report
+            .service
+            .as_ref()
+            .expect("service report carries its section");
         println!(
             "service: {} requests ({} admitted, {} queued, {} rejected), \
              {} completed, {} failed",
@@ -602,6 +682,21 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             "  pool: {} pages, high water {} pages / {} queued requests",
             sec.pool_pages, sec.pool_pages_high_water, sec.queue_depth_high_water,
         );
+        println!(
+            "  priorities: {} interactive / {} batch / {} background, \
+             shed {} deadline / {} retry-after",
+            sec.interactive_requests,
+            sec.batch_requests,
+            sec.background_requests,
+            sec.shed_deadline,
+            sec.shed_retry_after,
+        );
+        if stream {
+            println!(
+                "  streamed: {} batches, {} tuples",
+                sec.streamed_batches, sec.streamed_tuples,
+            );
+        }
     }
     if let Some(path) = flags.get("stats-json") {
         std::fs::write(PathBuf::from(path), report.to_json_string())

@@ -10,8 +10,12 @@
 //!   the fixed seed; a version bump with *unchanged* statistics (an empty
 //!   append) must stay a hit through the drift check.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use vtjoin::engine::{Database, JoinService, PlanOutcome, ServiceConfig};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+use vtjoin::engine::{
+    Database, JoinService, PlanOutcome, Priority, Rejected, ServiceConfig, ServiceError,
+    SubmitOptions,
+};
 use vtjoin::model::algebra::natural_join;
 use vtjoin::prelude::*;
 use vtjoin::workload::generate::{
@@ -108,6 +112,122 @@ fn concurrent_overlapping_joins_match_the_serial_oracle() {
     // at least the steady state (every pair planned once) must hit.
     assert_eq!(sec.cache_hits + sec.cache_misses, total as u64);
     assert!(sec.cache_hits >= (total - 2 * jobs.len()) as u64);
+}
+
+/// Satellite pin: admission charges both input relations *and* the
+/// configured join buffer — the pages the kernels actually consume — not
+/// just the inputs.
+#[test]
+fn reserved_pages_charge_inputs_plus_join_buffer() {
+    let svc = service_with(&[("r", 2_000, true), ("s", 2_000, false)]);
+    let (r_pages, s_pages) = {
+        let db = svc.database().read().unwrap();
+        (
+            db.table_stats("r").unwrap().pages,
+            db.table_stats("s").unwrap().pages,
+        )
+    };
+    let resp = svc.submit("r", "s").unwrap();
+    // service_with configures JoinConfig::with_buffer(16).
+    assert_eq!(resp.reserved_pages, r_pages + s_pages + 16);
+}
+
+/// Streaming delivers the same bytes as materialized execution: the
+/// concatenated batches are the response, in deterministic order.
+#[test]
+fn streamed_submission_concatenates_to_the_materialized_result() {
+    let svc = service_with(&[("r", 2_000, true), ("s", 2_000, false)]);
+    let materialized = svc.submit("r", "s").unwrap();
+    let mut streamed_tuples = Vec::new();
+    let mut sink = |batch: Vec<Tuple>| streamed_tuples.extend(batch);
+    let resp = svc
+        .submit_streamed(
+            "r",
+            "s",
+            &JoinPredicate::intersects(),
+            &SubmitOptions::default(),
+            &mut sink,
+        )
+        .unwrap();
+    assert_eq!(resp.tuples as usize, streamed_tuples.len());
+    assert_eq!(materialized.result.tuples(), &streamed_tuples[..]);
+}
+
+/// Typed shedding outcomes: a held pool sheds background requests with
+/// `RetryAfter` (positive hint) and deadline-carrying requests with
+/// `DeadlineExceeded`, never an untyped failure.
+#[test]
+fn saturated_pool_sheds_with_typed_outcomes() {
+    let svc = service_with(&[("r", 1_200, true), ("s", 1_200, false)]);
+    let hold = svc.reserve_maintenance(16_384).expect("idle pool");
+
+    let bg = SubmitOptions {
+        priority: Priority::Background,
+        ..SubmitOptions::default()
+    };
+    match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &bg) {
+        Err(ServiceError::Rejected(Rejected::RetryAfter { millis })) => assert!(millis >= 1),
+        other => panic!("expected RetryAfter, got {other:?}"),
+    }
+
+    let hurried = SubmitOptions {
+        priority: Priority::Interactive,
+        deadline: Some(Duration::from_millis(10)),
+        ..SubmitOptions::default()
+    };
+    match svc.submit_opts("r", "s", &JoinPredicate::intersects(), &hurried) {
+        Err(ServiceError::Rejected(Rejected::DeadlineExceeded { .. })) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    drop(hold);
+    let resp = svc.submit("r", "s").unwrap();
+    let sec = svc.service_section();
+    assert_eq!((sec.shed_retry_after, sec.shed_deadline), (1, 1));
+    assert_eq!(sec.completed, 1);
+    assert!(!resp.result.is_empty());
+}
+
+/// The starvation regression at the service level, at every concurrency
+/// level: a large join queued behind a pool sized exactly for it must
+/// complete while streams of small joins keep arriving. Under the old
+/// barging fast path this spins forever; the ticket queue bounds it.
+#[test]
+fn queued_large_join_survives_streams_of_small_joins_at_every_concurrency() {
+    for concurrency in [1usize, 2, 4] {
+        let mut db = Database::new(1024);
+        db.create_table("big_r", &workload(2_500, 11, true)).unwrap();
+        db.create_table("big_s", &workload(2_500, 12, false)).unwrap();
+        db.create_table("small_r", &workload(250, 13, true)).unwrap();
+        db.create_table("small_s", &workload(250, 14, false)).unwrap();
+        let (big_pages, buffer) = {
+            let r = db.table_stats("big_r").unwrap().pages;
+            let s = db.table_stats("big_s").unwrap().pages;
+            (r + s, 16u64)
+        };
+        // The big join fits only in an otherwise-empty pool.
+        let mut cfg = ServiceConfig::new(JoinConfig::with_buffer(buffer).seed(7), big_pages + buffer);
+        cfg.threads_per_query = 1;
+        cfg.max_queue = 64;
+        let svc = JoinService::new(db, cfg);
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency {
+                scope.spawn(|| {
+                    while !done.load(Ordering::Relaxed) {
+                        svc.submit("small_r", "small_s").expect("small join");
+                    }
+                });
+            }
+            let resp = svc.submit("big_r", "big_s").expect("large join must not starve");
+            done.store(true, Ordering::Relaxed);
+            assert!(
+                !resp.result.is_empty(),
+                "concurrency {concurrency}: large join returned nothing"
+            );
+        });
+    }
 }
 
 #[test]
