@@ -42,7 +42,7 @@ fn bench_interval_ops(c: &mut Criterion) {
 
 fn sample_tuple() -> Tuple {
     Tuple::new(
-        vec![Value::Int(42), Value::Bytes(vec![7u8; 98])],
+        vec![Value::Int(42), Value::Bytes(vec![7u8; 98].into())],
         Interval::from_raw(100, 2000).unwrap(),
     )
 }
@@ -148,5 +148,11 @@ fn bench_block_table(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interval_ops, bench_codec, bench_algebra, bench_block_table);
+criterion_group!(
+    benches,
+    bench_interval_ops,
+    bench_codec,
+    bench_algebra,
+    bench_block_table
+);
 criterion_main!(benches);

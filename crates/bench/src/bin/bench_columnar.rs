@@ -1,0 +1,137 @@
+//! `bench_columnar` — wall-clock A/B of the row and columnar physical
+//! layouts over the grid-partition join, emitting `BENCH_columnar.json`.
+//!
+//! ```text
+//! bench_columnar [--out FILE] [--tuples N] [--long-lived N]
+//!                [--zipf-long-lived N] [--keys N] [--lifespan N]
+//!                [--max-duration N] [--partitions N] [--key-buckets N]
+//!                [--threads N] [--repeats N] [--seed N] [--zipf-x100 N]
+//!                [--workload duplicate-heavy|zipf-skewed] [--smoke]
+//! bench_columnar --validate FILE [--baseline FILE] [--tolerance-permille N]
+//! ```
+//!
+//! `--smoke` selects the tiny CI geometry; `--validate` checks an emitted
+//! document against the benchmark schema (byte-identity on every
+//! workload, `[row, columnar]` layout pairs, materialization accounting)
+//! and exits non-zero on mismatch. With `--baseline`, deterministic
+//! counters must also stay within `--tolerance-permille` (default 0 =
+//! exact) of the checked-in baseline.
+
+use std::process::ExitCode;
+use vtjoin_bench::columnar::{run_selected, smoke_config, validate, ColumnarBenchConfig, Workload};
+use vtjoin_bench::regress::validate_with_baseline;
+use vtjoin_obs::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let mut cfg = ColumnarBenchConfig::default();
+    let mut out = "BENCH_columnar.json".to_owned();
+    let mut validate_path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance_permille = 0_u64;
+    let mut selected: Vec<Workload> = Workload::ALL.to_vec();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |name: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--validate" => validate_path = Some(value(arg)?),
+            "--baseline" => baseline = Some(value(arg)?),
+            "--tolerance-permille" => tolerance_permille = parse(arg, &value(arg)?)?,
+            "--smoke" => {
+                cfg = smoke_config();
+                i += 1;
+                continue;
+            }
+            "--out" => out = value(arg)?,
+            "--tuples" => cfg.tuples = parse(arg, &value(arg)?)?,
+            "--long-lived" => cfg.long_lived = parse(arg, &value(arg)?)?,
+            "--zipf-long-lived" => cfg.zipf_long_lived = parse(arg, &value(arg)?)?,
+            "--keys" => cfg.keys = parse(arg, &value(arg)?)?,
+            "--lifespan" => cfg.lifespan = parse(arg, &value(arg)?)?,
+            "--max-duration" => cfg.max_duration = parse(arg, &value(arg)?)?,
+            "--partitions" => cfg.partitions = parse(arg, &value(arg)?)?,
+            "--key-buckets" => cfg.key_buckets = parse(arg, &value(arg)?)?,
+            "--threads" => cfg.threads = parse(arg, &value(arg)?)?,
+            "--repeats" => cfg.repeats = parse(arg, &value(arg)?)?,
+            "--seed" => cfg.seed = parse(arg, &value(arg)?)?,
+            "--zipf-x100" => cfg.zipf_x100 = parse(arg, &value(arg)?)?,
+            "--workload" => {
+                selected = match value(arg)?.as_str() {
+                    "duplicate-heavy" => vec![Workload::DuplicateHeavy],
+                    "zipf-skewed" => vec![Workload::ZipfSkewed],
+                    other => {
+                        return Err(format!(
+                            "--workload: `{other}` is not duplicate-heavy|zipf-skewed"
+                        ))
+                    }
+                };
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+
+    if let Some(path) = validate_path {
+        validate_with_baseline(&path, baseline.as_deref(), tolerance_permille, validate)?;
+        match baseline {
+            Some(base) => println!("{path}: valid, no counter drift vs {base}"),
+            None => println!("{path}: valid columnar benchmark document"),
+        }
+        return Ok(());
+    }
+    if baseline.is_some() {
+        return Err("--baseline only applies with --validate".into());
+    }
+
+    let full = selected.len() == Workload::ALL.len();
+    let doc = run_selected(&cfg, &selected);
+    if full {
+        validate(&doc).expect("emitted document must satisfy its own schema");
+    }
+    std::fs::write(&out, doc.to_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    for w in doc.get("workloads").and_then(Json::as_arr).unwrap_or(&[]) {
+        let x100 = w
+            .get("speedup_x100_columnar_vs_row")
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        println!(
+            "  {}: columnar vs row {}.{:02}x, {} result tuples, byte-identical: {}",
+            w.get("name").and_then(Json::as_str).unwrap_or("?"),
+            x100 / 100,
+            x100 % 100,
+            w.get("result_tuples").and_then(Json::as_i64).unwrap_or(0),
+            w.get("results_byte_identical")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+        );
+        for l in w.get("layouts").and_then(Json::as_arr).unwrap_or(&[]) {
+            println!(
+                "    {}: {} µs",
+                l.get("layout").and_then(Json::as_str).unwrap_or("?"),
+                l.get("wall_micros").and_then(Json::as_i64).unwrap_or(0),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: bad number `{v}`"))
+}

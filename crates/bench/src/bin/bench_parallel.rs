@@ -76,7 +76,11 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             "--threads" => {
                 cfg.threads = value(arg)?
                     .split(',')
-                    .map(|t| t.trim().parse::<usize>().map_err(|_| format!("--threads: bad list entry `{t}`")))
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--threads: bad list entry `{t}`"))
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 if cfg.threads.is_empty() {
                     return Err("--threads: empty list".into());
@@ -117,24 +121,38 @@ fn run_cli(args: &[String]) -> Result<(), String> {
             "  {} thread(s): {} µs, utilization {}%",
             run.get("threads").and_then(Json::as_i64).unwrap_or(0),
             run.get("wall_micros").and_then(Json::as_i64).unwrap_or(0),
-            run.get("utilization_percent").and_then(Json::as_i64).unwrap_or(0),
+            run.get("utilization_percent")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
         );
     }
     if let Some(grid) = doc.get("grid") {
         println!(
             "  grid {}x{}: max cell share {}% (time-only {}%), identical to serial: {}",
             grid.get("key_buckets").and_then(Json::as_i64).unwrap_or(0),
-            grid.get("time_partitions").and_then(Json::as_i64).unwrap_or(0),
-            grid.get("max_cell_share_percent").and_then(Json::as_i64).unwrap_or(0),
-            grid.get("time_only_max_share_percent").and_then(Json::as_i64).unwrap_or(0),
-            grid.get("grid_identical_to_serial").and_then(Json::as_i64).unwrap_or(0),
+            grid.get("time_partitions")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            grid.get("max_cell_share_percent")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            grid.get("time_only_max_share_percent")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
+            grid.get("grid_identical_to_serial")
+                .and_then(Json::as_i64)
+                .unwrap_or(0),
         );
         for run in grid.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
             println!(
                 "    {} thread(s): grid {} µs vs time-only {} µs",
                 run.get("threads").and_then(Json::as_i64).unwrap_or(0),
-                run.get("grid_wall_micros").and_then(Json::as_i64).unwrap_or(0),
-                run.get("time_only_wall_micros").and_then(Json::as_i64).unwrap_or(0),
+                run.get("grid_wall_micros")
+                    .and_then(Json::as_i64)
+                    .unwrap_or(0),
+                run.get("time_only_wall_micros")
+                    .and_then(Json::as_i64)
+                    .unwrap_or(0),
             );
         }
     }
@@ -142,5 +160,6 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
-    v.parse::<T>().map_err(|_| format!("{flag}: bad number `{v}`"))
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: bad number `{v}`"))
 }

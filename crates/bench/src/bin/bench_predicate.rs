@@ -112,5 +112,6 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
-    v.parse::<T>().map_err(|_| format!("{flag}: bad number `{v}`"))
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: bad number `{v}`"))
 }

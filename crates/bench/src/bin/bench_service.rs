@@ -93,7 +93,10 @@ fn run_cli(args: &[String]) -> Result<(), String> {
     std::fs::write(&out, doc.to_pretty()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     let get = |section: &str, key: &str| -> i64 {
-        doc.get(section).and_then(|s| s.get(key)).and_then(Json::as_i64).unwrap_or(0)
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
     };
     println!(
         "  repeated: {} requests, {} cache hits, {} I/Os",
@@ -108,9 +111,14 @@ fn run_cli(args: &[String]) -> Result<(), String> {
     );
     println!(
         "  planner I/O saved by cache: {}",
-        doc.get("planner_io_saved").and_then(Json::as_i64).unwrap_or(0),
+        doc.get("planner_io_saved")
+            .and_then(Json::as_i64)
+            .unwrap_or(0),
     );
-    let x100 = doc.get("speedup_x100_warm_vs_cold").and_then(Json::as_i64).unwrap_or(0);
+    let x100 = doc
+        .get("speedup_x100_warm_vs_cold")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
     println!("  warm vs cold: {}.{:02}x", x100 / 100, x100 % 100);
     let x100 = doc
         .get("concurrent")
@@ -158,5 +166,6 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
-    v.parse::<T>().map_err(|_| format!("{flag}: bad number `{v}`"))
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: bad number `{v}`"))
 }

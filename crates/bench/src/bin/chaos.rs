@@ -18,13 +18,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use vtjoin_core::algebra::natural_join;
 use vtjoin_core::Relation;
-use vtjoin_join::{
-    JoinAlgorithm, JoinConfig, NestedLoopJoin, PartitionJoin, SortMergeJoin,
-};
+use vtjoin_join::{JoinAlgorithm, JoinConfig, NestedLoopJoin, PartitionJoin, SortMergeJoin};
 use vtjoin_storage::{FaultConfig, HeapFile, RetryPolicy, SharedDisk};
 use vtjoin_workload::generate::{
-    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig,
-    KeyDistribution, TimeDistribution,
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
 };
 
 fn flag(args: &[String], name: &str, default: u64) -> u64 {
@@ -48,7 +46,10 @@ fn workload(tuples: u64, seed: u64) -> (Relation, Relation) {
         seed,
     };
     let r = generate(outer_schema(cfg.pad_bytes), &cfg);
-    let s = generate(inner_schema(cfg.pad_bytes), &cfg.clone().seed(seed ^ 0xabcd_ef01));
+    let s = generate(
+        inner_schema(cfg.pad_bytes),
+        &cfg.clone().seed(seed ^ 0xabcd_ef01),
+    );
     (r, s)
 }
 
@@ -89,8 +90,7 @@ fn main() -> ExitCode {
                     }));
                 }
                 let cfg = JoinConfig::with_buffer(24).collecting();
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| algo.execute(&hr, &hs, &cfg)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| algo.execute(&hr, &hs, &cfg)));
                 match outcome {
                     Ok(Ok(report)) => {
                         let got = report.result.as_ref().expect("collected");

@@ -105,9 +105,7 @@ fn execution_report_artifact(scale: Scale, out: &std::path::Path) {
     println!("== execution report (partition, 4 MB memory, R5) ==");
     print!("{}", er.render_explain());
     let path = out.join("execution-report.json");
-    match std::fs::create_dir_all(out)
-        .and_then(|()| std::fs::write(&path, er.to_json_string()))
-    {
+    match std::fs::create_dir_all(out).and_then(|()| std::fs::write(&path, er.to_json_string())) {
         Ok(()) => println!("wrote {}\n", path.display()),
         Err(e) => eprintln!("report write failed: {e}\n"),
     }

@@ -41,14 +41,43 @@ pub fn fig5_rows(scale: Scale) -> FigureResult {
     let p = scale.params();
     let mk = |k: &str, v: String, note: &str| vec![k.to_owned(), v, note.to_owned()];
     let rows = vec![
-        mk("page size", format!("{} B", p.page_size), "derived from the 819-sample worked example, §4.2"),
-        mk("tuple size", format!("{} B", p.tuple_bytes), "32 MB / 262144 tuples"),
+        mk(
+            "page size",
+            format!("{} B", p.page_size),
+            "derived from the 819-sample worked example, §4.2",
+        ),
+        mk(
+            "tuple size",
+            format!("{} B", p.tuple_bytes),
+            "32 MB / 262144 tuples",
+        ),
         mk("tuples per page", p.tuples_per_page().to_string(), ""),
-        mk("relation size", format!("{} tuples = {} pages = {} MB", p.relation_tuples, p.relation_pages(), p.relation_bytes() >> 20), "\"each database contained 32 megabytes (262144 tuples)\""),
-        mk("relation lifespan", format!("{} chronons", p.lifespan), "chosen; only ratios matter (§4.1)"),
-        mk("objects", p.objects.to_string(), "\"ten tuples per object … approximately 26,000 objects\""),
+        mk(
+            "relation size",
+            format!(
+                "{} tuples = {} pages = {} MB",
+                p.relation_tuples,
+                p.relation_pages(),
+                p.relation_bytes() >> 20
+            ),
+            "\"each database contained 32 megabytes (262144 tuples)\"",
+        ),
+        mk(
+            "relation lifespan",
+            format!("{} chronons", p.lifespan),
+            "chosen; only ratios matter (§4.1)",
+        ),
+        mk(
+            "objects",
+            p.objects.to_string(),
+            "\"ten tuples per object … approximately 26,000 objects\"",
+        ),
         mk("main memory", "1 – 32 MB".into(), "Figure 6 sweep"),
-        mk("random:sequential", "2:1, 5:1, 10:1".into(), "Figure 6 trials"),
+        mk(
+            "random:sequential",
+            "2:1, 5:1, 10:1".into(),
+            "Figure 6 trials",
+        ),
     ];
     FigureResult {
         name: format!("fig5_{}", scale_tag(scale)),
@@ -81,15 +110,31 @@ pub fn fig4(scale: Scale) -> FigureResult {
             ]
         })
         .collect();
-    let xs: Vec<String> = out.candidates.iter().map(|c| c.part_size.to_string()).collect();
+    let xs: Vec<String> = out
+        .candidates
+        .iter()
+        .map(|c| c.part_size.to_string())
+        .collect();
     let chart = render::ascii_chart(
         "Figure 4 — I/O cost for partition size",
         "partSize",
         &xs,
         &[
-            ("C_sample", out.candidates.iter().map(|c| c.c_sample).collect()),
-            ("cache paging", out.candidates.iter().map(|c| c.c_cache).collect()),
-            ("sum", out.candidates.iter().map(|c| c.c_sample + c.c_cache).collect()),
+            (
+                "C_sample",
+                out.candidates.iter().map(|c| c.c_sample).collect(),
+            ),
+            (
+                "cache paging",
+                out.candidates.iter().map(|c| c.c_cache).collect(),
+            ),
+            (
+                "sum",
+                out.candidates
+                    .iter()
+                    .map(|c| c.c_sample + c.c_cache)
+                    .collect(),
+            ),
         ],
     );
     FigureResult {
@@ -146,8 +191,10 @@ pub fn fig6(scale: Scale) -> FigureResult {
         }
     }
     let xs: Vec<String> = memories.iter().map(|m| format!("{m} MB")).collect();
-    let series_refs: Vec<(&str, Vec<u64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let series_refs: Vec<(&str, Vec<u64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let chart = render::ascii_chart(
         "Figure 6 — performance effects of main memory",
         "memory",
@@ -156,7 +203,14 @@ pub fn fig6(scale: Scale) -> FigureResult {
     );
     FigureResult {
         name: format!("fig6_{}", scale_tag(scale)),
-        headers: vec!["memory_mb", "algorithm", "ratio", "cost", "random_ios", "seq_ios"],
+        headers: vec![
+            "memory_mb",
+            "algorithm",
+            "ratio",
+            "cost",
+            "random_ios",
+            "seq_ios",
+        ],
         rows,
         chart: Some(chart),
     }
@@ -169,8 +223,10 @@ pub fn fig7(scale: Scale) -> FigureResult {
     let buffer = scale.buffer_pages(8);
     let ratio = CostRatio::R5;
     let mut rows = Vec::new();
-    let mut series: Vec<(String, Vec<u64>)> =
-        Algo::PAPER.iter().map(|a| (a.name().to_owned(), Vec::new())).collect();
+    let mut series: Vec<(String, Vec<u64>)> = Algo::PAPER
+        .iter()
+        .map(|a| (a.name().to_owned(), Vec::new()))
+        .collect();
     let densities: Vec<u64> = (1..=16).map(|k| k * 8000).collect();
     for &paper_ll in &densities {
         let ll = scale.long_lived(paper_ll);
@@ -190,8 +246,10 @@ pub fn fig7(scale: Scale) -> FigureResult {
         }
     }
     let xs: Vec<String> = densities.iter().map(|d| d.to_string()).collect();
-    let series_refs: Vec<(&str, Vec<u64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let series_refs: Vec<(&str, Vec<u64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let chart = render::ascii_chart(
         "Figure 7 — performance effects of long-lived tuples (8 MB, 5:1)",
         "#long-lived (paper scale)",
@@ -228,8 +286,7 @@ pub fn fig8(scale: Scale) -> FigureResult {
         let (_disk, hr, hs) = build_pair(&params, ll, SEED ^ paper_ll.rotate_left(8));
         let mut ys = Vec::new();
         for &mb in &memories {
-            let report =
-                run_algorithm(Algo::Partition, &hr, &hs, scale.buffer_pages(mb), ratio);
+            let report = run_algorithm(Algo::Partition, &hr, &hs, scale.buffer_pages(mb), ratio);
             let cost = report.cost(ratio);
             rows.push(vec![
                 paper_ll.to_string(),
@@ -243,8 +300,10 @@ pub fn fig8(scale: Scale) -> FigureResult {
         series.push((format!("{paper_ll} long-lived"), ys));
     }
     let xs: Vec<String> = memories.iter().map(|m| format!("{m} MB")).collect();
-    let series_refs: Vec<(&str, Vec<u64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let series_refs: Vec<(&str, Vec<u64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let chart = render::ascii_chart(
         "Figure 8 — main memory vs tuple caching (partition join, 5:1)",
         "memory",
@@ -253,7 +312,13 @@ pub fn fig8(scale: Scale) -> FigureResult {
     );
     FigureResult {
         name: format!("fig8_{}", scale_tag(scale)),
-        headers: vec!["long_lived_paper", "memory_mb", "cost", "cache_pages", "partitions"],
+        headers: vec![
+            "long_lived_paper",
+            "memory_mb",
+            "cost",
+            "cache_pages",
+            "partitions",
+        ],
         rows,
         chart: Some(chart),
     }
@@ -356,8 +421,7 @@ mod tests {
         let f = fig4(Scale::Small);
         assert!(f.rows.len() >= 8, "want a real sweep, got {}", f.rows.len());
         // c_sample non-decreasing, cache component overall decreasing.
-        let c_sample: Vec<u64> =
-            f.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let c_sample: Vec<u64> = f.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         let c_cache: Vec<u64> = f.rows.iter().map(|r| r[4].parse().unwrap()).collect();
         assert!(c_sample.windows(2).all(|w| w[1] >= w[0]), "{c_sample:?}");
         assert!(

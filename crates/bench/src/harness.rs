@@ -4,7 +4,8 @@ use vtjoin_join::{
     execution_report, partition_execution_report, JoinAlgorithm, JoinConfig, JoinReport,
     NestedLoopJoin, PartitionJoin, ReplicatedPartitionJoin, SortMergeJoin, TimeIndexJoin,
 };
-use vtjoin_obs::ExecutionReport;
+use vtjoin_obs::json::obj;
+use vtjoin_obs::{ExecutionReport, Json};
 use vtjoin_storage::{CostRatio, HeapFile, SharedDisk};
 use vtjoin_workload::generate::{generate_heap, inner_schema, outer_schema, GeneratorConfig};
 use vtjoin_workload::PaperParams;
@@ -110,6 +111,23 @@ impl Algo {
     }
 }
 
+/// The `host` section stamped into every `BENCH_*.json` document:
+/// `host_cores` is the machine's available parallelism at run time,
+/// `host_parallelism` the worker-thread (or submitter) count the
+/// benchmark actually exercised. Both describe the machine, not the
+/// algorithm, so the `"host"` marker in
+/// [`crate::regress::NONDETERMINISTIC_KEY_MARKERS`] keeps them out of
+/// the regression gate.
+pub fn host_section(threads_used: u64) -> Json {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as i64)
+        .unwrap_or(1);
+    obj(vec![
+        ("host_cores", Json::Int(cores)),
+        ("host_parallelism", Json::Int(threads_used as i64)),
+    ])
+}
+
 /// Builds the experiment relation pair on a fresh disk: both relations
 /// have `params.relation_tuples` tuples, `long_lived` of them long-lived
 /// (§4.3 construction), independent seeds.
@@ -163,10 +181,14 @@ pub fn run_algorithm_reported(
         Algo::SortMerge => SortMergeJoin.execute(hr, hs, &cfg),
         Algo::Partition => unreachable!("handled above"),
         Algo::Replicated => ReplicatedPartitionJoin.execute(hr, hs, &cfg),
-        Algo::TimeIndex => TimeIndexJoin { assume_sorted: false }.execute(hr, hs, &cfg),
-        Algo::TimeIndexAppendOnly => {
-            TimeIndexJoin { assume_sorted: true }.execute(hr, hs, &cfg)
+        Algo::TimeIndex => TimeIndexJoin {
+            assume_sorted: false,
         }
+        .execute(hr, hs, &cfg),
+        Algo::TimeIndexAppendOnly => TimeIndexJoin {
+            assume_sorted: true,
+        }
+        .execute(hr, hs, &cfg),
     }
     .unwrap_or_else(|e| fail(e));
     let er = execution_report(&report, &cfg);
@@ -193,7 +215,11 @@ mod tests {
         // At both scales, "8 MB of memory" is 1/4 of the relation.
         for scale in [Scale::Full, Scale::Small] {
             let params = scale.params();
-            assert_eq!(params.relation_pages() / scale.buffer_pages(8), 4, "{scale:?}");
+            assert_eq!(
+                params.relation_pages() / scale.buffer_pages(8),
+                4,
+                "{scale:?}"
+            );
         }
     }
 
@@ -222,7 +248,10 @@ mod tests {
         let (rep, er) = run_algorithm_reported(Algo::Partition, &hr, &hs, 16, CostRatio::R5);
         assert_eq!(er.algorithm, "partition");
         assert_eq!(er.io.total_ios, rep.io.total_ios());
-        assert!(er.plan.is_some(), "non-degenerate partition run must carry a plan");
+        assert!(
+            er.plan.is_some(),
+            "non-degenerate partition run must carry a plan"
+        );
         assert!(er.deviation.is_some());
         let (_, er) = run_algorithm_reported(Algo::SortMerge, &hr, &hs, 16, CostRatio::R5);
         assert!(er.plan.is_none());

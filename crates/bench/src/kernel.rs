@@ -113,7 +113,11 @@ pub fn workload_pair(cfg: &KernelBenchConfig) -> (Relation, Relation) {
             pad_bytes: 0,
             seed,
         };
-        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        let schema = if outer {
+            outer_schema(0)
+        } else {
+            inner_schema(0)
+        };
         generate(schema, &g)
     };
     (gen(cfg.seed, true), gen(cfg.seed ^ 0xabcd, false))
@@ -174,6 +178,7 @@ pub fn run(cfg: &KernelBenchConfig) -> Json {
     obj(vec![
         ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
         ("benchmark", Json::Str("kernel-hash-vs-sweep".into())),
+        ("host", crate::harness::host_section(cfg.threads as u64)),
         (
             "workload",
             obj(vec![
@@ -214,7 +219,14 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         other => return Err(format!("unexpected benchmark field {other:?}")),
     }
     let workload = doc.get("workload").ok_or("missing workload")?;
-    for key in ["tuples_per_side", "keys", "max_duration", "partitions", "threads", "seed"] {
+    for key in [
+        "tuples_per_side",
+        "keys",
+        "max_duration",
+        "partitions",
+        "threads",
+        "seed",
+    ] {
         workload
             .get(key)
             .and_then(Json::as_i64)
@@ -233,14 +245,22 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         .and_then(Json::as_arr)
         .ok_or("missing kernels array")?;
     if kernels.len() != 2 {
-        return Err(format!("expected 2 kernel entries, found {}", kernels.len()));
+        return Err(format!(
+            "expected 2 kernel entries, found {}",
+            kernels.len()
+        ));
     }
     let mut cardinalities = Vec::new();
     for (i, k) in kernels.iter().enumerate() {
         k.get("kernel")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("missing kernels[{i}].kernel"))?;
-        for key in ["wall_micros", "result_tuples", "hash_partitions", "sweep_partitions"] {
+        for key in [
+            "wall_micros",
+            "result_tuples",
+            "hash_partitions",
+            "sweep_partitions",
+        ] {
             k.get(key)
                 .and_then(Json::as_i64)
                 .ok_or_else(|| format!("missing kernels[{i}].{key}"))?;
@@ -285,13 +305,17 @@ mod tests {
     fn validate_rejects_broken_documents() {
         let doc = run(&smoke_config());
         validate(&doc).unwrap();
-        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
+        let text = doc
+            .to_pretty()
+            .replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc.to_pretty().replacen("\"kernels\"", "\"colonels\"", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
-        let text = doc
-            .to_pretty()
-            .replacen("\"results_byte_identical\": 1", "\"results_byte_identical\": 0", 1);
+        let text = doc.to_pretty().replacen(
+            "\"results_byte_identical\": 1",
+            "\"results_byte_identical\": 0",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
     }
 }

@@ -132,7 +132,11 @@ pub fn skewed_pair(cfg: &ParallelBenchConfig) -> (Relation, Relation) {
             pad_bytes: 0,
             seed,
         };
-        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        let schema = if outer {
+            outer_schema(0)
+        } else {
+            inner_schema(0)
+        };
         generate(schema, &g)
     };
     (gen(cfg.seed, true), gen(cfg.seed ^ 0xabcd, false))
@@ -145,9 +149,13 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
     let intervals = equal_width(lifespan_iv, cfg.partitions);
 
     // One reported run for the result cardinality and skew section.
-    let (result, report) =
-        parallel_execution_report(&r, &s, &intervals, cfg.threads.first().copied().unwrap_or(1))
-            .expect("benchmark join failed");
+    let (result, report) = parallel_execution_report(
+        &r,
+        &s,
+        &intervals,
+        cfg.threads.first().copied().unwrap_or(1),
+    )
+    .expect("benchmark join failed");
     let skew = report.skew.expect("parallel report has a skew section");
 
     let time = |f: &dyn Fn()| {
@@ -255,6 +263,10 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
         ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
         ("benchmark", Json::Str("parallel-partition-join".into())),
         (
+            "host",
+            crate::harness::host_section(cfg.threads.iter().copied().max().unwrap_or(1) as u64),
+        ),
+        (
             "workload",
             obj(vec![
                 ("tuples_per_side", Json::Int(cfg.tuples as i64)),
@@ -311,8 +323,7 @@ pub fn run(cfg: &ParallelBenchConfig) -> Json {
             .map(|&(_, w, _)| w)
             .unwrap_or_else(|| {
                 time(&|| {
-                    parallel_partition_join_reported(&r, &s, &intervals, bt)
-                        .expect("join failed");
+                    parallel_partition_join_reported(&r, &s, &intervals, bt).expect("join failed");
                 })
             });
         pairs.push((
@@ -378,7 +389,12 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         }
     }
     if let Some(base) = doc.get("baseline") {
-        for key in ["threads", "wall_micros", "new_executor_wall_micros", "speedup_x100"] {
+        for key in [
+            "threads",
+            "wall_micros",
+            "new_executor_wall_micros",
+            "speedup_x100",
+        ] {
             base.get(key)
                 .and_then(Json::as_i64)
                 .ok_or_else(|| format!("missing baseline.{key}"))?;
@@ -403,7 +419,10 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         return Err("grid output not byte-identical to the serial grid run".into());
     }
     if gi("grid_result_tuples")?
-        != doc.get("result_tuples").and_then(Json::as_i64).unwrap_or(-1)
+        != doc
+            .get("result_tuples")
+            .and_then(Json::as_i64)
+            .unwrap_or(-1)
     {
         return Err("grid result cardinality differs from the time-only run".into());
     }
@@ -456,7 +475,9 @@ mod tests {
             ..smoke_config()
         });
         validate(&doc).unwrap();
-        let text = doc.to_pretty().replacen("\"schema_version\": 2", "\"schema_version\": 9", 1);
+        let text = doc
+            .to_pretty()
+            .replacen("\"schema_version\": 2", "\"schema_version\": 9", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc.to_pretty().replacen("\"runs\"", "\"ruins\"", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
@@ -469,16 +490,20 @@ mod tests {
             ..smoke_config()
         });
         // A lost byte-identity flag fails validation outright.
-        let text = doc
-            .to_pretty()
-            .replacen("\"grid_identical_to_serial\": 1", "\"grid_identical_to_serial\": 0", 1);
+        let text = doc.to_pretty().replacen(
+            "\"grid_identical_to_serial\": 1",
+            "\"grid_identical_to_serial\": 0",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap())
             .unwrap_err()
             .contains("byte-identical"));
         // A grid section that stopped spreading the skew fails too.
-        let text = doc
-            .to_pretty()
-            .replacen("\"max_cell_share_percent\": ", "\"max_cell_share_percent\": 9", 1);
+        let text = doc.to_pretty().replacen(
+            "\"max_cell_share_percent\": ",
+            "\"max_cell_share_percent\": 9",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         // Dropping the grid section entirely is a schema error.
         let text = doc.to_pretty().replacen("\"grid\"", "\"grift\"", 1);
@@ -497,10 +522,7 @@ mod tests {
             ..smoke_config()
         };
         let (r, _) = skewed_pair(&cfg);
-        let head = r
-            .iter()
-            .filter(|t| t.value(0).as_int() == Some(0))
-            .count() as u64;
+        let head = r.iter().filter(|t| t.value(0).as_int() == Some(0)).count() as u64;
         assert!(
             head > cfg.tuples / cfg.keys,
             "zipf head key should exceed the uniform share, got {head}"

@@ -118,10 +118,17 @@ pub fn workload_pair(cfg: &PredicateBenchConfig, ratio: u64) -> (Relation, Relat
             pad_bytes: 0,
             seed,
         };
-        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        let schema = if outer {
+            outer_schema(0)
+        } else {
+            inner_schema(0)
+        };
         generate(schema, &g)
     };
-    (gen(cfg.seed ^ ratio, true), gen(cfg.seed ^ ratio ^ 0xabcd, false))
+    (
+        gen(cfg.seed ^ ratio, true),
+        gen(cfg.seed ^ ratio ^ 0xabcd, false),
+    )
 }
 
 /// The order-independent byte image of a result relation (as in the
@@ -184,8 +191,14 @@ pub fn run(cfg: &PredicateBenchConfig) -> Json {
                 ("wall_micros", Json::Int(wall as i64)),
                 ("filter_checks", Json::Int(pd.filter_checks as i64)),
                 ("filter_hits", Json::Int(pd.filter_hits as i64)),
-                ("merge_pairs_scanned", Json::Int(pd.merge_pairs_scanned as i64)),
-                ("merge_pairs_emitted", Json::Int(pd.merge_pairs_emitted as i64)),
+                (
+                    "merge_pairs_scanned",
+                    Json::Int(pd.merge_pairs_scanned as i64),
+                ),
+                (
+                    "merge_pairs_emitted",
+                    Json::Int(pd.merge_pairs_emitted as i64),
+                ),
             ]));
         }
     }
@@ -193,6 +206,7 @@ pub fn run(cfg: &PredicateBenchConfig) -> Json {
     obj(vec![
         ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
         ("benchmark", Json::Str("predicate-grid".into())),
+        ("host", crate::harness::host_section(cfg.threads as u64)),
         (
             "workload",
             obj(vec![
@@ -202,7 +216,12 @@ pub fn run(cfg: &PredicateBenchConfig) -> Json {
                 ("max_duration", Json::Int(cfg.max_duration)),
                 (
                     "duplicate_ratios",
-                    Json::Arr(cfg.duplicate_ratios.iter().map(|r| Json::Int(*r as i64)).collect()),
+                    Json::Arr(
+                        cfg.duplicate_ratios
+                            .iter()
+                            .map(|r| Json::Int(*r as i64))
+                            .collect(),
+                    ),
                 ),
                 ("partitions", Json::Int(cfg.partitions as i64)),
                 ("threads", Json::Int(cfg.threads as i64)),
@@ -236,7 +255,14 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         other => return Err(format!("unexpected benchmark field {other:?}")),
     }
     let workload = doc.get("workload").ok_or("missing workload")?;
-    for key in ["tuples_per_side", "lifespan", "max_duration", "partitions", "threads", "seed"] {
+    for key in [
+        "tuples_per_side",
+        "lifespan",
+        "max_duration",
+        "partitions",
+        "threads",
+        "seed",
+    ] {
         workload
             .get(key)
             .and_then(Json::as_i64)
@@ -331,20 +357,24 @@ mod tests {
     fn validate_rejects_broken_documents() {
         let doc = run(&smoke_config());
         validate(&doc).unwrap();
-        let text = doc.to_pretty().replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
+        let text = doc
+            .to_pretty()
+            .replacen("\"schema_version\": 1", "\"schema_version\": 9", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc.to_pretty().replacen("\"cells\"", "\"shells\"", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
-        let text = doc
-            .to_pretty()
-            .replacen("\"all_oracle_identical\": 1", "\"all_oracle_identical\": 0", 1);
+        let text = doc.to_pretty().replacen(
+            "\"all_oracle_identical\": 1",
+            "\"all_oracle_identical\": 0",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         // One diverged cell fails even with the aggregate flag intact
         // (`"oracle_identical"` only matches inside a cell — the aggregate
         // key is `"all_oracle_identical"`).
-        let text = doc
-            .to_pretty()
-            .replacen("\"oracle_identical\": 1", "\"oracle_identical\": 0", 1);
+        let text =
+            doc.to_pretty()
+                .replacen("\"oracle_identical\": 1", "\"oracle_identical\": 0", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
     }
 }

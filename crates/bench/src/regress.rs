@@ -21,12 +21,21 @@ use vtjoin_obs::Json;
 /// Field-name substrings marking values derived from wall-clock or
 /// machine load — excluded from regression comparison. Matched
 /// case-insensitively against each object key anywhere in the document.
-pub const NONDETERMINISTIC_KEY_MARKERS: &[&str] =
-    &["wall", "micros", "speedup", "utilization", "throughput", "queue"];
+pub const NONDETERMINISTIC_KEY_MARKERS: &[&str] = &[
+    "wall",
+    "micros",
+    "speedup",
+    "utilization",
+    "throughput",
+    "queue",
+    "host",
+];
 
 fn is_nondeterministic(key: &str) -> bool {
     let lower = key.to_ascii_lowercase();
-    NONDETERMINISTIC_KEY_MARKERS.iter().any(|m| lower.contains(m))
+    NONDETERMINISTIC_KEY_MARKERS
+        .iter()
+        .any(|m| lower.contains(m))
 }
 
 /// One drifted integer leaf.
@@ -42,7 +51,11 @@ pub struct Drift {
 
 impl std::fmt::Display for Drift {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: baseline {} → current {}", self.path, self.baseline, self.current)
+        write!(
+            f,
+            "{}: baseline {} → current {}",
+            self.path, self.baseline, self.current
+        )
     }
 }
 
@@ -92,7 +105,11 @@ fn walk(path: &str, current: &Json, baseline: &Json, tol: u64, drifts: &mut Vec<
         }
         (Json::Int(c), Json::Int(b)) => {
             if !within_tolerance(*b, *c, tol) {
-                drifts.push(Drift { path: path.to_owned(), baseline: *b, current: *c });
+                drifts.push(Drift {
+                    path: path.to_owned(),
+                    baseline: *b,
+                    current: *c,
+                });
             }
         }
         // Strings, bools, nulls: identity only (benchmark/kernel names,
@@ -236,15 +253,15 @@ mod tests {
     fn missing_and_shape_changes_are_drifts() {
         let baseline = doc(1000, 777, 42);
         // Remove the runs array entirely.
-        let Json::Obj(mut pairs) = baseline.clone() else { unreachable!() };
+        let Json::Obj(mut pairs) = baseline.clone() else {
+            unreachable!()
+        };
         pairs.retain(|(k, _)| k != "runs");
         let gutted = Json::Obj(pairs);
         assert!(!compare(&gutted, &baseline, 0).is_empty());
         // Renamed benchmark string is flagged too.
-        let renamed = Json::parse(
-            &baseline.to_pretty().replacen("\"demo\"", "\"other\"", 1),
-        )
-        .unwrap();
+        let renamed =
+            Json::parse(&baseline.to_pretty().replacen("\"demo\"", "\"other\"", 1)).unwrap();
         assert_eq!(compare(&renamed, &baseline, 0).len(), 1);
     }
 }

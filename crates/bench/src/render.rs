@@ -35,11 +35,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Writes rows as CSV (naive quoting: cells are numeric or simple labels).
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }

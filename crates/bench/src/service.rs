@@ -148,7 +148,11 @@ pub fn workload_pair(cfg: &ServiceBenchConfig) -> (Relation, Relation) {
             pad_bytes: 0,
             seed,
         };
-        let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+        let schema = if outer {
+            outer_schema(0)
+        } else {
+            inner_schema(0)
+        };
         generate(schema, &g)
     };
     (gen(cfg.seed, true), gen(cfg.seed ^ 0xabcd, false))
@@ -179,11 +183,7 @@ fn build_service(cfg: &ServiceBenchConfig, plan_cache: bool) -> JoinService {
 /// Runs one serial section: `repeats` submissions of `r ⋈ s`, checking
 /// every response against the oracle encoding. Returns the section JSON
 /// and (total I/O, wall µs, all-identical flag).
-fn serial_section(
-    svc: &JoinService,
-    repeats: u64,
-    oracle: &[Vec<u8>],
-) -> (Json, u64, u64, bool) {
+fn serial_section(svc: &JoinService, repeats: u64, oracle: &[Vec<u8>]) -> (Json, u64, u64, bool) {
     let mut identical = true;
     let t0 = Instant::now();
     for _ in 0..repeats {
@@ -234,7 +234,7 @@ fn percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
     sorted[rank.min(n - 1) as usize]
 }
 
-fn latency_stats(lat: &mut Vec<u64>) -> Json {
+fn latency_stats(lat: &mut [u64]) -> Json {
     lat.sort_unstable();
     obj(vec![
         ("completed_queue_dependent", Json::Int(lat.len() as i64)),
@@ -312,7 +312,9 @@ fn saturation_section(cfg: &ServiceBenchConfig, oracle: &[Vec<u8>]) -> (Json, bo
         ("shed_deadline", Json::Int(sec.shed_deadline as i64)),
         (
             "retry_hints_positive",
-            Json::Int(i64::from(retry_hints_positive && shed_retry_after == background_arrivals)),
+            Json::Int(i64::from(
+                retry_hints_positive && shed_retry_after == background_arrivals,
+            )),
         ),
         ("drain_requests", Json::Int(drain_requests as i64)),
         ("drain_completed", Json::Int(drain_completed as i64)),
@@ -345,8 +347,7 @@ fn poisson_section(
         };
         schedule.push((at, class));
     }
-    let arrivals_of =
-        |p: Priority| schedule.iter().filter(|(_, c)| *c == p).count() as i64;
+    let arrivals_of = |p: Priority| schedule.iter().filter(|(_, c)| *c == p).count() as i64;
 
     // Two concurrent joins fit; the third queues (or sheds, for
     // background). The queue bound admits every waiter the schedule can
@@ -396,9 +397,9 @@ fn poisson_section(
                         (0, resp.wait_micros)
                     }
                     Err(ServiceError::Rejected(Rejected::RetryAfter { .. })) => (1, 0),
-                    Err(ServiceError::Rejected(Rejected::DeadlineExceeded {
-                        waited_micros,
-                    })) => (2, *waited_micros),
+                    Err(ServiceError::Rejected(Rejected::DeadlineExceeded { waited_micros })) => {
+                        (2, *waited_micros)
+                    }
                     Err(ServiceError::Rejected(Rejected::Saturated { .. })) => (3, 0),
                     Err(_) => {
                         errors.fetch_add(1, Ordering::Relaxed);
@@ -438,15 +439,24 @@ fn poisson_section(
     waits.sort_unstable();
     let mut pairs = vec![
         ("arrivals", Json::Int(cfg.arrivals as i64)),
-        ("interactive_arrivals", Json::Int(arrivals_of(Priority::Interactive))),
+        (
+            "interactive_arrivals",
+            Json::Int(arrivals_of(Priority::Interactive)),
+        ),
         ("batch_arrivals", Json::Int(arrivals_of(Priority::Batch))),
-        ("background_arrivals", Json::Int(arrivals_of(Priority::Background))),
+        (
+            "background_arrivals",
+            Json::Int(arrivals_of(Priority::Background)),
+        ),
         ("errors", Json::Int(errors.load(Ordering::Relaxed) as i64)),
         ("queue_completed", Json::Int(completed)),
         ("queue_shed_retry_after", Json::Int(shed_retry)),
         ("queue_shed_deadline", Json::Int(shed_deadline)),
         ("queue_saturated", Json::Int(saturated)),
-        ("queue_wait_p99_micros", Json::Int(percentile(&waits, 99, 100) as i64)),
+        (
+            "queue_wait_p99_micros",
+            Json::Int(percentile(&waits, 99, 100) as i64),
+        ),
         (
             "results_byte_identical",
             Json::Int(i64::from(identical.load(Ordering::Relaxed))),
@@ -517,7 +527,10 @@ pub fn run(cfg: &ServiceBenchConfig) -> Json {
         // Hit/miss split under concurrency is scheduling-dependent (two
         // threads can race to the first miss); "queue"/"speedup" naming
         // keeps these out of the deterministic regression surface.
-        ("cache_hits_queue_dependent", Json::Int(conc_sec.cache_hits as i64)),
+        (
+            "cache_hits_queue_dependent",
+            Json::Int(conc_sec.cache_hits as i64),
+        ),
         ("wall_micros", Json::Int(conc_wall as i64)),
         (
             "speedup_x100_vs_serial",
@@ -528,6 +541,7 @@ pub fn run(cfg: &ServiceBenchConfig) -> Json {
     obj(vec![
         ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
         ("benchmark", Json::Str("service-plan-cache".into())),
+        ("host", crate::harness::host_section(cfg.concurrency as u64)),
         (
             "workload",
             obj(vec![
@@ -575,16 +589,24 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         .and_then(Json::as_i64)
         .ok_or("missing schema_version")?;
     if version != BENCH_SCHEMA_VERSION {
-        return Err(format!("schema_version {version}, expected {BENCH_SCHEMA_VERSION}"));
+        return Err(format!(
+            "schema_version {version}, expected {BENCH_SCHEMA_VERSION}"
+        ));
     }
     match doc.get("benchmark").and_then(Json::as_str) {
         Some("service-plan-cache") => {}
         other => return Err(format!("unexpected benchmark field {other:?}")),
     }
     let workload = doc.get("workload").ok_or("missing workload")?;
-    for key in
-        ["tuples_per_side", "keys", "buffer_pages", "pool_pages", "concurrency", "repeats", "seed"]
-    {
+    for key in [
+        "tuples_per_side",
+        "keys",
+        "buffer_pages",
+        "pool_pages",
+        "concurrency",
+        "repeats",
+        "seed",
+    ] {
         workload
             .get(key)
             .and_then(Json::as_i64)
@@ -696,17 +718,25 @@ mod tests {
     #[test]
     fn validate_rejects_broken_documents() {
         let doc = run(&smoke_config());
-        let text = doc.to_pretty().replacen("\"schema_version\": 2", "\"schema_version\": 7", 1);
+        let text = doc
+            .to_pretty()
+            .replacen("\"schema_version\": 2", "\"schema_version\": 7", 1);
+        assert!(validate(&Json::parse(&text).unwrap()).is_err());
+        let text = doc.to_pretty().replacen(
+            "\"results_byte_identical\": 1",
+            "\"results_byte_identical\": 0",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
         let text = doc
             .to_pretty()
-            .replacen("\"results_byte_identical\": 1", "\"results_byte_identical\": 0", 1);
+            .replacen("\"cache_misses\": 1", "\"cache_misses\": 2", 1);
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
-        let text = doc.to_pretty().replacen("\"cache_misses\": 1", "\"cache_misses\": 2", 1);
-        assert!(validate(&Json::parse(&text).unwrap()).is_err());
-        let text = doc
-            .to_pretty()
-            .replacen("\"retry_hints_positive\": 1", "\"retry_hints_positive\": 0", 1);
+        let text = doc.to_pretty().replacen(
+            "\"retry_hints_positive\": 1",
+            "\"retry_hints_positive\": 0",
+            1,
+        );
         assert!(validate(&Json::parse(&text).unwrap()).is_err());
     }
 

@@ -64,7 +64,10 @@ fn sweep(mut events: Vec<(Chronon, i64)>) -> Vec<AggSegment> {
     // unless an interval ends at Chronon::MAX, where the closing event
     // saturates; close it explicitly.
     if let (Some(start), true) = (seg_start, current != 0) {
-        out.push(AggSegment { interval: Interval::new(start, Chronon::MAX).expect("open tail"), value: current });
+        out.push(AggSegment {
+            interval: Interval::new(start, Chronon::MAX).expect("open tail"),
+            value: current,
+        });
     }
     // Trim leading/trailing zero segments, keep interior gaps.
     while out.first().is_some_and(|s| s.value == 0) {
@@ -128,11 +131,7 @@ pub enum Extremum {
 /// interval, the extremum of the attribute over all tuples valid
 /// throughout it. Chronons where no tuple is valid produce no segment
 /// (unlike `COUNT`, an extremum of nothing is undefined, not zero).
-pub fn extremum_over_time(
-    r: &Relation,
-    attr: &str,
-    which: Extremum,
-) -> Result<Vec<AggSegment>> {
+pub fn extremum_over_time(r: &Relation, attr: &str, which: Extremum) -> Result<Vec<AggSegment>> {
     let idx = r
         .schema()
         .index_of(attr)
@@ -175,7 +174,10 @@ pub fn extremum_over_time(
                 return;
             }
         }
-        out.push(AggSegment { interval: Interval::new(start, end).expect("ordered"), value });
+        out.push(AggSegment {
+            interval: Interval::new(start, end).expect("ordered"),
+            value,
+        });
     };
     while i < events.len() {
         let at = events[i].0;
@@ -335,16 +337,23 @@ mod tests {
     #[test]
     fn empty_relation_has_no_segments() {
         assert!(count_over_time(&Relation::empty(sch())).is_empty());
-        assert!(extremum_over_time(&Relation::empty(sch()), "v", Extremum::Min)
-            .unwrap()
-            .is_empty());
+        assert!(
+            extremum_over_time(&Relation::empty(sch()), "v", Extremum::Min)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]
     fn min_max_match_brute_force() {
         let r = Relation::new(
             sch(),
-            vec![t(1, 10, 0, 5), t(2, 3, 2, 9), t(3, 7, 4, 4), t(4, 3, 12, 14)],
+            vec![
+                t(1, 10, 0, 5),
+                t(2, 3, 2, 9),
+                t(3, 7, 4, 4),
+                t(4, 3, 12, 14),
+            ],
         )
         .unwrap();
         let mins = extremum_over_time(&r, "v", Extremum::Min).unwrap();
@@ -404,8 +413,14 @@ mod tests {
     #[test]
     fn segments_to_relation_round_trip() {
         let segs = vec![
-            AggSegment { interval: Interval::from_raw(0, 4).unwrap(), value: 2 },
-            AggSegment { interval: Interval::from_raw(5, 9).unwrap(), value: 1 },
+            AggSegment {
+                interval: Interval::from_raw(0, 4).unwrap(),
+                value: 2,
+            },
+            AggSegment {
+                interval: Interval::from_raw(5, 9).unwrap(),
+                value: 1,
+            },
         ];
         let rel = segments_to_relation(&segs);
         assert_eq!(rel.len(), 2);

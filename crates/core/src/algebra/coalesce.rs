@@ -53,8 +53,16 @@ pub fn coalesce(r: &Relation) -> Relation {
     let mut out = Vec::new();
     for key in order {
         let period = &periods[&key];
-        for iv in period.intervals() {
-            out.push(Tuple::new(key.clone(), *iv));
+        if let Some((last, rest)) = period.intervals().split_last() {
+            // Build one owned tuple per value class; earlier maximal
+            // intervals clone it, the last fragment consumes it
+            // (`into_with_valid` — no payload clone on the common
+            // single-interval case).
+            let merged = Tuple::new(key, *last);
+            for iv in rest {
+                out.push(merged.with_valid(*iv));
+            }
+            out.push(merged.into_with_valid(*last));
         }
     }
     Relation::from_parts_unchecked(Arc::clone(r.schema()), out)
@@ -105,10 +113,13 @@ mod tests {
             .filter(|x| x.value(0) == &Value::Int(1))
             .map(|x| x.valid())
             .collect();
-        assert_eq!(k1, vec![
-            Interval::from_raw(0, 9).unwrap(),
-            Interval::from_raw(20, 21).unwrap()
-        ]);
+        assert_eq!(
+            k1,
+            vec![
+                Interval::from_raw(0, 9).unwrap(),
+                Interval::from_raw(20, 21).unwrap()
+            ]
+        );
         let k2: Vec<Interval> = c
             .iter()
             .filter(|x| x.value(0) == &Value::Int(2))
@@ -155,10 +166,18 @@ mod tests {
 
     #[test]
     fn is_coalesced_detects_violations() {
-        assert!(is_coalesced(&Relation::new(sch(), vec![t(1, 0, 1), t(1, 3, 4)]).unwrap()));
-        assert!(!is_coalesced(&Relation::new(sch(), vec![t(1, 0, 1), t(1, 2, 4)]).unwrap())); // adjacent
-        assert!(!is_coalesced(&Relation::new(sch(), vec![t(1, 0, 5), t(1, 2, 4)]).unwrap())); // overlap
-        assert!(is_coalesced(&Relation::new(sch(), vec![t(1, 0, 5), t(2, 2, 4)]).unwrap())); // different values
+        assert!(is_coalesced(
+            &Relation::new(sch(), vec![t(1, 0, 1), t(1, 3, 4)]).unwrap()
+        ));
+        assert!(!is_coalesced(
+            &Relation::new(sch(), vec![t(1, 0, 1), t(1, 2, 4)]).unwrap()
+        )); // adjacent
+        assert!(!is_coalesced(
+            &Relation::new(sch(), vec![t(1, 0, 5), t(1, 2, 4)]).unwrap()
+        )); // overlap
+        assert!(is_coalesced(
+            &Relation::new(sch(), vec![t(1, 0, 5), t(2, 2, 4)]).unwrap()
+        )); // different values
         assert!(is_coalesced(&Relation::empty(sch())));
     }
 

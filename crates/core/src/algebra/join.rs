@@ -12,9 +12,9 @@
 
 use crate::allen::AllenSet;
 use crate::error::{Result, TemporalError};
-use crate::predicate::JoinPredicate;
 use crate::interval::Interval;
 use crate::period::Period;
+use crate::predicate::JoinPredicate;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -205,15 +205,16 @@ fn semi_or_anti(r: &Relation, s: &Relation, keep_matched: bool) -> Result<Relati
     let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
     let mut table: HashMap<Vec<Value>, Vec<Interval>> = HashMap::new();
     for y in s.iter() {
-        table.entry(y.key_at(&shared_s)).or_default().push(y.valid());
+        table
+            .entry(y.key_at(&shared_s))
+            .or_default()
+            .push(y.valid());
     }
     let mut out = Vec::new();
     for x in r.iter() {
         let matched: Period = table
             .get(&x.key_at(&shared_r))
-            .map(|ivs| {
-                Period::from_intervals(ivs.iter().filter_map(|iv| iv.overlap(x.valid())))
-            })
+            .map(|ivs| Period::from_intervals(ivs.iter().filter_map(|iv| iv.overlap(x.valid()))))
             .unwrap_or_default();
         let keep = if keep_matched {
             matched
@@ -247,7 +248,10 @@ pub fn outerjoin(r: &Relation, s: &Relation, side: JoinSide) -> Result<Relation>
             let tuples = swapped
                 .iter()
                 .map(|t| {
-                    Tuple::new(perm.iter().map(|&i| t.value(i).clone()).collect(), t.valid())
+                    Tuple::new(
+                        perm.iter().map(|&i| t.value(i).clone()).collect(),
+                        t.valid(),
+                    )
                 })
                 .collect();
             Ok(Relation::from_parts_unchecked(out_schema, tuples))
@@ -310,11 +314,17 @@ fn left_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
             }
         }
         let dangling = Period::from_interval(x.valid()).difference(&matched);
-        for iv in dangling.intervals() {
+        if let Some((last, rest)) = dangling.intervals().split_last() {
+            // Pad once; earlier fragments clone, the last consumes the
+            // padded tuple (`into_with_valid` reuses the allocation).
             let mut vals = Vec::with_capacity(out_schema.arity());
             vals.extend_from_slice(x.values());
             vals.extend(std::iter::repeat_n(Value::Null, s_extra.len()));
-            out.push(Tuple::new(vals, *iv));
+            let padded = Tuple::new(vals, *last);
+            for iv in rest {
+                out.push(padded.with_valid(*iv));
+            }
+            out.push(padded.into_with_valid(*last));
         }
     }
     Ok(Relation::from_parts_unchecked(out_schema, out))
@@ -369,7 +379,10 @@ mod tests {
         let j = natural_join(&r, &s).unwrap();
         assert_eq!(j.len(), 1);
         let t = &j.tuples()[0];
-        assert_eq!(t.values(), &[Value::Int(1), Value::Int(10), Value::Int(100)]);
+        assert_eq!(
+            t.values(),
+            &[Value::Int(1), Value::Int(10), Value::Int(100)]
+        );
         assert_eq!(t.valid(), iv(5, 10));
     }
 
@@ -392,7 +405,11 @@ mod tests {
         let r = Relation::new(emp(), vec![et(1, 10, 0, 100)]).unwrap();
         let s = Relation::new(
             mgr(),
-            vec![mt(10, 100, 0, 10), mt(10, 101, 11, 20), mt(10, 102, 50, 200)],
+            vec![
+                mt(10, 100, 0, 10),
+                mt(10, 101, 11, 20),
+                mt(10, 102, 50, 200),
+            ],
         )
         .unwrap();
         let j = natural_join(&r, &s).unwrap();
@@ -408,8 +425,7 @@ mod tests {
         let r = Relation::new(emp(), vec![]).unwrap();
         let s = Relation::new(mgr(), vec![]).unwrap();
         let j = natural_join(&r, &s).unwrap();
-        let names: Vec<&str> =
-            j.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = j.schema().attrs().iter().map(|a| a.name.as_str()).collect();
         assert_eq!(names, vec!["name", "dept", "mgr"]);
     }
 
@@ -588,8 +604,12 @@ mod tests {
         let s = Relation::new(mgr(), vec![mt(10, 100, 0, 10)]).unwrap();
         let oj = outerjoin(&r, &s, JoinSide::Right).unwrap();
         // Schema must be in r-major order regardless of side.
-        let names: Vec<&str> =
-            oj.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = oj
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["name", "dept", "mgr"]);
         assert_eq!(oj.len(), 3);
         let nulls = oj.iter().filter(|t| t.value(0).is_null()).count();
@@ -604,8 +624,7 @@ mod tests {
         // Inner [3,5]; r dangling [0,2], [6,10]; s(10) fully matched? no —
         // s(10,100) valid [3,5] fully overlapped; s(20) dangling [50,60].
         assert_eq!(fo.len(), 4);
-        let right_dangles: Vec<&Tuple> =
-            fo.iter().filter(|t| t.value(0).is_null()).collect();
+        let right_dangles: Vec<&Tuple> = fo.iter().filter(|t| t.value(0).is_null()).collect();
         assert_eq!(right_dangles.len(), 1);
         let d = right_dangles[0];
         assert_eq!(d.value(1), &Value::Int(20)); // shared attr from s

@@ -34,7 +34,10 @@ pub fn union(r: &Relation, s: &Relation) -> Result<Relation> {
     let mut tuples = Vec::with_capacity(r.len() + s.len());
     tuples.extend(r.iter().cloned());
     tuples.extend(s.iter().cloned());
-    Ok(Relation::from_parts_unchecked(Arc::clone(r.schema()), tuples))
+    Ok(Relation::from_parts_unchecked(
+        Arc::clone(r.schema()),
+        tuples,
+    ))
 }
 
 /// Groups the timestamps of value-equivalent tuples into periods.
@@ -125,14 +128,14 @@ mod tests {
             .filter(|x| x.value(0) == &Value::Int(1))
             .map(|x| x.valid())
             .collect();
-        assert_eq!(k1, vec![
-            Interval::from_raw(0, 2).unwrap(),
-            Interval::from_raw(6, 7).unwrap()
-        ]);
         assert_eq!(
-            d.iter().filter(|x| x.value(0) == &Value::Int(2)).count(),
-            1
+            k1,
+            vec![
+                Interval::from_raw(0, 2).unwrap(),
+                Interval::from_raw(6, 7).unwrap()
+            ]
         );
+        assert_eq!(d.iter().filter(|x| x.value(0) == &Value::Int(2)).count(), 1);
     }
 
     #[test]
@@ -141,10 +144,13 @@ mod tests {
         let s = rel(vec![t(1, 3, 5), t(1, 9, 30), t(2, 0, 100)]);
         let i = intersection(&r, &s).unwrap();
         let ivs: Vec<Interval> = i.iter().map(|x| x.valid()).collect();
-        assert_eq!(ivs, vec![
-            Interval::from_raw(3, 5).unwrap(),
-            Interval::from_raw(9, 10).unwrap()
-        ]);
+        assert_eq!(
+            ivs,
+            vec![
+                Interval::from_raw(3, 5).unwrap(),
+                Interval::from_raw(9, 10).unwrap()
+            ]
+        );
     }
 
     #[test]
@@ -162,10 +168,8 @@ mod tests {
                 v
             };
             let (r_c, s_c) = (rows(&r), rows(&s));
-            let want_d: Vec<_> =
-                r_c.iter().filter(|x| !s_c.contains(x)).cloned().collect();
-            let want_i: Vec<_> =
-                r_c.iter().filter(|x| s_c.contains(x)).cloned().collect();
+            let want_d: Vec<_> = r_c.iter().filter(|x| !s_c.contains(x)).cloned().collect();
+            let want_i: Vec<_> = r_c.iter().filter(|x| s_c.contains(x)).cloned().collect();
             assert_eq!(rows(&d), want_d, "difference at {c}");
             assert_eq!(rows(&i), want_i, "intersection at {c}");
         }

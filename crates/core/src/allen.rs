@@ -231,7 +231,9 @@ impl AllenSet {
 
     /// The member relations, in canonical [`AllenRelation::ALL`] order.
     pub fn iter(self) -> impl Iterator<Item = AllenRelation> {
-        AllenRelation::ALL.into_iter().filter(move |r| self.contains(*r))
+        AllenRelation::ALL
+            .into_iter()
+            .filter(move |r| self.contains(*r))
     }
 
     /// Whether the relation between `a` and `b` is in the set.
@@ -351,15 +353,18 @@ mod tests {
         assert_eq!(fwd.intersect(near), AllenSet::only(AllenRelation::Meets));
         assert_eq!(
             fwd.union(near).iter().collect::<Vec<_>>(),
-            vec![AllenRelation::Before, AllenRelation::Meets, AllenRelation::Overlaps],
+            vec![
+                AllenRelation::Before,
+                AllenRelation::Meets,
+                AllenRelation::Overlaps
+            ],
         );
         assert_eq!(AllenSet::all().iter().count(), 13);
     }
 
     #[test]
     fn display_names_are_distinct() {
-        let mut names: Vec<String> =
-            AllenRelation::ALL.iter().map(|r| r.to_string()).collect();
+        let mut names: Vec<String> = AllenRelation::ALL.iter().map(|r| r.to_string()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 13);

@@ -48,9 +48,16 @@ impl fmt::Display for TemporalError {
                 write!(f, "invalid interval: start {start} > end {end}")
             }
             TemporalError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
-            TemporalError::TypeMismatch { attr, expected, actual } => {
+            TemporalError::TypeMismatch {
+                attr,
+                expected,
+                actual,
+            } => {
                 write!(f, "attribute `{attr}` expects {expected} but got {actual}")
             }
             TemporalError::UnknownAttribute(name) => {
@@ -77,7 +84,10 @@ mod tests {
     fn display_is_informative() {
         let e = TemporalError::InvalidInterval { start: 5, end: 2 };
         assert!(e.to_string().contains("start 5 > end 2"));
-        let e = TemporalError::ArityMismatch { expected: 3, actual: 1 };
+        let e = TemporalError::ArityMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('1'));
         let e = TemporalError::UnknownAttribute("dept".into());
         assert!(e.to_string().contains("dept"));

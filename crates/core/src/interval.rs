@@ -33,7 +33,10 @@ pub struct Interval {
 
 impl Interval {
     /// The whole representable time-line `[-∞, ∞]`.
-    pub const ALL: Interval = Interval { start: Chronon::MIN, end: Chronon::MAX };
+    pub const ALL: Interval = Interval {
+        start: Chronon::MIN,
+        end: Chronon::MAX,
+    };
 
     /// Creates `[start, end]`, failing if `start > end`.
     #[inline]
@@ -41,7 +44,10 @@ impl Interval {
         if start <= end {
             Ok(Interval { start, end })
         } else {
-            Err(TemporalError::InvalidInterval { start: start.value(), end: end.value() })
+            Err(TemporalError::InvalidInterval {
+                start: start.value(),
+                end: end.value(),
+            })
         }
     }
 
@@ -142,10 +148,16 @@ impl Interval {
             Some(common) => {
                 let mut out = Vec::with_capacity(2);
                 if self.start < common.start {
-                    out.push(Interval { start: self.start, end: common.start.pred() });
+                    out.push(Interval {
+                        start: self.start,
+                        end: common.start.pred(),
+                    });
                 }
                 if common.end < self.end {
-                    out.push(Interval { start: common.end.succ(), end: self.end });
+                    out.push(Interval {
+                        start: common.end.succ(),
+                        end: self.end,
+                    });
                 }
                 out
             }
@@ -161,8 +173,14 @@ impl Interval {
             (Some(*self), None)
         } else {
             (
-                Some(Interval { start: self.start, end: c }),
-                Some(Interval { start: c.succ(), end: self.end }),
+                Some(Interval {
+                    start: self.start,
+                    end: c,
+                }),
+                Some(Interval {
+                    start: c.succ(),
+                    end: self.end,
+                }),
             )
         }
     }
@@ -228,8 +246,7 @@ mod tests {
         for ((a, b), (c, d)) in cases {
             let u = iv(a, b);
             let v = iv(c, d);
-            let brute: Vec<Chronon> =
-                u.chronons().filter(|t| v.contains_chronon(*t)).collect();
+            let brute: Vec<Chronon> = u.chronons().filter(|t| v.contains_chronon(*t)).collect();
             match u.overlap(v) {
                 None => assert!(brute.is_empty(), "{u} ∩ {v}"),
                 Some(w) => {
@@ -304,7 +321,10 @@ mod tests {
     #[test]
     fn split_after_partitions_the_interval() {
         let u = iv(1, 10);
-        assert_eq!(u.split_after(Chronon::new(5)), (Some(iv(1, 5)), Some(iv(6, 10))));
+        assert_eq!(
+            u.split_after(Chronon::new(5)),
+            (Some(iv(1, 5)), Some(iv(6, 10)))
+        );
         assert_eq!(u.split_after(Chronon::new(0)), (None, Some(u)));
         assert_eq!(u.split_after(Chronon::new(10)), (Some(u), None));
         assert_eq!(u.split_after(Chronon::new(99)), (Some(u), None));

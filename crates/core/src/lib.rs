@@ -43,11 +43,11 @@ pub mod tuple;
 pub mod value;
 
 pub use allen::{AllenRelation, AllenSet};
-pub use predicate::{JoinPredicate, PredicateTemplate};
 pub use chronon::Chronon;
 pub use error::{Result, TemporalError};
 pub use interval::Interval;
 pub use period::Period;
+pub use predicate::{JoinPredicate, PredicateTemplate};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema};
 pub use tuple::Tuple;

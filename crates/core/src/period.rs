@@ -31,12 +31,16 @@ pub struct Period {
 impl Period {
     /// The empty period.
     pub fn new() -> Period {
-        Period { intervals: Vec::new() }
+        Period {
+            intervals: Vec::new(),
+        }
     }
 
     /// A period consisting of one interval.
     pub fn from_interval(iv: Interval) -> Period {
-        Period { intervals: vec![iv] }
+        Period {
+            intervals: vec![iv],
+        }
     }
 
     /// Builds a canonical period from arbitrary (unordered, overlapping)
@@ -110,7 +114,8 @@ impl Period {
     #[must_use]
     pub fn union(&self, other: &Period) -> Period {
         // Merge two sorted lists then canonicalize in one pass.
-        let mut all: Vec<Interval> = Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        let mut all: Vec<Interval> =
+            Vec::with_capacity(self.intervals.len() + other.intervals.len());
         let (mut i, mut j) = (0, 0);
         while i < self.intervals.len() || j < other.intervals.len() {
             let take_left = match (self.intervals.get(i), other.intervals.get(j)) {
@@ -215,9 +220,9 @@ impl Period {
     }
 
     fn check_canonical(&self) -> bool {
-        self.intervals.windows(2).all(|w| {
-            w[0].end() < w[1].start() && !w[0].mergeable(w[1])
-        })
+        self.intervals
+            .windows(2)
+            .all(|w| w[0].end() < w[1].start() && !w[0].mergeable(w[1]))
     }
 }
 
@@ -300,7 +305,10 @@ mod tests {
     fn difference_carves_holes() {
         let a = Period::from_intervals([iv(0, 20)]);
         let b = Period::from_intervals([iv(3, 5), iv(10, 12)]);
-        assert_eq!(a.difference(&b).intervals(), &[iv(0, 2), iv(6, 9), iv(13, 20)]);
+        assert_eq!(
+            a.difference(&b).intervals(),
+            &[iv(0, 2), iv(6, 9), iv(13, 20)]
+        );
     }
 
     #[test]
@@ -336,8 +344,16 @@ mod tests {
                 let in_a = a.contains_chronon(c);
                 let in_b = b.contains_chronon(c);
                 assert_eq!(a.union(b).contains_chronon(c), in_a || in_b, "union at {t}");
-                assert_eq!(a.intersect(b).contains_chronon(c), in_a && in_b, "intersect at {t}");
-                assert_eq!(a.difference(b).contains_chronon(c), in_a && !in_b, "difference at {t}");
+                assert_eq!(
+                    a.intersect(b).contains_chronon(c),
+                    in_a && in_b,
+                    "intersect at {t}"
+                );
+                assert_eq!(
+                    a.difference(b).contains_chronon(c),
+                    in_a && !in_b,
+                    "difference at {t}"
+                );
             }
         }
     }

@@ -121,7 +121,10 @@ impl JoinPredicate {
 
     /// A predicate over an arbitrary relation set, with no gap bound.
     pub fn from_set(relations: AllenSet) -> JoinPredicate {
-        JoinPredicate { relations, max_gap: None }
+        JoinPredicate {
+            relations,
+            max_gap: None,
+        }
     }
 
     /// Builder-style: bound the gap of the set's `before`/`after` members
@@ -284,7 +287,10 @@ impl FromStr for JoinPredicate {
         if !saw_term || relations.is_empty() {
             return Err(PredicateParseError("empty predicate".into()));
         }
-        let pred = JoinPredicate { relations, max_gap: None };
+        let pred = JoinPredicate {
+            relations,
+            max_gap: None,
+        };
         Ok(match max_gap {
             Some(g) => pred.with_max_gap(g),
             None => pred,
@@ -331,10 +337,7 @@ mod tests {
         assert_eq!(om.template(), PredicateTemplate::Mixed);
         assert!(!om.partitioning_eligible());
         assert_eq!(om.to_string(), "meets-or-overlaps"); // canonical order
-        assert_eq!(
-            om.to_string().parse::<JoinPredicate>().unwrap(),
-            om
-        );
+        assert_eq!(om.to_string().parse::<JoinPredicate>().unwrap(), om);
 
         let seq: JoinPredicate = "before-or-after".parse().unwrap();
         assert_eq!(seq.template(), PredicateTemplate::Sequence);

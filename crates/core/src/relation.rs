@@ -25,7 +25,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over `schema`.
     pub fn empty(schema: Arc<Schema>) -> Relation {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Builds a relation, validating every tuple against the schema.
@@ -123,9 +126,12 @@ impl Relation {
         for t in &other.tuples {
             *counts.entry(t.clone()).or_insert(0) -= 1;
         }
-        let mut out: Vec<(Tuple, i64)> =
-            counts.into_iter().filter(|(_, c)| *c != 0).collect();
-        out.sort_by(|a, b| a.0.values().cmp(b.0.values()).then(a.0.valid().cmp(&b.0.valid())));
+        let mut out: Vec<(Tuple, i64)> = counts.into_iter().filter(|(_, c)| *c != 0).collect();
+        out.sort_by(|a, b| {
+            a.0.values()
+                .cmp(b.0.values())
+                .then(a.0.valid().cmp(&b.0.valid()))
+        });
         out
     }
 
@@ -187,7 +193,10 @@ mod tests {
     fn construction_validates() {
         let s = schema();
         assert!(Relation::new(Arc::clone(&s), vec![t(1, 0, 5)]).is_ok());
-        let bad = Tuple::new(vec![Value::Str("x".into())], Interval::from_raw(0, 1).unwrap());
+        let bad = Tuple::new(
+            vec![Value::Str("x".into())],
+            Interval::from_raw(0, 1).unwrap(),
+        );
         assert!(Relation::new(s, vec![bad]).is_err());
     }
 

@@ -59,7 +59,10 @@ pub struct AttrDef {
 impl AttrDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: AttrType) -> AttrDef {
-        AttrDef { name: name.into(), ty }
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -243,11 +246,16 @@ mod tests {
     #[test]
     fn check_values_enforces_arity_and_types() {
         let s = emp_schema();
-        assert!(s.check_values(&[Value::Int(1), Value::Str("a".into())]).is_ok());
+        assert!(s
+            .check_values(&[Value::Int(1), Value::Str("a".into())])
+            .is_ok());
         assert!(s.check_values(&[Value::Null, Value::Null]).is_ok());
         assert!(matches!(
             s.check_values(&[Value::Int(1)]),
-            Err(TemporalError::ArityMismatch { expected: 2, actual: 1 })
+            Err(TemporalError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         assert!(matches!(
             s.check_values(&[Value::Str("a".into()), Value::Str("b".into())]),
@@ -297,8 +305,8 @@ mod tests {
 
     #[test]
     fn bytes_type_admits_bytes() {
-        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 8])));
-        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 3]))); // width enforced at storage layer
+        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 8].into())));
+        assert!(AttrType::Bytes(8).admits(&Value::Bytes(vec![0; 3].into()))); // width enforced at storage layer
         assert!(!AttrType::Bytes(8).admits(&Value::Int(1)));
     }
 

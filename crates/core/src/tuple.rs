@@ -46,9 +46,24 @@ impl Tuple {
     }
 
     /// Replaces the valid-time interval, keeping the explicit values.
+    /// Clones the payload; when the tuple is owned and this is its last
+    /// use, prefer [`Tuple::into_with_valid`].
     #[must_use]
     pub fn with_valid(&self, valid: Interval) -> Tuple {
-        Tuple { values: self.values.clone(), valid }
+        Tuple {
+            values: self.values.clone(),
+            valid,
+        }
+    }
+
+    /// Consuming variant of [`Tuple::with_valid`]: rewrites the timestamp
+    /// in place, reusing the payload allocation instead of cloning it.
+    /// Fragment-emitting operators (coalesce, outerjoin padding, window
+    /// restriction) hand the owned tuple to their *last* fragment.
+    #[must_use]
+    pub fn into_with_valid(mut self, valid: Interval) -> Tuple {
+        self.valid = valid;
+        self
     }
 
     /// Consumes the tuple into its parts.
@@ -110,6 +125,17 @@ mod tests {
         let u = t.with_valid(iv(0, 1));
         assert!(t.value_equivalent(&u));
         assert_eq!(u.valid(), iv(0, 1));
+    }
+
+    #[test]
+    fn into_with_valid_rewrites_timestamp_without_cloning() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Bool(true)], iv(5, 9));
+        let ptr = t.values().as_ptr();
+        let u = t.into_with_valid(iv(0, 1));
+        assert_eq!(u.valid(), iv(0, 1));
+        assert_eq!(u.values(), &[Value::Int(1), Value::Bool(true)]);
+        // The payload allocation is reused, not cloned.
+        assert_eq!(u.values().as_ptr(), ptr);
     }
 
     #[test]

@@ -8,6 +8,13 @@ use std::fmt;
 /// but the model supports the small scalar zoo a valid-time DBMS needs;
 /// `Null` exists so that valid-time outerjoins (the TE-outerjoin family of
 /// \[SG89\]) can pad dangling tuples.
+///
+/// The heap variants hold boxed slices, not growable containers: values
+/// are immutable once built, and the box keeps the enum at 24 bytes
+/// (tag + pointer + length) instead of the 32 a `String`/`Vec` capacity
+/// field would force — result materialization copies every surviving
+/// value, so the enum's width is on the join's per-output-tuple critical
+/// path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// SQL-style null; compares equal only to itself here (bag semantics of
@@ -18,10 +25,10 @@ pub enum Value {
     /// Boolean.
     Bool(bool),
     /// UTF-8 string.
-    Str(String),
+    Str(Box<str>),
     /// Opaque fixed-width padding bytes; lets workloads hit an exact
     /// serialized tuple size (the paper's 128-byte tuples).
-    Bytes(Vec<u8>),
+    Bytes(Box<[u8]>),
 }
 
 impl Value {
@@ -100,19 +107,19 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into_boxed_str())
     }
 }
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
-        Value::Bytes(v)
+        Value::Bytes(v.into_boxed_slice())
     }
 }
 
@@ -127,7 +134,7 @@ mod tests {
         assert_eq!(Value::Int(3).as_str(), None);
         assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
-        assert_eq!(Value::Bytes(vec![1, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
         assert!(Value::Null.is_null());
         assert!(!Value::Int(0).is_null());
     }
@@ -138,7 +145,15 @@ mod tests {
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from("hi"), Value::Str("hi".into()));
         assert_eq!(Value::from(String::from("hi")), Value::Str("hi".into()));
-        assert_eq!(Value::from(vec![9u8]), Value::Bytes(vec![9]));
+        assert_eq!(Value::from(vec![9u8]), Value::Bytes(vec![9].into()));
+    }
+
+    #[test]
+    fn value_is_three_words() {
+        // The boxed-slice variants exist for exactly this: result
+        // materialization copies values, so the enum must stay at
+        // tag + fat pointer — not the four words a capacity field costs.
+        assert_eq!(std::mem::size_of::<Value>(), 24);
     }
 
     #[test]
@@ -152,6 +167,6 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Int(-4).to_string(), "-4");
         assert_eq!(Value::Str("q".into()).to_string(), "'q'");
-        assert_eq!(Value::Bytes(vec![0; 16]).to_string(), "x'16B'");
+        assert_eq!(Value::from(vec![0u8; 16]).to_string(), "x'16B'");
     }
 }

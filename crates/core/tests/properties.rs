@@ -2,14 +2,13 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
+use vtjoin_core::algebra::coalesce::is_coalesced;
 use vtjoin_core::algebra::{
     antijoin, coalesce, count_over_time, difference, extremum_over_time, full_outerjoin,
     intersection, natural_join, semijoin, union, Extremum,
 };
-use vtjoin_core::algebra::coalesce::is_coalesced;
 use vtjoin_core::{
-    AllenRelation, AttrDef, AttrType, Chronon, Interval, Period, Relation, Schema, Tuple,
-    Value,
+    AllenRelation, AttrDef, AttrType, Chronon, Interval, Period, Relation, Schema, Tuple, Value,
 };
 
 const T_MAX: i64 = 60;

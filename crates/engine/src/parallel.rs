@@ -46,6 +46,19 @@
 //! lands in its own slot at gather time, and the slots are flattened in
 //! time-major cell order.
 //!
+//! **Columnar batch execution.** By default ([`Layout::Columnar`]) the
+//! executor encodes both relations struct-of-arrays once at scatter time
+//! ([`vtjoin_join::columnar::ColumnarSide`]: flat start/end chronon
+//! columns, a pre-hashed key column, and a dictionary-compressed key-id
+//! column shared across sides) and scatters **row ids** into grid cells
+//! instead of cloning tuple references per cell. Workers run the columnar
+//! kernel mirrors ([`vtjoin_join::kernel::columnar`]) over gathered
+//! column slices — the sweep's endpoint sort is a stable LSD radix sort
+//! on biased start chronons — and emit `(row, row)` pairs,
+//! materializing result tuples once per cell flush. The output (and every
+//! kernel counter) is byte-identical to [`Layout::Row`], which keeps the
+//! pre-columnar loop for A/B measurement (`bench_columnar`).
+//!
 //! **Generalized predicates.** The `_pred` entry points evaluate an
 //! arbitrary [`JoinPredicate`]. Intersection-template predicates run the
 //! grid path above with the predicate-filtering kernel variants (the
@@ -62,16 +75,19 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Instant;
 use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
+use vtjoin_join::columnar::{encode_pair, ColumnarCounters, ColumnarSide, IdBatch, Layout};
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::{
-    choose_kernel, hash_join, hash_join_pred, merge_join_pred, sweep_join, sweep_join_pred,
-    KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
+    choose_kernel, choose_kernel_ids, columnar_hash_join, columnar_hash_join_pred,
+    columnar_sweep_join, columnar_sweep_join_pred, hash_join, hash_join_pred, merge_join_pred,
+    sweep_join, sweep_join_pred, ColumnarScratch, KernelChoice, KernelCounters, KernelKind,
+    OutputBatch, PredicateCounters, SweepScratch,
 };
 use vtjoin_join::partition::intervals::{is_partitioning, replica_range};
 use vtjoin_join::partition::GridPlan;
 use vtjoin_obs::{
-    ConfigSection, Counter, ExecutionReport, GridSection, IoSection, KernelSection, PhaseSection,
-    PredicateSection, ResultSection, SkewSection, WorkerSection,
+    ColumnarSection, ConfigSection, Counter, ExecutionReport, GridSection, IoSection,
+    KernelSection, PhaseSection, PredicateSection, ResultSection, SkewSection, WorkerSection,
 };
 use vtjoin_storage::PagePool;
 
@@ -100,6 +116,21 @@ pub fn parallel_partition_join_with(
     threads: usize,
     choice: KernelChoice,
 ) -> Result<Relation, vtjoin_join::JoinError> {
+    parallel_partition_join_layout(r, s, intervals, threads, choice, Layout::default())
+}
+
+/// As [`parallel_partition_join_with`], with an explicit physical
+/// [`Layout`]: the columnar struct-of-arrays path (the default) or the
+/// row-at-a-time path. Both layouts produce byte-identical output; only
+/// the work profile differs. `bench_columnar` A/Bs the two.
+pub fn parallel_partition_join_layout(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    threads: usize,
+    choice: KernelChoice,
+    layout: Layout,
+) -> Result<Relation, vtjoin_join::JoinError> {
     execute(
         r,
         s,
@@ -107,6 +138,7 @@ pub fn parallel_partition_join_with(
         1,
         threads,
         choice,
+        layout,
         &JoinPredicate::intersects(),
         None,
     )
@@ -127,7 +159,18 @@ pub fn parallel_partition_join_pred(
     threads: usize,
     pred: &JoinPredicate,
 ) -> Result<Relation, vtjoin_join::JoinError> {
-    execute(r, s, intervals, 1, threads, KernelChoice::Auto, pred, None).map(|(rel, _)| rel)
+    execute(
+        r,
+        s,
+        intervals,
+        1,
+        threads,
+        KernelChoice::Auto,
+        Layout::default(),
+        pred,
+        None,
+    )
+    .map(|(rel, _)| rel)
 }
 
 /// As [`parallel_partition_join`], but also reports a per-worker breakdown
@@ -152,6 +195,7 @@ pub fn parallel_partition_join_reported(
         1,
         threads,
         KernelChoice::Auto,
+        Layout::default(),
         &JoinPredicate::intersects(),
         None,
     )?;
@@ -188,6 +232,7 @@ pub fn grid_partition_join_with(
         plan.key_buckets,
         threads,
         choice,
+        Layout::default(),
         &JoinPredicate::intersects(),
         None,
     )
@@ -211,6 +256,7 @@ pub fn grid_partition_join_pred(
         plan.key_buckets,
         threads,
         KernelChoice::Auto,
+        Layout::default(),
         pred,
         None,
     )
@@ -244,6 +290,9 @@ struct ExecDetail {
     /// Wall-clock the coordinator spent gathering worker results (the
     /// scatter/gather join loop), in microseconds.
     coordinator_wait_micros: u64,
+    /// Columnar-path accounting; `None` for row-layout and merge-fallback
+    /// runs (the report then carries no `columnar` section).
+    columnar: Option<ColumnarCounters>,
 }
 
 /// Replicates a relation's tuples into one bucket per partition under the
@@ -280,6 +329,28 @@ fn replicate_cells<'a>(
     cells
 }
 
+/// Scatters an encoded side's **row ids** over the grid under the same
+/// membership rule as [`replicate_cells`]: bucket = masked key hash (read
+/// from the pre-hashed column), partitions = the Leung–Muntz
+/// `replica_range` over the inline chronon columns. Because the hashes
+/// are the same `JoinSpec` key hashes, a row lands in exactly the cells
+/// its tuple lands in under the row layout, in the same order.
+fn scatter_rows(side: &ColumnarSide<'_>, intervals: &[Interval], k: usize) -> Vec<Vec<u32>> {
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); intervals.len() * k];
+    let mask = k as u64 - 1;
+    for row in 0..side.len() as u32 {
+        let b = if k == 1 {
+            0
+        } else {
+            (side.hash(row) & mask) as usize
+        };
+        for i in replica_range(intervals, side.interval(row)) {
+            cells[i * k + b].push(row);
+        }
+    }
+    cells
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute(
     r: &Relation,
@@ -288,6 +359,7 @@ fn execute(
     key_buckets: u64,
     threads: usize,
     choice: KernelChoice,
+    layout: Layout,
     pred: &JoinPredicate,
     shard_pool: Option<(&PagePool, u64)>,
 ) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
@@ -301,9 +373,49 @@ fn execute(
     }
     // Sequence/mixed templates cannot be served by time partitioning (a
     // matching pair may share no partition); they run the merge fallback.
+    // The fallback is row-only: it scans every (outer, inner) pair once,
+    // so a columnar encode would add a pass without removing one.
     if !pred.partitioning_eligible() {
         return execute_merge(r, s, threads, pred);
     }
+    match layout {
+        Layout::Row => execute_row(
+            r,
+            s,
+            intervals,
+            key_buckets,
+            threads,
+            choice,
+            pred,
+            shard_pool,
+        ),
+        Layout::Columnar => execute_columnar(
+            r,
+            s,
+            intervals,
+            key_buckets,
+            threads,
+            choice,
+            pred,
+            shard_pool,
+        ),
+    }
+}
+
+/// The row-layout grid executor (the pre-columnar hot loop, kept intact
+/// as the `bench_columnar` A/B baseline): cells hold `&Tuple` references
+/// and the row kernels splice result tuples as they match.
+#[allow(clippy::too_many_arguments)]
+fn execute_row(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    key_buckets: u64,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    shard_pool: Option<(&PagePool, u64)>,
+) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let k = key_buckets.max(1).next_power_of_two() as usize;
     let n_cells = intervals.len() * k;
@@ -515,6 +627,262 @@ fn execute(
         replicate_micros,
         join_micros,
         coordinator_wait_micros,
+        columnar: None,
+    };
+    Ok((rel, detail))
+}
+
+/// The columnar grid executor: both relations are encoded
+/// struct-of-arrays **once** ([`encode_pair`] — flat chronon columns,
+/// pre-hashed keys, a shared key dictionary), row ids are scattered into
+/// grid cells instead of tuple references, and the workers run the
+/// columnar kernel mirrors over column slices, emitting `(row, row)`
+/// pairs. Each cell's pairs are late-materialized into
+/// result tuples in one pass at flush time. Output, output order, and
+/// every kernel counter are byte-identical to [`execute_row`]; the run
+/// additionally reports [`ColumnarCounters`].
+#[allow(clippy::too_many_arguments)]
+fn execute_columnar(
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    key_buckets: u64,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    shard_pool: Option<(&PagePool, u64)>,
+) -> Result<(Relation, ExecDetail), vtjoin_join::JoinError> {
+    let spec = JoinSpec::natural(r.schema(), s.schema())?;
+    let k = key_buckets.max(1).next_power_of_two() as usize;
+    let n_cells = intervals.len() * k;
+    let natural = pred.is_natural();
+
+    let replicate_started = Instant::now();
+    let enc = encode_pair(&spec, r.iter(), s.iter());
+    let r_cells = scatter_rows(&enc.outer, intervals, k);
+    let s_cells = scatter_rows(&enc.inner, intervals, k);
+    let replicate_micros = replicate_started.elapsed().as_micros() as u64;
+
+    let est_costs: Vec<u64> = (0..n_cells)
+        .map(|c| r_cells[c].len() as u64 * s_cells[c].len() as u64)
+        .collect();
+    let mut order: Vec<usize> = (0..n_cells).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(est_costs[c]));
+
+    let num_workers = threads.max(1).min(n_cells);
+    let next = AtomicUsize::new(0);
+
+    let join_started = Instant::now();
+    let mut outputs: Vec<Vec<Tuple>> = vec![Vec::new(); n_cells];
+    let mut workers: Vec<WorkerSection> = Vec::with_capacity(num_workers);
+    let mut probes = 0u64;
+    let mut match_tests = 0u64;
+    let mut kernel = KernelCounters::default();
+    let mut predicate = PredicateCounters::default();
+    let mut columnar = ColumnarCounters::default();
+    let mut coordinator_wait_micros = 0u64;
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for w in 0..num_workers {
+            let spec = &spec;
+            let enc = &enc;
+            let r_cells = &r_cells;
+            let s_cells = &s_cells;
+            let order = &order;
+            let est_costs = &est_costs;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let _reservation = shard_pool.and_then(|(pool, pages)| pool.try_reserve(pages));
+                let started = Instant::now();
+                let mut cells = 0u64;
+                let mut tuples = 0u64;
+                let mut busy = std::time::Duration::ZERO;
+                let mut probes = 0u64;
+                let mut match_tests = 0u64;
+                let mut kernel = KernelCounters::default();
+                let mut predicate = PredicateCounters::default();
+                let mut columnar = ColumnarCounters::default();
+                // Reused across every cell this worker steals: radix
+                // pair/scratch buffers and the id-pair batch grow to the
+                // workload's high-water mark once, then never again.
+                let mut scratch = ColumnarScratch::default();
+                let mut batch = IdBatch::new();
+                // Per-cell output vectors, exact-sized from the batch's
+                // pair count before materializing: the id batch already
+                // knows the cell's cardinality, so — unlike the row
+                // worker's arena-then-split — no tuple is ever moved
+                // again after its one late-materialization splice.
+                let mut produced: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                let mut emitted_total = 0u64;
+                let mut cost_total = 0u64;
+                loop {
+                    let q = next.fetch_add(1, Ordering::Relaxed);
+                    if q >= order.len() {
+                        break;
+                    }
+                    let c = order[q];
+                    let p_c = intervals[c / k];
+                    let claimed = Instant::now();
+                    let mut out_cell: Vec<Tuple> = Vec::new();
+                    if !r_cells[c].is_empty() && !s_cells[c].is_empty() {
+                        let est = if cost_total > 0 {
+                            ((emitted_total as u128 * est_costs[c] as u128 / cost_total as u128)
+                                as usize)
+                                .max(16)
+                        } else {
+                            r_cells[c].len().max(s_cells[c].len())
+                        };
+                        batch.begin(est);
+                        match choose_kernel_ids(
+                            choice,
+                            &enc.outer,
+                            &r_cells[c],
+                            &enc.inner,
+                            &s_cells[c],
+                        ) {
+                            KernelKind::Hash => {
+                                let hs = if natural {
+                                    columnar_hash_join(
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                } else {
+                                    columnar_hash_join_pred(
+                                        pred,
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                };
+                                probes += hs.probes;
+                                match_tests += hs.match_tests;
+                                predicate.filter_checks += hs.filter_checks;
+                                predicate.filter_hits += hs.filter_hits;
+                                kernel.hash_partitions += 1;
+                            }
+                            KernelKind::Sweep => {
+                                let (ss, radix_passes) = if natural {
+                                    columnar_sweep_join(
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                } else {
+                                    columnar_sweep_join_pred(
+                                        pred,
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    )
+                                };
+                                kernel.sweep_partitions += 1;
+                                kernel.sweep_comparisons += ss.comparisons;
+                                predicate.filter_checks += ss.filter_checks;
+                                predicate.filter_hits += ss.filter_hits;
+                                columnar.radix_passes += radix_passes;
+                            }
+                        }
+                        emitted_total += batch.len() as u64;
+                        cost_total += est_costs[c];
+                        // The late-materialization pass: one splice per
+                        // buffered pair, once per cell, straight into the
+                        // exact-sized per-cell vector.
+                        out_cell.reserve_exact(batch.len());
+                        columnar.materialized_rows +=
+                            batch.materialize_each(spec, &enc.outer, &enc.inner, |t| {
+                                out_cell.push(t)
+                            });
+                    }
+                    busy += claimed.elapsed();
+                    cells += 1;
+                    tuples += out_cell.len() as u64;
+                    produced.push((c, out_cell));
+                }
+                kernel.batches_flushed = batch.batches_flushed();
+                let section = WorkerSection {
+                    worker: w as u64,
+                    partitions: cells,
+                    tuples,
+                    wall_micros: started.elapsed().as_micros() as u64,
+                    busy_micros: busy.as_micros() as u64,
+                };
+                (
+                    section,
+                    produced,
+                    probes,
+                    match_tests,
+                    kernel,
+                    predicate,
+                    columnar,
+                )
+            }));
+        }
+        let gather_started = Instant::now();
+        let mut worker_panicked = false;
+        for h in handles {
+            match h.join() {
+                Ok((section, produced, p, m, kc, pc, cc)) => {
+                    workers.push(section);
+                    probes += p;
+                    match_tests += m;
+                    kernel.merge(kc);
+                    predicate.merge(pc);
+                    columnar.merge(cc);
+                    for (c, out) in produced {
+                        outputs[c] = out;
+                    }
+                }
+                Err(_) => worker_panicked = true,
+            }
+        }
+        coordinator_wait_micros = gather_started.elapsed().as_micros() as u64;
+        if worker_panicked {
+            return Err(vtjoin_join::JoinError::Internal(
+                "partition worker panicked",
+            ));
+        }
+        Ok(())
+    })?;
+    let join_micros = join_started.elapsed().as_micros() as u64;
+
+    // Encode-time figures live on the pair, not the workers.
+    columnar.encode_micros = enc.encode_micros;
+    columnar.dict_size = enc.dict_size;
+
+    let tuples: Vec<Tuple> = outputs.into_iter().flatten().collect();
+    let rel = Relation::from_parts_unchecked(Arc::clone(spec.out_schema()), tuples);
+    let detail = ExecDetail {
+        workers,
+        replicated_r: r_cells.iter().map(|p| p.len() as u64).sum(),
+        replicated_s: s_cells.iter().map(|p| p.len() as u64).sum(),
+        input_tuples: r.len() as u64 + s.len() as u64,
+        key_buckets: k as u64,
+        est_costs,
+        probes,
+        match_tests,
+        kernel,
+        predicate,
+        replicate_micros,
+        join_micros,
+        coordinator_wait_micros,
+        columnar: Some(columnar),
     };
     Ok((rel, detail))
 }
@@ -604,6 +972,7 @@ fn execute_merge(
         replicate_micros,
         join_micros,
         coordinator_wait_micros: 0,
+        columnar: None,
     };
     Ok((rel, detail))
 }
@@ -665,7 +1034,17 @@ pub fn parallel_execution_report_with(
     choice: KernelChoice,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
     let pred = JoinPredicate::intersects();
-    let (rel, detail) = execute(r, s, intervals, 1, threads, choice, &pred, None)?;
+    let (rel, detail) = execute(
+        r,
+        s,
+        intervals,
+        1,
+        threads,
+        choice,
+        Layout::default(),
+        &pred,
+        None,
+    )?;
     Ok(build_report(rel, detail, intervals, threads, &pred))
 }
 
@@ -680,7 +1059,17 @@ pub fn parallel_execution_report_pred(
     threads: usize,
     pred: &JoinPredicate,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(r, s, intervals, 1, threads, KernelChoice::Auto, pred, None)?;
+    let (rel, detail) = execute(
+        r,
+        s,
+        intervals,
+        1,
+        threads,
+        KernelChoice::Auto,
+        Layout::default(),
+        pred,
+        None,
+    )?;
     Ok(build_report(rel, detail, intervals, threads, pred))
 }
 
@@ -692,7 +1081,31 @@ pub fn grid_execution_report_with(
     threads: usize,
     choice: KernelChoice,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let pred = JoinPredicate::intersects();
+    grid_execution_report_layout(
+        r,
+        s,
+        plan,
+        threads,
+        choice,
+        &JoinPredicate::intersects(),
+        Layout::default(),
+    )
+}
+
+/// As [`grid_execution_report_with`], with an explicit physical
+/// [`Layout`] and predicate. This is the A/B surface `bench_columnar`
+/// measures: both layouts produce byte-identical output and kernel
+/// counters; columnar runs additionally carry the schema-v9 `columnar`
+/// report section.
+pub fn grid_execution_report_layout(
+    r: &Relation,
+    s: &Relation,
+    plan: &GridPlan,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    layout: Layout,
+) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
     let (rel, detail) = execute(
         r,
         s,
@@ -700,10 +1113,11 @@ pub fn grid_execution_report_with(
         plan.key_buckets,
         threads,
         choice,
-        &pred,
+        layout,
+        pred,
         None,
     )?;
-    Ok(build_report(rel, detail, &plan.intervals, threads, &pred))
+    Ok(build_report(rel, detail, &plan.intervals, threads, pred))
 }
 
 /// As [`grid_execution_report_with`], evaluating an arbitrary
@@ -715,17 +1129,15 @@ pub fn grid_execution_report_pred(
     threads: usize,
     pred: &JoinPredicate,
 ) -> Result<(Relation, ExecutionReport), vtjoin_join::JoinError> {
-    let (rel, detail) = execute(
+    grid_execution_report_layout(
         r,
         s,
-        &plan.intervals,
-        plan.key_buckets,
+        plan,
         threads,
         KernelChoice::Auto,
         pred,
-        None,
-    )?;
-    Ok(build_report(rel, detail, &plan.intervals, threads, pred))
+        Layout::default(),
+    )
 }
 
 /// As [`grid_execution_report_pred`], with each shard worker pinning
@@ -739,6 +1151,7 @@ pub fn grid_execution_report_sharded(
     plan: &GridPlan,
     threads: usize,
     choice: KernelChoice,
+    layout: Layout,
     pred: &JoinPredicate,
     pool: &PagePool,
     pages_per_worker: u64,
@@ -750,6 +1163,7 @@ pub fn grid_execution_report_sharded(
         plan.key_buckets,
         threads,
         choice,
+        layout,
         pred,
         Some((pool, pages_per_worker)),
     )?;
@@ -792,6 +1206,7 @@ pub fn grid_join_streamed(
     plan: &GridPlan,
     threads: usize,
     choice: KernelChoice,
+    layout: Layout,
     pred: &JoinPredicate,
     pool: &PagePool,
     pages_per_worker: u64,
@@ -808,6 +1223,81 @@ pub fn grid_join_streamed(
     }
     let spec = JoinSpec::natural(r.schema(), s.schema())?;
     let k = plan.key_buckets.max(1).next_power_of_two() as usize;
+    match layout {
+        Layout::Row => stream_cells_row(
+            &spec,
+            r,
+            s,
+            intervals,
+            k,
+            threads,
+            choice,
+            pred,
+            pool,
+            pages_per_worker,
+            sink,
+        ),
+        Layout::Columnar => stream_cells_columnar(
+            &spec,
+            r,
+            s,
+            intervals,
+            k,
+            threads,
+            choice,
+            pred,
+            pool,
+            pages_per_worker,
+            sink,
+        ),
+    }
+}
+
+/// The streaming coordinator's reorder window: receives `(cell, batch)`
+/// pairs in completion order and releases them to `sink` strictly in cell
+/// order (empty batches advance the window silently). Returns how many
+/// cells were released — fewer than `n_cells` means a worker died before
+/// sending its marker.
+fn release_in_order(
+    rx: mpsc::Receiver<(usize, Vec<Tuple>)>,
+    n_cells: usize,
+    summary: &mut StreamSummary,
+    sink: &mut dyn FnMut(Vec<Tuple>),
+) -> usize {
+    let mut pending: Vec<Option<Vec<Tuple>>> = (0..n_cells).map(|_| None).collect();
+    let mut next_out = 0usize;
+    for (c, out) in rx {
+        pending[c] = Some(out);
+        while next_out < n_cells {
+            let Some(out) = pending[next_out].take() else {
+                break;
+            };
+            next_out += 1;
+            if !out.is_empty() {
+                summary.batches += 1;
+                summary.tuples += out.len() as u64;
+                sink(out);
+            }
+        }
+    }
+    next_out
+}
+
+/// The row-layout streaming worker loop (see [`grid_join_streamed`]).
+#[allow(clippy::too_many_arguments)]
+fn stream_cells_row(
+    spec: &JoinSpec,
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    k: usize,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    pool: &PagePool,
+    pages_per_worker: u64,
+    sink: &mut dyn FnMut(Vec<Tuple>),
+) -> Result<StreamSummary, vtjoin_join::JoinError> {
     let n_cells = intervals.len() * k;
     let natural = pred.is_natural();
 
@@ -827,7 +1317,6 @@ pub fn grid_join_streamed(
         let (tx, rx) = mpsc::channel::<(usize, Vec<Tuple>)>();
         let mut handles = Vec::with_capacity(num_workers);
         for _ in 0..num_workers {
-            let spec = &spec;
             let r_cells = &r_cells;
             let s_cells = &s_cells;
             let order = &order;
@@ -898,22 +1387,150 @@ pub fn grid_join_streamed(
         drop(tx);
         // Reorder window: release cells strictly in time-major order, so
         // the stream is deterministic regardless of completion order.
-        let mut pending: Vec<Option<Vec<Tuple>>> = (0..n_cells).map(|_| None).collect();
-        let mut next_out = 0usize;
-        for (c, out) in rx {
-            pending[c] = Some(out);
-            while next_out < n_cells {
-                let Some(out) = pending[next_out].take() else {
-                    break;
-                };
-                next_out += 1;
-                if !out.is_empty() {
-                    summary.batches += 1;
-                    summary.tuples += out.len() as u64;
-                    sink(out);
-                }
+        let next_out = release_in_order(rx, n_cells, &mut summary, sink);
+        let mut worker_panicked = false;
+        for h in handles {
+            if h.join().is_err() {
+                worker_panicked = true;
             }
         }
+        if worker_panicked || next_out < n_cells {
+            return Err(vtjoin_join::JoinError::Internal(
+                "partition worker panicked",
+            ));
+        }
+        Ok(())
+    })?;
+    Ok(summary)
+}
+
+/// The columnar streaming worker loop: one encode pass up front, row-id
+/// scatter, and per-cell late materialization *on the worker* — the wire
+/// unit stays a fully materialized per-cell `Vec<Tuple>`, byte-identical
+/// to the row path's batches.
+#[allow(clippy::too_many_arguments)]
+fn stream_cells_columnar(
+    spec: &JoinSpec,
+    r: &Relation,
+    s: &Relation,
+    intervals: &[Interval],
+    k: usize,
+    threads: usize,
+    choice: KernelChoice,
+    pred: &JoinPredicate,
+    pool: &PagePool,
+    pages_per_worker: u64,
+    sink: &mut dyn FnMut(Vec<Tuple>),
+) -> Result<StreamSummary, vtjoin_join::JoinError> {
+    let n_cells = intervals.len() * k;
+    let natural = pred.is_natural();
+
+    let enc = encode_pair(spec, r.iter(), s.iter());
+    let r_cells = scatter_rows(&enc.outer, intervals, k);
+    let s_cells = scatter_rows(&enc.inner, intervals, k);
+
+    let est_costs: Vec<u64> = (0..n_cells)
+        .map(|c| r_cells[c].len() as u64 * s_cells[c].len() as u64)
+        .collect();
+    let mut order: Vec<usize> = (0..n_cells).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(est_costs[c]));
+
+    let num_workers = threads.max(1).min(n_cells);
+    let next = AtomicUsize::new(0);
+    let mut summary = StreamSummary::default();
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Tuple>)>();
+        let mut handles = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            let enc = &enc;
+            let r_cells = &r_cells;
+            let s_cells = &s_cells;
+            let order = &order;
+            let next = &next;
+            let tx = tx.clone();
+            handles.push(scope.spawn(move || {
+                let _reservation = pool.try_reserve(pages_per_worker);
+                let mut scratch = ColumnarScratch::default();
+                let mut batch = IdBatch::new();
+                loop {
+                    let q = next.fetch_add(1, Ordering::Relaxed);
+                    if q >= order.len() {
+                        break;
+                    }
+                    let c = order[q];
+                    let p_c = intervals[c / k];
+                    let mut out: Vec<Tuple> = Vec::new();
+                    if !r_cells[c].is_empty() && !s_cells[c].is_empty() {
+                        batch.begin(r_cells[c].len().max(s_cells[c].len()).max(16));
+                        match choose_kernel_ids(
+                            choice,
+                            &enc.outer,
+                            &r_cells[c],
+                            &enc.inner,
+                            &s_cells[c],
+                        ) {
+                            KernelKind::Hash => {
+                                if natural {
+                                    columnar_hash_join(
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                } else {
+                                    columnar_hash_join_pred(
+                                        pred,
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                }
+                            }
+                            KernelKind::Sweep => {
+                                if natural {
+                                    columnar_sweep_join(
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                } else {
+                                    columnar_sweep_join_pred(
+                                        pred,
+                                        &enc.outer,
+                                        &r_cells[c],
+                                        &enc.inner,
+                                        &s_cells[c],
+                                        p_c,
+                                        &mut scratch,
+                                        &mut batch,
+                                    );
+                                }
+                            }
+                        }
+                        out.reserve_exact(batch.len());
+                        batch.materialize_each(spec, &enc.outer, &enc.inner, |t| out.push(t));
+                    }
+                    // Empty cells still send their (empty) marker so the
+                    // reorder window can advance past them.
+                    if tx.send((c, out)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let next_out = release_in_order(rx, n_cells, &mut summary, sink);
         let mut worker_panicked = false;
         for h in handles {
             if h.join().is_err() {
@@ -963,22 +1580,7 @@ fn merge_join_streamed(
             }));
         }
         drop(tx);
-        let mut pending: Vec<Option<Vec<Tuple>>> = (0..n_chunks).map(|_| None).collect();
-        let mut next_out = 0usize;
-        for (w, out) in rx {
-            pending[w] = Some(out);
-            while next_out < n_chunks {
-                let Some(out) = pending[next_out].take() else {
-                    break;
-                };
-                next_out += 1;
-                if !out.is_empty() {
-                    summary.batches += 1;
-                    summary.tuples += out.len() as u64;
-                    sink(out);
-                }
-            }
-        }
+        let next_out = release_in_order(rx, n_chunks, &mut summary, sink);
         let mut worker_panicked = false;
         for h in handles {
             if h.join().is_err() {
@@ -1111,6 +1713,12 @@ fn build_report(
             })
         },
         grid,
+        columnar: detail.columnar.map(|c| ColumnarSection {
+            encode_micros: c.encode_micros,
+            radix_passes: c.radix_passes,
+            dict_size: c.dict_size,
+            materialized_rows: c.materialized_rows,
+        }),
     };
     (rel, report)
 }
@@ -1299,34 +1907,37 @@ mod tests {
                 intervals: equal_width(Interval::from_raw(0, 400).unwrap(), 6),
             };
             let want = grid_partition_join(&r, &s, &plan, 1).unwrap();
-            for threads in [1usize, 2, 4] {
-                let pool = PagePool::new(64);
-                let mut streamed: Vec<Tuple> = Vec::new();
-                let mut batches = 0u64;
-                let summary = grid_join_streamed(
-                    &r,
-                    &s,
-                    &plan,
-                    threads,
-                    KernelChoice::Auto,
-                    &JoinPredicate::intersects(),
-                    &pool,
-                    4,
-                    &mut |b| {
-                        assert!(!b.is_empty(), "sink only sees non-empty batches");
-                        batches += 1;
-                        streamed.extend(b);
-                    },
-                )
-                .unwrap();
-                assert_eq!(summary.batches, batches);
-                assert_eq!(summary.tuples, streamed.len() as u64);
-                assert_eq!(
-                    streamed,
-                    want.tuples(),
-                    "key_buckets = {key_buckets}, threads = {threads}"
-                );
-                assert_eq!(pool.in_flight(), 0, "shard reservations released");
+            for layout in [Layout::Row, Layout::Columnar] {
+                for threads in [1usize, 2, 4] {
+                    let pool = PagePool::new(64);
+                    let mut streamed: Vec<Tuple> = Vec::new();
+                    let mut batches = 0u64;
+                    let summary = grid_join_streamed(
+                        &r,
+                        &s,
+                        &plan,
+                        threads,
+                        KernelChoice::Auto,
+                        layout,
+                        &JoinPredicate::intersects(),
+                        &pool,
+                        4,
+                        &mut |b| {
+                            assert!(!b.is_empty(), "sink only sees non-empty batches");
+                            batches += 1;
+                            streamed.extend(b);
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(summary.batches, batches);
+                    assert_eq!(summary.tuples, streamed.len() as u64);
+                    assert_eq!(
+                        streamed,
+                        want.tuples(),
+                        "key_buckets = {key_buckets}, layout = {layout:?}, threads = {threads}"
+                    );
+                    assert_eq!(pool.in_flight(), 0, "shard reservations released");
+                }
             }
         }
     }
@@ -1348,6 +1959,7 @@ mod tests {
                 &plan,
                 threads,
                 KernelChoice::Auto,
+                Layout::default(),
                 &pred,
                 &pool,
                 4,
@@ -1572,9 +2184,18 @@ mod tests {
         let plan = GridPlan::with_buckets(2, parts);
         let pool = PagePool::new(64);
         let pred = JoinPredicate::intersects();
-        let (got, _) =
-            grid_execution_report_sharded(&r, &s, &plan, 3, KernelChoice::Auto, &pred, &pool, 8)
-                .unwrap();
+        let (got, _) = grid_execution_report_sharded(
+            &r,
+            &s,
+            &plan,
+            3,
+            KernelChoice::Auto,
+            Layout::default(),
+            &pred,
+            &pool,
+            8,
+        )
+        .unwrap();
         let want = natural_join(&r, &s).unwrap();
         assert!(got.multiset_eq(&want));
         // Every worker's reservation was granted and released.
@@ -1583,9 +2204,18 @@ mod tests {
         assert_eq!(pool.stats().released, 3);
         // A pool too small for any share still completes the join.
         let tiny = PagePool::new(4);
-        let (got, _) =
-            grid_execution_report_sharded(&r, &s, &plan, 3, KernelChoice::Auto, &pred, &tiny, 8)
-                .unwrap();
+        let (got, _) = grid_execution_report_sharded(
+            &r,
+            &s,
+            &plan,
+            3,
+            KernelChoice::Auto,
+            Layout::default(),
+            &pred,
+            &tiny,
+            8,
+        )
+        .unwrap();
         assert!(got.multiset_eq(&want));
         assert_eq!(tiny.in_flight(), 0);
     }
@@ -1683,5 +2313,114 @@ mod tests {
         assert!(parallel_partition_join(&r, &s, &parts, 2)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn columnar_layout_is_byte_identical_to_row_layout() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let six = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        for plan in [
+            GridPlan::time_only(six.clone()),
+            GridPlan::with_buckets(4, six.clone()),
+            GridPlan::time_only(vec![Interval::ALL]),
+        ] {
+            for pred in ["intersects", "overlaps", "during", "meets-or-overlaps"] {
+                let pred: JoinPredicate = pred.parse().unwrap();
+                for choice in [KernelChoice::Auto, KernelChoice::Hash, KernelChoice::Sweep] {
+                    for threads in [1usize, 3] {
+                        let (row, row_er) = grid_execution_report_layout(
+                            &r,
+                            &s,
+                            &plan,
+                            threads,
+                            choice,
+                            &pred,
+                            Layout::Row,
+                        )
+                        .unwrap();
+                        let (col, col_er) = grid_execution_report_layout(
+                            &r,
+                            &s,
+                            &plan,
+                            threads,
+                            choice,
+                            &pred,
+                            Layout::Columnar,
+                        )
+                        .unwrap();
+                        let ctx = format!(
+                            "K={} N={} pred={pred} choice={choice:?} threads={threads}",
+                            plan.key_buckets,
+                            plan.intervals.len()
+                        );
+                        assert_eq!(row.tuples(), col.tuples(), "{ctx}");
+                        // Not just the result: the work profile mirrors too.
+                        assert_eq!(row_er.kernel, col_er.kernel, "{ctx}");
+                        assert_eq!(
+                            row_er.counter("cpu_probes"),
+                            col_er.counter("cpu_probes"),
+                            "{ctx}"
+                        );
+                        assert_eq!(
+                            row_er.counter("cpu_match_tests"),
+                            col_er.counter("cpu_match_tests"),
+                            "{ctx}"
+                        );
+                        assert_eq!(row_er.predicate, col_er.predicate, "{ctx}");
+                        assert_eq!(
+                            row_er.grid.map(|g| (
+                                g.key_buckets,
+                                g.cells,
+                                g.replication_factor_x100
+                            )),
+                            col_er.grid.map(|g| (
+                                g.key_buckets,
+                                g.cells,
+                                g.replication_factor_x100
+                            )),
+                            "{ctx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_report_section_accounts_the_run() {
+        let r = rel("b", 200, 4);
+        let s = rel("c", 200, 3);
+        let parts = equal_width(Interval::from_raw(0, 400).unwrap(), 6);
+        let plan = GridPlan::with_buckets(2, parts);
+        let pred = JoinPredicate::intersects();
+
+        // Row runs carry no columnar section.
+        let (_, er) =
+            grid_execution_report_layout(&r, &s, &plan, 2, KernelChoice::Auto, &pred, Layout::Row)
+                .unwrap();
+        assert!(er.columnar.is_none());
+
+        // Columnar runs account every materialized tuple and the shared
+        // dictionary, and round-trip through the v9 JSON schema.
+        let (got, er) = grid_execution_report_layout(
+            &r,
+            &s,
+            &plan,
+            2,
+            KernelChoice::Sweep,
+            &pred,
+            Layout::Columnar,
+        )
+        .unwrap();
+        let c = er.columnar.expect("columnar section");
+        assert_eq!(c.materialized_rows, got.len() as u64);
+        // 6 join keys on each side → 6 interned entries.
+        assert_eq!(c.dict_size, 6);
+        // Forced sweep on a non-trivial workload sorts at least one cell.
+        assert!(c.radix_passes > 0);
+        let back = vtjoin_obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        assert_eq!(back, er);
+        assert_eq!(back.columnar, er.columnar);
     }
 }

@@ -56,6 +56,7 @@ use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
+use vtjoin_join::columnar::Layout;
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::KernelChoice;
 use vtjoin_join::partition::planner::{determine_part_intervals, plan_error_size};
@@ -560,6 +561,10 @@ pub struct ServiceConfig {
     pub threads_per_query: usize,
     /// Kernel policy for the parallel executor.
     pub kernel: KernelChoice,
+    /// Physical batch layout for the parallel executor: columnar
+    /// struct-of-arrays (the default) or the row-at-a-time baseline.
+    /// Both produce byte-identical results.
+    pub layout: Layout,
     /// Grid policy for the executor's key axis: cost-chosen (`Auto`, the
     /// default), forced time-only, forced key × time, or a fixed bucket
     /// count. Overridable per request via [`JoinService::submit_grid`].
@@ -583,6 +588,7 @@ impl ServiceConfig {
             max_queue: 16,
             threads_per_query: 4,
             kernel: KernelChoice::Auto,
+            layout: Layout::default(),
             grid: GridChoice::Auto,
             plan_cache: true,
             residency_pages: pool_pages / 2,
@@ -1041,6 +1047,7 @@ impl JoinService {
             &plan,
             threads,
             self.cfg.kernel,
+            self.cfg.layout,
             pred,
             &shard_pool,
             share,
@@ -1086,6 +1093,7 @@ impl JoinService {
             &plan,
             threads,
             self.cfg.kernel,
+            self.cfg.layout,
             pred,
             &shard_pool,
             share,
@@ -1350,6 +1358,7 @@ impl JoinService {
             service: Some(self.service_section()),
             predicate: None,
             grid: None,
+            columnar: None,
         }
     }
 }

@@ -135,10 +135,11 @@ pub fn partition_cost_lower_bound(
     let part_size = outer_area.saturating_sub(1).max(1);
     let n = outer_pages.div_ceil(part_size);
     let sample = scan(outer_pages, ratio); // §4.2 cap
-    let partition = 2 * (scan(outer_pages, ratio) + outer_pages)
-        + 2 * (scan(inner_pages, ratio) + inner_pages);
+    let partition =
+        2 * (scan(outer_pages, ratio) + outer_pages) + 2 * (scan(inner_pages, ratio) + inner_pages);
     // Joining: one seek per partition per relation.
-    let join = n * ratio.random + outer_pages.saturating_sub(n)
+    let join = n * ratio.random
+        + outer_pages.saturating_sub(n)
         + n * ratio.random
         + inner_pages.saturating_sub(n);
     sample + partition / 2 + join
@@ -171,7 +172,10 @@ mod tests {
         assert_eq!(big, (5 + 99) + (5 + 99));
         // Degenerate inputs.
         assert_eq!(nested_loop_cost(0, 50, 10, CostRatio::R5), 0);
-        assert_eq!(nested_loop_cost(50, 0, 10, CostRatio::R5), scan(50, CostRatio::R5));
+        assert_eq!(
+            nested_loop_cost(50, 0, 10, CostRatio::R5),
+            scan(50, CostRatio::R5)
+        );
     }
 
     #[test]

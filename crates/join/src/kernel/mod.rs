@@ -76,10 +76,15 @@
 //! ```
 
 pub mod batch;
+pub mod columnar;
 pub mod merge;
 pub mod sweep;
 
 pub use batch::OutputBatch;
+pub use columnar::{
+    choose_kernel_ids, columnar_hash_join, columnar_hash_join_pred, columnar_sweep_join,
+    columnar_sweep_join_pred, estimate_dups_per_key_x100_ids, ColumnarScratch,
+};
 pub use merge::{merge_join_pred, MergeStats};
 pub use sweep::{sweep_join, sweep_join_pred, SweepScratch, SweepStats};
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod columnar;
 pub mod common;
 pub mod cost;
 pub mod kernel;
@@ -40,12 +41,13 @@ pub mod sort;
 pub mod sort_merge;
 pub mod time_index;
 
+pub use columnar::{ColumnarCounters, ColumnarPair, ColumnarSide, IdBatch, Layout};
 pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseStats, Result};
 pub use kernel::{
     KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
 };
-pub use report::{execution_report, partition_execution_report};
 pub use nested_loop::NestedLoopJoin;
 pub use partition::{PartitionJoin, ReplicatedPartitionJoin};
+pub use report::{execution_report, partition_execution_report};
 pub use sort_merge::SortMergeJoin;
 pub use time_index::{TimeIndex, TimeIndexJoin};

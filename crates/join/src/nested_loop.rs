@@ -35,12 +35,7 @@ impl JoinAlgorithm for NestedLoopJoin {
         "nested-loop"
     }
 
-    fn execute(
-        &self,
-        outer: &HeapFile,
-        inner: &HeapFile,
-        cfg: &JoinConfig,
-    ) -> Result<JoinReport> {
+    fn execute(&self, outer: &HeapFile, inner: &HeapFile, cfg: &JoinConfig) -> Result<JoinReport> {
         if cfg.buffer_pages < Self::MIN_BUFFER_PAGES {
             return Err(JoinError::InsufficientMemory {
                 algorithm: self.name(),
@@ -86,8 +81,7 @@ impl JoinAlgorithm for NestedLoopJoin {
             } else {
                 for p in 0..inner.pages() {
                     for y in inner.read_page(p)? {
-                        let (c, h) =
-                            table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
+                        let (c, h) = table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
                         filter_checks += c;
                         filter_hits += h;
                     }
@@ -233,7 +227,10 @@ mod tests {
         let cfg = JoinConfig::with_buffer(hr.pages() + 2);
         let report = NestedLoopJoin.execute(&hr, &hs, &cfg).unwrap();
         assert_eq!(report.note("outer_chunks"), Some(1));
-        assert_eq!(report.io.random_reads + report.io.seq_reads, hr.pages() + hs.pages());
+        assert_eq!(
+            report.io.random_reads + report.io.seq_reads,
+            hr.pages() + hs.pages()
+        );
     }
 
     #[test]

@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn long_lived_tuples_count_in_every_earlier_partition() {
         let parts = equal_width(iv(0, 99), 4); // [..24][25..49][50..74][75..]
-        // One tuple spanning partitions 0..=3: cached while joining 0, 1, 2.
+                                               // One tuple spanning partitions 0..=3: cached while joining 0, 1, 2.
         let samples = vec![iv(0, 99)];
         let est = estimate_cache_sizes(&samples, 1, &parts, 1.0);
         assert_eq!(est, vec![1, 1, 1, 0]);
@@ -130,6 +130,9 @@ mod tests {
         let est = estimate_cache_sizes(&samples, 120, &parts, 10.0);
         assert_eq!(*est.last().unwrap(), 0, "last partition never caches");
         assert!(est[0] <= est[1] || est[0] > 0, "profile sane: {est:?}");
-        assert!(est.iter().take(4).any(|&e| e > 0), "long-lived must show up");
+        assert!(
+            est.iter().take(4).any(|&e| e > 0),
+            "long-lived must show up"
+        );
     }
 }

@@ -28,8 +28,9 @@
 //! "buffer thrashing" cost.
 
 use super::intervals::is_partitioning;
+use crate::columnar::{encode_pair, ColumnarCounters, IdBatch, Layout};
 use crate::common::{BlockTable, CpuCounters, JoinError, JoinSpec, Result, ResultSink};
-use crate::kernel::OutputBatch;
+use crate::kernel::{columnar_hash_join, columnar_hash_join_pred, ColumnarScratch, OutputBatch};
 use vtjoin_core::{Interval, JoinPredicate, Tuple};
 use vtjoin_storage::{codec, FileHandle, HeapFile, PageBuf};
 
@@ -56,7 +57,11 @@ pub fn buffer_layout(buffer_pages: u64, reserved_cache_pages: u64) -> BufferLayo
     let write_batch = CACHE_WRITE_BATCH.min((buffer_pages / 4).max(1));
     let sizing_area = buffer_pages.saturating_sub(3).saturating_sub(write_batch);
     let outer_area = sizing_area.saturating_sub(reserved_cache_pages).max(1);
-    BufferLayout { write_batch, sizing_area, outer_area }
+    BufferLayout {
+        write_batch,
+        sizing_area,
+        outer_area,
+    }
 }
 
 /// Diagnostics from the join phase.
@@ -82,6 +87,9 @@ pub struct ExecNotes {
     pub filter_hits: i64,
     /// Main-memory operation counts (§5 future-work extension).
     pub cpu: CpuCounters,
+    /// Columnar-path accounting; `None` for row-layout runs (the report
+    /// then carries no `columnar_*` notes).
+    pub columnar: Option<ColumnarCounters>,
 }
 
 /// The tuple cache: one in-memory accumulating page, a small
@@ -157,8 +165,7 @@ impl CacheStore {
     /// Flushes the write buffer as one contiguous burst.
     fn flush_writes(&mut self) -> Result<()> {
         for tuples in std::mem::take(&mut self.write_buffer) {
-            let mut buf =
-                PageBuf::new(self.page_capacity + vtjoin_storage::PAGE_HEADER_BYTES);
+            let mut buf = PageBuf::new(self.page_capacity + vtjoin_storage::PAGE_HEADER_BYTES);
             for t in &tuples {
                 // `push` sized these pages, so a non-fit means the two
                 // accountings disagree. That must be a hard, *typed* error:
@@ -212,6 +219,7 @@ pub fn join_partitions(
     reserved_cache_pages: u64,
     spec: &JoinSpec,
     pred: &JoinPredicate,
+    layout: Layout,
     sink: &mut ResultSink,
 ) -> Result<ExecNotes> {
     debug_assert!(pred.partitioning_eligible());
@@ -222,19 +230,26 @@ pub fn join_partitions(
     let disk = r_parts[0].disk().clone();
     let page_capacity = PageBuf::capacity_bytes(disk.page_size());
 
-    let layout = buffer_layout(buffer_pages, reserved_cache_pages);
-    let write_batch = layout.write_batch;
-    let outer_area = layout.outer_area;
+    let buffers = buffer_layout(buffer_pages, reserved_cache_pages);
+    let write_batch = buffers.write_batch;
+    let outer_area = buffers.outer_area;
 
     let s_total_pages: u64 = s_parts.iter().map(HeapFile::pages).sum();
     let cache_capacity = s_total_pages + n as u64 + 1;
 
     let mut notes = ExecNotes::default();
+    if layout == Layout::Columnar {
+        notes.columnar = Some(ColumnarCounters::default());
+    }
     let mut outer_part: Vec<Tuple> = Vec::new();
     // Matches accumulate here and reach the sink once per partition; the
     // chunk's allocation is reused for the whole run (`absorb` drains
     // without freeing).
     let mut batch = OutputBatch::new();
+    // Columnar-path scratch, likewise reused across every partition and
+    // chunk (empty and untouched under the row layout).
+    let mut id_batch = IdBatch::new();
+    let mut col_scratch = ColumnarScratch::default();
     // Ping-pong cache stores: `old` was filled while joining p_{i+1}.
     let mut old_cache = CacheStore::new(
         &disk,
@@ -265,6 +280,81 @@ pub fn join_partitions(
 
         for (ci, range) in chunks.iter().enumerate() {
             let migrate = ci == 0;
+            if layout == Layout::Columnar {
+                // Columnar chunk evaluation: gather the chunk's probe
+                // stream (same page reads, same order as the row path),
+                // encode both sides struct-of-arrays, run the columnar
+                // hash kernel over the id columns, and late-materialize
+                // the id pairs into the partition batch. The emission
+                // order, canonical-partition rule, and every CPU counter
+                // mirror the row path exactly.
+                let mut loaded: Vec<Tuple> = Vec::new();
+                for cp in 0..old_cache.disk_pages() {
+                    loaded.extend(old_cache.read_disk_page(cp)?);
+                    notes.cache_page_reads += 1;
+                }
+                for sp in 0..s_parts[i].pages() {
+                    loaded.extend(s_parts[i].read_page(sp)?);
+                }
+                let enc = encode_pair(
+                    spec,
+                    outer_part[range.clone()].iter(),
+                    old_cache
+                        .current
+                        .iter()
+                        .chain(old_cache.mem_pages.iter().flatten())
+                        .chain(loaded.iter()),
+                );
+                notes.hash_tables += 1;
+                let r_rows: Vec<u32> = (0..enc.outer.len() as u32).collect();
+                let s_rows: Vec<u32> = (0..enc.inner.len() as u32).collect();
+                id_batch.begin(r_rows.len().max(16));
+                let hs = if pred.is_natural() {
+                    columnar_hash_join(
+                        &enc.outer,
+                        &r_rows,
+                        &enc.inner,
+                        &s_rows,
+                        p_i,
+                        &mut col_scratch,
+                        &mut id_batch,
+                    )
+                } else {
+                    columnar_hash_join_pred(
+                        pred,
+                        &enc.outer,
+                        &r_rows,
+                        &enc.inner,
+                        &s_rows,
+                        p_i,
+                        &mut col_scratch,
+                        &mut id_batch,
+                    )
+                };
+                notes.cpu.probes += hs.probes;
+                notes.cpu.match_tests += hs.match_tests;
+                notes.filter_checks += hs.filter_checks as i64;
+                notes.filter_hits += hs.filter_hits as i64;
+                let materialized =
+                    id_batch.materialize_each(spec, &enc.outer, &enc.inner, |z| batch.emit(z));
+                let col = notes.columnar.as_mut().expect("columnar layout");
+                col.encode_micros += enc.encode_micros;
+                col.dict_size = col.dict_size.max(enc.dict_size);
+                col.materialized_rows += materialized;
+                // Migration (first chunk only): flushed-cache tuples then
+                // stored inner tuples — the same push order the row path
+                // produces, deferred past the borrow of `loaded`.
+                if migrate {
+                    if let Some(prev) = p_prev {
+                        for y in loaded {
+                            if y.valid().overlaps(prev) {
+                                new_cache.push(y)?;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             let table = BlockTable::build(spec, &outer_part[range.clone()]);
             notes.hash_tables += 1;
             let out = &mut batch;
@@ -392,7 +482,10 @@ pub(crate) fn chunk_by_pages(
     for (i, t) in tuples.iter().enumerate() {
         let n = codec::encoded_len(t);
         if n > page_capacity {
-            return Err(JoinError::OversizedTuple { tuple_bytes: n, page_capacity });
+            return Err(JoinError::OversizedTuple {
+                tuple_bytes: n,
+                page_capacity,
+            });
         }
         if used_in_page + n > page_capacity && used_in_page > 0 {
             if pages_used == max_pages {
@@ -455,12 +548,13 @@ mod tests {
         Relation::from_parts_unchecked(schema, tuples)
     }
 
-    fn run_exec(
+    fn run_exec_layout(
         r: &Relation,
         s: &Relation,
         num_parts: u64,
         buffer: u64,
         reserved: u64,
+        layout: Layout,
     ) -> (Relation, ExecNotes, vtjoin_storage::IoStats) {
         let disk = SharedDisk::new(256);
         let hr = HeapFile::bulk_load(&disk, r).unwrap();
@@ -479,6 +573,7 @@ mod tests {
             reserved,
             &spec,
             &JoinPredicate::intersects(),
+            layout,
             &mut sink,
         )
         .unwrap();
@@ -486,18 +581,35 @@ mod tests {
         (rel.unwrap(), notes, disk.stats())
     }
 
+    fn run_exec(
+        r: &Relation,
+        s: &Relation,
+        num_parts: u64,
+        buffer: u64,
+        reserved: u64,
+    ) -> (Relation, ExecNotes, vtjoin_storage::IoStats) {
+        run_exec_layout(r, s, num_parts, buffer, reserved, Layout::default())
+    }
+
     fn assert_oracle(n: i64, keys: i64, long_every: i64, parts: u64, buffer: u64) {
         let r = mixed(n, keys, long_every, true);
         let s = mixed(n, keys, long_every, false);
-        let (got, _, _) = run_exec(&r, &s, parts, buffer, 0);
         let want = natural_join(&r, &s).unwrap();
+        let (row, _, _) = run_exec_layout(&r, &s, parts, buffer, 0, Layout::Row);
+        let (col, _, _) = run_exec_layout(&r, &s, parts, buffer, 0, Layout::Columnar);
         assert!(
-            got.multiset_eq(&want),
+            row.multiset_eq(&want),
             "n={n} keys={keys} ll={long_every} parts={parts} buffer={buffer}: \
              got {} want {} (diff {} entries)",
-            got.len(),
+            row.len(),
             want.len(),
-            got.multiset_diff(&want).len()
+            row.multiset_diff(&want).len()
+        );
+        assert_eq!(
+            row.tuples(),
+            col.tuples(),
+            "columnar must be byte-identical: n={n} keys={keys} ll={long_every} \
+             parts={parts} buffer={buffer}"
         );
     }
 
@@ -538,13 +650,26 @@ mod tests {
         let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
         for p in ["during", "overlaps", "contains-or-started-by", "equals"] {
             let pred: JoinPredicate = p.parse().unwrap();
-            let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, true);
-            let notes =
-                join_partitions(&rp, &sp, &parts_iv, 16, 0, &spec, &pred, &mut sink).unwrap();
-            let (_, _, rel) = sink.finish();
             let want = predicate_join(&r, &s, &pred).unwrap();
-            assert!(rel.unwrap().multiset_eq(&want), "{p}");
-            assert!(notes.filter_checks >= notes.filter_hits, "{p}");
+            let mut by_layout = Vec::new();
+            for layout in [Layout::Row, Layout::Columnar] {
+                let mut sink = ResultSink::new(Arc::clone(spec.out_schema()), 256, true);
+                let notes =
+                    join_partitions(&rp, &sp, &parts_iv, 16, 0, &spec, &pred, layout, &mut sink)
+                        .unwrap();
+                let (_, _, rel) = sink.finish();
+                let rel = rel.unwrap();
+                assert!(rel.multiset_eq(&want), "{p} ({layout:?})");
+                assert!(notes.filter_checks >= notes.filter_hits, "{p} ({layout:?})");
+                by_layout.push((rel, notes.filter_checks, notes.filter_hits));
+            }
+            let (row, col) = (&by_layout[0], &by_layout[1]);
+            assert_eq!(row.0.tuples(), col.0.tuples(), "{p}: byte-identical");
+            assert_eq!(
+                (row.1, row.2),
+                (col.1, col.2),
+                "{p}: filter counters mirror"
+            );
         }
     }
 
@@ -607,13 +732,51 @@ mod tests {
         let s = mixed(400, 5, 2, false);
         let (got0, notes0, _) = run_exec(&r, &s, 8, 14, 0);
         let (got1, notes1, _) = run_exec(&r, &s, 8, 14, 4);
-        assert!(got0.multiset_eq(&got1), "extension must not change the result");
+        assert!(
+            got0.multiset_eq(&got1),
+            "extension must not change the result"
+        );
         assert!(
             notes1.cache_pages_written < notes0.cache_pages_written,
             "reserved pages should absorb cache traffic: {} !< {}",
             notes1.cache_pages_written,
             notes0.cache_pages_written
         );
+    }
+
+    #[test]
+    fn columnar_mirrors_row_counters_and_io_under_stress() {
+        // Long-lived tuples page the cache AND a tiny outer area forces
+        // overflow chunking: the columnar path must keep every CPU
+        // counter, every I/O charge, and the cache accounting identical
+        // to the row path — plus byte-identical output.
+        let r = mixed(300, 4, 5, true);
+        let s = mixed(300, 4, 5, false);
+        let (row, row_notes, row_io) = run_exec_layout(&r, &s, 2, 5, 0, Layout::Row);
+        let (col, col_notes, col_io) = run_exec_layout(&r, &s, 2, 5, 0, Layout::Columnar);
+        assert!(row_notes.overflow_chunks > 0, "fixture must overflow");
+        assert!(
+            row_notes.cache_pages_written > 0,
+            "fixture must page the cache"
+        );
+        assert_eq!(row.tuples(), col.tuples());
+        assert_eq!(row_io, col_io, "identical page reads and cache writes");
+        assert_eq!(row_notes.cpu.probes, col_notes.cpu.probes);
+        assert_eq!(row_notes.cpu.match_tests, col_notes.cpu.match_tests);
+        assert_eq!(row_notes.cache_pages_written, col_notes.cache_pages_written);
+        assert_eq!(row_notes.cache_page_reads, col_notes.cache_page_reads);
+        assert_eq!(row_notes.overflow_chunks, col_notes.overflow_chunks);
+        assert_eq!(row_notes.hash_tables, col_notes.hash_tables);
+        assert_eq!(row_notes.batches_flushed, col_notes.batches_flushed);
+        assert_eq!(
+            row_notes.retained_outer_tuples,
+            col_notes.retained_outer_tuples
+        );
+        // The columnar run accounts its own pass.
+        assert!(row_notes.columnar.is_none());
+        let c = col_notes.columnar.expect("columnar accounting");
+        assert_eq!(c.materialized_rows, col.len() as u64);
+        assert!(c.dict_size > 0);
     }
 
     #[test]
@@ -652,12 +815,13 @@ mod tests {
             0,
             &spec,
             &JoinPredicate::intersects(),
+            Layout::default(),
             &mut sink,
         )
         .unwrap();
         let st = disk.stats();
-        let part_pages: u64 =
-            rp.iter().map(HeapFile::pages).sum::<u64>() + sp.iter().map(HeapFile::pages).sum::<u64>();
+        let part_pages: u64 = rp.iter().map(HeapFile::pages).sum::<u64>()
+            + sp.iter().map(HeapFile::pages).sum::<u64>();
         assert_eq!(st.random_reads + st.seq_reads, part_pages, "single pass");
         assert_eq!(st.random_writes + st.seq_writes, 0, "no cache traffic");
     }
@@ -677,7 +841,7 @@ mod tests {
     fn chunk_by_pages_respects_budget() {
         let t = |pad: usize| {
             Tuple::new(
-                vec![Value::Bytes(vec![0; pad])],
+                vec![Value::Bytes(vec![0; pad].into_boxed_slice())],
                 Interval::from_raw(0, 0).unwrap(),
             )
         };
@@ -698,11 +862,11 @@ mod tests {
         // "inside" its page (the `used_in_page > 0` guard) and overpack
         // the chunk past the outer-area budget. Now it is a typed error.
         let big = Tuple::new(
-            vec![Value::Bytes(vec![0; 200])],
+            vec![Value::Bytes(vec![0; 200].into_boxed_slice())],
             Interval::from_raw(0, 0).unwrap(),
         );
         let small = Tuple::new(
-            vec![Value::Bytes(vec![0; 30])],
+            vec![Value::Bytes(vec![0; 30].into_boxed_slice())],
             Interval::from_raw(0, 0).unwrap(),
         );
         let err = chunk_by_pages(&[small, big], 100, 2).unwrap_err();
@@ -720,14 +884,20 @@ mod tests {
         let disk = SharedDisk::new(64);
         let mut cache = CacheStore::new(&disk, 4, 0, 2);
         let big = Tuple::new(
-            vec![Value::Bytes(vec![0; 100])],
+            vec![Value::Bytes(vec![0; 100].into_boxed_slice())],
             Interval::from_raw(0, 0).unwrap(),
         );
         let err = cache.push(big).unwrap_err();
-        assert!(matches!(err, crate::common::JoinError::OversizedTuple { .. }), "{err}");
+        assert!(
+            matches!(err, crate::common::JoinError::OversizedTuple { .. }),
+            "{err}"
+        );
         // The cache stays usable for sane tuples afterwards.
         cache
-            .push(Tuple::new(vec![Value::Int(1)], Interval::from_raw(0, 0).unwrap()))
+            .push(Tuple::new(
+                vec![Value::Int(1)],
+                Interval::from_raw(0, 0).unwrap(),
+            ))
             .unwrap();
         cache.seal().unwrap();
     }
@@ -751,6 +921,9 @@ mod tests {
             matches!(err, crate::common::JoinError::Internal(msg) if msg.contains("packing")),
             "{err}"
         );
-        assert_eq!(cache.pages_written, 0, "nothing may be half-written as success");
+        assert_eq!(
+            cache.pages_written, 0,
+            "nothing may be half-written as success"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn do_partitioning(
     intervals: &[Interval],
     buffer_pages: u64,
 ) -> Result<Vec<HeapFile>> {
-    assert!(is_partitioning(intervals), "intervals must partition valid time");
+    assert!(
+        is_partitioning(intervals),
+        "intervals must partition valid time"
+    );
     let n = intervals.len() as u64;
     if buffer_pages < n + 1 {
         return Err(JoinError::InsufficientMemory {
@@ -88,11 +91,11 @@ mod tests {
         let heap = load(
             &disk,
             &[
-                iv(0, 5),    // partition 0
-                iv(20, 30),  // spans 0-1 → stored in 1
-                iv(0, 99),   // spans all → stored in 3
-                iv(75, 80),  // partition 3
-                iv(49, 50),  // spans 1-2 → stored in 2
+                iv(0, 5),   // partition 0
+                iv(20, 30), // spans 0-1 → stored in 1
+                iv(0, 99),  // spans all → stored in 3
+                iv(75, 80), // partition 3
+                iv(49, 50), // spans 1-2 → stored in 2
             ],
         );
         let parts = do_partitioning(&heap, &parts_iv, 8).unwrap();
@@ -155,7 +158,9 @@ mod tests {
     fn smaller_buffers_cause_more_random_flushes() {
         let mk = || {
             let disk = SharedDisk::new(128);
-            let ivs: Vec<Interval> = (0..800).map(|i| iv((i * 13) % 100, (i * 13) % 100)).collect();
+            let ivs: Vec<Interval> = (0..800)
+                .map(|i| iv((i * 13) % 100, (i * 13) % 100))
+                .collect();
             (disk.clone(), load(&disk, &ivs))
         };
         let (d_small, h_small) = mk();
@@ -201,8 +206,7 @@ mod tests {
         let schema = Schema::new(vec![AttrDef::new("k", AttrType::Int)])
             .unwrap()
             .into_shared();
-        let heap =
-            HeapFile::bulk_load(&disk, &Relation::empty(schema)).unwrap();
+        let heap = HeapFile::bulk_load(&disk, &Relation::empty(schema)).unwrap();
         let parts = do_partitioning(&heap, &equal_width(iv(0, 9), 3), 8).unwrap();
         assert_eq!(parts.len(), 3);
         assert!(parts.iter().all(|p| p.tuples() == 0));

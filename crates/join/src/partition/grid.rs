@@ -247,7 +247,14 @@ fn fold_costs(r_counts: &[u64], s_counts: &[u64], k_max: usize, n: usize, k: usi
     costs
 }
 
-fn candidate_for(r_counts: &[u64], s_counts: &[u64], k_max: usize, n: usize, k: usize, workers: u64) -> GridCandidate {
+fn candidate_for(
+    r_counts: &[u64],
+    s_counts: &[u64],
+    k_max: usize,
+    n: usize,
+    k: usize,
+    workers: u64,
+) -> GridCandidate {
     let costs = fold_costs(r_counts, s_counts, k_max, n, k);
     let est_cost_total: u64 = costs.iter().sum();
     let est_cost_max = costs.iter().copied().max().unwrap_or(0);
@@ -304,9 +311,7 @@ pub fn plan_grid(
     // Finest candidate: enough buckets that the heaviest cell could in
     // principle shrink well below one worker's fair share, capped so the
     // histogram stays small.
-    let k_max = (workers * 4)
-        .next_power_of_two()
-        .clamp(2, MAX_KEY_BUCKETS) as usize;
+    let k_max = (workers * 4).next_power_of_two().clamp(2, MAX_KEY_BUCKETS) as usize;
     let n = intervals.len();
 
     let mut r_counts = vec![0u64; k_max * n];

@@ -167,7 +167,8 @@ pub fn is_partitioning(ivs: &[Interval]) -> bool {
     if ivs[0].start() != Chronon::MIN || ivs[ivs.len() - 1].end() != Chronon::MAX {
         return false;
     }
-    ivs.windows(2).all(|w| w[0].end() != Chronon::MAX && w[0].end().succ() == w[1].start())
+    ivs.windows(2)
+        .all(|w| w[0].end() != Chronon::MAX && w[0].end().succ() == w[1].start())
 }
 
 /// Index of the partition whose interval contains chronon `c`.

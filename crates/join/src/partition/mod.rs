@@ -32,12 +32,14 @@ pub use replicated::ReplicatedPartitionJoin;
 
 pub(crate) use exec::chunk_by_pages as exec_chunks;
 
+use crate::columnar::{encode_pair, ColumnarCounters, IdBatch, Layout};
 use crate::common::{
-    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker,
-    Result, ResultSink,
+    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker, Result,
+    ResultSink,
 };
+use crate::kernel::{columnar_hash_join, columnar_hash_join_pred, ColumnarScratch};
 use std::sync::Arc;
-use vtjoin_core::Tuple;
+use vtjoin_core::{Interval, Tuple};
 use vtjoin_storage::HeapFile;
 
 /// The paper's partition-based valid-time natural join.
@@ -98,26 +100,79 @@ impl PartitionJoin {
             let block = read_whole(outer)?;
             tracker.phase("plan");
             tracker.phase("partition");
-            let table = BlockTable::build(&spec, &block);
             let (mut filter_checks, mut filter_hits) = (0u64, 0u64);
-            if cfg.predicate.is_natural() {
-                for p in 0..inner.pages() {
-                    for y in inner.read_page(p)? {
-                        table.probe(&y, &mut sink, |_| true);
-                    }
-                }
-            } else {
-                for p in 0..inner.pages() {
-                    for y in inner.read_page(p)? {
-                        let (c, h) =
-                            table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
-                        filter_checks += c;
-                        filter_hits += h;
-                    }
-                }
-            }
             let mut cpu = crate::common::CpuCounters::default();
-            cpu.absorb(&table);
+            let mut columnar: Option<ColumnarCounters> = None;
+            if cfg.layout == Layout::Columnar {
+                // Columnar degenerate path: buffer the inner pages (the
+                // same charged reads), encode both sides once, join over
+                // the id columns, and late-materialize straight into the
+                // sink. `Interval::ALL` as the emit window reproduces the
+                // row path's unconditional emission.
+                let mut inner_buf: Vec<Tuple> = Vec::new();
+                for p in 0..inner.pages() {
+                    inner_buf.extend(inner.read_page(p)?);
+                }
+                let enc = encode_pair(&spec, block.iter(), inner_buf.iter());
+                let r_rows: Vec<u32> = (0..enc.outer.len() as u32).collect();
+                let s_rows: Vec<u32> = (0..enc.inner.len() as u32).collect();
+                let mut scratch = ColumnarScratch::default();
+                let mut id_batch = IdBatch::new();
+                id_batch.begin(r_rows.len().max(16));
+                let hs = if cfg.predicate.is_natural() {
+                    columnar_hash_join(
+                        &enc.outer,
+                        &r_rows,
+                        &enc.inner,
+                        &s_rows,
+                        Interval::ALL,
+                        &mut scratch,
+                        &mut id_batch,
+                    )
+                } else {
+                    columnar_hash_join_pred(
+                        &cfg.predicate,
+                        &enc.outer,
+                        &r_rows,
+                        &enc.inner,
+                        &s_rows,
+                        Interval::ALL,
+                        &mut scratch,
+                        &mut id_batch,
+                    )
+                };
+                cpu.probes += hs.probes;
+                cpu.match_tests += hs.match_tests;
+                filter_checks = hs.filter_checks;
+                filter_hits = hs.filter_hits;
+                let materialized =
+                    id_batch.materialize_each(&spec, &enc.outer, &enc.inner, |z| sink.push(z));
+                columnar = Some(ColumnarCounters {
+                    encode_micros: enc.encode_micros,
+                    radix_passes: 0,
+                    dict_size: enc.dict_size,
+                    materialized_rows: materialized,
+                });
+            } else {
+                let table = BlockTable::build(&spec, &block);
+                if cfg.predicate.is_natural() {
+                    for p in 0..inner.pages() {
+                        for y in inner.read_page(p)? {
+                            table.probe(&y, &mut sink, |_| true);
+                        }
+                    }
+                } else {
+                    for p in 0..inner.pages() {
+                        for y in inner.read_page(p)? {
+                            let (c, h) =
+                                table.probe_each_pred(&cfg.predicate, &y, |z| sink.push(z));
+                            filter_checks += c;
+                            filter_hits += h;
+                        }
+                    }
+                }
+                cpu.absorb(&table);
+            }
             tracker.phase("join");
             let faults = tracker.fault_summary(0);
             let (io, phases) = tracker.finish();
@@ -142,6 +197,9 @@ impl PartitionJoin {
                         notes.push(("filter_checks".to_string(), filter_checks as i64));
                         notes.push(("filter_hits".to_string(), filter_hits as i64));
                     }
+                    if let Some(c) = columnar {
+                        notes.extend(columnar_notes(&c));
+                    }
                     notes
                 },
                 faults,
@@ -149,9 +207,12 @@ impl PartitionJoin {
             return Ok((report, planner_out));
         }
 
-        let inner_sample = if self.sample_inner_for_cache { Some(inner) } else { None };
-        let planner_out =
-            planner::determine_part_intervals(outer, inner, inner_sample, cfg)?;
+        let inner_sample = if self.sample_inner_for_cache {
+            Some(inner)
+        } else {
+            None
+        };
+        let planner_out = planner::determine_part_intervals(outer, inner, inner_sample, cfg)?;
         tracker.phase("plan");
 
         let plan = &planner_out.plan;
@@ -167,6 +228,7 @@ impl PartitionJoin {
             self.reserved_cache_pages,
             &spec,
             &cfg.predicate,
+            cfg.layout,
             &mut sink,
         )?;
         tracker.phase("join");
@@ -189,7 +251,10 @@ impl PartitionJoin {
                 ("cache_pages_written".into(), exec_notes.cache_pages_written),
                 ("cache_page_reads".into(), exec_notes.cache_page_reads),
                 ("overflow_chunks".into(), exec_notes.overflow_chunks),
-                ("retained_outer_tuples".into(), exec_notes.retained_outer_tuples),
+                (
+                    "retained_outer_tuples".into(),
+                    exec_notes.retained_outer_tuples,
+                ),
                 ("planner_degraded".into(), degraded),
                 ("cpu_probes".into(), exec_notes.cpu.probes as i64),
                 ("cpu_match_tests".into(), exec_notes.cpu.match_tests as i64),
@@ -209,8 +274,26 @@ impl PartitionJoin {
                 .notes
                 .push(("filter_hits".into(), exec_notes.filter_hits));
         }
+        if let Some(c) = exec_notes.columnar {
+            report.notes.extend(columnar_notes(&c));
+        }
         Ok((report, planner_out))
     }
+}
+
+/// Renders the columnar pass's accounting as report notes; lifted into
+/// the schema-v9 `columnar` section by `execution_report` (keyed on the
+/// `columnar_dict_size` note).
+fn columnar_notes(c: &ColumnarCounters) -> Vec<(String, i64)> {
+    vec![
+        ("columnar_encode_micros".into(), c.encode_micros as i64),
+        ("columnar_radix_passes".into(), c.radix_passes as i64),
+        ("columnar_dict_size".into(), c.dict_size as i64),
+        (
+            "columnar_materialized_rows".into(),
+            c.materialized_rows as i64,
+        ),
+    ]
 }
 
 fn read_whole(heap: &HeapFile) -> Result<Vec<Tuple>> {
@@ -226,12 +309,7 @@ impl JoinAlgorithm for PartitionJoin {
         "partition"
     }
 
-    fn execute(
-        &self,
-        outer: &HeapFile,
-        inner: &HeapFile,
-        cfg: &JoinConfig,
-    ) -> Result<JoinReport> {
+    fn execute(&self, outer: &HeapFile, inner: &HeapFile, cfg: &JoinConfig) -> Result<JoinReport> {
         self.execute_with_plan(outer, inner, cfg).map(|(r, _)| r)
     }
 }

@@ -178,7 +178,10 @@ fn degradable(e: &JoinError) -> bool {
     match e {
         JoinError::Storage(se) => {
             se.is_transient()
-                || matches!(se, StorageError::Corrupt(_) | StorageError::UnwrittenPage(_))
+                || matches!(
+                    se,
+                    StorageError::Corrupt(_) | StorageError::UnwrittenPage(_)
+                )
         }
         _ => false,
     }
@@ -272,8 +275,7 @@ pub fn determine_part_intervals(
 
         // Cache estimate uses the inner-relation scale.
         let cache_samples = cache_pool.prefix(m_use.min(cache_pool.len() as u64));
-        let est_cache =
-            estimate_cache_sizes(cache_samples, cache_pool.population, &ivs, s_tpp);
+        let est_cache = estimate_cache_sizes(cache_samples, cache_pool.population, &ivs, s_tpp);
         let cache_pages: u64 = est_cache.iter().sum();
 
         let n_actual = ivs.len() as u64;
@@ -281,7 +283,8 @@ pub fn determine_part_intervals(
         // C_join (Figure 10): fetching every outer and inner partition —
         // one seek plus sequential reads each — plus writing and re-reading
         // the tuple cache.
-        let fetch_cost = n_actual * ran + (part_size - 1) * n_actual
+        let fetch_cost = n_actual * ran
+            + (part_size - 1) * n_actual
             + n_actual * ran
             + (s_part_pages - 1) * n_actual;
         let mut c_cache = 0;
@@ -317,7 +320,10 @@ pub fn determine_part_intervals(
         candidates.push(cand);
         // Figure 10 keeps `cost ≤ minCost`, so later (larger) partition
         // sizes win ties.
-        if best.as_ref().is_none_or(|(b, _, _)| cand.total() <= b.total()) {
+        if best
+            .as_ref()
+            .is_none_or(|(b, _, _)| cand.total() <= b.total())
+        {
             best = Some((cand, ivs, est_cache));
         }
 
@@ -352,7 +358,9 @@ pub fn determine_part_intervals(
 /// the same bound a plan cache must apply when deciding whether cached
 /// boundaries still fit relations whose statistics have drifted.
 pub fn plan_error_size(cfg: &JoinConfig, part_size: u64) -> u64 {
-    buffer_layout(cfg.buffer_pages, 0).sizing_area.saturating_sub(part_size)
+    buffer_layout(cfg.buffer_pages, 0)
+        .sizing_area
+        .saturating_sub(part_size)
 }
 
 fn tuples_per_page(heap: &HeapFile) -> f64 {
@@ -370,12 +378,7 @@ mod tests {
     use vtjoin_core::{AttrDef, AttrType, Relation, Schema, Tuple, Value};
     use vtjoin_storage::{CostRatio, SharedDisk};
 
-    fn load(
-        disk: &SharedDisk,
-        n: i64,
-        long_every: i64,
-        lifespan: i64,
-    ) -> HeapFile {
+    fn load(disk: &SharedDisk, n: i64, long_every: i64, lifespan: i64) -> HeapFile {
         let schema = Schema::new(vec![AttrDef::new("k", AttrType::Int)])
             .unwrap()
             .into_shared();
@@ -410,7 +413,12 @@ mod tests {
         assert!(!out.candidates.is_empty());
         assert_eq!(out.plan.est_cache_pages.len(), out.plan.intervals.len());
         // The chosen candidate is the argmin of the table.
-        let min = out.candidates.iter().map(CandidateCost::total).min().unwrap();
+        let min = out
+            .candidates
+            .iter()
+            .map(CandidateCost::total)
+            .min()
+            .unwrap();
         assert_eq!(out.plan.est_cost, min);
     }
 
@@ -424,10 +432,7 @@ mod tests {
         // Count stored tuples (by last-overlap placement) per partition.
         let mut counts = vec![0u64; out.plan.intervals.len()];
         for t in rel.iter() {
-            let p = crate::partition::intervals::partition_of(
-                &out.plan.intervals,
-                t.valid().end(),
-            );
+            let p = crate::partition::intervals::partition_of(&out.plan.intervals, t.valid().end());
             counts[p] += 1;
         }
         let expect = rel.len() as u64 / counts.len() as u64;
@@ -500,7 +505,10 @@ mod tests {
         let sampled = determine_part_intervals(&r, &s, Some(&s), &c).unwrap();
         let a: u64 = assumed.plan.est_cache_pages.iter().sum();
         let b: u64 = sampled.plan.est_cache_pages.iter().sum();
-        assert!(b > a, "inner sampling must see the long-lived inner tuples: {b} !> {a}");
+        assert!(
+            b > a,
+            "inner sampling must see the long-lived inner tuples: {b} !> {a}"
+        );
     }
 
     #[test]

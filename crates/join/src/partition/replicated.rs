@@ -12,12 +12,11 @@
 //! The same canonical-partition emission rule as the migrating variant
 //! de-duplicates pairs co-present in several partitions.
 
-
 use super::intervals::{self, replica_range};
 use super::planner;
 use crate::common::{
-    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker,
-    Result, ResultSink,
+    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker, Result,
+    ResultSink,
 };
 use std::sync::Arc;
 use vtjoin_core::{Interval, Tuple};
@@ -79,12 +78,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
         "partition-replicated"
     }
 
-    fn execute(
-        &self,
-        outer: &HeapFile,
-        inner: &HeapFile,
-        cfg: &JoinConfig,
-    ) -> Result<JoinReport> {
+    fn execute(&self, outer: &HeapFile, inner: &HeapFile, cfg: &JoinConfig) -> Result<JoinReport> {
         if cfg.buffer_pages < Self::MIN_BUFFER_PAGES {
             return Err(JoinError::InsufficientMemory {
                 algorithm: self.name(),
@@ -123,8 +117,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
         let s_parts = do_replicated_partitioning(inner, &ivs, cfg.buffer_pages)?;
         tracker.phase("partition");
 
-        let page_capacity =
-            vtjoin_storage::PageBuf::capacity_bytes(disk.page_size());
+        let page_capacity = vtjoin_storage::PageBuf::capacity_bytes(disk.page_size());
         let mut overflow_chunks = 0i64;
         for (i, p_i) in ivs.iter().enumerate() {
             let mut block: Vec<Tuple> = Vec::new();
@@ -145,7 +138,11 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
         }
         tracker.phase("join");
 
-        let replicated_pages: i64 = r_parts.iter().chain(&s_parts).map(|p| p.pages() as i64).sum();
+        let replicated_pages: i64 = r_parts
+            .iter()
+            .chain(&s_parts)
+            .map(|p| p.pages() as i64)
+            .sum();
         let base_pages = (outer.pages() + inner.pages()) as i64;
         let faults = tracker.fault_summary(0);
         let (io, phases) = tracker.finish();
@@ -208,7 +205,10 @@ mod tests {
         let ivs = equal_width(Interval::from_raw(0, 300).unwrap(), 4);
         let parts = do_replicated_partitioning(&heap, &ivs, 16).unwrap();
         let total: u64 = parts.iter().map(HeapFile::tuples).sum();
-        assert!(total > heap.tuples(), "long-lived tuples must be replicated");
+        assert!(
+            total > heap.tuples(),
+            "long-lived tuples must be replicated"
+        );
         // Every copy is in a partition it overlaps.
         for (i, p) in parts.iter().enumerate() {
             for t in p.read_all().unwrap().iter() {
@@ -250,6 +250,9 @@ mod tests {
             .unwrap();
         let repl = report.note("replicated_pages").unwrap();
         let base = report.note("base_pages").unwrap();
-        assert!(repl > base, "replication must use more storage: {repl} !> {base}");
+        assert!(
+            repl > base,
+            "replication must use more storage: {repl} !> {base}"
+        );
     }
 }

@@ -115,7 +115,11 @@ pub fn collect_pool(
     let mut rng = StdRng::seed_from_u64(seed);
 
     if m_target == 0 || population == 0 {
-        return Ok(SamplePool { intervals: Vec::new(), population, scanned: false });
+        return Ok(SamplePool {
+            intervals: Vec::new(),
+            population,
+            scanned: false,
+        });
     }
 
     let random_cost = m_target.saturating_mul(ratio.random);
@@ -136,7 +140,11 @@ pub fn collect_pool(
             intervals.push(tuples[slot as usize].valid());
         }
         intervals.shuffle(&mut rng);
-        Ok(SamplePool { intervals, population, scanned: false })
+        Ok(SamplePool {
+            intervals,
+            population,
+            scanned: false,
+        })
     } else {
         // Sequential scan with reservoir sampling.
         let mut reservoir: Vec<Interval> = Vec::with_capacity(m_target as usize);
@@ -155,7 +163,11 @@ pub fn collect_pool(
             }
         }
         reservoir.shuffle(&mut rng);
-        Ok(SamplePool { intervals: reservoir, population, scanned: true })
+        Ok(SamplePool {
+            intervals: reservoir,
+            population,
+            scanned: true,
+        })
     }
 }
 

@@ -12,9 +12,9 @@ use crate::partition::exec::buffer_layout;
 use crate::partition::sampling::sample_cost;
 use crate::partition::PlannerOutput;
 use vtjoin_obs::{
-    CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport, FaultsSection,
-    IoSection, KernelSection, PhaseSection, PlanSection, PredicateSection, PredictedCost,
-    ResultSection,
+    CandidateRow, ColumnarSection, ConfigSection, Counter, DeviationSection, ExecutionReport,
+    FaultsSection, IoSection, KernelSection, PhaseSection, PlanSection, PredicateSection,
+    PredictedCost, ResultSection,
 };
 
 /// Converts the join layer's fault accounting into the obs schema section.
@@ -69,6 +69,22 @@ fn predicate_section(report: &JoinReport, cfg: &JoinConfig) -> Option<PredicateS
     })
 }
 
+/// Lifts the `columnar_*` diagnostic notes into the schema-v9 `columnar`
+/// section. Row-layout runs record none of them and carry no section, so
+/// pre-columnar reports keep their exact shape. Presence is keyed on the
+/// deterministic counters (`dict_size`/`materialized_rows`), not the
+/// wall-clock one.
+fn columnar_section(report: &JoinReport) -> Option<ColumnarSection> {
+    let get = |name: &str| report.note(name).map(|v| v as u64);
+    get("columnar_dict_size")?;
+    Some(ColumnarSection {
+        encode_micros: get("columnar_encode_micros").unwrap_or(0),
+        radix_passes: get("columnar_radix_passes").unwrap_or(0),
+        dict_size: get("columnar_dict_size").unwrap_or(0),
+        materialized_rows: get("columnar_materialized_rows").unwrap_or(0),
+    })
+}
+
 /// Converts a finished [`JoinReport`] into an [`ExecutionReport`] with no
 /// planner sections — the form every algorithm can produce. Phases carry
 /// their measured I/O (priced at `cfg.ratio`) and wall-clock; notes become
@@ -83,7 +99,10 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
             random_cost: cfg.ratio.random,
             seed: cfg.seed,
         },
-        result: ResultSection { tuples: report.result_tuples, pages: report.result_pages },
+        result: ResultSection {
+            tuples: report.result_tuples,
+            pages: report.result_pages,
+        },
         io: IoSection::from_stats(report.io, cfg.ratio),
         phases: report
             .phases
@@ -98,7 +117,10 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         counters: report
             .notes
             .iter()
-            .map(|(name, value)| Counter { name: name.clone(), value: *value })
+            .map(|(name, value)| Counter {
+                name: name.clone(),
+                value: *value,
+            })
             .collect(),
         buffer_pool: None,
         plan: None,
@@ -110,6 +132,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         service: None,
         predicate: predicate_section(report, cfg),
         grid: None,
+        columnar: columnar_section(report),
     }
 }
 
@@ -210,8 +233,11 @@ pub fn partition_execution_report(
         .map(|p| p.io.cost)
         .sum();
     let tolerance = num_partitions * error_size * 2 * cfg.ratio.random;
-    er.deviation =
-        Some(DeviationSection::compute(capped_sample + chosen.c_join, actual, tolerance));
+    er.deviation = Some(DeviationSection::compute(
+        capped_sample + chosen.c_join,
+        actual,
+        tolerance,
+    ));
     er
 }
 
@@ -253,7 +279,10 @@ mod tests {
         assert_eq!(er.result.tuples, report.result_tuples);
         assert!(er.plan.is_none() && er.deviation.is_none());
         for (note, counter) in report.notes.iter().zip(&er.counters) {
-            assert_eq!((note.0.as_str(), note.1), (counter.name.as_str(), counter.value));
+            assert_eq!(
+                (note.0.as_str(), note.1),
+                (counter.name.as_str(), counter.value)
+            );
         }
     }
 
@@ -263,13 +292,14 @@ mod tests {
         let hr = load(&disk, 60, 2400);
         let hs = load(&disk, 60, 2400);
         let cfg = JoinConfig::with_buffer(24);
-        let (report, planner) =
-            PartitionJoin::default().execute_with_plan(&hr, &hs, &cfg).unwrap();
+        let (report, planner) = PartitionJoin::default()
+            .execute_with_plan(&hr, &hs, &cfg)
+            .unwrap();
         let er = partition_execution_report(&report, &cfg, &planner, hr.pages());
         let plan = er.plan.as_ref().expect("non-degenerate run has a plan");
         assert_eq!(plan.part_size, planner.plan.part_size);
         assert_eq!(plan.candidates.iter().filter(|c| c.chosen).count(), 1);
-        assert_eq!(er.phase("plan").unwrap().predicted_cost.is_some(), true);
+        assert!(er.phase("plan").unwrap().predicted_cost.is_some());
         assert_eq!(er.phase("partition").unwrap().predicted_cost, None);
         let dev = er.deviation.expect("deviation computed");
         assert_eq!(
@@ -284,8 +314,9 @@ mod tests {
         let hr = load(&disk, 10, 40); // fits in memory
         let hs = load(&disk, 10, 40);
         let cfg = JoinConfig::with_buffer(64);
-        let (report, planner) =
-            PartitionJoin::default().execute_with_plan(&hr, &hs, &cfg).unwrap();
+        let (report, planner) = PartitionJoin::default()
+            .execute_with_plan(&hr, &hs, &cfg)
+            .unwrap();
         assert!(planner.candidates.is_empty());
         let er = partition_execution_report(&report, &cfg, &planner, hr.pages());
         assert!(er.plan.is_none());

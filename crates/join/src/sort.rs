@@ -14,24 +14,44 @@
 //!    required by each run" effect the paper blames for sort-merge's cost
 //!    at small memory sizes (§4.2).
 //!
-//! Tuples are ordered by `(Vs, Ve, values)` — a deterministic total order
-//! whose primary key is the valid-start chronon.
+//! Tuples are ordered by `(Vs, Ve, value-hash)` with input position as
+//! the final tie-break — a deterministic total order whose primary key is
+//! the valid-start chronon. The hash leg replaces the old full
+//! `Vec<Value>` payload compare: the hot paths precompute one fixed-key
+//! hash per tuple ([`sort_key`]) instead of paying an O(width) value walk
+//! on every comparison, and stability (run formation is stable, the merge
+//! heap tie-breaks on reader index) pins the order of hash-equal tuples.
 
 use crate::common::{JoinError, Result};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use vtjoin_core::{Schema, Tuple};
+use vtjoin_core::{Chronon, Schema, Tuple};
 use vtjoin_storage::{HeapFile, HeapWriter, SharedDisk};
 
+/// The precomputed external-sort key: `(Vs, Ve, value hash)`.
+pub type SortKey = (Chronon, Chronon, u64);
+
+/// Computes a tuple's [`SortKey`] once — valid-start, valid-end, and a
+/// fixed-key SipHash over the payload values (deterministic across runs
+/// and threads). Sorting by precomputed keys keeps `Vec<Value>` compares
+/// off the sort's hot path entirely; hash-equal distinct payloads (a
+/// vanishing fraction) stay in a stable, position-determined order.
+pub fn sort_key(t: &Tuple) -> SortKey {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in t.values() {
+        v.hash(&mut h);
+    }
+    (t.valid().start(), t.valid().end(), h.finish())
+}
+
 /// Total order used by the external sort: valid-start, then valid-end,
-/// then explicit values.
+/// then the payload value hash. Convenience comparator for cold paths and
+/// tests; the sorter itself precomputes [`sort_key`] per tuple rather
+/// than re-hashing on every comparison.
 pub fn by_valid_start(a: &Tuple, b: &Tuple) -> Ordering {
-    a.valid()
-        .start()
-        .cmp(&b.valid().start())
-        .then_with(|| a.valid().end().cmp(&b.valid().end()))
-        .then_with(|| a.values().cmp(b.values()))
+    sort_key(a).cmp(&sort_key(b))
 }
 
 /// Minimum buffer pages the sorter needs (2 inputs + 1 output during a
@@ -71,7 +91,9 @@ pub fn external_sort(input: &HeapFile, buffer_pages: u64) -> Result<HeapFile> {
             if block.is_empty() {
                 break;
             }
-            block.sort_by(by_valid_start);
+            // Stable + cached: one hash per tuple, no payload compares,
+            // equal keys kept in input-position (row-id) order.
+            block.sort_by_cached_key(sort_key);
             let mut w = HeapWriter::create(&disk, Arc::clone(&schema), pages_read + 1);
             for t in &block {
                 w.push(t)?;
@@ -122,12 +144,13 @@ fn merge_runs(
     let total_pages: u64 = group.iter().map(HeapFile::pages).sum();
     let mut out = HeapWriter::create(disk, Arc::clone(schema), total_pages + 1);
 
-    // Heap of (next tuple, reader index); BinaryHeap is a max-heap so wrap
-    // with reversed ordering.
-    struct Entry(Tuple, usize);
+    // Heap of (precomputed sort key, next tuple, reader index); BinaryHeap
+    // is a max-heap so wrap with reversed ordering. The key is hashed once
+    // as the tuple enters the heap — sift compares touch only the key.
+    struct Entry(SortKey, Tuple, usize);
     impl PartialEq for Entry {
         fn eq(&self, other: &Self) -> bool {
-            by_valid_start(&self.0, &other.0) == Ordering::Equal && self.1 == other.1
+            self.0 == other.0 && self.2 == other.2
         }
     }
     impl Eq for Entry {}
@@ -140,20 +163,20 @@ fn merge_runs(
         fn cmp(&self, other: &Self) -> Ordering {
             // Reversed for min-heap behaviour; tie-break on reader index
             // for determinism.
-            by_valid_start(&other.0, &self.0).then(other.1.cmp(&self.1))
+            other.0.cmp(&self.0).then(other.2.cmp(&self.2))
         }
     }
 
     let mut heap = BinaryHeap::with_capacity(readers.len());
     for (i, r) in readers.iter_mut().enumerate() {
         if let Some(t) = r.next()? {
-            heap.push(Entry(t, i));
+            heap.push(Entry(sort_key(&t), t, i));
         }
     }
-    while let Some(Entry(t, i)) = heap.pop() {
+    while let Some(Entry(_, t, i)) = heap.pop() {
         out.push(&t)?;
         if let Some(nxt) = readers[i].next()? {
-            heap.push(Entry(nxt, i));
+            heap.push(Entry(sort_key(&nxt), nxt, i));
         }
     }
     Ok(out.finish()?)
@@ -171,7 +194,12 @@ struct RunReader<'a> {
 
 impl<'a> RunReader<'a> {
     fn new(run: &'a HeapFile, read_ahead: u64) -> RunReader<'a> {
-        RunReader { run, next_page: 0, read_ahead, buffer: std::collections::VecDeque::new() }
+        RunReader {
+            run,
+            next_page: 0,
+            read_ahead,
+            buffer: std::collections::VecDeque::new(),
+        }
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
@@ -228,7 +256,10 @@ mod tests {
             let sorted = external_sort(&heap, buffer).unwrap();
             assert_eq!(sorted.tuples(), heap.tuples());
             assert_sorted(&sorted);
-            assert!(sorted.read_all().unwrap().multiset_eq(&r), "buffer {buffer}");
+            assert!(
+                sorted.read_all().unwrap().multiset_eq(&r),
+                "buffer {buffer}"
+            );
         }
     }
 
@@ -267,8 +298,18 @@ mod tests {
             let _ = external_sort(&heap, buffer).unwrap();
             costs.push(disk.stats().cost(vtjoin_storage::CostRatio::R5));
         }
-        assert!(costs[0] > costs[1], "4-page sort {} !> 16-page {}", costs[0], costs[1]);
-        assert!(costs[1] > costs[2], "16-page sort {} !> 200-page {}", costs[1], costs[2]);
+        assert!(
+            costs[0] > costs[1],
+            "4-page sort {} !> 16-page {}",
+            costs[0],
+            costs[1]
+        );
+        assert!(
+            costs[1] > costs[2],
+            "16-page sort {} !> 200-page {}",
+            costs[1],
+            costs[2]
+        );
     }
 
     #[test]
@@ -288,6 +329,25 @@ mod tests {
             external_sort(&heap, 2),
             Err(JoinError::InsufficientMemory { .. })
         ));
+    }
+
+    #[test]
+    fn hash_tiebreak_is_deterministic_across_buffer_sizes() {
+        // Many distinct payloads sharing one (Vs, Ve): the hash leg must
+        // impose the same total order whatever the run/merge geometry,
+        // with no payload compares anywhere on the sort path.
+        let disk = SharedDisk::new(128);
+        let tuples: Vec<Tuple> = (0..60)
+            .map(|i| Tuple::new(vec![Value::Int(i)], Interval::from_raw(5, 5).unwrap()))
+            .collect();
+        let rel = Relation::from_parts_unchecked(schema(), tuples);
+        let heap = HeapFile::bulk_load(&disk, &rel).unwrap();
+        let baseline = external_sort(&heap, 64).unwrap().read_all().unwrap();
+        for buffer in [3u64, 4, 7] {
+            let got = external_sort(&heap, buffer).unwrap().read_all().unwrap();
+            assert_eq!(got.tuples(), baseline.tuples(), "buffer {buffer}");
+        }
+        assert_sorted(&external_sort(&heap, 3).unwrap());
     }
 
     #[test]

@@ -46,12 +46,7 @@ impl JoinAlgorithm for SortMergeJoin {
         "sort-merge"
     }
 
-    fn execute(
-        &self,
-        outer: &HeapFile,
-        inner: &HeapFile,
-        cfg: &JoinConfig,
-    ) -> Result<JoinReport> {
+    fn execute(&self, outer: &HeapFile, inner: &HeapFile, cfg: &JoinConfig) -> Result<JoinReport> {
         if cfg.buffer_pages < Self::MIN_BUFFER_PAGES {
             return Err(JoinError::InsufficientMemory {
                 algorithm: self.name(),
@@ -80,8 +75,7 @@ impl JoinAlgorithm for SortMergeJoin {
         let sorted_s = external_sort(inner, cfg.buffer_pages)?;
         tracker.phase("sort-inner");
 
-        let (backups, cpu) =
-            merge_join(&sorted_r, &sorted_s, &spec, cfg.buffer_pages, &mut sink)?;
+        let (backups, cpu) = merge_join(&sorted_r, &sorted_s, &spec, cfg.buffer_pages, &mut sink)?;
         tracker.phase("merge");
 
         let faults = tracker.fault_summary(0);
@@ -405,8 +399,14 @@ mod tests {
         let s = Relation::from_parts_unchecked(
             ss,
             vec![
-                Tuple::new(vec![Value::Int(1), Value::Int(0)], Interval::from_raw(0, 9).unwrap()),
-                Tuple::new(vec![Value::Int(1), Value::Int(1)], Interval::from_raw(0, 10).unwrap()),
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(0)],
+                    Interval::from_raw(0, 9).unwrap(),
+                ),
+                Tuple::new(
+                    vec![Value::Int(1), Value::Int(1)],
+                    Interval::from_raw(0, 10).unwrap(),
+                ),
             ],
         );
         let disk = SharedDisk::new(256);
@@ -418,6 +418,5 @@ mod tests {
         let got = report.result.unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got.tuples()[0].valid(), Interval::from_raw(10, 10).unwrap());
-
     }
 }

@@ -22,8 +22,8 @@
 //! `build_io + join_io` here against the partition join's single figure.
 
 use crate::common::{
-    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker,
-    Result, ResultSink,
+    BlockTable, JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseTracker, Result,
+    ResultSink,
 };
 use crate::sort::external_sort;
 use std::collections::HashMap;
@@ -130,7 +130,11 @@ impl TimeIndex {
             // Empty relation: a single empty root level.
             let page = encode_entries(&[], page_size);
             file.append(page)?;
-            return Ok(TimeIndex { file, levels: vec![(0, 1)], fanout });
+            return Ok(TimeIndex {
+                file,
+                levels: vec![(0, 1)],
+                fanout,
+            });
         }
 
         let mut levels = Vec::new();
@@ -152,7 +156,11 @@ impl TimeIndex {
             }
             entries = next_entries;
         }
-        Ok(TimeIndex { file, levels, fanout })
+        Ok(TimeIndex {
+            file,
+            levels,
+            fanout,
+        })
     }
 
     /// Number of index pages (the structure's storage cost).
@@ -180,13 +188,15 @@ impl TimeIndex {
     /// Collects the heap pages whose subtree can contain a tuple
     /// overlapping `window`, in ascending order. Index-page reads are
     /// charged unless served by `cache` (the pinned upper levels).
-    pub fn probe(
-        &self,
-        window: Interval,
-        cache: &mut IndexCache,
-    ) -> Result<Vec<u64>> {
+    pub fn probe(&self, window: Interval, cache: &mut IndexCache) -> Result<Vec<u64>> {
         let mut out = Vec::new();
-        self.walk(self.root_page(), self.levels.len() - 1, window, cache, &mut out)?;
+        self.walk(
+            self.root_page(),
+            self.levels.len() - 1,
+            window,
+            cache,
+            &mut out,
+        )?;
         Ok(out)
     }
 
@@ -235,7 +245,11 @@ pub struct IndexCache {
 impl IndexCache {
     /// A cache holding at most `capacity` index pages.
     pub fn new(capacity: usize) -> IndexCache {
-        IndexCache { capacity, pages: HashMap::new(), reads: 0 }
+        IndexCache {
+            capacity,
+            pages: HashMap::new(),
+            reads: 0,
+        }
     }
 
     fn read(&mut self, file: &FileHandle, page: u64) -> Result<Vec<Entry>> {
@@ -276,12 +290,7 @@ impl JoinAlgorithm for TimeIndexJoin {
         "time-index"
     }
 
-    fn execute(
-        &self,
-        outer: &HeapFile,
-        inner: &HeapFile,
-        cfg: &JoinConfig,
-    ) -> Result<JoinReport> {
+    fn execute(&self, outer: &HeapFile, inner: &HeapFile, cfg: &JoinConfig) -> Result<JoinReport> {
         if cfg.buffer_pages < Self::MIN_BUFFER_PAGES {
             return Err(JoinError::InsufficientMemory {
                 algorithm: self.name(),
@@ -510,8 +519,16 @@ mod tests {
         let hr = heap(&disk, &r);
         let hs = heap(&disk, &s);
         let cfg = JoinConfig::with_buffer(16).collecting();
-        let one_shot = TimeIndexJoin { assume_sorted: false }.execute(&hr, &hs, &cfg).unwrap();
-        let appendonly = TimeIndexJoin { assume_sorted: true }.execute(&hr, &hs, &cfg).unwrap();
+        let one_shot = TimeIndexJoin {
+            assume_sorted: false,
+        }
+        .execute(&hr, &hs, &cfg)
+        .unwrap();
+        let appendonly = TimeIndexJoin {
+            assume_sorted: true,
+        }
+        .execute(&hr, &hs, &cfg)
+        .unwrap();
         assert!(one_shot
             .result
             .as_ref()
@@ -544,9 +561,11 @@ mod tests {
         let s = rel("c", 800, 0, true); // no long-lived: narrow zones
         let hr = heap(&disk, &outer);
         let hs = heap(&disk, &s);
-        let report = TimeIndexJoin { assume_sorted: true }
-            .execute(&hr, &hs, &JoinConfig::with_buffer(16))
-            .unwrap();
+        let report = TimeIndexJoin {
+            assume_sorted: true,
+        }
+        .execute(&hr, &hs, &JoinConfig::with_buffer(16))
+        .unwrap();
         let inner_reads = report.note("inner_page_reads").unwrap();
         assert!(
             (inner_reads as u64) < hs.pages() / 4,
@@ -567,9 +586,11 @@ mod tests {
         // returning a silently wrong answer.
         let s = rel("c", 200, 0, false);
         let hs = heap(&disk, &s);
-        assert!(TimeIndexJoin { assume_sorted: true }
-            .execute(&h, &hs, &JoinConfig::with_buffer(16))
-            .is_err());
+        assert!(TimeIndexJoin {
+            assume_sorted: true
+        }
+        .execute(&h, &hs, &JoinConfig::with_buffer(16))
+        .is_err());
     }
 
     #[test]

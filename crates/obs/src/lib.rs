@@ -29,8 +29,8 @@ pub mod report;
 
 pub use json::{Json, JsonError};
 pub use report::{
-    BufferPoolSection, CandidateRow, ConfigSection, Counter, DeviationSection, ExecutionReport,
-    FaultsSection, GridSection, IoSection, KernelSection, PhaseSection, PlanSection,
-    PredicateSection, PredictedCost, ReportError, ResultSection, ServiceSection, SkewSection,
-    WorkerSection, SCHEMA_VERSION,
+    BufferPoolSection, CandidateRow, ColumnarSection, ConfigSection, Counter, DeviationSection,
+    ExecutionReport, FaultsSection, GridSection, IoSection, KernelSection, PhaseSection,
+    PlanSection, PredicateSection, PredictedCost, ReportError, ResultSection, ServiceSection,
+    SkewSection, WorkerSection, SCHEMA_VERSION,
 };

@@ -28,13 +28,17 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// section with priority-class request counts, load-shedding outcomes
 /// (deadline / retry-after), streaming counters, LRU table-residency
 /// counters, and a queue-wait histogram; all new fields decode as zero /
-/// empty when absent, so v5–v7 service documents still parse.
+/// empty when absent, so v5–v7 service documents still parse. Version 9
+/// added the optional `columnar` section (struct-of-arrays encode time,
+/// radix-sort pass count, shared key-dictionary size, and
+/// late-materialized row count), present when a run executed its kernels
+/// on the columnar layout.
 ///
 /// Every post-v1 addition is an *optional* section or an optional field,
 /// so [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 8;
+pub const SCHEMA_VERSION: i64 = 9;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -759,6 +763,51 @@ impl GridSection {
     }
 }
 
+/// Columnar-execution accounting (schema v9): what the struct-of-arrays
+/// encode pass and the columnar kernels did, when a run executed on the
+/// columnar layout. `encode_micros` is wall-clock profiling (excluded
+/// from regression comparison like every `*_micros` key); the other three
+/// are deterministic functions of the input. A row-layout run carries no
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnarSection {
+    /// Wall-clock microseconds the struct-of-arrays encode pass took
+    /// (chronon/hash column extraction + key-dictionary interning).
+    pub encode_micros: u64,
+    /// LSD radix counting passes actually executed across all sweep-kernel
+    /// sorts; passes whose byte is constant across the partition are
+    /// skipped and not counted.
+    pub radix_passes: u64,
+    /// Distinct join keys interned in the dictionary shared by both sides.
+    pub dict_size: u64,
+    /// Result tuples constructed by the late-materialization pass (equals
+    /// the result cardinality: every emitted row-id pair materializes).
+    pub materialized_rows: u64,
+}
+
+impl ColumnarSection {
+    fn to_json(self) -> Json {
+        obj(vec![
+            ("encode_micros", Json::Int(self.encode_micros as i64)),
+            ("radix_passes", Json::Int(self.radix_passes as i64)),
+            ("dict_size", Json::Int(self.dict_size as i64)),
+            (
+                "materialized_rows",
+                Json::Int(self.materialized_rows as i64),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<ColumnarSection, ReportError> {
+        Ok(ColumnarSection {
+            encode_micros: req_u64(j, "encode_micros")?,
+            radix_passes: req_u64(j, "radix_passes")?,
+            dict_size: req_u64(j, "dict_size")?,
+            materialized_rows: req_u64(j, "materialized_rows")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -800,6 +849,9 @@ pub struct ExecutionReport {
     /// 2D grid-partitioning accounting, when the run executed on the
     /// sharded (key × time) grid executor.
     pub grid: Option<GridSection>,
+    /// Columnar-layout accounting, when the run encoded its join sides
+    /// struct-of-arrays and ran the columnar kernels.
+    pub columnar: Option<ColumnarSection>,
 }
 
 impl ExecutionReport {
@@ -999,6 +1051,9 @@ impl ExecutionReport {
         if let Some(g) = self.grid {
             pairs.push(("grid", g.to_json()));
         }
+        if let Some(c) = self.columnar {
+            pairs.push(("columnar", c.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -1142,6 +1197,10 @@ impl ExecutionReport {
             Some(g) => Some(GridSection::from_json(g)?),
             None => None,
         };
+        let columnar = match j.get("columnar") {
+            Some(c) => Some(ColumnarSection::from_json(c)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -1166,6 +1225,7 @@ impl ExecutionReport {
             service,
             predicate,
             grid,
+            columnar,
         })
     }
 
@@ -1542,6 +1602,24 @@ impl ExecutionReport {
             );
         }
 
+        if let Some(c) = self.columnar {
+            p(&mut out, "\n  columnar:");
+            p(
+                &mut out,
+                &format!(
+                    "    encode: {} µs, {} distinct keys interned",
+                    c.encode_micros, c.dict_size
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    radix passes: {}, materialized rows: {}",
+                    c.radix_passes, c.materialized_rows
+                ),
+            );
+        }
+
         out
     }
 }
@@ -1747,6 +1825,12 @@ mod tests {
                 replication_factor_x100: 112,
                 coordinator_wait_micros: 640,
             }),
+            columnar: Some(ColumnarSection {
+                encode_micros: 210,
+                radix_passes: 34,
+                dict_size: 6,
+                materialized_rows: 1234,
+            }),
         }
     }
 
@@ -1771,6 +1855,7 @@ mod tests {
         report.service = None;
         report.predicate = None;
         report.grid = None;
+        report.columnar = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
@@ -1779,12 +1864,13 @@ mod tests {
         assert!(!report.to_json_string().contains("\"service\":"));
         assert!(!report.to_json_string().contains("\"predicate\":"));
         assert!(!report.to_json_string().contains("\"grid\":"));
+        assert!(!report.to_json_string().contains("\"columnar\":"));
     }
 
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 8",
+            "\"schema_version\": 9",
             "\"schema_version\": 99",
             1,
         );
@@ -1796,15 +1882,25 @@ mod tests {
 
     #[test]
     fn older_versions_still_parse() {
-        // A v6 (grid-less), a v5 (predicate-less), a v4 (service-less), a
-        // v3 (kernel-less) and a v1 (sections-less) document must all
-        // decode: every post-v1 addition is an optional section.
+        // A v8 (columnar-less), a v6 (grid-less), a v5 (predicate-less), a
+        // v4 (service-less), a v3 (kernel-less) and a v1 (sections-less)
+        // document must all decode: every post-v1 addition is an optional
+        // section.
         let mut report = sample_report();
+        report.columnar = None;
+        let v8 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 9", "\"schema_version\": 8", 1);
+        let back = ExecutionReport::from_json_str(&v8).unwrap();
+        assert_eq!(back.columnar, None);
+        assert_eq!(back.grid, report.grid);
+
         report.grid = None;
         let v6 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 8", "\"schema_version\": 6", 1);
+                .replacen("\"schema_version\": 9", "\"schema_version\": 6", 1);
         let back = ExecutionReport::from_json_str(&v6).unwrap();
         assert_eq!(back.grid, None);
         assert_eq!(back.predicate, report.predicate);
@@ -1813,7 +1909,7 @@ mod tests {
         let v5 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 8", "\"schema_version\": 5", 1);
+                .replacen("\"schema_version\": 9", "\"schema_version\": 5", 1);
         let back = ExecutionReport::from_json_str(&v5).unwrap();
         assert_eq!(back.predicate, None);
         assert_eq!(back.service, report.service);
@@ -1822,7 +1918,7 @@ mod tests {
         let v4 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 8", "\"schema_version\": 4", 1);
+                .replacen("\"schema_version\": 9", "\"schema_version\": 4", 1);
         let back = ExecutionReport::from_json_str(&v4).unwrap();
         assert_eq!(back.service, None);
         assert_eq!(back.kernel, report.kernel);
@@ -1831,7 +1927,7 @@ mod tests {
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 8", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 9", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1846,7 +1942,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 8", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 9", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(
@@ -1975,6 +2071,9 @@ mod tests {
             "shape: 4 key buckets × 17 time partitions = 68 cells (61 occupied)",
             "heaviest cell: 9% of est work; replication 1.12× (time axis only)",
             "coordinator wait: 640 µs",
+            "columnar:",
+            "encode: 210 µs, 6 distinct keys interned",
+            "radix passes: 34, materialized rows: 1234",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -24,7 +24,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_samples: 10 }
+        Criterion {
+            default_samples: 10,
+        }
     }
 }
 
@@ -111,7 +113,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { text: s.to_string() }
+        BenchmarkId {
+            text: s.to_string(),
+        }
     }
 }
 

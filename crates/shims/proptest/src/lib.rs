@@ -10,22 +10,24 @@
 
 #![warn(missing_docs)]
 
-pub mod strategy;
 pub mod collection;
+pub mod strategy;
 pub mod test_runner;
 
 /// The glob import every test file starts with.
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
 }
 
 /// Defines property tests. Mirrors proptest's surface:
 ///
 /// ```ignore
 /// proptest! {
-///     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+///     #![proptest_config(ProptestConfig::with_cases(48))]
 ///     #[test]
 ///     fn my_property(x in 0..10i64, v in collection::vec(0..5u64, 0..8)) {
 ///         prop_assert!(x >= 0);
@@ -170,10 +172,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
         if *__l == *__r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: `{} != {}`\n  both: {:?}",
-                        stringify!($left), stringify!($right), __l),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
         }
     }};
 }
@@ -201,7 +205,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(32))]
 
         #[test]
         fn ranges_in_bounds(x in 5..50i64, y in 0u64..3) {

@@ -73,7 +73,11 @@ impl BufferPool {
 
     /// All lifetime counters in one snapshot.
     pub fn stats(&self) -> BufferPoolStats {
-        BufferPoolStats { hits: self.hits, misses: self.misses, evictions: self.evictions }
+        BufferPoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
     }
 
     fn touch(tick: &mut u64, frame: &mut Frame) {
@@ -96,7 +100,12 @@ impl BufferPool {
         self.tick += 1;
         self.frames.insert(
             page,
-            Frame { data, dirty: false, pins: 0, last_used: self.tick },
+            Frame {
+                data,
+                dirty: false,
+                pins: 0,
+                last_used: self.tick,
+            },
         );
         Ok(false)
     }
@@ -108,7 +117,9 @@ impl BufferPool {
             .filter(|(_, f)| f.pins == 0)
             .min_by_key(|(_, f)| f.last_used)
             .map(|(p, _)| *p)
-            .ok_or_else(|| StorageError::Corrupt("buffer pool exhausted: all pages pinned".into()))?;
+            .ok_or_else(|| {
+                StorageError::Corrupt("buffer pool exhausted: all pages pinned".into())
+            })?;
         let frame = self.frames.remove(&victim).expect("victim resident");
         self.evictions += 1;
         if frame.dirty {
@@ -147,7 +158,12 @@ impl BufferPool {
         self.tick += 1;
         self.frames.insert(
             page,
-            Frame { data, dirty: true, pins: 0, last_used: self.tick },
+            Frame {
+                data,
+                dirty: true,
+                pins: 0,
+                last_used: self.tick,
+            },
         );
         Ok(())
     }

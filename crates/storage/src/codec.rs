@@ -6,8 +6,8 @@
 //! make page occupancy realistic (the paper's 128-byte tuples, 32 to a
 //! 4 KB page) while remaining decodable without consulting the schema.
 
-use crate::error::{Result, StorageError};
 use crate::bufext::{Buf, BufMut};
+use crate::error::{Result, StorageError};
 use vtjoin_core::{Chronon, Interval, Tuple, Value};
 
 /// Byte offset of the `u32` checksum field within a page image.
@@ -21,7 +21,11 @@ const CHECKSUM_OFFSET: usize = 2;
 pub fn page_checksum(page: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for (i, &b) in page.iter().enumerate() {
-        let byte = if (CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4).contains(&i) { 0 } else { b };
+        let byte = if (CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4).contains(&i) {
+            0
+        } else {
+            b
+        };
         h ^= u32::from(byte);
         h = h.wrapping_mul(0x0100_0193);
     }
@@ -55,7 +59,10 @@ pub fn encoded_len(t: &Tuple) -> usize {
 pub fn encode_into(t: &Tuple, out: &mut Vec<u8>) {
     out.put_i64_le(t.valid().start().value());
     out.put_i64_le(t.valid().end().value());
-    debug_assert!(t.values().len() <= u8::MAX as usize, "arity above 255 unsupported");
+    debug_assert!(
+        t.values().len() <= u8::MAX as usize,
+        "arity above 255 unsupported"
+    );
     out.put_u8(t.values().len() as u8);
     for v in t.values() {
         match v {
@@ -132,7 +139,7 @@ pub fn decode(buf: &mut &[u8]) -> Result<Tuple> {
                     .map_err(|e| StorageError::Corrupt(format!("bad utf8: {e}")))?
                     .to_owned();
                 buf.advance(n);
-                Value::Str(s)
+                Value::Str(s.into_boxed_str())
             }
             TAG_BYTES => {
                 need(buf, 2)?;
@@ -140,11 +147,9 @@ pub fn decode(buf: &mut &[u8]) -> Result<Tuple> {
                 need(buf, n)?;
                 let b = buf[..n].to_vec();
                 buf.advance(n);
-                Value::Bytes(b)
+                Value::Bytes(b.into_boxed_slice())
             }
-            other => {
-                return Err(StorageError::Corrupt(format!("unknown value tag {other}")))
-            }
+            other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
         };
         values.push(v);
     }
@@ -166,14 +171,28 @@ mod tests {
             t(vec![Value::Null], -5, 5),
             t(vec![Value::Int(i64::MIN), Value::Int(i64::MAX)], 1, 2),
             t(vec![Value::Bool(true), Value::Bool(false)], 3, 4),
-            t(vec![Value::Str(String::new()), Value::Str("héllo ∞".into())], 0, 9),
-            t(vec![Value::Bytes(vec![]), Value::Bytes(vec![0xde, 0xad])], 7, 8),
+            t(
+                vec![
+                    Value::Str(String::new().into()),
+                    Value::Str("héllo ∞".into()),
+                ],
+                0,
+                9,
+            ),
+            t(
+                vec![
+                    Value::Bytes(vec![].into()),
+                    Value::Bytes(vec![0xde, 0xad].into()),
+                ],
+                7,
+                8,
+            ),
             t(
                 vec![
                     Value::Int(42),
                     Value::Str("dept".into()),
                     Value::Null,
-                    Value::Bytes(vec![1; 100]),
+                    Value::Bytes(vec![1; 100].into()),
                     Value::Bool(true),
                 ],
                 -100,
@@ -243,7 +262,11 @@ mod tests {
         for i in (0..64).filter(|i| !(2..6).contains(i)) {
             let mut tampered = page.clone();
             tampered[i] ^= 0xA5;
-            assert_ne!(page_checksum(&tampered), base, "flip at byte {i} undetected");
+            assert_ne!(
+                page_checksum(&tampered),
+                base,
+                "flip at byte {i} undetected"
+            );
         }
     }
 
@@ -253,7 +276,7 @@ mod tests {
         // exactly 128 bytes: 16 (interval) + 1 (arity) + 9 (int) + 3
         // (bytes header) + padding.
         let pad = 128 - (16 + 1 + 9 + 3);
-        let tuple = t(vec![Value::Int(7), Value::Bytes(vec![0; pad])], 0, 0);
+        let tuple = t(vec![Value::Int(7), Value::Bytes(vec![0; pad].into())], 0, 0);
         assert_eq!(encoded_len(&tuple), 128);
     }
 }

@@ -119,7 +119,8 @@ impl DiskSim {
     /// Reserves a contiguous extent of `n` pages and returns its range.
     pub fn alloc(&mut self, n: u64) -> PageRange {
         let start = self.pages.len() as u64;
-        self.pages.resize_with(self.pages.len() + n as usize, || None);
+        self.pages
+            .resize_with(self.pages.len() + n as usize, || None);
         PageRange::new(PageId(start), n)
     }
 
@@ -218,7 +219,11 @@ impl DiskSim {
     }
 
     fn charge(&mut self, page: PageId, write: bool) {
-        let head = if write { &mut self.write_head } else { &mut self.read_head };
+        let head = if write {
+            &mut self.write_head
+        } else {
+            &mut self.read_head
+        };
         let kind = Self::classify(head, page);
         match (write, kind) {
             (false, AccessKind::Random) => self.stats.random_reads += 1,
@@ -512,7 +517,10 @@ mod tests {
             d.read(PageId(99)),
             Err(StorageError::PageOutOfBounds { page: 99, .. })
         ));
-        assert!(matches!(d.read(r.page(0)), Err(StorageError::UnwrittenPage(0))));
+        assert!(matches!(
+            d.read(r.page(0)),
+            Err(StorageError::UnwrittenPage(0))
+        ));
     }
 
     #[test]
@@ -641,7 +649,14 @@ mod tests {
             torn_write_permille: 0,
         }));
         let e = d.read(r.page(0)).unwrap_err();
-        assert!(matches!(e, StorageError::InjectedFault { write: false, attempts: 1, .. }));
+        assert!(matches!(
+            e,
+            StorageError::InjectedFault {
+                write: false,
+                attempts: 1,
+                ..
+            }
+        ));
         assert!(e.is_transient());
         assert_eq!(d.fault_stats().retries, 0);
         assert_eq!(d.fault_stats().exhausted, 1);
@@ -678,7 +693,10 @@ mod tests {
         d.write(r.page(0), vec![0u8; 64]).unwrap();
         assert_eq!(d.fault_stats().torn_writes, 1);
         let stored = d.peek(r.page(0)).unwrap();
-        assert!(stored.iter().any(|&b| b != 0), "image must differ from what was written");
+        assert!(
+            stored.iter().any(|&b| b != 0),
+            "image must differ from what was written"
+        );
     }
 
     #[test]
@@ -696,7 +714,11 @@ mod tests {
             let img = d.peek(r.page(0)).map(<[u8]>::to_vec).unwrap_or_default();
             (d.fault_stats(), img)
         };
-        assert_eq!(run(77), run(77), "identical seed, identical faults and images");
+        assert_eq!(
+            run(77),
+            run(77),
+            "identical seed, identical faults and images"
+        );
         assert_ne!(run(77).0, run(78).0, "different seed perturbs the stream");
     }
 

@@ -60,20 +60,33 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::PageOutOfBounds { page, device_pages } => {
-                write!(f, "page {page} out of bounds (device has {device_pages} pages)")
+                write!(
+                    f,
+                    "page {page} out of bounds (device has {device_pages} pages)"
+                )
             }
             StorageError::UnwrittenPage(p) => write!(f, "page {p} read before write"),
             StorageError::RecordTooLarge { record, capacity } => {
-                write!(f, "record of {record} bytes exceeds page capacity {capacity}")
+                write!(
+                    f,
+                    "record of {record} bytes exceeds page capacity {capacity}"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::ExtentOverflow { capacity } => {
                 write!(f, "file append exceeded its {capacity}-page extent")
             }
             StorageError::Core(e) => write!(f, "{e}"),
-            StorageError::InjectedFault { page, write, attempts } => {
+            StorageError::InjectedFault {
+                page,
+                write,
+                attempts,
+            } => {
                 let op = if *write { "write" } else { "read" };
-                write!(f, "injected {op} fault on page {page} persisted across {attempts} attempts")
+                write!(
+                    f,
+                    "injected {op} fault on page {page} persisted across {attempts} attempts"
+                )
             }
         }
     }
@@ -93,15 +106,25 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = StorageError::PageOutOfBounds { page: 9, device_pages: 4 };
+        let e = StorageError::PageOutOfBounds {
+            page: 9,
+            device_pages: 4,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
-        let e = StorageError::RecordTooLarge { record: 5000, capacity: 4094 };
+        let e = StorageError::RecordTooLarge {
+            record: 5000,
+            capacity: 4094,
+        };
         assert!(e.to_string().contains("5000"));
     }
 
     #[test]
     fn transience_is_limited_to_injected_faults() {
-        let e = StorageError::InjectedFault { page: 3, write: true, attempts: 4 };
+        let e = StorageError::InjectedFault {
+            page: 3,
+            write: true,
+            attempts: 4,
+        };
         assert!(e.is_transient());
         assert!(e.to_string().contains("write fault on page 3"));
         assert!(!StorageError::Corrupt("torn".into()).is_transient());
@@ -110,8 +133,7 @@ mod tests {
 
     #[test]
     fn core_errors_convert() {
-        let e: StorageError =
-            vtjoin_core::TemporalError::UnknownAttribute("x".into()).into();
+        let e: StorageError = vtjoin_core::TemporalError::UnknownAttribute("x".into()).into();
         assert!(matches!(e, StorageError::Core(_)));
     }
 }

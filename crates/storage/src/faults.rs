@@ -197,7 +197,10 @@ pub(crate) struct FaultInjector {
 impl FaultInjector {
     pub(crate) fn new(cfg: FaultConfig) -> FaultInjector {
         // Offset the seed so seed 0 still produces a scrambled stream.
-        FaultInjector { cfg, state: cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        FaultInjector {
+            cfg,
+            state: cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
     }
 
     pub(crate) fn config(&self) -> FaultConfig {

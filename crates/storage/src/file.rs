@@ -33,7 +33,11 @@ impl PageRange {
 
     /// The `i`-th page of the range (panics if out of range).
     pub fn page(&self, i: u64) -> PageId {
-        assert!(i < self.len, "page index {i} out of extent of {} pages", self.len);
+        assert!(
+            i < self.len,
+            "page index {i} out of extent of {} pages",
+            self.len
+        );
         PageId(self.start.0 + i)
     }
 
@@ -60,7 +64,11 @@ impl FileHandle {
     /// Creates a file by reserving `capacity` contiguous pages.
     pub fn create(disk: &SharedDisk, capacity: u64) -> FileHandle {
         let extent = disk.alloc(capacity);
-        FileHandle { disk: disk.clone(), extent, len: 0 }
+        FileHandle {
+            disk: disk.clone(),
+            extent,
+            len: 0,
+        }
     }
 
     /// Number of pages appended so far.
@@ -88,14 +96,19 @@ impl FileHandle {
         if i < self.len {
             Ok(self.extent.page(i))
         } else {
-            Err(StorageError::PageOutOfBounds { page: i, device_pages: self.len })
+            Err(StorageError::PageOutOfBounds {
+                page: i,
+                device_pages: self.len,
+            })
         }
     }
 
     /// Appends one page of data, charging one write.
     pub fn append(&mut self, data: Vec<u8>) -> Result<PageId> {
         if self.len == self.extent.len() {
-            return Err(StorageError::ExtentOverflow { capacity: self.extent.len() });
+            return Err(StorageError::ExtentOverflow {
+                capacity: self.extent.len(),
+            });
         }
         let pid = self.extent.page(self.len);
         self.disk.write(pid, data)?;
@@ -133,7 +146,10 @@ mod tests {
         let r = PageRange::new(PageId(10), 3);
         assert_eq!(r.page(0), PageId(10));
         assert_eq!(r.page(2), PageId(12));
-        assert_eq!(r.pages().collect::<Vec<_>>(), vec![PageId(10), PageId(11), PageId(12)]);
+        assert_eq!(
+            r.pages().collect::<Vec<_>>(),
+            vec![PageId(10), PageId(11), PageId(12)]
+        );
         assert!(!r.is_empty());
         assert!(PageRange::new(PageId(0), 0).is_empty());
     }
@@ -155,7 +171,10 @@ mod tests {
         let s = disk.stats();
         assert_eq!(s.random_writes, 1);
         assert_eq!(s.seq_writes, 3);
-        assert!(matches!(f.append(vec![0; 64]), Err(StorageError::ExtentOverflow { capacity: 4 })));
+        assert!(matches!(
+            f.append(vec![0; 64]),
+            Err(StorageError::ExtentOverflow { capacity: 4 })
+        ));
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl HeapFile {
 
     /// A page-granular sequential reader.
     pub fn reader(&self) -> HeapReader<'_> {
-        HeapReader { heap: self, next: 0 }
+        HeapReader {
+            heap: self,
+            next: 0,
+        }
     }
 
     /// Catalog metadata: number of tuples stored on page `i`.
@@ -141,8 +144,9 @@ impl HeapFile {
                 let guess = quot as usize;
                 if guess < self.page_counts.len() {
                     let before: u64 = guess as u64 * per;
-                    let uniform_prefix =
-                        self.page_counts[..guess].iter().all(|&c| u64::from(c) == per);
+                    let uniform_prefix = self.page_counts[..guess]
+                        .iter()
+                        .all(|&c| u64::from(c) == per);
                     if uniform_prefix && idx - before < u64::from(self.page_counts[guess]) {
                         return Some((guess as u64, (idx - before) as u32));
                     }
@@ -165,13 +169,18 @@ impl HeapFile {
         for i in 0..self.pages() {
             tuples.extend(self.read_page(i)?);
         }
-        Ok(Relation::from_parts_unchecked(Arc::clone(&self.schema), tuples))
+        Ok(Relation::from_parts_unchecked(
+            Arc::clone(&self.schema),
+            tuples,
+        ))
     }
 }
 
 /// Zone value before any tuple lands on the page.
-const EMPTY_ZONE: PageZone =
-    PageZone { min_start: Chronon::MAX, max_end: Chronon::MIN };
+const EMPTY_ZONE: PageZone = PageZone {
+    min_start: Chronon::MAX,
+    max_end: Chronon::MIN,
+};
 
 /// Incremental heap-file loader.
 #[derive(Debug)]
@@ -481,8 +490,11 @@ mod tests {
         let disk = SharedDisk::new(128);
         let mut w = HeapWriter::create(&disk, schema(), 64);
         for k in 0..9 {
-            w.push(&Tuple::new(vec![Value::Int(k)], Interval::from_raw(0, 0).unwrap()))
-                .unwrap();
+            w.push(&Tuple::new(
+                vec![Value::Int(k)],
+                Interval::from_raw(0, 0).unwrap(),
+            ))
+            .unwrap();
         }
         let heap = w.finish().unwrap();
         assert_eq!(heap.tuples(), 9);

@@ -7,9 +7,9 @@
 //! is verified by [`PageBuf::decode_page`], so a torn write surfaces as
 //! a typed [`StorageError::Corrupt`] instead of garbage tuples.
 
+use crate::bufext::{Buf, BufMut};
 use crate::codec;
 use crate::error::{Result, StorageError};
-use crate::bufext::{Buf, BufMut};
 use vtjoin_core::Tuple;
 
 /// Bytes reserved for the page header (record count + checksum).
@@ -30,7 +30,11 @@ impl PageBuf {
         let mut data = Vec::with_capacity(page_size);
         data.put_u16_le(0);
         data.put_u32_le(0);
-        PageBuf { page_size, data, count: 0 }
+        PageBuf {
+            page_size,
+            data,
+            count: 0,
+        }
     }
 
     /// Usable payload bytes per page of `page_size` bytes.
@@ -152,7 +156,7 @@ mod tests {
     fn oversized_record_is_an_error() {
         let mut p = PageBuf::new(64);
         let big = Tuple::new(
-            vec![Value::Bytes(vec![0; 100])],
+            vec![Value::Bytes(vec![0; 100].into())],
             Interval::from_raw(0, 0).unwrap(),
         );
         assert!(matches!(
@@ -184,7 +188,7 @@ mod tests {
         // exactly 32 fit; verify both facts.
         let pad127 = 127 - (16 + 1 + 9 + 3);
         let rec127 = Tuple::new(
-            vec![Value::Int(1), Value::Bytes(vec![0; pad127])],
+            vec![Value::Int(1), Value::Bytes(vec![0; pad127].into())],
             Interval::from_raw(0, 0).unwrap(),
         );
         let mut p = PageBuf::new(4096);

@@ -171,13 +171,25 @@ impl std::fmt::Display for ReserveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReserveError::TooLarge { pages, capacity } => {
-                write!(f, "reservation of {pages} pages exceeds the {capacity}-page pool")
+                write!(
+                    f,
+                    "reservation of {pages} pages exceeds the {capacity}-page pool"
+                )
             }
-            ReserveError::Saturated { waiting, max_waiting } => {
-                write!(f, "admission queue full ({waiting} waiting, bound {max_waiting})")
+            ReserveError::Saturated {
+                waiting,
+                max_waiting,
+            } => {
+                write!(
+                    f,
+                    "admission queue full ({waiting} waiting, bound {max_waiting})"
+                )
             }
             ReserveError::DeadlineExceeded { waited_micros } => {
-                write!(f, "deadline expired after {waited_micros} µs in the admission queue")
+                write!(
+                    f,
+                    "deadline expired after {waited_micros} µs in the admission queue"
+                )
             }
         }
     }
@@ -251,7 +263,10 @@ impl PagePool {
             return None;
         }
         Self::charge(&mut st, pages, false);
-        Some(PageReservation { pool: self.clone(), pages })
+        Some(PageReservation {
+            pool: self.clone(),
+            pages,
+        })
     }
 
     /// Reserves `pages`, blocking until capacity frees. Equivalent to
@@ -291,7 +306,10 @@ impl PagePool {
         if !blocked_behind && st.in_flight + req.pages <= self.0.capacity {
             Self::charge(&mut st, req.pages, false);
             return Ok(Admitted {
-                reservation: PageReservation { pool: self.clone(), pages: req.pages },
+                reservation: PageReservation {
+                    pool: self.clone(),
+                    pages: req.pages,
+                },
                 waited: false,
                 wait_micros: 0,
             });
@@ -307,7 +325,11 @@ impl PagePool {
         // Take a ticket and join the queue in (priority, ticket) order.
         let ticket = st.next_ticket;
         st.next_ticket += 1;
-        let waiter = Waiter { ticket, priority: req.priority, pages: req.pages };
+        let waiter = Waiter {
+            ticket,
+            priority: req.priority,
+            pages: req.pages,
+        };
         let at = st
             .queue
             .partition_point(|w| (w.priority, w.ticket) <= (req.priority, ticket));
@@ -321,7 +343,10 @@ impl PagePool {
                 st.granted_tickets.swap_remove(at);
                 let wait_micros = started.elapsed().as_micros() as u64;
                 return Ok(Admitted {
-                    reservation: PageReservation { pool: self.clone(), pages: req.pages },
+                    reservation: PageReservation {
+                        pool: self.clone(),
+                        pages: req.pages,
+                    },
                     waited: true,
                     wait_micros,
                 });
@@ -446,12 +471,18 @@ mod tests {
         let pool = PagePool::new(8);
         assert!(matches!(
             pool.reserve(9, 100),
-            Err(ReserveError::TooLarge { pages: 9, capacity: 8 })
+            Err(ReserveError::TooLarge {
+                pages: 9,
+                capacity: 8
+            })
         ));
         assert_eq!(pool.stats().rejected_oversize, 1);
         // Even while the pool is busy, an oversize request never waits.
         let _held = pool.try_reserve(8).unwrap();
-        assert!(matches!(pool.reserve(9, 100), Err(ReserveError::TooLarge { .. })));
+        assert!(matches!(
+            pool.reserve(9, 100),
+            Err(ReserveError::TooLarge { .. })
+        ));
     }
 
     #[test]
@@ -461,7 +492,10 @@ mod tests {
         // Queue bound zero: a full pool rejects instead of waiting.
         assert!(matches!(
             pool.reserve(1, 0),
-            Err(ReserveError::Saturated { waiting: 0, max_waiting: 0 })
+            Err(ReserveError::Saturated {
+                waiting: 0,
+                max_waiting: 0
+            })
         ));
         assert_eq!(pool.stats().rejected_saturated, 1);
         drop(held);
@@ -720,7 +754,10 @@ mod tests {
         assert_eq!(st.released, ok, "every reservation was returned (live = 0)");
         assert_eq!(st.granted, st.released + pool.in_flight());
         assert_eq!(pool.in_flight(), 0);
-        assert_eq!(st.rejected_deadline, deadline_rejects.load(Ordering::Relaxed));
+        assert_eq!(
+            st.rejected_deadline,
+            deadline_rejects.load(Ordering::Relaxed)
+        );
         assert_eq!(ok + st.rejected_deadline, 8 * 150);
         assert!(st.pages_high_water <= 12);
     }

@@ -125,7 +125,12 @@ mod tests {
 
     #[test]
     fn cost_weights_random_by_ratio() {
-        let s = IoStats { random_reads: 3, seq_reads: 10, random_writes: 2, seq_writes: 5 };
+        let s = IoStats {
+            random_reads: 3,
+            seq_reads: 10,
+            random_writes: 2,
+            seq_writes: 5,
+        };
         assert_eq!(s.cost(CostRatio::R5), 5 * 5 + 15);
         assert_eq!(s.cost(CostRatio::new(1)), s.total_ios());
         assert_eq!(s.random(), 5);
@@ -134,8 +139,18 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let a = IoStats { random_reads: 1, seq_reads: 2, random_writes: 3, seq_writes: 4 };
-        let b = IoStats { random_reads: 10, seq_reads: 20, random_writes: 30, seq_writes: 40 };
+        let a = IoStats {
+            random_reads: 1,
+            seq_reads: 2,
+            random_writes: 3,
+            seq_writes: 4,
+        };
+        let b = IoStats {
+            random_reads: 10,
+            seq_reads: 20,
+            random_writes: 30,
+            seq_writes: 40,
+        };
         let sum = a + b;
         assert_eq!(sum.random_reads, 11);
         assert_eq!(sum.seq_writes, 44);
@@ -152,7 +167,12 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(CostRatio::R10.to_string(), "10:1");
-        let s = IoStats { random_reads: 1, seq_reads: 2, random_writes: 3, seq_writes: 4 };
+        let s = IoStats {
+            random_reads: 1,
+            seq_reads: 2,
+            random_writes: 3,
+            seq_writes: 4,
+        };
         assert_eq!(s.to_string(), "reads 1r/2s, writes 3r/4s");
     }
 }

@@ -208,7 +208,10 @@ pub fn generate(schema: Arc<Schema>, cfg: &GeneratorConfig) -> Relation {
             let end = start + draw_duration(&mut rng, cfg) - 1;
             Interval::from_raw(start, end).expect("ordered")
         };
-        let values = vec![Value::Int(key), Value::Bytes(vec![0u8; cfg.pad_bytes])];
+        let values = vec![
+            Value::Int(key),
+            Value::Bytes(vec![0u8; cfg.pad_bytes].into_boxed_slice()),
+        ];
         tuples.push(Tuple::new(values, valid));
     }
     tuples.shuffle(&mut rng);
@@ -217,17 +220,16 @@ pub fn generate(schema: Arc<Schema>, cfg: &GeneratorConfig) -> Relation {
 
 /// §4.2 database: every tuple exactly one chronon long, uniform placement.
 pub fn uniform_snapshot(schema: Arc<Schema>, cfg: &GeneratorConfig) -> Relation {
-    let cfg = GeneratorConfig { long_lived: 0, ..cfg.clone() };
+    let cfg = GeneratorConfig {
+        long_lived: 0,
+        ..cfg.clone()
+    };
     generate(schema, &cfg)
 }
 
 /// §4.3 database: `long_lived` long-lived tuples mixed into one-chronon
 /// tuples.
-pub fn long_lived_mix(
-    schema: Arc<Schema>,
-    cfg: &GeneratorConfig,
-    long_lived: u64,
-) -> Relation {
+pub fn long_lived_mix(schema: Arc<Schema>, cfg: &GeneratorConfig, long_lived: u64) -> Relation {
     generate(schema, &cfg.clone().long_lived(long_lived))
 }
 
@@ -287,7 +289,11 @@ mod tests {
                 long += 1;
                 let s = t.valid().start().value();
                 assert!((0..5000).contains(&s), "start in first half, got {s}");
-                assert_eq!(t.valid().duration(), 5001, "duration = half lifespan + 1 chronon");
+                assert_eq!(
+                    t.valid().duration(),
+                    5001,
+                    "duration = half lifespan + 1 chronon"
+                );
             } else {
                 short += 1;
             }
@@ -317,19 +323,28 @@ mod tests {
             assert!((0..200).contains(&k));
             seen.insert(k);
         }
-        assert!(seen.len() > 150, "uniform keys should cover most of the domain");
+        assert!(
+            seen.len() > 150,
+            "uniform keys should cover most of the domain"
+        );
     }
 
     #[test]
     fn zipf_skews_towards_small_keys() {
-        let cfg = GeneratorConfig { key_dist: KeyDistribution::Zipf(1.2), ..base_cfg() };
+        let cfg = GeneratorConfig {
+            key_dist: KeyDistribution::Zipf(1.2),
+            ..base_cfg()
+        };
         let r = generate(outer_schema(0), &cfg);
         let zero = r.iter().filter(|t| t.value(0).as_int() == Some(0)).count();
         let tail = r
             .iter()
             .filter(|t| t.value(0).as_int().unwrap() >= 100)
             .count();
-        assert!(zero * 4 > tail, "zipf head {zero} should dominate tail {tail}");
+        assert!(
+            zero * 4 > tail,
+            "zipf head {zero} should dominate tail {tail}"
+        );
     }
 
     #[test]
@@ -349,12 +364,18 @@ mod tests {
         assert_eq!(cfg.long_lived, 100);
         let r = generate(outer_schema(0), &cfg);
         let zero = r.iter().filter(|t| t.value(0).as_int() == Some(0)).count();
-        assert!(zero > 2000 / 200, "zipf head should exceed the uniform share, got {zero}");
+        assert!(
+            zero > 2000 / 200,
+            "zipf head should exceed the uniform share, got {zero}"
+        );
     }
 
     #[test]
     fn clustered_starts_land_in_bursts() {
-        let cfg = GeneratorConfig { time_dist: TimeDistribution::Clustered(4), ..base_cfg() };
+        let cfg = GeneratorConfig {
+            time_dist: TimeDistribution::Clustered(4),
+            ..base_cfg()
+        };
         let r = generate(outer_schema(0), &cfg);
         // Burst windows are the first 10% of each quarter.
         for t in r.iter() {
@@ -375,16 +396,21 @@ mod tests {
         };
         let r = generate(outer_schema(0), &uni);
         assert!(r.iter().all(|t| (1..=50).contains(&(t.lifespan() as i64))));
-        assert!(r.iter().any(|t| t.lifespan() > 1), "not everything is an instant");
+        assert!(
+            r.iter().any(|t| t.lifespan() > 1),
+            "not everything is an instant"
+        );
 
         let geo = GeneratorConfig {
             duration_dist: DurationDistribution::Geometric(0.5),
             ..base_cfg()
         };
         let g = generate(outer_schema(0), &geo);
-        let mean: f64 =
-            g.iter().map(|t| t.lifespan() as f64).sum::<f64>() / g.len() as f64;
-        assert!((1.5..3.0).contains(&mean), "geometric(0.5) mean ≈ 2, got {mean}");
+        let mean: f64 = g.iter().map(|t| t.lifespan() as f64).sum::<f64>() / g.len() as f64;
+        assert!(
+            (1.5..3.0).contains(&mean),
+            "geometric(0.5) mean ≈ 2, got {mean}"
+        );
         // Determinism across distributions too.
         let g2 = generate(outer_schema(0), &geo);
         assert_eq!(g.tuples(), g2.tuples());
@@ -393,7 +419,10 @@ mod tests {
     #[test]
     fn paper_config_packs_32_tuples_per_page() {
         let params = PaperParams::SMALL;
-        let cfg = GeneratorConfig { tuples: 320, ..GeneratorConfig::paper(&params, 1) };
+        let cfg = GeneratorConfig {
+            tuples: 320,
+            ..GeneratorConfig::paper(&params, 1)
+        };
         let disk = SharedDisk::new(params.page_size);
         let heap = generate_heap(&disk, outer_schema(cfg.pad_bytes), &cfg).unwrap();
         assert_eq!(heap.tuples(), 320);

@@ -15,9 +15,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use vtjoin_core::{
-    AttrDef, AttrType, Interval, Relation, Schema, TemporalError, Tuple, Value,
-};
+use vtjoin_core::{AttrDef, AttrType, Interval, Relation, Schema, TemporalError, Tuple, Value};
 
 /// Errors raised by the text codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,7 +118,7 @@ fn parse_value(field: &str, ty: AttrType) -> Result<Value, TextError> {
                 .parse()
                 .map_err(|_| TextError::Parse(format!("bad bool `{field}`")))?,
         ),
-        AttrType::Str => Value::Str(unescape(field)?),
+        AttrType::Str => Value::Str(unescape(field)?.into_boxed_str()),
         AttrType::Bytes(_) => {
             if !field.len().is_multiple_of(2) {
                 return Err(TextError::Parse("odd-length hex".into()));
@@ -132,7 +130,7 @@ fn parse_value(field: &str, ty: AttrType) -> Result<Value, TextError> {
                         .map_err(|_| TextError::Parse(format!("bad hex `{field}`")))?,
                 );
             }
-            Value::Bytes(bytes)
+            Value::Bytes(bytes.into_boxed_slice())
         }
     })
 }
@@ -153,7 +151,12 @@ pub fn to_text(rel: &Relation) -> String {
             write_value(v, &mut out);
             out.push('|');
         }
-        let _ = writeln!(out, "{}|{}", t.valid().start().value(), t.valid().end().value());
+        let _ = writeln!(
+            out,
+            "{}|{}",
+            t.valid().start().value(),
+            t.valid().end().value()
+        );
     }
     out
 }
@@ -187,9 +190,7 @@ pub fn from_text(text: &str) -> Result<Relation, TextError> {
             attrs.push(AttrDef::new(name, ty));
         }
     }
-    let schema: Arc<Schema> = Schema::new(attrs)
-        .map_err(TextError::from)?
-        .into_shared();
+    let schema: Arc<Schema> = Schema::new(attrs).map_err(TextError::from)?.into_shared();
 
     let mut tuples = Vec::new();
     for (no, line) in lines.enumerate() {
@@ -242,12 +243,17 @@ mod tests {
                         Value::Int(-7),
                         Value::Str("pipe|and%percent\nnewline".into()),
                         Value::Bool(true),
-                        Value::Bytes(vec![0xde, 0xad]),
+                        Value::Bytes(vec![0xde, 0xad].into()),
                     ],
                     Interval::from_raw(0, 99).unwrap(),
                 ),
                 Tuple::new(
-                    vec![Value::Null, Value::Str(String::new()), Value::Bool(false), Value::Null],
+                    vec![
+                        Value::Null,
+                        Value::Str(String::new().into()),
+                        Value::Bool(false),
+                        Value::Null,
+                    ],
                     Interval::from_raw(-5, -5).unwrap(),
                 ),
             ],

@@ -75,9 +75,15 @@ fn main() {
 
     // ── The incremental view equals recomputation from scratch ────────────
     let mut r_now = r.tuples().to_vec();
-    r_now.push(Tuple::new(vec![Value::Int(3), Value::Int(999)], iv(1350, 1439)));
+    r_now.push(Tuple::new(
+        vec![Value::Int(3), Value::Int(999)],
+        iv(1350, 1439),
+    ));
     let mut s_now = s.tuples().to_vec();
-    s_now.push(Tuple::new(vec![Value::Int(3), Value::Int(777)], iv(0, 1439)));
+    s_now.push(Tuple::new(
+        vec![Value::Int(3), Value::Int(777)],
+        iv(0, 1439),
+    ));
     let expected = natural_join(
         &Relation::from_parts_unchecked(flights, r_now),
         &Relation::from_parts_unchecked(crews, s_now),

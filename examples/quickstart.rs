@@ -61,7 +61,9 @@ fn main() {
     let disk = SharedDisk::new(4096);
     let hr = HeapFile::bulk_load(&disk, &employees).unwrap();
     let hs = HeapFile::bulk_load(&disk, &managers).unwrap();
-    let cfg = JoinConfig::with_buffer(16).ratio(CostRatio::R5).collecting();
+    let cfg = JoinConfig::with_buffer(16)
+        .ratio(CostRatio::R5)
+        .collecting();
 
     println!("\nalgorithm        result  random  sequential  cost@5:1");
     let algorithms: Vec<Box<dyn JoinAlgorithm>> = vec![

@@ -6,8 +6,8 @@
 //! ```
 
 use vtjoin::model::algebra::{
-    self, antijoin, coalesce, count_over_time, outerjoin, project, select_interval,
-    semijoin, JoinSide,
+    self, antijoin, coalesce, count_over_time, outerjoin, project, select_interval, semijoin,
+    JoinSide,
 };
 use vtjoin::prelude::*;
 
@@ -45,7 +45,10 @@ fn main() {
 
     // ── Timeslice: the world at month 20 ────────────────────────────────────
     let at20 = salaries.timeslice(Chronon::new(20));
-    println!("\nsnapshot at month 20: {} employees on payroll", at20.len());
+    println!(
+        "\nsnapshot at month 20: {} employees on payroll",
+        at20.len()
+    );
 
     // ── Temporal window selection ──────────────────────────────────────────
     let year2 = select_interval(&salaries, iv(12, 23));
@@ -85,7 +88,10 @@ fn main() {
     // ── Outerjoin: salary history with (possibly missing) project info ─────
     let oj = outerjoin(&salaries, &projects, JoinSide::Left).unwrap();
     let dangling = oj.iter().filter(|t| t.value(2).is_null()).count();
-    println!("\nleft outerjoin rows: {} ({dangling} project-less fragments)", oj.len());
+    println!(
+        "\nleft outerjoin rows: {} ({dangling} project-less fragments)",
+        oj.len()
+    );
 
     // ── Temporal aggregation: headcount over time ──────────────────────────
     println!("\nheadcount over time:");
@@ -102,7 +108,10 @@ fn main() {
         vtjoin::model::allen::AllenSet::only(AllenRelation::Contains),
     )
     .unwrap();
-    println!("\nsalary periods strictly containing a project assignment: {}", during.len());
+    println!(
+        "\nsalary periods strictly containing a project assignment: {}",
+        during.len()
+    );
 }
 
 use vtjoin::model::AllenRelation;

@@ -17,8 +17,8 @@ use std::process::ExitCode;
 use vtjoin::model::algebra;
 use vtjoin::prelude::*;
 use vtjoin::workload::generate::{
-    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig,
-    KeyDistribution, TimeDistribution,
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
 };
 use vtjoin::workload::{from_text, to_text};
 
@@ -61,14 +61,16 @@ fn usage() -> String {
      [--duration MAX] [--seed N] [--side outer|inner] -o FILE\n  \
      vtjoin info FILE\n  \
      vtjoin join OUTER INNER [--algorithm nested-loop|sort-merge|partition|time-index|auto] \
-     [--predicate PRED] [--buffer PAGES] [--ratio N] [--faults PERMILLE] [--fault-seed N] \
+     [--predicate PRED] [--layout row|columnar] [--buffer PAGES] [--ratio N] \
+     [--faults PERMILLE] [--fault-seed N] \
      [--retries N] [--explain] [--stats-json FILE] [-o FILE]\n  \
      vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
-     [--grid auto|1xN|KxN|<k>xN] [--predicate PRED] [--explain] [--stats-json FILE] \
-     [-o FILE]   (in-memory parallel grid-partition join)\n  \
+     [--grid auto|1xN|KxN|<k>xN] [--predicate PRED] [--layout row|columnar] [--explain] \
+     [--stats-json FILE] [-o FILE]   (in-memory parallel grid-partition join)\n  \
      vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
      [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
-     [--grid auto|1xN|KxN|<k>xN] [--priority interactive|batch|background] \
+     [--grid auto|1xN|KxN|<k>xN] [--layout row|columnar] \
+     [--priority interactive|batch|background] \
      [--deadline-ms MILLIS] [--stream] [--explain] [--stats-json FILE]\n  \
      vtjoin slice FILE --at CHRONON\n  \
      vtjoin coalesce FILE [-o FILE]\n\n\
@@ -108,8 +110,9 @@ impl Flags {
                 named.push((name.to_owned(), value.clone()));
                 i += 2;
             } else if a == "-o" {
-                let value =
-                    args.get(i + 1).ok_or_else(|| "-o needs a value".to_owned())?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "-o needs a value".to_owned())?;
                 named.push(("out".to_owned(), value.clone()));
                 i += 2;
             } else {
@@ -131,7 +134,9 @@ impl Flags {
     fn get_u64(&self, name: &str, default: u64) -> Result<u64, AnyError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => Ok(v.parse::<u64>().map_err(|_| format!("--{name}: bad number `{v}`"))?),
+            Some(v) => Ok(v
+                .parse::<u64>()
+                .map_err(|_| format!("--{name}: bad number `{v}`"))?),
         }
     }
 }
@@ -146,9 +151,20 @@ fn parse_predicate(flags: &Flags) -> Result<JoinPredicate, AnyError> {
     }
 }
 
+/// `--layout row|columnar` (default: columnar). Both layouts produce
+/// byte-identical results; `row` exists for A/B comparison and as an
+/// escape hatch.
+fn parse_layout(flags: &Flags) -> Result<vtjoin::join::Layout, AnyError> {
+    match flags.get("layout") {
+        None => Ok(vtjoin::join::Layout::default()),
+        Some(l) => vtjoin::join::Layout::parse(l)
+            .ok_or_else(|| format!("--layout must be row|columnar, got `{l}`").into()),
+    }
+}
+
 fn load(path: &str) -> Result<Relation, AnyError> {
-    let text = std::fs::read_to_string(Path::new(path))
-        .map_err(|e| format!("reading {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
     Ok(from_text(&text)?)
 }
 
@@ -226,6 +242,7 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     let cfg = JoinConfig::with_buffer(buffer)
         .ratio(ratio)
         .predicate(pred)
+        .layout(parse_layout(&flags)?)
         .collecting();
 
     let disk = SharedDisk::new(4096);
@@ -285,8 +302,7 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     // The partition join exposes its planner output, which the execution
     // report turns into plan + predicted-vs-actual deviation sections.
     let (report, exec_report) = if algo.name() == "partition" {
-        let (report, planner) =
-            PartitionJoin::default().execute_with_plan(&hr, &hs, &cfg)?;
+        let (report, planner) = PartitionJoin::default().execute_with_plan(&hr, &hs, &cfg)?;
         let er = partition_execution_report(&report, &cfg, &planner, hr.pages());
         (report, er)
     } else {
@@ -367,10 +383,19 @@ fn join_parallel(
     // sequence/mixed templates, where neither time partitioning nor the
     // key grid applies).
     let pred = parse_predicate(flags)?;
+    let layout = parse_layout(flags)?;
     let (result, exec_report) = if pred.is_natural() {
-        vtjoin::engine::grid_execution_report_with(r, s, &plan, threads, kernel)?
+        vtjoin::engine::grid_execution_report_layout(r, s, &plan, threads, kernel, &pred, layout)?
     } else {
-        vtjoin::engine::grid_execution_report_pred(r, s, &plan, threads, &pred)?
+        vtjoin::engine::grid_execution_report_layout(
+            r,
+            s,
+            &plan,
+            threads,
+            vtjoin::join::KernelChoice::Auto,
+            &pred,
+            layout,
+        )?
     };
 
     if flags.get("explain").is_some() {
@@ -520,9 +545,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                             )
                         })?);
                     } else if let Some(p) = opt.strip_prefix("priority=") {
-                        submit.priority = p.parse().map_err(|e| {
-                            format!("{requests_path}:{}: {e}", lineno + 1)
-                        })?;
+                        submit.priority = p
+                            .parse()
+                            .map_err(|e| format!("{requests_path}:{}: {e}", lineno + 1))?;
                     } else if let Some(ms) = opt.strip_prefix("deadline=") {
                         let ms: u64 = ms.parse().map_err(|_| {
                             format!(
@@ -562,9 +587,11 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
 
     let concurrency = flags.get_u64("concurrency", 4)? as usize;
     if concurrency == 0 {
-        return Err("--concurrency must be at least 1 (0 submitter threads can serve nothing)"
-            .to_string()
-            .into());
+        return Err(
+            "--concurrency must be at least 1 (0 submitter threads can serve nothing)"
+                .to_string()
+                .into(),
+        );
     }
     let kernel_name = flags.get("kernel").unwrap_or("auto");
     let kernel = vtjoin::join::KernelChoice::parse(kernel_name)
@@ -584,6 +611,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     }
     cfg.threads_per_query = threads_per_query as usize;
     cfg.kernel = kernel;
+    cfg.layout = parse_layout(&flags)?;
     let grid_name = flags.get("grid").unwrap_or("auto");
     cfg.grid = GridChoice::parse(grid_name)
         .ok_or_else(|| format!("--grid must be auto|1xN|KxN|<k>xN, got `{grid_name}`"))?;
@@ -591,14 +619,15 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
 
     // Fixed-size outcome slots keep the printed order deterministic (the
     // request-file order) no matter how the submitter threads interleave.
-    let outcomes: Vec<Mutex<String>> =
-        joins.iter().map(|_| Mutex::new(String::new())).collect();
+    let outcomes: Vec<Mutex<String>> = joins.iter().map(|_| Mutex::new(String::new())).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..concurrency.min(joins.len().max(1)) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((outer, inner, pred, submit)) = joins.get(i) else { break };
+                let Some((outer, inner, pred, submit)) = joins.get(i) else {
+                    break;
+                };
                 let mut tag = if pred.is_natural() {
                     String::new()
                 } else {

@@ -29,8 +29,14 @@ fn all_algorithms() -> Vec<Box<dyn JoinAlgorithm>> {
         Box::new(NestedLoopJoin),
         Box::new(SortMergeJoin),
         Box::new(PartitionJoin::default()),
-        Box::new(PartitionJoin { sample_inner_for_cache: true, reserved_cache_pages: 0 }),
-        Box::new(PartitionJoin { sample_inner_for_cache: false, reserved_cache_pages: 3 }),
+        Box::new(PartitionJoin {
+            sample_inner_for_cache: true,
+            reserved_cache_pages: 0,
+        }),
+        Box::new(PartitionJoin {
+            sample_inner_for_cache: false,
+            reserved_cache_pages: 3,
+        }),
         Box::new(ReplicatedPartitionJoin),
         Box::new(TimeIndexJoin::default()),
     ]

@@ -16,8 +16,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use vtjoin::prelude::*;
 use vtjoin::storage::{FaultConfig, RetryPolicy};
 use vtjoin::workload::generate::{
-    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig,
-    KeyDistribution, TimeDistribution,
+    generate, inner_schema, outer_schema, DurationDistribution, GeneratorConfig, KeyDistribution,
+    TimeDistribution,
 };
 
 fn workload(tuples: u64, long_lived: u64, seed: u64) -> (Relation, Relation) {
@@ -33,7 +33,10 @@ fn workload(tuples: u64, long_lived: u64, seed: u64) -> (Relation, Relation) {
         seed,
     };
     let r = generate(outer_schema(cfg.pad_bytes), &cfg);
-    let s = generate(inner_schema(cfg.pad_bytes), &cfg.clone().seed(seed ^ 0xabcd_ef01));
+    let s = generate(
+        inner_schema(cfg.pad_bytes),
+        &cfg.clone().seed(seed ^ 0xabcd_ef01),
+    );
     (r, s)
 }
 
@@ -174,7 +177,9 @@ fn faults_section_attaches_and_round_trips_exactly() {
     );
 
     let er = execution_report(&report, &cfg);
-    let fs = er.faults.expect("execution report carries the faults section");
+    let fs = er
+        .faults
+        .expect("execution report carries the faults section");
     assert_eq!(fs.injected_read_faults, summary.stats.injected_read_faults);
     assert_eq!(fs.retries, summary.stats.retries);
     assert_eq!(fs.recovered, summary.stats.recovered);
@@ -191,7 +196,10 @@ fn clean_runs_attach_no_faults_section() {
     let (_disk, hr, hs) = faulty_disk(&r, &s, 0, 0, RetryPolicy::default());
     let cfg = JoinConfig::with_buffer(12).collecting();
     let report = PartitionJoin::default().execute(&hr, &hs, &cfg).unwrap();
-    assert!(report.faults.is_none(), "fault-free runs must not change shape");
+    assert!(
+        report.faults.is_none(),
+        "fault-free runs must not change shape"
+    );
     let er = execution_report(&report, &cfg);
     assert!(er.faults.is_none());
     assert!(!er.to_json_string().contains("\"faults\":"));
@@ -240,5 +248,8 @@ fn torn_writes_surface_as_typed_corruption_not_panic() {
             );
         }
     }
-    assert!(disk.fault_stats().torn_writes > 0, "torn writes were injected");
+    assert!(
+        disk.fault_stats().torn_writes > 0,
+        "torn writes were injected"
+    );
 }

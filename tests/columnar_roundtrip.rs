@@ -1,0 +1,169 @@
+//! Columnar ≡ row round-trip: the struct-of-arrays encode → columnar
+//! kernel → late-materialization pipeline must reproduce the row path
+//! **byte-identically** (same tuples, same order, same kernel counters)
+//! across every grammar-nameable predicate and both executors — the grid
+//! executor and the serial partition join. This is the pin for the
+//! `ColumnarSide` contract in `crates/join/src/columnar.rs`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vtjoin::engine::grid_execution_report_layout;
+use vtjoin::join::common::JoinSpec;
+use vtjoin::join::kernel::KernelChoice;
+use vtjoin::join::partition::intervals::equal_width;
+use vtjoin::join::partition::{plan_grid, GridChoice};
+use vtjoin::join::Layout;
+use vtjoin::prelude::*;
+use vtjoin::storage::codec::encode;
+
+const T_MAX: i64 = 120;
+
+/// Every predicate the `--predicate` grammar can name: the natural
+/// alias, all thirteen Allen relations, gap-bounded before/after, and a
+/// sample of `-or-` unions covering the intersection, sequence, and
+/// mixed templates.
+const GRAMMAR_PREDICATES: &[&str] = &[
+    "intersects",
+    "before",
+    "meets",
+    "overlaps",
+    "starts",
+    "during",
+    "finishes",
+    "equals",
+    "finished-by",
+    "contains",
+    "started-by",
+    "overlapped-by",
+    "met-by",
+    "after",
+    "before-within-7",
+    "after-within-3",
+    "overlaps-or-overlapped-by",
+    "during-or-contains-or-equals",
+    "before-or-after",
+    "meets-or-met-by",
+    "starts-or-during-or-finishes",
+];
+
+fn r_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Str),
+        AttrDef::new("b", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+fn s_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        AttrDef::new("k", AttrType::Str),
+        AttrDef::new("c", AttrType::Int),
+    ])
+    .unwrap()
+    .into_shared()
+}
+
+prop_compose! {
+    /// String keys from a small pool (duplicate-heavy, exercising the key
+    /// dictionary and hash tie-breaks) with clustered starts so radix
+    /// passes see both constant and varying bytes, plus interval ties.
+    fn arb_tuple(keys: i64)(k in 0..keys, v in 0..1000i64, a in 0..T_MAX, len in 0..40i64)
+        -> (String, i64, Interval)
+    {
+        (format!("key{k}"), v, Interval::from_raw(a, (a + len).min(T_MAX + 40)).unwrap())
+    }
+}
+
+fn arb_rel(schema: Arc<Schema>, keys: i64, n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(keys), 0..n).prop_map(move |ts| {
+        Relation::from_parts_unchecked(
+            Arc::clone(&schema),
+            ts.into_iter()
+                .map(|(k, v, iv)| Tuple::new(vec![Value::from(k), Value::Int(v)], iv))
+                .collect(),
+        )
+    })
+}
+
+/// The ordered byte image of a result: every tuple's storage-codec
+/// encoding, *in emission order* — byte-identical means identical bytes
+/// in identical order, not just multiset equality.
+fn ordered_encoding(rel: &Relation) -> Vec<Vec<u8>> {
+    rel.iter().map(encode).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Grid executor: for every grammar predicate and forced kernel, the
+    /// columnar layout reproduces the row layout's output bytes, output
+    /// order, and kernel counters.
+    #[test]
+    fn grid_executor_row_and_columnar_agree(
+        r in arb_rel(r_schema(), 4, 60),
+        s in arb_rel(s_schema(), 4, 60),
+        parts in 1u64..5,
+        threads in 1usize..3,
+    ) {
+        let lifespan = Interval::from_raw(0, T_MAX + 40).unwrap();
+        let intervals = equal_width(lifespan, parts);
+        let spec = JoinSpec::natural(r.schema(), s.schema()).unwrap();
+        let plan = plan_grid(&spec, &r, &s, &intervals, threads, GridChoice::Fixed(2)).plan;
+        for pred_text in GRAMMAR_PREDICATES {
+            let pred: JoinPredicate = pred_text.parse().unwrap();
+            for choice in [KernelChoice::Auto, KernelChoice::Sweep, KernelChoice::Hash] {
+                let (row, row_report) = grid_execution_report_layout(
+                    &r, &s, &plan, threads, choice, &pred, Layout::Row,
+                ).unwrap();
+                let (col, col_report) = grid_execution_report_layout(
+                    &r, &s, &plan, threads, choice, &pred, Layout::Columnar,
+                ).unwrap();
+                prop_assert_eq!(
+                    ordered_encoding(&row),
+                    ordered_encoding(&col),
+                    "{pred_text} ({choice:?}): layouts diverged",
+                );
+                prop_assert_eq!(
+                    row_report.kernel, col_report.kernel,
+                    "{pred_text} ({choice:?}): kernel counters diverged",
+                );
+                // The columnar section accounts for every materialized row.
+                if let Some(c) = col_report.columnar {
+                    prop_assert_eq!(c.materialized_rows, col.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Serial partition join: for every partitioning-eligible grammar
+    /// predicate, the columnar intra-partition path (including the paged
+    /// tuple-cache chunks) reproduces the row path byte-identically.
+    #[test]
+    fn partition_join_row_and_columnar_agree(
+        r in arb_rel(r_schema(), 4, 60),
+        s in arb_rel(s_schema(), 4, 60),
+        buffer in 8u64..24,
+    ) {
+        let disk = SharedDisk::new(256);
+        let hr = HeapFile::bulk_load(&disk, &r).unwrap();
+        let hs = HeapFile::bulk_load(&disk, &s).unwrap();
+        for pred_text in GRAMMAR_PREDICATES {
+            let pred: JoinPredicate = pred_text.parse().unwrap();
+            if !pred.partitioning_eligible() {
+                continue; // served by the merge fallback, pinned above
+            }
+            let run = |layout: Layout| {
+                let mut cfg = JoinConfig::with_buffer(buffer).collecting().layout(layout);
+                cfg.predicate = pred;
+                let report = PartitionJoin::default().execute(&hr, &hs, &cfg).unwrap();
+                ordered_encoding(report.result.as_ref().unwrap())
+            };
+            prop_assert_eq!(
+                run(Layout::Row),
+                run(Layout::Columnar),
+                "{pred_text}: partition-join layouts diverged",
+            );
+        }
+    }
+}

@@ -20,8 +20,7 @@ fn load_pair(tuples: u64, long_lived: u64) -> (SharedDisk, HeapFile, HeapFile) {
     // Guard page: keep the relations physically non-adjacent so a scan of
     // one can never accidentally chain into the other.
     let _gap = disk.alloc(1);
-    let hs =
-        generate_heap(&disk, inner_schema(cfg.pad_bytes), &cfg.clone().seed(22)).unwrap();
+    let hs = generate_heap(&disk, inner_schema(cfg.pad_bytes), &cfg.clone().seed(22)).unwrap();
     (disk, hr, hs)
 }
 
@@ -74,8 +73,7 @@ fn partition_lower_bound_holds() {
         let report = PartitionJoin::default()
             .execute(&hr, &hs, &JoinConfig::with_buffer(buffer))
             .unwrap();
-        let bound =
-            cost::partition_cost_lower_bound(hr.pages(), hs.pages(), buffer, CostRatio::R5);
+        let bound = cost::partition_cost_lower_bound(hr.pages(), hs.pages(), buffer, CostRatio::R5);
         let measured = report.cost(CostRatio::R5);
         assert!(
             measured <= bound * 4,
@@ -103,7 +101,12 @@ fn phase_io_partitions_total_io() {
             .phases
             .iter()
             .fold(IoStats::ZERO, |acc, p| acc + p.io);
-        assert_eq!(sum, report.io, "{}: phase sums must equal total", algo.name());
+        assert_eq!(
+            sum,
+            report.io,
+            "{}: phase sums must equal total",
+            algo.name()
+        );
     }
 }
 
@@ -130,7 +133,11 @@ fn cpu_counters_reflect_algorithm_structure() {
     let sm = SortMergeJoin.execute(&hr, &hs, &cfg).unwrap();
     for rep in [&nl, &pj, &sm] {
         assert!(rep.note("cpu_probes").unwrap() > 0, "{}", rep.algorithm);
-        assert!(rep.note("cpu_match_tests").unwrap() > 0, "{}", rep.algorithm);
+        assert!(
+            rep.note("cpu_match_tests").unwrap() > 0,
+            "{}",
+            rep.algorithm
+        );
     }
     // At 64 buffer pages the 128-page outer needs ~3 chunks: nested loop
     // probes every inner tuple once per chunk, the partition join only

@@ -57,7 +57,7 @@ fn arb_raw(keys: i64, n: usize) -> impl Strategy<Value = Vec<(i64, i64, i64, i64
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Every shape × every thread count: multiset-equal to the serial
     /// oracle, byte-identical to the plan's own 1-thread run.

@@ -79,7 +79,7 @@ fn run_both_kernels(r: &Relation, s: &Relation, emit_within: Interval) -> (Relat
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn kernels_match_each_other_and_the_oracle(
@@ -168,15 +168,27 @@ fn boundary_touching_matches_and_abutting_does_not_in_both_kernels() {
     let r = Relation::from_parts_unchecked(
         r_schema(),
         vec![
-            Tuple::new(vec![Value::Int(1), Value::Int(0)], Interval::from_raw(0, 5).unwrap()),
-            Tuple::new(vec![Value::Int(2), Value::Int(1)], Interval::from_raw(0, 4).unwrap()),
+            Tuple::new(
+                vec![Value::Int(1), Value::Int(0)],
+                Interval::from_raw(0, 5).unwrap(),
+            ),
+            Tuple::new(
+                vec![Value::Int(2), Value::Int(1)],
+                Interval::from_raw(0, 4).unwrap(),
+            ),
         ],
     );
     let s = Relation::from_parts_unchecked(
         s_schema(),
         vec![
-            Tuple::new(vec![Value::Int(1), Value::Int(9)], Interval::from_raw(5, 9).unwrap()),
-            Tuple::new(vec![Value::Int(2), Value::Int(8)], Interval::from_raw(5, 9).unwrap()),
+            Tuple::new(
+                vec![Value::Int(1), Value::Int(9)],
+                Interval::from_raw(5, 9).unwrap(),
+            ),
+            Tuple::new(
+                vec![Value::Int(2), Value::Int(8)],
+                Interval::from_raw(5, 9).unwrap(),
+            ),
         ],
     );
     let (hash, sweep) = run_both_kernels(&r, &s, Interval::ALL);

@@ -21,8 +21,7 @@ fn load_pair(tuples: u64, long_lived: u64) -> (SharedDisk, HeapFile, HeapFile) {
     let cfg = GeneratorConfig::paper(&params, 21).long_lived(long_lived);
     let hr = generate_heap(&disk, outer_schema(cfg.pad_bytes), &cfg).unwrap();
     let _gap = disk.alloc(1);
-    let hs =
-        generate_heap(&disk, inner_schema(cfg.pad_bytes), &cfg.clone().seed(22)).unwrap();
+    let hs = generate_heap(&disk, inner_schema(cfg.pad_bytes), &cfg.clone().seed(22)).unwrap();
     (disk, hr, hs)
 }
 
@@ -90,8 +89,7 @@ fn every_algorithm_produces_a_well_formed_report() {
         // Phase I/O partitions the total, in the report as in the source.
         let phase_total: u64 = er.phases.iter().map(|p| p.io.total_ios).sum();
         assert_eq!(phase_total, er.io.total_ios, "{}", algo.name());
-        let back =
-            vtjoin::obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
+        let back = vtjoin::obs::ExecutionReport::from_json_str(&er.to_json_string()).unwrap();
         assert_eq!(back, er, "{}", algo.name());
     }
 }

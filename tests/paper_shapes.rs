@@ -32,9 +32,13 @@ fn pair(long_lived: u64, seed: u64) -> (SharedDisk, HeapFile, HeapFile) {
 }
 
 fn run(algo: &dyn JoinAlgorithm, hr: &HeapFile, hs: &HeapFile, buffer: u64) -> u64 {
-    algo.execute(hr, hs, &JoinConfig::with_buffer(buffer).ratio(CostRatio::R5))
-        .unwrap()
-        .cost(CostRatio::R5)
+    algo.execute(
+        hr,
+        hs,
+        &JoinConfig::with_buffer(buffer).ratio(CostRatio::R5),
+    )
+    .unwrap()
+    .cost(CostRatio::R5)
 }
 
 // "8 MB" at this scale: relation/4.
@@ -63,7 +67,10 @@ fn fig6_nested_loop_collapses_at_small_memory_but_wins_at_large() {
         nl_large <= pj_large,
         "NL must be at least as good when the outer fits: {nl_large} vs {pj_large}"
     );
-    assert!(nl_large * 3 < nl_small, "NL at large memory must be far below its small-memory self");
+    assert!(
+        nl_large * 3 < nl_small,
+        "NL at large memory must be far below its small-memory self"
+    );
 }
 
 #[test]

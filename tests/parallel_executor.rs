@@ -63,13 +63,19 @@ fn build_rel(
 
 fn arb_raw(n: usize) -> impl Strategy<Value = Vec<(i64, i64, i64, i64, bool)>> {
     proptest::collection::vec(
-        (0..4i64, 0..1000i64, 0..T_MAX, 0..100i64, proptest::strategy::AnyBool),
+        (
+            0..4i64,
+            0..1000i64,
+            0..T_MAX,
+            0..100i64,
+            proptest::strategy::AnyBool,
+        ),
         0..n,
     )
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn thread_count_invariant_and_oracle_equal(
@@ -104,9 +110,13 @@ proptest! {
 #[test]
 fn worker_count_contract_two_partitions_eight_threads() {
     let parts = equal_width(Interval::from_raw(0, T_MAX).unwrap(), 2);
-    let raw = (0..40).map(|i| (i % 3, i, (i * 7) % T_MAX, i % 50, i % 4 == 0)).collect();
+    let raw = (0..40)
+        .map(|i| (i % 3, i, (i * 7) % T_MAX, i % 50, i % 4 == 0))
+        .collect();
     let r = build_rel(r_schema(), &parts, raw);
-    let raw = (0..40).map(|i| (i % 3, i, (i * 11) % T_MAX, i % 30, i % 5 == 0)).collect();
+    let raw = (0..40)
+        .map(|i| (i % 3, i, (i * 11) % T_MAX, i % 30, i % 5 == 0))
+        .collect();
     let s = build_rel(s_schema(), &parts, raw);
 
     let (got, workers) = parallel_partition_join_reported(&r, &s, &parts, 8).unwrap();
@@ -118,9 +128,13 @@ fn worker_count_contract_two_partitions_eight_threads() {
 #[test]
 fn skew_and_utilization_sum_consistently_with_wall_clock() {
     let parts = equal_width(Interval::from_raw(0, T_MAX).unwrap(), 8);
-    let raw = (0..600).map(|i| (i % 5, i, (i * 13) % T_MAX, i % 80, false)).collect();
+    let raw = (0..600)
+        .map(|i| (i % 5, i, (i * 13) % T_MAX, i % 80, false))
+        .collect();
     let r = build_rel(r_schema(), &parts, raw);
-    let raw = (0..600).map(|i| (i % 5, i, (i * 17) % T_MAX, i % 60, false)).collect();
+    let raw = (0..600)
+        .map(|i| (i % 5, i, (i * 17) % T_MAX, i % 60, false))
+        .collect();
     let s = build_rel(s_schema(), &parts, raw);
 
     let (_, er) = parallel_execution_report(&r, &s, &parts, 3).unwrap();
@@ -146,7 +160,9 @@ fn skew_and_utilization_sum_consistently_with_wall_clock() {
     for w in &er.workers {
         assert!(
             w.busy_micros <= w.wall_micros + parts.len() as u64,
-            "worker busy {} exceeds wall {}", w.busy_micros, w.wall_micros
+            "worker busy {} exceeds wall {}",
+            w.busy_micros,
+            w.wall_micros
         );
     }
     assert!(sk.busy_micros_total <= er.workers.len() as u64 * (wall_max + parts.len() as u64));
@@ -157,6 +173,8 @@ fn skew_and_utilization_sum_consistently_with_wall_clock() {
     let join_phase = er.phase("join").expect("join phase present");
     assert!(
         wall_max <= join_phase.wall_micros + 2,
-        "worker wall {} exceeds join phase {}", wall_max, join_phase.wall_micros
+        "worker wall {} exceeds join phase {}",
+        wall_max,
+        join_phase.wall_micros
     );
 }

@@ -80,7 +80,7 @@ fn arb_rel(schema: Arc<Schema>, keys: i64, n: usize) -> impl Strategy<Value = Re
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The parallel executor — filtered kernels for intersection-template
     /// predicates, the chunked sort-merge fallback for sequence/mixed —
@@ -156,7 +156,7 @@ prop_compose! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// [`AllenRelation::classify`] and the compiled predicate templates
     /// agree on boundary-adjacent pairs: each pair satisfies exactly one

@@ -49,7 +49,7 @@ fn arb_rel(schema: Arc<Schema>, keys: i64, n: usize) -> impl Strategy<Value = Re
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn heap_round_trip_preserves_relations(r in arb_rel(r_schema(), 5, 60)) {

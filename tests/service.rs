@@ -35,7 +35,11 @@ fn workload(tuples: u64, seed: u64, outer: bool) -> Relation {
         pad_bytes: 0,
         seed,
     };
-    let schema = if outer { outer_schema(0) } else { inner_schema(0) };
+    let schema = if outer {
+        outer_schema(0)
+    } else {
+        inner_schema(0)
+    };
     generate(schema, &g)
 }
 
@@ -50,7 +54,8 @@ fn service_with(pairs: &[(&str, u64, bool)]) -> JoinService {
     let mut db = Database::new(1024);
     for (name, tuples, outer) in pairs {
         let seed = 0x5EED ^ (*tuples << 1) ^ u64::from(*outer);
-        db.create_table(name, &workload(*tuples, seed, *outer)).unwrap();
+        db.create_table(name, &workload(*tuples, seed, *outer))
+            .unwrap();
     }
     let mut cfg = ServiceConfig::new(JoinConfig::with_buffer(16).seed(7), 16_384);
     cfg.threads_per_query = 2;
@@ -196,17 +201,22 @@ fn saturated_pool_sheds_with_typed_outcomes() {
 fn queued_large_join_survives_streams_of_small_joins_at_every_concurrency() {
     for concurrency in [1usize, 2, 4] {
         let mut db = Database::new(1024);
-        db.create_table("big_r", &workload(2_500, 11, true)).unwrap();
-        db.create_table("big_s", &workload(2_500, 12, false)).unwrap();
-        db.create_table("small_r", &workload(250, 13, true)).unwrap();
-        db.create_table("small_s", &workload(250, 14, false)).unwrap();
+        db.create_table("big_r", &workload(2_500, 11, true))
+            .unwrap();
+        db.create_table("big_s", &workload(2_500, 12, false))
+            .unwrap();
+        db.create_table("small_r", &workload(250, 13, true))
+            .unwrap();
+        db.create_table("small_s", &workload(250, 14, false))
+            .unwrap();
         let (big_pages, buffer) = {
             let r = db.table_stats("big_r").unwrap().pages;
             let s = db.table_stats("big_s").unwrap().pages;
             (r + s, 16u64)
         };
         // The big join fits only in an otherwise-empty pool.
-        let mut cfg = ServiceConfig::new(JoinConfig::with_buffer(buffer).seed(7), big_pages + buffer);
+        let mut cfg =
+            ServiceConfig::new(JoinConfig::with_buffer(buffer).seed(7), big_pages + buffer);
         cfg.threads_per_query = 1;
         cfg.max_queue = 64;
         let svc = JoinService::new(db, cfg);
@@ -220,7 +230,9 @@ fn queued_large_join_survives_streams_of_small_joins_at_every_concurrency() {
                     }
                 });
             }
-            let resp = svc.submit("big_r", "big_s").expect("large join must not starve");
+            let resp = svc
+                .submit("big_r", "big_s")
+                .expect("large join must not starve");
             done.store(true, Ordering::Relaxed);
             assert!(
                 !resp.result.is_empty(),
@@ -242,8 +254,14 @@ fn repeated_workload_hits_the_cache_with_identical_output() {
         assert_eq!(sorted_encoding(&resp.result), want, "round {round}");
     }
     let sec = svc.service_section();
-    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (4, 1, 0));
-    assert!(sec.cache_hits > 0, "repeated workload must report a positive hit ratio");
+    assert_eq!(
+        (sec.cache_hits, sec.cache_misses, sec.cache_invalidations),
+        (4, 1, 0)
+    );
+    assert!(
+        sec.cache_hits > 0,
+        "repeated workload must report a positive hit ratio"
+    );
 }
 
 #[test]
@@ -256,7 +274,10 @@ fn version_bump_with_unchanged_stats_stays_a_hit() {
     svc.append("r", &[]).unwrap();
     assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::CacheHit);
     let sec = svc.service_section();
-    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (1, 1, 0));
+    assert_eq!(
+        (sec.cache_hits, sec.cache_misses, sec.cache_invalidations),
+        (1, 1, 0)
+    );
 }
 
 #[test]
@@ -276,7 +297,10 @@ fn drift_past_tolerance_forces_a_replan() {
     assert_eq!(svc.submit("r", "s").unwrap().plan, PlanOutcome::CacheHit);
 
     let sec = svc.service_section();
-    assert_eq!((sec.cache_hits, sec.cache_misses, sec.cache_invalidations), (2, 2, 1));
+    assert_eq!(
+        (sec.cache_hits, sec.cache_misses, sec.cache_invalidations),
+        (2, 2, 1)
+    );
     assert_eq!(sec.requests, 4);
     assert_eq!(sec.completed, 4);
 
