@@ -185,12 +185,27 @@ pub fn predicate_join(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Resul
     Ok(Relation::from_parts_unchecked(out_schema, out))
 }
 
+/// The **matched window** of a tuple with interval `mine` against one
+/// matching partner interval `theirs`, under `pred`: the part of `mine`
+/// the result stamp covers. For intersection-template predicates the
+/// stamp is the overlap (contained in `mine`), so the matched window is
+/// exactly the overlap — the classical semijoin/outerjoin semantics. For
+/// disjoint matches (sequence predicates such as `before`) the stamp is
+/// the span, which contains `mine` entirely: a single disjoint match
+/// marks the whole tuple as matched (no dangling window), the natural
+/// degeneration of the window definition `stamp ∩ mine`.
+fn matched_window(pred: &JoinPredicate, mine: Interval, theirs: Interval) -> Interval {
+    pred.stamp(mine, theirs)
+        .overlap(mine)
+        .expect("a match's stamp always intersects the operand's interval")
+}
+
 /// The **temporal semijoin** `r ⋉ᵛ s`: each `r` tuple restricted to the
 /// time during which *some* value-matching `s` tuple is valid. Because that
 /// time is in general a union of intervals, one input tuple can produce
 /// several result tuples (one per maximal interval).
 pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
-    semi_or_anti(r, s, true)
+    semi_or_anti(r, s, &JoinPredicate::intersects(), true)
 }
 
 /// The **temporal antijoin** `r ▷ᵛ s`: each `r` tuple restricted to the
@@ -198,10 +213,32 @@ pub fn semijoin(r: &Relation, s: &Relation) -> Result<Relation> {
 ///
 /// `semijoin(r,s) ∪ antijoin(r,s)` partitions every input tuple's interval.
 pub fn antijoin(r: &Relation, s: &Relation) -> Result<Relation> {
-    semi_or_anti(r, s, false)
+    semi_or_anti(r, s, &JoinPredicate::intersects(), false)
 }
 
-fn semi_or_anti(r: &Relation, s: &Relation, keep_matched: bool) -> Result<Relation> {
+/// Predicate-parameterized [`semijoin`]: each `r` tuple restricted to the
+/// union of its matched windows (the `pred` stamp rule clipped to the
+/// tuple's valid time) over the
+/// `pred`-matching, key-equal `s` tuples. With
+/// [`JoinPredicate::intersects`] this is exactly [`semijoin`].
+pub fn semijoin_pred(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Result<Relation> {
+    semi_or_anti(r, s, pred, true)
+}
+
+/// Predicate-parameterized [`antijoin`]: the complement of
+/// [`semijoin_pred`] within each input tuple's interval. For every
+/// predicate, `semijoin_pred ∪ antijoin_pred` partitions each `r` tuple's
+/// interval.
+pub fn antijoin_pred(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Result<Relation> {
+    semi_or_anti(r, s, pred, false)
+}
+
+fn semi_or_anti(
+    r: &Relation,
+    s: &Relation,
+    pred: &JoinPredicate,
+    keep_matched: bool,
+) -> Result<Relation> {
     let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
     let mut table: HashMap<Vec<Value>, Vec<Interval>> = HashMap::new();
     for y in s.iter() {
@@ -214,7 +251,13 @@ fn semi_or_anti(r: &Relation, s: &Relation, keep_matched: bool) -> Result<Relati
     for x in r.iter() {
         let matched: Period = table
             .get(&x.key_at(&shared_r))
-            .map(|ivs| Period::from_intervals(ivs.iter().filter_map(|iv| iv.overlap(x.valid()))))
+            .map(|ivs| {
+                Period::from_intervals(
+                    ivs.iter()
+                        .filter(|iv| pred.matches(x.valid(), **iv))
+                        .map(|iv| matched_window(pred, x.valid(), *iv)),
+                )
+            })
             .unwrap_or_default();
         let keep = if keep_matched {
             matched
@@ -233,12 +276,29 @@ fn semi_or_anti(r: &Relation, s: &Relation, keep_matched: bool) -> Result<Relati
 /// in the other operand's non-shared attributes — the building block of
 /// the TE-outerjoin / event-join of \[SG89\].
 pub fn outerjoin(r: &Relation, s: &Relation, side: JoinSide) -> Result<Relation> {
+    outerjoin_pred(r, s, side, &JoinPredicate::intersects())
+}
+
+/// Predicate-parameterized [`outerjoin`]. With [`JoinPredicate::intersects`]
+/// this is exactly [`outerjoin`].
+///
+/// For [`JoinSide::Right`] the result is computed with the operands
+/// swapped (then permuted back into r-major attribute order), so a
+/// directional predicate such as `before` is evaluated as
+/// `pred.matches(s_tuple, r_tuple)` — symmetric predicates are
+/// unaffected.
+pub fn outerjoin_pred(
+    r: &Relation,
+    s: &Relation,
+    side: JoinSide,
+    pred: &JoinPredicate,
+) -> Result<Relation> {
     match side {
-        JoinSide::Left => left_outerjoin(r, s),
+        JoinSide::Left => left_outerjoin_pred(r, s, pred),
         JoinSide::Right => {
             // Compute as a left outerjoin with the operands swapped, then
             // rearrange each result tuple into r-major attribute order.
-            let swapped = left_outerjoin(s, r)?;
+            let swapped = left_outerjoin_pred(s, r, pred)?;
             let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
             let sw_schema = swapped.schema().clone();
             let mut perm = Vec::with_capacity(out_schema.arity());
@@ -265,51 +325,91 @@ pub fn outerjoin(r: &Relation, s: &Relation, side: JoinSide) -> Result<Relation>
 /// appears in the result exactly once per input tuple (modulo fragment
 /// splitting).
 pub fn full_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
-    let left = left_outerjoin(r, s)?;
-    // Right-dangling fragments: s's antijoin parts, padded and permuted
-    // into r-major attribute order.
-    let (shared_s, shared_r) = s.schema().join_attributes(r.schema())?;
-    let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
-    let s_dangling = antijoin(s, r)?;
-    let mut tuples = left.into_tuples();
-    for y in s_dangling.iter() {
-        let mut vals = vec![Value::Null; out_schema.arity()];
-        // Shared attributes take s's values (they sit at r's positions in
-        // the output schema).
-        for (&j, &i) in shared_s.iter().zip(&shared_r) {
-            vals[i] = y.value(j).clone();
-        }
-        // Non-shared s attributes follow r's block.
-        let mut out_pos = r.schema().arity();
-        for (j, v) in y.values().iter().enumerate() {
-            if !shared_s.contains(&j) {
-                vals[out_pos] = v.clone();
-                out_pos += 1;
+    full_outerjoin_pred(r, s, &JoinPredicate::intersects())
+}
+
+/// Predicate-parameterized [`full_outerjoin`]. With
+/// [`JoinPredicate::intersects`] this is exactly [`full_outerjoin`].
+///
+/// Single pass over the match candidates: the left-outer sweep also
+/// accumulates each `s` tuple's matched window, so the right-dangling
+/// fragments fall out without re-probing `s` against `r` (the old
+/// implementation recomputed every matched window a second time via
+/// `antijoin(s, r)`). Output order: the full left-outer output in `r`
+/// order, then each `s` tuple's dangling fragments ascending, in `s`
+/// order.
+pub fn full_outerjoin_pred(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Result<Relation> {
+    let mut y_matched = vec![Period::new(); s.len()];
+    let (out_schema, mut tuples) = left_outer_pass(r, s, pred, Some(&mut y_matched))?;
+
+    // Right-dangling fragments, padded and permuted into r-major
+    // attribute order.
+    let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
+    for (y, matched) in s.iter().zip(&y_matched) {
+        let dangling = Period::from_interval(y.valid()).difference(matched);
+        if let Some((last, rest)) = dangling.intervals().split_last() {
+            let mut vals = vec![Value::Null; out_schema.arity()];
+            // Shared attributes take s's values (they sit at r's positions
+            // in the output schema).
+            for (&j, &i) in shared_s.iter().zip(&shared_r) {
+                vals[i] = y.value(j).clone();
             }
+            // Non-shared s attributes follow r's block.
+            let mut out_pos = r.schema().arity();
+            for (j, v) in y.values().iter().enumerate() {
+                if !shared_s.contains(&j) {
+                    vals[out_pos] = v.clone();
+                    out_pos += 1;
+                }
+            }
+            let padded = Tuple::new(vals, *last);
+            for iv in rest {
+                tuples.push(padded.with_valid(*iv));
+            }
+            tuples.push(padded.into_with_valid(*last));
         }
-        tuples.push(Tuple::new(vals, y.valid()));
     }
     Ok(Relation::from_parts_unchecked(out_schema, tuples))
 }
 
-fn left_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
+fn left_outerjoin_pred(r: &Relation, s: &Relation, pred: &JoinPredicate) -> Result<Relation> {
+    let (out_schema, out) = left_outer_pass(r, s, pred, None)?;
+    Ok(Relation::from_parts_unchecked(out_schema, out))
+}
+
+/// The shared left-outer sweep: emits matched pairs and `r`-side dangling
+/// fragments in `r` order. When `y_matched` is supplied (the full outer
+/// join), each `s` tuple's matched window is accumulated in the same pass
+/// so the caller can emit the right-dangling fragments without a second
+/// probe phase.
+fn left_outer_pass(
+    r: &Relation,
+    s: &Relation,
+    pred: &JoinPredicate,
+    mut y_matched: Option<&mut [Period]>,
+) -> Result<(Arc<crate::schema::Schema>, Vec<Tuple>)> {
     let (shared_r, shared_s) = r.schema().join_attributes(s.schema())?;
     let out_schema = r.schema().natural_join_schema(s.schema())?.into_shared();
     let s_extra = non_shared_indices(s.schema().arity(), &shared_s);
 
-    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-    for y in s.iter() {
-        table.entry(y.key_at(&shared_s)).or_default().push(y);
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (idx, y) in s.iter().enumerate() {
+        table.entry(y.key_at(&shared_s)).or_default().push(idx);
     }
 
     let mut out = Vec::new();
     for x in r.iter() {
         let mut matched = Period::new();
         if let Some(candidates) = table.get(&x.key_at(&shared_r)) {
-            for y in candidates {
-                if let Some(common) = x.valid().overlap(y.valid()) {
-                    out.push(Tuple::new(splice(x, y, &s_extra), common));
-                    matched.insert(common);
+            for &idx in candidates {
+                let y = &s.tuples()[idx];
+                if pred.matches(x.valid(), y.valid()) {
+                    let stamp = pred.stamp(x.valid(), y.valid());
+                    out.push(Tuple::new(splice(x, y, &s_extra), stamp));
+                    matched.insert(matched_window(pred, x.valid(), y.valid()));
+                    if let Some(inner) = y_matched.as_deref_mut() {
+                        inner[idx].insert(matched_window(pred, y.valid(), x.valid()));
+                    }
                 }
             }
         }
@@ -327,7 +427,7 @@ fn left_outerjoin(r: &Relation, s: &Relation) -> Result<Relation> {
             out.push(padded.into_with_valid(*last));
         }
     }
-    Ok(Relation::from_parts_unchecked(out_schema, out))
+    Ok((out_schema, out))
 }
 
 #[cfg(test)]
@@ -663,6 +763,73 @@ mod tests {
         let inner = natural_join(&r, &s).unwrap();
         let left = outerjoin(&r, &s, JoinSide::Left).unwrap();
         assert!(inner.multiset_eq(&left));
+    }
+
+    #[test]
+    fn full_outerjoin_output_order_is_pinned() {
+        // Regression pin for the single-pass rewrite: the output order is
+        // part of the oracle contract (production executors are validated
+        // byte-for-byte against it). Left-outer block in r order (pairs in
+        // s candidate order, then dangling fragments ascending), then each
+        // s tuple's dangling fragments ascending, in s order.
+        let r = Relation::new(
+            emp(),
+            vec![et(1, 10, 0, 20), et(2, 10, 8, 12), et(3, 99, 0, 3)],
+        )
+        .unwrap();
+        let s = Relation::new(
+            mgr(),
+            vec![mt(10, 100, 2, 4), mt(10, 101, 10, 25), mt(20, 200, 5, 7)],
+        )
+        .unwrap();
+        let fo = full_outerjoin(&r, &s).unwrap();
+        let got: Vec<(Vec<Value>, Interval)> = fo
+            .iter()
+            .map(|t| (t.values().to_vec(), t.valid()))
+            .collect();
+        let row = |a: Value, b: Value, c: Value, i: Interval| (vec![a, b, c], i);
+        use Value::{Int, Null};
+        assert_eq!(
+            got,
+            vec![
+                row(Int(1), Int(10), Int(100), iv(2, 4)),
+                row(Int(1), Int(10), Int(101), iv(10, 20)),
+                row(Int(1), Int(10), Null, iv(0, 1)),
+                row(Int(1), Int(10), Null, iv(5, 9)),
+                row(Int(2), Int(10), Int(101), iv(10, 12)),
+                row(Int(2), Int(10), Null, iv(8, 9)),
+                row(Int(3), Int(99), Null, iv(0, 3)),
+                row(Null, Int(10), Int(101), iv(21, 25)),
+                row(Null, Int(20), Int(200), iv(5, 7)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequence_predicate_marks_whole_tuple_matched() {
+        use crate::allen::AllenRelation;
+        // With a disjoint-match predicate the stamp is the span, which
+        // covers the whole tuple: one `before` match leaves no dangling
+        // window (semijoin keeps everything, antijoin nothing, the left
+        // outer join emits no padded fragments).
+        let r = Relation::new(emp(), vec![et(1, 10, 0, 2), et(2, 10, 6, 9)]).unwrap();
+        let s = Relation::new(mgr(), vec![mt(10, 100, 4, 5)]).unwrap();
+        let before = JoinPredicate::relation(AllenRelation::Before);
+        let sj = semijoin_pred(&r, &s, &before).unwrap();
+        assert_eq!(sj.len(), 1);
+        assert_eq!(sj.tuples()[0].valid(), iv(0, 2));
+        let aj = antijoin_pred(&r, &s, &before).unwrap();
+        let stamps: Vec<Interval> = aj.iter().map(|t| t.valid()).collect();
+        assert_eq!(stamps, vec![iv(6, 9)]); // only the non-matching tuple
+        let lo = outerjoin_pred(&r, &s, JoinSide::Left, &before).unwrap();
+        assert_eq!(lo.len(), 2); // span pair for x1, padded whole of x2
+        assert_eq!(lo.tuples()[0].valid(), iv(0, 5));
+        assert!(lo.tuples()[1].value(2).is_null());
+        assert_eq!(lo.tuples()[1].valid(), iv(6, 9));
+        // Full outer: y is matched by x1's span entirely, so no
+        // right-dangling fragment appears.
+        let fo = full_outerjoin_pred(&r, &s, &before).unwrap();
+        assert!(fo.iter().all(|t| !t.value(0).is_null()));
     }
 
     #[test]

@@ -11,11 +11,13 @@ pub mod join;
 pub mod select;
 pub mod setops;
 
-pub use aggregate::{count_over_time, extremum_over_time, sum_over_time, Extremum};
+pub use aggregate::{
+    count_over_time, extremum_over_time, segments_to_relation, sum_over_time, AggSegment, Extremum,
+};
 pub use coalesce::coalesce;
 pub use join::{
-    allen_join, antijoin, full_outerjoin, natural_join, outerjoin, predicate_join, semijoin,
-    time_join, JoinSide,
+    allen_join, antijoin, antijoin_pred, full_outerjoin, full_outerjoin_pred, natural_join,
+    outerjoin, outerjoin_pred, predicate_join, semijoin, semijoin_pred, time_join, JoinSide,
 };
 pub use select::{project, select, select_interval};
 pub use setops::{difference, intersection, union};

@@ -22,6 +22,7 @@
 //! | [`interval`] | closed intervals, the paper's `overlap`, interval algebra |
 //! | [`allen`] | Allen's 13 interval relations |
 //! | [`predicate`] | generalized join predicates compiled from Allen relation sets |
+//! | [`operator`] | the temporal operator family (inner/left/full/semi/anti/aggregate) |
 //! | [`period`] | temporal elements: canonical sets of disjoint intervals |
 //! | [`value`], [`schema`], [`mod@tuple`], [`relation`] | the 1NF model |
 //! | [`algebra`] | selection, projection, coalescing, timeslice, joins, aggregation |
@@ -35,6 +36,7 @@ pub mod allen;
 pub mod chronon;
 pub mod error;
 pub mod interval;
+pub mod operator;
 pub mod period;
 pub mod predicate;
 pub mod relation;
@@ -46,6 +48,7 @@ pub use allen::{AllenRelation, AllenSet};
 pub use chronon::Chronon;
 pub use error::{Result, TemporalError};
 pub use interval::Interval;
+pub use operator::{AggFunc, Operator, OperatorParseError};
 pub use period::Period;
 pub use predicate::{JoinPredicate, PredicateTemplate};
 pub use relation::Relation;

@@ -1,0 +1,228 @@
+//! The temporal operator family evaluated by the production executors.
+//!
+//! The paper's contribution is the valid-time natural **inner** join, but
+//! §4.1 surveys the wider family it composes into: the temporal semijoin
+//! and antijoin, the TE-outerjoin / event-join of \[SG89\], and temporal
+//! aggregation over the join result. [`Operator`] names each member so it
+//! can be threaded through configuration, planners, executors, service
+//! plan-cache keys, and the CLI with one canonical string form.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parse failure from [`Operator::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorParseError(String);
+
+impl fmt::Display for OperatorParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid operator: {}", self.0)
+    }
+}
+
+impl std::error::Error for OperatorParseError {}
+
+/// A temporal aggregate computed over the join result's timeline.
+///
+/// `Sum`/`Min`/`Max` name an integer attribute of the **join output**
+/// schema; `Count` needs no attribute. The canonical string forms are
+/// `count`, `sum:ATTR`, `min:ATTR`, and `max:ATTR`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Tuples valid at each chronon.
+    Count,
+    /// Sum of an integer attribute over the tuples valid at each chronon.
+    Sum(String),
+    /// Minimum of an integer attribute over the tuples valid at each chronon.
+    Min(String),
+    /// Maximum of an integer attribute over the tuples valid at each chronon.
+    Max(String),
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Count => write!(f, "count"),
+            AggFunc::Sum(a) => write!(f, "sum:{a}"),
+            AggFunc::Min(a) => write!(f, "min:{a}"),
+            AggFunc::Max(a) => write!(f, "max:{a}"),
+        }
+    }
+}
+
+/// Which member of the temporal operator family to evaluate.
+///
+/// The canonical string grammar (used by `vtjoin join --op`, serve `op=`
+/// request fields, and the service plan-cache key) is:
+///
+/// ```text
+/// op       := "inner" | "left" | "full" | "semi" | "anti" | aggregate
+/// aggregate:= "aggregate:count"
+///           | "aggregate:sum:" ATTR
+///           | "aggregate:min:" ATTR
+///           | "aggregate:max:" ATTR
+/// ```
+///
+/// `Display` and `FromStr` round-trip exactly over this grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Operator {
+    /// The valid-time natural join (the paper's `r ⋈ᵛ s`). The default.
+    #[default]
+    Inner,
+    /// Left outer join: inner matches plus `r`'s dangling sub-intervals,
+    /// `Null`-padded on `s`'s non-shared attributes.
+    Left,
+    /// Full outer join (the TE-outerjoin / event-join of \[SG89\]): inner
+    /// matches plus both sides' dangling sub-intervals.
+    Full,
+    /// Temporal semijoin `r ⋉ᵛ s`: each `r` tuple restricted to the time
+    /// some matching `s` tuple is valid.
+    Semi,
+    /// Temporal antijoin `r ▷ᵛ s`: each `r` tuple restricted to the time
+    /// no matching `s` tuple is valid.
+    Anti,
+    /// Temporal aggregation of the inner-join result over time.
+    Aggregate(AggFunc),
+}
+
+impl Operator {
+    /// Whether this is the plain inner join (the only operator the
+    /// disk-based algorithms evaluate).
+    pub fn is_inner(&self) -> bool {
+        matches!(self, Operator::Inner)
+    }
+
+    /// Whether evaluation needs the matched pairs themselves (as opposed
+    /// to only each side's dangling coverage).
+    pub fn needs_pairs(&self) -> bool {
+        matches!(
+            self,
+            Operator::Inner | Operator::Left | Operator::Full | Operator::Aggregate(_)
+        )
+    }
+
+    /// Whether evaluation tracks the inner (`s`) side's unmatched
+    /// sub-intervals (only the full outer join preserves them).
+    pub fn tracks_inner(&self) -> bool {
+        matches!(self, Operator::Full)
+    }
+
+    /// Whether evaluation tracks the outer (`r`) side's unmatched
+    /// sub-intervals.
+    pub fn tracks_outer(&self) -> bool {
+        matches!(
+            self,
+            Operator::Left | Operator::Full | Operator::Semi | Operator::Anti
+        )
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operator::Inner => write!(f, "inner"),
+            Operator::Left => write!(f, "left"),
+            Operator::Full => write!(f, "full"),
+            Operator::Semi => write!(f, "semi"),
+            Operator::Anti => write!(f, "anti"),
+            Operator::Aggregate(a) => write!(f, "aggregate:{a}"),
+        }
+    }
+}
+
+impl FromStr for Operator {
+    type Err = OperatorParseError;
+
+    /// Parses the `--op` grammar documented on [`Operator`].
+    fn from_str(s: &str) -> Result<Operator, OperatorParseError> {
+        let bad = || {
+            OperatorParseError(format!(
+                "`{s}` (expected inner|left|full|semi|anti|aggregate:count|\
+                 aggregate:sum:ATTR|aggregate:min:ATTR|aggregate:max:ATTR)"
+            ))
+        };
+        match s {
+            "inner" => Ok(Operator::Inner),
+            "left" => Ok(Operator::Left),
+            "full" => Ok(Operator::Full),
+            "semi" => Ok(Operator::Semi),
+            "anti" => Ok(Operator::Anti),
+            _ => {
+                let rest = s.strip_prefix("aggregate:").ok_or_else(bad)?;
+                if rest == "count" {
+                    return Ok(Operator::Aggregate(AggFunc::Count));
+                }
+                let (func, attr) = rest.split_once(':').ok_or_else(bad)?;
+                if attr.is_empty() || attr.contains(':') {
+                    return Err(bad());
+                }
+                let attr = attr.to_owned();
+                match func {
+                    "sum" => Ok(Operator::Aggregate(AggFunc::Sum(attr))),
+                    "min" => Ok(Operator::Aggregate(AggFunc::Min(attr))),
+                    "max" => Ok(Operator::Aggregate(AggFunc::Max(attr))),
+                    _ => Err(bad()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let ops = [
+            Operator::Inner,
+            Operator::Left,
+            Operator::Full,
+            Operator::Semi,
+            Operator::Anti,
+            Operator::Aggregate(AggFunc::Count),
+            Operator::Aggregate(AggFunc::Sum("pay".into())),
+            Operator::Aggregate(AggFunc::Min("pay".into())),
+            Operator::Aggregate(AggFunc::Max("pay".into())),
+        ];
+        for op in ops {
+            let text = op.to_string();
+            let back: Operator = text.parse().unwrap();
+            assert_eq!(back, op, "{text}");
+            assert_eq!(back.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_forms() {
+        for s in [
+            "",
+            "outer",
+            "aggregate",
+            "aggregate:",
+            "aggregate:sum",
+            "aggregate:sum:",
+            "aggregate:avg:pay",
+            "aggregate:sum:a:b",
+            "Left",
+            "semi ",
+        ] {
+            assert!(s.parse::<Operator>().is_err(), "{s:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn default_is_inner_and_flags_are_consistent() {
+        assert_eq!(Operator::default(), Operator::Inner);
+        assert!(Operator::Inner.is_inner());
+        assert!(!Operator::Semi.needs_pairs());
+        assert!(!Operator::Anti.needs_pairs());
+        assert!(Operator::Left.needs_pairs());
+        assert!(Operator::Full.tracks_inner());
+        assert!(!Operator::Left.tracks_inner());
+        assert!(Operator::Semi.tracks_outer());
+        assert!(!Operator::Inner.tracks_outer());
+        assert!(Operator::Aggregate(AggFunc::Count).needs_pairs());
+        assert!(!Operator::Aggregate(AggFunc::Count).tracks_outer());
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`parallel`] — a multi-threaded partition join over replicated
 //!   partitions, the Leung–Muntz multiprocessor setting (\[LM92b\]) as an
 //!   in-memory ablation;
+//! * [`operator`] — the production executor for the wider §4.1 operator
+//!   family (outer/semi/anti joins and temporal aggregation), running
+//!   dangling-fragment-tracking sweeps over the same partition grid;
 //! * [`service`] — a concurrent multi-query join service: admission
 //!   control over a shared page pool and a statistics-fingerprinted plan
 //!   cache that reuses partition boundaries across requests, skipping the
@@ -29,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod database;
+pub mod operator;
 pub mod parallel;
 pub mod planner;
 pub mod query;
@@ -36,6 +40,7 @@ pub mod service;
 pub mod view;
 
 pub use database::{Database, TableStats};
+pub use operator::{operator_execution_report, operator_join, OperatorCounters};
 pub use parallel::{
     grid_execution_report_layout, grid_execution_report_pred, grid_execution_report_sharded,
     grid_execution_report_with, grid_join_streamed, grid_partition_join, grid_partition_join_pred,

@@ -1719,6 +1719,7 @@ fn build_report(
             dict_size: c.dict_size,
             materialized_rows: c.materialized_rows,
         }),
+        operator: None,
     };
     (rel, report)
 }

@@ -50,12 +50,13 @@
 //! [`ExecutionReport`] with algorithm `"service"`.
 
 use crate::database::{Database, DbError, TableStats};
+use crate::operator::{operator_join, OperatorCounters};
 use crate::parallel::{grid_execution_report_sharded, grid_join_streamed, StreamSummary};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
-use vtjoin_core::{Interval, JoinPredicate, Relation, Tuple};
+use vtjoin_core::{Interval, JoinPredicate, Operator, Relation, Tuple};
 use vtjoin_join::columnar::Layout;
 use vtjoin_join::common::JoinSpec;
 use vtjoin_join::kernel::KernelChoice;
@@ -151,12 +152,17 @@ impl std::str::FromStr for Priority {
 
 /// Per-request admission options ([`JoinService::submit_opts`] /
 /// [`JoinService::submit_streamed`]). The default is a batch-priority
-/// request with no deadline, no page-budget cap, and the service's
-/// configured grid policy.
-#[derive(Debug, Clone, Copy, Default)]
+/// inner-join request with no deadline, no page-budget cap, and the
+/// service's configured grid policy.
+#[derive(Debug, Clone, Default)]
 pub struct SubmitOptions {
     /// Admission class.
     pub priority: Priority,
+    /// Which member of the operator family to evaluate (the serve
+    /// protocol's `op=` token). Non-inner operators run the
+    /// dangling-tracking executor ([`crate::operator::operator_join`])
+    /// over the same cached partition plan; they are not streamable.
+    pub op: Operator,
     /// Total time the request may spend *queued for admission*. Expiry
     /// sheds the request with [`Rejected::DeadlineExceeded`]; a request
     /// whose deadline is already smaller than the observed queue wait is
@@ -303,6 +309,10 @@ pub struct JoinResponse {
     /// Wall-clock the request spent queued for admission, in microseconds
     /// (0 for immediate admissions).
     pub wait_micros: u64,
+    /// Dangling/stitch/timeline counters from the operator executor —
+    /// `Some` exactly when the request asked for a non-inner
+    /// [`Operator`].
+    pub operator: Option<OperatorCounters>,
 }
 
 /// One completed **streamed** join request: everything the sink was not
@@ -364,6 +374,11 @@ impl StatsFingerprint {
     }
 }
 
+/// Plan-cache key: `(outer, inner, predicate, grid policy, operator)`.
+/// The operator is part of the key so a plan computed for one member of
+/// the operator family is never handed to — or poisoned by — another.
+type PlanKey = (String, String, String, String, String);
+
 /// One cached plan: the boundaries, the grid shape, and the fingerprints
 /// plus drift tolerances that gate reuse. The chosen `partSize` itself is
 /// not stored — its slack is baked into the per-side tolerances below.
@@ -410,7 +425,7 @@ impl CacheEntry {
 /// requests parked behind the planner.
 struct PlanClaim<'a> {
     svc: &'a JoinService,
-    key: Option<(String, String, String, String)>,
+    key: Option<PlanKey>,
 }
 
 impl Drop for PlanClaim<'_> {
@@ -614,11 +629,11 @@ pub struct JoinService {
     db: RwLock<Database>,
     cfg: ServiceConfig,
     pool: PagePool,
-    cache: Mutex<HashMap<(String, String, String, String), CacheEntry>>,
+    cache: Mutex<HashMap<PlanKey, CacheEntry>>,
     /// Single-flight guard: keys whose plan is being computed right now.
     /// Concurrent requests for the same key wait on the condvar and take
     /// the cache hit instead of racing a redundant sampling pass.
-    planning: Mutex<HashSet<(String, String, String, String)>>,
+    planning: Mutex<HashSet<PlanKey>>,
     planning_done: Condvar,
     residency: Mutex<Residency>,
     counters: Mutex<Counters>,
@@ -747,11 +762,11 @@ impl JoinService {
         // released either way (RAII).
         let exec_started = Instant::now();
         let outcome = self.plan_and_run(
-            outer, inner, pred, grid, &r_heap, &s_heap, &r_stats, &s_stats, pages,
+            outer, inner, pred, &opts.op, grid, &r_heap, &s_heap, &r_stats, &s_stats, pages,
         );
         drop(admit.reservation);
         match outcome {
-            Ok((result, plan, partitions, key_buckets)) => {
+            Ok((result, plan, partitions, key_buckets, operator)) => {
                 let exec_micros = exec_started.elapsed().as_micros() as u64;
                 let mut c = self.lock_counters();
                 c.completed += 1;
@@ -766,6 +781,7 @@ impl JoinService {
                     key_buckets,
                     reserved_pages: pages,
                     wait_micros: admit.wait_micros,
+                    operator,
                 })
             }
             Err(e) => {
@@ -790,6 +806,14 @@ impl JoinService {
         opts: &SubmitOptions,
         sink: &mut dyn FnMut(Vec<Tuple>),
     ) -> Result<StreamedResponse, ServiceError> {
+        if !opts.op.is_inner() {
+            // Dangling emission is only final once the tracked sweep has
+            // drained every cell, so non-inner operators have no
+            // deterministic streamable prefix.
+            return Err(ServiceError::Join(JoinError::Precondition(
+                "streaming supports only the inner join; submit non-inner operators materialized",
+            )));
+        }
         let (r_heap, s_heap, r_stats, s_stats, pages) = self.snapshot(outer, inner, opts)?;
         {
             let mut c = self.lock_counters();
@@ -1005,23 +1029,42 @@ impl JoinService {
 
     /// Phases 3 & 4 — plan (through the cache) and execute, materialized.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn plan_and_run(
         &self,
         outer: &str,
         inner: &str,
         pred: &JoinPredicate,
+        op: &Operator,
         grid: GridChoice,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
         r_stats: &TableStats,
         s_stats: &TableStats,
         reserved_pages: u64,
-    ) -> Result<(Relation, PlanOutcome, u64, u64), ServiceError> {
-        let (r_rel, s_rel, plan, outcome) =
-            self.plan_phase(outer, inner, pred, grid, r_heap, s_heap, r_stats, s_stats)?;
+    ) -> Result<(Relation, PlanOutcome, u64, u64, Option<OperatorCounters>), ServiceError> {
+        let (r_rel, s_rel, plan, outcome) = self.plan_phase(
+            outer, inner, pred, op, grid, r_heap, s_heap, r_stats, s_stats,
+        )?;
         let Some(plan) = plan else {
-            // Sequence/mixed template: stream-shape merge fallback,
-            // materialized via the parallel merge executor.
+            // Sequence/mixed template: no time partitioning. The inner
+            // join takes the stream-shape merge fallback; non-inner
+            // operators run the tracked executor over the trivial
+            // partitioning (it routes to its own nested fallback).
+            if !op.is_inner() {
+                let (result, counters) = operator_join(
+                    &r_rel,
+                    &s_rel,
+                    op,
+                    pred,
+                    &[Interval::ALL],
+                    1,
+                    self.cfg.threads_per_query,
+                    self.cfg.layout,
+                )
+                .map_err(ServiceError::Join)?;
+                return Ok((result, outcome, 0, 0, Some(counters)));
+            }
             let result = crate::parallel::parallel_partition_join_pred(
                 &r_rel,
                 &s_rel,
@@ -1030,10 +1073,28 @@ impl JoinService {
                 pred,
             )
             .map_err(ServiceError::Join)?;
-            return Ok((result, outcome, 0, 0));
+            return Ok((result, outcome, 0, 0, None));
         };
         let partitions = plan.intervals.len() as u64;
         let key_buckets = plan.key_buckets;
+        if !op.is_inner() {
+            // Non-inner operators reuse the cached partition boundaries
+            // and key-bucket count, but execute through the
+            // dangling-tracking operator executor instead of the sharded
+            // inner-join grid.
+            let (result, counters) = operator_join(
+                &r_rel,
+                &s_rel,
+                op,
+                pred,
+                &plan.intervals,
+                key_buckets as usize,
+                self.cfg.threads_per_query,
+                self.cfg.layout,
+            )
+            .map_err(ServiceError::Join)?;
+            return Ok((result, outcome, partitions, key_buckets, Some(counters)));
+        }
         // Shard execution: the request's admitted page budget becomes a
         // private sub-pool, and each grid worker pins its per-shard share
         // for its whole lifetime — admission-visible memory accounting
@@ -1054,7 +1115,7 @@ impl JoinService {
         )
         .map(|(rel, _)| rel)
         .map_err(ServiceError::Join)?;
-        Ok((result, outcome, partitions, key_buckets))
+        Ok((result, outcome, partitions, key_buckets, None))
     }
 
     /// Phases 3 & 4, streamed: identical planning, execution through
@@ -1074,8 +1135,17 @@ impl JoinService {
         reserved_pages: u64,
         sink: &mut dyn FnMut(Vec<Tuple>),
     ) -> Result<(StreamSummary, PlanOutcome, u64, u64), ServiceError> {
-        let (r_rel, s_rel, plan, outcome) =
-            self.plan_phase(outer, inner, pred, grid, r_heap, s_heap, r_stats, s_stats)?;
+        let (r_rel, s_rel, plan, outcome) = self.plan_phase(
+            outer,
+            inner,
+            pred,
+            &Operator::Inner,
+            grid,
+            r_heap,
+            s_heap,
+            r_stats,
+            s_stats,
+        )?;
         let (plan, partitions, key_buckets) = match plan {
             Some(p) => {
                 let parts = p.intervals.len() as u64;
@@ -1112,6 +1182,7 @@ impl JoinService {
         outer: &str,
         inner: &str,
         pred: &JoinPredicate,
+        op: &Operator,
         grid: GridChoice,
         r_heap: &HeapFile,
         s_heap: &HeapFile,
@@ -1131,7 +1202,7 @@ impl JoinService {
         let outer_fp = StatsFingerprint::from_stats(*r_stats, seed);
         let inner_fp = StatsFingerprint::from_stats(*s_stats, seed);
         let (plan, outcome) = self.plan(
-            outer, inner, pred, grid, &outer_fp, &inner_fp, r_heap, s_heap, &r_rel, &s_rel,
+            outer, inner, pred, op, grid, &outer_fp, &inner_fp, r_heap, s_heap, &r_rel, &s_rel,
         )?;
         Ok((r_rel, s_rel, Some(plan), outcome))
     }
@@ -1152,6 +1223,7 @@ impl JoinService {
         outer: &str,
         inner: &str,
         pred: &JoinPredicate,
+        op: &Operator,
         grid: GridChoice,
         outer_fp: &StatsFingerprint,
         inner_fp: &StatsFingerprint,
@@ -1165,6 +1237,7 @@ impl JoinService {
             inner.to_owned(),
             pred.to_string(),
             grid.to_string(),
+            op.to_string(),
         );
         let mut invalidated = false;
         if self.cfg.plan_cache {
@@ -1359,6 +1432,7 @@ impl JoinService {
             predicate: None,
             grid: None,
             columnar: None,
+            operator: None,
         }
     }
 }
@@ -1500,6 +1574,83 @@ mod tests {
             .result
             .multiset_eq(&predicate_join(&r, &s, &overlaps).unwrap()));
         assert!(a.result.multiset_eq(&c.result));
+    }
+
+    #[test]
+    fn non_inner_operators_match_oracles_and_cache_per_operator() {
+        use vtjoin_core::algebra::{
+            antijoin_pred, full_outerjoin_pred, outerjoin_pred, predicate_join, semijoin_pred,
+            JoinSide,
+        };
+        let svc = service(4096);
+        let pred = JoinPredicate::intersects();
+        let r = rel("b", 600, 5);
+        let s = rel("c", 600, 7);
+        let cases: Vec<(Operator, Relation)> = vec![
+            (
+                Operator::Left,
+                outerjoin_pred(&r, &s, JoinSide::Left, &pred).unwrap(),
+            ),
+            (Operator::Full, full_outerjoin_pred(&r, &s, &pred).unwrap()),
+            (Operator::Semi, semijoin_pred(&r, &s, &pred).unwrap()),
+            (Operator::Anti, antijoin_pred(&r, &s, &pred).unwrap()),
+        ];
+        for (op, want) in &cases {
+            let opts = SubmitOptions {
+                op: op.clone(),
+                ..SubmitOptions::default()
+            };
+            let resp = svc.submit_opts("r", "s", &pred, &opts).unwrap();
+            assert_eq!(resp.plan, PlanOutcome::Miss, "{op}: first submit plans");
+            assert!(resp.partitions > 0, "{op}: ran the partitioned executor");
+            let counters = resp.operator.as_ref().expect("operator counters present");
+            assert_eq!(counters.op, op.to_string());
+            assert_eq!(resp.result.tuples(), want.tuples(), "{op}: oracle identity");
+            let again = svc.submit_opts("r", "s", &pred, &opts).unwrap();
+            assert_eq!(again.plan, PlanOutcome::CacheHit, "{op}: replan cached");
+        }
+        // Inner and non-inner submissions never share a plan entry.
+        assert_eq!(svc.cached_plans(), cases.len());
+        svc.submit("r", "s").unwrap();
+        assert_eq!(svc.cached_plans(), cases.len() + 1);
+        // The inner-join result is untouched by the new routing.
+        assert!(predicate_join(&r, &s, &pred)
+            .unwrap()
+            .multiset_eq(&svc.submit("r", "s").unwrap().result));
+    }
+
+    #[test]
+    fn streamed_requests_refuse_non_inner_operators() {
+        let svc = service(4096);
+        let opts = SubmitOptions {
+            op: Operator::Semi,
+            ..SubmitOptions::default()
+        };
+        let mut sink = |_batch: Vec<Tuple>| panic!("no batch may be delivered");
+        match svc.submit_streamed("r", "s", &JoinPredicate::intersects(), &opts, &mut sink) {
+            Err(ServiceError::Join(JoinError::Precondition(_))) => {}
+            other => panic!("expected a streaming precondition refusal, got {other:?}"),
+        }
+        // Refused before admission: nothing was counted or reserved.
+        let sec = svc.service_section();
+        assert_eq!(sec.failed, 0);
+        assert_eq!(sec.admitted, 0);
+    }
+
+    #[test]
+    fn sequence_predicate_operators_run_unpartitioned_through_the_service() {
+        use vtjoin_core::algebra::semijoin_pred;
+        let svc = service(4096);
+        let before: JoinPredicate = "before-within-40".parse().unwrap();
+        let opts = SubmitOptions {
+            op: Operator::Semi,
+            ..SubmitOptions::default()
+        };
+        let resp = svc.submit_opts("r", "s", &before, &opts).unwrap();
+        assert_eq!(resp.plan, PlanOutcome::Unpartitioned);
+        assert!(resp.operator.as_ref().unwrap().fallback_nested);
+        let want = semijoin_pred(&rel("b", 600, 5), &rel("c", 600, 7), &before).unwrap();
+        assert_eq!(resp.result.tuples(), want.tuples());
     }
 
     #[test]

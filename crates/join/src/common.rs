@@ -3,7 +3,7 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use vtjoin_core::{JoinPredicate, Relation, Schema, Tuple};
+use vtjoin_core::{JoinPredicate, Operator, Relation, Schema, Tuple};
 use vtjoin_storage::{CostRatio, HeapFile, IoStats, PageBuf, StorageError};
 
 /// Crate-wide result alias.
@@ -114,6 +114,14 @@ pub struct JoinConfig {
     /// [`JoinError::Precondition`] instead of a wrong answer (see
     /// `docs/PREDICATES.md` for the support matrix).
     pub predicate: JoinPredicate,
+    /// Which member of the temporal operator family to evaluate. Defaults
+    /// to [`Operator::Inner`] — the paper's natural join, the only
+    /// operator the disk-based algorithms evaluate. The in-memory
+    /// production path for the other operators lives in the engine crate
+    /// (`vtjoin-engine::operator`); disk algorithms asked for a non-inner
+    /// operator refuse with [`JoinError::Precondition`] (see
+    /// `docs/OPERATORS.md` for the support matrix).
+    pub op: Operator,
 }
 
 impl Default for JoinConfig {
@@ -134,6 +142,7 @@ impl JoinConfig {
             planner_candidates: 64,
             layout: crate::columnar::Layout::default(),
             predicate: JoinPredicate::intersects(),
+            op: Operator::Inner,
         }
     }
 
@@ -170,6 +179,27 @@ impl JoinConfig {
     pub fn predicate(mut self, predicate: JoinPredicate) -> JoinConfig {
         self.predicate = predicate;
         self
+    }
+
+    /// Builder-style: set the temporal operator.
+    #[must_use]
+    pub fn op(mut self, op: Operator) -> JoinConfig {
+        self.op = op;
+        self
+    }
+
+    /// Refuses with a typed [`JoinError::Precondition`] when a non-inner
+    /// operator reaches an algorithm that only evaluates the natural
+    /// (inner) join.
+    pub fn require_inner(&self) -> Result<()> {
+        if self.op.is_inner() {
+            Ok(())
+        } else {
+            Err(JoinError::Precondition(
+                "this algorithm only evaluates the inner join; use the engine operator \
+                 executor for outer/semi/anti/aggregate (docs/OPERATORS.md)",
+            ))
+        }
     }
 }
 

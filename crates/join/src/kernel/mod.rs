@@ -79,6 +79,7 @@ pub mod batch;
 pub mod columnar;
 pub mod merge;
 pub mod sweep;
+pub mod tracked;
 
 pub use batch::OutputBatch;
 pub use columnar::{
@@ -87,6 +88,9 @@ pub use columnar::{
 };
 pub use merge::{merge_join_pred, MergeStats};
 pub use sweep::{sweep_join, sweep_join_pred, SweepScratch, SweepStats};
+pub use tracked::{
+    tracked_sweep, Fragment, OperatorLog, TrackedInput, TrackedScratch, TrackedStats,
+};
 
 use crate::common::{BlockTable, JoinSpec};
 use vtjoin_core::{Interval, JoinPredicate, Tuple};

@@ -40,14 +40,17 @@ pub mod report;
 pub mod sort;
 pub mod sort_merge;
 pub mod time_index;
+pub mod timeline;
 
 pub use columnar::{ColumnarCounters, ColumnarPair, ColumnarSide, IdBatch, Layout};
 pub use common::{JoinAlgorithm, JoinConfig, JoinError, JoinReport, JoinSpec, PhaseStats, Result};
 pub use kernel::{
-    KernelChoice, KernelCounters, KernelKind, OutputBatch, PredicateCounters, SweepScratch,
+    tracked_sweep, Fragment, KernelChoice, KernelCounters, KernelKind, OperatorLog, OutputBatch,
+    PredicateCounters, SweepScratch, TrackedInput, TrackedScratch, TrackedStats,
 };
 pub use nested_loop::NestedLoopJoin;
 pub use partition::{PartitionJoin, ReplicatedPartitionJoin};
 pub use report::{execution_report, partition_execution_report};
 pub use sort_merge::SortMergeJoin;
 pub use time_index::{TimeIndex, TimeIndexJoin};
+pub use timeline::TimelineIndex;

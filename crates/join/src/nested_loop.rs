@@ -43,6 +43,7 @@ impl JoinAlgorithm for NestedLoopJoin {
                 available: cfg.buffer_pages,
             });
         }
+        cfg.require_inner()?;
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

@@ -83,6 +83,7 @@ impl PartitionJoin {
                  nested-loop or the parallel executor's merge fallback",
             ));
         }
+        cfg.require_inner()?;
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

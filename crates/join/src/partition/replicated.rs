@@ -92,6 +92,7 @@ impl JoinAlgorithm for ReplicatedPartitionJoin {
                  (intersection) predicate",
             ));
         }
+        cfg.require_inner()?;
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

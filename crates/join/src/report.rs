@@ -133,6 +133,7 @@ pub fn execution_report(report: &JoinReport, cfg: &JoinConfig) -> ExecutionRepor
         predicate: predicate_section(report, cfg),
         grid: None,
         columnar: columnar_section(report),
+        operator: None,
     }
 }
 

@@ -61,6 +61,7 @@ impl JoinAlgorithm for SortMergeJoin {
                  the parallel executor for generalized predicates",
             ));
         }
+        cfg.require_inner()?;
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

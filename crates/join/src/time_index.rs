@@ -305,6 +305,7 @@ impl JoinAlgorithm for TimeIndexJoin {
                  the parallel executor for generalized predicates",
             ));
         }
+        cfg.require_inner()?;
         let spec = JoinSpec::natural(outer.schema(), inner.schema())?;
         let disk = outer.disk().clone();
         let mut tracker = PhaseTracker::start(&disk);

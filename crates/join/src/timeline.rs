@@ -1,0 +1,358 @@
+//! A checkpointed timeline index for temporal aggregation.
+//!
+//! Moerkotte & Kaufmann's *TimelineIndex* (see PAPERS.md / SNIPPETS.md)
+//! organizes a temporal table as a chronon-sorted **event list** (one
+//! activation and one deactivation event per interval) plus periodic
+//! **checkpoints** of the set of rows open at that point in the list.
+//! Aggregation over all of time is a single forward scan of the events;
+//! a time-travel query restores the nearest checkpoint and replays at
+//! most one checkpoint stride of events instead of the whole history.
+//!
+//! [`TimelineIndex::segments_sum`] and
+//! [`TimelineIndex::segments_extremum`] reproduce the segment semantics
+//! of the in-memory oracle (`vtjoin_core::algebra::aggregate`) exactly —
+//! maximal constant intervals, interior zero gaps kept for additive
+//! aggregates, leading/trailing zeros trimmed, open tails at
+//! `Chronon::MAX` — so the production aggregation operator is
+//! byte-identical to `count_over_time`/`sum_over_time`/
+//! `extremum_over_time` over the same rows.
+
+use vtjoin_core::algebra::{AggSegment, Extremum};
+use vtjoin_core::{Chronon, Interval};
+
+/// Events between two consecutive checkpoints.
+const CHECKPOINT_STRIDE: usize = 64;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at: Chronon,
+    row: u32,
+    add: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Events `[0, event_idx)` are applied.
+    event_idx: usize,
+    /// Row ids open after applying them, ascending.
+    open: Vec<u32>,
+}
+
+/// The checkpointed event-list index over a set of weighted intervals.
+///
+/// Rows are `(interval, value)`; `value` is the summand for additive
+/// aggregates (pass `1` per row for `COUNT`) and the compared value for
+/// extrema.
+#[derive(Debug, Default)]
+pub struct TimelineIndex {
+    rows: Vec<(Interval, i64)>,
+    events: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl TimelineIndex {
+    /// Builds the index over `rows` in one sort + one scan.
+    pub fn build(rows: Vec<(Interval, i64)>) -> TimelineIndex {
+        let mut events = Vec::with_capacity(rows.len() * 2);
+        for (i, (iv, _)) in rows.iter().enumerate() {
+            events.push(Event {
+                at: iv.start(),
+                row: i as u32,
+                add: true,
+            });
+            // An interval ending at MAX never deactivates; the scans
+            // handle the open tail.
+            if iv.end() != Chronon::MAX {
+                events.push(Event {
+                    at: iv.end().succ(),
+                    row: i as u32,
+                    add: false,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at);
+
+        let mut checkpoints = Vec::with_capacity(events.len() / CHECKPOINT_STRIDE + 1);
+        let mut open = vec![false; rows.len()];
+        for (i, e) in events.iter().enumerate() {
+            if i % CHECKPOINT_STRIDE == 0 {
+                checkpoints.push(Checkpoint {
+                    event_idx: i,
+                    open: open
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(r, &o)| o.then_some(r as u32))
+                        .collect(),
+                });
+            }
+            open[e.row as usize] = e.add;
+        }
+        TimelineIndex {
+            rows,
+            events,
+            checkpoints,
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of endpoint events in the list.
+    pub fn events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of checkpoints taken.
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Row ids valid at `t`: restore the nearest checkpoint at or before
+    /// `t`'s position in the event list, replay the remainder. Ascending.
+    pub fn open_at(&self, t: Chronon) -> Vec<u32> {
+        // First event strictly past t: all events at chronons ≤ t apply.
+        let pos = self.events.partition_point(|e| e.at <= t);
+        let ck_idx = self
+            .checkpoints
+            .partition_point(|c| c.event_idx <= pos)
+            .saturating_sub(1);
+        let mut open = vec![false; self.rows.len()];
+        let mut from = 0;
+        if let Some(ck) = self.checkpoints.get(ck_idx) {
+            if ck.event_idx <= pos {
+                for &r in &ck.open {
+                    open[r as usize] = true;
+                }
+                from = ck.event_idx;
+            }
+        }
+        for e in &self.events[from..pos] {
+            open[e.row as usize] = e.add;
+        }
+        open.iter()
+            .enumerate()
+            .filter_map(|(r, &o)| o.then_some(r as u32))
+            .collect()
+    }
+
+    /// The additive aggregate (sum of open rows' values) at `t`.
+    pub fn sum_at(&self, t: Chronon) -> i64 {
+        self.open_at(t)
+            .iter()
+            .map(|&r| self.rows[r as usize].1)
+            .sum()
+    }
+
+    /// Maximal constant segments of the additive aggregate — `COUNT`
+    /// with per-row value 1, `SUM` with the attribute value. Matches
+    /// `count_over_time`/`sum_over_time` over the same rows exactly:
+    /// interior zero gaps are kept, leading/trailing zeros trimmed.
+    pub fn segments_sum(&self) -> Vec<AggSegment> {
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<AggSegment> = Vec::new();
+        let mut current: i64 = 0;
+        let mut seg_start: Option<Chronon> = None;
+        let mut i = 0;
+        while i < self.events.len() {
+            let at = self.events[i].at;
+            if let Some(start) = seg_start {
+                if start < at {
+                    out.push(AggSegment {
+                        interval: Interval::new(start, at.pred()).expect("start < at"),
+                        value: current,
+                    });
+                }
+            }
+            while i < self.events.len() && self.events[i].at == at {
+                let e = self.events[i];
+                let w = self.rows[e.row as usize].1;
+                current += if e.add { w } else { -w };
+                i += 1;
+            }
+            seg_start = Some(at);
+        }
+        // Rows ending at MAX never deactivate: close the open tail.
+        if let (Some(start), true) = (seg_start, current != 0) {
+            out.push(AggSegment {
+                interval: Interval::new(start, Chronon::MAX).expect("open tail"),
+                value: current,
+            });
+        }
+        while out.first().is_some_and(|s| s.value == 0) {
+            out.remove(0);
+        }
+        while out.last().is_some_and(|s| s.value == 0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Maximal constant segments of `MIN`/`MAX` over open rows' values.
+    /// Matches `extremum_over_time` exactly: chronons with no open row
+    /// produce no segment, and adjacent equal-valued segments merge.
+    pub fn segments_extremum(&self, which: Extremum) -> Vec<AggSegment> {
+        use std::collections::BTreeMap;
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let mut active: BTreeMap<i64, usize> = BTreeMap::new();
+        let mut out: Vec<AggSegment> = Vec::new();
+        let mut seg_start: Option<Chronon> = None;
+        let push_segment = |start: Chronon, end: Chronon, value: i64, out: &mut Vec<AggSegment>| {
+            if let Some(last) = out.last_mut() {
+                if last.value == value
+                    && last.interval.end() != Chronon::MAX
+                    && last.interval.end().succ() == start
+                {
+                    last.interval = Interval::new(last.interval.start(), end).expect("ordered");
+                    return;
+                }
+            }
+            out.push(AggSegment {
+                interval: Interval::new(start, end).expect("ordered"),
+                value,
+            });
+        };
+        let extremum = |active: &BTreeMap<i64, usize>| match which {
+            Extremum::Min => *active.keys().next().expect("non-empty"),
+            Extremum::Max => *active.keys().next_back().expect("non-empty"),
+        };
+        let mut i = 0;
+        while i < self.events.len() {
+            let at = self.events[i].at;
+            if let Some(start) = seg_start {
+                if start < at && !active.is_empty() {
+                    push_segment(start, at.pred(), extremum(&active), &mut out);
+                }
+            }
+            while i < self.events.len() && self.events[i].at == at {
+                let e = self.events[i];
+                let v = self.rows[e.row as usize].1;
+                if e.add {
+                    *active.entry(v).or_insert(0) += 1;
+                } else {
+                    match active.get_mut(&v) {
+                        Some(c) if *c > 1 => *c -= 1,
+                        _ => {
+                            active.remove(&v);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            seg_start = Some(at);
+        }
+        if let (Some(start), false) = (seg_start, active.is_empty()) {
+            push_segment(start, Chronon::MAX, extremum(&active), &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vtjoin_core::algebra::{count_over_time, extremum_over_time, sum_over_time};
+    use vtjoin_core::{AttrDef, AttrType, Relation, Schema, Tuple, Value};
+
+    fn rel(rows: &[(i64, i64, i64)]) -> Relation {
+        let schema = Schema::new(vec![AttrDef::new("v", AttrType::Int)])
+            .unwrap()
+            .into_shared();
+        let tuples = rows
+            .iter()
+            .map(|&(v, s, e)| Tuple::new(vec![Value::Int(v)], Interval::from_raw(s, e).unwrap()))
+            .collect();
+        Relation::from_parts_unchecked(Arc::clone(&schema), tuples)
+    }
+
+    fn index_of(r: &Relation, weight_one: bool) -> TimelineIndex {
+        TimelineIndex::build(
+            r.iter()
+                .map(|t| {
+                    let v = if weight_one {
+                        1
+                    } else {
+                        t.value(0).as_int().unwrap()
+                    };
+                    (t.valid(), v)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sum_segments_match_the_oracle() {
+        let r = rel(&[(10, 0, 4), (5, 2, 6), (3, 2, 2), (7, 20, 25)]);
+        assert_eq!(
+            index_of(&r, false).segments_sum(),
+            sum_over_time(&r, "v").unwrap()
+        );
+        assert_eq!(index_of(&r, true).segments_sum(), count_over_time(&r));
+    }
+
+    #[test]
+    fn extremum_segments_match_the_oracle() {
+        let r = rel(&[(10, 0, 5), (3, 2, 9), (7, 4, 4), (3, 12, 14), (3, 15, 20)]);
+        let ti = index_of(&r, false);
+        assert_eq!(
+            ti.segments_extremum(Extremum::Min),
+            extremum_over_time(&r, "v", Extremum::Min).unwrap()
+        );
+        assert_eq!(
+            ti.segments_extremum(Extremum::Max),
+            extremum_over_time(&r, "v", Extremum::Max).unwrap()
+        );
+    }
+
+    #[test]
+    fn open_tail_at_end_of_time() {
+        let ti = TimelineIndex::build(vec![(
+            Interval::new(Chronon::new(10), Chronon::MAX).unwrap(),
+            1,
+        )]);
+        let segs = ti.segments_sum();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].interval.end(), Chronon::MAX);
+        assert_eq!(ti.sum_at(Chronon::new(1_000_000)), 1);
+        assert_eq!(ti.sum_at(Chronon::new(9)), 0);
+    }
+
+    #[test]
+    fn time_travel_replays_from_checkpoints() {
+        // Enough rows that several checkpoints are taken; brute-force
+        // check open_at/sum_at across the lifespan.
+        let rows: Vec<(i64, i64, i64)> = (0..200)
+            .map(|i| (i % 7, i % 50, i % 50 + (i % 13) + 1))
+            .collect();
+        let r = rel(&rows);
+        let ti = index_of(&r, false);
+        assert!(ti.checkpoints() > 2, "stride should produce checkpoints");
+        assert_eq!(ti.events(), 400);
+        for c in -2..=70i64 {
+            let t = Chronon::new(c);
+            let brute: Vec<u32> = r
+                .iter()
+                .enumerate()
+                .filter(|(_, tu)| tu.valid().contains_chronon(t))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(ti.open_at(t), brute, "open rows at {c}");
+            let sum: i64 = brute.iter().map(|&i| rows[i as usize].0).sum();
+            assert_eq!(ti.sum_at(t), sum, "sum at {c}");
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let ti = TimelineIndex::build(Vec::new());
+        assert!(ti.segments_sum().is_empty());
+        assert!(ti.segments_extremum(Extremum::Max).is_empty());
+        assert!(ti.open_at(Chronon::ZERO).is_empty());
+    }
+}

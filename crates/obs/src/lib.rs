@@ -30,7 +30,7 @@ pub mod report;
 pub use json::{Json, JsonError};
 pub use report::{
     BufferPoolSection, CandidateRow, ColumnarSection, ConfigSection, Counter, DeviationSection,
-    ExecutionReport, FaultsSection, GridSection, IoSection, KernelSection, PhaseSection,
-    PlanSection, PredicateSection, PredictedCost, ReportError, ResultSection, ServiceSection,
-    SkewSection, WorkerSection, SCHEMA_VERSION,
+    ExecutionReport, FaultsSection, GridSection, IoSection, KernelSection, OperatorSection,
+    PhaseSection, PlanSection, PredicateSection, PredictedCost, ReportError, ResultSection,
+    ServiceSection, SkewSection, WorkerSection, SCHEMA_VERSION,
 };

@@ -32,13 +32,16 @@ use vtjoin_storage::{CostRatio, IoStats};
 /// added the optional `columnar` section (struct-of-arrays encode time,
 /// radix-sort pass count, shared key-dictionary size, and
 /// late-materialized row count), present when a run executed its kernels
-/// on the columnar layout.
+/// on the columnar layout. Version 10 added the optional `operator`
+/// section (temporal outer/semi/anti/aggregate executions: dangling
+/// fragment, boundary-stitch, and timeline-checkpoint counters), present
+/// when a run evaluated a non-inner member of the operator family.
 ///
 /// Every post-v1 addition is an *optional* section or an optional field,
 /// so [`ExecutionReport::from_json`] accepts any version from 1 up to the
 /// current one — older (kernel-less, fault-less…) reports still parse —
 /// and rejects only versions newer than it knows.
-pub const SCHEMA_VERSION: i64 = 9;
+pub const SCHEMA_VERSION: i64 = 10;
 
 /// Error produced when decoding a serialized report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -808,6 +811,94 @@ impl ColumnarSection {
     }
 }
 
+/// Temporal-operator accounting (schema v10): what the
+/// dangling-fragment-tracking sweeps and the aggregation timeline did,
+/// when a run evaluated a non-inner member of the operator family
+/// (LEFT/FULL outer, semi, anti, aggregate). Every field is a
+/// deterministic function of the input, so all of them participate in
+/// regression comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OperatorSection {
+    /// Canonical string form of the operator (`left`, `full`, `semi`,
+    /// `anti`, `aggregate:count`, `aggregate:sum:ATTR`, …).
+    pub op: String,
+    /// Grid cells that ran a tracked sweep (0 on the nested fallback).
+    pub cells: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Key buckets of the operator grid (1 on the fallback).
+    pub key_buckets: u64,
+    /// Matched pairs logged under the canonical-partition rule.
+    pub pairs_logged: u64,
+    /// Outer-side dangling fragments emitted before stitching.
+    pub outer_fragments: u64,
+    /// Inner-side dangling fragments emitted before stitching.
+    pub inner_fragments: u64,
+    /// Outer fragments merged away at partition boundaries by the
+    /// gather-phase stitch.
+    pub stitched_outer: u64,
+    /// Inner fragments merged away by the gather-phase stitch.
+    pub stitched_inner: u64,
+    /// Final maximal outer dangling intervals after stitching.
+    pub outer_dangling: u64,
+    /// Final maximal inner dangling intervals after stitching.
+    pub inner_dangling: u64,
+    /// Endpoint events in the aggregation timeline index.
+    pub timeline_events: u64,
+    /// Checkpoints the aggregation timeline index took.
+    pub timeline_checkpoints: u64,
+    /// Maximal constant segments the aggregation produced.
+    pub agg_segments: u64,
+    /// Whether the sequence/mixed-template nested fallback ran instead
+    /// of the partitioned tracked sweep.
+    pub fallback_nested: bool,
+}
+
+impl OperatorSection {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("op", Json::Str(self.op.clone())),
+            ("cells", Json::Int(self.cells as i64)),
+            ("workers", Json::Int(self.workers as i64)),
+            ("key_buckets", Json::Int(self.key_buckets as i64)),
+            ("pairs_logged", Json::Int(self.pairs_logged as i64)),
+            ("outer_fragments", Json::Int(self.outer_fragments as i64)),
+            ("inner_fragments", Json::Int(self.inner_fragments as i64)),
+            ("stitched_outer", Json::Int(self.stitched_outer as i64)),
+            ("stitched_inner", Json::Int(self.stitched_inner as i64)),
+            ("outer_dangling", Json::Int(self.outer_dangling as i64)),
+            ("inner_dangling", Json::Int(self.inner_dangling as i64)),
+            ("timeline_events", Json::Int(self.timeline_events as i64)),
+            (
+                "timeline_checkpoints",
+                Json::Int(self.timeline_checkpoints as i64),
+            ),
+            ("agg_segments", Json::Int(self.agg_segments as i64)),
+            ("fallback_nested", Json::Bool(self.fallback_nested)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<OperatorSection, ReportError> {
+        Ok(OperatorSection {
+            op: req_str(j, "op")?,
+            cells: req_u64(j, "cells")?,
+            workers: req_u64(j, "workers")?,
+            key_buckets: req_u64(j, "key_buckets")?,
+            pairs_logged: req_u64(j, "pairs_logged")?,
+            outer_fragments: req_u64(j, "outer_fragments")?,
+            inner_fragments: req_u64(j, "inner_fragments")?,
+            stitched_outer: req_u64(j, "stitched_outer")?,
+            stitched_inner: req_u64(j, "stitched_inner")?,
+            outer_dangling: req_u64(j, "outer_dangling")?,
+            inner_dangling: req_u64(j, "inner_dangling")?,
+            timeline_events: req_u64(j, "timeline_events")?,
+            timeline_checkpoints: req_u64(j, "timeline_checkpoints")?,
+            agg_segments: req_u64(j, "agg_segments")?,
+            fallback_nested: req_bool(j, "fallback_nested")?,
+        })
+    }
+}
+
 /// The unified execution report: one value describing everything a run
 /// did, predicted, and measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -852,6 +943,9 @@ pub struct ExecutionReport {
     /// Columnar-layout accounting, when the run encoded its join sides
     /// struct-of-arrays and ran the columnar kernels.
     pub columnar: Option<ColumnarSection>,
+    /// Temporal-operator accounting, when the run evaluated a non-inner
+    /// member of the operator family (outer/semi/anti/aggregate).
+    pub operator: Option<OperatorSection>,
 }
 
 impl ExecutionReport {
@@ -1054,6 +1148,9 @@ impl ExecutionReport {
         if let Some(c) = self.columnar {
             pairs.push(("columnar", c.to_json()));
         }
+        if let Some(o) = &self.operator {
+            pairs.push(("operator", o.to_json()));
+        }
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
@@ -1201,6 +1298,10 @@ impl ExecutionReport {
             Some(c) => Some(ColumnarSection::from_json(c)?),
             None => None,
         };
+        let operator = match j.get("operator") {
+            Some(o) => Some(OperatorSection::from_json(o)?),
+            None => None,
+        };
         Ok(ExecutionReport {
             algorithm: req_str(j, "algorithm")?,
             config: ConfigSection {
@@ -1226,6 +1327,7 @@ impl ExecutionReport {
             predicate,
             grid,
             columnar,
+            operator,
         })
     }
 
@@ -1620,6 +1722,46 @@ impl ExecutionReport {
             );
         }
 
+        if let Some(o) = &self.operator {
+            p(&mut out, &format!("\n  operator: {}", o.op));
+            p(
+                &mut out,
+                &format!(
+                    "    grid: {} cells ({} key buckets), {} workers{}",
+                    o.cells,
+                    o.key_buckets,
+                    o.workers,
+                    if o.fallback_nested {
+                        " [nested fallback]"
+                    } else {
+                        ""
+                    }
+                ),
+            );
+            p(
+                &mut out,
+                &format!(
+                    "    pairs: {}; dangling outer {} (of {} fragments, {} stitched), inner {} (of {}, {} stitched)",
+                    o.pairs_logged,
+                    o.outer_dangling,
+                    o.outer_fragments,
+                    o.stitched_outer,
+                    o.inner_dangling,
+                    o.inner_fragments,
+                    o.stitched_inner
+                ),
+            );
+            if o.timeline_events > 0 || o.agg_segments > 0 {
+                p(
+                    &mut out,
+                    &format!(
+                        "    timeline: {} events, {} checkpoints, {} segments",
+                        o.timeline_events, o.timeline_checkpoints, o.agg_segments
+                    ),
+                );
+            }
+        }
+
         out
     }
 }
@@ -1831,6 +1973,23 @@ mod tests {
                 dict_size: 6,
                 materialized_rows: 1234,
             }),
+            operator: Some(OperatorSection {
+                op: "full".into(),
+                cells: 68,
+                workers: 4,
+                key_buckets: 4,
+                pairs_logged: 1234,
+                outer_fragments: 90,
+                inner_fragments: 40,
+                stitched_outer: 12,
+                stitched_inner: 3,
+                outer_dangling: 78,
+                inner_dangling: 37,
+                timeline_events: 0,
+                timeline_checkpoints: 0,
+                agg_segments: 0,
+                fallback_nested: false,
+            }),
         }
     }
 
@@ -1856,6 +2015,7 @@ mod tests {
         report.predicate = None;
         report.grid = None;
         report.columnar = None;
+        report.operator = None;
         let back = ExecutionReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
         assert!(!report.to_json_string().contains("\"plan\":"));
@@ -1865,12 +2025,13 @@ mod tests {
         assert!(!report.to_json_string().contains("\"predicate\":"));
         assert!(!report.to_json_string().contains("\"grid\":"));
         assert!(!report.to_json_string().contains("\"columnar\":"));
+        assert!(!report.to_json_string().contains("\"operator\":"));
     }
 
     #[test]
     fn newer_version_is_rejected() {
         let text = sample_report().to_json_string().replacen(
-            "\"schema_version\": 9",
+            "\"schema_version\": 10",
             "\"schema_version\": 99",
             1,
         );
@@ -1882,16 +2043,25 @@ mod tests {
 
     #[test]
     fn older_versions_still_parse() {
-        // A v8 (columnar-less), a v6 (grid-less), a v5 (predicate-less), a
-        // v4 (service-less), a v3 (kernel-less) and a v1 (sections-less)
-        // document must all decode: every post-v1 addition is an optional
-        // section.
+        // A v9 (operator-less), a v8 (columnar-less), a v6 (grid-less), a
+        // v5 (predicate-less), a v4 (service-less), a v3 (kernel-less) and
+        // a v1 (sections-less) document must all decode: every post-v1
+        // addition is an optional section.
         let mut report = sample_report();
+        report.operator = None;
+        let v9 =
+            report
+                .to_json_string()
+                .replacen("\"schema_version\": 10", "\"schema_version\": 9", 1);
+        let back = ExecutionReport::from_json_str(&v9).unwrap();
+        assert_eq!(back.operator, None);
+        assert_eq!(back.columnar, report.columnar);
+
         report.columnar = None;
         let v8 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 8", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 8", 1);
         let back = ExecutionReport::from_json_str(&v8).unwrap();
         assert_eq!(back.columnar, None);
         assert_eq!(back.grid, report.grid);
@@ -1900,7 +2070,7 @@ mod tests {
         let v6 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 6", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 6", 1);
         let back = ExecutionReport::from_json_str(&v6).unwrap();
         assert_eq!(back.grid, None);
         assert_eq!(back.predicate, report.predicate);
@@ -1909,7 +2079,7 @@ mod tests {
         let v5 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 5", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 5", 1);
         let back = ExecutionReport::from_json_str(&v5).unwrap();
         assert_eq!(back.predicate, None);
         assert_eq!(back.service, report.service);
@@ -1918,7 +2088,7 @@ mod tests {
         let v4 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 4", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 4", 1);
         let back = ExecutionReport::from_json_str(&v4).unwrap();
         assert_eq!(back.service, None);
         assert_eq!(back.kernel, report.kernel);
@@ -1927,7 +2097,7 @@ mod tests {
         let v3 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 3", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 3", 1);
         let back = ExecutionReport::from_json_str(&v3).unwrap();
         assert_eq!(back.algorithm, report.algorithm);
         assert_eq!(back.kernel, None);
@@ -1942,7 +2112,7 @@ mod tests {
         let v1 =
             report
                 .to_json_string()
-                .replacen("\"schema_version\": 9", "\"schema_version\": 1", 1);
+                .replacen("\"schema_version\": 10", "\"schema_version\": 1", 1);
         let back = ExecutionReport::from_json_str(&v1).unwrap();
         assert_eq!(back.result, report.result);
         assert!(matches!(

@@ -67,6 +67,10 @@ fn usage() -> String {
      vtjoin join OUTER INNER --threads N [--partitions N] [--kernel auto|hash|sweep] \
      [--grid auto|1xN|KxN|<k>xN] [--predicate PRED] [--layout row|columnar] [--explain] \
      [--stats-json FILE] [-o FILE]   (in-memory parallel grid-partition join)\n  \
+     vtjoin join OUTER INNER --op left|full|semi|anti|aggregate:count|aggregate:sum:ATTR|\
+aggregate:min:ATTR|aggregate:max:ATTR [--threads N] [--partitions N] [--predicate PRED] \
+     [--layout row|columnar] [--explain] [--stats-json FILE] [-o FILE]   \
+     (temporal outer/semi/anti join or aggregation; see docs/OPERATORS.md)\n  \
      vtjoin serve --requests FILE [--concurrency N] [--pool-pages N] [--max-queue N] \
      [--buffer PAGES] [--threads-per-query N] [--kernel auto|hash|sweep] \
      [--grid auto|1xN|KxN|<k>xN] [--layout row|columnar] \
@@ -138,6 +142,17 @@ impl Flags {
                 .parse::<u64>()
                 .map_err(|_| format!("--{name}: bad number `{v}`"))?),
         }
+    }
+}
+
+/// `--op OPERATOR` (default: `inner`). Non-inner operators route to the
+/// dangling-tracking operator executor.
+fn parse_op(flags: &Flags) -> Result<vtjoin::model::Operator, AnyError> {
+    match flags.get("op") {
+        None => Ok(vtjoin::model::Operator::Inner),
+        Some(o) => o
+            .parse::<vtjoin::model::Operator>()
+            .map_err(|e| format!("--op: {e}").into()),
     }
 }
 
@@ -227,6 +242,14 @@ fn cmd_join(args: &[String]) -> Result<(), AnyError> {
     };
     let r = load(outer_path)?;
     let s = load(inner_path)?;
+
+    // `--op` selects a non-inner member of the operator family (outer/
+    // semi/anti join or temporal aggregation); those always run the
+    // in-memory operator executor, never the disk algorithms.
+    let op = parse_op(&flags)?;
+    if !op.is_inner() {
+        return join_operator(&flags, &r, &s, &op);
+    }
 
     // `--threads` selects the in-memory parallel executor (work-stealing
     // hash-probed partition join over replicated partitions); the
@@ -460,6 +483,94 @@ fn join_parallel(
     Ok(())
 }
 
+/// The `--op` path of `join`: equal-width time partitions crossed with a
+/// cost-chosen key-bucket axis (the same planning as the parallel inner
+/// join), executed by the dangling-tracking operator executor. Results
+/// are byte-identical to the `vtjoin::model::algebra` oracle for the
+/// requested operator.
+fn join_operator(
+    flags: &Flags,
+    r: &Relation,
+    s: &Relation,
+    op: &vtjoin::model::Operator,
+) -> Result<(), AnyError> {
+    use vtjoin::join::partition::plan_grid;
+
+    let threads = flags.get_u64("threads", 1)?.max(1) as usize;
+    let partitions = flags.get_u64("partitions", (threads as u64 * 4).max(16))?;
+    let pred = parse_predicate(flags)?;
+    let layout = parse_layout(flags)?;
+    let hull = match (r.lifespan(), s.lifespan()) {
+        (Some(a), Some(b)) => {
+            Interval::new(a.start().min(b.start()), a.end().max(b.end())).expect("ordered hull")
+        }
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => Interval::ALL,
+    };
+    let intervals = vtjoin::join::partition::intervals::equal_width(hull, partitions);
+    let spec = vtjoin::join::common::JoinSpec::natural(r.schema(), s.schema())?;
+    let plan = plan_grid(
+        &spec,
+        r,
+        s,
+        &intervals,
+        threads,
+        vtjoin::join::partition::GridChoice::Auto,
+    )
+    .plan;
+    let (result, exec_report) = vtjoin::engine::operator_execution_report(
+        r,
+        s,
+        op,
+        &pred,
+        &plan.intervals,
+        plan.key_buckets as usize,
+        threads,
+        layout,
+    )?;
+
+    if flags.get("explain").is_some() {
+        print!("{}", exec_report.render_explain());
+    } else {
+        let o = exec_report
+            .operator
+            .as_ref()
+            .expect("operator runs always carry their section");
+        println!(
+            "{op}: {} result tuples, {} cells on {} workers{}",
+            result.len(),
+            o.cells,
+            o.workers,
+            if o.fallback_nested {
+                " (nested fallback)"
+            } else {
+                ""
+            },
+        );
+        println!(
+            "  pairs {} | dangling outer {} ({} stitched), inner {} ({} stitched)",
+            o.pairs_logged, o.outer_dangling, o.stitched_outer, o.inner_dangling, o.stitched_inner,
+        );
+        if o.timeline_events > 0 || o.agg_segments > 0 {
+            println!(
+                "  timeline: {} events, {} checkpoints, {} segments",
+                o.timeline_events, o.timeline_checkpoints, o.agg_segments,
+            );
+        }
+    }
+    if let Some(path) = flags.get("stats-json") {
+        std::fs::write(PathBuf::from(path), exec_report.to_json_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote stats to {path}");
+    }
+    if let Some(out) = flags.get("out") {
+        save(&result, out)?;
+        println!("wrote result to {out}");
+    }
+    Ok(())
+}
+
 /// `serve`: run a batch of join requests through the concurrent
 /// [`vtjoin::engine::JoinService`] — admission-controlled against a shared
 /// page pool, with plan-cache reuse across repeated table pairs.
@@ -476,6 +587,7 @@ fn join_parallel(
 /// join r s grid=4xN            # per-request grid override (cached per grid choice)
 /// join r s priority=interactive  # priority class (interactive|batch|background)
 /// join r s deadline=50         # admission deadline in milliseconds
+/// join r s op=left             # operator family: left|full|semi|anti|aggregate:FN
 /// ```
 ///
 /// `--priority CLASS` and `--deadline-ms MILLIS` set the defaults for
@@ -517,10 +629,10 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 let rel = load(path)?;
                 db.create_table(name, &rel)?;
             }
-            // `join OUTER INNER [PREDICATE] [grid=] [priority=] [deadline=]`:
-            // the optional trailing tokens are an Allen predicate and/or
-            // per-request overrides, in any order.
-            ["join", outer, inner, opts @ ..] if opts.len() <= 4 => {
+            // `join OUTER INNER [PREDICATE] [grid=] [priority=] [deadline=]
+            // [op=]`: the optional trailing tokens are an Allen predicate
+            // and/or per-request overrides, in any order.
+            ["join", outer, inner, opts @ ..] if opts.len() <= 5 => {
                 let mut pred = JoinPredicate::intersects();
                 let mut submit = SubmitOptions {
                     priority: default_priority,
@@ -557,6 +669,10 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                             )
                         })?;
                         submit.deadline = Some(Duration::from_millis(ms));
+                    } else if let Some(o) = opt.strip_prefix("op=") {
+                        submit.op = o
+                            .parse::<vtjoin::model::Operator>()
+                            .map_err(|e| format!("{requests_path}:{}: {e}", lineno + 1))?;
                     } else {
                         if saw_pred {
                             return Err(format!(
@@ -577,7 +693,8 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 return Err(format!(
                     "{requests_path}:{}: bad request `{line}` \
                      (expected `load NAME FILE` or `join OUTER INNER \
-                     [PREDICATE] [grid=CHOICE] [priority=CLASS] [deadline=MS]`)",
+                     [PREDICATE] [grid=CHOICE] [priority=CLASS] [deadline=MS] \
+                     [op=OPERATOR]`)",
                     lineno + 1
                 )
                 .into())
@@ -633,6 +750,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                 } else {
                     format!(" {pred}")
                 };
+                if !submit.op.is_inner() {
+                    tag.push_str(&format!(" op={}", submit.op));
+                }
                 if let Some(g) = submit.grid {
                     tag.push_str(&format!(" grid={g}"));
                 }
@@ -669,16 +789,28 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
                     }
                 } else {
                     match svc.submit_opts(outer, inner, pred, submit) {
-                        Ok(resp) => format!(
-                            "join {outer} {inner}{tag}: {} tuples, plan {:?}, admission {:?}, \
-                             {} partitions x {} key buckets, {} pages reserved",
-                            resp.result.len(),
-                            resp.plan,
-                            resp.admission,
-                            resp.partitions,
-                            resp.key_buckets,
-                            resp.reserved_pages,
-                        ),
+                        Ok(resp) => {
+                            let op_tail = match &resp.operator {
+                                Some(o) => format!(
+                                    ", dangling outer {} / inner {} ({} stitched)",
+                                    o.outer_dangling,
+                                    o.inner_dangling,
+                                    o.stitched_outer + o.stitched_inner,
+                                ),
+                                None => String::new(),
+                            };
+                            format!(
+                                "join {outer} {inner}{tag}: {} tuples, plan {:?}, \
+                                 admission {:?}, {} partitions x {} key buckets, \
+                                 {} pages reserved{op_tail}",
+                                resp.result.len(),
+                                resp.plan,
+                                resp.admission,
+                                resp.partitions,
+                                resp.key_buckets,
+                                resp.reserved_pages,
+                            )
+                        }
                         Err(e) => format!("join {outer} {inner}{tag}: FAILED: {e}"),
                     }
                 };
